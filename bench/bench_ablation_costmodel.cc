@@ -1,0 +1,92 @@
+// Ablation for the cost-based optimizer (the future-work strategy of
+// Section 8, implemented in assess/cost_model.h): for every workload
+// intention, compare the plan the cost model picks against the plan that
+// is actually fastest, and report the regret of the fixed rule-based
+// preference (POP > JOP > NP) and of the cost-based choice.
+
+#include <cstdio>
+
+#include "assess/cost_model.h"
+#include "bench_util.h"
+
+int main() {
+  using namespace assess;
+  using namespace assess::bench;
+
+  SsbConfig config;
+  config.scale_factor = DefaultBaseSf() * 10.0;  // the series' middle scale
+  auto db = BuildSsbDatabase(config);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  AssessSession session(db->get());
+  CostEstimator estimator(db->get());
+  int reps = RepsFromEnv();
+
+  std::printf(
+      "Cost-model ablation (SF %.3g, %d run(s) averaged):\n"
+      "per intention: measured time per plan, the actually-fastest plan,\n"
+      "the rule-based choice and the cost-based choice.\n\n",
+      config.scale_factor, reps);
+  std::printf("%-10s %10s %10s %10s   %-8s %-8s %-8s\n", "", "NP", "JOP",
+              "POP", "fastest", "rule", "cost");
+
+  int rule_hits = 0;
+  int cost_hits = 0;
+  int total = 0;
+  for (const WorkloadStatement& stmt : SsbWorkload()) {
+    auto analyzed = session.Prepare(stmt.text);
+    if (!analyzed.ok()) {
+      std::fprintf(stderr, "%s\n", analyzed.status().ToString().c_str());
+      return 1;
+    }
+    double best_time = 0.0;
+    PlanKind fastest = PlanKind::kNP;
+    double times[3] = {-1.0, -1.0, -1.0};
+    bool first = true;
+    std::vector<PlanKind> plans = FeasiblePlans(*analyzed);
+    std::vector<RunStats> stats =
+        RunStatementsInterleaved(session, stmt.text, plans, reps);
+    for (size_t i = 0; i < plans.size(); ++i) {
+      double t = stats[i].total();
+      times[static_cast<int>(plans[i])] = t;
+      if (first || t < best_time) {
+        best_time = t;
+        fastest = plans[i];
+        first = false;
+      }
+    }
+    PlanKind rule = BestPlan(*analyzed);
+    auto cost_choice = estimator.ChoosePlan(*analyzed);
+    if (!cost_choice.ok()) {
+      std::fprintf(stderr, "%s\n", cost_choice.status().ToString().c_str());
+      return 1;
+    }
+    ++total;
+    if (rule == fastest) ++rule_hits;
+    if (*cost_choice == fastest) ++cost_hits;
+
+    auto cell = [&times](PlanKind p) {
+      char buf[32];
+      double t = times[static_cast<int>(p)];
+      if (t < 0) {
+        std::snprintf(buf, sizeof(buf), "%10s", "-");
+      } else {
+        std::snprintf(buf, sizeof(buf), "%10.4f", t);
+      }
+      return std::string(buf);
+    };
+    std::printf("%-10s %s %s %s   %-8s %-8s %-8s\n", stmt.name.c_str(),
+                cell(PlanKind::kNP).c_str(), cell(PlanKind::kJOP).c_str(),
+                cell(PlanKind::kPOP).c_str(),
+                std::string(PlanKindToString(fastest)).c_str(),
+                std::string(PlanKindToString(rule)).c_str(),
+                std::string(PlanKindToString(*cost_choice)).c_str());
+  }
+  std::printf(
+      "\nagreement with the fastest plan: rule-based %d/%d, cost-based "
+      "%d/%d\n",
+      rule_hits, total, cost_hits, total);
+  return 0;
+}

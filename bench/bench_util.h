@@ -1,0 +1,121 @@
+#ifndef ASSESS_BENCH_BENCH_UTIL_H_
+#define ASSESS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "assess/session.h"
+#include "common/stopwatch.h"
+#include "ssb/ssb_generator.h"
+#include "ssb/workload.h"
+
+namespace assess::bench {
+
+/// Repetitions per measurement (the paper averages 5 runs); override with
+/// ASSESS_BENCH_REPS.
+inline int RepsFromEnv(int fallback = 3) {
+  const char* env = std::getenv("ASSESS_BENCH_REPS");
+  if (env == nullptr || *env == '\0') return fallback;
+  int value = std::atoi(env);
+  return value > 0 ? value : fallback;
+}
+
+/// Default base scale factor: SSB1 = 0.02 (120k lineorders), so the series
+/// SSB1/SSB10/SSB100 spans 1.2e5..1.2e7 facts on a laptop-class machine
+/// while preserving the paper's 1:10:100 ratio. Override with
+/// ASSESS_SSB_BASE_SF (e.g. 0.1 for a 6e5..6e7 series).
+inline double DefaultBaseSf() { return BaseScaleFactorFromEnv(0.02); }
+
+/// Builds one scale point of the series, reporting progress on stderr so
+/// long generations are visible.
+inline std::unique_ptr<StarDatabase> BuildScale(const SsbScalePoint& point,
+                                                bool include_budget = true) {
+  std::fprintf(stderr, "[bench] generating %s (SF %.3g, %lld lineorders)...\n",
+               point.name.c_str(), point.scale_factor,
+               static_cast<long long>(SsbFactCount(point.scale_factor)));
+  SsbConfig config;
+  config.scale_factor = point.scale_factor;
+  config.include_budget = include_budget;
+  auto db = BuildSsbDatabase(config);
+  if (!db.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 db.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(db).value();
+}
+
+struct RunStats {
+  StepTimings mean;     // averaged over repetitions
+  int64_t cells = 0;    // |result|
+  double total() const { return mean.Total(); }
+};
+
+/// Runs `text` under `plan` `reps` times and averages the step timings
+/// (mirroring Section 6.2's repeated-execution protocol).
+inline RunStats RunStatement(const AssessSession& session,
+                             const std::string& text, PlanKind plan,
+                             int reps) {
+  RunStats stats;
+  for (int r = 0; r < reps; ++r) {
+    auto result = session.Query(text, plan);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+    const StepTimings& t = result->timings;
+    stats.mean.get_c += t.get_c / reps;
+    stats.mean.get_b += t.get_b / reps;
+    stats.mean.get_cb += t.get_cb / reps;
+    stats.mean.transform += t.transform / reps;
+    stats.mean.join += t.join / reps;
+    stats.mean.compare += t.compare / reps;
+    stats.mean.label += t.label / reps;
+    stats.cells = result->cube.NumRows();
+  }
+  return stats;
+}
+
+/// Runs `text` under every plan in `plans`, interleaving repetitions
+/// round-robin so slow system drift does not bias one plan, and averages
+/// per plan. Mirrors Section 6.2's repeated-execution protocol.
+inline std::vector<RunStats> RunStatementsInterleaved(
+    const AssessSession& session, const std::string& text,
+    const std::vector<PlanKind>& plans, int reps) {
+  std::vector<RunStats> stats(plans.size());
+  for (int r = 0; r < reps; ++r) {
+    for (size_t i = 0; i < plans.size(); ++i) {
+      auto result = session.Query(text, plans[i]);
+      if (!result.ok()) {
+        std::fprintf(stderr, "query failed: %s\n",
+                     result.status().ToString().c_str());
+        std::exit(1);
+      }
+      const StepTimings& t = result->timings;
+      stats[i].mean.get_c += t.get_c / reps;
+      stats[i].mean.get_b += t.get_b / reps;
+      stats[i].mean.get_cb += t.get_cb / reps;
+      stats[i].mean.transform += t.transform / reps;
+      stats[i].mean.join += t.join / reps;
+      stats[i].mean.compare += t.compare / reps;
+      stats[i].mean.label += t.label / reps;
+      stats[i].cells = result->cube.NumRows();
+    }
+  }
+  return stats;
+}
+
+/// Formats seconds in a fixed width for the tables.
+inline std::string Secs(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%8.3f", s);
+  return buf;
+}
+
+}  // namespace assess::bench
+
+#endif  // ASSESS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,196 @@
+// Interactive assess shell: a small REPL over the SALES cube (or the SSB
+// cube with --ssb). Type an assess statement on one line; the shell prints
+// the labeled result. Meta commands:
+//   \plan NP|JOP|POP   force a plan (default: best feasible)
+//   \explain <stmt>    show the logical plan instead of executing
+//   \sql <stmt>        show the SQL the plan pushes to the engine
+//   \rank <stmt>       rank the feasible plans by estimated cost
+//   \suggest <partial> complete a partial statement (labels etc. optional)
+//   \csv <stmt>        execute and print the result as CSV
+//   \functions         list comparison functions
+//   \labelings         list predeclared labeling functions
+//   \quit
+
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "assess/session.h"
+#include "assess/suggest.h"
+#include "common/str_util.h"
+#include "ssb/sales_generator.h"
+#include "ssb/ssb_generator.h"
+
+namespace {
+
+void PrintHelp() {
+  std::cout <<
+      R"(Type an assess statement, e.g.:
+  with SALES by month assess storeSales labels quartiles
+  with SALES for year = '1997', product = 'milk' by year, product
+    assess quantity against 10000 using ratio(quantity, 10000)
+    labels {[0, 0.9): bad, [0.9, 1.1]: acceptable, (1.1, inf): good}
+Meta commands: \plan NP|JOP|POP, \explain <stmt>, \sql <stmt>,
+               \rank <stmt>, \csv <stmt>, \suggest <partial stmt>,
+               \functions, \labelings, \help, \quit
+)";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool use_ssb = argc > 1 && std::string(argv[1]) == "--ssb";
+  std::unique_ptr<assess::StarDatabase> db;
+  if (use_ssb) {
+    assess::SsbConfig config;
+    config.scale_factor = 0.01;
+    auto built = assess::BuildSsbDatabase(config);
+    if (!built.ok()) {
+      std::cerr << built.status().ToString() << "\n";
+      return 1;
+    }
+    db = std::move(built).value();
+    std::cout << "SSB database ready (cubes: SSB, BUDGET).\n";
+  } else {
+    auto built = assess::BuildSalesDatabase(assess::SalesConfig{});
+    if (!built.ok()) {
+      std::cerr << built.status().ToString() << "\n";
+      return 1;
+    }
+    db = std::move(built).value();
+    std::cout << "SALES database ready.\n";
+  }
+  PrintHelp();
+
+  assess::AssessSession session(db.get());
+  std::optional<assess::PlanKind> forced_plan = std::nullopt;
+  auto run = [&session, &forced_plan](std::string_view stmt) {
+    if (forced_plan.has_value()) return session.Query(stmt, *forced_plan);
+    return session.Query(stmt);
+  };
+  std::string line;
+  while (true) {
+    std::cout << "assess> " << std::flush;
+    if (!std::getline(std::cin, line)) break;
+    std::string_view input = assess::Trim(line);
+    if (input.empty()) continue;
+    if (input[0] == '\\') {
+      if (input == "\\quit" || input == "\\q") break;
+      if (input == "\\help") {
+        PrintHelp();
+        continue;
+      }
+      if (input == "\\functions") {
+        for (const std::string& name : session.functions()->Names()) {
+          auto def = session.functions()->Find(name);
+          std::cout << "  " << (*def)->doc << "\n";
+        }
+        continue;
+      }
+      if (input == "\\labelings") {
+        for (const std::string& name : session.labelings()->Names()) {
+          std::cout << "  " << name << "\n";
+        }
+        continue;
+      }
+      if (assess::StartsWith(input, "\\plan")) {
+        std::string_view arg = assess::Trim(input.substr(5));
+        if (arg.empty()) {
+          forced_plan.reset();
+          std::cout << "plan: best feasible\n";
+          continue;
+        }
+        auto plan = assess::PlanKindFromString(arg);
+        if (!plan.ok()) {
+          std::cout << plan.status().ToString() << "\n";
+          continue;
+        }
+        forced_plan = *plan;
+        std::cout << "plan forced to " << assess::PlanKindToString(*plan)
+                  << "\n";
+        continue;
+      }
+      if (assess::StartsWith(input, "\\explain")) {
+        std::string_view stmt = assess::Trim(input.substr(8));
+        auto analyzed = session.Prepare(stmt);
+        if (!analyzed.ok()) {
+          std::cout << analyzed.status().ToString() << "\n";
+          continue;
+        }
+        for (assess::PlanKind plan : assess::FeasiblePlans(*analyzed)) {
+          std::cout << assess::ExplainPlan(*analyzed, plan);
+        }
+        continue;
+      }
+      if (assess::StartsWith(input, "\\rank")) {
+        std::string_view stmt = assess::Trim(input.substr(5));
+        auto ranked = session.RankPlans(stmt);
+        if (!ranked.ok()) {
+          std::cout << ranked.status().ToString() << "\n";
+          continue;
+        }
+        for (const assess::PlanCost& pc : *ranked) {
+          std::cout << "  " << assess::PlanKindToString(pc.plan)
+                    << "  estimated cost " << pc.cost << "\n";
+        }
+        continue;
+      }
+      if (assess::StartsWith(input, "\\suggest")) {
+        std::string_view stmt = assess::Trim(input.substr(8));
+        auto partial = assess::ParsePartialAssessStatement(stmt);
+        if (!partial.ok()) {
+          std::cout << partial.status().ToString() << "\n";
+          continue;
+        }
+        auto suggestions = assess::SuggestCompletions(
+            *partial, *db, *session.functions(), *session.labelings());
+        if (!suggestions.ok()) {
+          std::cout << suggestions.status().ToString() << "\n";
+          continue;
+        }
+        if (suggestions->empty()) {
+          std::cout << "no valid completions found\n";
+          continue;
+        }
+        for (const assess::Suggestion& s : *suggestions) {
+          std::cout << "  [" << s.rationale << "]\n    "
+                    << s.statement.ToString() << "\n";
+        }
+        continue;
+      }
+      if (assess::StartsWith(input, "\\csv")) {
+        std::string_view stmt = assess::Trim(input.substr(4));
+        auto result = run(stmt);
+        if (!result.ok()) {
+          std::cout << result.status().ToString() << "\n";
+          continue;
+        }
+        result->WriteCsv(std::cout);
+        continue;
+      }
+      if (assess::StartsWith(input, "\\sql")) {
+        std::string_view stmt = assess::Trim(input.substr(4));
+        auto result = run(stmt);
+        if (!result.ok()) {
+          std::cout << result.status().ToString() << "\n";
+          continue;
+        }
+        for (const std::string& sql : result->sql) {
+          std::cout << sql << "\n\n";
+        }
+        continue;
+      }
+      std::cout << "unknown meta command; \\help for help\n";
+      continue;
+    }
+    auto result = run(input);
+    if (!result.ok()) {
+      std::cout << result.status().ToString() << "\n";
+      continue;
+    }
+    std::cout << result->ToString(40) << "("
+              << assess::PlanKindToString(result->plan) << ","
+              << result->timings.ToString() << ")\n";
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+#ifndef ASSESS_ALGEBRA_OPERATORS_H_
+#define ASSESS_ALGEBRA_OPERATORS_H_
+
+#include <functional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "olap/cube.h"
+
+namespace assess {
+
+/// Client-side logical operators of Section 4.2, operating on materialized
+/// Cube values (the paper's "in main memory" layer). All operators respect
+/// the closure property: they consume cubes and produce cubes.
+
+/// \brief Natural / partial join ⋈ (drill-across): joins `left` and `right`
+/// on the axes named in `join_levels` (the full group-by set for the natural
+/// join, a subset for the partial join ⋈_{l1..lm}). The output keeps the
+/// left coordinates; right measures are renamed "<right_prefix>.<name>".
+/// With `left_outer` (the assess* variant) non-matching left cells survive
+/// with null right measures; one output row is emitted per matching pair.
+Result<Cube> JoinCubes(const Cube& left, const Cube& right,
+                       const std::vector<std::string>& join_levels,
+                       const std::string& right_prefix, bool left_outer);
+
+/// \brief Concatenating partial join: the general ⋈_{l1..lm} of the paper,
+/// where all p cells of `right` matching a left cell contribute their
+/// measures to one widened output row. Matches are ordered by the right
+/// cube's `order_level` member ids (chronological for temporal levels) and
+/// renamed `slot_names[slot][measure]`; `expected` fixes p. When
+/// `require_complete`, left cells with fewer than `expected` matches are
+/// dropped; otherwise missing slots are null.
+Result<Cube> ConcatJoinCubes(const Cube& left, const Cube& right,
+                             const std::vector<std::string>& join_levels,
+                             const std::string& order_level, int expected,
+                             const std::vector<std::vector<std::string>>&
+                                 slot_names,
+                             bool require_complete);
+
+/// \brief Client-side pivot ⊞: folds the slices of `level` for
+/// `other_members` into extra measures named `slot_names[slot][measure]`,
+/// keeping only the `reference_member` slice (Definition in Section 4.2,
+/// Figure 2). `require_complete` mirrors Listing 5's NOT NULL filter.
+Result<Cube> PivotCube(const Cube& cube, const std::string& level,
+                       const std::string& reference_member,
+                       const std::vector<std::string>& other_members,
+                       const std::vector<std::vector<std::string>>& slot_names,
+                       bool require_complete);
+
+/// \brief Scalar function for cell-at-a-time transforms: receives the input
+/// measures of one cell.
+using CellFn = std::function<double(std::span<const double>)>;
+
+/// \brief Holistic function: receives whole input columns, writes the output
+/// column (same length), and may fail (e.g. degenerate normalization).
+using HolisticFn = std::function<Status(
+    const std::vector<std::span<const double>>& inputs,
+    std::span<double> out)>;
+
+/// \brief Cell-transform ⊟_{f -> name, M̄}: appends measure `name` computed
+/// cell-wise by `fn` over the measures named in `inputs`. With
+/// `null_propagates` (the default), cells with any null input get a null
+/// output; without it, `fn` receives the nulls (used by forecasting, which
+/// skips missing past slices instead of failing the cell).
+Status CellTransform(Cube* cube, const std::string& name,
+                     const std::vector<std::string>& inputs, const CellFn& fn,
+                     bool null_propagates = true);
+
+/// \brief H-transform ⊡_{f -> name, M̄}: appends measure `name` computed by
+/// the holistic `fn` from the whole input columns.
+Status HTransform(Cube* cube, const std::string& name,
+                  const std::vector<std::string>& inputs,
+                  const HolisticFn& fn);
+
+/// \brief Measure projection/renaming: returns a cube with the same cells
+/// but only the measures in `keep`, renamed first->second. Used to turn a
+/// forecast column into the benchmark measure m (Section 4.3, past case).
+Result<Cube> ProjectMeasures(
+    const Cube& cube,
+    const std::vector<std::pair<std::string, std::string>>& keep);
+
+/// \brief Appends a constant measure column (the constant benchmark m_const).
+void AddConstantMeasure(Cube* cube, const std::string& name, double value);
+
+/// \brief Deep copy standing in for the DBMS-to-client result transfer
+/// (cursor serialization in the paper's Oracle/Python prototype). Every
+/// engine result consumed by client-side operators passes through this once.
+Cube TransferToClient(const Cube& cube);
+
+}  // namespace assess
+
+#endif  // ASSESS_ALGEBRA_OPERATORS_H_

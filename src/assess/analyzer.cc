@@ -1,0 +1,466 @@
+#include "assess/analyzer.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace assess {
+
+namespace {
+
+// Resolves surface predicates against `schema` into engine predicates.
+Result<std::vector<Predicate>> ResolvePredicates(
+    const CubeSchema& schema, const std::vector<PredicateSpec>& specs) {
+  std::vector<Predicate> out;
+  out.reserve(specs.size());
+  for (const PredicateSpec& spec : specs) {
+    Predicate p;
+    ASSESS_ASSIGN_OR_RETURN(p.hierarchy, schema.HierarchyOfLevel(spec.level));
+    ASSESS_ASSIGN_OR_RETURN(p.level,
+                            schema.hierarchy(p.hierarchy).LevelIndex(spec.level));
+    p.op = spec.op;
+    p.members = spec.members;
+    // Validate member names eagerly for =/IN so errors carry statement
+    // context instead of surfacing mid-execution.
+    if (p.op != PredicateOp::kBetween) {
+      for (const std::string& member : p.members) {
+        ASSESS_RETURN_NOT_OK(schema.hierarchy(p.hierarchy)
+                                 .MemberIdOf(p.level, member)
+                                 .status());
+      }
+    }
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+// Builds the default comparison expression difference(m, <benchmark>).
+FuncExpr DefaultUsing(const AnalyzedStatement& analyzed) {
+  std::vector<FuncExpr> args;
+  args.push_back(FuncExpr::Measure(analyzed.measure));
+  if (analyzed.type == BenchmarkType::kConstant) {
+    args.push_back(FuncExpr::Number(analyzed.constant));
+  } else {
+    args.push_back(FuncExpr::Measure(analyzed.benchmark_measure_name));
+  }
+  return FuncExpr::Call("difference", std::move(args));
+}
+
+// Validates that every function mentioned by `expr` exists with a matching
+// arity, and every measure reference is resolvable later (plain measure,
+// benchmark.<m>, or a numeric constant).
+bool IsPropertyCall(const FuncExpr& expr) {
+  return expr.kind == FuncExpr::Kind::kCall &&
+         EqualsIgnoreCase(expr.name, "property");
+}
+
+Status ValidateUsing(const FuncExpr& expr, const FunctionRegistry& functions) {
+  if (expr.kind != FuncExpr::Kind::kCall) return Status::OK();
+  if (IsPropertyCall(expr)) {
+    // property(<level>, <name>): both arguments are bare identifiers, not
+    // measures; resolution happens against the schema below.
+    if (expr.args.size() != 2 ||
+        expr.args[0].kind != FuncExpr::Kind::kMeasureRef ||
+        expr.args[1].kind != FuncExpr::Kind::kMeasureRef) {
+      return Status::InvalidArgument(
+          "property(...) expects a level name and a property name");
+    }
+    return Status::OK();
+  }
+  ASSESS_ASSIGN_OR_RETURN(const FunctionDef* def, functions.Find(expr.name));
+  if (def->arity >= 0 && def->arity != static_cast<int>(expr.args.size())) {
+    return Status::InvalidArgument(
+        "function '" + def->name + "' expects " + std::to_string(def->arity) +
+        " argument(s), got " + std::to_string(expr.args.size()));
+  }
+  for (const FuncExpr& arg : expr.args) {
+    ASSESS_RETURN_NOT_OK(ValidateUsing(arg, functions));
+  }
+  return Status::OK();
+}
+
+void CollectMeasureRefs(const FuncExpr& expr,
+                        std::vector<std::string>* refs) {
+  if (expr.kind == FuncExpr::Kind::kMeasureRef) {
+    refs->push_back(expr.name);
+  } else if (expr.kind == FuncExpr::Kind::kCall && !IsPropertyCall(expr)) {
+    // property(...) arguments are level/property names, not measures.
+    for (const FuncExpr& arg : expr.args) CollectMeasureRefs(arg, refs);
+  }
+}
+
+// Validates every property(level, name) reference: the level must be a
+// by-clause level (so each result cell has a coordinate to look the value
+// up with) and the property must exist on its hierarchy.
+Status ValidatePropertyRefs(const FuncExpr& expr, const CubeSchema& schema,
+                            const std::vector<std::string>& by_levels) {
+  if (expr.kind != FuncExpr::Kind::kCall) return Status::OK();
+  if (IsPropertyCall(expr)) {
+    const std::string& level_name = expr.args[0].name;
+    const std::string& property = expr.args[1].name;
+    if (std::find(by_levels.begin(), by_levels.end(), level_name) ==
+        by_levels.end()) {
+      return Status::InvalidArgument(
+          "property(" + level_name + ", " + property +
+          "): the level must appear in the by clause");
+    }
+    ASSESS_ASSIGN_OR_RETURN(int h, schema.HierarchyOfLevel(level_name));
+    ASSESS_ASSIGN_OR_RETURN(int l, schema.hierarchy(h).LevelIndex(level_name));
+    if (!schema.hierarchy(h).HasProperty(l, property)) {
+      return Status::NotFound("no property '" + property + "' on level '" +
+                              level_name + "'");
+    }
+    return Status::OK();
+  }
+  for (const FuncExpr& arg : expr.args) {
+    ASSESS_RETURN_NOT_OK(ValidatePropertyRefs(arg, schema, by_levels));
+  }
+  return Status::OK();
+}
+
+void AddMeasureOnce(std::vector<int>* measures, int index) {
+  if (std::find(measures->begin(), measures->end(), index) ==
+      measures->end()) {
+    measures->push_back(index);
+  }
+}
+
+// Derived-measure support (case (5) of the paper's introduction, e.g.
+// profit = storeSales - storeCost): every measure the using clause
+// references beyond m is added to the target get, and every benchmark.<x>
+// reference to the benchmark get, so the comparison has all its inputs.
+Status WidenFetchedMeasures(AnalyzedStatement* analyzed,
+                            const StarDatabase& db) {
+  const CubeSchema& schema = *analyzed->schema;
+  std::vector<std::string> refs;
+  CollectMeasureRefs(analyzed->using_expr, &refs);
+  for (const std::string& ref : refs) {
+    if (StartsWith(ref, "benchmark.")) {
+      std::string name = ref.substr(10);
+      switch (analyzed->type) {
+        case BenchmarkType::kNone:
+        case BenchmarkType::kConstant:
+          return Status::InvalidArgument(
+              "'" + ref + "': constant benchmarks have no benchmark cube");
+        case BenchmarkType::kPast:
+          if (name != analyzed->measure) {
+            return Status::InvalidArgument(
+                "'" + ref + "': past benchmarks only forecast the assessed "
+                "measure '" + analyzed->measure + "'");
+          }
+          break;
+        case BenchmarkType::kExternal: {
+          ASSESS_ASSIGN_OR_RETURN(const BoundCube* ext,
+                                  db.Find(analyzed->benchmark.cube_name));
+          ASSESS_ASSIGN_OR_RETURN(int idx,
+                                  ext->schema().MeasureIndex(name));
+          AddMeasureOnce(&analyzed->benchmark.measures, idx);
+          break;
+        }
+        case BenchmarkType::kSibling:
+        case BenchmarkType::kAncestor: {
+          ASSESS_ASSIGN_OR_RETURN(int idx, schema.MeasureIndex(name));
+          AddMeasureOnce(&analyzed->benchmark.measures, idx);
+          break;
+        }
+      }
+    } else {
+      ASSESS_ASSIGN_OR_RETURN(int idx, schema.MeasureIndex(ref));
+      AddMeasureOnce(&analyzed->target.measures, idx);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> PredecessorMembers(const Hierarchy& hierarchy,
+                                                    int level,
+                                                    const std::string& member,
+                                                    int k) {
+  int32_t card = hierarchy.LevelCardinality(level);
+  std::vector<std::string> all;
+  all.reserve(card);
+  for (MemberId id = 0; id < card; ++id) {
+    all.push_back(hierarchy.MemberName(level, id));
+  }
+  std::sort(all.begin(), all.end());
+  auto it = std::lower_bound(all.begin(), all.end(), member);
+  if (it == all.end() || *it != member) {
+    return Status::NotFound("no member '" + member + "' in level '" +
+                            hierarchy.level_name(level) + "'");
+  }
+  int64_t index = it - all.begin();
+  if (index < k) {
+    return Status::InvalidArgument(
+        "level '" + hierarchy.level_name(level) + "' has only " +
+        std::to_string(index) + " member(s) before '" + member +
+        "', but past " + std::to_string(k) + " was requested");
+  }
+  return std::vector<std::string>(all.begin() + (index - k),
+                                  all.begin() + index);
+}
+
+Result<AnalyzedStatement> Analyze(const AssessStatement& stmt,
+                                  const StarDatabase& db,
+                                  const FunctionRegistry& functions,
+                                  const LabelingRegistry& labelings,
+                                  const AnalyzerOptions& options) {
+  AnalyzedStatement analyzed;
+  analyzed.stmt = stmt;
+  analyzed.star = stmt.star;
+  analyzed.forecast = options.forecast;
+
+  ASSESS_ASSIGN_OR_RETURN(const BoundCube* bound, db.Find(stmt.cube));
+  analyzed.schema = bound->schema_ptr();
+  const CubeSchema& schema = *analyzed.schema;
+
+  // -- Target cube query ---------------------------------------------------
+  ASSESS_ASSIGN_OR_RETURN(analyzed.measure_index,
+                          schema.MeasureIndex(stmt.measure));
+  analyzed.measure = stmt.measure;
+  analyzed.target.cube_name = stmt.cube;
+  ASSESS_ASSIGN_OR_RETURN(
+      analyzed.target.group_by,
+      GroupBySet::FromLevelNames(schema, stmt.by_levels));
+  ASSESS_ASSIGN_OR_RETURN(analyzed.target.predicates,
+                          ResolvePredicates(schema, stmt.for_predicates));
+  analyzed.target.measures = {analyzed.measure_index};
+
+  // -- Benchmark -------------------------------------------------------
+  analyzed.type = stmt.against.type == BenchmarkType::kNone
+                      ? BenchmarkType::kConstant
+                      : stmt.against.type;
+  switch (stmt.against.type) {
+    case BenchmarkType::kNone:
+      // "Directly assess the measure value": dummy all-zero benchmark.
+      analyzed.constant = 0.0;
+      analyzed.benchmark_measure_name = "benchmark";
+      break;
+    case BenchmarkType::kConstant:
+      analyzed.constant = stmt.against.constant;
+      analyzed.benchmark_measure_name = "benchmark";
+      break;
+    case BenchmarkType::kExternal: {
+      ASSESS_ASSIGN_OR_RETURN(const BoundCube* ext,
+                              db.Find(stmt.against.external_cube));
+      const CubeSchema& ext_schema = ext->schema();
+      ASSESS_RETURN_NOT_OK(
+          ext_schema.MeasureIndex(stmt.against.external_measure).status());
+      analyzed.external_measure = stmt.against.external_measure;
+      analyzed.benchmark.cube_name = stmt.against.external_cube;
+      analyzed.benchmark.alias = "benchmark";
+      // Joinability (Definition 3.1): the benchmark must support the same
+      // group-by set; with reconciled hierarchies this means every by-level
+      // must exist in the external schema.
+      Result<GroupBySet> gbs =
+          GroupBySet::FromLevelNames(ext_schema, stmt.by_levels);
+      if (!gbs.ok()) {
+        return Status::InvalidArgument(
+            "cubes are not joinable: " + gbs.status().message());
+      }
+      analyzed.benchmark.group_by = std::move(gbs).value();
+      ASSESS_ASSIGN_OR_RETURN(
+          analyzed.benchmark.predicates,
+          ResolvePredicates(ext_schema, stmt.for_predicates));
+      ASSESS_ASSIGN_OR_RETURN(
+          int ext_measure, ext_schema.MeasureIndex(analyzed.external_measure));
+      analyzed.benchmark.measures = {ext_measure};
+      analyzed.benchmark_measure_name =
+          "benchmark." + analyzed.external_measure;
+      analyzed.join_levels = stmt.by_levels;
+      break;
+    }
+    case BenchmarkType::kSibling: {
+      analyzed.sibling_level = stmt.against.sibling_level;
+      analyzed.sibling_sib = stmt.against.sibling_member;
+      if (std::find(stmt.by_levels.begin(), stmt.by_levels.end(),
+                    analyzed.sibling_level) == stmt.by_levels.end()) {
+        return Status::InvalidArgument(
+            "sibling level '" + analyzed.sibling_level +
+            "' must appear in the by clause");
+      }
+      // The for clause must slice the sibling level on a single member.
+      const PredicateSpec* slice = nullptr;
+      for (const PredicateSpec& p : stmt.for_predicates) {
+        if (p.level == analyzed.sibling_level &&
+            p.op == PredicateOp::kEquals) {
+          slice = &p;
+          break;
+        }
+      }
+      if (slice == nullptr) {
+        return Status::InvalidArgument(
+            "sibling benchmarks need a for predicate '" +
+            analyzed.sibling_level + " = <member>' slicing the target");
+      }
+      analyzed.sibling_member = slice->members[0];
+      if (analyzed.sibling_member == analyzed.sibling_sib) {
+        return Status::InvalidArgument(
+            "sibling member must differ from the target slice '" +
+            analyzed.sibling_member + "'");
+      }
+      // Validate u_sib exists.
+      ASSESS_ASSIGN_OR_RETURN(int h,
+                              schema.HierarchyOfLevel(analyzed.sibling_level));
+      ASSESS_ASSIGN_OR_RETURN(
+          int l, schema.hierarchy(h).LevelIndex(analyzed.sibling_level));
+      ASSESS_RETURN_NOT_OK(
+          schema.hierarchy(h).MemberIdOf(l, analyzed.sibling_sib).status());
+      // Benchmark query: P_B = P \ {l_s = u} ∪ {l_s = u_sib}.
+      analyzed.benchmark = analyzed.target;
+      analyzed.benchmark.alias = "benchmark";
+      for (Predicate& p : analyzed.benchmark.predicates) {
+        if (p.hierarchy == h && p.level == l &&
+            p.op == PredicateOp::kEquals &&
+            p.members[0] == analyzed.sibling_member) {
+          p.members[0] = analyzed.sibling_sib;
+        }
+      }
+      analyzed.benchmark_measure_name = "benchmark." + analyzed.measure;
+      for (const std::string& level : stmt.by_levels) {
+        if (level != analyzed.sibling_level) {
+          analyzed.join_levels.push_back(level);
+        }
+      }
+      break;
+    }
+    case BenchmarkType::kPast: {
+      analyzed.past_k = stmt.against.past_k;
+      // Find the temporal slice: an equality for-predicate on a level of a
+      // temporal hierarchy that also appears in the by clause.
+      const PredicateSpec* slice = nullptr;
+      int h = -1;
+      int l = -1;
+      for (const PredicateSpec& p : stmt.for_predicates) {
+        if (p.op != PredicateOp::kEquals) continue;
+        Result<int> hr = schema.HierarchyOfLevel(p.level);
+        if (!hr.ok()) continue;
+        if (!schema.hierarchy(*hr).temporal()) continue;
+        if (std::find(stmt.by_levels.begin(), stmt.by_levels.end(), p.level) ==
+            stmt.by_levels.end()) {
+          continue;
+        }
+        slice = &p;
+        h = *hr;
+        ASSESS_ASSIGN_OR_RETURN(l, schema.hierarchy(h).LevelIndex(p.level));
+        break;
+      }
+      if (slice == nullptr) {
+        return Status::InvalidArgument(
+            "past benchmarks need a for predicate slicing a temporal level "
+            "that appears in the by clause");
+      }
+      analyzed.time_level = slice->level;
+      analyzed.time_member = slice->members[0];
+      ASSESS_ASSIGN_OR_RETURN(
+          analyzed.past_members,
+          PredecessorMembers(schema.hierarchy(h), l, analyzed.time_member,
+                             analyzed.past_k));
+      // Benchmark query: P_B = P \ {l_t = u} ∪ {l_t in {u_1..u_k}}.
+      analyzed.benchmark = analyzed.target;
+      analyzed.benchmark.alias = "benchmark";
+      for (Predicate& p : analyzed.benchmark.predicates) {
+        if (p.hierarchy == h && p.level == l && p.op == PredicateOp::kEquals &&
+            p.members[0] == analyzed.time_member) {
+          p.op = PredicateOp::kIn;
+          p.members = analyzed.past_members;
+        }
+      }
+      analyzed.benchmark_measure_name = "benchmark." + analyzed.measure;
+      for (const std::string& level : stmt.by_levels) {
+        if (level != analyzed.time_level) {
+          analyzed.join_levels.push_back(level);
+        }
+      }
+      break;
+    }
+    case BenchmarkType::kAncestor: {
+      analyzed.ancestor_level = stmt.against.ancestor_level;
+      ASSESS_ASSIGN_OR_RETURN(int h,
+                              schema.HierarchyOfLevel(analyzed.ancestor_level));
+      const Hierarchy& hier = schema.hierarchy(h);
+      ASSESS_ASSIGN_OR_RETURN(int la, hier.LevelIndex(analyzed.ancestor_level));
+      // The for clause must slice a finer level of the same hierarchy that
+      // also appears in the by clause; its member is compared against its
+      // l_a ancestor.
+      const PredicateSpec* slice = nullptr;
+      int l = -1;
+      for (const PredicateSpec& p : stmt.for_predicates) {
+        if (p.op != PredicateOp::kEquals) continue;
+        if (!hier.HasLevel(p.level)) continue;
+        ASSESS_ASSIGN_OR_RETURN(int pl, hier.LevelIndex(p.level));
+        if (pl >= la) continue;  // must be strictly finer than l_a
+        if (std::find(stmt.by_levels.begin(), stmt.by_levels.end(), p.level) ==
+            stmt.by_levels.end()) {
+          continue;
+        }
+        slice = &p;
+        l = pl;
+        break;
+      }
+      if (slice == nullptr) {
+        return Status::InvalidArgument(
+            "ancestor benchmarks need a for predicate slicing a level of "
+            "hierarchy '" +
+            hier.name() + "' finer than '" + analyzed.ancestor_level +
+            "' and present in the by clause");
+      }
+      analyzed.sliced_level = slice->level;
+      analyzed.sliced_member = slice->members[0];
+      ASSESS_ASSIGN_OR_RETURN(MemberId u,
+                              hier.MemberIdOf(l, analyzed.sliced_member));
+      MemberId anc = hier.RollUpMember(l, u, la);
+      if (anc == kInvalidMember) {
+        return Status::Internal("member '" + analyzed.sliced_member +
+                                "' has no ancestor at level '" +
+                                analyzed.ancestor_level + "'");
+      }
+      analyzed.ancestor_member = hier.MemberName(la, anc);
+      // Benchmark query: group-by with l replaced by l_a, predicate
+      // l = u replaced by l_a = rup(u).
+      analyzed.benchmark = analyzed.target;
+      analyzed.benchmark.alias = "benchmark";
+      analyzed.benchmark.group_by.SetLevel(h, la);
+      for (Predicate& p : analyzed.benchmark.predicates) {
+        if (p.hierarchy == h && p.level == l && p.op == PredicateOp::kEquals &&
+            p.members[0] == analyzed.sliced_member) {
+          p.level = la;
+          p.members[0] = analyzed.ancestor_member;
+        }
+      }
+      analyzed.benchmark_measure_name = "benchmark." + analyzed.measure;
+      for (const std::string& level : stmt.by_levels) {
+        if (level != analyzed.sliced_level) {
+          analyzed.join_levels.push_back(level);
+        }
+      }
+      break;
+    }
+  }
+
+  // -- Comparison ------------------------------------------------------
+  if (stmt.using_expr.has_value()) {
+    ASSESS_RETURN_NOT_OK(ValidateUsing(*stmt.using_expr, functions));
+    analyzed.using_expr = *stmt.using_expr;
+  } else {
+    analyzed.using_expr = DefaultUsing(analyzed);
+  }
+  ASSESS_RETURN_NOT_OK(WidenFetchedMeasures(&analyzed, db));
+  ASSESS_RETURN_NOT_OK(
+      ValidatePropertyRefs(analyzed.using_expr, schema, stmt.by_levels));
+
+  // -- Labeling ----------------------------------------------------------
+  if (stmt.labels.is_inline) {
+    ASSESS_ASSIGN_OR_RETURN(RangeLabeling ranges,
+                            RangeLabeling::Make(stmt.labels.ranges));
+    analyzed.label_function =
+        std::make_shared<RangeLabeling>(std::move(ranges));
+  } else {
+    ASSESS_ASSIGN_OR_RETURN(analyzed.label_function,
+                            labelings.Find(stmt.labels.named));
+  }
+  return analyzed;
+}
+
+}  // namespace assess

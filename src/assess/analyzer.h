@@ -1,0 +1,100 @@
+#ifndef ASSESS_ASSESS_ANALYZER_H_
+#define ASSESS_ASSESS_ANALYZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "assess/ast.h"
+#include "common/result.h"
+#include "forecast/forecast.h"
+#include "functions/function_registry.h"
+#include "labeling/label_function.h"
+#include "storage/star_schema.h"
+
+namespace assess {
+
+/// \brief A statement after semantic analysis: names resolved against the
+/// database, the benchmark typed, the cube queries of the Section 4.3
+/// semantics built, and the labeling function instantiated.
+struct AnalyzedStatement {
+  AssessStatement stmt;
+
+  std::shared_ptr<CubeSchema> schema;
+  BenchmarkType type = BenchmarkType::kConstant;
+  bool star = false;
+
+  /// The get of the target cube: [(C0, G, P, M)].
+  CubeQuery target;
+  std::string measure;  // m
+  int measure_index = 0;
+
+  // -- Constant benchmark (also the implicit all-zero one) --------------
+  double constant = 0.0;
+
+  /// The get of the benchmark cube (external / sibling / past), aliased
+  /// "benchmark". For past, its time predicate selects the k past members.
+  CubeQuery benchmark;
+
+  // -- External ----------------------------------------------------------
+  std::string external_measure;  // m_b
+
+  // -- Sibling -----------------------------------------------------------
+  std::string sibling_level;   // l_s
+  std::string sibling_member;  // u (the target's slice)
+  std::string sibling_sib;     // u_sib
+
+  // -- Past --------------------------------------------------------------
+  std::string time_level;                 // l_t
+  std::string time_member;                // u
+  std::vector<std::string> past_members;  // u_1..u_k, chronological
+  int past_k = 0;
+  ForecastMethod forecast = ForecastMethod::kLinearRegression;
+
+  // -- Ancestor (future-work extension) -----------------------------------
+  std::string ancestor_level;   // l_a (coarser level of the sliced hierarchy)
+  std::string ancestor_member;  // rup_{l_a}(u)
+  std::string sliced_level;     // l (the sliced level in the by clause)
+  std::string sliced_member;    // u
+
+  /// Levels of the partial join C ⋈_{G\l} B (all by-levels for external,
+  /// G minus the sliced level for sibling/past).
+  std::vector<std::string> join_levels;
+
+  /// The comparison expression (defaulted to difference(m, benchmark) when
+  /// the using clause is absent).
+  FuncExpr using_expr;
+
+  /// Name of the benchmark measure m_B in the final cube ("benchmark" for
+  /// constants, "benchmark.<measure>" otherwise).
+  std::string benchmark_measure_name;
+
+  std::shared_ptr<const LabelFunction> label_function;
+};
+
+/// \brief Options controlling analysis.
+struct AnalyzerOptions {
+  ForecastMethod forecast = ForecastMethod::kLinearRegression;
+};
+
+/// \brief Resolves `stmt` against the database and registries, checking
+/// joinability (Definition 3.1) and the well-formedness rules of Section
+/// 4.1 (e.g. the sibling slice must appear in the for clause, the past
+/// level must be temporal and in the group-by set).
+Result<AnalyzedStatement> Analyze(const AssessStatement& stmt,
+                                  const StarDatabase& db,
+                                  const FunctionRegistry& functions,
+                                  const LabelingRegistry& labelings,
+                                  const AnalyzerOptions& options = {});
+
+/// \brief The k members chronologically preceding `member` in Dom(level)
+/// of `hierarchy` (member-name order, which is chronological for ISO date
+/// members). Fails when fewer than k predecessors exist.
+Result<std::vector<std::string>> PredecessorMembers(const Hierarchy& hierarchy,
+                                                    int level,
+                                                    const std::string& member,
+                                                    int k);
+
+}  // namespace assess
+
+#endif  // ASSESS_ASSESS_ANALYZER_H_

@@ -1,0 +1,97 @@
+#include "assess/ast.h"
+
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace assess {
+
+std::string PredicateSpec::ToString() const {
+  std::ostringstream out;
+  switch (op) {
+    case PredicateOp::kEquals:
+      out << level << " = '" << members[0] << "'";
+      break;
+    case PredicateOp::kIn: {
+      std::vector<std::string> quoted;
+      quoted.reserve(members.size());
+      for (const std::string& m : members) quoted.push_back("'" + m + "'");
+      out << level << " in (" << Join(quoted, ", ") << ")";
+      break;
+    }
+    case PredicateOp::kBetween:
+      out << level << " between '" << members[0] << "' and '" << members[1]
+          << "'";
+      break;
+  }
+  return out.str();
+}
+
+std::string_view BenchmarkTypeToString(BenchmarkType type) {
+  switch (type) {
+    case BenchmarkType::kNone:
+      return "none";
+    case BenchmarkType::kConstant:
+      return "constant";
+    case BenchmarkType::kExternal:
+      return "external";
+    case BenchmarkType::kSibling:
+      return "sibling";
+    case BenchmarkType::kPast:
+      return "past";
+    case BenchmarkType::kAncestor:
+      return "ancestor";
+  }
+  return "?";
+}
+
+std::string BenchmarkClause::ToString() const {
+  switch (type) {
+    case BenchmarkType::kNone:
+      return "";
+    case BenchmarkType::kConstant:
+      return FormatNumber(constant);
+    case BenchmarkType::kExternal:
+      return external_cube + "." + external_measure;
+    case BenchmarkType::kSibling:
+      return sibling_level + " = '" + sibling_member + "'";
+    case BenchmarkType::kPast:
+      return "past " + std::to_string(past_k);
+    case BenchmarkType::kAncestor:
+      return ancestor_level;
+  }
+  return "";
+}
+
+std::string LabelsClause::ToString() const {
+  if (!is_inline) return named;
+  std::string out = "{";
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += ranges[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+std::string AssessStatement::ToString() const {
+  std::ostringstream out;
+  out << "with " << cube;
+  if (!for_predicates.empty()) {
+    out << " for ";
+    for (size_t i = 0; i < for_predicates.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << for_predicates[i].ToString();
+    }
+  }
+  out << " by " << Join(by_levels, ", ");
+  out << (star ? " assess* " : " assess ") << measure;
+  if (against.type != BenchmarkType::kNone) {
+    out << " against " << against.ToString();
+  }
+  if (using_expr.has_value()) out << " using " << using_expr->ToString();
+  out << " labels " << labels.ToString();
+  return out.str();
+}
+
+}  // namespace assess

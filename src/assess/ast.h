@@ -1,0 +1,92 @@
+#ifndef ASSESS_ASSESS_AST_H_
+#define ASSESS_ASSESS_AST_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "functions/expression.h"
+#include "labeling/range_labeling.h"
+#include "olap/cube_query.h"
+
+namespace assess {
+
+/// \brief A for-clause predicate in surface form (level names unresolved).
+struct PredicateSpec {
+  std::string level;
+  PredicateOp op = PredicateOp::kEquals;
+  std::vector<std::string> members;
+
+  std::string ToString() const;
+};
+
+/// \brief The four benchmark families of Section 3.1, plus kNone for the
+/// "assess the measure value directly" case (a dummy all-zero benchmark)
+/// and kAncestor for the roll-up benchmark sketched in the paper's future
+/// work (Section 8: "let the sales of milk be assessed against those of
+/// drinks, i.e., against an ancestor of milk in the roll-up order").
+enum class BenchmarkType {
+  kNone,
+  kConstant,
+  kExternal,
+  kSibling,
+  kPast,
+  kAncestor,
+};
+
+std::string_view BenchmarkTypeToString(BenchmarkType type);
+
+/// \brief The against clause in surface form.
+struct BenchmarkClause {
+  BenchmarkType type = BenchmarkType::kNone;
+  // kConstant
+  double constant = 0.0;
+  // kExternal: against B.m_b
+  std::string external_cube;
+  std::string external_measure;
+  // kSibling: against l_s = 'u_sib'
+  std::string sibling_level;
+  std::string sibling_member;
+  // kPast: against past k
+  int past_k = 0;
+  // kAncestor: against <coarser level of a sliced hierarchy>
+  std::string ancestor_level;
+
+  std::string ToString() const;
+};
+
+/// \brief The labels clause: either a predeclared function name or an
+/// inline set of ranges.
+struct LabelsClause {
+  bool is_inline = false;
+  std::string named;
+  std::vector<LabelRange> ranges;
+
+  std::string ToString() const;
+};
+
+/// \brief A parsed assess statement (Section 4.1):
+///
+///   with C0 [ for P ] by G
+///   assess|assess* m [ against <benchmark> ]
+///   [ using <function> ] labels λ
+struct AssessStatement {
+  std::string cube;
+  std::vector<PredicateSpec> for_predicates;
+  std::vector<std::string> by_levels;
+  bool star = false;  // assess* returns non-matching cells with null labels
+  std::string measure;
+  BenchmarkClause against;
+  std::optional<FuncExpr> using_expr;
+  LabelsClause labels;
+
+  /// The verbatim statement text, kept for the formulation-effort metric.
+  std::string original_text;
+
+  /// \brief Canonical surface rendering (independent of original_text).
+  std::string ToString() const;
+};
+
+}  // namespace assess
+
+#endif  // ASSESS_ASSESS_AST_H_

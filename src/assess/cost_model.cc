@@ -1,0 +1,182 @@
+#include "assess/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace assess {
+
+namespace {
+
+// Fraction of Dom(level) members matched by one predicate.
+double PredicateSelectivity(const Hierarchy& hierarchy,
+                            const Predicate& predicate) {
+  double card =
+      std::max<double>(1.0, hierarchy.LevelCardinality(predicate.level));
+  switch (predicate.op) {
+    case PredicateOp::kEquals:
+      return 1.0 / card;
+    case PredicateOp::kIn:
+      return std::min(1.0, static_cast<double>(predicate.members.size()) /
+                               card);
+    case PredicateOp::kBetween: {
+      // Count matching members exactly; dictionaries are in memory and
+      // levels with range predicates (months) are small.
+      int64_t matched = 0;
+      for (MemberId m = 0; m < hierarchy.LevelCardinality(predicate.level);
+           ++m) {
+        const std::string& name = hierarchy.MemberName(predicate.level, m);
+        if (name >= predicate.members[0] && name <= predicate.members[1]) {
+          ++matched;
+        }
+      }
+      return static_cast<double>(matched) / card;
+    }
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+Result<double> CostEstimator::EstimateSelectivity(
+    const CubeSchema& schema,
+    const std::vector<Predicate>& predicates) const {
+  double selectivity = 1.0;
+  for (const Predicate& p : predicates) {
+    if (p.hierarchy < 0 || p.hierarchy >= schema.hierarchy_count()) {
+      return Status::InvalidArgument("predicate on unknown hierarchy");
+    }
+    selectivity *= PredicateSelectivity(schema.hierarchy(p.hierarchy), p);
+  }
+  return selectivity;
+}
+
+Result<double> CostEstimator::EstimateCells(const CubeQuery& query) const {
+  ASSESS_ASSIGN_OR_RETURN(const BoundCube* bound, db_->Find(query.cube_name));
+  const CubeSchema& schema = bound->schema();
+  ASSESS_ASSIGN_OR_RETURN(double selectivity,
+                          EstimateSelectivity(schema, query.predicates));
+  double rows = static_cast<double>(bound->facts().NumRows()) * selectivity;
+  double space = 1.0;
+  for (int h = 0; h < schema.hierarchy_count(); ++h) {
+    if (!query.group_by.HasHierarchy(h)) continue;
+    int level = query.group_by.LevelOf(h);
+    double card = schema.hierarchy(h).LevelCardinality(level);
+    // Predicates on this hierarchy shrink the populated part of the axis.
+    double axis_selectivity = 1.0;
+    for (const Predicate& p : query.predicates) {
+      if (p.hierarchy != h) continue;
+      axis_selectivity =
+          std::min(axis_selectivity,
+                   PredicateSelectivity(schema.hierarchy(h), p) *
+                       std::max(1.0, card / std::max<double>(
+                                         1.0, schema.hierarchy(h)
+                                                  .LevelCardinality(p.level))));
+    }
+    space *= std::max(1.0, card * std::min(1.0, axis_selectivity));
+  }
+  // Poisson occupancy: expected distinct coordinates hit by `rows` events.
+  if (space <= 0.0) return 0.0;
+  return space * (1.0 - std::exp(-rows / space));
+}
+
+Result<double> CostEstimator::EstimatePlanCost(
+    const AnalyzedStatement& analyzed, PlanKind plan) const {
+  if (!IsPlanFeasible(analyzed, plan)) {
+    return Status::NotSupported(
+        std::string(PlanKindToString(plan)) + " is not feasible for " +
+        std::string(BenchmarkTypeToString(analyzed.type)) + " benchmarks");
+  }
+  ASSESS_ASSIGN_OR_RETURN(const BoundCube* target_cube,
+                          db_->Find(analyzed.target.cube_name));
+  double facts = static_cast<double>(target_cube->facts().NumRows());
+  ASSESS_ASSIGN_OR_RETURN(double target_cells,
+                          EstimateCells(analyzed.target));
+
+  const CostModelWeights& w = weights_;
+  double cost = 0.0;
+
+  if (analyzed.type == BenchmarkType::kNone ||
+      analyzed.type == BenchmarkType::kConstant) {
+    cost += facts * w.scan_per_fact + target_cells * w.aggregate_per_group;
+    cost += target_cells * w.transfer_per_cell;
+    return cost;
+  }
+
+  ASSESS_ASSIGN_OR_RETURN(const BoundCube* benchmark_cube,
+                          db_->Find(analyzed.benchmark.cube_name));
+  double benchmark_facts =
+      static_cast<double>(benchmark_cube->facts().NumRows());
+  ASSESS_ASSIGN_OR_RETURN(double benchmark_cells,
+                          EstimateCells(analyzed.benchmark));
+  double joined_cells = std::min(target_cells, benchmark_cells);
+
+  double transform_cells = 0.0;
+  if (analyzed.type == BenchmarkType::kPast) {
+    // The forecast runs once per benchmark cell group (k past points).
+    transform_cells = std::max(benchmark_cells / std::max(1, analyzed.past_k),
+                               joined_cells);
+  }
+
+  switch (plan) {
+    case PlanKind::kNP:
+      cost += facts * w.scan_per_fact + target_cells * w.aggregate_per_group;
+      cost += benchmark_facts * w.scan_per_fact +
+              benchmark_cells * w.aggregate_per_group;
+      cost += (target_cells + benchmark_cells) * w.transfer_per_cell;
+      cost += (target_cells + benchmark_cells) * w.join_per_cell;
+      if (analyzed.type == BenchmarkType::kPast) {
+        cost += benchmark_cells * w.pivot_per_cell;
+        cost += transform_cells * w.transform_per_cell;
+      }
+      break;
+    case PlanKind::kJOP:
+      cost += facts * w.scan_per_fact + target_cells * w.aggregate_per_group;
+      cost += benchmark_facts * w.scan_per_fact +
+              benchmark_cells * w.aggregate_per_group;
+      // The join happens engine-side; only matching rows are marshalled.
+      cost += (target_cells + benchmark_cells) * w.join_per_cell;
+      cost += joined_cells * w.transfer_per_cell;
+      if (analyzed.type == BenchmarkType::kPast) {
+        cost += transform_cells * w.transform_per_cell;
+      }
+      break;
+    case PlanKind::kPOP: {
+      // A single scan retrieves every slice at once.
+      cost += facts * w.scan_per_fact;
+      double all_cells = target_cells + benchmark_cells;
+      cost += all_cells * w.aggregate_per_group;
+      cost += all_cells * w.pivot_per_cell;
+      cost += target_cells * w.transfer_per_cell;
+      if (analyzed.type == BenchmarkType::kPast) {
+        cost += transform_cells * w.transform_per_cell;
+      }
+      break;
+    }
+  }
+  return cost;
+}
+
+Result<std::vector<PlanCost>> CostEstimator::RankPlans(
+    const AnalyzedStatement& analyzed) const {
+  std::vector<PlanCost> ranked;
+  for (PlanKind plan : FeasiblePlans(analyzed)) {
+    ASSESS_ASSIGN_OR_RETURN(double cost, EstimatePlanCost(analyzed, plan));
+    ranked.push_back(PlanCost{plan, cost});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const PlanCost& a, const PlanCost& b) {
+              return a.cost < b.cost;
+            });
+  return ranked;
+}
+
+Result<PlanKind> CostEstimator::ChoosePlan(
+    const AnalyzedStatement& analyzed) const {
+  ASSESS_ASSIGN_OR_RETURN(std::vector<PlanCost> ranked, RankPlans(analyzed));
+  if (ranked.empty()) {
+    return Status::Internal("no feasible plan");
+  }
+  return ranked.front().plan;
+}
+
+}  // namespace assess

@@ -1,0 +1,38 @@
+#include "assess/effort.h"
+
+#include "assess/python_codegen.h"
+#include "sqlgen/sql_generator.h"
+
+namespace assess {
+
+Result<EffortReport> MeasureFormulationEffort(const AnalyzedStatement& analyzed,
+                                              const StarDatabase& db) {
+  EffortReport report;
+  SqlGenerator gen(analyzed.schema.get());
+
+  // NP pushes only the get operations to SQL.
+  ASSESS_ASSIGN_OR_RETURN(std::string sql_c, gen.RenderGet(analyzed.target));
+  report.sql_chars = static_cast<int64_t>(sql_c.size());
+  if (analyzed.type == BenchmarkType::kExternal) {
+    ASSESS_ASSIGN_OR_RETURN(const BoundCube* ext,
+                            db.Find(analyzed.benchmark.cube_name));
+    SqlGenerator ext_gen(ext->schema_ptr().get());
+    ASSESS_ASSIGN_OR_RETURN(std::string sql_b,
+                            ext_gen.RenderGet(analyzed.benchmark));
+    report.sql_chars += static_cast<int64_t>(sql_b.size());
+  } else if (analyzed.type == BenchmarkType::kSibling ||
+             analyzed.type == BenchmarkType::kPast ||
+             analyzed.type == BenchmarkType::kAncestor) {
+    ASSESS_ASSIGN_OR_RETURN(std::string sql_b,
+                            gen.RenderGet(analyzed.benchmark));
+    report.sql_chars += static_cast<int64_t>(sql_b.size());
+  }
+
+  report.python_chars =
+      static_cast<int64_t>(GeneratePythonScript(analyzed).size());
+  report.assess_chars =
+      static_cast<int64_t>(analyzed.stmt.original_text.size());
+  return report;
+}
+
+}  // namespace assess

@@ -1,0 +1,32 @@
+#ifndef ASSESS_ASSESS_EFFORT_H_
+#define ASSESS_ASSESS_EFFORT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "assess/analyzer.h"
+#include "common/result.h"
+
+namespace assess {
+
+/// \brief Formulation effort for one statement under the ASCII-length
+/// metric of Jain et al. [11] used in Table 1: the character counts of the
+/// SQL and Python code the user would otherwise craft, versus the assess
+/// statement itself.
+struct EffortReport {
+  int64_t sql_chars = 0;
+  int64_t python_chars = 0;
+  int64_t assess_chars = 0;
+
+  int64_t total_chars() const { return sql_chars + python_chars; }
+};
+
+/// \brief Computes the Table 1 metric for `analyzed`. Following the paper,
+/// the SQL and Python sides are taken from the code generated for the least
+/// complex plan (NP): the NP get statements plus the Pandas client script.
+Result<EffortReport> MeasureFormulationEffort(const AnalyzedStatement& analyzed,
+                                              const StarDatabase& db);
+
+}  // namespace assess
+
+#endif  // ASSESS_ASSESS_EFFORT_H_

@@ -1,0 +1,401 @@
+#include "assess/executor.h"
+
+#include <algorithm>
+#include <span>
+
+#include "algebra/operators.h"
+#include "common/stopwatch.h"
+#include "common/str_util.h"
+#include "forecast/forecast.h"
+#include "functions/expression.h"
+#include "sqlgen/sql_generator.h"
+
+namespace assess {
+
+namespace {
+
+// Names of the pivot/concat-join slots holding the k past values. The
+// assessed measure's slot i is "past<i>"; any extra measures the query
+// carries (derived-measure support) get suffixed names the regression
+// ignores.
+std::vector<std::vector<std::string>> PastSlotNames(
+    int k, const CubeSchema& schema, const std::vector<int>& measures,
+    const std::string& primary) {
+  std::vector<std::vector<std::string>> names;
+  names.reserve(k);
+  for (int i = 1; i <= k; ++i) {
+    std::vector<std::string> slot;
+    for (int m : measures) {
+      const std::string& name = schema.measure(m).name;
+      slot.push_back(name == primary
+                         ? "past" + std::to_string(i)
+                         : "past" + std::to_string(i) + "." + name);
+    }
+    names.push_back(std::move(slot));
+  }
+  return names;
+}
+
+// Input measure names past1..pastk.
+std::vector<std::string> PastInputs(int k) {
+  std::vector<std::string> inputs;
+  inputs.reserve(k);
+  for (int i = 1; i <= k; ++i) inputs.push_back("past" + std::to_string(i));
+  return inputs;
+}
+
+CellFn ForecastFn(ForecastMethod method) {
+  return [method](std::span<const double> series) {
+    return ForecastNext(method, series);
+  };
+}
+
+// Replaces the target's slice predicate (l = u, or l in past members) with
+// one selecting all slices the POP plan needs at once.
+Result<CubeQuery> AllSlicesQuery(const AnalyzedStatement& analyzed,
+                                 const std::string& level_name,
+                                 std::vector<std::string> members) {
+  CubeQuery query = analyzed.target;
+  const CubeSchema& schema = *analyzed.schema;
+  ASSESS_ASSIGN_OR_RETURN(int h, schema.HierarchyOfLevel(level_name));
+  ASSESS_ASSIGN_OR_RETURN(int l, schema.hierarchy(h).LevelIndex(level_name));
+  bool replaced = false;
+  for (Predicate& p : query.predicates) {
+    if (p.hierarchy == h && p.level == l && p.op == PredicateOp::kEquals) {
+      p.op = PredicateOp::kIn;
+      p.members = members;
+      replaced = true;
+      break;
+    }
+  }
+  if (!replaced) {
+    return Status::Internal("POP: no slice predicate found on level '" +
+                            level_name + "'");
+  }
+  return query;
+}
+
+// Rewrites property(level, name) calls into measure references, adding one
+// column per distinct property filled from each cell's coordinate (the
+// descriptive-property extension: per-capita comparisons and friends).
+Result<FuncExpr> MaterializeProperties(const FuncExpr& expr, Cube* cube) {
+  if (expr.kind != FuncExpr::Kind::kCall) return expr;
+  if (EqualsIgnoreCase(expr.name, "property") && expr.args.size() == 2 &&
+      expr.args[0].kind == FuncExpr::Kind::kMeasureRef &&
+      expr.args[1].kind == FuncExpr::Kind::kMeasureRef) {
+    const std::string& level_name = expr.args[0].name;
+    const std::string& property = expr.args[1].name;
+    std::string column_name = level_name + "." + property;
+    if (!cube->MeasureIndex(column_name).ok()) {
+      ASSESS_ASSIGN_OR_RETURN(int pos, cube->LevelPosition(level_name));
+      const LevelRef& level = cube->level(pos);
+      ASSESS_ASSIGN_OR_RETURN(
+          const std::vector<double>* values,
+          level.hierarchy->PropertyColumn(level.level, property));
+      int idx = cube->AddMeasureColumn(column_name);
+      for (int64_t r = 0; r < cube->NumRows(); ++r) {
+        cube->SetMeasure(r, idx, (*values)[cube->CoordAt(r, pos)]);
+      }
+    }
+    return FuncExpr::Measure(std::move(column_name));
+  }
+  FuncExpr rewritten = expr;
+  rewritten.args.clear();
+  for (const FuncExpr& arg : expr.args) {
+    ASSESS_ASSIGN_OR_RETURN(FuncExpr child, MaterializeProperties(arg, cube));
+    rewritten.args.push_back(std::move(child));
+  }
+  return rewritten;
+}
+
+}  // namespace
+
+Status Executor::CompareAndLabel(const AnalyzedStatement& analyzed,
+                                 AssessResult* result) const {
+  Stopwatch sw;
+  Cube* cube = &result->cube;
+  if (analyzed.type == BenchmarkType::kConstant) {
+    AddConstantMeasure(cube, analyzed.benchmark_measure_name,
+                       analyzed.constant);
+  }
+  ASSESS_ASSIGN_OR_RETURN(FuncExpr comparison_expr,
+                          MaterializeProperties(analyzed.using_expr, cube));
+  ASSESS_ASSIGN_OR_RETURN(
+      result->comparison_measure,
+      ApplyExpression(comparison_expr, *functions_, cube));
+  result->timings.compare = sw.ElapsedSeconds();
+
+  sw.Restart();
+  ASSESS_ASSIGN_OR_RETURN(int cmp_idx,
+                          cube->MeasureIndex(result->comparison_measure));
+  const std::vector<double>& comparison = cube->measure_column(cmp_idx);
+  std::vector<std::string> labels;
+  ASSESS_RETURN_NOT_OK(analyzed.label_function->Apply(
+      std::span<const double>(comparison.data(), comparison.size()),
+      &labels));
+  cube->SetLabels(std::move(labels));
+  result->timings.label = sw.ElapsedSeconds();
+
+  result->measure = analyzed.measure;
+  result->benchmark_measure = analyzed.benchmark_measure_name;
+  return Status::OK();
+}
+
+Result<AssessResult> Executor::Execute(const AnalyzedStatement& analyzed,
+                                       PlanKind plan) const {
+  if (!IsPlanFeasible(analyzed, plan)) {
+    return Status::NotSupported(
+        std::string(PlanKindToString(plan)) + " is not feasible for " +
+        std::string(BenchmarkTypeToString(analyzed.type)) + " benchmarks");
+  }
+  switch (analyzed.type) {
+    case BenchmarkType::kNone:
+    case BenchmarkType::kConstant:
+      return ExecuteConstant(analyzed);
+    case BenchmarkType::kExternal:
+    case BenchmarkType::kAncestor:
+      return ExecuteViaJoin(analyzed, plan);
+    case BenchmarkType::kSibling:
+      return ExecuteSibling(analyzed, plan);
+    case BenchmarkType::kPast:
+      return ExecutePast(analyzed, plan);
+  }
+  return Status::Internal("unreachable benchmark type");
+}
+
+Result<AssessResult> Executor::ExecuteConstant(
+    const AnalyzedStatement& analyzed) const {
+  AssessResult result;
+  result.plan = PlanKind::kNP;
+  SqlGenerator gen(analyzed.schema.get());
+
+  Stopwatch sw;
+  ASSESS_ASSIGN_OR_RETURN(Cube engine_cube, engine_.Execute(analyzed.target));
+  result.cube = TransferToClient(engine_cube);
+  result.timings.get_c = sw.ElapsedSeconds();
+  ASSESS_ASSIGN_OR_RETURN(std::string sql, gen.RenderGet(analyzed.target));
+  result.sql.push_back(std::move(sql));
+
+  ASSESS_RETURN_NOT_OK(CompareAndLabel(analyzed, &result));
+  return result;
+}
+
+// NP and JOP are structurally identical for every join-based benchmark
+// (external, sibling, ancestor): two gets joined on analyzed.join_levels,
+// either client-side (NP) or fused in the engine (JOP). The benchmark's SQL
+// renders against its own schema, which differs for external benchmarks.
+Result<AssessResult> Executor::ExecuteViaJoin(const AnalyzedStatement& analyzed,
+                                              PlanKind plan) const {
+  AssessResult result;
+  result.plan = plan;
+  SqlGenerator gen(analyzed.schema.get());
+  ASSESS_ASSIGN_OR_RETURN(const BoundCube* benchmark_cube,
+                          db_->Find(analyzed.benchmark.cube_name));
+  SqlGenerator benchmark_gen(benchmark_cube->schema_ptr().get());
+
+  if (plan == PlanKind::kJOP) {
+    Stopwatch sw;
+    ASSESS_ASSIGN_OR_RETURN(
+        Cube joined,
+        engine_.ExecuteJoined(analyzed.target, analyzed.benchmark,
+                              analyzed.join_levels, analyzed.star));
+    result.cube = TransferToClient(joined);
+    result.timings.get_cb = sw.ElapsedSeconds();
+    ASSESS_ASSIGN_OR_RETURN(
+        std::string sql,
+        gen.RenderJoin(analyzed.target, benchmark_gen, analyzed.benchmark,
+                       analyzed.join_levels, analyzed.star));
+    result.sql.push_back(std::move(sql));
+  } else {
+    Stopwatch sw;
+    ASSESS_ASSIGN_OR_RETURN(Cube c, engine_.Execute(analyzed.target));
+    Cube target = TransferToClient(c);
+    result.timings.get_c = sw.ElapsedSeconds();
+    ASSESS_ASSIGN_OR_RETURN(std::string sql_c, gen.RenderGet(analyzed.target));
+    result.sql.push_back(std::move(sql_c));
+
+    sw.Restart();
+    ASSESS_ASSIGN_OR_RETURN(Cube b, engine_.Execute(analyzed.benchmark));
+    Cube benchmark = TransferToClient(b);
+    result.timings.get_b = sw.ElapsedSeconds();
+    ASSESS_ASSIGN_OR_RETURN(std::string sql_b,
+                            benchmark_gen.RenderGet(analyzed.benchmark));
+    result.sql.push_back(std::move(sql_b));
+
+    sw.Restart();
+    ASSESS_ASSIGN_OR_RETURN(result.cube,
+                            JoinCubes(target, benchmark, analyzed.join_levels,
+                                      "benchmark", analyzed.star));
+    result.timings.join = sw.ElapsedSeconds();
+  }
+
+  ASSESS_RETURN_NOT_OK(CompareAndLabel(analyzed, &result));
+  return result;
+}
+
+Result<AssessResult> Executor::ExecuteSibling(
+    const AnalyzedStatement& analyzed, PlanKind plan) const {
+  AssessResult result;
+  result.plan = plan;
+  SqlGenerator gen(analyzed.schema.get());
+
+  if (plan == PlanKind::kPOP) {
+    ASSESS_ASSIGN_OR_RETURN(
+        CubeQuery query_all,
+        AllSlicesQuery(analyzed, analyzed.sibling_level,
+                       {analyzed.sibling_member, analyzed.sibling_sib}));
+    // One get serves both roles, so it must carry the union of the target
+    // and benchmark measures; the folded slice is renamed benchmark.<m>.
+    for (int m : analyzed.benchmark.measures) {
+      if (std::find(query_all.measures.begin(), query_all.measures.end(),
+                    m) == query_all.measures.end()) {
+        query_all.measures.push_back(m);
+      }
+    }
+    PivotSpec spec;
+    spec.level = analyzed.sibling_level;
+    spec.reference_member = analyzed.sibling_member;
+    spec.other_members = {analyzed.sibling_sib};
+    spec.measure_names.push_back({});
+    for (int m : query_all.measures) {
+      spec.measure_names[0].push_back("benchmark." +
+                                      analyzed.schema->measure(m).name);
+    }
+    spec.require_complete = !analyzed.star;
+
+    Stopwatch sw;
+    ASSESS_ASSIGN_OR_RETURN(Cube pivoted,
+                            engine_.ExecutePivoted(query_all, spec));
+    result.cube = TransferToClient(pivoted);
+    result.timings.get_cb = sw.ElapsedSeconds();
+    ASSESS_ASSIGN_OR_RETURN(
+        std::string sql,
+        gen.RenderPivot(query_all, spec.level, spec.reference_member,
+                        spec.other_members, spec.require_complete));
+    result.sql.push_back(std::move(sql));
+  } else {
+    return ExecuteViaJoin(analyzed, plan);
+  }
+
+  ASSESS_RETURN_NOT_OK(CompareAndLabel(analyzed, &result));
+  return result;
+}
+
+Result<AssessResult> Executor::ExecutePast(const AnalyzedStatement& analyzed,
+                                           PlanKind plan) const {
+  AssessResult result;
+  result.plan = plan;
+  SqlGenerator gen(analyzed.schema.get());
+  const int k = analyzed.past_k;
+
+  if (plan == PlanKind::kPOP) {
+    std::vector<std::string> all_members = analyzed.past_members;
+    all_members.push_back(analyzed.time_member);
+    ASSESS_ASSIGN_OR_RETURN(
+        CubeQuery query_all,
+        AllSlicesQuery(analyzed, analyzed.time_level, all_members));
+    PivotSpec spec;
+    spec.level = analyzed.time_level;
+    spec.reference_member = analyzed.time_member;
+    spec.other_members = analyzed.past_members;
+    spec.measure_names = PastSlotNames(k, *analyzed.schema,
+                                       query_all.measures, analyzed.measure);
+    spec.require_complete = !analyzed.star;
+
+    Stopwatch sw;
+    ASSESS_ASSIGN_OR_RETURN(Cube pivoted,
+                            engine_.ExecutePivoted(query_all, spec));
+    result.cube = TransferToClient(pivoted);
+    result.timings.get_cb = sw.ElapsedSeconds();
+    ASSESS_ASSIGN_OR_RETURN(
+        std::string sql,
+        gen.RenderPivot(query_all, spec.level, spec.reference_member,
+                        spec.other_members, spec.require_complete));
+    result.sql.push_back(std::move(sql));
+
+    sw.Restart();
+    ASSESS_RETURN_NOT_OK(CellTransform(
+        &result.cube, analyzed.benchmark_measure_name, PastInputs(k),
+        ForecastFn(analyzed.forecast), /*null_propagates=*/false));
+    result.timings.transform = sw.ElapsedSeconds();
+  } else if (plan == PlanKind::kJOP) {
+    Stopwatch sw;
+    ASSESS_ASSIGN_OR_RETURN(
+        Cube joined,
+        engine_.ExecuteConcatJoined(analyzed.target, analyzed.benchmark,
+                                    analyzed.join_levels, analyzed.time_level,
+                                    k,
+                                    PastSlotNames(k, *analyzed.schema,
+                                                  analyzed.benchmark.measures,
+                                                  analyzed.measure),
+                                    !analyzed.star));
+    result.cube = TransferToClient(joined);
+    result.timings.get_cb = sw.ElapsedSeconds();
+    ASSESS_ASSIGN_OR_RETURN(
+        std::string sql,
+        gen.RenderJoin(analyzed.target, gen, analyzed.benchmark,
+                       analyzed.join_levels, analyzed.star));
+    result.sql.push_back(std::move(sql));
+
+    sw.Restart();
+    ASSESS_RETURN_NOT_OK(CellTransform(
+        &result.cube, analyzed.benchmark_measure_name, PastInputs(k),
+        ForecastFn(analyzed.forecast), /*null_propagates=*/false));
+    result.timings.transform = sw.ElapsedSeconds();
+  } else {
+    Stopwatch sw;
+    ASSESS_ASSIGN_OR_RETURN(Cube c, engine_.Execute(analyzed.target));
+    Cube target = TransferToClient(c);
+    result.timings.get_c = sw.ElapsedSeconds();
+    ASSESS_ASSIGN_OR_RETURN(std::string sql_c, gen.RenderGet(analyzed.target));
+    result.sql.push_back(std::move(sql_c));
+
+    sw.Restart();
+    ASSESS_ASSIGN_OR_RETURN(Cube b, engine_.Execute(analyzed.benchmark));
+    Cube benchmark = TransferToClient(b);
+    result.timings.get_b = sw.ElapsedSeconds();
+    ASSESS_ASSIGN_OR_RETURN(std::string sql_b,
+                            gen.RenderGet(analyzed.benchmark));
+    result.sql.push_back(std::move(sql_b));
+
+    // Transformation: pivot the k past slices into measures (the reference
+    // slice is the latest past member, whose own value is the k-th point),
+    // forecast, and project the prediction into the benchmark measure m.
+    sw.Restart();
+    std::vector<std::string> others(analyzed.past_members.begin(),
+                                    analyzed.past_members.end() - 1);
+    // require_complete keeps plans equivalent: under assess, every plan
+    // keeps exactly the cells with a full k-slice history. (Under assess*
+    // POP can forecast from partial histories that NP lacks a pivot row
+    // for; both degrade to nulls rather than errors.)
+    ASSESS_ASSIGN_OR_RETURN(
+        Cube pivoted,
+        PivotCube(benchmark, analyzed.time_level, analyzed.past_members.back(),
+                  others,
+                  PastSlotNames(k - 1, *analyzed.schema,
+                                analyzed.benchmark.measures,
+                                analyzed.measure),
+                  /*require_complete=*/!analyzed.star));
+    // Chronological inputs: past1..past_{k-1} then the reference slice's m.
+    std::vector<std::string> inputs = PastInputs(k - 1);
+    inputs.push_back(analyzed.measure);
+    ASSESS_RETURN_NOT_OK(CellTransform(&pivoted, "predicted", inputs,
+                                       ForecastFn(analyzed.forecast),
+                                       /*null_propagates=*/false));
+    ASSESS_ASSIGN_OR_RETURN(
+        Cube predicted,
+        ProjectMeasures(pivoted, {{"predicted", analyzed.measure}}));
+    result.timings.transform = sw.ElapsedSeconds();
+
+    sw.Restart();
+    ASSESS_ASSIGN_OR_RETURN(result.cube,
+                            JoinCubes(target, predicted, analyzed.join_levels,
+                                      "benchmark", analyzed.star));
+    result.timings.join = sw.ElapsedSeconds();
+  }
+
+  ASSESS_RETURN_NOT_OK(CompareAndLabel(analyzed, &result));
+  return result;
+}
+
+}  // namespace assess

@@ -1,0 +1,58 @@
+#ifndef ASSESS_ASSESS_EXECUTOR_H_
+#define ASSESS_ASSESS_EXECUTOR_H_
+
+#include <vector>
+
+#include "assess/analyzer.h"
+#include "assess/planner.h"
+#include "assess/result_set.h"
+#include "common/result.h"
+#include "functions/function_registry.h"
+#include "storage/star_query_engine.h"
+
+namespace assess {
+
+/// \brief Executes analyzed assess statements under a chosen plan.
+///
+/// The executor realizes the client/server split of the paper's prototype:
+/// get/join/pivot pushed to the StarQueryEngine (the DBMS stand-in), every
+/// engine result transferred to "client memory" once, all transformations,
+/// comparisons and labelings executed client-side on Cube values. Each step
+/// is timed into StepTimings for the Figure 4 breakdown, and the SQL the
+/// plan would push is rendered into the result.
+class Executor {
+ public:
+  Executor(const StarDatabase* db, const FunctionRegistry* functions,
+           bool use_views = true)
+      : db_(db), functions_(functions), engine_(db, use_views) {}
+
+  /// \brief Runs `analyzed` with plan `plan` (must be feasible for the
+  /// statement's benchmark type).
+  Result<AssessResult> Execute(const AnalyzedStatement& analyzed,
+                               PlanKind plan) const;
+
+  const StarQueryEngine& engine() const { return engine_; }
+
+ private:
+  Result<AssessResult> ExecuteConstant(const AnalyzedStatement& analyzed) const;
+  /// NP/JOP for every join-based benchmark (external, sibling, ancestor).
+  Result<AssessResult> ExecuteViaJoin(const AnalyzedStatement& analyzed,
+                                      PlanKind plan) const;
+  Result<AssessResult> ExecuteSibling(const AnalyzedStatement& analyzed,
+                                      PlanKind plan) const;
+  Result<AssessResult> ExecutePast(const AnalyzedStatement& analyzed,
+                                   PlanKind plan) const;
+
+  /// Evaluates the using clause and the labeling over `result->cube`,
+  /// filling the compare/label timings and the result column names.
+  Status CompareAndLabel(const AnalyzedStatement& analyzed,
+                         AssessResult* result) const;
+
+  const StarDatabase* db_;
+  const FunctionRegistry* functions_;
+  StarQueryEngine engine_;
+};
+
+}  // namespace assess
+
+#endif  // ASSESS_ASSESS_EXECUTOR_H_

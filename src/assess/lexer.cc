@@ -1,0 +1,179 @@
+#include "assess/lexer.h"
+
+#include <cctype>
+#include <charconv>
+
+#include "common/str_util.h"
+
+namespace assess {
+
+std::string_view TokenTypeToString(TokenType type) {
+  switch (type) {
+    case TokenType::kIdent:
+      return "identifier";
+    case TokenType::kNumber:
+      return "number";
+    case TokenType::kString:
+      return "string";
+    case TokenType::kLParen:
+      return "'('";
+    case TokenType::kRParen:
+      return "')'";
+    case TokenType::kLBrace:
+      return "'{'";
+    case TokenType::kRBrace:
+      return "'}'";
+    case TokenType::kLBracket:
+      return "'['";
+    case TokenType::kRBracket:
+      return "']'";
+    case TokenType::kComma:
+      return "','";
+    case TokenType::kColon:
+      return "':'";
+    case TokenType::kEquals:
+      return "'='";
+    case TokenType::kStar:
+      return "'*'";
+    case TokenType::kDot:
+      return "'.'";
+    case TokenType::kMinus:
+      return "'-'";
+    case TokenType::kEnd:
+      return "end of statement";
+  }
+  return "?";
+}
+
+bool Token::IsKeyword(std::string_view keyword) const {
+  return type == TokenType::kIdent && EqualsIgnoreCase(text, keyword);
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.offset = i;
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(input[i])) ++i;
+      token.type = TokenType::kIdent;
+      token.text = std::string(input.substr(start, i - start));
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '.' || input[i] == 'e' || input[i] == 'E' ||
+                       ((input[i] == '+' || input[i] == '-') && i > start &&
+                        (input[i - 1] == 'e' || input[i - 1] == 'E')))) {
+        // A '.' directly followed by a non-digit ends the number (so
+        // "B.m" never mis-lexes, though identifiers cannot start with a
+        // digit anyway).
+        if (input[i] == '.' && (i + 1 >= n ||
+                                !std::isdigit(static_cast<unsigned char>(
+                                    input[i + 1])))) {
+          break;
+        }
+        ++i;
+      }
+      std::string_view text = input.substr(start, i - start);
+      double value = 0.0;
+      auto [ptr, ec] =
+          std::from_chars(text.data(), text.data() + text.size(), value);
+      if (ec != std::errc() || ptr != text.data() + text.size()) {
+        return Status::InvalidArgument("malformed number '" +
+                                       std::string(text) + "' at offset " +
+                                       std::to_string(start));
+      }
+      token.type = TokenType::kNumber;
+      token.number = value;
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (c == '\'') {
+      size_t start = ++i;
+      while (i < n && input[i] != '\'') ++i;
+      if (i >= n) {
+        return Status::InvalidArgument("unterminated string at offset " +
+                                       std::to_string(start - 1));
+      }
+      token.type = TokenType::kString;
+      token.text = std::string(input.substr(start, i - start));
+      ++i;  // closing quote
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    switch (c) {
+      case '(':
+        token.type = TokenType::kLParen;
+        break;
+      case ')':
+        token.type = TokenType::kRParen;
+        break;
+      case '{':
+        token.type = TokenType::kLBrace;
+        break;
+      case '}':
+        token.type = TokenType::kRBrace;
+        break;
+      case '[':
+        token.type = TokenType::kLBracket;
+        break;
+      case ']':
+        token.type = TokenType::kRBracket;
+        break;
+      case ',':
+        token.type = TokenType::kComma;
+        break;
+      case ':':
+        token.type = TokenType::kColon;
+        break;
+      case '=':
+        token.type = TokenType::kEquals;
+        break;
+      case '*':
+        token.type = TokenType::kStar;
+        break;
+      case '.':
+        token.type = TokenType::kDot;
+        break;
+      case '-':
+        token.type = TokenType::kMinus;
+        break;
+      default:
+        return Status::InvalidArgument(std::string("unexpected character '") +
+                                       c + "' at offset " +
+                                       std::to_string(i));
+    }
+    ++i;
+    tokens.push_back(std::move(token));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace assess

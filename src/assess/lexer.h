@@ -1,0 +1,52 @@
+#ifndef ASSESS_ASSESS_LEXER_H_
+#define ASSESS_ASSESS_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace assess {
+
+/// \brief Token kinds of the assess surface language.
+enum class TokenType {
+  kIdent,     // with, assess, country, benchmark, ... (keywords resolved by
+              // the parser, case-insensitively)
+  kNumber,    // 1000, 0.9, 1e3
+  kString,    // 'Italy'
+  kLParen,    // (
+  kRParen,    // )
+  kLBrace,    // {
+  kRBrace,    // }
+  kLBracket,  // [
+  kRBracket,  // ]
+  kComma,     // ,
+  kColon,     // :
+  kEquals,    // =
+  kStar,      // *
+  kDot,       // .
+  kMinus,     // -
+  kEnd,
+};
+
+std::string_view TokenTypeToString(TokenType type);
+
+/// \brief One lexical token with its source offset (for error messages).
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;     // identifier or string contents
+  double number = 0.0;  // kNumber value
+  size_t offset = 0;
+
+  /// \brief Case-insensitive keyword check for identifiers.
+  bool IsKeyword(std::string_view keyword) const;
+};
+
+/// \brief Tokenizes an assess statement. Comments are not part of the
+/// language; whitespace (including newlines) separates tokens.
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+}  // namespace assess
+
+#endif  // ASSESS_ASSESS_LEXER_H_

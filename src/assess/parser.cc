@@ -1,0 +1,351 @@
+#include "assess/parser.h"
+
+#include <cmath>
+#include <limits>
+
+#include "assess/lexer.h"
+#include "common/str_util.h"
+
+namespace assess {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens, bool require_labels = true)
+      : tokens_(std::move(tokens)), require_labels_(require_labels) {}
+
+  Result<AssessStatement> Parse() {
+    AssessStatement stmt;
+    ASSESS_RETURN_NOT_OK(ExpectKeyword("with"));
+    ASSESS_ASSIGN_OR_RETURN(stmt.cube, ExpectIdent("cube name"));
+    if (Peek().IsKeyword("for")) {
+      Advance();
+      ASSESS_RETURN_NOT_OK(ParsePredicates(&stmt.for_predicates));
+    }
+    ASSESS_RETURN_NOT_OK(ExpectKeyword("by"));
+    ASSESS_RETURN_NOT_OK(ParseLevelList(&stmt.by_levels));
+    ASSESS_RETURN_NOT_OK(ExpectKeyword("assess"));
+    if (Peek().type == TokenType::kStar) {
+      Advance();
+      stmt.star = true;
+    }
+    ASSESS_ASSIGN_OR_RETURN(stmt.measure, ExpectIdent("measure name"));
+    if (Peek().IsKeyword("against")) {
+      Advance();
+      ASSESS_RETURN_NOT_OK(ParseBenchmark(&stmt.against));
+    }
+    if (Peek().IsKeyword("using")) {
+      Advance();
+      ASSESS_ASSIGN_OR_RETURN(FuncExpr expr, ParseFuncExpr());
+      stmt.using_expr = std::move(expr);
+    }
+    if (Peek().IsKeyword("labels")) {
+      Advance();
+      ASSESS_RETURN_NOT_OK(ParseLabels(&stmt.labels));
+    } else if (require_labels_) {
+      return Error("expected keyword 'labels', got " + Describe(Peek()));
+    }
+    if (Peek().type != TokenType::kEnd) {
+      return Error("trailing input after the statement");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    size_t i = pos_ + static_cast<size_t>(ahead);
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(message + " at offset " +
+                                   std::to_string(Peek().offset));
+  }
+
+  Status ExpectKeyword(std::string_view keyword) {
+    if (!Peek().IsKeyword(keyword)) {
+      return Error("expected keyword '" + std::string(keyword) + "', got " +
+                   Describe(Peek()));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdent(const std::string& what) {
+    if (Peek().type != TokenType::kIdent) {
+      return Error("expected " + what + ", got " + Describe(Peek()));
+    }
+    return Advance().text;
+  }
+
+  Result<std::string> ExpectString(const std::string& what) {
+    if (Peek().type != TokenType::kString) {
+      return Error("expected " + what + " (a quoted string), got " +
+                   Describe(Peek()));
+    }
+    return Advance().text;
+  }
+
+  Status Expect(TokenType type) {
+    if (Peek().type != type) {
+      return Error("expected " + std::string(TokenTypeToString(type)) +
+                   ", got " + Describe(Peek()));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  static std::string Describe(const Token& token) {
+    std::string out(TokenTypeToString(token.type));
+    if (token.type == TokenType::kIdent) out += " '" + token.text + "'";
+    if (token.type == TokenType::kNumber) {
+      out += " '" + FormatNumber(token.number) + "'";
+    }
+    return out;
+  }
+
+  Status ParsePredicates(std::vector<PredicateSpec>* predicates) {
+    while (true) {
+      PredicateSpec pred;
+      ASSESS_ASSIGN_OR_RETURN(pred.level, ExpectIdent("level name"));
+      if (Peek().type == TokenType::kEquals) {
+        Advance();
+        pred.op = PredicateOp::kEquals;
+        ASSESS_ASSIGN_OR_RETURN(std::string member,
+                                ExpectString("member value"));
+        pred.members.push_back(std::move(member));
+      } else if (Peek().IsKeyword("in")) {
+        Advance();
+        pred.op = PredicateOp::kIn;
+        ASSESS_RETURN_NOT_OK(Expect(TokenType::kLParen));
+        while (true) {
+          ASSESS_ASSIGN_OR_RETURN(std::string member,
+                                  ExpectString("member value"));
+          pred.members.push_back(std::move(member));
+          if (Peek().type != TokenType::kComma) break;
+          Advance();
+        }
+        ASSESS_RETURN_NOT_OK(Expect(TokenType::kRParen));
+      } else if (Peek().IsKeyword("between")) {
+        Advance();
+        pred.op = PredicateOp::kBetween;
+        ASSESS_ASSIGN_OR_RETURN(std::string lo, ExpectString("lower member"));
+        ASSESS_RETURN_NOT_OK(ExpectKeyword("and"));
+        ASSESS_ASSIGN_OR_RETURN(std::string hi, ExpectString("upper member"));
+        pred.members.push_back(std::move(lo));
+        pred.members.push_back(std::move(hi));
+      } else {
+        return Error("expected '=', 'in' or 'between' after level '" +
+                     pred.level + "'");
+      }
+      predicates->push_back(std::move(pred));
+      if (Peek().type != TokenType::kComma) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Status ParseLevelList(std::vector<std::string>* levels) {
+    while (true) {
+      ASSESS_ASSIGN_OR_RETURN(std::string level, ExpectIdent("level name"));
+      levels->push_back(std::move(level));
+      if (Peek().type != TokenType::kComma) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Status ParseBenchmark(BenchmarkClause* against) {
+    const Token& t = Peek();
+    if (t.type == TokenType::kNumber ||
+        (t.type == TokenType::kMinus &&
+         Peek(1).type == TokenType::kNumber)) {
+      against->type = BenchmarkType::kConstant;
+      double sign = 1.0;
+      if (t.type == TokenType::kMinus) {
+        Advance();
+        sign = -1.0;
+      }
+      against->constant = sign * Advance().number;
+      return Status::OK();
+    }
+    if (t.IsKeyword("past")) {
+      Advance();
+      against->type = BenchmarkType::kPast;
+      if (Peek().type != TokenType::kNumber) {
+        return Error("expected the window length after 'past'");
+      }
+      double k = Advance().number;
+      if (k < 1 || k != std::floor(k)) {
+        return Error("'past' window must be a positive integer");
+      }
+      against->past_k = static_cast<int>(k);
+      return Status::OK();
+    }
+    if (t.type == TokenType::kIdent) {
+      std::string name = Advance().text;
+      if (Peek().type == TokenType::kEquals) {
+        Advance();
+        against->type = BenchmarkType::kSibling;
+        against->sibling_level = std::move(name);
+        ASSESS_ASSIGN_OR_RETURN(against->sibling_member,
+                                ExpectString("sibling member"));
+        return Status::OK();
+      }
+      if (Peek().type == TokenType::kDot) {
+        Advance();
+        against->type = BenchmarkType::kExternal;
+        against->external_cube = std::move(name);
+        ASSESS_ASSIGN_OR_RETURN(against->external_measure,
+                                ExpectIdent("benchmark measure"));
+        return Status::OK();
+      }
+      // A bare level name: ancestor benchmark ("against type" compares each
+      // sliced member to its ancestor in the roll-up order).
+      against->type = BenchmarkType::kAncestor;
+      against->ancestor_level = std::move(name);
+      return Status::OK();
+    }
+    return Error("malformed against clause");
+  }
+
+  Result<FuncExpr> ParseFuncExpr() {
+    const Token& t = Peek();
+    if (t.type == TokenType::kNumber ||
+        (t.type == TokenType::kMinus &&
+         Peek(1).type == TokenType::kNumber)) {
+      double sign = 1.0;
+      if (t.type == TokenType::kMinus) {
+        Advance();
+        sign = -1.0;
+      }
+      return FuncExpr::Number(sign * Advance().number);
+    }
+    if (t.type != TokenType::kIdent) {
+      return Error("expected a function call, measure or number, got " +
+                   Describe(t));
+    }
+    std::string name = Advance().text;
+    if (Peek().type == TokenType::kLParen) {
+      Advance();
+      std::vector<FuncExpr> args;
+      if (Peek().type != TokenType::kRParen) {
+        while (true) {
+          ASSESS_ASSIGN_OR_RETURN(FuncExpr arg, ParseFuncExpr());
+          args.push_back(std::move(arg));
+          if (Peek().type != TokenType::kComma) break;
+          Advance();
+        }
+      }
+      ASSESS_RETURN_NOT_OK(Expect(TokenType::kRParen));
+      return FuncExpr::Call(std::move(name), std::move(args));
+    }
+    if (Peek().type == TokenType::kDot) {
+      Advance();
+      ASSESS_ASSIGN_OR_RETURN(std::string measure,
+                              ExpectIdent("measure name after '.'"));
+      return FuncExpr::Measure(name + "." + measure);
+    }
+    return FuncExpr::Measure(std::move(name));
+  }
+
+  Status ParseLabels(LabelsClause* labels) {
+    if (Peek().type == TokenType::kLBrace) {
+      Advance();
+      labels->is_inline = true;
+      while (true) {
+        ASSESS_ASSIGN_OR_RETURN(LabelRange range, ParseRange());
+        labels->ranges.push_back(std::move(range));
+        if (Peek().type != TokenType::kComma) break;
+        Advance();
+      }
+      return Expect(TokenType::kRBrace);
+    }
+    // Predeclared name; allow names like "5stars" (number + identifier).
+    if (Peek().type == TokenType::kNumber &&
+        Peek(1).type == TokenType::kIdent) {
+      double n = Advance().number;
+      labels->named = FormatNumber(n) + Advance().text;
+      return Status::OK();
+    }
+    ASSESS_ASSIGN_OR_RETURN(labels->named,
+                            ExpectIdent("labeling function name"));
+    return Status::OK();
+  }
+
+  Result<double> ParseBound() {
+    double sign = 1.0;
+    if (Peek().type == TokenType::kMinus) {
+      Advance();
+      sign = -1.0;
+    }
+    if (Peek().IsKeyword("inf")) {
+      Advance();
+      return sign * std::numeric_limits<double>::infinity();
+    }
+    if (Peek().type != TokenType::kNumber) {
+      return Error("expected a range bound (number or inf)");
+    }
+    return sign * Advance().number;
+  }
+
+  Result<LabelRange> ParseRange() {
+    LabelRange range;
+    if (Peek().type == TokenType::kLBracket) {
+      range.lo_closed = true;
+    } else if (Peek().type == TokenType::kLParen) {
+      range.lo_closed = false;
+    } else {
+      return Error("expected '[' or '(' to open a labeling range");
+    }
+    Advance();
+    ASSESS_ASSIGN_OR_RETURN(range.lo, ParseBound());
+    ASSESS_RETURN_NOT_OK(Expect(TokenType::kComma));
+    ASSESS_ASSIGN_OR_RETURN(range.hi, ParseBound());
+    if (Peek().type == TokenType::kRBracket) {
+      range.hi_closed = true;
+    } else if (Peek().type == TokenType::kRParen) {
+      range.hi_closed = false;
+    } else {
+      return Error("expected ']' or ')' to close a labeling range");
+    }
+    Advance();
+    ASSESS_RETURN_NOT_OK(Expect(TokenType::kColon));
+    // Labels are identifiers or quoted strings (e.g. '*****').
+    if (Peek().type == TokenType::kIdent) {
+      range.label = Advance().text;
+    } else if (Peek().type == TokenType::kString) {
+      range.label = Advance().text;
+    } else {
+      return Error("expected a label name");
+    }
+    return range;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  bool require_labels_ = true;
+};
+
+}  // namespace
+
+Result<AssessStatement> ParseAssessStatement(std::string_view input) {
+  ASSESS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  ASSESS_ASSIGN_OR_RETURN(AssessStatement stmt, parser.Parse());
+  stmt.original_text = std::string(Trim(input));
+  return stmt;
+}
+
+Result<AssessStatement> ParsePartialAssessStatement(std::string_view input) {
+  ASSESS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens), /*require_labels=*/false);
+  ASSESS_ASSIGN_OR_RETURN(AssessStatement stmt, parser.Parse());
+  stmt.original_text = std::string(Trim(input));
+  return stmt;
+}
+
+}  // namespace assess

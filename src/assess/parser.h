@@ -1,0 +1,30 @@
+#ifndef ASSESS_ASSESS_PARSER_H_
+#define ASSESS_ASSESS_PARSER_H_
+
+#include <string_view>
+
+#include "assess/ast.h"
+#include "common/result.h"
+
+namespace assess {
+
+/// \brief Parses one assess statement (Section 4.1 syntax):
+///
+///   with SALES
+///   for type = 'Fresh Fruit', country = 'Italy'
+///   by product, country
+///   assess quantity against country = 'France'
+///   using percOfTotal(difference(quantity, benchmark.quantity))
+///   labels {[-inf, -0.2): bad, [-0.2, 0.2]: ok, (0.2, inf]: good}
+///
+/// Keywords are case-insensitive; errors carry the source offset.
+Result<AssessStatement> ParseAssessStatement(std::string_view input);
+
+/// \brief Parses a *partial* statement: like ParseAssessStatement, but the
+/// labels clause may be absent (against and using are optional already).
+/// Used by the completion suggester (assess/suggest.h).
+Result<AssessStatement> ParsePartialAssessStatement(std::string_view input);
+
+}  // namespace assess
+
+#endif  // ASSESS_ASSESS_PARSER_H_

@@ -1,0 +1,161 @@
+#include "assess/planner.h"
+
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace assess {
+
+std::string_view PlanKindToString(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kNP:
+      return "NP";
+    case PlanKind::kJOP:
+      return "JOP";
+    case PlanKind::kPOP:
+      return "POP";
+  }
+  return "?";
+}
+
+Result<PlanKind> PlanKindFromString(std::string_view name) {
+  if (EqualsIgnoreCase(name, "NP")) return PlanKind::kNP;
+  if (EqualsIgnoreCase(name, "JOP")) return PlanKind::kJOP;
+  if (EqualsIgnoreCase(name, "POP")) return PlanKind::kPOP;
+  return Status::NotFound("no plan '" + std::string(name) +
+                          "' (expected NP, JOP or POP)");
+}
+
+bool IsPlanFeasible(const AnalyzedStatement& analyzed, PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kNP:
+      return true;
+    case PlanKind::kJOP:
+      // No join exists for constant benchmarks.
+      return analyzed.type != BenchmarkType::kConstant &&
+             analyzed.type != BenchmarkType::kNone;
+    case PlanKind::kPOP:
+      // POP needs multiple slices of a single cube (property P3).
+      return analyzed.type == BenchmarkType::kSibling ||
+             analyzed.type == BenchmarkType::kPast;
+  }
+  return false;
+}
+
+std::vector<PlanKind> FeasiblePlans(const AnalyzedStatement& analyzed) {
+  std::vector<PlanKind> plans;
+  for (PlanKind kind : {PlanKind::kNP, PlanKind::kJOP, PlanKind::kPOP}) {
+    if (IsPlanFeasible(analyzed, kind)) plans.push_back(kind);
+  }
+  return plans;
+}
+
+PlanKind BestPlan(const AnalyzedStatement& analyzed) {
+  if (IsPlanFeasible(analyzed, PlanKind::kPOP)) return PlanKind::kPOP;
+  if (IsPlanFeasible(analyzed, PlanKind::kJOP)) return PlanKind::kJOP;
+  return PlanKind::kNP;
+}
+
+std::string ExplainPlan(const AnalyzedStatement& analyzed, PlanKind kind) {
+  const CubeSchema& schema = *analyzed.schema;
+  std::ostringstream out;
+  out << PlanKindToString(kind) << " plan ("
+      << BenchmarkTypeToString(analyzed.type) << " benchmark):\n";
+  int step = 1;
+  auto emit = [&out, &step](const std::string& line) {
+    out << "  " << step++ << ". " << line << "\n";
+  };
+  std::string join_on = Join(analyzed.join_levels, ", ");
+
+  switch (analyzed.type) {
+    case BenchmarkType::kNone:
+    case BenchmarkType::kConstant:
+      emit("get C = " + analyzed.target.ToString(schema) + "  [engine]");
+      emit("extend C with constant benchmark m_const = " +
+           FormatNumber(analyzed.constant));
+      break;
+    case BenchmarkType::kExternal:
+      if (kind == PlanKind::kJOP) {
+        emit("get+join D = C \\bowtie B pushed to the engine: C = " +
+             analyzed.target.ToString(schema) + ", B = " +
+             analyzed.benchmark.ToString(schema));
+      } else {
+        emit("get C = " + analyzed.target.ToString(schema) + "  [engine]");
+        emit("get B = " + analyzed.benchmark.ToString(schema) + "  [engine]");
+        emit("join D = C \\bowtie_{" + join_on + "} B  [client]");
+      }
+      break;
+    case BenchmarkType::kSibling:
+      if (kind == PlanKind::kPOP) {
+        emit("get+pivot (P3): one get over slices {'" +
+             analyzed.sibling_member + "', '" + analyzed.sibling_sib +
+             "'} of " + analyzed.sibling_level +
+             ", pivoted on reference '" + analyzed.sibling_member +
+             "'  [engine]");
+      } else if (kind == PlanKind::kJOP) {
+        emit("get+join D = C \\bowtie_{" + join_on +
+             "} B pushed to the engine: C = " +
+             analyzed.target.ToString(schema) + ", B = " +
+             analyzed.benchmark.ToString(schema));
+      } else {
+        emit("get C = " + analyzed.target.ToString(schema) + "  [engine]");
+        emit("get B = " + analyzed.benchmark.ToString(schema) +
+             "  [engine]");
+        emit("join D = C \\bowtie_{" + join_on + "} B  [client]");
+      }
+      break;
+    case BenchmarkType::kPast:
+      if (kind == PlanKind::kPOP) {
+        emit("get+pivot (P3): one get over " + analyzed.time_level +
+             " slices {" + Join(analyzed.past_members, ", ") + ", " +
+             analyzed.time_member + "}, pivoted on reference '" +
+             analyzed.time_member + "' into past_1..past_" +
+             std::to_string(analyzed.past_k) + "  [engine]");
+        emit("transform: " +
+             std::string(ForecastMethodToString(analyzed.forecast)) +
+             "(past_1..past_" + std::to_string(analyzed.past_k) + ") -> " +
+             analyzed.benchmark_measure_name + "  [client]");
+      } else if (kind == PlanKind::kJOP) {
+        emit("get+join (P2): D = C \\bowtie_{" + join_on +
+             "} B pushed to the engine, concatenating the " +
+             std::to_string(analyzed.past_k) + " matched slices: C = " +
+             analyzed.target.ToString(schema) + ", B = " +
+             analyzed.benchmark.ToString(schema));
+        emit("transform: " +
+             std::string(ForecastMethodToString(analyzed.forecast)) +
+             "(past_1..past_" + std::to_string(analyzed.past_k) + ") -> " +
+             analyzed.benchmark_measure_name + "  [client]");
+      } else {
+        emit("get C = " + analyzed.target.ToString(schema) + "  [engine]");
+        emit("get B = " + analyzed.benchmark.ToString(schema) +
+             "  [engine]");
+        emit("transform: pivot B on " + analyzed.time_level +
+             " (reference '" + analyzed.past_members.back() +
+             "')  [client]");
+        emit("transform: " +
+             std::string(ForecastMethodToString(analyzed.forecast)) +
+             " over the " + std::to_string(analyzed.past_k) +
+             " past values -> predicted " + analyzed.measure + "  [client]");
+        emit("join D = C \\bowtie_{" + join_on + "} E  [client]");
+      }
+      break;
+    case BenchmarkType::kAncestor:
+      if (kind == PlanKind::kJOP) {
+        emit("get+join D = C \\bowtie_{" + join_on +
+             "} B pushed to the engine (roll-up benchmark): C = " +
+             analyzed.target.ToString(schema) + ", B = " +
+             analyzed.benchmark.ToString(schema));
+      } else {
+        emit("get C = " + analyzed.target.ToString(schema) + "  [engine]");
+        emit("get B = " + analyzed.benchmark.ToString(schema) +
+             "  [engine]  (ancestor '" + analyzed.ancestor_member + "')");
+        emit("join D = C \\bowtie_{" + join_on + "} B  [client]");
+      }
+      break;
+  }
+  emit("compare: " + analyzed.using_expr.ToString() + "  [client]");
+  emit("label: " + analyzed.label_function->ToString() + "  [client]");
+  return out.str();
+}
+
+}  // namespace assess

@@ -1,0 +1,46 @@
+#ifndef ASSESS_ASSESS_PLANNER_H_
+#define ASSESS_ASSESS_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "assess/analyzer.h"
+#include "common/result.h"
+
+namespace assess {
+
+/// \brief The three execution strategies of Section 5.2. They differ in
+/// which logical operators are pushed to the query engine:
+///  - NP  (Naive Plan): only the get operations;
+///  - JOP (Join-Optimized Plan): get + join (property P2 applied when a
+///    cell-transform has to be postponed past the join);
+///  - POP (Pivot-Optimized Plan): get + pivot, the join replaced via
+///    property P3.
+enum class PlanKind {
+  kNP,
+  kJOP,
+  kPOP,
+};
+
+std::string_view PlanKindToString(PlanKind kind);
+Result<PlanKind> PlanKindFromString(std::string_view name);
+
+/// \brief True when `kind` can execute `analyzed` (Section 5.2: JOP needs a
+/// join, so constant benchmarks are NP-only; POP needs multiple slices of
+/// one cube, so only sibling and past intentions qualify).
+bool IsPlanFeasible(const AnalyzedStatement& analyzed, PlanKind kind);
+
+/// \brief All feasible plans for `analyzed`, NP first.
+std::vector<PlanKind> FeasiblePlans(const AnalyzedStatement& analyzed);
+
+/// \brief The plan the optimizer prefers: POP when feasible, else JOP, else
+/// NP — the empirical ordering established in Section 6.2.
+PlanKind BestPlan(const AnalyzedStatement& analyzed);
+
+/// \brief Human-readable rendering of the logical steps a plan performs for
+/// this statement, in the notation of Section 4.3 / 5.2 (get, ⋈, ⊞, ⊟, ⊡).
+std::string ExplainPlan(const AnalyzedStatement& analyzed, PlanKind kind);
+
+}  // namespace assess
+
+#endif  // ASSESS_ASSESS_PLANNER_H_

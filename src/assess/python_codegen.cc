@@ -1,0 +1,311 @@
+#include "assess/python_codegen.h"
+
+#include <set>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace assess {
+
+namespace {
+
+// Column naming in the generated script mirrors the SQL generator: the
+// benchmark measure is fetched as bc_<measure>.
+std::string PyColumn(const std::string& measure_name) {
+  if (StartsWith(measure_name, "benchmark.")) {
+    return "bc_" + ToLower(measure_name.substr(10));
+  }
+  return ToLower(measure_name);
+}
+
+void CollectFunctions(const FuncExpr& expr, std::set<std::string>* used) {
+  if (expr.kind == FuncExpr::Kind::kCall) {
+    used->insert(ToLower(expr.name));
+    for (const FuncExpr& arg : expr.args) CollectFunctions(arg, used);
+  }
+}
+
+// Renders the using expression over the merged DataFrame `df`.
+std::string PyExpr(const FuncExpr& expr) {
+  switch (expr.kind) {
+    case FuncExpr::Kind::kNumber:
+      return FormatNumber(expr.number);
+    case FuncExpr::Kind::kMeasureRef:
+      return "df[\"" + PyColumn(expr.name) + "\"]";
+    case FuncExpr::Kind::kCall: {
+      std::string out = ToLower(expr.name) + "(";
+      for (size_t i = 0; i < expr.args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += PyExpr(expr.args[i]);
+      }
+      return out + ")";
+    }
+  }
+  return "";
+}
+
+const char* FunctionDefFor(const std::string& lower_name) {
+  if (lower_name == "difference") {
+    return R"(def difference(a, b):
+    """Algebraic difference between the measure and its benchmark."""
+    return a - b
+)";
+  }
+  if (lower_name == "absolutedifference") {
+    return R"(def absolutedifference(a, b):
+    """Absolute difference between the measure and its benchmark."""
+    return (a - b).abs()
+)";
+  }
+  if (lower_name == "ratio") {
+    return R"(def ratio(a, b):
+    """Ratio of the measure to its benchmark (NaN on zero benchmarks)."""
+    return a.divide(b).replace([np.inf, -np.inf], np.nan)
+)";
+  }
+  if (lower_name == "percentage") {
+    return R"(def percentage(a, b):
+    """The measure as a percentage of its benchmark."""
+    return 100.0 * a.divide(b).replace([np.inf, -np.inf], np.nan)
+)";
+  }
+  if (lower_name == "normalizeddifference") {
+    return R"(def normalizeddifference(a, b):
+    """Difference normalized by the benchmark value."""
+    return (a - b).divide(b).replace([np.inf, -np.inf], np.nan)
+)";
+  }
+  if (lower_name == "minmaxnorm") {
+    return R"(def minmaxnorm(a):
+    """Min-max normalization of a comparison column into [0, 1]."""
+    minv = a.min()
+    maxv = a.max()
+    if maxv == minv:
+        return pd.Series(0.5, index=a.index)
+    return (a - minv) / (maxv - minv)
+)";
+  }
+  if (lower_name == "zscore") {
+    return R"(def zscore(a):
+    """Standard score of each comparison value."""
+    std = a.std(ddof=0)
+    if std == 0:
+        return pd.Series(0.0, index=a.index)
+    return (a - a.mean()) / std
+)";
+  }
+  if (lower_name == "percoftotal") {
+    return R"(def percoftotal(a, b):
+    """Share of each cell's value over the total of column b."""
+    total = b.sum()
+    if total == 0:
+        return pd.Series(np.nan, index=a.index)
+    return a / total
+)";
+  }
+  if (lower_name == "rank") {
+    return R"(def rank(a):
+    """1-based descending competition rank."""
+    return a.rank(ascending=False, method="min")
+)";
+  }
+  if (lower_name == "percentilerank") {
+    return R"(def percentilerank(a):
+    """Descending rank normalized into (0, 1]."""
+    return a.rank(ascending=False, method="min") / a.notna().sum()
+)";
+  }
+  if (lower_name == "identity") {
+    return "def identity(a):\n    return a\n";
+  }
+  if (lower_name == "neg") {
+    return "def neg(a):\n    return -a\n";
+  }
+  if (lower_name == "abs") {
+    return "def abs_(a):\n    return a.abs()\n";
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string GeneratePythonScript(const AnalyzedStatement& analyzed) {
+  std::ostringstream out;
+  const bool needs_sklearn = analyzed.type == BenchmarkType::kPast;
+
+  // ---- Imports and connection handling --------------------------------
+  out << R"(import argparse
+import sys
+
+import cx_Oracle
+import numpy as np
+import pandas as pd
+)";
+  if (needs_sklearn) {
+    out << "from sklearn.linear_model import LinearRegression\n";
+  }
+  out << R"(
+ORACLE_DSN = cx_Oracle.makedsn("localhost", 1521, service_name="ssb")
+
+
+def connect():
+    """Opens the warehouse connection used by every query of the session."""
+    return cx_Oracle.connect(user="ssb", password="ssb", dsn=ORACLE_DSN)
+
+
+def fetch_dataframe(connection, sql_path):
+    """Runs the SQL stored at `sql_path` and fetches it as a DataFrame."""
+    with open(sql_path) as handle:
+        sql = handle.read()
+    cursor = connection.cursor()
+    try:
+        cursor.execute(sql)
+        columns = [description[0].lower() for description in cursor.description]
+        rows = cursor.fetchall()
+    finally:
+        cursor.close()
+    return pd.DataFrame.from_records(rows, columns=columns)
+
+
+)";
+
+  // ---- Comparison-function library -------------------------------------
+  std::set<std::string> used;
+  CollectFunctions(analyzed.using_expr, &used);
+  for (const std::string& name : used) {
+    const char* def = FunctionDefFor(name);
+    if (*def != '\0') out << def << "\n\n";
+  }
+
+  // ---- Labeling ---------------------------------------------------------
+  if (analyzed.stmt.labels.is_inline) {
+    out << "LABEL_RANGES = [\n";
+    for (const LabelRange& r : analyzed.stmt.labels.ranges) {
+      out << "    (" << FormatNumber(r.lo) << ", " << FormatNumber(r.hi)
+          << ", " << (r.lo_closed ? "True" : "False") << ", "
+          << (r.hi_closed ? "True" : "False") << ", \"" << r.label
+          << "\"),\n";
+    }
+    out << "]\n\n\n";
+    out << R"(def apply_labels(values):
+    """Maps each comparison value onto its (lo, hi, label) range."""
+    labels = pd.Series(index=values.index, dtype="object")
+    for lo, hi, lo_closed, hi_closed, label in LABEL_RANGES:
+        above = values >= lo if lo_closed else values > lo
+        below = values <= hi if hi_closed else values < hi
+        labels[above & below] = label
+    uncovered = values.notna() & labels.isna()
+    if uncovered.any():
+        raise ValueError("comparison values not covered by any range: %s"
+                         % values[uncovered].tolist())
+    return labels
+
+
+)";
+  } else {
+    out << R"(def apply_labels(values):
+    """Equi-depth grouping of the comparison values (top-1 = best group)."""
+    k = 4
+    names = ["top-%d" % (k - g) for g in range(k)]
+    return pd.qcut(values.rank(method="first"), k, labels=names)
+
+
+)";
+  }
+
+  // ---- Per-intention pipeline ------------------------------------------
+  const std::string measure = PyColumn(analyzed.measure);
+  switch (analyzed.type) {
+    case BenchmarkType::kNone:
+    case BenchmarkType::kConstant:
+      out << "def run(connection):\n"
+          << "    df = fetch_dataframe(connection, \"target.sql\")\n"
+          << "    df[\"benchmark\"] = " << FormatNumber(analyzed.constant)
+          << "\n";
+      break;
+    case BenchmarkType::kExternal:
+    case BenchmarkType::kSibling:
+    case BenchmarkType::kAncestor: {
+      std::vector<std::string> keys;
+      for (const std::string& level : analyzed.join_levels) {
+        keys.push_back("\"" + ToLower(level) + "\"");
+      }
+      out << "def run(connection):\n"
+          << "    target = fetch_dataframe(connection, \"target.sql\")\n"
+          << "    benchmark = fetch_dataframe(connection, \"benchmark.sql\")\n"
+          << "    benchmark = benchmark.rename(columns={\"" << measure
+          << "\": \"" << PyColumn(analyzed.benchmark_measure_name)
+          << "\"})\n"
+          << "    df = target.merge(benchmark[[" << Join(keys, ", ") << ", \""
+          << PyColumn(analyzed.benchmark_measure_name) << "\"]],\n"
+          << "                      on=[" << Join(keys, ", ") << "], how=\""
+          << (analyzed.star ? "left" : "inner") << "\")\n";
+      break;
+    }
+    case BenchmarkType::kPast: {
+      std::vector<std::string> keys;
+      for (const std::string& level : analyzed.join_levels) {
+        keys.push_back("\"" + ToLower(level) + "\"");
+      }
+      out << "def forecast_next(series):\n"
+          << "    \"\"\"OLS over the past window, predicting the next time "
+             "slice.\"\"\"\n"
+          << "    window = series.dropna()\n"
+          << "    if window.empty:\n"
+          << "        return np.nan\n"
+          << "    x = np.arange(1, len(window) + 1).reshape(-1, 1)\n"
+          << "    model = LinearRegression().fit(x, window.to_numpy())\n"
+          << "    return float(model.predict([[len(series) + 1]])[0])\n"
+          << "\n\n"
+          << "def run(connection):\n"
+          << "    target = fetch_dataframe(connection, \"target.sql\")\n"
+          << "    history = fetch_dataframe(connection, \"benchmark.sql\")\n"
+          << "    pivoted = history.pivot_table(index=[" << Join(keys, ", ")
+          << "],\n"
+          << "                                  columns=\""
+          << ToLower(analyzed.time_level) << "\", values=\"" << measure
+          << "\")\n"
+          << "    pivoted = pivoted.reindex(columns=sorted(pivoted.columns))\n";
+      if (!analyzed.star) {
+        out << "    pivoted = pivoted.dropna()\n";
+      }
+      out << "    predicted = pivoted.apply(forecast_next, axis=1)\n"
+          << "    predicted.name = \""
+          << PyColumn(analyzed.benchmark_measure_name) << "\"\n"
+          << "    df = target.merge(predicted.reset_index(), on=["
+          << Join(keys, ", ") << "], how=\""
+          << (analyzed.star ? "left" : "inner") << "\")\n";
+      break;
+    }
+  }
+  out << "    df[\"comparison\"] = " << PyExpr(analyzed.using_expr) << "\n"
+      << "    df[\"label\"] = apply_labels(df[\"comparison\"])\n"
+      << "    return df\n";
+
+  // ---- Entry point -----------------------------------------------------
+  out << R"(
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Assess a cube measure against its benchmark.")
+    parser.add_argument("--csv", help="write the assessed cells to CSV")
+    args = parser.parse_args()
+    connection = connect()
+    try:
+        result = run(connection)
+    finally:
+        connection.close()
+    if args.csv:
+        result.to_csv(args.csv, index=False)
+    else:
+        print(result.to_string(index=False))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
+)";
+  return out.str();
+}
+
+}  // namespace assess

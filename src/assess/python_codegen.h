@@ -1,0 +1,25 @@
+#ifndef ASSESS_ASSESS_PYTHON_CODEGEN_H_
+#define ASSESS_ASSESS_PYTHON_CODEGEN_H_
+
+#include <string>
+
+#include "assess/analyzer.h"
+
+namespace assess {
+
+/// \brief Generates the Python/Pandas client script a user would have to
+/// write to reproduce the statement without the assess operator, following
+/// the paper's prototype architecture (Section 6): SQL pushed to the DBMS
+/// (rendered separately by SqlGenerator and loaded from .sql files here),
+/// post-processing in Pandas/NumPy/Scikit-learn.
+///
+/// This is the Python side of the formulation-effort metric of Table 1:
+/// effort is the ASCII length of the code the analyst would craft by hand,
+/// so the script is complete (connection handling, fetch helpers, the
+/// comparison-function library, labeling, the per-intention pipeline and a
+/// CLI entry point) rather than a fragment.
+std::string GeneratePythonScript(const AnalyzedStatement& analyzed);
+
+}  // namespace assess
+
+#endif  // ASSESS_ASSESS_PYTHON_CODEGEN_H_

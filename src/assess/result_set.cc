@@ -1,0 +1,96 @@
+#include "assess/result_set.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "algebra/operators.h"
+
+#include "common/str_util.h"
+
+namespace assess {
+
+std::string StepTimings::ToString() const {
+  std::ostringstream out;
+  char buf[64];
+  auto field = [&out, &buf](const char* name, double v) {
+    if (v <= 0.0) return;
+    std::snprintf(buf, sizeof(buf), " %s=%.3fms", name, v * 1e3);
+    out << buf;
+  };
+  field("get_c", get_c);
+  field("get_b", get_b);
+  field("get_cb", get_cb);
+  field("transform", transform);
+  field("join", join);
+  field("compare", compare);
+  field("label", label);
+  std::snprintf(buf, sizeof(buf), " total=%.3fms", Total() * 1e3);
+  out << buf;
+  return out.str();
+}
+
+void AssessResult::WriteCsv(std::ostream& out) const {
+  // Project to the contract columns and reuse the cube's CSV writer.
+  std::vector<std::pair<std::string, std::string>> keep;
+  for (const std::string& name :
+       {measure, benchmark_measure, comparison_measure}) {
+    if (cube.MeasureIndex(name).ok()) keep.emplace_back(name, name);
+  }
+  Result<Cube> projected = ProjectMeasures(cube, keep);
+  if (!projected.ok()) {
+    cube.WriteCsv(out);
+    return;
+  }
+  projected->SetLabels(cube.labels());
+  projected->WriteCsv(out);
+}
+
+std::string AssessResult::ToString(int64_t max_rows) const {
+  std::ostringstream out;
+  std::vector<int> measure_cols;
+  for (const std::string& name :
+       {measure, benchmark_measure, comparison_measure}) {
+    Result<int> idx = cube.MeasureIndex(name);
+    if (idx.ok()) measure_cols.push_back(*idx);
+  }
+  for (int i = 0; i < cube.level_count(); ++i) {
+    if (i > 0) out << " | ";
+    out << cube.level(i).name();
+  }
+  for (int idx : measure_cols) {
+    out << " | " << cube.measure_name(idx);
+  }
+  out << " | label\n";
+  int64_t n = std::min<int64_t>(cube.NumRows(), max_rows);
+  for (int64_t r = 0; r < n; ++r) {
+    for (int i = 0; i < cube.level_count(); ++i) {
+      if (i > 0) out << " | ";
+      out << cube.CoordName(r, i);
+    }
+    for (int idx : measure_cols) {
+      double v = cube.MeasureAt(r, idx);
+      if (IsNullMeasure(v)) {
+        out << " | null";
+      } else {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+        out << " | " << buf;
+      }
+    }
+    out << " | ";
+    if (cube.labels().empty() || cube.labels()[r].empty()) {
+      out << "null";
+    } else {
+      out << cube.labels()[r];
+    }
+    out << "\n";
+  }
+  if (cube.NumRows() > n) {
+    out << "... (" << (cube.NumRows() - n) << " more cells)\n";
+  }
+  return out.str();
+}
+
+}  // namespace assess

@@ -1,0 +1,60 @@
+#ifndef ASSESS_ASSESS_RESULT_SET_H_
+#define ASSESS_ASSESS_RESULT_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "assess/planner.h"
+#include "olap/cube.h"
+
+namespace assess {
+
+/// \brief Wall-clock breakdown of one assess execution, matching the step
+/// legend of Figure 4: Get C, Get B, Get C+B, Trans., Join, Comp., Label.
+/// All values in seconds; steps a plan does not perform stay zero.
+struct StepTimings {
+  double get_c = 0.0;      ///< get the target cube (incl. client transfer)
+  double get_b = 0.0;      ///< get the benchmark cube
+  double get_cb = 0.0;     ///< fused get of target+benchmark (JOP/POP)
+  double transform = 0.0;  ///< pivot/forecast transformations
+  double join = 0.0;       ///< client-side join
+  double compare = 0.0;    ///< using-clause evaluation
+  double label = 0.0;      ///< labeling
+
+  double Total() const {
+    return get_c + get_b + get_cb + transform + join + compare + label;
+  }
+
+  std::string ToString() const;
+};
+
+/// \brief The result of an assess statement: for each cell, its coordinate,
+/// the value of m, the benchmark measure, the comparison value and the
+/// label (Section 4.1's result contract), plus execution metadata.
+struct AssessResult {
+  /// The final cube; `labels()` holds λ's output ("" for the null labels of
+  /// assess*). Intermediate transform measures are retained for inspection.
+  Cube cube;
+
+  std::string measure;             ///< m
+  std::string benchmark_measure;   ///< m_B column name
+  std::string comparison_measure;  ///< m_Δ column name
+
+  PlanKind plan = PlanKind::kNP;
+  StepTimings timings;
+
+  /// SQL statements pushed to the engine by the chosen plan, in order.
+  std::vector<std::string> sql;
+
+  /// \brief Tabular rendering restricted to the Section 4.1 contract
+  /// columns (coordinate, m, m_B, m_Δ, label).
+  std::string ToString(int64_t max_rows = 20) const;
+
+  /// \brief Writes the contract columns as CSV (coordinate levels, m, m_B,
+  /// m_Δ, label), for handing assessments to downstream tools.
+  void WriteCsv(std::ostream& out) const;
+};
+
+}  // namespace assess
+
+#endif  // ASSESS_ASSESS_RESULT_SET_H_

@@ -1,0 +1,108 @@
+#ifndef ASSESS_ASSESS_SESSION_H_
+#define ASSESS_ASSESS_SESSION_H_
+
+#include <string_view>
+
+#include "assess/analyzer.h"
+#include "assess/cost_model.h"
+#include "assess/executor.h"
+#include "assess/parser.h"
+#include "assess/planner.h"
+#include "assess/result_set.h"
+
+namespace assess {
+
+/// \brief How Query() picks among feasible plans: the fixed empirical
+/// preference of Section 6.2 (POP, else JOP, else NP), or the cost model
+/// of assess/cost_model.h (the future-work strategy of Section 8).
+enum class PlanSelection {
+  kRuleBased,
+  kCostBased,
+};
+
+/// \brief The library's front door: parses, analyzes, plans and executes
+/// assess statements against a StarDatabase.
+///
+///   StarDatabase db = ...;
+///   AssessSession session(&db);
+///   auto result = session.Query(
+///       "with SALES by month assess storeSales labels quartiles");
+///   std::cout << result->ToString();
+///
+/// The session owns the function and labeling registries (preloaded with
+/// the builtins) so users can register their own comparison functions and
+/// predeclared labelings (e.g. "5stars") before querying.
+class AssessSession {
+ public:
+  explicit AssessSession(const StarDatabase* db, bool use_views = true)
+      : db_(db),
+        functions_(FunctionRegistry::Default()),
+        labelings_(LabelingRegistry::Default()),
+        executor_(db, &functions_, use_views) {}
+
+  FunctionRegistry* functions() { return &functions_; }
+  LabelingRegistry* labelings() { return &labelings_; }
+  AnalyzerOptions* options() { return &options_; }
+  const Executor& executor() const { return executor_; }
+
+  void set_plan_selection(PlanSelection selection) {
+    plan_selection_ = selection;
+  }
+  PlanSelection plan_selection() const { return plan_selection_; }
+
+  /// \brief Parses and analyzes a statement without executing it.
+  Result<AnalyzedStatement> Prepare(std::string_view statement) const {
+    ASSESS_ASSIGN_OR_RETURN(AssessStatement stmt,
+                            ParseAssessStatement(statement));
+    return Analyze(stmt, *db_, functions_, labelings_, options_);
+  }
+
+  /// \brief Executes a statement with the plan chosen by the configured
+  /// selection strategy (rule-based by default).
+  Result<AssessResult> Query(std::string_view statement) const {
+    ASSESS_ASSIGN_OR_RETURN(AnalyzedStatement analyzed, Prepare(statement));
+    PlanKind plan = BestPlan(analyzed);
+    if (plan_selection_ == PlanSelection::kCostBased) {
+      CostEstimator estimator(db_);
+      ASSESS_ASSIGN_OR_RETURN(plan, estimator.ChoosePlan(analyzed));
+    }
+    return executor_.Execute(analyzed, plan);
+  }
+
+  /// \brief Feasible plans ranked by the cost model, cheapest first.
+  Result<std::vector<PlanCost>> RankPlans(std::string_view statement) const {
+    ASSESS_ASSIGN_OR_RETURN(AnalyzedStatement analyzed, Prepare(statement));
+    CostEstimator estimator(db_);
+    return estimator.RankPlans(analyzed);
+  }
+
+  /// \brief Executes a statement with an explicit plan.
+  Result<AssessResult> Query(std::string_view statement, PlanKind plan) const {
+    ASSESS_ASSIGN_OR_RETURN(AnalyzedStatement analyzed, Prepare(statement));
+    return executor_.Execute(analyzed, plan);
+  }
+
+  /// \brief The logical steps the given plan performs for this statement.
+  Result<std::string> Explain(std::string_view statement,
+                              PlanKind plan) const {
+    ASSESS_ASSIGN_OR_RETURN(AnalyzedStatement analyzed, Prepare(statement));
+    if (!IsPlanFeasible(analyzed, plan)) {
+      return Status::NotSupported(
+          std::string(PlanKindToString(plan)) + " is not feasible for " +
+          std::string(BenchmarkTypeToString(analyzed.type)) + " benchmarks");
+    }
+    return ExplainPlan(analyzed, plan);
+  }
+
+ private:
+  const StarDatabase* db_;
+  FunctionRegistry functions_;
+  LabelingRegistry labelings_;
+  AnalyzerOptions options_;
+  Executor executor_;
+  PlanSelection plan_selection_ = PlanSelection::kRuleBased;
+};
+
+}  // namespace assess
+
+#endif  // ASSESS_ASSESS_SESSION_H_

@@ -1,0 +1,76 @@
+#ifndef ASSESS_COMMON_RESULT_H_
+#define ASSESS_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace assess {
+
+/// \brief Either a value of type T or a non-OK Status (Arrow-style Result).
+///
+/// Access to the value when !ok() is a programming error (asserted in debug
+/// builds). Use ASSESS_ASSIGN_OR_RETURN to unwrap inside functions that
+/// themselves return Status/Result.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (mirrors Arrow; allows `return v;`).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() &&
+           "Result must not be built from an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// \brief Moves the value out, or returns `alternative` when not ok().
+  T ValueOr(T alternative) && {
+    return ok() ? std::get<T>(std::move(repr_)) : std::move(alternative);
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+/// \brief Evaluates `rexpr` (a Result<T>), propagating its status on failure
+/// and otherwise assigning the value to `lhs`.
+#define ASSESS_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  ASSESS_ASSIGN_OR_RETURN_IMPL_(                                  \
+      ASSESS_CONCAT_(_assess_result_, __LINE__), lhs, rexpr)
+
+#define ASSESS_CONCAT_INNER_(x, y) x##y
+#define ASSESS_CONCAT_(x, y) ASSESS_CONCAT_INNER_(x, y)
+#define ASSESS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+}  // namespace assess
+
+#endif  // ASSESS_COMMON_RESULT_H_

@@ -1,0 +1,65 @@
+#ifndef ASSESS_COMMON_RNG_H_
+#define ASSESS_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace assess {
+
+/// \brief Deterministic xorshift128+ generator used by the data generators.
+///
+/// Data generation must be reproducible across runs and platforms, so we do
+/// not use std::mt19937 distributions (whose outputs are not pinned by the
+/// standard for all distribution types).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    // SplitMix64 seeding to spread low-entropy seeds.
+    auto next = [&seed]() {
+      seed += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      return z ^ (z >> 31);
+    };
+    s0_ = next();
+    s1_ = next();
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// \brief Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// \brief Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// \brief Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// \brief Zipf-like skewed pick in [0, n): lower indexes more likely.
+  /// Used to make generated cubes realistically sparse/skewed.
+  uint64_t Skewed(uint64_t n) {
+    // Square a uniform draw: density ~ 1/(2*sqrt(x)).
+    double u = NextDouble();
+    return static_cast<uint64_t>(u * u * static_cast<double>(n)) % n;
+  }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace assess
+
+#endif  // ASSESS_COMMON_RNG_H_

@@ -1,0 +1,85 @@
+#ifndef ASSESS_COMMON_STATUS_H_
+#define ASSESS_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace assess {
+
+/// \brief Error categories used across the library.
+///
+/// The library never throws on expected failure paths (bad statements,
+/// unknown members, non-joinable cubes, ...); every fallible operation
+/// returns a Status or a Result<T> carrying one of these codes.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< malformed input (syntax errors, bad ranges, ...)
+  kNotFound,          ///< unknown cube / level / member / function / label
+  kAlreadyExists,     ///< duplicate registration
+  kOutOfRange,        ///< index or interval violation
+  kNotSupported,      ///< operation unsupported for the given benchmark/plan
+  kInternal,          ///< invariant violation inside the library
+};
+
+/// \brief Human-readable name of a status code (e.g. "InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Arrow/RocksDB-style status value: a code plus a message.
+///
+/// Cheap to pass by value in the OK case (no allocation). Use the factory
+/// functions (Status::OK(), Status::InvalidArgument(...)) rather than the
+/// constructor.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// \brief "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  /// \brief Returns a copy of this status with `context` prepended to the
+  /// message, for building error chains ("while planning: ...").
+  Status WithContext(std::string_view context) const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Propagates a non-OK Status out of the enclosing function.
+#define ASSESS_RETURN_NOT_OK(expr)          \
+  do {                                      \
+    ::assess::Status _st = (expr);          \
+    if (!_st.ok()) return _st;              \
+  } while (false)
+
+}  // namespace assess
+
+#endif  // ASSESS_COMMON_STATUS_H_

@@ -1,0 +1,31 @@
+#ifndef ASSESS_COMMON_STOPWATCH_H_
+#define ASSESS_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace assess {
+
+/// \brief Monotonic wall-clock stopwatch used by the executor's per-step
+/// timing breakdown (Figure 4) and by the benchmark harness.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// \brief Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// \brief Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace assess
+
+#endif  // ASSESS_COMMON_STOPWATCH_H_

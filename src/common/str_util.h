@@ -1,0 +1,34 @@
+#ifndef ASSESS_COMMON_STR_UTIL_H_
+#define ASSESS_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace assess {
+
+/// \brief Joins `parts` with `sep` ("a", "b" -> "a, b").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// \brief Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// \brief ASCII lower-casing (locale-independent).
+std::string ToLower(std::string_view s);
+
+/// \brief Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// \brief Strips leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// \brief True when `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// \brief Formats a double the way the assess surface syntax prints numbers:
+/// integers without a decimal point, otherwise shortest round-trip form.
+std::string FormatNumber(double v);
+
+}  // namespace assess
+
+#endif  // ASSESS_COMMON_STR_UTIL_H_

@@ -1,0 +1,12 @@
+#include "common/value.h"
+
+#include "common/str_util.h"
+
+namespace assess {
+
+std::string Value::ToString() const {
+  if (is_number()) return FormatNumber(number());
+  return "'" + text() + "'";
+}
+
+}  // namespace assess

@@ -1,0 +1,90 @@
+#include "forecast/forecast.h"
+
+#include "common/str_util.h"
+#include "olap/cube.h"
+
+namespace assess {
+
+Result<ForecastMethod> ForecastMethodFromString(std::string_view name) {
+  if (EqualsIgnoreCase(name, "regression") ||
+      EqualsIgnoreCase(name, "linear_regression")) {
+    return ForecastMethod::kLinearRegression;
+  }
+  if (EqualsIgnoreCase(name, "moving_average")) {
+    return ForecastMethod::kMovingAverage;
+  }
+  if (EqualsIgnoreCase(name, "exponential_smoothing")) {
+    return ForecastMethod::kExponentialSmoothing;
+  }
+  return Status::NotFound("no forecast method '" + std::string(name) + "'");
+}
+
+std::string_view ForecastMethodToString(ForecastMethod method) {
+  switch (method) {
+    case ForecastMethod::kLinearRegression:
+      return "regression";
+    case ForecastMethod::kMovingAverage:
+      return "moving_average";
+    case ForecastMethod::kExponentialSmoothing:
+      return "exponential_smoothing";
+  }
+  return "?";
+}
+
+double LinearRegressionNext(std::span<const double> series) {
+  // OLS with x = 1..n (null entries keep their slot in time but do not
+  // contribute to the fit).
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  int64_t n = 0;
+  for (size_t i = 0; i < series.size(); ++i) {
+    double y = series[i];
+    if (IsNullMeasure(y)) continue;
+    double x = static_cast<double>(i + 1);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++n;
+  }
+  if (n == 0) return kNullMeasure;
+  if (n == 1) return sy;  // a constant is the best one-point fit
+  double denom = static_cast<double>(n) * sxx - sx * sx;
+  if (denom == 0.0) return sy / static_cast<double>(n);
+  double b = (static_cast<double>(n) * sxy - sx * sy) / denom;
+  double a = (sy - b * sx) / static_cast<double>(n);
+  return a + b * static_cast<double>(series.size() + 1);
+}
+
+double MovingAverageNext(std::span<const double> series) {
+  double sum = 0.0;
+  int64_t n = 0;
+  for (double v : series) {
+    if (IsNullMeasure(v)) continue;
+    sum += v;
+    ++n;
+  }
+  return n == 0 ? kNullMeasure : sum / static_cast<double>(n);
+}
+
+double ExponentialSmoothingNext(std::span<const double> series, double alpha) {
+  double level = kNullMeasure;
+  for (double v : series) {
+    if (IsNullMeasure(v)) continue;
+    level = IsNullMeasure(level) ? v : alpha * v + (1.0 - alpha) * level;
+  }
+  return level;
+}
+
+double ForecastNext(ForecastMethod method, std::span<const double> series) {
+  switch (method) {
+    case ForecastMethod::kLinearRegression:
+      return LinearRegressionNext(series);
+    case ForecastMethod::kMovingAverage:
+      return MovingAverageNext(series);
+    case ForecastMethod::kExponentialSmoothing:
+      return ExponentialSmoothingNext(series, 0.5);
+  }
+  return kNullMeasure;
+}
+
+}  // namespace assess

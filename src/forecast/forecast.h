@@ -1,0 +1,42 @@
+#ifndef ASSESS_FORECAST_FORECAST_H_
+#define ASSESS_FORECAST_FORECAST_H_
+
+#include <span>
+#include <string>
+
+#include "common/result.h"
+
+namespace assess {
+
+/// \brief Forecasting methods for past benchmarks (Section 3.1): the
+/// benchmark cube carries the value "predicted based on a number of past
+/// time slices" for each cell.
+enum class ForecastMethod {
+  kLinearRegression,      ///< OLS on (t=1..k), predict t=k+1 (the default,
+                          ///< matching the paper's regression transform)
+  kMovingAverage,         ///< mean of the k past values
+  kExponentialSmoothing,  ///< simple exponential smoothing, alpha = 0.5
+};
+
+Result<ForecastMethod> ForecastMethodFromString(std::string_view name);
+std::string_view ForecastMethodToString(ForecastMethod method);
+
+/// \brief Fits ordinary least squares y = a + b·t over t = 1..n on `series`
+/// and returns the prediction at t = n+1. Null entries are skipped (their
+/// time index is kept, so gaps do not distort the slope). Returns null when
+/// fewer than one point exists.
+double LinearRegressionNext(std::span<const double> series);
+
+/// \brief Mean of the non-null entries of `series` (null when all null).
+double MovingAverageNext(std::span<const double> series);
+
+/// \brief Simple exponential smoothing over the non-null entries; the
+/// smoothed statistic after the last observation is the one-step forecast.
+double ExponentialSmoothingNext(std::span<const double> series, double alpha);
+
+/// \brief Dispatches on `method`.
+double ForecastNext(ForecastMethod method, std::span<const double> series);
+
+}  // namespace assess
+
+#endif  // ASSESS_FORECAST_FORECAST_H_

@@ -1,0 +1,219 @@
+#include "functions/builtin_functions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "functions/function_registry.h"
+#include "olap/cube.h"
+
+namespace assess {
+
+namespace {
+
+Status ExpectInputs(const std::vector<std::span<const double>>& inputs,
+                    size_t n, const char* name) {
+  if (inputs.size() != n) {
+    return Status::InvalidArgument(std::string(name) + " expects " +
+                                   std::to_string(n) + " input column(s)");
+  }
+  return Status::OK();
+}
+
+Status MinMaxNorm(const std::vector<std::span<const double>>& inputs,
+                  std::span<double> out) {
+  ASSESS_RETURN_NOT_OK(ExpectInputs(inputs, 1, "minMaxNorm"));
+  const auto& a = inputs[0];
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (double v : a) {
+    if (IsNullMeasure(v)) continue;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  double range = hi - lo;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (IsNullMeasure(a[i])) {
+      out[i] = kNullMeasure;
+    } else if (range == 0.0) {
+      // Degenerate distribution: everything maps to the midpoint.
+      out[i] = 0.5;
+    } else {
+      out[i] = (a[i] - lo) / range;
+    }
+  }
+  return Status::OK();
+}
+
+Status ZScore(const std::vector<std::span<const double>>& inputs,
+              std::span<double> out) {
+  ASSESS_RETURN_NOT_OK(ExpectInputs(inputs, 1, "zscore"));
+  const auto& a = inputs[0];
+  double sum = 0.0;
+  int64_t n = 0;
+  for (double v : a) {
+    if (IsNullMeasure(v)) continue;
+    sum += v;
+    ++n;
+  }
+  if (n == 0) {
+    std::fill(out.begin(), out.end(), kNullMeasure);
+    return Status::OK();
+  }
+  double mean = sum / static_cast<double>(n);
+  double ss = 0.0;
+  for (double v : a) {
+    if (IsNullMeasure(v)) continue;
+    ss += (v - mean) * (v - mean);
+  }
+  double stddev = std::sqrt(ss / static_cast<double>(n));
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (IsNullMeasure(a[i])) {
+      out[i] = kNullMeasure;
+    } else if (stddev == 0.0) {
+      out[i] = 0.0;
+    } else {
+      out[i] = (a[i] - mean) / stddev;
+    }
+  }
+  return Status::OK();
+}
+
+Status PercOfTotal(const std::vector<std::span<const double>>& inputs,
+                   std::span<double> out) {
+  if (inputs.empty() || inputs.size() > 2) {
+    return Status::InvalidArgument(
+        "percOfTotal expects 1 or 2 input column(s)");
+  }
+  const auto& a = inputs[0];
+  // Single-argument form: each value against the total of its own column.
+  const auto& b = inputs.size() == 2 ? inputs[1] : inputs[0];
+  double total = 0.0;
+  for (double v : b) {
+    if (!IsNullMeasure(v)) total += v;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (IsNullMeasure(a[i]) || total == 0.0) {
+      out[i] = kNullMeasure;
+    } else {
+      out[i] = a[i] / total;
+    }
+  }
+  return Status::OK();
+}
+
+Status Rank(const std::vector<std::span<const double>>& inputs,
+            std::span<double> out) {
+  ASSESS_RETURN_NOT_OK(ExpectInputs(inputs, 1, "rank"));
+  const auto& a = inputs[0];
+  std::vector<size_t> order;
+  order.reserve(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!IsNullMeasure(a[i])) order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(),
+            [&a](size_t x, size_t y) { return a[x] > a[y]; });
+  std::fill(out.begin(), out.end(), kNullMeasure);
+  // Competition ranking: ties share the rank of their first occurrence.
+  for (size_t pos = 0; pos < order.size(); ++pos) {
+    if (pos > 0 && a[order[pos]] == a[order[pos - 1]]) {
+      out[order[pos]] = out[order[pos - 1]];
+    } else {
+      out[order[pos]] = static_cast<double>(pos + 1);
+    }
+  }
+  return Status::OK();
+}
+
+Status PercentileRank(const std::vector<std::span<const double>>& inputs,
+                      std::span<double> out) {
+  ASSESS_RETURN_NOT_OK(Rank(inputs, out));
+  int64_t n = 0;
+  for (double v : inputs[0]) {
+    if (!IsNullMeasure(v)) ++n;
+  }
+  for (double& v : out) {
+    if (!IsNullMeasure(v) && n > 0) v /= static_cast<double>(n);
+  }
+  return Status::OK();
+}
+
+void RegisterCell(FunctionRegistry* registry, const char* name, int arity,
+                  CellFn fn, const char* doc) {
+  FunctionDef def;
+  def.name = name;
+  def.kind = FunctionKind::kCell;
+  def.arity = arity;
+  def.cell = std::move(fn);
+  def.doc = doc;
+  // Builtins are registered into a fresh registry: collision is impossible.
+  Status st = registry->Register(std::move(def));
+  (void)st;
+}
+
+void RegisterHolistic(FunctionRegistry* registry, const char* name, int arity,
+                      HolisticFn fn, const char* doc) {
+  FunctionDef def;
+  def.name = name;
+  def.kind = FunctionKind::kHolistic;
+  def.arity = arity;
+  def.holistic = std::move(fn);
+  def.doc = doc;
+  Status st = registry->Register(std::move(def));
+  (void)st;
+}
+
+}  // namespace
+
+void RegisterBuiltinFunctions(FunctionRegistry* registry) {
+  RegisterCell(
+      registry, "difference", 2,
+      [](std::span<const double> a) { return a[0] - a[1]; },
+      "difference(a, b) = a - b");
+  RegisterCell(
+      registry, "absoluteDifference", 2,
+      [](std::span<const double> a) { return std::fabs(a[0] - a[1]); },
+      "absoluteDifference(a, b) = |a - b|");
+  RegisterCell(
+      registry, "ratio", 2,
+      [](std::span<const double> a) {
+        return a[1] == 0.0 ? kNullMeasure : a[0] / a[1];
+      },
+      "ratio(a, b) = a / b");
+  RegisterCell(
+      registry, "percentage", 2,
+      [](std::span<const double> a) {
+        return a[1] == 0.0 ? kNullMeasure : 100.0 * a[0] / a[1];
+      },
+      "percentage(a, b) = 100 * a / b");
+  RegisterCell(
+      registry, "normalizedDifference", 2,
+      [](std::span<const double> a) {
+        return a[1] == 0.0 ? kNullMeasure : (a[0] - a[1]) / a[1];
+      },
+      "normalizedDifference(a, b) = (a - b) / b");
+  RegisterCell(
+      registry, "identity", 1,
+      [](std::span<const double> a) { return a[0]; }, "identity(a) = a");
+  RegisterCell(
+      registry, "neg", 1, [](std::span<const double> a) { return -a[0]; },
+      "neg(a) = -a");
+  RegisterCell(
+      registry, "abs", 1,
+      [](std::span<const double> a) { return std::fabs(a[0]); },
+      "abs(a) = |a|");
+
+  RegisterHolistic(registry, "minMaxNorm", 1, MinMaxNorm,
+                   "minMaxNorm(a) = (a - min a) / (max a - min a)");
+  RegisterHolistic(registry, "zscore", 1, ZScore,
+                   "zscore(a) = (a - mean a) / stddev a");
+  RegisterHolistic(registry, "percOfTotal", -1, PercOfTotal,
+                   "percOfTotal(a[, b]) = a / sum(b); sum(a) when b omitted");
+  RegisterHolistic(registry, "rank", 1, Rank,
+                   "rank(a): 1-based descending competition rank");
+  RegisterHolistic(registry, "percentileRank", 1, PercentileRank,
+                   "percentileRank(a): rank(a) / count");
+}
+
+}  // namespace assess

@@ -1,0 +1,31 @@
+#ifndef ASSESS_FUNCTIONS_BUILTIN_FUNCTIONS_H_
+#define ASSESS_FUNCTIONS_BUILTIN_FUNCTIONS_H_
+
+namespace assess {
+
+class FunctionRegistry;
+
+/// \brief Registers the builtin comparison/transformation library into
+/// `registry`.
+///
+/// Cell functions (per-cell, ⊟-compatible):
+///  - difference(a, b)            a - b
+///  - absoluteDifference(a, b)    |a - b|
+///  - ratio(a, b)                 a / b           (null when b == 0)
+///  - percentage(a, b)            100 * a / b     (null when b == 0)
+///  - normalizedDifference(a, b)  (a - b) / b     (null when b == 0)
+///  - identity(a)                 a
+///  - neg(a)                      -a
+///  - abs(a)                      |a|
+///
+/// Holistic functions (whole-cube, ⊡-compatible):
+///  - minMaxNorm(a)        (a - min a) / (max a - min a)
+///  - zscore(a)            (a - mean a) / stddev a
+///  - percOfTotal(a, b)    a / sum(b)   (Example 4.3 of the paper)
+///  - rank(a)              1-based rank of a, descending (ties share rank)
+///  - percentileRank(a)    rank normalized into (0, 1]
+void RegisterBuiltinFunctions(FunctionRegistry* registry);
+
+}  // namespace assess
+
+#endif  // ASSESS_FUNCTIONS_BUILTIN_FUNCTIONS_H_

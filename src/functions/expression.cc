@@ -1,0 +1,117 @@
+#include "functions/expression.h"
+
+#include "common/str_util.h"
+
+namespace assess {
+
+FuncExpr FuncExpr::Call(std::string fn, std::vector<FuncExpr> arguments) {
+  FuncExpr e;
+  e.kind = Kind::kCall;
+  e.name = std::move(fn);
+  e.args = std::move(arguments);
+  return e;
+}
+
+FuncExpr FuncExpr::Measure(std::string measure) {
+  FuncExpr e;
+  e.kind = Kind::kMeasureRef;
+  e.name = std::move(measure);
+  return e;
+}
+
+FuncExpr FuncExpr::Number(double value) {
+  FuncExpr e;
+  e.kind = Kind::kNumber;
+  e.number = value;
+  return e;
+}
+
+std::string FuncExpr::ToString() const {
+  switch (kind) {
+    case Kind::kNumber:
+      return FormatNumber(number);
+    case Kind::kMeasureRef:
+      return name;
+    case Kind::kCall: {
+      std::string out = name + "(";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += args[i].ToString();
+      }
+      return out + ")";
+    }
+  }
+  return "";
+}
+
+bool operator==(const FuncExpr& a, const FuncExpr& b) {
+  return a.kind == b.kind && a.name == b.name && a.number == b.number &&
+         a.args == b.args;
+}
+
+namespace {
+
+// Picks an unused measure-column name derived from `base`.
+std::string UniqueName(const Cube& cube, const std::string& base) {
+  if (!cube.MeasureIndex(base).ok()) return base;
+  for (int i = 2;; ++i) {
+    std::string candidate = base + "_" + std::to_string(i);
+    if (!cube.MeasureIndex(candidate).ok()) return candidate;
+  }
+}
+
+// Recursively applies `expr`, returning the name of the measure holding its
+// value.
+Result<std::string> Apply(const FuncExpr& expr,
+                          const FunctionRegistry& registry, Cube* cube) {
+  switch (expr.kind) {
+    case FuncExpr::Kind::kMeasureRef: {
+      ASSESS_RETURN_NOT_OK(cube->MeasureIndex(expr.name).status());
+      return expr.name;
+    }
+    case FuncExpr::Kind::kNumber: {
+      std::string name = "$" + FormatNumber(expr.number);
+      if (!cube->MeasureIndex(name).ok()) {
+        AddConstantMeasure(cube, name, expr.number);
+      }
+      return name;
+    }
+    case FuncExpr::Kind::kCall: {
+      ASSESS_ASSIGN_OR_RETURN(const FunctionDef* def,
+                              registry.Find(expr.name));
+      if (def->arity >= 0 &&
+          def->arity != static_cast<int>(expr.args.size())) {
+        return Status::InvalidArgument(
+            "function '" + def->name + "' expects " +
+            std::to_string(def->arity) + " argument(s), got " +
+            std::to_string(expr.args.size()));
+      }
+      std::vector<std::string> inputs;
+      inputs.reserve(expr.args.size());
+      for (const FuncExpr& arg : expr.args) {
+        ASSESS_ASSIGN_OR_RETURN(std::string input,
+                                Apply(arg, registry, cube));
+        inputs.push_back(std::move(input));
+      }
+      std::string out_name = UniqueName(*cube, def->name);
+      if (def->kind == FunctionKind::kCell) {
+        ASSESS_RETURN_NOT_OK(CellTransform(cube, out_name, inputs, def->cell));
+      } else {
+        ASSESS_RETURN_NOT_OK(
+            HTransform(cube, out_name, inputs, def->holistic));
+      }
+      return out_name;
+    }
+  }
+  return Status::Internal("unreachable expression kind");
+}
+
+}  // namespace
+
+Result<std::string> ApplyExpression(const FuncExpr& expr,
+                                    const FunctionRegistry& registry,
+                                    Cube* cube) {
+  return Apply(expr, registry, cube);
+}
+
+}  // namespace assess

@@ -1,0 +1,52 @@
+#ifndef ASSESS_FUNCTIONS_EXPRESSION_H_
+#define ASSESS_FUNCTIONS_EXPRESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "functions/function_registry.h"
+#include "olap/cube.h"
+
+namespace assess {
+
+/// \brief A nestable using-clause expression (Section 3.2): a functional
+/// composition of library functions over measures, benchmark measures and
+/// numeric constants, e.g. minMaxNorm(difference(storeSales, 1000)).
+struct FuncExpr {
+  enum class Kind {
+    kCall,        ///< name(args...)
+    kMeasureRef,  ///< a measure name, possibly dotted ("benchmark.quantity")
+    kNumber,      ///< a numeric literal
+  };
+
+  Kind kind = Kind::kNumber;
+  std::string name;  // function name (kCall) or measure name (kMeasureRef)
+  double number = 0.0;
+  std::vector<FuncExpr> args;
+
+  static FuncExpr Call(std::string fn, std::vector<FuncExpr> arguments);
+  static FuncExpr Measure(std::string measure);
+  static FuncExpr Number(double value);
+
+  /// \brief Renders in surface syntax, e.g. "ratio(quantity, 1000)".
+  std::string ToString() const;
+
+  friend bool operator==(const FuncExpr& a, const FuncExpr& b);
+};
+
+/// \brief Applies `expr` to `cube` by decomposing it into a chain of
+/// cell-transforms (⊟) and H-transforms (⊡), one per function call, exactly
+/// as the semantics of Section 4.3 prescribes. Each call appends a measure
+/// column named after its function (disambiguated when reused); numeric
+/// literals become constant columns on demand.
+///
+/// Returns the name of the measure holding the outermost expression's value
+/// (the comparison measure m_Δ). A bare measure reference adds no columns.
+Result<std::string> ApplyExpression(const FuncExpr& expr,
+                                    const FunctionRegistry& registry,
+                                    Cube* cube);
+
+}  // namespace assess
+
+#endif  // ASSESS_FUNCTIONS_EXPRESSION_H_

@@ -1,0 +1,48 @@
+#include "functions/function_registry.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+#include "functions/builtin_functions.h"
+
+namespace assess {
+
+FunctionRegistry FunctionRegistry::Default() {
+  FunctionRegistry registry;
+  RegisterBuiltinFunctions(&registry);
+  return registry;
+}
+
+Status FunctionRegistry::Register(FunctionDef def) {
+  std::string key = ToLower(def.name);
+  auto [it, inserted] = functions_.emplace(std::move(key), std::move(def));
+  if (!inserted) {
+    return Status::AlreadyExists("function '" + it->second.name +
+                                 "' is already registered");
+  }
+  return Status::OK();
+}
+
+Result<const FunctionDef*> FunctionRegistry::Find(
+    std::string_view name) const {
+  auto it = functions_.find(ToLower(name));
+  if (it == functions_.end()) {
+    return Status::NotFound("no function '" + std::string(name) +
+                            "' in the library");
+  }
+  return &it->second;
+}
+
+bool FunctionRegistry::Contains(std::string_view name) const {
+  return functions_.count(ToLower(name)) > 0;
+}
+
+std::vector<std::string> FunctionRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(functions_.size());
+  for (const auto& [key, def] : functions_) names.push_back(def.name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace assess

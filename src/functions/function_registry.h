@@ -1,0 +1,57 @@
+#ifndef ASSESS_FUNCTIONS_FUNCTION_REGISTRY_H_
+#define ASSESS_FUNCTIONS_FUNCTION_REGISTRY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/operators.h"
+#include "common/result.h"
+
+namespace assess {
+
+/// \brief Kind of a library function (Section 3.2): cell functions apply
+/// per cell (⊟); holistic functions need the whole cube (⊡).
+enum class FunctionKind {
+  kCell,
+  kHolistic,
+};
+
+/// \brief A registered comparison/transformation function.
+struct FunctionDef {
+  std::string name;
+  FunctionKind kind = FunctionKind::kCell;
+  /// Number of arguments; -1 for variadic.
+  int arity = 2;
+  CellFn cell;
+  HolisticFn holistic;
+  std::string doc;
+};
+
+/// \brief The library of comparison/transformation functions available in
+/// using clauses (all with signature δ per Section 3.2), keyed by
+/// case-insensitive name.
+///
+/// Default() returns a registry preloaded with the builtins (difference,
+/// ratio, minMaxNorm, percOfTotal, zscore, ...); users can register more.
+class FunctionRegistry {
+ public:
+  /// \brief A registry preloaded with all builtin functions.
+  static FunctionRegistry Default();
+
+  /// \brief Registers `def`; fails on duplicate names.
+  Status Register(FunctionDef def);
+
+  Result<const FunctionDef*> Find(std::string_view name) const;
+  bool Contains(std::string_view name) const;
+
+  /// \brief Sorted names of all registered functions.
+  std::vector<std::string> Names() const;
+
+ private:
+  std::unordered_map<std::string, FunctionDef> functions_;
+};
+
+}  // namespace assess
+
+#endif  // ASSESS_FUNCTIONS_FUNCTION_REGISTRY_H_

@@ -1,0 +1,135 @@
+#include "labeling/distribution_labeling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "olap/cube.h"
+
+namespace assess {
+
+namespace {
+
+Result<std::vector<std::string>> DefaultOrCustomLabels(
+    int k, std::vector<std::string> labels) {
+  if (k < 1) {
+    return Status::InvalidArgument("labeling needs at least one group");
+  }
+  if (labels.empty()) {
+    // top-1 names the highest-value group; groups are stored lowest first.
+    for (int g = 0; g < k; ++g) {
+      labels.push_back("top-" + std::to_string(k - g));
+    }
+  }
+  if (static_cast<int>(labels.size()) != k) {
+    return Status::InvalidArgument("expected " + std::to_string(k) +
+                                   " labels, got " +
+                                   std::to_string(labels.size()));
+  }
+  return labels;
+}
+
+std::vector<double> SortedNonNull(std::span<const double> values) {
+  std::vector<double> sorted;
+  sorted.reserve(values.size());
+  for (double v : values) {
+    if (!IsNullMeasure(v)) sorted.push_back(v);
+  }
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+}  // namespace
+
+Result<QuantileLabeling> QuantileLabeling::Make(
+    int k, std::vector<std::string> labels, std::string name) {
+  ASSESS_ASSIGN_OR_RETURN(labels, DefaultOrCustomLabels(k, std::move(labels)));
+  if (name.empty()) name = std::to_string(k) + "-quantiles";
+  return QuantileLabeling(k, std::move(labels), std::move(name));
+}
+
+Status QuantileLabeling::Apply(std::span<const double> values,
+                               std::vector<std::string>* labels) const {
+  labels->assign(values.size(), "");
+  std::vector<double> sorted = SortedNonNull(values);
+  if (sorted.empty()) return Status::OK();
+  int64_t n = static_cast<int64_t>(sorted.size());
+  // Value thresholds: threshold g is the first value of group g, so
+  // group(v) = number of thresholds <= v. Ties always land in one group
+  // (the labeling stays a function of the value), absorbed upward.
+  std::vector<double> thresholds;
+  thresholds.reserve(k_ - 1);
+  for (int g = 1; g < k_; ++g) {
+    thresholds.push_back(sorted[std::min<int64_t>(n - 1, g * n / k_)]);
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    double v = values[i];
+    if (IsNullMeasure(v)) continue;
+    int group = static_cast<int>(
+        std::upper_bound(thresholds.begin(), thresholds.end(), v) -
+        thresholds.begin());
+    (*labels)[i] = labels_[group];
+  }
+  return Status::OK();
+}
+
+Result<EquiWidthLabeling> EquiWidthLabeling::Make(
+    int k, std::vector<std::string> labels, std::string name) {
+  ASSESS_ASSIGN_OR_RETURN(labels, DefaultOrCustomLabels(k, std::move(labels)));
+  if (name.empty()) name = std::to_string(k) + "-equiwidth";
+  return EquiWidthLabeling(k, std::move(labels), std::move(name));
+}
+
+Status EquiWidthLabeling::Apply(std::span<const double> values,
+                                std::vector<std::string>* labels) const {
+  labels->assign(values.size(), "");
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (double v : values) {
+    if (IsNullMeasure(v)) continue;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (lo > hi) return Status::OK();  // all null
+  double width = (hi - lo) / k_;
+  for (size_t i = 0; i < values.size(); ++i) {
+    double v = values[i];
+    if (IsNullMeasure(v)) continue;
+    int group =
+        width == 0.0
+            ? 0
+            : std::min(k_ - 1, static_cast<int>((v - lo) / width));
+    (*labels)[i] = labels_[group];
+  }
+  return Status::OK();
+}
+
+Status ZScoreLabeling::Apply(std::span<const double> values,
+                             std::vector<std::string>* labels) const {
+  static const char* kLabels[] = {"very-low", "low", "normal", "high",
+                                  "very-high"};
+  labels->assign(values.size(), "");
+  double sum = 0.0;
+  int64_t n = 0;
+  for (double v : values) {
+    if (IsNullMeasure(v)) continue;
+    sum += v;
+    ++n;
+  }
+  if (n == 0) return Status::OK();
+  double mean = sum / static_cast<double>(n);
+  double ss = 0.0;
+  for (double v : values) {
+    if (!IsNullMeasure(v)) ss += (v - mean) * (v - mean);
+  }
+  double stddev = std::sqrt(ss / static_cast<double>(n));
+  for (size_t i = 0; i < values.size(); ++i) {
+    double v = values[i];
+    if (IsNullMeasure(v)) continue;
+    double z = stddev == 0.0 ? 0.0 : (v - mean) / stddev;
+    int bucket = static_cast<int>(std::lround(std::clamp(z, -2.0, 2.0)));
+    (*labels)[i] = kLabels[bucket + 2];
+  }
+  return Status::OK();
+}
+
+}  // namespace assess

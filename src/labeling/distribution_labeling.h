@@ -1,0 +1,81 @@
+#ifndef ASSESS_LABELING_DISTRIBUTION_LABELING_H_
+#define ASSESS_LABELING_DISTRIBUTION_LABELING_H_
+
+#include <string>
+#include <vector>
+
+#include "labeling/label_function.h"
+
+namespace assess {
+
+/// \brief Labeling based on the overall value distribution (Section 3.3.2):
+/// equi-depth histogram into k groups labeled top-1 (highest values) through
+/// top-k, or custom labels given coarsest-to-finest... i.e. labels[0] names
+/// the lowest-value group.
+///
+/// Group boundaries are value thresholds (the k-quantiles), so equal values
+/// always share a label: λ stays a function of the comparison value.
+class QuantileLabeling : public LabelFunction {
+ public:
+  /// \brief k groups with default labels "top-k".."top-1" (ascending value
+  /// groups), or custom `labels` (size k, lowest group first).
+  static Result<QuantileLabeling> Make(int k,
+                                       std::vector<std::string> labels = {},
+                                       std::string name = "");
+
+  const std::string& name() const override { return name_; }
+  Status Apply(std::span<const double> values,
+               std::vector<std::string>* labels) const override;
+  std::string ToString() const override { return name_; }
+
+  int k() const { return k_; }
+
+ private:
+  QuantileLabeling(int k, std::vector<std::string> labels, std::string name)
+      : k_(k), labels_(std::move(labels)), name_(std::move(name)) {}
+
+  int k_;
+  std::vector<std::string> labels_;  // lowest-value group first
+  std::string name_;
+};
+
+/// \brief Equi-width histogram labeling: [min, max] split into k equal bins.
+class EquiWidthLabeling : public LabelFunction {
+ public:
+  static Result<EquiWidthLabeling> Make(int k,
+                                        std::vector<std::string> labels = {},
+                                        std::string name = "");
+
+  const std::string& name() const override { return name_; }
+  Status Apply(std::span<const double> values,
+               std::vector<std::string>* labels) const override;
+  std::string ToString() const override { return name_; }
+
+ private:
+  EquiWidthLabeling(int k, std::vector<std::string> labels, std::string name)
+      : k_(k), labels_(std::move(labels)), name_(std::move(name)) {}
+
+  int k_;
+  std::vector<std::string> labels_;
+  std::string name_;
+};
+
+/// \brief The "more simplistic scheme" of Section 3.3.2: rounds the z-score
+/// of each comparison value and clamps it to [-2, 2], yielding five labels
+/// from "very-low" to "very-high".
+class ZScoreLabeling : public LabelFunction {
+ public:
+  ZScoreLabeling() : name_("zscore") {}
+
+  const std::string& name() const override { return name_; }
+  Status Apply(std::span<const double> values,
+               std::vector<std::string>* labels) const override;
+  std::string ToString() const override { return name_; }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace assess
+
+#endif  // ASSESS_LABELING_DISTRIBUTION_LABELING_H_

@@ -1,0 +1,123 @@
+#include "labeling/kmeans_labeling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "olap/cube.h"
+
+namespace assess {
+
+namespace {
+
+// Assignment boundaries between ascending centroids: value v belongs to
+// cluster c iff boundaries[c-1] <= v < boundaries[c].
+std::vector<double> Boundaries(const std::vector<double>& centroids) {
+  std::vector<double> bounds;
+  bounds.reserve(centroids.size() - 1);
+  for (size_t c = 0; c + 1 < centroids.size(); ++c) {
+    bounds.push_back((centroids[c] + centroids[c + 1]) / 2.0);
+  }
+  return bounds;
+}
+
+int ClusterOf(const std::vector<double>& bounds, double v) {
+  return static_cast<int>(
+      std::upper_bound(bounds.begin(), bounds.end(), v) - bounds.begin());
+}
+
+double Wcss(const std::vector<double>& sorted,
+            const std::vector<double>& centroids) {
+  std::vector<double> bounds = Boundaries(centroids);
+  double total = 0.0;
+  for (double v : sorted) {
+    double d = v - centroids[ClusterOf(bounds, v)];
+    total += d * d;
+  }
+  return total;
+}
+
+}  // namespace
+
+Result<KMeansLabeling> KMeansLabeling::Make(int k, bool auto_k,
+                                            int max_iterations) {
+  if (k < 1) {
+    return Status::InvalidArgument("k-means labeling needs k >= 1");
+  }
+  std::string name =
+      auto_k ? "kmeans-auto" : "kmeans-" + std::to_string(k);
+  return KMeansLabeling(k, auto_k, max_iterations, std::move(name));
+}
+
+std::vector<double> KMeansLabeling::Fit(const std::vector<double>& sorted,
+                                        int k, int max_iterations) {
+  int64_t n = static_cast<int64_t>(sorted.size());
+  k = static_cast<int>(std::min<int64_t>(k, n));
+  // Quantile initialization: robust and deterministic for 1-D data.
+  std::vector<double> centroids(k);
+  for (int c = 0; c < k; ++c) {
+    centroids[c] = sorted[std::min<int64_t>(n - 1, (2 * c + 1) * n / (2 * k))];
+  }
+  std::sort(centroids.begin(), centroids.end());
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    std::vector<double> bounds = Boundaries(centroids);
+    std::vector<double> sums(k, 0.0);
+    std::vector<int64_t> counts(k, 0);
+    for (double v : sorted) {
+      int c = ClusterOf(bounds, v);
+      sums[c] += v;
+      counts[c] += 1;
+    }
+    bool changed = false;
+    for (int c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // keep the empty cluster's centroid
+      double next = sums[c] / static_cast<double>(counts[c]);
+      if (next != centroids[c]) {
+        centroids[c] = next;
+        changed = true;
+      }
+    }
+    std::sort(centroids.begin(), centroids.end());
+    if (!changed) break;
+  }
+  return centroids;
+}
+
+Status KMeansLabeling::Apply(std::span<const double> values,
+                             std::vector<std::string>* labels) const {
+  labels->assign(values.size(), "");
+  std::vector<double> sorted;
+  sorted.reserve(values.size());
+  for (double v : values) {
+    if (!IsNullMeasure(v)) sorted.push_back(v);
+  }
+  if (sorted.empty()) return Status::OK();
+  std::sort(sorted.begin(), sorted.end());
+
+  int k = static_cast<int>(std::min<int64_t>(
+      k_, static_cast<int64_t>(sorted.size())));
+  std::vector<double> centroids;
+  if (auto_k_ && k >= 2) {
+    // Elbow heuristic against the total variance.
+    double mean = 0.0;
+    for (double v : sorted) mean += v;
+    mean /= static_cast<double>(sorted.size());
+    double total_ss = 0.0;
+    for (double v : sorted) total_ss += (v - mean) * (v - mean);
+    for (int candidate = 2; candidate <= k; ++candidate) {
+      centroids = Fit(sorted, candidate, max_iterations_);
+      if (total_ss == 0.0 || Wcss(sorted, centroids) <= 0.1 * total_ss) break;
+    }
+  } else {
+    centroids = Fit(sorted, k, max_iterations_);
+  }
+
+  std::vector<double> bounds = Boundaries(centroids);
+  for (size_t i = 0; i < values.size(); ++i) {
+    double v = values[i];
+    if (IsNullMeasure(v)) continue;
+    (*labels)[i] = "cluster-" + std::to_string(ClusterOf(bounds, v) + 1);
+  }
+  return Status::OK();
+}
+
+}  // namespace assess

@@ -1,0 +1,47 @@
+#ifndef ASSESS_LABELING_KMEANS_LABELING_H_
+#define ASSESS_LABELING_KMEANS_LABELING_H_
+
+#include <string>
+#include <vector>
+
+#include "labeling/label_function.h"
+
+namespace assess {
+
+/// \brief Clustering-based labeling (the "let the system come up with the
+/// optimal number of clusters" option of Section 3.3.2): 1-D k-means over
+/// the comparison values; groups are labeled "cluster-1" (lowest centroid)
+/// through "cluster-k".
+///
+/// With auto_k, k is chosen in [2, k] by the elbow heuristic: the smallest
+/// k whose within-cluster sum of squares drops below 10% of the total
+/// variance, falling back to the maximum.
+class KMeansLabeling : public LabelFunction {
+ public:
+  static Result<KMeansLabeling> Make(int k, bool auto_k = false,
+                                     int max_iterations = 50);
+
+  const std::string& name() const override { return name_; }
+  Status Apply(std::span<const double> values,
+               std::vector<std::string>* labels) const override;
+  std::string ToString() const override { return name_; }
+
+  /// \brief Runs 1-D Lloyd's algorithm on `sorted` (ascending, non-empty)
+  /// with `k` clusters; returns the ascending centroids. Exposed for tests.
+  static std::vector<double> Fit(const std::vector<double>& sorted, int k,
+                                 int max_iterations);
+
+ private:
+  KMeansLabeling(int k, bool auto_k, int max_iterations, std::string name)
+      : k_(k), auto_k_(auto_k), max_iterations_(max_iterations),
+        name_(std::move(name)) {}
+
+  int k_;
+  bool auto_k_;
+  int max_iterations_;
+  std::string name_;
+};
+
+}  // namespace assess
+
+#endif  // ASSESS_LABELING_KMEANS_LABELING_H_

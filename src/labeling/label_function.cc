@@ -1,0 +1,66 @@
+#include "labeling/label_function.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+#include "labeling/distribution_labeling.h"
+#include "labeling/kmeans_labeling.h"
+
+namespace assess {
+
+LabelingRegistry LabelingRegistry::Default() {
+  LabelingRegistry registry;
+  auto add_quantiles = [&registry](int k, const std::string& name) {
+    Result<QuantileLabeling> fn = QuantileLabeling::Make(k, {}, name);
+    // Builtin construction cannot fail: k >= 1 and default labels.
+    Status st = registry.Register(
+        std::make_shared<QuantileLabeling>(std::move(fn).value()));
+    (void)st;
+  };
+  add_quantiles(2, "median");
+  add_quantiles(3, "terciles");
+  add_quantiles(4, "quartiles");
+  add_quantiles(5, "quintiles");
+  add_quantiles(10, "deciles");
+  Status st = registry.Register(std::make_shared<ZScoreLabeling>());
+  (void)st;
+  Result<KMeansLabeling> km = KMeansLabeling::Make(5, /*auto_k=*/true);
+  st = registry.Register(std::make_shared<KMeansLabeling>(std::move(km).value()));
+  (void)st;
+  return registry;
+}
+
+Status LabelingRegistry::Register(
+    std::shared_ptr<const LabelFunction> function) {
+  std::string key = ToLower(function->name());
+  auto [it, inserted] = functions_.emplace(std::move(key), std::move(function));
+  if (!inserted) {
+    return Status::AlreadyExists("labeling function '" + it->second->name() +
+                                 "' is already registered");
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const LabelFunction>> LabelingRegistry::Find(
+    std::string_view name) const {
+  auto it = functions_.find(ToLower(name));
+  if (it == functions_.end()) {
+    return Status::NotFound("no labeling function '" + std::string(name) +
+                            "'");
+  }
+  return it->second;
+}
+
+bool LabelingRegistry::Contains(std::string_view name) const {
+  return functions_.count(ToLower(name)) > 0;
+}
+
+std::vector<std::string> LabelingRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(functions_.size());
+  for (const auto& [key, fn] : functions_) names.push_back(fn->name());
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace assess

@@ -1,0 +1,59 @@
+#ifndef ASSESS_LABELING_LABEL_FUNCTION_H_
+#define ASSESS_LABELING_LABEL_FUNCTION_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace assess {
+
+/// \brief A labeling function λ : R -> L (Section 3.3): partitions the
+/// domain of comparison values into equivalence classes named by labels.
+///
+/// Null comparison values (non-matching assess* cells, undefined ratios)
+/// receive the empty label, representing the null labels of Section 4.1.
+class LabelFunction {
+ public:
+  virtual ~LabelFunction() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// \brief Labels each comparison value. `labels` is resized to match.
+  /// Fails when a non-null value falls outside the function's domain (the
+  /// user is in charge of completeness for range-based functions).
+  virtual Status Apply(std::span<const double> values,
+                       std::vector<std::string>* labels) const = 0;
+
+  /// \brief Surface rendering: the function name for predeclared functions,
+  /// the brace syntax for inline range sets.
+  virtual std::string ToString() const = 0;
+};
+
+/// \brief Catalog of predeclared labeling functions available by name in
+/// labels clauses (e.g. "quartiles", or a user-registered "5stars").
+class LabelingRegistry {
+ public:
+  /// \brief A registry preloaded with the builtins: quartiles, quintiles,
+  /// deciles, median (2-quantiles), zscore.
+  static LabelingRegistry Default();
+
+  Status Register(std::shared_ptr<const LabelFunction> function);
+
+  Result<std::shared_ptr<const LabelFunction>> Find(
+      std::string_view name) const;
+  bool Contains(std::string_view name) const;
+
+  std::vector<std::string> Names() const;
+
+ private:
+  std::unordered_map<std::string, std::shared_ptr<const LabelFunction>>
+      functions_;
+};
+
+}  // namespace assess
+
+#endif  // ASSESS_LABELING_LABEL_FUNCTION_H_

@@ -1,0 +1,121 @@
+#include "labeling/range_labeling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/str_util.h"
+#include "olap/cube.h"
+
+namespace assess {
+
+std::string LabelRange::ToString() const {
+  std::string out = lo_closed ? "[" : "(";
+  out += FormatNumber(lo);
+  out += ", ";
+  out += FormatNumber(hi);
+  out += hi_closed ? "]" : ")";
+  out += ": " + label;
+  return out;
+}
+
+Result<RangeLabeling> RangeLabeling::Make(std::vector<LabelRange> ranges,
+                                          std::string name) {
+  if (ranges.empty()) {
+    return Status::InvalidArgument("labeling needs at least one range");
+  }
+  for (const LabelRange& r : ranges) {
+    if (std::isnan(r.lo) || std::isnan(r.hi)) {
+      return Status::InvalidArgument("range bounds must not be NaN");
+    }
+    if (r.lo > r.hi || (r.lo == r.hi && !(r.lo_closed && r.hi_closed))) {
+      return Status::InvalidArgument("empty range " + r.ToString());
+    }
+    if (r.label.empty()) {
+      return Status::InvalidArgument("range " + r.ToString() +
+                                     " has an empty label");
+    }
+  }
+  std::sort(ranges.begin(), ranges.end(),
+            [](const LabelRange& a, const LabelRange& b) {
+              if (a.lo != b.lo) return a.lo < b.lo;
+              return a.lo_closed && !b.lo_closed;
+            });
+  for (size_t i = 0; i + 1 < ranges.size(); ++i) {
+    const LabelRange& a = ranges[i];
+    const LabelRange& b = ranges[i + 1];
+    bool overlap =
+        a.hi > b.lo || (a.hi == b.lo && a.hi_closed && b.lo_closed);
+    if (overlap) {
+      return Status::InvalidArgument("overlapping ranges " + a.ToString() +
+                                     " and " + b.ToString());
+    }
+  }
+  return RangeLabeling(std::move(ranges), std::move(name));
+}
+
+Status RangeLabeling::Apply(std::span<const double> values,
+                            std::vector<std::string>* labels) const {
+  labels->assign(values.size(), "");
+  for (size_t i = 0; i < values.size(); ++i) {
+    double v = values[i];
+    if (IsNullMeasure(v)) continue;  // null label
+    // Binary search for the first range with lo > v; only ranges before it
+    // can contain v. Non-overlap plus lo-order implies hi-order, so the
+    // backward scan stops as soon as a range ends below v.
+    auto it = std::upper_bound(
+        ranges_.begin(), ranges_.end(), v,
+        [](double value, const LabelRange& r) { return value < r.lo; });
+    bool found = false;
+    for (auto rit = it; rit != ranges_.begin();) {
+      --rit;
+      if (rit->Contains(v)) {
+        (*labels)[i] = rit->label;
+        found = true;
+        break;
+      }
+      if (rit->hi < v) break;
+    }
+    if (!found) {
+      return Status::OutOfRange("comparison value " + FormatNumber(v) +
+                                " is not covered by any labeling range");
+    }
+  }
+  return Status::OK();
+}
+
+std::string RangeLabeling::ToString() const {
+  if (!name_.empty()) return name_;
+  std::string out = "{";
+  for (size_t i = 0; i < ranges_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += ranges_[i].ToString();
+  }
+  return out + "}";
+}
+
+bool RangeLabeling::Covers(double lo, double hi) const {
+  // Sweep over the sorted, non-overlapping ranges tracking the frontier of
+  // coverage: `cursor` is the smallest value possibly uncovered, and
+  // `point_needed` says whether `cursor` itself still needs coverage.
+  double cursor = lo;
+  bool point_needed = true;
+  for (const LabelRange& r : ranges_) {
+    // Ranges ending strictly below the frontier contribute nothing.
+    if (r.hi < cursor || (r.hi == cursor && point_needed && !r.hi_closed)) {
+      continue;
+    }
+    // The range must reach back to the frontier, or there is a gap.
+    if (r.lo > cursor || (r.lo == cursor && point_needed && !r.lo_closed)) {
+      return false;
+    }
+    // Frontier advances to the end of this range.
+    if (r.hi > hi || (r.hi == hi && r.hi_closed)) return true;
+    if (r.hi > cursor || (r.hi == cursor && point_needed && r.hi_closed)) {
+      cursor = r.hi;
+      point_needed = !r.hi_closed;
+    }
+  }
+  return false;
+}
+
+}  // namespace assess

@@ -1,0 +1,62 @@
+#ifndef ASSESS_LABELING_RANGE_LABELING_H_
+#define ASSESS_LABELING_RANGE_LABELING_H_
+
+#include <string>
+#include <vector>
+
+#include "labeling/label_function.h"
+
+namespace assess {
+
+/// \brief One labeling rule: an interval with open/closed bounds mapped to a
+/// label, e.g. "[0, 0.9): bad". Infinite bounds use ±infinity.
+struct LabelRange {
+  double lo = 0.0;
+  double hi = 0.0;
+  bool lo_closed = true;
+  bool hi_closed = false;
+  std::string label;
+
+  bool Contains(double v) const {
+    if (v < lo || (v == lo && !lo_closed)) return false;
+    if (v > hi || (v == hi && !hi_closed)) return false;
+    return true;
+  }
+
+  /// \brief Renders as "[0, 0.9): bad" (inf bounds as "inf"/"-inf").
+  std::string ToString() const;
+};
+
+/// \brief Labeling based on explicit ranges (Section 3.3.1): the decision is
+/// local to each cell's comparison value.
+class RangeLabeling : public LabelFunction {
+ public:
+  /// \brief Validates the range set (well-formed intervals, no overlaps)
+  /// and builds the function. `name` is empty for inline range sets and a
+  /// function name for predeclared ones (e.g. "5stars").
+  /// Completeness over R is the user's responsibility (per the paper);
+  /// values outside every range make Apply fail.
+  static Result<RangeLabeling> Make(std::vector<LabelRange> ranges,
+                                    std::string name = "");
+
+  const std::string& name() const override { return name_; }
+  Status Apply(std::span<const double> values,
+               std::vector<std::string>* labels) const override;
+  std::string ToString() const override;
+
+  const std::vector<LabelRange>& ranges() const { return ranges_; }
+
+  /// \brief True when the ranges cover all of [lo, hi] without gaps.
+  bool Covers(double lo, double hi) const;
+
+ private:
+  RangeLabeling(std::vector<LabelRange> ranges, std::string name)
+      : ranges_(std::move(ranges)), name_(std::move(name)) {}
+
+  std::vector<LabelRange> ranges_;  // sorted by lo
+  std::string name_;
+};
+
+}  // namespace assess
+
+#endif  // ASSESS_LABELING_RANGE_LABELING_H_

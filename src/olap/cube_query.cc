@@ -1,0 +1,65 @@
+#include "olap/cube_query.h"
+
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace assess {
+
+std::string Predicate::ToString(const CubeSchema& schema) const {
+  const std::string& level_name = schema.hierarchy(hierarchy).level_name(level);
+  std::ostringstream out;
+  switch (op) {
+    case PredicateOp::kEquals:
+      out << level_name << " = '" << members[0] << "'";
+      break;
+    case PredicateOp::kIn: {
+      std::vector<std::string> quoted;
+      quoted.reserve(members.size());
+      for (const std::string& m : members) quoted.push_back("'" + m + "'");
+      out << level_name << " in (" << Join(quoted, ", ") << ")";
+      break;
+    }
+    case PredicateOp::kBetween:
+      out << level_name << " between '" << members[0] << "' and '"
+          << members[1] << "'";
+      break;
+  }
+  return out.str();
+}
+
+Result<CubeQuery> CubeQuery::Make(const CubeSchema& schema,
+                                  std::string cube_name,
+                                  const std::vector<std::string>& by_levels,
+                                  std::vector<Predicate> predicates,
+                                  const std::vector<std::string>& measure_names) {
+  CubeQuery q;
+  q.cube_name = std::move(cube_name);
+  ASSESS_ASSIGN_OR_RETURN(q.group_by,
+                          GroupBySet::FromLevelNames(schema, by_levels));
+  q.predicates = std::move(predicates);
+  for (const std::string& m : measure_names) {
+    ASSESS_ASSIGN_OR_RETURN(int idx, schema.MeasureIndex(m));
+    q.measures.push_back(idx);
+  }
+  return q;
+}
+
+std::string CubeQuery::ToString(const CubeSchema& schema) const {
+  std::ostringstream out;
+  out << "[(" << cube_name << ", " << group_by.ToString(schema) << ", {";
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << predicates[i].ToString(schema);
+  }
+  out << "}, <";
+  for (size_t i = 0; i < measures.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << schema.measure(static_cast<int>(measures[i])).name;
+  }
+  out << ">)]";
+  if (!alias.empty()) out << " -> " << alias;
+  return out.str();
+}
+
+}  // namespace assess

@@ -1,0 +1,65 @@
+#ifndef ASSESS_OLAP_CUBE_QUERY_H_
+#define ASSESS_OLAP_CUBE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "olap/cube_schema.h"
+#include "olap/group_by_set.h"
+
+namespace assess {
+
+/// \brief Comparison operator of a selection predicate.
+enum class PredicateOp {
+  kEquals,   ///< level = 'member'
+  kIn,       ///< level in ('a', 'b', ...)
+  kBetween,  ///< level between 'a' and 'b' (lexicographic on member names,
+             ///< which is chronological for the ISO date members used here)
+};
+
+/// \brief A selection predicate over one level of one hierarchy (the p_i of
+/// Definition 2.6). Members are referenced by name; resolution to member ids
+/// happens at execution time against the bound hierarchy.
+struct Predicate {
+  int hierarchy = 0;
+  int level = 0;
+  PredicateOp op = PredicateOp::kEquals;
+  std::vector<std::string> members;  // 1 for =, n for IN, 2 for BETWEEN
+
+  /// \brief Renders as surface syntax, e.g. "country = 'Italy'".
+  std::string ToString(const CubeSchema& schema) const;
+};
+
+/// \brief A cube query q = (C0, G, P, M) per Definition 2.6.
+///
+/// `cube_name` names the detailed cube in the StarDatabase; `measures`
+/// holds schema measure indexes. The result of executing a CubeQuery is a
+/// derived Cube (the `get` logical operator, Section 4.2).
+struct CubeQuery {
+  std::string cube_name;
+  GroupBySet group_by;
+  std::vector<Predicate> predicates;
+  std::vector<int> measures;
+
+  /// \brief Optional alias for the derived cube; measures of an aliased
+  /// cube are exposed as "<alias>.<measure>" after a join (the
+  /// "-> benchmark" renaming of Section 4.2).
+  std::string alias;
+
+  /// \brief Builds a query from names, validating against `schema`.
+  static Result<CubeQuery> Make(const CubeSchema& schema,
+                                std::string cube_name,
+                                const std::vector<std::string>& by_levels,
+                                std::vector<Predicate> predicates,
+                                const std::vector<std::string>& measure_names);
+
+  /// \brief Renders as "[(SALES, <product, country>, {type = '...'}, "
+  /// "<quantity>)]" for logging and plan explanation.
+  std::string ToString(const CubeSchema& schema) const;
+};
+
+}  // namespace assess
+
+#endif  // ASSESS_OLAP_CUBE_QUERY_H_

@@ -1,0 +1,60 @@
+#include "olap/cube_schema.h"
+
+namespace assess {
+
+std::string_view AggOpToString(AggOp op) {
+  switch (op) {
+    case AggOp::kSum:
+      return "sum";
+    case AggOp::kAvg:
+      return "avg";
+    case AggOp::kMin:
+      return "min";
+    case AggOp::kMax:
+      return "max";
+    case AggOp::kCount:
+      return "count";
+  }
+  return "?";
+}
+
+int CubeSchema::AddHierarchy(std::shared_ptr<Hierarchy> hierarchy) {
+  int index = static_cast<int>(hierarchies_.size());
+  hierarchies_.push_back(std::move(hierarchy));
+  return index;
+}
+
+int CubeSchema::AddMeasure(MeasureDef measure) {
+  int index = static_cast<int>(measures_.size());
+  measures_.push_back(std::move(measure));
+  return index;
+}
+
+Result<int> CubeSchema::HierarchyOfLevel(std::string_view level_name) const {
+  for (int h = 0; h < hierarchy_count(); ++h) {
+    if (hierarchies_[h]->HasLevel(level_name)) return h;
+  }
+  return Status::NotFound("no level '" + std::string(level_name) +
+                          "' in cube schema '" + name_ + "'");
+}
+
+Result<int> CubeSchema::MeasureIndex(std::string_view measure_name) const {
+  for (int m = 0; m < measure_count(); ++m) {
+    if (measures_[m].name == measure_name) return m;
+  }
+  return Status::NotFound("no measure '" + std::string(measure_name) +
+                          "' in cube schema '" + name_ + "'");
+}
+
+bool CubeSchema::HasMeasure(std::string_view measure_name) const {
+  return MeasureIndex(measure_name).ok();
+}
+
+std::vector<std::string> CubeSchema::MeasureNames() const {
+  std::vector<std::string> names;
+  names.reserve(measures_.size());
+  for (const MeasureDef& m : measures_) names.push_back(m.name);
+  return names;
+}
+
+}  // namespace assess

@@ -1,0 +1,77 @@
+#ifndef ASSESS_OLAP_CUBE_SCHEMA_H_
+#define ASSESS_OLAP_CUBE_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "olap/hierarchy.h"
+
+namespace assess {
+
+/// \brief Aggregation operator attached to a measure (op(m) in Def. 2.1).
+enum class AggOp {
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+  kCount,
+};
+
+std::string_view AggOpToString(AggOp op);
+
+/// \brief A measure of a cube schema: a name plus its aggregation operator.
+struct MeasureDef {
+  std::string name;
+  AggOp op = AggOp::kSum;
+};
+
+/// \brief Cube schema C = (H, M) per Definition 2.1: a set of hierarchies
+/// plus a tuple of measures.
+///
+/// Hierarchies are shared (shared_ptr) so that a target cube and a benchmark
+/// over the same schema reference identical member dictionaries, which is
+/// what makes coordinate-equality joins meaningful.
+class CubeSchema {
+ public:
+  explicit CubeSchema(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// \brief Registers a hierarchy; returns its index.
+  int AddHierarchy(std::shared_ptr<Hierarchy> hierarchy);
+
+  /// \brief Registers a measure; returns its index.
+  int AddMeasure(MeasureDef measure);
+
+  int hierarchy_count() const { return static_cast<int>(hierarchies_.size()); }
+  int measure_count() const { return static_cast<int>(measures_.size()); }
+
+  const Hierarchy& hierarchy(int i) const { return *hierarchies_[i]; }
+  const std::shared_ptr<Hierarchy>& hierarchy_ptr(int i) const {
+    return hierarchies_[i];
+  }
+  const MeasureDef& measure(int i) const { return measures_[i]; }
+
+  /// \brief Index of the hierarchy containing a level with this name.
+  /// Level names are assumed globally unique across hierarchies (true for
+  /// both the SALES and SSB schemas, and checked at registration).
+  Result<int> HierarchyOfLevel(std::string_view level_name) const;
+
+  Result<int> MeasureIndex(std::string_view measure_name) const;
+  bool HasMeasure(std::string_view measure_name) const;
+
+  /// \brief Names of all measures, in schema order.
+  std::vector<std::string> MeasureNames() const;
+
+ private:
+  std::string name_;
+  std::vector<std::shared_ptr<Hierarchy>> hierarchies_;
+  std::vector<MeasureDef> measures_;
+};
+
+}  // namespace assess
+
+#endif  // ASSESS_OLAP_CUBE_SCHEMA_H_

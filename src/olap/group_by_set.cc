@@ -1,0 +1,58 @@
+#include "olap/group_by_set.h"
+
+#include "common/str_util.h"
+
+namespace assess {
+
+Result<GroupBySet> GroupBySet::FromLevelNames(
+    const CubeSchema& schema, const std::vector<std::string>& level_names) {
+  GroupBySet gbs(schema.hierarchy_count());
+  for (const std::string& name : level_names) {
+    ASSESS_ASSIGN_OR_RETURN(int h, schema.HierarchyOfLevel(name));
+    if (gbs.HasHierarchy(h)) {
+      return Status::InvalidArgument(
+          "group-by set has two levels from hierarchy '" +
+          schema.hierarchy(h).name() + "'");
+    }
+    ASSESS_ASSIGN_OR_RETURN(int l, schema.hierarchy(h).LevelIndex(name));
+    gbs.SetLevel(h, l);
+  }
+  return gbs;
+}
+
+int GroupBySet::Arity() const {
+  int n = 0;
+  for (const auto& l : levels_) {
+    if (l.has_value()) ++n;
+  }
+  return n;
+}
+
+bool GroupBySet::RollsUpTo(const GroupBySet& other,
+                           const CubeSchema& schema) const {
+  (void)schema;
+  if (levels_.size() != other.levels_.size()) return false;
+  for (size_t h = 0; h < levels_.size(); ++h) {
+    if (!other.levels_[h].has_value()) continue;  // other aggregates h fully.
+    if (!levels_[h].has_value()) return false;    // this is coarser on h.
+    // Finer levels have smaller indexes (finest-first storage).
+    if (*levels_[h] > *other.levels_[h]) return false;
+  }
+  return true;
+}
+
+std::string GroupBySet::ToString(const CubeSchema& schema) const {
+  std::vector<std::string> names;
+  for (size_t h = 0; h < levels_.size(); ++h) {
+    if (levels_[h].has_value()) {
+      names.push_back(
+          schema.hierarchy(static_cast<int>(h)).level_name(*levels_[h]));
+    }
+  }
+  std::string out = "<";
+  out += Join(names, ", ");
+  out += ">";
+  return out;
+}
+
+}  // namespace assess

@@ -1,0 +1,62 @@
+#ifndef ASSESS_OLAP_GROUP_BY_SET_H_
+#define ASSESS_OLAP_GROUP_BY_SET_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "olap/cube_schema.h"
+
+namespace assess {
+
+/// \brief Group-by set per Definition 2.3: at most one level per hierarchy.
+///
+/// Represented as one optional level index per hierarchy of the schema;
+/// std::nullopt means the hierarchy is fully aggregated ("ALL"), the
+/// implicit convention of the multidimensional model.
+class GroupBySet {
+ public:
+  GroupBySet() = default;
+  explicit GroupBySet(int hierarchy_count)
+      : levels_(hierarchy_count, std::nullopt) {}
+
+  /// \brief Builds a group-by set from level names against `schema`
+  /// (e.g. {"product", "country"}). Rejects unknown levels and two levels
+  /// from the same hierarchy.
+  static Result<GroupBySet> FromLevelNames(
+      const CubeSchema& schema, const std::vector<std::string>& level_names);
+
+  int hierarchy_count() const { return static_cast<int>(levels_.size()); }
+
+  void SetLevel(int hierarchy, int level) { levels_[hierarchy] = level; }
+  void ClearLevel(int hierarchy) { levels_[hierarchy] = std::nullopt; }
+
+  bool HasHierarchy(int hierarchy) const {
+    return levels_[hierarchy].has_value();
+  }
+  int LevelOf(int hierarchy) const { return *levels_[hierarchy]; }
+
+  /// \brief Number of hierarchies present (the coordinate arity).
+  int Arity() const;
+
+  /// \brief True when this group-by set is finer-or-equal than `other` in
+  /// the ⪰_H partial order induced by the roll-up orders: every hierarchy
+  /// present in `other` is present here at a finer-or-equal level.
+  /// Coordinates of `this` then roll up to coordinates of `other`.
+  bool RollsUpTo(const GroupBySet& other, const CubeSchema& schema) const;
+
+  friend bool operator==(const GroupBySet& a, const GroupBySet& b) {
+    return a.levels_ == b.levels_;
+  }
+
+  /// \brief Renders as "⟨product, country⟩" style (ASCII: "<...>").
+  std::string ToString(const CubeSchema& schema) const;
+
+ private:
+  std::vector<std::optional<int>> levels_;
+};
+
+}  // namespace assess
+
+#endif  // ASSESS_OLAP_GROUP_BY_SET_H_

@@ -1,0 +1,113 @@
+#include "olap/hierarchy.h"
+
+#include <limits>
+
+namespace assess {
+
+int Hierarchy::AddLevel(std::string level_name) {
+  int index = static_cast<int>(levels_.size());
+  level_index_.emplace(level_name, index);
+  levels_.push_back(Level{std::move(level_name), {}, {}, {}, {}});
+  return index;
+}
+
+Result<int> Hierarchy::LevelIndex(std::string_view level_name) const {
+  auto it = level_index_.find(std::string(level_name));
+  if (it == level_index_.end()) {
+    return Status::NotFound("no level '" + std::string(level_name) +
+                            "' in hierarchy '" + name_ + "'");
+  }
+  return it->second;
+}
+
+bool Hierarchy::HasLevel(std::string_view level_name) const {
+  return level_index_.count(std::string(level_name)) > 0;
+}
+
+MemberId Hierarchy::AddMember(int level, std::string_view member) {
+  Level& l = levels_[level];
+  auto it = l.member_index.find(std::string(member));
+  if (it != l.member_index.end()) return it->second;
+  MemberId id = static_cast<MemberId>(l.members.size());
+  l.members.emplace_back(member);
+  l.member_index.emplace(std::string(member), id);
+  l.parent.push_back(kInvalidMember);
+  return id;
+}
+
+Result<MemberId> Hierarchy::MemberIdOf(int level,
+                                       std::string_view member) const {
+  const Level& l = levels_[level];
+  auto it = l.member_index.find(std::string(member));
+  if (it == l.member_index.end()) {
+    return Status::NotFound("no member '" + std::string(member) +
+                            "' in level '" + l.name + "' of hierarchy '" +
+                            name_ + "'");
+  }
+  return it->second;
+}
+
+void Hierarchy::SetParent(int fine_level, MemberId child, MemberId parent) {
+  levels_[fine_level].parent[child] = parent;
+}
+
+MemberId Hierarchy::RollUpMember(int from_level, MemberId member,
+                                 int to_level) const {
+  MemberId current = member;
+  for (int l = from_level; l < to_level; ++l) {
+    if (current == kInvalidMember) return kInvalidMember;
+    current = levels_[l].parent[current];
+  }
+  return current;
+}
+
+void Hierarchy::SetProperty(int level, std::string_view property,
+                            std::string_view member, double value) {
+  Level& l = levels_[level];
+  MemberId id = AddMember(level, member);
+  auto [it, inserted] = l.properties.try_emplace(std::string(property));
+  std::vector<double>& column = it->second;
+  if (column.size() < l.members.size()) {
+    column.resize(l.members.size(),
+                  std::numeric_limits<double>::quiet_NaN());
+  }
+  column[id] = value;
+}
+
+bool Hierarchy::HasProperty(int level, std::string_view property) const {
+  return levels_[level].properties.count(std::string(property)) > 0;
+}
+
+Result<const std::vector<double>*> Hierarchy::PropertyColumn(
+    int level, std::string_view property) const {
+  const Level& l = levels_[level];
+  auto it = l.properties.find(std::string(property));
+  if (it == l.properties.end()) {
+    return Status::NotFound("no property '" + std::string(property) +
+                            "' on level '" + l.name + "' of hierarchy '" +
+                            name_ + "'");
+  }
+  // Members added after the last SetProperty call lack slots; the column is
+  // lazily right-sized here (const because values are unchanged: nulls).
+  if (it->second.size() < l.members.size()) {
+    const_cast<std::vector<double>&>(it->second)
+        .resize(l.members.size(), std::numeric_limits<double>::quiet_NaN());
+  }
+  return &it->second;
+}
+
+Status Hierarchy::Validate() const {
+  for (size_t l = 0; l + 1 < levels_.size(); ++l) {
+    const Level& level = levels_[l];
+    for (size_t m = 0; m < level.members.size(); ++m) {
+      if (level.parent[m] == kInvalidMember) {
+        return Status::Internal("member '" + level.members[m] + "' of level '" +
+                                level.name + "' in hierarchy '" + name_ +
+                                "' has no parent");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace assess

@@ -1,0 +1,201 @@
+#include "sqlgen/sql_generator.h"
+
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace assess {
+
+namespace {
+
+std::string DimAlias(const Hierarchy& hierarchy) {
+  return ToLower(hierarchy.name().substr(0, 1));
+}
+
+std::string Quoted(const std::string& member) { return "'" + member + "'"; }
+
+}  // namespace
+
+std::string SqlGenerator::FactAlias() const { return "f"; }
+
+Result<std::vector<std::string>> SqlGenerator::GroupByLevels(
+    const CubeQuery& query) const {
+  std::vector<std::string> levels;
+  for (int h = 0; h < schema_->hierarchy_count(); ++h) {
+    if (!query.group_by.HasHierarchy(h)) continue;
+    levels.push_back(
+        schema_->hierarchy(h).level_name(query.group_by.LevelOf(h)));
+  }
+  return levels;
+}
+
+Result<std::string> SqlGenerator::SelectList(const CubeQuery& query,
+                                             const std::string& indent) const {
+  ASSESS_ASSIGN_OR_RETURN(std::vector<std::string> levels,
+                          GroupByLevels(query));
+  std::vector<std::string> items = levels;
+  for (int m : query.measures) {
+    const MeasureDef& def = schema_->measure(m);
+    items.push_back(std::string(AggOpToString(def.op)) + "(" + def.name +
+                    ") as " + def.name);
+  }
+  return indent + Join(items, ", ");
+}
+
+Result<std::string> SqlGenerator::FromJoins(const CubeQuery& query) const {
+  std::ostringstream out;
+  out << ToLower(query.cube_name) << " " << FactAlias();
+  // Join only the dimensions the query touches.
+  for (int h = 0; h < schema_->hierarchy_count(); ++h) {
+    bool needed = query.group_by.HasHierarchy(h);
+    for (const Predicate& p : query.predicates) {
+      if (p.hierarchy == h) needed = true;
+    }
+    if (!needed) continue;
+    const Hierarchy& hier = schema_->hierarchy(h);
+    std::string alias = DimAlias(hier);
+    std::string key = alias + "key";
+    out << "\n  join " << ToLower(hier.name()) << " " << alias << " on "
+        << alias << "." << key << " = " << FactAlias() << "." << key;
+  }
+  return out.str();
+}
+
+Result<std::string> SqlGenerator::WhereClause(const CubeQuery& query) const {
+  if (query.predicates.empty()) return std::string();
+  std::vector<std::string> conjuncts;
+  for (const Predicate& p : query.predicates) {
+    const Hierarchy& hier = schema_->hierarchy(p.hierarchy);
+    std::string column = hier.level_name(p.level);
+    switch (p.op) {
+      case PredicateOp::kEquals:
+        conjuncts.push_back(column + " = " + Quoted(p.members[0]));
+        break;
+      case PredicateOp::kIn: {
+        std::vector<std::string> quoted;
+        quoted.reserve(p.members.size());
+        for (const std::string& m : p.members) quoted.push_back(Quoted(m));
+        conjuncts.push_back(column + " in (" + Join(quoted, ", ") + ")");
+        break;
+      }
+      case PredicateOp::kBetween:
+        conjuncts.push_back(column + " between " + Quoted(p.members[0]) +
+                            " and " + Quoted(p.members[1]));
+        break;
+    }
+  }
+  return "\nwhere " + Join(conjuncts, " and ");
+}
+
+Result<std::string> SqlGenerator::RenderGet(const CubeQuery& query) const {
+  std::ostringstream out;
+  ASSESS_ASSIGN_OR_RETURN(std::string select, SelectList(query, ""));
+  ASSESS_ASSIGN_OR_RETURN(std::string from, FromJoins(query));
+  ASSESS_ASSIGN_OR_RETURN(std::string where, WhereClause(query));
+  ASSESS_ASSIGN_OR_RETURN(std::vector<std::string> group_by,
+                          GroupByLevels(query));
+  out << "select " << select << "\nfrom " << from << where;
+  if (!group_by.empty()) out << "\ngroup by " << Join(group_by, ", ");
+  return out.str();
+}
+
+Result<std::string> SqlGenerator::RenderJoin(
+    const CubeQuery& target, const SqlGenerator& benchmark_gen,
+    const CubeQuery& benchmark,
+    const std::vector<std::string>& join_levels, bool left_outer) const {
+  ASSESS_ASSIGN_OR_RETURN(std::string sql_c, RenderGet(target));
+  ASSESS_ASSIGN_OR_RETURN(std::string sql_b,
+                          benchmark_gen.RenderGet(benchmark));
+  ASSESS_ASSIGN_OR_RETURN(std::vector<std::string> levels,
+                          GroupByLevels(target));
+
+  std::vector<std::string> select;
+  for (const std::string& level : levels) select.push_back("t1." + level);
+  for (int m : target.measures) {
+    select.push_back("t1." + schema_->measure(m).name);
+  }
+  for (int m : benchmark.measures) {
+    const std::string& name = benchmark_gen.schema().measure(m).name;
+    select.push_back("t2." + name + " as bc_" + name);
+  }
+
+  std::vector<std::string> on;
+  on.reserve(join_levels.size());
+  for (const std::string& level : join_levels) {
+    on.push_back("t1." + level + " = t2." + level);
+  }
+  std::ostringstream out;
+  out << "select " << Join(select, ", ") << "\nfrom\n  (" << sql_c
+      << ") t1\n  " << (left_outer ? "left join" : "join") << "\n  (" << sql_b
+      << ") t2";
+  if (!on.empty()) out << "\n  on " << Join(on, " and ");
+  return out.str();
+}
+
+Result<std::string> SqlGenerator::RenderPivot(
+    const CubeQuery& query_all, const std::string& level,
+    const std::string& reference_member,
+    const std::vector<std::string>& other_members,
+    bool require_complete) const {
+  ASSESS_ASSIGN_OR_RETURN(std::string inner, RenderGet(query_all));
+  ASSESS_ASSIGN_OR_RETURN(std::vector<std::string> levels,
+                          GroupByLevels(query_all));
+
+  std::vector<std::string> select;
+  select.push_back(Quoted(reference_member) + " as " + level);
+  for (const std::string& l : levels) {
+    if (l != level) select.push_back(l);
+  }
+  std::vector<std::string> measure_names;
+  for (int m : query_all.measures) {
+    measure_names.push_back(schema_->measure(m).name);
+  }
+  for (const std::string& m : measure_names) {
+    select.push_back(m);
+    for (size_t i = 0; i < other_members.size(); ++i) {
+      select.push_back("bc_" + m + (other_members.size() > 1
+                                        ? "_" + std::to_string(i + 1)
+                                        : ""));
+    }
+  }
+
+  std::ostringstream out;
+  out << "select " << Join(select, ", ") << "\nfrom\n  (" << inner << ")";
+  out << "\npivot (";
+  std::vector<std::string> aggs;
+  for (int m : query_all.measures) {
+    const MeasureDef& def = schema_->measure(m);
+    aggs.push_back(std::string(AggOpToString(def.op)) + "(" + def.name + ")");
+  }
+  out << Join(aggs, ", ") << " for " << level << "\n  in ("
+      << Quoted(reference_member) << " as "
+      << Join(measure_names, ", ");
+  for (size_t i = 0; i < other_members.size(); ++i) {
+    out << ", " << Quoted(other_members[i]) << " as ";
+    std::vector<std::string> renamed;
+    for (const std::string& m : measure_names) {
+      renamed.push_back("bc_" + m + (other_members.size() > 1
+                                         ? "_" + std::to_string(i + 1)
+                                         : ""));
+    }
+    out << Join(renamed, ", ");
+  }
+  out << ")\n)";
+  if (require_complete) {
+    std::vector<std::string> not_null;
+    for (const std::string& m : measure_names) {
+      not_null.push_back(m + " is not null");
+      for (size_t i = 0; i < other_members.size(); ++i) {
+        not_null.push_back("bc_" + m +
+                           (other_members.size() > 1
+                                ? "_" + std::to_string(i + 1)
+                                : "") +
+                           " is not null");
+      }
+    }
+    out << "\nwhere " << Join(not_null, " and ");
+  }
+  return out.str();
+}
+
+}  // namespace assess

@@ -1,0 +1,61 @@
+#ifndef ASSESS_SQLGEN_SQL_GENERATOR_H_
+#define ASSESS_SQLGEN_SQL_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "olap/cube_query.h"
+
+namespace assess {
+
+/// \brief Renders the SQL that the paper's prototype would push to the DBMS
+/// for each engine entry point, over the standard star-schema naming scheme:
+/// the fact table is the lower-cased cube name, each dimension table the
+/// lower-cased hierarchy name, keys are "<initial>key" (c.ckey, p.pkey, ...)
+/// and level columns carry the level names — the conventions of Listings
+/// 1, 4 and 5.
+///
+/// The generated text is used (a) to show users the pushed-down queries,
+/// and (b) as the SQL side of the formulation-effort metric of Table 1.
+class SqlGenerator {
+ public:
+  explicit SqlGenerator(const CubeSchema* schema) : schema_(schema) {}
+
+  const CubeSchema& schema() const { return *schema_; }
+
+  /// \brief SQL of a single get (Listing 1).
+  Result<std::string> RenderGet(const CubeQuery& query) const;
+
+  /// \brief SQL of a pushed-down join of two gets (Listing 4): two inner
+  /// subqueries t1/t2 joined on `join_levels`. `benchmark_gen` renders the
+  /// benchmark side (it differs from *this for external benchmarks, whose
+  /// measures live in another schema).
+  Result<std::string> RenderJoin(const CubeQuery& target,
+                                 const SqlGenerator& benchmark_gen,
+                                 const CubeQuery& benchmark,
+                                 const std::vector<std::string>& join_levels,
+                                 bool left_outer) const;
+
+  /// \brief SQL of a pushed-down pivot (Listing 5): one subquery over all
+  /// slices plus a PIVOT clause keeping `reference_member`.
+  Result<std::string> RenderPivot(
+      const CubeQuery& query_all, const std::string& level,
+      const std::string& reference_member,
+      const std::vector<std::string>& other_members,
+      bool require_complete) const;
+
+ private:
+  std::string FactAlias() const;
+  Result<std::string> SelectList(const CubeQuery& query,
+                                 const std::string& indent) const;
+  Result<std::string> FromJoins(const CubeQuery& query) const;
+  Result<std::string> WhereClause(const CubeQuery& query) const;
+  Result<std::vector<std::string>> GroupByLevels(const CubeQuery& query) const;
+
+  const CubeSchema* schema_;
+};
+
+}  // namespace assess
+
+#endif  // ASSESS_SQLGEN_SQL_GENERATOR_H_

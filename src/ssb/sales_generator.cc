@@ -1,0 +1,198 @@
+#include "ssb/sales_generator.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace assess {
+
+namespace {
+
+struct ProductDef {
+  const char* name;
+  const char* type;
+  const char* category;
+  double unit_price;
+};
+constexpr ProductDef kProducts[] = {
+    {"Apple", "Fresh Fruit", "Fruit", 2.0},
+    {"Pear", "Fresh Fruit", "Fruit", 2.5},
+    {"Lemon", "Fresh Fruit", "Fruit", 1.5},
+    {"Banana", "Fresh Fruit", "Fruit", 1.8},
+    {"Orange", "Fresh Fruit", "Fruit", 2.2},
+    {"Raisin", "Dried Fruit", "Fruit", 4.0},
+    {"Fig", "Dried Fruit", "Fruit", 5.0},
+    {"milk", "Dairy", "Food", 1.2},
+    {"yogurt", "Dairy", "Food", 1.6},
+    {"butter", "Dairy", "Food", 3.2},
+    {"cheese", "Dairy", "Food", 6.5},
+    {"ice-cream", "Dairy", "Food", 4.5},
+    {"juice", "Beverages", "Drink", 2.8},
+    {"soda", "Beverages", "Drink", 1.9},
+    {"water", "Beverages", "Drink", 0.9},
+    {"bread", "Baked Goods", "Food", 2.1},
+    {"croissant", "Baked Goods", "Food", 1.4},
+    {"cake", "Baked Goods", "Food", 8.0},
+};
+
+struct StoreDef {
+  const char* name;
+  const char* city;
+  const char* country;
+};
+constexpr StoreDef kStores[] = {
+    {"SmartMart", "Rome", "Italy"},
+    {"MegaStore", "Milan", "Italy"},
+    {"CityMarket", "Naples", "Italy"},
+    {"PetitPrix", "Paris", "France"},
+    {"GrandMarche", "Lyon", "France"},
+    {"BonCoin", "Marseille", "France"},
+    {"ElMercado", "Madrid", "Spain"},
+    {"SuperTienda", "Barcelona", "Spain"},
+    {"KaufHaus", "Berlin", "Germany"},
+    {"BilligMarkt", "Munich", "Germany"},
+    {"AgoraShop", "Athens", "Greece"},
+};
+
+bool IsLeapYear(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int DaysInMonth(int year, int month) {
+  static constexpr int kDays[] = {31, 28, 31, 30, 31, 30,
+                                  31, 31, 30, 31, 30, 31};
+  if (month == 2 && IsLeapYear(year)) return 29;
+  return kDays[month - 1];
+}
+
+std::string Pad2(int n) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%02d", n % 100);
+  return buf;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<StarDatabase>> BuildSalesDatabase(
+    const SalesConfig& config) {
+  Rng rng(config.seed);
+
+  auto h_date = std::make_shared<Hierarchy>("Date");
+  h_date->set_temporal(true);
+  h_date->AddLevel("date");
+  h_date->AddLevel("month");
+  h_date->AddLevel("year");
+  DimensionTable dates("date", h_date);
+  for (int year = 1996; year <= 1997; ++year) {
+    MemberId year_id = h_date->AddMember(2, std::to_string(year));
+    for (int month = 1; month <= 12; ++month) {
+      std::string month_name = std::to_string(year) + "-" + Pad2(month);
+      MemberId month_id = h_date->AddMember(1, month_name);
+      h_date->SetParent(1, month_id, year_id);
+      for (int day = 1; day <= DaysInMonth(year, month); ++day) {
+        MemberId date_id = h_date->AddMember(0, month_name + "-" + Pad2(day));
+        h_date->SetParent(0, date_id, month_id);
+        dates.AddRow({date_id, month_id, year_id});
+      }
+    }
+  }
+
+  auto h_customer = std::make_shared<Hierarchy>("Customer");
+  h_customer->AddLevel("customer");
+  h_customer->AddLevel("gender");
+  DimensionTable customers("customer", h_customer);
+  MemberId male = h_customer->AddMember(1, "male");
+  MemberId female = h_customer->AddMember(1, "female");
+  constexpr int kCustomers = 200;
+  for (int i = 0; i < kCustomers; ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "Customer#%03d", i + 1);
+    MemberId customer = h_customer->AddMember(0, buf);
+    MemberId gender = (rng.Uniform(2) == 0) ? male : female;
+    h_customer->SetParent(0, customer, gender);
+    customers.AddRow({customer, gender});
+  }
+
+  auto h_product = std::make_shared<Hierarchy>("Product");
+  h_product->AddLevel("product");
+  h_product->AddLevel("type");
+  h_product->AddLevel("category");
+  DimensionTable products("product", h_product);
+  const int n_products = static_cast<int>(std::size(kProducts));
+  for (int i = 0; i < n_products; ++i) {
+    MemberId category = h_product->AddMember(2, kProducts[i].category);
+    MemberId type = h_product->AddMember(1, kProducts[i].type);
+    h_product->SetParent(1, type, category);
+    MemberId product = h_product->AddMember(0, kProducts[i].name);
+    h_product->SetParent(0, product, type);
+    products.AddRow({product, type, category});
+  }
+
+  auto h_store = std::make_shared<Hierarchy>("Store");
+  h_store->AddLevel("store");
+  h_store->AddLevel("city");
+  h_store->AddLevel("country");
+  DimensionTable stores("store", h_store);
+  const int n_stores = static_cast<int>(std::size(kStores));
+  for (int i = 0; i < n_stores; ++i) {
+    MemberId country = h_store->AddMember(2, kStores[i].country);
+    MemberId city = h_store->AddMember(1, kStores[i].city);
+    h_store->SetParent(1, city, country);
+    MemberId store = h_store->AddMember(0, kStores[i].name);
+    h_store->SetParent(0, store, city);
+    stores.AddRow({store, city, country});
+  }
+
+  // Descriptive properties: country populations (millions), enabling
+  // per-capita statements via property(country, population).
+  struct CountryPop { const char* name; double millions; };
+  constexpr CountryPop kPopulations[] = {
+      {"Italy", 59.0},  {"France", 68.0}, {"Spain", 48.0},
+      {"Germany", 84.0}, {"Greece", 10.0},
+  };
+  for (const CountryPop& cp : kPopulations) {
+    h_store->SetProperty(2, "population", cp.name, cp.millions);
+  }
+
+  auto schema = std::make_shared<CubeSchema>("SALES");
+  schema->AddHierarchy(h_date);
+  schema->AddHierarchy(h_customer);
+  schema->AddHierarchy(h_product);
+  schema->AddHierarchy(h_store);
+  schema->AddMeasure({"quantity", AggOp::kSum});
+  schema->AddMeasure({"storeSales", AggOp::kSum});
+  schema->AddMeasure({"storeCost", AggOp::kSum});
+
+  FactTable facts("SALES", 4, 3);
+  facts.Reserve(config.facts);
+  const int32_t n_dates = static_cast<int32_t>(dates.NumRows());
+  std::vector<int32_t> fks(4);
+  std::vector<double> measures(3);
+  for (int64_t i = 0; i < config.facts; ++i) {
+    fks[0] = static_cast<int32_t>(rng.Uniform(n_dates));
+    fks[1] = static_cast<int32_t>(rng.Uniform(kCustomers));
+    fks[2] = static_cast<int32_t>(rng.Skewed(n_products));
+    fks[3] = static_cast<int32_t>(rng.Uniform(n_stores));
+    double quantity = 1.0 + static_cast<double>(rng.Uniform(20));
+    // Mild per-store seasonality so past benchmarks have signal to fit.
+    double season =
+        1.0 + 0.15 * static_cast<double>((fks[0] / 30 + fks[3]) % 7) / 7.0;
+    double sales = quantity * kProducts[fks[2]].unit_price * season;
+    measures[0] = quantity;
+    measures[1] = sales;
+    measures[2] = sales * (0.55 + 0.25 * rng.NextDouble());
+    facts.AddRow(fks, measures);
+  }
+
+  auto db = std::make_unique<StarDatabase>();
+  std::vector<DimensionTable> dims = {dates, customers, products, stores};
+  auto bound =
+      std::make_unique<BoundCube>(schema, std::move(dims), std::move(facts));
+  ASSESS_RETURN_NOT_OK(bound->Validate());
+  ASSESS_RETURN_NOT_OK(db->Register("SALES", std::move(bound)));
+  return db;
+}
+
+}  // namespace assess

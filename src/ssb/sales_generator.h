@@ -1,0 +1,37 @@
+#ifndef ASSESS_SSB_SALES_GENERATOR_H_
+#define ASSESS_SSB_SALES_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/result.h"
+#include "storage/star_schema.h"
+
+namespace assess {
+
+/// \brief Configuration for the SALES cube generator — the FoodMart-style
+/// running example of the paper (Example 2.2):
+///
+///   Date:     date ⪰ month ⪰ year         (1996-1997)
+///   Customer: customer ⪰ gender
+///   Product:  product ⪰ type ⪰ category   (milk, Apple, Fresh Fruit, ...)
+///   Store:    store ⪰ city ⪰ country      (SmartMart, Italy, France, ...)
+///   Measures: quantity, storeSales, storeCost (sums)
+///
+/// The product and store vocabularies include every member the paper's
+/// examples mention (milk, Fresh Fruit with Apple/Pear/Lemon, Italy and
+/// France slices, the SmartMart store), so all of Example 4.1's statements
+/// run verbatim against it.
+struct SalesConfig {
+  int64_t facts = 100000;
+  uint64_t seed = 7;
+};
+
+/// \brief Generates the SALES database (cube "SALES"), deterministic in
+/// the seed.
+Result<std::unique_ptr<StarDatabase>> BuildSalesDatabase(
+    const SalesConfig& config);
+
+}  // namespace assess
+
+#endif  // ASSESS_SSB_SALES_GENERATOR_H_

@@ -1,0 +1,52 @@
+#include "ssb/workload.h"
+
+#include <cstdlib>
+
+namespace assess {
+
+std::vector<WorkloadStatement> SsbWorkload() {
+  return {
+      {"Constant",
+       "with SSB by part "
+       "assess revenue against 4000000 "
+       "using ratio(revenue, 4000000) "
+       "labels {[0, 0.5): low, [0.5, 1.5]: ok, (1.5, inf): high}"},
+      {"External",
+       "with SSB by customer "
+       "assess revenue against BUDGET.plannedRevenue "
+       "using normalizedDifference(revenue, benchmark.plannedRevenue) "
+       "labels {[-inf, -0.1): behind, [-0.1, 0.1]: onTrack, (0.1, inf): "
+       "ahead}"},
+      {"Sibling",
+       "with SSB for s_region = 'ASIA' by customer, s_region "
+       "assess quantity against s_region = 'AMERICA' "
+       "using percOfTotal(difference(quantity, benchmark.quantity), "
+       "quantity) "
+       "labels {[-inf, -0.0001): bad, [-0.0001, 0.0001]: ok, (0.0001, inf]: "
+       "good}"},
+      {"Past",
+       "with SSB for month = '1998-06' by month, supplier "
+       "assess revenue against past 4 "
+       "using ratio(revenue, benchmark.revenue) "
+       "labels {[-inf, 0.9): worse, [0.9, 1.1]: fine, (1.1, inf): better}"},
+  };
+}
+
+std::vector<SsbScalePoint> SsbScaleSeries(double base_sf) {
+  return {
+      {"SSB1", base_sf},
+      {"SSB10", base_sf * 10.0},
+      {"SSB100", base_sf * 100.0},
+  };
+}
+
+double BaseScaleFactorFromEnv(double fallback) {
+  const char* env = std::getenv("ASSESS_SSB_BASE_SF");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  double value = std::strtod(env, &end);
+  if (end == env || value <= 0.0) return fallback;
+  return value;
+}
+
+}  // namespace assess

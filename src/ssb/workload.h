@@ -1,0 +1,37 @@
+#ifndef ASSESS_SSB_WORKLOAD_H_
+#define ASSESS_SSB_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+namespace assess {
+
+/// \brief One intention of the experimental workload (Section 6): a named
+/// assess statement over the SSB cube.
+struct WorkloadStatement {
+  std::string name;  // Constant | External | Sibling | Past
+  std::string text;
+};
+
+/// \brief The four assess statements of the paper's experiments — one per
+/// benchmark type — phrased against the SSB schema of BuildSsbDatabase().
+/// The by/for clauses are fixed across scale factors, so target-cube
+/// cardinality scales with the detailed cube exactly as in Table 2.
+std::vector<WorkloadStatement> SsbWorkload();
+
+/// \brief The scale series used by the benchmarks: name and scale factor,
+/// preserving the paper's 1:10:100 ratio around `base_sf` (the paper's
+/// SSB1/SSB10/SSB100 rescaled to this machine; see DESIGN.md).
+struct SsbScalePoint {
+  std::string name;
+  double scale_factor;
+};
+std::vector<SsbScalePoint> SsbScaleSeries(double base_sf);
+
+/// \brief Reads the base scale factor from ASSESS_SSB_BASE_SF (default
+/// `fallback`), so the harness can be rescaled without recompiling.
+double BaseScaleFactorFromEnv(double fallback);
+
+}  // namespace assess
+
+#endif  // ASSESS_SSB_WORKLOAD_H_

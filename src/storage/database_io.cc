@@ -1,0 +1,344 @@
+#include "storage/database_io.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/str_util.h"
+
+namespace assess {
+
+namespace {
+
+constexpr int kFormatVersion = 1;
+
+namespace fs = std::filesystem;
+
+// --- binary column files -----------------------------------------------
+
+template <typename T>
+Status WriteColumn(const fs::path& path, const std::vector<T>& column) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::Internal("cannot open '" + path.string() +
+                            "' for writing");
+  }
+  out.write(reinterpret_cast<const char*>(column.data()),
+            static_cast<std::streamsize>(column.size() * sizeof(T)));
+  if (!out) {
+    return Status::Internal("short write to '" + path.string() + "'");
+  }
+  return Status::OK();
+}
+
+template <typename T>
+Result<std::vector<T>> ReadColumn(const fs::path& path, int64_t rows) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("missing column file '" + path.string() + "'");
+  }
+  std::vector<T> column(rows);
+  in.read(reinterpret_cast<char*>(column.data()),
+          static_cast<std::streamsize>(column.size() * sizeof(T)));
+  if (in.gcount() !=
+      static_cast<std::streamsize>(column.size() * sizeof(T))) {
+    return Status::InvalidArgument("column file '" + path.string() +
+                                   "' is truncated");
+  }
+  return column;
+}
+
+// --- catalog reading helpers ----------------------------------------------
+
+class LineReader {
+ public:
+  explicit LineReader(std::istream* in) : in_(in) {}
+
+  Result<std::string> NextLine() {
+    std::string line;
+    if (!std::getline(*in_, line)) {
+      return Status::InvalidArgument("unexpected end of catalog at line " +
+                                     std::to_string(number_));
+    }
+    ++number_;
+    return line;
+  }
+
+  /// Reads a line and checks its first token; returns the rest.
+  Result<std::vector<std::string>> Expect(const std::string& keyword,
+                                          int min_fields) {
+    ASSESS_ASSIGN_OR_RETURN(std::string line, NextLine());
+    std::vector<std::string> fields = Split(line, ' ');
+    if (fields.empty() || fields[0] != keyword ||
+        static_cast<int>(fields.size()) < min_fields + 1) {
+      return Status::InvalidArgument("catalog line " +
+                                     std::to_string(number_) +
+                                     ": expected '" + keyword + " ...', got '" +
+                                     line + "'");
+    }
+    fields.erase(fields.begin());
+    return fields;
+  }
+
+  int line_number() const { return number_; }
+
+ private:
+  std::istream* in_;
+  int number_ = 0;
+};
+
+Result<int64_t> ParseInt(const std::string& text) {
+  try {
+    size_t pos = 0;
+    int64_t value = std::stoll(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("malformed integer '" + text +
+                                   "' in catalog");
+  }
+}
+
+Result<AggOp> AggOpFromString(const std::string& name) {
+  for (AggOp op : {AggOp::kSum, AggOp::kAvg, AggOp::kMin, AggOp::kMax,
+                   AggOp::kCount}) {
+    if (name == AggOpToString(op)) return op;
+  }
+  return Status::InvalidArgument("unknown aggregation operator '" + name +
+                                 "'");
+}
+
+}  // namespace
+
+Status SaveDatabase(const StarDatabase& db, const std::string& directory) {
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) {
+    return Status::Internal("cannot create directory '" + directory +
+                            "': " + ec.message());
+  }
+
+  // Collect the distinct hierarchies across cubes (they are shared).
+  std::vector<std::shared_ptr<Hierarchy>> hierarchies;
+  std::map<const Hierarchy*, size_t> hierarchy_index;
+  std::vector<std::string> cube_names = db.CubeNames();
+  for (const std::string& name : cube_names) {
+    ASSESS_ASSIGN_OR_RETURN(const BoundCube* cube, db.Find(name));
+    for (int h = 0; h < cube->schema().hierarchy_count(); ++h) {
+      const std::shared_ptr<Hierarchy>& hier = cube->schema().hierarchy_ptr(h);
+      if (hierarchy_index.emplace(hier.get(), hierarchies.size()).second) {
+        hierarchies.push_back(hier);
+      }
+    }
+  }
+
+  std::ostringstream catalog;
+  catalog << "assessdb " << kFormatVersion << "\n";
+  catalog << "hierarchies " << hierarchies.size() << "\n";
+  for (const auto& hier : hierarchies) {
+    catalog << "hierarchy " << hier->name() << " "
+            << (hier->temporal() ? 1 : 0) << " " << hier->level_count()
+            << "\n";
+    for (int l = 0; l < hier->level_count(); ++l) {
+      int32_t card = hier->LevelCardinality(l);
+      catalog << "level " << hier->level_name(l) << " " << card << "\n";
+      for (MemberId m = 0; m < card; ++m) {
+        const std::string& member = hier->MemberName(l, m);
+        if (member.find('\n') != std::string::npos) {
+          return Status::InvalidArgument("member names must not contain "
+                                         "newlines: level '" +
+                                         hier->level_name(l) + "'");
+        }
+        catalog << "m " << member << "\n";
+      }
+      if (l + 1 < hier->level_count()) {
+        catalog << "parents";
+        for (MemberId m = 0; m < card; ++m) {
+          catalog << " " << hier->RollUpMember(l, m, l + 1);
+        }
+        catalog << "\n";
+      }
+    }
+  }
+
+  catalog << "cubes " << cube_names.size() << "\n";
+  for (const std::string& name : cube_names) {
+    ASSESS_ASSIGN_OR_RETURN(const BoundCube* cube, db.Find(name));
+    const CubeSchema& schema = cube->schema();
+    catalog << "cube " << name << " " << schema.hierarchy_count() << " "
+            << schema.measure_count() << " " << cube->facts().NumRows()
+            << "\n";
+    for (int h = 0; h < schema.hierarchy_count(); ++h) {
+      const DimensionTable& dim = cube->dimension(h);
+      size_t hier_id = hierarchy_index.at(&schema.hierarchy(h));
+      catalog << "dimension " << dim.name() << " " << hier_id << " "
+              << dim.NumRows() << "\n";
+      for (int l = 0; l < schema.hierarchy(h).level_count(); ++l) {
+        fs::path file = fs::path(directory) /
+                        (name + ".dim" + std::to_string(h) + ".l" +
+                         std::to_string(l) + ".bin");
+        ASSESS_RETURN_NOT_OK(WriteColumn(file, dim.level_column(l)));
+      }
+      fs::path fk_file = fs::path(directory) /
+                         (name + ".fk" + std::to_string(h) + ".bin");
+      ASSESS_RETURN_NOT_OK(WriteColumn(fk_file, cube->facts().fk_column(h)));
+    }
+    for (int m = 0; m < schema.measure_count(); ++m) {
+      const MeasureDef& def = schema.measure(m);
+      catalog << "measure " << def.name << " " << AggOpToString(def.op)
+              << "\n";
+      fs::path file = fs::path(directory) /
+                      (name + ".m" + std::to_string(m) + ".bin");
+      ASSESS_RETURN_NOT_OK(WriteColumn(file, cube->facts().measure_column(m)));
+    }
+  }
+
+  std::ofstream out(fs::path(directory) / "catalog.assess",
+                    std::ios::trunc);
+  if (!out) {
+    return Status::Internal("cannot write catalog in '" + directory + "'");
+  }
+  out << catalog.str();
+  if (!out.flush()) {
+    return Status::Internal("short write of catalog in '" + directory + "'");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<StarDatabase>> LoadDatabase(
+    const std::string& directory) {
+  std::ifstream in(fs::path(directory) / "catalog.assess");
+  if (!in) {
+    return Status::NotFound("no catalog in '" + directory + "'");
+  }
+  LineReader reader(&in);
+
+  ASSESS_ASSIGN_OR_RETURN(std::vector<std::string> header,
+                          reader.Expect("assessdb", 1));
+  ASSESS_ASSIGN_OR_RETURN(int64_t version, ParseInt(header[0]));
+  if (version != kFormatVersion) {
+    return Status::NotSupported("unsupported database format version " +
+                                std::to_string(version));
+  }
+
+  ASSESS_ASSIGN_OR_RETURN(std::vector<std::string> hier_count_fields,
+                          reader.Expect("hierarchies", 1));
+  ASSESS_ASSIGN_OR_RETURN(int64_t hier_count, ParseInt(hier_count_fields[0]));
+  std::vector<std::shared_ptr<Hierarchy>> hierarchies;
+  for (int64_t i = 0; i < hier_count; ++i) {
+    ASSESS_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                            reader.Expect("hierarchy", 3));
+    auto hier = std::make_shared<Hierarchy>(fields[0]);
+    ASSESS_ASSIGN_OR_RETURN(int64_t temporal, ParseInt(fields[1]));
+    hier->set_temporal(temporal != 0);
+    ASSESS_ASSIGN_OR_RETURN(int64_t levels, ParseInt(fields[2]));
+    for (int64_t l = 0; l < levels; ++l) {
+      ASSESS_ASSIGN_OR_RETURN(std::vector<std::string> level_fields,
+                              reader.Expect("level", 2));
+      int level = hier->AddLevel(level_fields[0]);
+      ASSESS_ASSIGN_OR_RETURN(int64_t members, ParseInt(level_fields[1]));
+      for (int64_t m = 0; m < members; ++m) {
+        ASSESS_ASSIGN_OR_RETURN(std::string line, reader.NextLine());
+        if (!StartsWith(line, "m ")) {
+          return Status::InvalidArgument(
+              "catalog line " + std::to_string(reader.line_number()) +
+              ": expected a member line");
+        }
+        hier->AddMember(level, line.substr(2));
+      }
+      if (l + 1 < levels) {
+        ASSESS_ASSIGN_OR_RETURN(std::string line, reader.NextLine());
+        std::vector<std::string> parents = Split(line, ' ');
+        if (parents.empty() || parents[0] != "parents" ||
+            static_cast<int64_t>(parents.size()) != members + 1) {
+          return Status::InvalidArgument(
+              "catalog line " + std::to_string(reader.line_number()) +
+              ": malformed parents line");
+        }
+        // Parents reference the next level's members, which are not interned
+        // yet; stash and resolve after that level is read. Simpler: levels
+        // are serialized finest-first, so parents point into the *next*
+        // level; defer by remembering the raw ids.
+        for (int64_t m = 0; m < members; ++m) {
+          ASSESS_ASSIGN_OR_RETURN(int64_t parent, ParseInt(parents[m + 1]));
+          // Member ids are dense and assigned in serialization order, so the
+          // raw id is valid once the next level is loaded; SetParent only
+          // stores the id.
+          hier->SetParent(level, static_cast<MemberId>(m),
+                          static_cast<MemberId>(parent));
+        }
+      }
+    }
+    ASSESS_RETURN_NOT_OK(hier->Validate());
+    hierarchies.push_back(std::move(hier));
+  }
+
+  auto db = std::make_unique<StarDatabase>();
+  ASSESS_ASSIGN_OR_RETURN(std::vector<std::string> cube_count_fields,
+                          reader.Expect("cubes", 1));
+  ASSESS_ASSIGN_OR_RETURN(int64_t cube_count, ParseInt(cube_count_fields[0]));
+  for (int64_t c = 0; c < cube_count; ++c) {
+    ASSESS_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                            reader.Expect("cube", 4));
+    const std::string& name = fields[0];
+    ASSESS_ASSIGN_OR_RETURN(int64_t hier_refs, ParseInt(fields[1]));
+    ASSESS_ASSIGN_OR_RETURN(int64_t measures, ParseInt(fields[2]));
+    ASSESS_ASSIGN_OR_RETURN(int64_t fact_rows, ParseInt(fields[3]));
+
+    auto schema = std::make_shared<CubeSchema>(name);
+    std::vector<DimensionTable> dims;
+    std::vector<std::vector<int32_t>> fk_columns;
+    for (int64_t h = 0; h < hier_refs; ++h) {
+      ASSESS_ASSIGN_OR_RETURN(std::vector<std::string> dim_fields,
+                              reader.Expect("dimension", 3));
+      ASSESS_ASSIGN_OR_RETURN(int64_t hier_id, ParseInt(dim_fields[1]));
+      ASSESS_ASSIGN_OR_RETURN(int64_t dim_rows, ParseInt(dim_fields[2]));
+      if (hier_id < 0 || hier_id >= static_cast<int64_t>(hierarchies.size())) {
+        return Status::InvalidArgument("dimension references an unknown "
+                                       "hierarchy");
+      }
+      std::shared_ptr<Hierarchy> hier = hierarchies[hier_id];
+      schema->AddHierarchy(hier);
+      std::vector<std::vector<MemberId>> codes;
+      for (int l = 0; l < hier->level_count(); ++l) {
+        fs::path file = fs::path(directory) /
+                        (name + ".dim" + std::to_string(h) + ".l" +
+                         std::to_string(l) + ".bin");
+        ASSESS_ASSIGN_OR_RETURN(std::vector<MemberId> column,
+                                ReadColumn<MemberId>(file, dim_rows));
+        codes.push_back(std::move(column));
+      }
+      dims.push_back(DimensionTable::FromColumns(dim_fields[0], hier,
+                                                 std::move(codes)));
+      fs::path fk_file = fs::path(directory) /
+                         (name + ".fk" + std::to_string(h) + ".bin");
+      ASSESS_ASSIGN_OR_RETURN(std::vector<int32_t> fk,
+                              ReadColumn<int32_t>(fk_file, fact_rows));
+      fk_columns.push_back(std::move(fk));
+    }
+    std::vector<std::vector<double>> measure_columns;
+    for (int64_t m = 0; m < measures; ++m) {
+      ASSESS_ASSIGN_OR_RETURN(std::vector<std::string> measure_fields,
+                              reader.Expect("measure", 2));
+      ASSESS_ASSIGN_OR_RETURN(AggOp op, AggOpFromString(measure_fields[1]));
+      schema->AddMeasure({measure_fields[0], op});
+      fs::path file = fs::path(directory) /
+                      (name + ".m" + std::to_string(m) + ".bin");
+      ASSESS_ASSIGN_OR_RETURN(std::vector<double> column,
+                              ReadColumn<double>(file, fact_rows));
+      measure_columns.push_back(std::move(column));
+    }
+    FactTable facts = FactTable::FromColumns(name, std::move(fk_columns),
+                                             std::move(measure_columns));
+    auto bound = std::make_unique<BoundCube>(schema, std::move(dims),
+                                             std::move(facts));
+    ASSESS_RETURN_NOT_OK(bound->Validate());
+    ASSESS_RETURN_NOT_OK(db->Register(name, std::move(bound)));
+  }
+  return db;
+}
+
+}  // namespace assess

@@ -1,0 +1,36 @@
+#ifndef ASSESS_STORAGE_DATABASE_IO_H_
+#define ASSESS_STORAGE_DATABASE_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "storage/star_schema.h"
+
+namespace assess {
+
+/// \brief On-disk persistence of a StarDatabase, so generated warehouses
+/// can be saved once and reloaded by benches and examples instead of being
+/// regenerated.
+///
+/// Layout: one directory per database with a textual catalog file
+/// (`catalog.assess`) describing cubes, hierarchies (with their member
+/// dictionaries and part-of links) and measures, plus one little-endian
+/// binary column file per fact column (`<cube>.<col>.bin`). Dimension
+/// tables are stored inside the catalog (they are small); fact columns are
+/// raw arrays for fast I/O.
+///
+/// The format is versioned; readers reject unknown versions rather than
+/// guessing.
+///
+/// Saving overwrites files inside `directory` (which is created when
+/// missing) but never deletes unrelated files.
+Status SaveDatabase(const StarDatabase& db, const std::string& directory);
+
+/// \brief Loads a database previously written by SaveDatabase.
+Result<std::unique_ptr<StarDatabase>> LoadDatabase(
+    const std::string& directory);
+
+}  // namespace assess
+
+#endif  // ASSESS_STORAGE_DATABASE_IO_H_

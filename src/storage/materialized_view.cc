@@ -1,0 +1,47 @@
+#include "storage/materialized_view.h"
+
+#include <algorithm>
+
+namespace assess {
+
+bool ViewAnswersQuery(const CubeSchema& schema, const CubeQuery& query,
+                      const MaterializedView& view) {
+  // Measures must re-aggregate losslessly.
+  for (int m : query.measures) {
+    if (schema.measure(m).op == AggOp::kAvg) return false;
+  }
+  // Per hierarchy: the finest level the query touches must be rolled up to
+  // from the view's level for that hierarchy.
+  for (int h = 0; h < schema.hierarchy_count(); ++h) {
+    int finest_needed = -1;  // -1: hierarchy untouched.
+    if (query.group_by.HasHierarchy(h)) {
+      finest_needed = query.group_by.LevelOf(h);
+    }
+    for (const Predicate& p : query.predicates) {
+      if (p.hierarchy != h) continue;
+      finest_needed =
+          finest_needed < 0 ? p.level : std::min(finest_needed, p.level);
+    }
+    if (finest_needed < 0) continue;
+    if (!view.group_by.HasHierarchy(h)) return false;
+    if (view.group_by.LevelOf(h) > finest_needed) return false;
+  }
+  return true;
+}
+
+int PickBestView(const CubeSchema& schema, const CubeQuery& query,
+                 const std::vector<MaterializedView>& views) {
+  int best = -1;
+  int64_t best_rows = 0;
+  for (size_t i = 0; i < views.size(); ++i) {
+    if (!ViewAnswersQuery(schema, query, views[i])) continue;
+    int64_t rows = views[i].data.NumRows();
+    if (best < 0 || rows < best_rows) {
+      best = static_cast<int>(i);
+      best_rows = rows;
+    }
+  }
+  return best;
+}
+
+}  // namespace assess

@@ -1,0 +1,43 @@
+#ifndef ASSESS_STORAGE_MATERIALIZED_VIEW_H_
+#define ASSESS_STORAGE_MATERIALIZED_VIEW_H_
+
+#include <string>
+#include <vector>
+
+#include "olap/cube.h"
+#include "olap/cube_query.h"
+#include "olap/cube_schema.h"
+#include "olap/group_by_set.h"
+
+namespace assess {
+
+/// \brief A materialized aggregate view: the detailed cube pre-aggregated
+/// at some group-by set, with no selection (the classical OLAP MV, the
+/// in-memory analogue of the Oracle materialized views used in the paper's
+/// experimental setup).
+///
+/// `data` holds one row per populated coordinate of `group_by`, with one
+/// column per measure; measure values are pre-aggregated with the schema
+/// operators, so answering a query from the view re-aggregates them.
+struct MaterializedView {
+  std::string name;
+  GroupBySet group_by;
+  Cube data;
+};
+
+/// \brief True when `query` can be answered by re-aggregating `view`:
+/// every level the query needs (group-by or predicate) is available at a
+/// finer-or-equal level in the view, and all query measures re-aggregate
+/// losslessly (sum/min/max/count; avg is not distributive and disqualifies
+/// the view).
+bool ViewAnswersQuery(const CubeSchema& schema, const CubeQuery& query,
+                      const MaterializedView& view);
+
+/// \brief Index of the smallest (fewest rows) applicable view in `views`,
+/// or -1 when none applies and the query must scan the fact table.
+int PickBestView(const CubeSchema& schema, const CubeQuery& query,
+                 const std::vector<MaterializedView>& views);
+
+}  // namespace assess
+
+#endif  // ASSESS_STORAGE_MATERIALIZED_VIEW_H_

@@ -1,0 +1,38 @@
+#ifndef ASSESS_STORAGE_PREDICATE_H_
+#define ASSESS_STORAGE_PREDICATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "olap/cube_query.h"
+#include "olap/hierarchy.h"
+#include "storage/table.h"
+
+namespace assess {
+
+/// \brief Per-member pass/fail flags for one predicate, indexed by member id
+/// of the predicate's level (the domain Dom(l)).
+///
+/// Building flags once per query turns predicate evaluation during the fact
+/// scan into a single array lookup per row.
+Result<std::vector<uint8_t>> BuildDomainFlags(const Hierarchy& hierarchy,
+                                              const Predicate& predicate);
+
+/// \brief Conjunction of all `predicates` (each on a level of `hierarchy`),
+/// evaluated per member of `eval_level`: flags[m] is 1 iff the member m of
+/// eval_level rolls up to members satisfying every predicate. `eval_level`
+/// must be finer-or-equal than every predicate level.
+Result<std::vector<uint8_t>> BuildConjunctionFlags(
+    const Hierarchy& hierarchy, const std::vector<Predicate>& predicates,
+    int eval_level);
+
+/// \brief Pass/fail flags over the rows of a dimension table for the
+/// conjunction of `predicates` on its hierarchy (rows act as the evaluation
+/// domain; useful for fact scans where the FK indexes dimension rows).
+Result<std::vector<uint8_t>> BuildDimensionRowFlags(
+    const DimensionTable& dim, const std::vector<Predicate>& predicates);
+
+}  // namespace assess
+
+#endif  // ASSESS_STORAGE_PREDICATE_H_

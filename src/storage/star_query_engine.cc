@@ -1,0 +1,433 @@
+#include "storage/star_query_engine.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <thread>
+
+#include "algebra/operators.h"
+#include "storage/flat_map64.h"
+#include "storage/materialized_view.h"
+#include "storage/predicate.h"
+
+namespace assess {
+
+namespace {
+
+// Per-hierarchy scan plan: translation arrays from the source's code domain
+// (dimension rows for fact scans, Dom(view level) for view scans) to group
+// member ids and predicate pass flags.
+struct HierScanPlan {
+  bool grouped = false;
+  const std::vector<int32_t>* codes = nullptr;  // source code column
+  // Translation domain -> group member id: either borrowed from a dimension
+  // table column (fact scans) or owned (view scans). Never point
+  // `external_group_code` at `owned_group_code`: plans are moved into a
+  // vector, which would dangle the self-reference. Aggregate() resolves the
+  // effective array.
+  const std::vector<MemberId>* external_group_code = nullptr;
+  std::vector<MemberId> owned_group_code;
+  std::vector<uint8_t> pass;  // empty: all pass
+  uint64_t radix = 0;
+  int group_level = 0;
+  std::shared_ptr<Hierarchy> hierarchy;
+
+  const std::vector<MemberId>& group_code() const {
+    return external_group_code != nullptr ? *external_group_code
+                                          : owned_group_code;
+  }
+};
+
+struct MeasureScanPlan {
+  const std::vector<double>* source = nullptr;
+  AggOp op = AggOp::kSum;  // effective re-aggregation operator
+  std::string name;
+};
+
+double InitialAccumulator(AggOp op) {
+  switch (op) {
+    case AggOp::kSum:
+    case AggOp::kAvg:
+    case AggOp::kCount:
+      return 0.0;
+    case AggOp::kMin:
+      return std::numeric_limits<double>::infinity();
+    case AggOp::kMax:
+      return -std::numeric_limits<double>::infinity();
+  }
+  return 0.0;
+}
+
+// Shared per-worker aggregation state: a private hash table plus columnar
+// group coordinates and accumulators.
+struct AggState {
+  FlatMap64 map{1024};
+  int32_t num_groups = 0;
+  std::vector<std::vector<MemberId>> out_coords;
+  std::vector<std::vector<double>> acc;
+  std::vector<std::vector<int64_t>> cnt;
+};
+
+// Aggregates source rows [begin, end) into `state`. Keys are mixed-radix
+// coordinate encodings offset by one, so they are always >= 1 (FlatMap64's
+// empty sentinel is 0) even for fully aggregated queries.
+void AggregateRange(int64_t begin, int64_t end,
+                    const std::vector<HierScanPlan*>& needed,
+                    const std::vector<HierScanPlan*>& grouped,
+                    const std::vector<MeasureScanPlan>& measures,
+                    AggState* state) {
+  const int num_grouped = static_cast<int>(grouped.size());
+  const int num_measures = static_cast<int>(measures.size());
+  std::array<MemberId, 16> row_groups;
+  for (int64_t r = begin; r < end; ++r) {
+    uint64_t key = 1;
+    bool pass = true;
+    int g = 0;
+    for (HierScanPlan* h : needed) {
+      int32_t code = (*h->codes)[r];
+      if (!h->pass.empty() && !h->pass[code]) {
+        pass = false;
+        break;
+      }
+      if (h->grouped) {
+        MemberId member = h->group_code()[code];
+        row_groups[g++] = member;
+        key += h->radix * (static_cast<uint64_t>(member) + 1);
+      }
+    }
+    if (!pass) continue;
+
+    bool inserted = false;
+    int32_t group = state->map.FindOrInsert(key, state->num_groups, &inserted);
+    if (inserted) {
+      ++state->num_groups;
+      for (int i = 0; i < num_grouped; ++i) {
+        state->out_coords[i].push_back(row_groups[i]);
+      }
+      for (int m = 0; m < num_measures; ++m) {
+        state->acc[m].push_back(InitialAccumulator(measures[m].op));
+        state->cnt[m].push_back(0);
+      }
+    }
+    for (int m = 0; m < num_measures; ++m) {
+      double v = measures[m].source ? (*measures[m].source)[r] : 0.0;
+      switch (measures[m].op) {
+        case AggOp::kSum:
+          state->acc[m][group] += v;
+          break;
+        case AggOp::kAvg:
+          state->acc[m][group] += v;
+          state->cnt[m][group] += 1;
+          break;
+        case AggOp::kMin:
+          state->acc[m][group] = std::min(state->acc[m][group], v);
+          break;
+        case AggOp::kMax:
+          state->acc[m][group] = std::max(state->acc[m][group], v);
+          break;
+        case AggOp::kCount:
+          state->acc[m][group] += 1;
+          break;
+      }
+    }
+  }
+}
+
+// Folds `from` into `into` (the parallel path's merge step): groups are
+// re-keyed from their stored coordinates and accumulators combined per
+// operator.
+void MergeAggStates(const std::vector<HierScanPlan*>& grouped,
+                    const std::vector<MeasureScanPlan>& measures,
+                    const AggState& from, AggState* into) {
+  const int num_grouped = static_cast<int>(grouped.size());
+  const int num_measures = static_cast<int>(measures.size());
+  for (int32_t g = 0; g < from.num_groups; ++g) {
+    uint64_t key = 1;
+    for (int i = 0; i < num_grouped; ++i) {
+      key += grouped[i]->radix *
+             (static_cast<uint64_t>(from.out_coords[i][g]) + 1);
+    }
+    bool inserted = false;
+    int32_t group = into->map.FindOrInsert(key, into->num_groups, &inserted);
+    if (inserted) {
+      ++into->num_groups;
+      for (int i = 0; i < num_grouped; ++i) {
+        into->out_coords[i].push_back(from.out_coords[i][g]);
+      }
+      for (int m = 0; m < num_measures; ++m) {
+        into->acc[m].push_back(InitialAccumulator(measures[m].op));
+        into->cnt[m].push_back(0);
+      }
+    }
+    for (int m = 0; m < num_measures; ++m) {
+      switch (measures[m].op) {
+        case AggOp::kSum:
+        case AggOp::kCount:
+          into->acc[m][group] += from.acc[m][g];
+          break;
+        case AggOp::kAvg:
+          into->acc[m][group] += from.acc[m][g];
+          into->cnt[m][group] += from.cnt[m][g];
+          break;
+        case AggOp::kMin:
+          into->acc[m][group] = std::min(into->acc[m][group], from.acc[m][g]);
+          break;
+        case AggOp::kMax:
+          into->acc[m][group] = std::max(into->acc[m][group], from.acc[m][g]);
+          break;
+      }
+    }
+  }
+}
+
+// Hash-aggregates `rows` source rows under the given hierarchy and measure
+// plans, producing the derived cube. With threads > 1 and a large enough
+// scan, the row range is partitioned across workers and partials merged.
+Result<Cube> Aggregate(int64_t rows, std::vector<HierScanPlan>& hiers,
+                       const std::vector<MeasureScanPlan>& measures,
+                       int threads) {
+  // Assign radixes to the grouped hierarchies.
+  std::vector<HierScanPlan*> needed;
+  std::vector<HierScanPlan*> grouped;
+  uint64_t factor = 1;
+  for (HierScanPlan& h : hiers) {
+    needed.push_back(&h);
+    if (!h.grouped) continue;
+    h.radix = factor;
+    uint64_t card = static_cast<uint64_t>(
+                        h.hierarchy->LevelCardinality(h.group_level)) +
+                    1;
+    if (factor > (uint64_t{1} << 62) / std::max<uint64_t>(card, 1)) {
+      return Status::NotSupported(
+          "group-by space exceeds 2^62 coordinates; no such schema is "
+          "supported by the engine");
+    }
+    factor *= card;
+    grouped.push_back(&h);
+  }
+
+  const int num_grouped = static_cast<int>(grouped.size());
+  const int num_measures = static_cast<int>(measures.size());
+  auto make_state = [&]() {
+    AggState state;
+    state.out_coords.resize(num_grouped);
+    state.acc.resize(num_measures);
+    state.cnt.resize(num_measures);
+    return state;
+  };
+
+  constexpr int64_t kParallelThreshold = 1 << 16;
+  int workers = threads;
+  if (rows < kParallelThreshold) workers = 1;
+
+  AggState result_state = make_state();
+  if (workers <= 1) {
+    AggregateRange(0, rows, needed, grouped, measures, &result_state);
+  } else {
+    std::vector<AggState> partials;
+    partials.reserve(workers);
+    for (int w = 0; w < workers; ++w) partials.push_back(make_state());
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (int w = 0; w < workers; ++w) {
+      int64_t begin = rows * w / workers;
+      int64_t end = rows * (w + 1) / workers;
+      pool.emplace_back([&, begin, end, w]() {
+        AggregateRange(begin, end, needed, grouped, measures, &partials[w]);
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    result_state = std::move(partials[0]);
+    for (int w = 1; w < workers; ++w) {
+      MergeAggStates(grouped, measures, partials[w], &result_state);
+    }
+  }
+
+  // Finalize averages.
+  for (int m = 0; m < num_measures; ++m) {
+    if (measures[m].op != AggOp::kAvg) continue;
+    for (int32_t gi = 0; gi < result_state.num_groups; ++gi) {
+      result_state.acc[m][gi] =
+          result_state.cnt[m][gi] > 0
+              ? result_state.acc[m][gi] / result_state.cnt[m][gi]
+              : kNullMeasure;
+    }
+  }
+
+  std::vector<LevelRef> out_levels;
+  out_levels.reserve(num_grouped);
+  for (HierScanPlan* h : grouped) {
+    out_levels.push_back(LevelRef{h->hierarchy, h->group_level});
+  }
+  std::vector<std::string> out_names;
+  out_names.reserve(num_measures);
+  for (const MeasureScanPlan& m : measures) out_names.push_back(m.name);
+  return Cube::FromColumns(std::move(out_levels),
+                           std::move(result_state.out_coords),
+                           std::move(out_names),
+                           std::move(result_state.acc));
+}
+
+}  // namespace
+
+Result<Cube> StarQueryEngine::Execute(const CubeQuery& query) const {
+  ASSESS_ASSIGN_OR_RETURN(const BoundCube* bound, db_->Find(query.cube_name));
+  return ExecuteInternal(*bound, query);
+}
+
+Result<Cube> StarQueryEngine::ExecuteInternal(const BoundCube& bound,
+                                              const CubeQuery& query) const {
+  const CubeSchema& schema = bound.schema();
+  last_used_view_ = false;
+
+  // Partition predicates by hierarchy.
+  std::vector<std::vector<Predicate>> preds(schema.hierarchy_count());
+  for (const Predicate& p : query.predicates) {
+    if (p.hierarchy < 0 || p.hierarchy >= schema.hierarchy_count()) {
+      return Status::InvalidArgument("predicate on unknown hierarchy");
+    }
+    preds[p.hierarchy].push_back(p);
+  }
+
+  int view_index = -1;
+  if (use_views_) {
+    view_index = PickBestView(schema, query, bound.views());
+  }
+
+  std::vector<HierScanPlan> hiers;
+  std::vector<MeasureScanPlan> measures;
+  int64_t rows = 0;
+
+  if (view_index >= 0) {
+    last_used_view_ = true;
+    const MaterializedView& view = bound.views()[view_index];
+    rows = view.data.NumRows();
+    int view_pos = 0;
+    for (int h = 0; h < schema.hierarchy_count(); ++h) {
+      bool in_view = view.group_by.HasHierarchy(h);
+      int pos = in_view ? view_pos++ : -1;
+      bool grouped = query.group_by.HasHierarchy(h);
+      if (!grouped && preds[h].empty()) continue;
+      const Hierarchy& hier = schema.hierarchy(h);
+      int view_level = view.group_by.LevelOf(h);  // guaranteed by picker
+      HierScanPlan plan;
+      plan.hierarchy = schema.hierarchy_ptr(h);
+      plan.grouped = grouped;
+      plan.codes = &view.data.coord_column(pos);
+      if (grouped) {
+        plan.group_level = query.group_by.LevelOf(h);
+        int32_t card = hier.LevelCardinality(view_level);
+        plan.owned_group_code.resize(card);
+        for (MemberId m = 0; m < card; ++m) {
+          plan.owned_group_code[m] =
+              hier.RollUpMember(view_level, m, plan.group_level);
+        }
+      }
+      if (!preds[h].empty()) {
+        ASSESS_ASSIGN_OR_RETURN(
+            plan.pass, BuildConjunctionFlags(hier, preds[h], view_level));
+      }
+      hiers.push_back(std::move(plan));
+    }
+    for (int m : query.measures) {
+      const MeasureDef& def = schema.measure(m);
+      ASSESS_ASSIGN_OR_RETURN(int src, view.data.MeasureIndex(def.name));
+      MeasureScanPlan mp;
+      mp.source = &view.data.measure_column(src);
+      // Counts stored in the view re-aggregate by summation.
+      mp.op = def.op == AggOp::kCount ? AggOp::kSum : def.op;
+      mp.name = def.name;
+      measures.push_back(std::move(mp));
+    }
+  } else {
+    rows = bound.facts().NumRows();
+    for (int h = 0; h < schema.hierarchy_count(); ++h) {
+      bool grouped = query.group_by.HasHierarchy(h);
+      if (!grouped && preds[h].empty()) continue;
+      const DimensionTable& dim = bound.dimension(h);
+      HierScanPlan plan;
+      plan.hierarchy = schema.hierarchy_ptr(h);
+      plan.grouped = grouped;
+      plan.codes = &bound.facts().fk_column(h);
+      if (grouped) {
+        plan.group_level = query.group_by.LevelOf(h);
+        plan.external_group_code = &dim.level_column(plan.group_level);
+      }
+      if (!preds[h].empty()) {
+        ASSESS_ASSIGN_OR_RETURN(plan.pass,
+                                BuildDimensionRowFlags(dim, preds[h]));
+      }
+      hiers.push_back(std::move(plan));
+    }
+    for (int m : query.measures) {
+      const MeasureDef& def = schema.measure(m);
+      MeasureScanPlan mp;
+      mp.source = &bound.facts().measure_column(m);
+      mp.op = def.op;
+      mp.name = def.name;
+      measures.push_back(std::move(mp));
+    }
+  }
+
+  if (query.group_by.Arity() > 16) {
+    return Status::NotSupported("group-by sets beyond 16 levels");
+  }
+  return Aggregate(rows, hiers, measures, threads_);
+}
+
+Result<Cube> StarQueryEngine::ExecuteJoined(
+    const CubeQuery& target, const CubeQuery& benchmark,
+    const std::vector<std::string>& join_levels, bool left_outer) const {
+  ASSESS_ASSIGN_OR_RETURN(const BoundCube* bt, db_->Find(target.cube_name));
+  ASSESS_ASSIGN_OR_RETURN(const BoundCube* bb, db_->Find(benchmark.cube_name));
+  ASSESS_ASSIGN_OR_RETURN(Cube left, ExecuteInternal(*bt, target));
+  ASSESS_ASSIGN_OR_RETURN(Cube right, ExecuteInternal(*bb, benchmark));
+  std::string prefix = benchmark.alias.empty() ? "benchmark" : benchmark.alias;
+  return JoinCubes(left, right, join_levels, prefix, left_outer);
+}
+
+Result<Cube> StarQueryEngine::ExecuteConcatJoined(
+    const CubeQuery& target, const CubeQuery& benchmark,
+    const std::vector<std::string>& join_levels,
+    const std::string& order_level, int expected,
+    const std::vector<std::vector<std::string>>& slot_names,
+    bool require_complete) const {
+  ASSESS_ASSIGN_OR_RETURN(const BoundCube* bt, db_->Find(target.cube_name));
+  ASSESS_ASSIGN_OR_RETURN(const BoundCube* bb, db_->Find(benchmark.cube_name));
+  ASSESS_ASSIGN_OR_RETURN(Cube left, ExecuteInternal(*bt, target));
+  ASSESS_ASSIGN_OR_RETURN(Cube right, ExecuteInternal(*bb, benchmark));
+  return ConcatJoinCubes(left, right, join_levels, order_level, expected,
+                         slot_names, require_complete);
+}
+
+Result<Cube> StarQueryEngine::ExecutePivoted(const CubeQuery& query_all,
+                                             const PivotSpec& spec) const {
+  ASSESS_ASSIGN_OR_RETURN(const BoundCube* bound,
+                          db_->Find(query_all.cube_name));
+  ASSESS_ASSIGN_OR_RETURN(Cube all, ExecuteInternal(*bound, query_all));
+  return PivotCube(all, spec.level, spec.reference_member, spec.other_members,
+                   spec.measure_names, spec.require_complete);
+}
+
+Result<int64_t> StarQueryEngine::MaterializeView(
+    StarDatabase* db, const std::string& cube_name,
+    const std::vector<std::string>& level_names,
+    const std::string& view_name) const {
+  ASSESS_ASSIGN_OR_RETURN(BoundCube* bound, db->FindMutable(cube_name));
+  const CubeSchema& schema = bound->schema();
+  CubeQuery query;
+  query.cube_name = cube_name;
+  ASSESS_ASSIGN_OR_RETURN(query.group_by,
+                          GroupBySet::FromLevelNames(schema, level_names));
+  for (int m = 0; m < schema.measure_count(); ++m) query.measures.push_back(m);
+
+  // Build the view from base data only (never from another view).
+  StarQueryEngine base_engine(db_, /*use_views=*/false);
+  ASSESS_ASSIGN_OR_RETURN(Cube data, base_engine.ExecuteInternal(*bound, query));
+  int64_t rows = data.NumRows();
+  bound->AddView(MaterializedView{view_name, query.group_by, std::move(data)});
+  return rows;
+}
+
+}  // namespace assess

@@ -1,0 +1,106 @@
+#ifndef ASSESS_STORAGE_STAR_QUERY_ENGINE_H_
+#define ASSESS_STORAGE_STAR_QUERY_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "olap/cube.h"
+#include "olap/cube_query.h"
+#include "storage/star_schema.h"
+
+namespace assess {
+
+/// \brief Pivot push-down specification (the ⊞ operator executed
+/// "server-side", Section 5.2.3). The query it applies to must slice the
+/// pivot level on {reference_member} ∪ other_members.
+struct PivotSpec {
+  /// The sliced level l (its name).
+  std::string level;
+  /// u_k: the slice kept in the output, with its coordinate intact.
+  std::string reference_member;
+  /// u_1..u_{k-1}: slices folded into extra measures, in the given order.
+  std::vector<std::string> other_members;
+  /// New measure names: measure_names[i][j] names measure j of slice
+  /// other_members[i] in the output (e.g. "benchmark.quantity", "past1").
+  std::vector<std::vector<std::string>> measure_names;
+  /// When true (assess), rows missing any neighbor slice are dropped —
+  /// mirroring the NOT NULL filter of Listing 5. When false (assess*),
+  /// missing neighbors yield null measures.
+  bool require_complete = true;
+};
+
+/// \brief The query engine over star-schema storage: the stand-in for the
+/// DBMS of the paper's architecture.
+///
+/// Exactly three entry points exist, matching the three push-down shapes of
+/// Section 5.2: Execute (a single `get`, used by every plan), ExecuteJoined
+/// (get + get + join, the JOP push-down) and ExecutePivoted (get + pivot,
+/// the POP push-down). Everything else happens client-side on Cube values.
+class StarQueryEngine {
+ public:
+  /// \brief `threads` > 1 enables partitioned parallel aggregation for
+  /// large scans (each worker aggregates a fact-range into a private hash
+  /// table; partials are merged by coordinate). Results are equal to the
+  /// serial path up to floating-point reduction order (sums may differ in
+  /// the last ulp); cell order may differ.
+  explicit StarQueryEngine(const StarDatabase* db, bool use_views = true,
+                           int threads = 1)
+      : db_(db), use_views_(use_views), threads_(threads < 1 ? 1 : threads) {}
+
+  /// \brief Executes a cube query (the `get` logical operator): aggregates
+  /// the detailed cube at the query's group-by set under its predicates.
+  /// Answers from the smallest applicable materialized view when enabled.
+  Result<Cube> Execute(const CubeQuery& query) const;
+
+  /// \brief JOP push-down: evaluates target and benchmark queries and joins
+  /// them on `join_levels` (level names common to both group-by sets),
+  /// without materializing the two operand cubes for the client. Benchmark
+  /// measures are renamed "<benchmark.alias>.<name>" when an alias is set.
+  /// `left_outer` selects the assess* variant.
+  Result<Cube> ExecuteJoined(const CubeQuery& target,
+                             const CubeQuery& benchmark,
+                             const std::vector<std::string>& join_levels,
+                             bool left_outer) const;
+
+  /// \brief JOP push-down for multi-match partial joins (the Past case of
+  /// Example 5.3): all `expected` benchmark cells matching a target cell are
+  /// concatenated into one widened row, ordered chronologically by
+  /// `order_level` and renamed `slot_names[slot][measure]`.
+  Result<Cube> ExecuteConcatJoined(
+      const CubeQuery& target, const CubeQuery& benchmark,
+      const std::vector<std::string>& join_levels,
+      const std::string& order_level, int expected,
+      const std::vector<std::vector<std::string>>& slot_names,
+      bool require_complete) const;
+
+  /// \brief POP push-down: evaluates `query_all` (whose predicate on
+  /// spec.level selects reference + other members) and pivots the other
+  /// slices into measures, in a single engine call (Listing 5's shape).
+  Result<Cube> ExecutePivoted(const CubeQuery& query_all,
+                              const PivotSpec& spec) const;
+
+  /// \brief Materializes an aggregate view of `cube_name` at `level_names`
+  /// (no predicates, all measures) and attaches it to the cube. Returns the
+  /// number of rows in the view.
+  Result<int64_t> MaterializeView(StarDatabase* db, const std::string& cube_name,
+                                  const std::vector<std::string>& level_names,
+                                  const std::string& view_name) const;
+
+  /// \brief Whether the last Execute() was answered from a view (observable
+  /// for tests and the ablation bench).
+  bool last_used_view() const { return last_used_view_; }
+
+ private:
+  Result<Cube> ExecuteInternal(const BoundCube& bound,
+                               const CubeQuery& query) const;
+
+  const StarDatabase* db_;
+  bool use_views_;
+  int threads_;
+  mutable bool last_used_view_ = false;
+};
+
+}  // namespace assess
+
+#endif  // ASSESS_STORAGE_STAR_QUERY_ENGINE_H_

@@ -1,0 +1,73 @@
+#include "storage/star_schema.h"
+
+#include <algorithm>
+
+namespace assess {
+
+Status BoundCube::Validate() const {
+  if (static_cast<int>(dimensions_.size()) != schema_->hierarchy_count()) {
+    return Status::Internal("cube '" + schema_->name() +
+                            "': dimension table count does not match schema");
+  }
+  if (facts_.dimension_count() != schema_->hierarchy_count() ||
+      facts_.measure_count() != schema_->measure_count()) {
+    return Status::Internal("cube '" + schema_->name() +
+                            "': fact table shape does not match schema");
+  }
+  for (int h = 0; h < schema_->hierarchy_count(); ++h) {
+    ASSESS_RETURN_NOT_OK(schema_->hierarchy(h).Validate());
+    ASSESS_RETURN_NOT_OK(dimensions_[h].Validate());
+    int64_t dim_rows = dimensions_[h].NumRows();
+    const std::vector<int32_t>& fks = facts_.fk_column(h);
+    for (int32_t fk : fks) {
+      if (fk < 0 || fk >= dim_rows) {
+        return Status::Internal(
+            "cube '" + schema_->name() + "': dangling foreign key into '" +
+            dimensions_[h].name() + "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status StarDatabase::Register(std::string name,
+                              std::unique_ptr<BoundCube> cube) {
+  auto [it, inserted] = cubes_.emplace(std::move(name), std::move(cube));
+  if (!inserted) {
+    return Status::AlreadyExists("cube '" + it->first +
+                                 "' is already registered");
+  }
+  return Status::OK();
+}
+
+Result<const BoundCube*> StarDatabase::Find(std::string_view name) const {
+  auto it = cubes_.find(std::string(name));
+  if (it == cubes_.end()) {
+    return Status::NotFound("no cube '" + std::string(name) +
+                            "' in the database");
+  }
+  return const_cast<const BoundCube*>(it->second.get());
+}
+
+bool StarDatabase::Contains(std::string_view name) const {
+  return cubes_.count(std::string(name)) > 0;
+}
+
+std::vector<std::string> StarDatabase::CubeNames() const {
+  std::vector<std::string> names;
+  names.reserve(cubes_.size());
+  for (const auto& [name, cube] : cubes_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Result<BoundCube*> StarDatabase::FindMutable(std::string_view name) {
+  auto it = cubes_.find(std::string(name));
+  if (it == cubes_.end()) {
+    return Status::NotFound("no cube '" + std::string(name) +
+                            "' in the database");
+  }
+  return it->second.get();
+}
+
+}  // namespace assess

@@ -1,0 +1,74 @@
+#ifndef ASSESS_STORAGE_STAR_SCHEMA_H_
+#define ASSESS_STORAGE_STAR_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "olap/cube_schema.h"
+#include "storage/materialized_view.h"
+#include "storage/table.h"
+
+namespace assess {
+
+/// \brief A detailed cube bound to its star-schema storage: the cube schema,
+/// one dimension table per hierarchy (parallel to schema hierarchy order),
+/// the fact table, and any materialized views declared on it.
+class BoundCube {
+ public:
+  BoundCube(std::shared_ptr<CubeSchema> schema,
+            std::vector<DimensionTable> dimensions, FactTable facts)
+      : schema_(std::move(schema)),
+        dimensions_(std::move(dimensions)),
+        facts_(std::move(facts)) {}
+
+  const CubeSchema& schema() const { return *schema_; }
+  const std::shared_ptr<CubeSchema>& schema_ptr() const { return schema_; }
+
+  const DimensionTable& dimension(int h) const { return dimensions_[h]; }
+  const FactTable& facts() const { return facts_; }
+
+  const std::vector<MaterializedView>& views() const { return views_; }
+  void AddView(MaterializedView view) { views_.push_back(std::move(view)); }
+
+  /// \brief Cross-checks dimension tables against their hierarchies and the
+  /// fact table's foreign keys against dimension sizes.
+  Status Validate() const;
+
+ private:
+  std::shared_ptr<CubeSchema> schema_;
+  std::vector<DimensionTable> dimensions_;
+  FactTable facts_;
+  std::vector<MaterializedView> views_;
+};
+
+/// \brief The database: a catalog of named detailed cubes. Targets and
+/// external benchmarks are both regular entries; an external benchmark is
+/// simply another cube reconciled to share hierarchies with the target
+/// (Section 3.1 of the paper assumes reconciliation has been applied).
+class StarDatabase {
+ public:
+  StarDatabase() = default;
+  StarDatabase(const StarDatabase&) = delete;
+  StarDatabase& operator=(const StarDatabase&) = delete;
+
+  Status Register(std::string name, std::unique_ptr<BoundCube> cube);
+
+  Result<const BoundCube*> Find(std::string_view name) const;
+  bool Contains(std::string_view name) const;
+
+  /// \brief Names of all registered cubes (catalog listing).
+  std::vector<std::string> CubeNames() const;
+
+  /// \brief Mutable access, used to attach materialized views after load.
+  Result<BoundCube*> FindMutable(std::string_view name);
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<BoundCube>> cubes_;
+};
+
+}  // namespace assess
+
+#endif  // ASSESS_STORAGE_STAR_SCHEMA_H_

@@ -1,0 +1,60 @@
+#include "storage/table.h"
+
+namespace assess {
+
+void DimensionTable::AddRow(const std::vector<MemberId>& codes) {
+  for (size_t l = 0; l < level_codes_.size(); ++l) {
+    level_codes_[l].push_back(codes[l]);
+  }
+}
+
+Status DimensionTable::Validate() const {
+  int levels = hierarchy_->level_count();
+  for (int64_t row = 0; row < NumRows(); ++row) {
+    for (int l = 0; l + 1 < levels; ++l) {
+      MemberId fine = level_codes_[l][row];
+      MemberId expected = hierarchy_->RollUpMember(l, fine, l + 1);
+      if (expected != level_codes_[l + 1][row]) {
+        return Status::Internal(
+            "dimension '" + name_ + "' row " + std::to_string(row) +
+            " disagrees with the part-of mapping between levels '" +
+            hierarchy_->level_name(l) + "' and '" +
+            hierarchy_->level_name(l + 1) + "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+DimensionTable DimensionTable::FromColumns(
+    std::string name, std::shared_ptr<Hierarchy> hierarchy,
+    std::vector<std::vector<MemberId>> codes) {
+  DimensionTable table(std::move(name), std::move(hierarchy));
+  table.level_codes_ = std::move(codes);
+  return table;
+}
+
+FactTable FactTable::FromColumns(std::string name,
+                                 std::vector<std::vector<int32_t>> fks,
+                                 std::vector<std::vector<double>> measures) {
+  FactTable table(std::move(name), static_cast<int>(fks.size()),
+                  static_cast<int>(measures.size()));
+  table.fk_ = std::move(fks);
+  table.measures_ = std::move(measures);
+  return table;
+}
+
+void FactTable::Reserve(int64_t rows) {
+  for (auto& col : fk_) col.reserve(rows);
+  for (auto& col : measures_) col.reserve(rows);
+}
+
+void FactTable::AddRow(const std::vector<int32_t>& fks,
+                       const std::vector<double>& measures) {
+  for (size_t d = 0; d < fk_.size(); ++d) fk_[d].push_back(fks[d]);
+  for (size_t m = 0; m < measures_.size(); ++m) {
+    measures_[m].push_back(measures[m]);
+  }
+}
+
+}  // namespace assess

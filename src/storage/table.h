@@ -1,0 +1,108 @@
+#ifndef ASSESS_STORAGE_TABLE_H_
+#define ASSESS_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "olap/hierarchy.h"
+
+namespace assess {
+
+/// \brief A dimension table of a star schema, bound to one hierarchy.
+///
+/// Storage is columnar: one MemberId column per hierarchy level, row-aligned.
+/// The row index is the dimension key referenced by fact-table foreign keys
+/// (the surrogate-key convention of dimensional modeling). Member ids
+/// reference the hierarchy's per-level dictionaries, so attribute values are
+/// dictionary-encoded exactly once.
+class DimensionTable {
+ public:
+  DimensionTable(std::string name, std::shared_ptr<Hierarchy> hierarchy)
+      : name_(std::move(name)),
+        hierarchy_(std::move(hierarchy)),
+        level_codes_(hierarchy_->level_count()) {}
+
+  const std::string& name() const { return name_; }
+  const Hierarchy& hierarchy() const { return *hierarchy_; }
+  const std::shared_ptr<Hierarchy>& hierarchy_ptr() const {
+    return hierarchy_;
+  }
+
+  int64_t NumRows() const {
+    return level_codes_.empty() ? 0
+                                : static_cast<int64_t>(level_codes_[0].size());
+  }
+
+  /// \brief Appends a row; `codes` holds one member id per level,
+  /// finest-first, and must be consistent with the hierarchy's part-of
+  /// mapping (checked by Validate()).
+  void AddRow(const std::vector<MemberId>& codes);
+
+  /// \brief Builds a table directly from per-level columns (the
+  /// persistence loader's path). Columns must be equally sized and match
+  /// the hierarchy's level count.
+  static DimensionTable FromColumns(std::string name,
+                                    std::shared_ptr<Hierarchy> hierarchy,
+                                    std::vector<std::vector<MemberId>> codes);
+
+  MemberId CodeAt(int64_t row, int level) const {
+    return level_codes_[level][row];
+  }
+  const std::vector<MemberId>& level_column(int level) const {
+    return level_codes_[level];
+  }
+
+  /// \brief Checks that each row's codes agree with the hierarchy roll-up.
+  Status Validate() const;
+
+ private:
+  std::string name_;
+  std::shared_ptr<Hierarchy> hierarchy_;
+  std::vector<std::vector<MemberId>> level_codes_;
+};
+
+/// \brief The fact table of a star schema: one foreign-key column per
+/// dimension (indexing dimension-table rows) plus one double column per
+/// measure. A row is a business event (a cell of the detailed cube C0).
+class FactTable {
+ public:
+  FactTable(std::string name, int dimension_count, int measure_count)
+      : name_(std::move(name)),
+        fk_(dimension_count),
+        measures_(measure_count) {}
+
+  const std::string& name() const { return name_; }
+
+  int64_t NumRows() const {
+    return fk_.empty() ? 0 : static_cast<int64_t>(fk_[0].size());
+  }
+  int dimension_count() const { return static_cast<int>(fk_.size()); }
+  int measure_count() const { return static_cast<int>(measures_.size()); }
+
+  void Reserve(int64_t rows);
+  void AddRow(const std::vector<int32_t>& fks,
+              const std::vector<double>& measures);
+
+  /// \brief Builds a table directly from columns (the persistence loader's
+  /// path). All columns must be equally sized.
+  static FactTable FromColumns(std::string name,
+                               std::vector<std::vector<int32_t>> fks,
+                               std::vector<std::vector<double>> measures);
+
+  const std::vector<int32_t>& fk_column(int dim) const { return fk_[dim]; }
+  const std::vector<double>& measure_column(int m) const {
+    return measures_[m];
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::vector<int32_t>> fk_;
+  std::vector<std::vector<double>> measures_;
+};
+
+}  // namespace assess
+
+#endif  // ASSESS_STORAGE_TABLE_H_

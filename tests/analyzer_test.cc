@@ -1,0 +1,278 @@
+#include "assess/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "assess/parser.h"
+#include "labeling/distribution_labeling.h"
+#include "test_util.h"
+
+namespace assess {
+namespace {
+
+using ::assess::testutil::BuildMiniSales;
+
+class AnalyzerTest : public ::testing::Test {
+ protected:
+  AnalyzerTest()
+      : mini_(BuildMiniSales()),
+        functions_(FunctionRegistry::Default()),
+        labelings_(LabelingRegistry::Default()) {}
+
+  Result<AnalyzedStatement> AnalyzeText(const std::string& text) {
+    auto stmt = ParseAssessStatement(text);
+    if (!stmt.ok()) return stmt.status();
+    return Analyze(*stmt, *mini_.db, functions_, labelings_);
+  }
+
+  AnalyzedStatement Must(const std::string& text) {
+    auto analyzed = AnalyzeText(text);
+    EXPECT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+    return std::move(analyzed).value();
+  }
+
+  testutil::MiniDb mini_;
+  FunctionRegistry functions_;
+  LabelingRegistry labelings_;
+};
+
+TEST_F(AnalyzerTest, ConstantBenchmark) {
+  AnalyzedStatement a = Must(
+      "with SALES by month assess sales against 1000 labels quartiles");
+  EXPECT_EQ(a.type, BenchmarkType::kConstant);
+  EXPECT_EQ(a.constant, 1000);
+  EXPECT_EQ(a.benchmark_measure_name, "benchmark");
+  EXPECT_EQ(a.measure, "sales");
+  EXPECT_EQ(a.target.cube_name, "SALES");
+  EXPECT_EQ(a.target.measures, std::vector<int>{1});
+  // Default comparison: difference(m, constant).
+  EXPECT_EQ(a.using_expr.ToString(), "difference(sales, 1000)");
+}
+
+TEST_F(AnalyzerTest, OmittedAgainstIsZeroBenchmark) {
+  AnalyzedStatement a =
+      Must("with SALES by month assess sales labels quartiles");
+  EXPECT_EQ(a.type, BenchmarkType::kConstant);
+  EXPECT_EQ(a.constant, 0);
+  EXPECT_EQ(a.using_expr.ToString(), "difference(sales, 0)");
+}
+
+TEST_F(AnalyzerTest, SiblingBenchmark) {
+  AnalyzedStatement a = Must(
+      "with SALES for type = 'Fresh Fruit', country = 'Italy' "
+      "by product, country assess quantity against country = 'France' "
+      "labels quartiles");
+  EXPECT_EQ(a.type, BenchmarkType::kSibling);
+  EXPECT_EQ(a.sibling_level, "country");
+  EXPECT_EQ(a.sibling_member, "Italy");
+  EXPECT_EQ(a.sibling_sib, "France");
+  EXPECT_EQ(a.benchmark_measure_name, "benchmark.quantity");
+  EXPECT_EQ(a.join_levels, std::vector<std::string>{"product"});
+  EXPECT_EQ(a.benchmark.alias, "benchmark");
+  // P_B replaces Italy with France on the country predicate only.
+  bool saw_france = false;
+  for (const Predicate& p : a.benchmark.predicates) {
+    for (const std::string& m : p.members) {
+      EXPECT_NE(m, "Italy");
+      if (m == "France") saw_france = true;
+    }
+  }
+  EXPECT_TRUE(saw_france);
+  // Default comparison references the benchmark measure.
+  EXPECT_EQ(a.using_expr.ToString(),
+            "difference(quantity, benchmark.quantity)");
+}
+
+TEST_F(AnalyzerTest, SiblingLevelMustBeInByClause) {
+  auto a = AnalyzeText(
+      "with SALES for country = 'Italy' by product assess quantity "
+      "against country = 'France' labels quartiles");
+  ASSERT_FALSE(a.ok());
+  EXPECT_NE(a.status().message().find("by clause"), std::string::npos);
+}
+
+TEST_F(AnalyzerTest, SiblingNeedsSlicePredicate) {
+  auto a = AnalyzeText(
+      "with SALES by product, country assess quantity "
+      "against country = 'France' labels quartiles");
+  ASSERT_FALSE(a.ok());
+  EXPECT_NE(a.status().message().find("for predicate"), std::string::npos);
+}
+
+TEST_F(AnalyzerTest, SiblingMemberMustDiffer) {
+  auto a = AnalyzeText(
+      "with SALES for country = 'Italy' by product, country assess quantity "
+      "against country = 'Italy' labels quartiles");
+  EXPECT_FALSE(a.ok());
+}
+
+TEST_F(AnalyzerTest, SiblingUnknownMemberFails) {
+  auto a = AnalyzeText(
+      "with SALES for country = 'Italy' by product, country assess quantity "
+      "against country = 'Atlantis' labels quartiles");
+  EXPECT_EQ(a.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(AnalyzerTest, PastBenchmark) {
+  AnalyzedStatement a = Must(
+      "with SALES for month = '1997-07', store = 'SmartMart' "
+      "by month, store assess sales against past 4 labels quartiles");
+  EXPECT_EQ(a.type, BenchmarkType::kPast);
+  EXPECT_EQ(a.past_k, 4);
+  EXPECT_EQ(a.time_level, "month");
+  EXPECT_EQ(a.time_member, "1997-07");
+  EXPECT_EQ(a.past_members,
+            (std::vector<std::string>{"1997-03", "1997-04", "1997-05",
+                                      "1997-06"}));
+  EXPECT_EQ(a.join_levels, std::vector<std::string>{"store"});
+  // Benchmark query: the month predicate became IN over the past members.
+  bool saw_in = false;
+  for (const Predicate& p : a.benchmark.predicates) {
+    if (p.op == PredicateOp::kIn) {
+      saw_in = true;
+      EXPECT_EQ(p.members, a.past_members);
+    }
+  }
+  EXPECT_TRUE(saw_in);
+}
+
+TEST_F(AnalyzerTest, PastNeedsTemporalSliceInBy) {
+  auto a = AnalyzeText(
+      "with SALES for store = 'SmartMart' by store assess sales "
+      "against past 4 labels quartiles");
+  ASSERT_FALSE(a.ok());
+  EXPECT_NE(a.status().message().find("temporal"), std::string::npos);
+}
+
+TEST_F(AnalyzerTest, PastWithTooFewPredecessorsFails) {
+  auto a = AnalyzeText(
+      "with SALES for month = '1997-04', store = 'SmartMart' "
+      "by month, store assess sales against past 4 labels quartiles");
+  ASSERT_FALSE(a.ok());
+  EXPECT_EQ(a.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(AnalyzerTest, ExternalBenchmarkNeedsJoinableSchema) {
+  // Register an external cube lacking the 'month' level: not joinable.
+  auto hier = std::make_shared<Hierarchy>("Other");
+  hier->AddLevel("other");
+  auto schema = std::make_shared<CubeSchema>("EXT");
+  schema->AddHierarchy(hier);
+  schema->AddMeasure({"target", AggOp::kSum});
+  DimensionTable dim("other", hier);
+  ASSERT_TRUE(mini_.db
+                  ->Register("EXT", std::make_unique<BoundCube>(
+                                        schema,
+                                        std::vector<DimensionTable>{dim},
+                                        FactTable("EXT", 1, 1)))
+                  .ok());
+  auto a = AnalyzeText(
+      "with SALES by month assess sales against EXT.target labels quartiles");
+  ASSERT_FALSE(a.ok());
+  EXPECT_NE(a.status().message().find("joinable"), std::string::npos);
+}
+
+TEST_F(AnalyzerTest, ExternalBenchmarkUnknownCubeOrMeasure) {
+  EXPECT_EQ(AnalyzeText("with SALES by month assess sales against "
+                        "GHOST.target labels quartiles")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(AnalyzerTest, UnknownNamesAreRejected) {
+  EXPECT_FALSE(
+      AnalyzeText("with GHOST by month assess sales labels quartiles").ok());
+  EXPECT_FALSE(
+      AnalyzeText("with SALES by month assess ghost labels quartiles").ok());
+  EXPECT_FALSE(
+      AnalyzeText("with SALES by ghost assess sales labels quartiles").ok());
+  EXPECT_FALSE(AnalyzeText("with SALES for ghost = 'x' by month assess sales "
+                           "labels quartiles")
+                   .ok());
+  EXPECT_FALSE(AnalyzeText("with SALES by month assess sales using "
+                           "frobnicate(sales) labels quartiles")
+                   .ok());
+  EXPECT_FALSE(AnalyzeText(
+                   "with SALES by month assess sales labels mysteryScale")
+                   .ok());
+}
+
+TEST_F(AnalyzerTest, UnknownPredicateMemberIsRejectedEagerly) {
+  auto a = AnalyzeText(
+      "with SALES for country = 'Narnia' by month assess sales "
+      "labels quartiles");
+  EXPECT_EQ(a.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(AnalyzerTest, UsingArityIsValidated) {
+  auto a = AnalyzeText(
+      "with SALES by month assess sales using difference(sales) "
+      "labels quartiles");
+  ASSERT_FALSE(a.ok());
+  EXPECT_NE(a.status().message().find("argument"), std::string::npos);
+}
+
+TEST_F(AnalyzerTest, InlineLabelsAreValidated) {
+  auto a = AnalyzeText(
+      "with SALES by month assess sales labels "
+      "{[0, 2]: a, [1, 3]: b}");
+  ASSERT_FALSE(a.ok());
+  EXPECT_NE(a.status().message().find("overlap"), std::string::npos);
+}
+
+TEST_F(AnalyzerTest, InlineLabelsBuildRangeFunction) {
+  AnalyzedStatement a = Must(
+      "with SALES by month assess sales labels "
+      "{[-inf, 0): neg, [0, inf]: pos}");
+  ASSERT_NE(a.label_function, nullptr);
+  std::vector<double> values = {-1, 1};
+  std::vector<std::string> labels;
+  ASSERT_TRUE(a.label_function
+                  ->Apply(std::span<const double>(values), &labels)
+                  .ok());
+  EXPECT_EQ(labels, (std::vector<std::string>{"neg", "pos"}));
+}
+
+TEST_F(AnalyzerTest, NamedLabelingResolvesFromRegistry) {
+  AnalyzedStatement a =
+      Must("with SALES by month assess sales labels deciles");
+  EXPECT_EQ(a.label_function->name(), "deciles");
+}
+
+TEST_F(AnalyzerTest, StarFlagPropagates) {
+  AnalyzedStatement a = Must(
+      "with SALES for country = 'Italy' by product, country assess* quantity "
+      "against country = 'France' labels quartiles");
+  EXPECT_TRUE(a.star);
+}
+
+TEST_F(AnalyzerTest, ForecastOptionPropagates) {
+  auto stmt = ParseAssessStatement(
+      "with SALES for month = '1997-07', store = 'SmartMart' by month, store "
+      "assess sales against past 2 labels quartiles");
+  ASSERT_TRUE(stmt.ok());
+  AnalyzerOptions options;
+  options.forecast = ForecastMethod::kMovingAverage;
+  auto a = Analyze(*stmt, *mini_.db, functions_, labelings_, options);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->forecast, ForecastMethod::kMovingAverage);
+}
+
+TEST(PredecessorMembersTest, ChronologicalWindow) {
+  Hierarchy h("Date");
+  h.AddLevel("month");
+  // Insert out of order: predecessor computation must sort by name.
+  for (const char* m : {"1997-05", "1997-03", "1997-07", "1997-04",
+                        "1997-06"}) {
+    h.AddMember(0, m);
+  }
+  auto preds = PredecessorMembers(h, 0, "1997-07", 3);
+  ASSERT_TRUE(preds.ok());
+  EXPECT_EQ(*preds,
+            (std::vector<std::string>{"1997-04", "1997-05", "1997-06"}));
+  EXPECT_FALSE(PredecessorMembers(h, 0, "1997-03", 1).ok());
+  EXPECT_FALSE(PredecessorMembers(h, 0, "1997-08", 1).ok());
+}
+
+}  // namespace
+}  // namespace assess

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/str_util.h"
+#include "common/value.h"
+
+namespace assess {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotSupported("x").code(), StatusCode::kNotSupported);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::NotFound("missing").ToString(), "NotFound: missing");
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status st = Status::NotFound("cube X").WithContext("while planning");
+  EXPECT_EQ(st.message(), "while planning: cube X");
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OK().WithContext("ignored").ToString(), "OK");
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+Result<int> DoublePositive(int v) {
+  ASSESS_ASSIGN_OR_RETURN(int parsed, ParsePositive(v));
+  return parsed * 2;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  Result<int> ok = DoublePositive(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  Result<int> bad = DoublePositive(-1);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, ValueOr) {
+  EXPECT_EQ(Result<int>(7).ValueOr(9), 7);
+  EXPECT_EQ(Result<int>(Status::NotFound("x")).ValueOr(9), 9);
+}
+
+TEST(StrUtilTest, Join) {
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"a"}, ", "), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, " | "), "a | b | c");
+}
+
+TEST(StrUtilTest, Split) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StrUtilTest, CaseHelpers) {
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_TRUE(EqualsIgnoreCase("ASSESS", "assess"));
+  EXPECT_FALSE(EqualsIgnoreCase("assess", "asses"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+}
+
+TEST(StrUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("\n\tx"), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StrUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("benchmark.quantity", "benchmark."));
+  EXPECT_FALSE(StartsWith("bench", "benchmark"));
+}
+
+TEST(FormatNumberTest, Integers) {
+  EXPECT_EQ(FormatNumber(0), "0");
+  EXPECT_EQ(FormatNumber(1000), "1000");
+  EXPECT_EQ(FormatNumber(-42), "-42");
+}
+
+TEST(FormatNumberTest, Decimals) {
+  EXPECT_EQ(FormatNumber(0.9), "0.9");
+  EXPECT_EQ(FormatNumber(-0.25), "-0.25");
+}
+
+TEST(FormatNumberTest, Specials) {
+  EXPECT_EQ(FormatNumber(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(FormatNumber(-std::numeric_limits<double>::infinity()), "-inf");
+  EXPECT_EQ(FormatNumber(std::nan("")), "nan");
+}
+
+class FormatNumberRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(FormatNumberRoundTrip, ParsesBackExactly) {
+  double v = GetParam();
+  EXPECT_EQ(std::stod(FormatNumber(v)), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, FormatNumberRoundTrip,
+                         ::testing::Values(0.1, 1.0 / 3.0, 1e-17, 6.02e23,
+                                           -273.15, 0.30000000000000004,
+                                           12345.6789, 2.2250738585072014e-308));
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, SkewedInBoundsAndSkewed) {
+  Rng rng(7);
+  int64_t low_half = 0;
+  constexpr int kDraws = 10000;
+  for (int i = 0; i < kDraws; ++i) {
+    uint64_t v = rng.Skewed(100);
+    EXPECT_LT(v, 100u);
+    if (v < 50) ++low_half;
+  }
+  // The squared-uniform draw lands in the lower half ~sqrt(1/2) of the time.
+  EXPECT_GT(low_half, kDraws / 2);
+}
+
+TEST(ValueTest, NumberAndString) {
+  Value n(3.5);
+  EXPECT_TRUE(n.is_number());
+  EXPECT_EQ(n.number(), 3.5);
+  EXPECT_EQ(n.ToString(), "3.5");
+  Value s(std::string("Italy"));
+  EXPECT_TRUE(s.is_string());
+  EXPECT_EQ(s.text(), "Italy");
+  EXPECT_EQ(s.ToString(), "'Italy'");
+  EXPECT_EQ(Value(1.0), Value(1.0));
+  EXPECT_FALSE(Value(1.0) == Value(std::string("1")));
+}
+
+TEST(StopwatchTest, Monotonic) {
+  Stopwatch sw;
+  double a = sw.ElapsedSeconds();
+  double b = sw.ElapsedSeconds();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0.0);
+  sw.Restart();
+  EXPECT_GE(sw.ElapsedMillis(), 0.0);
+}
+
+}  // namespace
+}  // namespace assess

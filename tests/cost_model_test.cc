@@ -1,0 +1,196 @@
+#include "assess/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "assess/session.h"
+#include "ssb/ssb_generator.h"
+#include "ssb/workload.h"
+#include "test_util.h"
+
+namespace assess {
+namespace {
+
+using ::assess::testutil::BuildMiniSales;
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  CostModelTest() {
+    SsbConfig config;
+    config.scale_factor = 0.01;
+    db_ = std::move(BuildSsbDatabase(config)).value();
+    session_ = std::make_unique<AssessSession>(db_.get());
+    estimator_ = std::make_unique<CostEstimator>(db_.get());
+  }
+
+  AnalyzedStatement Must(const std::string& text) {
+    auto analyzed = session_->Prepare(text);
+    EXPECT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+    return std::move(analyzed).value();
+  }
+
+  std::unique_ptr<StarDatabase> db_;
+  std::unique_ptr<AssessSession> session_;
+  std::unique_ptr<CostEstimator> estimator_;
+};
+
+TEST_F(CostModelTest, SelectivityOfEquality) {
+  AnalyzedStatement a =
+      Must("with SSB for s_region = 'ASIA' by customer, s_region assess "
+           "quantity against s_region = 'AMERICA' labels quartiles");
+  auto selectivity =
+      estimator_->EstimateSelectivity(*a.schema, a.target.predicates);
+  ASSERT_TRUE(selectivity.ok());
+  EXPECT_DOUBLE_EQ(*selectivity, 0.2);  // 1 of 5 regions
+}
+
+TEST_F(CostModelTest, SelectivityOfConjunction) {
+  AnalyzedStatement a = Must(
+      "with SSB for s_region = 'ASIA', c_region = 'EUROPE' by customer "
+      "assess quantity labels quartiles");
+  auto selectivity =
+      estimator_->EstimateSelectivity(*a.schema, a.target.predicates);
+  ASSERT_TRUE(selectivity.ok());
+  EXPECT_DOUBLE_EQ(*selectivity, 0.04);  // independence: 0.2 * 0.2
+}
+
+TEST_F(CostModelTest, SelectivityOfInAndBetween) {
+  AnalyzedStatement in_stmt = Must(
+      "with SSB for s_region in ('ASIA', 'EUROPE') by customer assess "
+      "quantity labels quartiles");
+  EXPECT_DOUBLE_EQ(*estimator_->EstimateSelectivity(
+                       *in_stmt.schema, in_stmt.target.predicates),
+                   0.4);
+  AnalyzedStatement between = Must(
+      "with SSB for month between '1998-01' and '1998-06' by customer "
+      "assess quantity labels quartiles");
+  EXPECT_NEAR(*estimator_->EstimateSelectivity(*between.schema,
+                                               between.target.predicates),
+              6.0 / 84.0, 1e-12);
+}
+
+TEST_F(CostModelTest, CellEstimateWithinFactorOfActual) {
+  // The estimator should land within a small factor of the real |C| for
+  // the workload queries (enough precision for plan choice).
+  for (const WorkloadStatement& stmt : SsbWorkload()) {
+    AnalyzedStatement a = Must(stmt.text);
+    auto estimate = estimator_->EstimateCells(a.target);
+    ASSERT_TRUE(estimate.ok()) << stmt.name;
+    auto actual = session_->Query(stmt.text);
+    ASSERT_TRUE(actual.ok());
+    double real = static_cast<double>(actual->cube.NumRows());
+    EXPECT_GT(*estimate, real / 5.0) << stmt.name;
+    EXPECT_LT(*estimate, real * 5.0 + 10.0) << stmt.name;
+  }
+}
+
+TEST_F(CostModelTest, CostOrderingMatchesSection6) {
+  // POP cheapest for sibling and past; JOP <= NP for external.
+  AnalyzedStatement sibling = Must(SsbWorkload()[2].text);
+  auto ranked = estimator_->RankPlans(sibling);
+  ASSERT_TRUE(ranked.ok());
+  ASSERT_EQ(ranked->size(), 3u);
+  EXPECT_EQ((*ranked)[0].plan, PlanKind::kPOP);
+  EXPECT_LE((*ranked)[0].cost, (*ranked)[1].cost);
+  EXPECT_LE((*ranked)[1].cost, (*ranked)[2].cost);
+
+  AnalyzedStatement external = Must(SsbWorkload()[1].text);
+  auto ext_ranked = estimator_->RankPlans(external);
+  ASSERT_TRUE(ext_ranked.ok());
+  ASSERT_EQ(ext_ranked->size(), 2u);
+  EXPECT_EQ((*ext_ranked)[0].plan, PlanKind::kJOP);
+
+  AnalyzedStatement past = Must(SsbWorkload()[3].text);
+  auto past_choice = estimator_->ChoosePlan(past);
+  ASSERT_TRUE(past_choice.ok());
+  EXPECT_EQ(*past_choice, PlanKind::kPOP);
+
+  AnalyzedStatement constant = Must(SsbWorkload()[0].text);
+  EXPECT_EQ(*estimator_->ChoosePlan(constant), PlanKind::kNP);
+}
+
+TEST_F(CostModelTest, InfeasiblePlanIsRejected) {
+  AnalyzedStatement constant = Must(SsbWorkload()[0].text);
+  EXPECT_EQ(
+      estimator_->EstimatePlanCost(constant, PlanKind::kPOP).status().code(),
+      StatusCode::kNotSupported);
+}
+
+TEST_F(CostModelTest, CostsArePositiveAndScaleWithData) {
+  SsbConfig big_config;
+  big_config.scale_factor = 0.05;
+  auto big_db = std::move(BuildSsbDatabase(big_config)).value();
+  AssessSession big_session(big_db.get());
+  CostEstimator big_estimator(big_db.get());
+  for (const WorkloadStatement& stmt : SsbWorkload()) {
+    AnalyzedStatement small_stmt = Must(stmt.text);
+    auto small_cost = estimator_->EstimatePlanCost(small_stmt, PlanKind::kNP);
+    auto big_prepared = big_session.Prepare(stmt.text);
+    ASSERT_TRUE(big_prepared.ok());
+    auto big_cost = big_estimator.EstimatePlanCost(*big_prepared,
+                                                   PlanKind::kNP);
+    ASSERT_TRUE(small_cost.ok() && big_cost.ok()) << stmt.name;
+    EXPECT_GT(*small_cost, 0.0);
+    EXPECT_GT(*big_cost, *small_cost) << stmt.name;
+  }
+}
+
+TEST_F(CostModelTest, SessionCostBasedSelection) {
+  session_->set_plan_selection(PlanSelection::kCostBased);
+  auto sibling = session_->Query(SsbWorkload()[2].text);
+  ASSERT_TRUE(sibling.ok());
+  EXPECT_EQ(sibling->plan, PlanKind::kPOP);
+  auto ranked = session_->RankPlans(SsbWorkload()[2].text);
+  ASSERT_TRUE(ranked.ok());
+  EXPECT_EQ(ranked->front().plan, PlanKind::kPOP);
+  session_->set_plan_selection(PlanSelection::kRuleBased);
+}
+
+// --- CSV export --------------------------------------------------------
+
+TEST(CsvExportTest, CubeCsvRoundsTripStructure) {
+  testutil::MiniDb mini = BuildMiniSales();
+  AssessSession session(mini.db.get());
+  auto result = session.Query(
+      "with SALES for type = 'Fresh Fruit', country = 'Italy' "
+      "by product, country assess quantity against country = 'France' "
+      "using difference(quantity, benchmark.quantity) "
+      "labels {[-inf, 0): behind, [0, inf]: ahead}");
+  ASSERT_TRUE(result.ok());
+  std::ostringstream out;
+  result->WriteCsv(out);
+  std::string csv = out.str();
+  EXPECT_NE(csv.find("product,country,quantity,benchmark.quantity,"
+                     "difference,label"),
+            std::string::npos);
+  EXPECT_NE(csv.find("Apple,Italy,100,150,-50,behind"), std::string::npos);
+  EXPECT_NE(csv.find("Lemon,Italy,30,20,10,ahead"), std::string::npos);
+  // Header + 3 cells.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);
+}
+
+TEST(CsvExportTest, FieldsWithSeparatorsAreQuoted) {
+  auto hier = std::make_shared<Hierarchy>("H");
+  hier->AddLevel("k");
+  MemberId weird = hier->AddMember(0, "a,b\"c");
+  Cube cube({LevelRef{hier, 0}}, {"m"});
+  cube.AddRow({weird}, {1.0});
+  std::ostringstream out;
+  cube.WriteCsv(out);
+  EXPECT_NE(out.str().find("\"a,b\"\"c\""), std::string::npos);
+}
+
+TEST(CsvExportTest, NullMeasuresAreEmptyFields) {
+  auto hier = std::make_shared<Hierarchy>("H");
+  hier->AddLevel("k");
+  MemberId a = hier->AddMember(0, "a");
+  Cube cube({LevelRef{hier, 0}}, {"m", "n"});
+  cube.AddRow({a}, {kNullMeasure, 2.0});
+  std::ostringstream out;
+  cube.WriteCsv(out);
+  EXPECT_NE(out.str().find("a,,2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace assess

@@ -1,0 +1,166 @@
+#include "olap/cube.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+namespace assess {
+namespace {
+
+std::shared_ptr<Hierarchy> MakeHier(const std::string& name,
+                                    const std::string& level,
+                                    const std::vector<std::string>& members) {
+  auto h = std::make_shared<Hierarchy>(name);
+  h->AddLevel(level);
+  for (const std::string& m : members) h->AddMember(0, m);
+  return h;
+}
+
+class CubeTest : public ::testing::Test {
+ protected:
+  CubeTest() {
+    products_ = MakeHier("Product", "product", {"Apple", "Pear", "Lemon"});
+    countries_ = MakeHier("Store", "country", {"Italy", "France"});
+  }
+
+  Cube MakeFigure1Cube() {
+    // The cube C' of Figure 2: both country slices.
+    Cube cube({LevelRef{products_, 0}, LevelRef{countries_, 0}},
+              {"quantity"});
+    cube.AddRow({0, 0}, {100});  // Apple, Italy
+    cube.AddRow({1, 0}, {90});   // Pear, Italy
+    cube.AddRow({2, 0}, {30});   // Lemon, Italy
+    cube.AddRow({0, 1}, {150});  // Apple, France
+    cube.AddRow({1, 1}, {110});  // Pear, France
+    cube.AddRow({2, 1}, {20});   // Lemon, France
+    return cube;
+  }
+
+  std::shared_ptr<Hierarchy> products_;
+  std::shared_ptr<Hierarchy> countries_;
+};
+
+TEST_F(CubeTest, EmptyCube) {
+  Cube cube({LevelRef{products_, 0}}, {"m"});
+  EXPECT_EQ(cube.NumRows(), 0);
+  EXPECT_EQ(cube.level_count(), 1);
+  EXPECT_EQ(cube.measure_count(), 1);
+}
+
+TEST_F(CubeTest, AddRowStoresCoordinatesAndMeasures) {
+  Cube cube = MakeFigure1Cube();
+  EXPECT_EQ(cube.NumRows(), 6);
+  EXPECT_EQ(cube.CoordName(0, 0), "Apple");
+  EXPECT_EQ(cube.CoordName(0, 1), "Italy");
+  EXPECT_EQ(cube.MeasureAt(0, 0), 100);
+  EXPECT_EQ(cube.CoordAt(3, 1), 1);
+}
+
+TEST_F(CubeTest, LevelPositionAndMeasureIndex) {
+  Cube cube = MakeFigure1Cube();
+  EXPECT_EQ(*cube.LevelPosition("country"), 1);
+  EXPECT_FALSE(cube.LevelPosition("month").ok());
+  EXPECT_EQ(*cube.MeasureIndex("quantity"), 0);
+  EXPECT_FALSE(cube.MeasureIndex("sales").ok());
+}
+
+TEST_F(CubeTest, AddMeasureColumnIsNullFilled) {
+  Cube cube = MakeFigure1Cube();
+  int idx = cube.AddMeasureColumn("derived");
+  EXPECT_EQ(idx, 1);
+  for (int64_t r = 0; r < cube.NumRows(); ++r) {
+    EXPECT_TRUE(IsNullMeasure(cube.MeasureAt(r, idx)));
+  }
+  cube.SetMeasure(2, idx, 7.0);
+  EXPECT_EQ(cube.MeasureAt(2, idx), 7.0);
+}
+
+TEST_F(CubeTest, RowsAddedAfterNewMeasureStayAligned) {
+  Cube cube = MakeFigure1Cube();
+  cube.AddMeasureColumn("derived");
+  cube.AddRow({0, 0}, {1.0, 2.0});
+  EXPECT_EQ(cube.MeasureAt(6, 1), 2.0);
+}
+
+TEST_F(CubeTest, SortByCoordinatesIsCanonical) {
+  Cube cube = MakeFigure1Cube();
+  cube.SetLabels({"a", "b", "c", "d", "e", "f"});
+  cube.SortByCoordinates();
+  // Apple(0) rows first, Italy(0) before France(1).
+  EXPECT_EQ(cube.CoordName(0, 0), "Apple");
+  EXPECT_EQ(cube.CoordName(0, 1), "Italy");
+  EXPECT_EQ(cube.MeasureAt(0, 0), 100);
+  EXPECT_EQ(cube.labels()[0], "a");
+  EXPECT_EQ(cube.CoordName(1, 0), "Apple");
+  EXPECT_EQ(cube.CoordName(1, 1), "France");
+  EXPECT_EQ(cube.MeasureAt(1, 0), 150);
+  EXPECT_EQ(cube.labels()[1], "d");
+  EXPECT_EQ(cube.CoordName(5, 1), "France");
+}
+
+TEST_F(CubeTest, FromColumnsBuildsWithoutCopy) {
+  Cube cube = Cube::FromColumns({LevelRef{products_, 0}}, {{0, 1, 2}},
+                                {"m"}, {{1.0, 2.0, 3.0}});
+  EXPECT_EQ(cube.NumRows(), 3);
+  EXPECT_EQ(cube.MeasureAt(2, 0), 3.0);
+}
+
+TEST_F(CubeTest, ToStringTruncates) {
+  Cube cube = MakeFigure1Cube();
+  std::string s = cube.ToString(2);
+  EXPECT_NE(s.find("product | country | quantity"), std::string::npos);
+  EXPECT_NE(s.find("(4 more cells)"), std::string::npos);
+}
+
+TEST_F(CubeTest, NullMeasureDetection) {
+  EXPECT_TRUE(IsNullMeasure(kNullMeasure));
+  EXPECT_FALSE(IsNullMeasure(0.0));
+  EXPECT_FALSE(IsNullMeasure(std::numeric_limits<double>::infinity()));
+}
+
+TEST_F(CubeTest, CoordinateIndexFullKey) {
+  Cube cube = MakeFigure1Cube();
+  CoordinateIndex index(cube, {0, 1});
+  EXPECT_EQ(index.DistinctKeys(), 6);
+  const auto& rows = index.Lookup(cube, {0, 1}, 4);  // Pear, France
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], 4);
+}
+
+TEST_F(CubeTest, CoordinateIndexSubsetKeyMultiMatch) {
+  Cube cube = MakeFigure1Cube();
+  CoordinateIndex index(cube, {0});  // by product only
+  EXPECT_EQ(index.DistinctKeys(), 3);
+  const auto& rows = index.Lookup(cube, {0}, 0);  // Apple
+  EXPECT_EQ(rows.size(), 2u);  // Italy + France slices
+}
+
+TEST_F(CubeTest, CoordinateIndexProbeFromAnotherCube) {
+  Cube cube = MakeFigure1Cube();
+  // A one-row probe cube over the same hierarchies.
+  Cube probe({LevelRef{products_, 0}, LevelRef{countries_, 0}}, {"x"});
+  probe.AddRow({2, 1}, {0});  // Lemon, France
+  CoordinateIndex index(cube, {0, 1});
+  const auto& rows = index.Lookup(probe, {0, 1}, 0);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(cube.MeasureAt(rows[0], 0), 20);
+}
+
+TEST_F(CubeTest, CoordinateIndexMiss) {
+  Cube cube({LevelRef{products_, 0}}, {"m"});
+  cube.AddRow({0}, {1.0});
+  CoordinateIndex index(cube, {0});
+  Cube probe({LevelRef{products_, 0}}, {"m"});
+  probe.AddRow({2}, {0.0});
+  EXPECT_TRUE(index.Lookup(probe, {0}, 0).empty());
+}
+
+TEST_F(CubeTest, CoordinateIndexEmptyCube) {
+  Cube cube({LevelRef{products_, 0}}, {"m"});
+  CoordinateIndex index(cube, {0});
+  EXPECT_EQ(index.DistinctKeys(), 0);
+}
+
+}  // namespace
+}  // namespace assess

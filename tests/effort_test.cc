@@ -1,0 +1,103 @@
+#include "assess/effort.h"
+
+#include <gtest/gtest.h>
+
+#include "assess/python_codegen.h"
+#include "assess/session.h"
+#include "ssb/ssb_generator.h"
+#include "ssb/workload.h"
+
+namespace assess {
+namespace {
+
+class EffortTest : public ::testing::Test {
+ protected:
+  EffortTest() {
+    SsbConfig config;
+    config.scale_factor = 0.002;
+    db_ = std::move(BuildSsbDatabase(config)).value();
+    session_ = std::make_unique<AssessSession>(db_.get());
+  }
+
+  AnalyzedStatement Must(const std::string& text) {
+    auto analyzed = session_->Prepare(text);
+    EXPECT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+    return std::move(analyzed).value();
+  }
+
+  std::unique_ptr<StarDatabase> db_;
+  std::unique_ptr<AssessSession> session_;
+};
+
+TEST_F(EffortTest, Table1OrderOfMagnitudeHolds) {
+  // The paper's Table 1 finding: SQL+Python effort is more than an order of
+  // magnitude larger than the assess statement, for every intention type.
+  for (const WorkloadStatement& stmt : SsbWorkload()) {
+    AnalyzedStatement analyzed = Must(stmt.text);
+    auto report = MeasureFormulationEffort(analyzed, *db_);
+    ASSERT_TRUE(report.ok()) << stmt.name;
+    EXPECT_GT(report->sql_chars, 0) << stmt.name;
+    EXPECT_GT(report->python_chars, 1000) << stmt.name;
+    EXPECT_GT(report->assess_chars, 0) << stmt.name;
+    EXPECT_GT(report->total_chars(), 10 * report->assess_chars) << stmt.name;
+  }
+}
+
+TEST_F(EffortTest, SqlSideCountsOneGetForConstantTwoOtherwise) {
+  AnalyzedStatement constant = Must(SsbWorkload()[0].text);
+  AnalyzedStatement sibling = Must(SsbWorkload()[2].text);
+  auto constant_report = *MeasureFormulationEffort(constant, *db_);
+  auto sibling_report = *MeasureFormulationEffort(sibling, *db_);
+  // Two NP gets cost roughly twice one get.
+  EXPECT_GT(sibling_report.sql_chars, constant_report.sql_chars * 3 / 2);
+}
+
+TEST_F(EffortTest, PastIsTheCostliestIntention) {
+  // Matches the Table 1 ordering: Past has the largest total effort.
+  std::vector<int64_t> totals;
+  for (const WorkloadStatement& stmt : SsbWorkload()) {
+    totals.push_back(
+        MeasureFormulationEffort(Must(stmt.text), *db_)->total_chars());
+  }
+  EXPECT_GT(totals[3], totals[0]);
+  EXPECT_GT(totals[3], totals[1]);
+  EXPECT_GT(totals[3], totals[2]);
+}
+
+TEST_F(EffortTest, PythonScriptIsPlausibleClientCode) {
+  AnalyzedStatement past = Must(SsbWorkload()[3].text);
+  std::string script = GeneratePythonScript(past);
+  EXPECT_NE(script.find("import pandas as pd"), std::string::npos);
+  EXPECT_NE(script.find("from sklearn.linear_model import LinearRegression"),
+            std::string::npos);
+  EXPECT_NE(script.find("def forecast_next"), std::string::npos);
+  EXPECT_NE(script.find("pivot_table"), std::string::npos);
+  EXPECT_NE(script.find("def ratio"), std::string::npos);
+  EXPECT_NE(script.find("def main"), std::string::npos);
+
+  AnalyzedStatement constant = Must(SsbWorkload()[0].text);
+  std::string constant_script = GeneratePythonScript(constant);
+  // No sklearn or pivoting needed without a forecast.
+  EXPECT_EQ(constant_script.find("sklearn"), std::string::npos);
+  EXPECT_NE(constant_script.find("def ratio"), std::string::npos);
+  EXPECT_NE(constant_script.find("LABEL_RANGES"), std::string::npos);
+}
+
+TEST_F(EffortTest, InlineVsNamedLabelingChangesScript) {
+  AnalyzedStatement named = Must(
+      "with SSB by c_nation assess revenue labels quartiles");
+  std::string script = GeneratePythonScript(named);
+  EXPECT_NE(script.find("qcut"), std::string::npos);
+  EXPECT_EQ(script.find("LABEL_RANGES"), std::string::npos);
+}
+
+TEST_F(EffortTest, AssessCharsMatchOriginalText) {
+  const WorkloadStatement stmt = SsbWorkload()[0];
+  AnalyzedStatement analyzed = Must(stmt.text);
+  auto report = *MeasureFormulationEffort(analyzed, *db_);
+  EXPECT_EQ(report.assess_chars,
+            static_cast<int64_t>(stmt.text.size()));
+}
+
+}  // namespace
+}  // namespace assess

@@ -1,0 +1,291 @@
+#include "assess/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "assess/session.h"
+#include "test_util.h"
+
+namespace assess {
+namespace {
+
+using ::assess::testutil::BuildMiniSales;
+using ::assess::testutil::CellMap;
+using ::assess::testutil::K;
+using ::assess::testutil::LabelMap;
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest() : mini_(BuildMiniSales()), session_(mini_.db.get()) {}
+
+  AssessResult Run(const std::string& text, PlanKind plan) {
+    auto result = session_.Query(text, plan);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  }
+
+  testutil::MiniDb mini_;
+  AssessSession session_;
+};
+
+constexpr const char* kSiblingStatement =
+    "with SALES for type = 'Fresh Fruit', country = 'Italy' "
+    "by product, country assess quantity against country = 'France' "
+    "using percOfTotal(difference(quantity, benchmark.quantity), quantity) "
+    "labels {[-inf, -0.2): bad, [-0.2, 0.2]: ok, (0.2, inf]: good}";
+
+constexpr const char* kPastStatement =
+    "with SALES for month = '1997-07' by month, store "
+    "assess sales against past 4 "
+    "using ratio(sales, benchmark.sales) "
+    "labels {[0, 0.9): worse, [0.9, 1.1]: fine, (1.1, inf): better}";
+
+// --- Constant ---------------------------------------------------------------
+
+TEST_F(ExecutorTest, ConstantBenchmarkEndToEnd) {
+  AssessResult r = Run(
+      "with SALES for year = '1997', product = 'milk' by year, product "
+      "assess sales against 100 using ratio(sales, 100) "
+      "labels {[0, 0.9): bad, [0.9, 1.1]: acceptable, (1.1, inf): good}",
+      PlanKind::kNP);
+  ASSERT_EQ(r.cube.NumRows(), 1);
+  auto sales = CellMap(r.cube, "sales");
+  // Total milk sales: SmartMart 145 + PetitPrix 68 = 213.
+  EXPECT_EQ(sales[K("1997", "milk")], 213);
+  auto benchmark = CellMap(r.cube, r.benchmark_measure);
+  EXPECT_EQ(benchmark[K("1997", "milk")], 100);
+  auto comparison = CellMap(r.cube, r.comparison_measure);
+  EXPECT_DOUBLE_EQ(comparison[K("1997", "milk")], 2.13);
+  EXPECT_EQ(LabelMap(r.cube)[K("1997", "milk")], "good");
+  EXPECT_EQ(r.plan, PlanKind::kNP);
+  EXPECT_EQ(r.sql.size(), 1u);
+  EXPECT_GT(r.timings.get_c, 0.0);
+  EXPECT_EQ(r.timings.get_b, 0.0);
+  EXPECT_EQ(r.timings.join, 0.0);
+}
+
+TEST_F(ExecutorTest, ConstantOnlySupportsNP) {
+  auto analyzed = session_.Prepare(
+      "with SALES by month assess sales against 10 labels quartiles");
+  ASSERT_TRUE(analyzed.ok());
+  EXPECT_EQ(FeasiblePlans(*analyzed),
+            (std::vector<PlanKind>{PlanKind::kNP}));
+  auto jop = session_.Query(
+      "with SALES by month assess sales against 10 labels quartiles",
+      PlanKind::kJOP);
+  EXPECT_EQ(jop.status().code(), StatusCode::kNotSupported);
+}
+
+TEST_F(ExecutorTest, QuartilesOverMonths) {
+  AssessResult r = Run(
+      "with SALES for store = 'SmartMart' by month assess sales "
+      "labels quartiles",
+      PlanKind::kNP);
+  // Months 03..07 with sales 10,20,30,40,45: five cells into 4 groups.
+  auto labels = LabelMap(r.cube);
+  EXPECT_EQ(labels[K("1997-03")], "top-4");
+  EXPECT_EQ(labels[K("1997-07")], "top-1");
+}
+
+// --- Sibling (the paper's worked example, Figure 1 end-to-end) --------------
+
+TEST_F(ExecutorTest, SiblingNpReproducesExample45) {
+  AssessResult r = Run(kSiblingStatement, PlanKind::kNP);
+  ASSERT_EQ(r.cube.NumRows(), 3);
+  auto diff = CellMap(r.cube, "difference");
+  EXPECT_EQ(diff[K("Apple", "Italy")], -50);
+  EXPECT_EQ(diff[K("Pear", "Italy")], -20);
+  EXPECT_EQ(diff[K("Lemon", "Italy")], 10);
+  auto pot = CellMap(r.cube, r.comparison_measure);
+  EXPECT_NEAR(pot[K("Apple", "Italy")], -50.0 / 220.0, 1e-12);  // -0.227
+  EXPECT_NEAR(pot[K("Pear", "Italy")], -20.0 / 220.0, 1e-12);   // -0.091
+  EXPECT_NEAR(pot[K("Lemon", "Italy")], 10.0 / 220.0, 1e-12);   // 0.045
+  auto labels = LabelMap(r.cube);
+  EXPECT_EQ(labels[K("Apple", "Italy")], "bad");
+  EXPECT_EQ(labels[K("Pear", "Italy")], "ok");
+  EXPECT_EQ(labels[K("Lemon", "Italy")], "ok");
+  EXPECT_EQ(r.sql.size(), 2u);  // two gets
+  EXPECT_GT(r.timings.get_b, 0.0);
+}
+
+TEST_F(ExecutorTest, SiblingAllPlansAgree) {
+  AssessResult np = Run(kSiblingStatement, PlanKind::kNP);
+  AssessResult jop = Run(kSiblingStatement, PlanKind::kJOP);
+  AssessResult pop = Run(kSiblingStatement, PlanKind::kPOP);
+  for (const std::string& m :
+       {std::string("quantity"), np.benchmark_measure,
+        np.comparison_measure}) {
+    EXPECT_EQ(CellMap(np.cube, m), CellMap(jop.cube, m)) << m;
+    EXPECT_EQ(CellMap(np.cube, m), CellMap(pop.cube, m)) << m;
+  }
+  EXPECT_EQ(LabelMap(np.cube), LabelMap(jop.cube));
+  EXPECT_EQ(LabelMap(np.cube), LabelMap(pop.cube));
+  // Plan-specific shapes: fused plans issue a single SQL statement.
+  EXPECT_EQ(jop.sql.size(), 1u);
+  EXPECT_EQ(pop.sql.size(), 1u);
+  EXPECT_GT(jop.timings.get_cb, 0.0);
+  EXPECT_EQ(jop.timings.join, 0.0);
+  EXPECT_GT(pop.timings.get_cb, 0.0);
+}
+
+TEST_F(ExecutorTest, SiblingStarKeepsUnmatchedCells) {
+  // Slice France against Italy on the sales measure: milk sells in both, so
+  // widen with a product sold in one country only... Apple sells in both
+  // too; instead assess Dairy products against a country without dairy
+  // facts is not available here, so check the star variant keeps the same
+  // cells when everything matches and nulls appear for missing benchmarks.
+  std::string star =
+      "with SALES for type = 'Fresh Fruit', country = 'Italy' "
+      "by product, country assess* quantity against country = 'France' "
+      "using difference(quantity, benchmark.quantity) "
+      "labels {[-inf, inf]: any}";
+  AssessResult r = Run(star, PlanKind::kNP);
+  EXPECT_EQ(r.cube.NumRows(), 3);
+}
+
+// --- Past --------------------------------------------------------------------
+
+TEST_F(ExecutorTest, PastNpForecastsExactly) {
+  AssessResult r = Run(kPastStatement, PlanKind::kNP);
+  ASSERT_EQ(r.cube.NumRows(), 2);
+  auto benchmark = CellMap(r.cube, "benchmark.sales");
+  // SmartMart: OLS over 10,20,30,40 -> 50; PetitPrix: 5,10,15,20 -> 25.
+  EXPECT_NEAR(benchmark[K("1997-07", "SmartMart")], 50.0, 1e-9);
+  EXPECT_NEAR(benchmark[K("1997-07", "PetitPrix")], 25.0, 1e-9);
+  auto ratio = CellMap(r.cube, r.comparison_measure);
+  EXPECT_NEAR(ratio[K("1997-07", "SmartMart")], 45.0 / 50.0, 1e-9);
+  EXPECT_NEAR(ratio[K("1997-07", "PetitPrix")], 18.0 / 25.0, 1e-9);
+  auto labels = LabelMap(r.cube);
+  // 0.9 falls in [0.9, 1.1] -> fine; 0.72 -> worse.
+  EXPECT_EQ(labels[K("1997-07", "SmartMart")], "fine");
+  EXPECT_EQ(labels[K("1997-07", "PetitPrix")], "worse");
+  EXPECT_GT(r.timings.transform, 0.0);
+  EXPECT_GT(r.timings.join, 0.0);
+}
+
+TEST_F(ExecutorTest, PastAllPlansAgree) {
+  AssessResult np = Run(kPastStatement, PlanKind::kNP);
+  AssessResult jop = Run(kPastStatement, PlanKind::kJOP);
+  AssessResult pop = Run(kPastStatement, PlanKind::kPOP);
+  for (const std::string& m :
+       {std::string("sales"), np.benchmark_measure, np.comparison_measure}) {
+    auto expected = CellMap(np.cube, m);
+    auto jop_cells = CellMap(jop.cube, m);
+    auto pop_cells = CellMap(pop.cube, m);
+    ASSERT_EQ(expected.size(), jop_cells.size()) << m;
+    ASSERT_EQ(expected.size(), pop_cells.size()) << m;
+    for (const auto& [coord, value] : expected) {
+      EXPECT_NEAR(value, jop_cells[coord], 1e-9);
+      EXPECT_NEAR(value, pop_cells[coord], 1e-9);
+    }
+  }
+  EXPECT_EQ(LabelMap(np.cube), LabelMap(jop.cube));
+  EXPECT_EQ(LabelMap(np.cube), LabelMap(pop.cube));
+  // JOP pushes the concatenating join; POP pushes the pivot.
+  EXPECT_GT(jop.timings.get_cb, 0.0);
+  EXPECT_GT(pop.timings.get_cb, 0.0);
+  EXPECT_GT(jop.timings.transform, 0.0);
+  EXPECT_GT(pop.timings.transform, 0.0);
+}
+
+TEST_F(ExecutorTest, PastWithMovingAverage) {
+  session_.options()->forecast = ForecastMethod::kMovingAverage;
+  AssessResult r = Run(kPastStatement, PlanKind::kPOP);
+  auto benchmark = CellMap(r.cube, "benchmark.sales");
+  EXPECT_NEAR(benchmark[K("1997-07", "SmartMart")], 25.0, 1e-9);
+}
+
+TEST_F(ExecutorTest, PastWindowOfOne) {
+  AssessResult r = Run(
+      "with SALES for month = '1997-07' by month, store "
+      "assess sales against past 1 using ratio(sales, benchmark.sales) "
+      "labels {[0, inf): any}",
+      PlanKind::kNP);
+  auto benchmark = CellMap(r.cube, "benchmark.sales");
+  // A single past point forecasts itself (June: 40 and 20).
+  EXPECT_NEAR(benchmark[K("1997-07", "SmartMart")], 40.0, 1e-9);
+  EXPECT_NEAR(benchmark[K("1997-07", "PetitPrix")], 20.0, 1e-9);
+}
+
+// --- External ------------------------------------------------------------
+
+TEST_F(ExecutorTest, ExternalBenchmarkNpAndJopAgree) {
+  // Register a plan cube sharing the hierarchies, with one store missing.
+  auto plan_schema = std::make_shared<CubeSchema>("PLAN");
+  for (int h = 0; h < mini_.schema->hierarchy_count(); ++h) {
+    plan_schema->AddHierarchy(mini_.schema->hierarchy_ptr(h));
+  }
+  plan_schema->AddMeasure({"planned", AggOp::kSum});
+  const BoundCube* sales = *mini_.db->Find("SALES");
+  std::vector<DimensionTable> dims;
+  for (int h = 0; h < mini_.schema->hierarchy_count(); ++h) {
+    dims.push_back(sales->dimension(h));
+  }
+  FactTable facts("PLAN", 3, 1);
+  // Planned sales for SmartMart only (store row 0), July 1997.
+  int32_t july15 = 6;  // date row of 1997-07-15 in kDates order
+  facts.AddRow({july15, 3, 0}, {50.0});
+  ASSERT_TRUE(mini_.db
+                  ->Register("PLAN", std::make_unique<BoundCube>(
+                                         plan_schema, std::move(dims),
+                                         std::move(facts)))
+                  .ok());
+
+  std::string text =
+      "with SALES for month = '1997-07' by month, store assess sales "
+      "against PLAN.planned using ratio(sales, benchmark.planned) "
+      "labels {[0, inf): any}";
+  AssessResult np = Run(text, PlanKind::kNP);
+  AssessResult jop = Run(text, PlanKind::kJOP);
+  // Only SmartMart has a plan; the inner join drops PetitPrix.
+  EXPECT_EQ(np.cube.NumRows(), 1);
+  EXPECT_EQ(CellMap(np.cube, "benchmark.planned"),
+            CellMap(jop.cube, "benchmark.planned"));
+  EXPECT_EQ(np.benchmark_measure, "benchmark.planned");
+  auto ratio = CellMap(np.cube, np.comparison_measure);
+  EXPECT_NEAR(ratio[K("1997-07", "SmartMart")], 45.0 / 50.0, 1e-9);
+
+  // assess* keeps PetitrPrix with null benchmark and label.
+  std::string star =
+      "with SALES for month = '1997-07' by month, store assess* sales "
+      "against PLAN.planned using ratio(sales, benchmark.planned) "
+      "labels {[0, inf): any}";
+  AssessResult outer = Run(star, PlanKind::kNP);
+  EXPECT_EQ(outer.cube.NumRows(), 2);
+  auto labels = LabelMap(outer.cube);
+  EXPECT_EQ(labels[K("1997-07", "PetitPrix")], "");
+  EXPECT_EQ(labels[K("1997-07", "SmartMart")], "any");
+  AssessResult outer_jop = Run(star, PlanKind::kJOP);
+  EXPECT_EQ(LabelMap(outer_jop.cube), labels);
+}
+
+// --- Error handling ----------------------------------------------------------
+
+TEST_F(ExecutorTest, PopInfeasibleForExternal) {
+  auto r = session_.Query(
+      "with SALES by month assess sales against 10 labels quartiles",
+      PlanKind::kPOP);
+  EXPECT_EQ(r.status().code(), StatusCode::kNotSupported);
+}
+
+TEST_F(ExecutorTest, UncoveredComparisonValueSurfacesAsError) {
+  auto r = session_.Query(
+      "with SALES by month assess sales against 10 "
+      "using difference(sales, 10) labels {[0, 1]: tiny}",
+      PlanKind::kNP);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(ExecutorTest, ResultToStringShowsContractColumns) {
+  AssessResult r = Run(kSiblingStatement, PlanKind::kPOP);
+  std::string s = r.ToString();
+  EXPECT_NE(s.find("quantity"), std::string::npos);
+  EXPECT_NE(s.find("benchmark.quantity"), std::string::npos);
+  EXPECT_NE(s.find("label"), std::string::npos);
+  EXPECT_NE(s.find("bad"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace assess

@@ -1,0 +1,285 @@
+// Tests for the future-work extensions of Section 8 implemented here:
+// ancestor (roll-up) benchmarks and derived-measure support in using
+// clauses (case (5) of the paper's introduction).
+
+#include <gtest/gtest.h>
+
+#include "assess/session.h"
+#include "test_util.h"
+
+namespace assess {
+namespace {
+
+using ::assess::testutil::BuildMiniSales;
+using ::assess::testutil::CellMap;
+using ::assess::testutil::K;
+using ::assess::testutil::LabelMap;
+
+class ExtensionsTest : public ::testing::Test {
+ protected:
+  ExtensionsTest() : mini_(BuildMiniSales()), session_(mini_.db.get()) {}
+
+  AssessResult Run(const std::string& text, PlanKind plan) {
+    auto result = session_.Query(text, plan);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  }
+
+  testutil::MiniDb mini_;
+  AssessSession session_;
+};
+
+constexpr const char* kAncestorStatement =
+    "with SALES for product = 'Apple' by product, country "
+    "assess quantity against type "
+    "using ratio(quantity, benchmark.quantity) "
+    "labels {[0, 0.5]: minor, (0.5, 1]: major}";
+
+TEST_F(ExtensionsTest, AncestorParsesAndAnalyzes) {
+  auto analyzed = session_.Prepare(kAncestorStatement);
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+  EXPECT_EQ(analyzed->type, BenchmarkType::kAncestor);
+  EXPECT_EQ(analyzed->ancestor_level, "type");
+  EXPECT_EQ(analyzed->ancestor_member, "Fresh Fruit");
+  EXPECT_EQ(analyzed->sliced_level, "product");
+  EXPECT_EQ(analyzed->sliced_member, "Apple");
+  EXPECT_EQ(analyzed->join_levels, std::vector<std::string>{"country"});
+  EXPECT_EQ(analyzed->benchmark_measure_name, "benchmark.quantity");
+  // The benchmark groups by the ancestor level.
+  EXPECT_TRUE(analyzed->benchmark.group_by.HasHierarchy(1));
+  EXPECT_EQ(analyzed->benchmark.group_by.LevelOf(1), 1);  // type
+}
+
+TEST_F(ExtensionsTest, AncestorSharesOfTheRollUpTotal) {
+  AssessResult r = Run(kAncestorStatement, PlanKind::kNP);
+  ASSERT_EQ(r.cube.NumRows(), 2);
+  auto benchmark = CellMap(r.cube, "benchmark.quantity");
+  // Fresh Fruit totals: Italy 220, France 280 (Figure 1 numbers).
+  EXPECT_EQ(benchmark[K("Apple", "Italy")], 220);
+  EXPECT_EQ(benchmark[K("Apple", "France")], 280);
+  auto ratio = CellMap(r.cube, r.comparison_measure);
+  EXPECT_NEAR(ratio[K("Apple", "Italy")], 100.0 / 220.0, 1e-12);
+  EXPECT_NEAR(ratio[K("Apple", "France")], 150.0 / 280.0, 1e-12);
+  auto labels = LabelMap(r.cube);
+  EXPECT_EQ(labels[K("Apple", "Italy")], "minor");
+  EXPECT_EQ(labels[K("Apple", "France")], "major");
+}
+
+TEST_F(ExtensionsTest, AncestorNpAndJopAgree) {
+  AssessResult np = Run(kAncestorStatement, PlanKind::kNP);
+  AssessResult jop = Run(kAncestorStatement, PlanKind::kJOP);
+  EXPECT_EQ(CellMap(np.cube, np.comparison_measure),
+            CellMap(jop.cube, jop.comparison_measure));
+  EXPECT_EQ(LabelMap(np.cube), LabelMap(jop.cube));
+  EXPECT_EQ(jop.sql.size(), 1u);
+  EXPECT_EQ(np.sql.size(), 2u);
+}
+
+TEST_F(ExtensionsTest, AncestorPopIsInfeasible) {
+  auto analyzed = session_.Prepare(kAncestorStatement);
+  ASSERT_TRUE(analyzed.ok());
+  EXPECT_EQ(FeasiblePlans(*analyzed),
+            (std::vector<PlanKind>{PlanKind::kNP, PlanKind::kJOP}));
+  EXPECT_EQ(BestPlan(*analyzed), PlanKind::kJOP);
+  EXPECT_EQ(session_.Query(kAncestorStatement, PlanKind::kPOP).status().code(),
+            StatusCode::kNotSupported);
+}
+
+TEST_F(ExtensionsTest, AncestorExplainMentionsRollUp) {
+  auto text = session_.Explain(kAncestorStatement, PlanKind::kNP);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("ancestor 'Fresh Fruit'"), std::string::npos);
+}
+
+TEST_F(ExtensionsTest, AncestorNeedsFinerSliceInBy) {
+  // No product slice at all.
+  auto r = session_.Prepare(
+      "with SALES by product, country assess quantity against type "
+      "labels quartiles");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("ancestor"), std::string::npos);
+  // Slice exists but the against level is not coarser than it.
+  auto same = session_.Prepare(
+      "with SALES for type = 'Dairy' by type assess quantity against type "
+      "labels quartiles");
+  EXPECT_FALSE(same.ok());
+  // Unknown level.
+  auto unknown = session_.Prepare(
+      "with SALES for product = 'Apple' by product assess quantity "
+      "against galaxy labels quartiles");
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ExtensionsTest, AncestorWithEmptyJoinLevels) {
+  // Group by the sliced level only: the partial join degenerates to pairing
+  // the single target cell with the single ancestor cell.
+  AssessResult r = Run(
+      "with SALES for product = 'milk' by product assess sales against "
+      "type using percentage(sales, benchmark.sales) "
+      "labels {[0, 100]: share}",
+      PlanKind::kNP);
+  ASSERT_EQ(r.cube.NumRows(), 1);
+  auto pct = CellMap(r.cube, r.comparison_measure);
+  // milk is the only Dairy product, so it is 100% of its type.
+  EXPECT_NEAR(pct[K("milk")], 100.0, 1e-9);
+}
+
+// --- Derived measures ---------------------------------------------------
+
+TEST_F(ExtensionsTest, PlainDerivedMeasureIsFetched) {
+  AssessResult r = Run(
+      "with SALES by store assess sales "
+      "using difference(sales, quantity) "
+      "labels {[-inf, inf]: any}",
+      PlanKind::kNP);
+  auto diff = CellMap(r.cube, r.comparison_measure);
+  // SmartMart: sales 145, quantity 220 -> -75; PetitPrix: 68 - 280 = -212.
+  EXPECT_EQ(diff[K("SmartMart")], -75);
+  EXPECT_EQ(diff[K("PetitPrix")], -212);
+}
+
+TEST_F(ExtensionsTest, BenchmarkDerivedMeasureAcrossSiblingSlices) {
+  // Compare Italian fruit quantities against French fruit *sales* (always 0
+  // in the fixture), exercising a benchmark measure different from m.
+  const char* text =
+      "with SALES for type = 'Fresh Fruit', country = 'Italy' "
+      "by product, country assess quantity against country = 'France' "
+      "using difference(quantity, benchmark.sales) "
+      "labels {[-inf, inf]: any}";
+  AssessResult np = Run(text, PlanKind::kNP);
+  auto diff = CellMap(np.cube, np.comparison_measure);
+  EXPECT_EQ(diff[K("Apple", "Italy")], 100);  // benchmark.sales = 0
+  EXPECT_EQ(diff[K("Lemon", "Italy")], 30);
+  // All plans agree even with widened measure sets.
+  AssessResult jop = Run(text, PlanKind::kJOP);
+  AssessResult pop = Run(text, PlanKind::kPOP);
+  EXPECT_EQ(CellMap(jop.cube, jop.comparison_measure), diff);
+  EXPECT_EQ(CellMap(pop.cube, pop.comparison_measure), diff);
+}
+
+TEST_F(ExtensionsTest, DerivedMeasureWithPastKeepsAllPlans) {
+  const char* text =
+      "with SALES for month = '1997-07' by month, store "
+      "assess sales against past 4 "
+      "using percOfTotal(difference(sales, benchmark.sales), quantity) "
+      "labels {[-inf, inf]: any}";
+  AssessResult np = Run(text, PlanKind::kNP);
+  AssessResult jop = Run(text, PlanKind::kJOP);
+  AssessResult pop = Run(text, PlanKind::kPOP);
+  auto expected = CellMap(np.cube, np.comparison_measure);
+  ASSERT_EQ(expected.size(), 2u);
+  for (const auto& [coord, value] : CellMap(jop.cube, jop.comparison_measure)) {
+    EXPECT_NEAR(value, expected[coord], 1e-9);
+  }
+  for (const auto& [coord, value] : CellMap(pop.cube, pop.comparison_measure)) {
+    EXPECT_NEAR(value, expected[coord], 1e-9);
+  }
+}
+
+TEST_F(ExtensionsTest, BenchmarkRefOnConstantIsRejected) {
+  auto r = session_.Prepare(
+      "with SALES by store assess sales against 10 "
+      "using difference(sales, benchmark.sales) labels quartiles");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("constant"), std::string::npos);
+}
+
+TEST_F(ExtensionsTest, PastForecastsOnlyTheAssessedMeasure) {
+  auto r = session_.Prepare(
+      "with SALES for month = '1997-07' by month, store "
+      "assess sales against past 2 "
+      "using difference(sales, benchmark.quantity) labels quartiles");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("forecast"), std::string::npos);
+}
+
+// --- Descriptive level properties ----------------------------------------
+
+TEST_F(ExtensionsTest, PerCapitaComparisonViaProperty) {
+  // Fixture populations: Italy 60, France 70 (millions). Fresh fruit
+  // quantities per country: Italy 220, France 280.
+  AssessResult r = Run(
+      "with SALES for type = 'Fresh Fruit' by country assess quantity "
+      "using ratio(quantity, property(country, population)) "
+      "labels {[0, 3.8): low, [3.8, inf): high}",
+      PlanKind::kNP);
+  ASSERT_EQ(r.cube.NumRows(), 2);
+  auto per_capita = CellMap(r.cube, r.comparison_measure);
+  EXPECT_NEAR(per_capita[K("Italy")], 220.0 / 60.0, 1e-12);   // ~3.67
+  EXPECT_NEAR(per_capita[K("France")], 280.0 / 70.0, 1e-12);  // 4.0
+  auto labels = LabelMap(r.cube);
+  EXPECT_EQ(labels[K("Italy")], "low");
+  EXPECT_EQ(labels[K("France")], "high");
+  // The materialized property column is visible in the result cube.
+  EXPECT_TRUE(r.cube.MeasureIndex("country.population").ok());
+}
+
+TEST_F(ExtensionsTest, PropertyCombinesWithSiblingBenchmarks) {
+  // Per-capita sibling comparison: Italy's per-capita fruit quantity vs
+  // France's total quantity scaled by Italy's population... i.e. the
+  // property column joins the target side of the comparison.
+  const char* text =
+      "with SALES for type = 'Fresh Fruit', country = 'Italy' "
+      "by product, country assess quantity against country = 'France' "
+      "using difference(ratio(quantity, property(country, population)), "
+      "ratio(benchmark.quantity, property(country, population))) "
+      "labels {[-inf, 0): behind, [0, inf]: ahead}";
+  AssessResult np = Run(text, PlanKind::kNP);
+  AssessResult pop = Run(text, PlanKind::kPOP);
+  // Apple: (100 - 150) / 60 < 0 -> behind.
+  auto labels = LabelMap(np.cube);
+  EXPECT_EQ(labels[K("Apple", "Italy")], "behind");
+  EXPECT_EQ(LabelMap(pop.cube), labels);
+}
+
+TEST_F(ExtensionsTest, PropertyLevelMustBeInByClause) {
+  auto r = session_.Prepare(
+      "with SALES by product assess quantity "
+      "using ratio(quantity, property(country, population)) "
+      "labels quartiles");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("by clause"), std::string::npos);
+}
+
+TEST_F(ExtensionsTest, UnknownPropertyIsRejected) {
+  auto r = session_.Prepare(
+      "with SALES by country assess quantity "
+      "using ratio(quantity, property(country, gdp)) labels quartiles");
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ExtensionsTest, MalformedPropertyCallIsRejected) {
+  auto one_arg = session_.Prepare(
+      "with SALES by country assess quantity "
+      "using ratio(quantity, property(country)) labels quartiles");
+  EXPECT_EQ(one_arg.status().code(), StatusCode::kInvalidArgument);
+  auto number_arg = session_.Prepare(
+      "with SALES by country assess quantity "
+      "using ratio(quantity, property(country, 42)) labels quartiles");
+  EXPECT_EQ(number_arg.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExtensionsTest, UnsetPropertyMembersYieldNullComparisons) {
+  Hierarchy& store =
+      const_cast<Hierarchy&>(mini_.schema->hierarchy(2));
+  // Define a property on one country only; the other gets a null label.
+  store.SetProperty(1, "area", "Italy", 302.0);
+  AssessResult r = Run(
+      "with SALES for type = 'Fresh Fruit' by country assess* quantity "
+      "using ratio(quantity, property(country, area)) "
+      "labels {[-inf, inf]: known}",
+      PlanKind::kNP);
+  auto labels = LabelMap(r.cube);
+  EXPECT_EQ(labels[K("Italy")], "known");
+  EXPECT_EQ(labels[K("France")], "");
+}
+
+TEST_F(ExtensionsTest, UnknownDerivedMeasureIsRejected) {
+  auto r = session_.Prepare(
+      "with SALES by store assess sales using difference(sales, profit) "
+      "labels quartiles");
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace assess

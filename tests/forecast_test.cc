@@ -1,0 +1,105 @@
+#include "forecast/forecast.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "olap/cube.h"
+
+namespace assess {
+namespace {
+
+TEST(LinearRegressionTest, ExactOnLinearSeries) {
+  std::vector<double> series = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(LinearRegressionNext(series), 50.0);
+}
+
+TEST(LinearRegressionTest, ConstantSeriesPredictsConstant) {
+  std::vector<double> series = {7, 7, 7};
+  EXPECT_DOUBLE_EQ(LinearRegressionNext(series), 7.0);
+}
+
+TEST(LinearRegressionTest, DecreasingSeries) {
+  std::vector<double> series = {40, 30, 20, 10};
+  EXPECT_DOUBLE_EQ(LinearRegressionNext(series), 0.0);
+}
+
+TEST(LinearRegressionTest, GapsKeepTheirTimeIndex) {
+  // y = 10t with t=2 missing still fits exactly.
+  std::vector<double> series = {10, kNullMeasure, 30, 40};
+  EXPECT_DOUBLE_EQ(LinearRegressionNext(series), 50.0);
+}
+
+TEST(LinearRegressionTest, SinglePoint) {
+  std::vector<double> series = {42};
+  EXPECT_DOUBLE_EQ(LinearRegressionNext(series), 42.0);
+}
+
+TEST(LinearRegressionTest, AllNull) {
+  std::vector<double> series = {kNullMeasure, kNullMeasure};
+  EXPECT_TRUE(std::isnan(LinearRegressionNext(series)));
+}
+
+TEST(LinearRegressionTest, NoisyLeastSquares) {
+  // Known OLS solution for {1, 2, 2, 3}: slope 0.6, intercept 0.5.
+  std::vector<double> series = {1, 2, 2, 3};
+  EXPECT_NEAR(LinearRegressionNext(series), 0.5 + 0.6 * 5, 1e-12);
+}
+
+TEST(MovingAverageTest, Mean) {
+  std::vector<double> series = {10, 20, 30};
+  EXPECT_DOUBLE_EQ(MovingAverageNext(series), 20.0);
+}
+
+TEST(MovingAverageTest, SkipsNulls) {
+  std::vector<double> series = {10, kNullMeasure, 30};
+  EXPECT_DOUBLE_EQ(MovingAverageNext(series), 20.0);
+}
+
+TEST(MovingAverageTest, AllNull) {
+  std::vector<double> series = {kNullMeasure};
+  EXPECT_TRUE(std::isnan(MovingAverageNext(series)));
+}
+
+TEST(ExponentialSmoothingTest, WeightsRecentValues) {
+  std::vector<double> series = {0, 0, 100};
+  // level = 0 -> 0 -> 0.5*100 + 0.5*0 = 50 with alpha = 0.5.
+  EXPECT_DOUBLE_EQ(ExponentialSmoothingNext(series, 0.5), 50.0);
+}
+
+TEST(ExponentialSmoothingTest, AlphaOneTracksLast) {
+  std::vector<double> series = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(ExponentialSmoothingNext(series, 1.0), 3.0);
+}
+
+TEST(ExponentialSmoothingTest, AllNull) {
+  std::vector<double> series = {kNullMeasure, kNullMeasure};
+  EXPECT_TRUE(std::isnan(ExponentialSmoothingNext(series, 0.5)));
+}
+
+TEST(ForecastDispatchTest, MethodsRoundTripNames) {
+  for (ForecastMethod method :
+       {ForecastMethod::kLinearRegression, ForecastMethod::kMovingAverage,
+        ForecastMethod::kExponentialSmoothing}) {
+    auto parsed = ForecastMethodFromString(ForecastMethodToString(method));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, method);
+  }
+  EXPECT_FALSE(ForecastMethodFromString("prophet").ok());
+  EXPECT_TRUE(ForecastMethodFromString("linear_regression").ok());
+}
+
+TEST(ForecastDispatchTest, DispatchMatchesDirectCalls) {
+  std::vector<double> series = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(
+      ForecastNext(ForecastMethod::kLinearRegression, series), 50.0);
+  EXPECT_DOUBLE_EQ(ForecastNext(ForecastMethod::kMovingAverage, series),
+                   25.0);
+  EXPECT_DOUBLE_EQ(
+      ForecastNext(ForecastMethod::kExponentialSmoothing, series),
+      ExponentialSmoothingNext(series, 0.5));
+}
+
+}  // namespace
+}  // namespace assess

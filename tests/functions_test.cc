@@ -1,0 +1,322 @@
+#include "functions/function_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "functions/builtin_functions.h"
+#include "functions/expression.h"
+#include "test_util.h"
+
+namespace assess {
+namespace {
+
+using ::assess::testutil::CellMap;
+using ::assess::testutil::K;
+
+class BuiltinCellTest : public ::testing::Test {
+ protected:
+  BuiltinCellTest() : registry_(FunctionRegistry::Default()) {}
+
+  double Eval(const std::string& name, std::vector<double> args) {
+    auto def = registry_.Find(name);
+    EXPECT_TRUE(def.ok());
+    return (*def)->cell(std::span<const double>(args));
+  }
+
+  FunctionRegistry registry_;
+};
+
+TEST_F(BuiltinCellTest, Difference) { EXPECT_EQ(Eval("difference", {7, 3}), 4); }
+
+TEST_F(BuiltinCellTest, AbsoluteDifference) {
+  EXPECT_EQ(Eval("absoluteDifference", {3, 7}), 4);
+}
+
+TEST_F(BuiltinCellTest, Ratio) {
+  EXPECT_EQ(Eval("ratio", {6, 3}), 2);
+  EXPECT_TRUE(std::isnan(Eval("ratio", {6, 0})));
+}
+
+TEST_F(BuiltinCellTest, Percentage) {
+  EXPECT_EQ(Eval("percentage", {1, 4}), 25);
+  EXPECT_TRUE(std::isnan(Eval("percentage", {1, 0})));
+}
+
+TEST_F(BuiltinCellTest, NormalizedDifference) {
+  EXPECT_EQ(Eval("normalizedDifference", {110, 100}), 0.1);
+  EXPECT_TRUE(std::isnan(Eval("normalizedDifference", {1, 0})));
+}
+
+TEST_F(BuiltinCellTest, UnaryHelpers) {
+  EXPECT_EQ(Eval("identity", {5}), 5);
+  EXPECT_EQ(Eval("neg", {5}), -5);
+  EXPECT_EQ(Eval("abs", {-5}), 5);
+}
+
+class BuiltinHolisticTest : public ::testing::Test {
+ protected:
+  BuiltinHolisticTest() : registry_(FunctionRegistry::Default()) {}
+
+  std::vector<double> Eval(const std::string& name,
+                           std::vector<std::vector<double>> columns) {
+    auto def = registry_.Find(name);
+    EXPECT_TRUE(def.ok());
+    std::vector<std::span<const double>> inputs;
+    for (const auto& col : columns) inputs.emplace_back(col.data(), col.size());
+    std::vector<double> out(columns[0].size());
+    Status st = (*def)->holistic(inputs, std::span<double>(out));
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return out;
+  }
+
+  FunctionRegistry registry_;
+};
+
+TEST_F(BuiltinHolisticTest, MinMaxNorm) {
+  auto out = Eval("minMaxNorm", {{10, 20, 30}});
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.5);
+  EXPECT_DOUBLE_EQ(out[2], 1.0);
+}
+
+TEST_F(BuiltinHolisticTest, MinMaxNormDegenerate) {
+  auto out = Eval("minMaxNorm", {{7, 7, 7}});
+  EXPECT_DOUBLE_EQ(out[1], 0.5);
+}
+
+TEST_F(BuiltinHolisticTest, MinMaxNormSkipsNulls) {
+  auto out = Eval("minMaxNorm", {{10, kNullMeasure, 30}});
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_TRUE(std::isnan(out[1]));
+  EXPECT_DOUBLE_EQ(out[2], 1.0);
+}
+
+TEST_F(BuiltinHolisticTest, ZScore) {
+  auto out = Eval("zscore", {{2, 4, 4, 4, 5, 5, 7, 9}});
+  EXPECT_DOUBLE_EQ(out[0], -1.5);  // mean 5, stddev 2
+  EXPECT_DOUBLE_EQ(out[7], 2.0);
+}
+
+TEST_F(BuiltinHolisticTest, ZScoreDegenerate) {
+  auto out = Eval("zscore", {{3, 3, 3}});
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+}
+
+TEST_F(BuiltinHolisticTest, PercOfTotalTwoArgs) {
+  auto out = Eval("percOfTotal", {{-50, -20, 10}, {100, 90, 30}});
+  EXPECT_DOUBLE_EQ(out[0], -50.0 / 220.0);
+  EXPECT_DOUBLE_EQ(out[1], -20.0 / 220.0);
+  EXPECT_DOUBLE_EQ(out[2], 10.0 / 220.0);
+}
+
+TEST_F(BuiltinHolisticTest, PercOfTotalOneArg) {
+  auto out = Eval("percOfTotal", {{1, 3}});
+  EXPECT_DOUBLE_EQ(out[0], 0.25);
+  EXPECT_DOUBLE_EQ(out[1], 0.75);
+}
+
+TEST_F(BuiltinHolisticTest, PercOfTotalZeroTotal) {
+  auto out = Eval("percOfTotal", {{1, 2}, {5, -5}});
+  EXPECT_TRUE(std::isnan(out[0]));
+}
+
+TEST_F(BuiltinHolisticTest, RankDescendingWithTies) {
+  auto out = Eval("rank", {{10, 30, 20, 30}});
+  EXPECT_EQ(out[0], 4);
+  EXPECT_EQ(out[1], 1);
+  EXPECT_EQ(out[2], 3);
+  EXPECT_EQ(out[3], 1);  // competition ranking: ties share the top rank
+}
+
+TEST_F(BuiltinHolisticTest, RankSkipsNulls) {
+  auto out = Eval("rank", {{10, kNullMeasure, 20}});
+  EXPECT_EQ(out[0], 2);
+  EXPECT_TRUE(std::isnan(out[1]));
+  EXPECT_EQ(out[2], 1);
+}
+
+TEST_F(BuiltinHolisticTest, PercentileRank) {
+  auto out = Eval("percentileRank", {{10, 20, 30, 40}});
+  EXPECT_DOUBLE_EQ(out[3], 0.25);
+  EXPECT_DOUBLE_EQ(out[0], 1.0);
+}
+
+TEST(FunctionRegistryTest, LookupIsCaseInsensitive) {
+  FunctionRegistry registry = FunctionRegistry::Default();
+  EXPECT_TRUE(registry.Find("MINMAXNORM").ok());
+  EXPECT_TRUE(registry.Contains("Difference"));
+  EXPECT_FALSE(registry.Find("nope").ok());
+}
+
+TEST(FunctionRegistryTest, DuplicateRegistrationFails) {
+  FunctionRegistry registry = FunctionRegistry::Default();
+  FunctionDef dup;
+  dup.name = "Difference";
+  dup.kind = FunctionKind::kCell;
+  dup.arity = 2;
+  dup.cell = [](std::span<const double>) { return 0.0; };
+  EXPECT_EQ(registry.Register(std::move(dup)).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(FunctionRegistryTest, UserFunctionsAreUsable) {
+  FunctionRegistry registry = FunctionRegistry::Default();
+  FunctionDef shortfall;
+  shortfall.name = "shortfall";
+  shortfall.kind = FunctionKind::kCell;
+  shortfall.arity = 2;
+  shortfall.cell = [](std::span<const double> a) {
+    return a[0] < a[1] ? a[1] - a[0] : 0.0;
+  };
+  ASSERT_TRUE(registry.Register(std::move(shortfall)).ok());
+  EXPECT_EQ((*registry.Find("shortfall"))->cell(
+                std::vector<double>{3.0, 5.0}),
+            2.0);
+}
+
+TEST(FunctionRegistryTest, NamesAreSorted) {
+  FunctionRegistry registry = FunctionRegistry::Default();
+  auto names = registry.Names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_NE(std::find(names.begin(), names.end(), "percOfTotal"),
+            names.end());
+}
+
+// --- Expressions -------------------------------------------------------------
+
+class ExpressionTest : public ::testing::Test {
+ protected:
+  ExpressionTest() : registry_(FunctionRegistry::Default()) {
+    hier_ = std::make_shared<Hierarchy>("H");
+    hier_->AddLevel("k");
+    for (const char* m : {"a", "b", "c"}) hier_->AddMember(0, m);
+  }
+
+  Cube MakeCube() {
+    Cube cube({LevelRef{hier_, 0}}, {"m", "benchmark.m"});
+    cube.AddRow({0}, {100, 150});
+    cube.AddRow({1}, {90, 110});
+    cube.AddRow({2}, {30, 20});
+    return cube;
+  }
+
+  FunctionRegistry registry_;
+  std::shared_ptr<Hierarchy> hier_;
+};
+
+TEST_F(ExpressionTest, ToStringRendersSurfaceSyntax) {
+  FuncExpr expr = FuncExpr::Call(
+      "minMaxNorm", {FuncExpr::Call("difference",
+                                    {FuncExpr::Measure("storeSales"),
+                                     FuncExpr::Number(1000)})});
+  EXPECT_EQ(expr.ToString(), "minMaxNorm(difference(storeSales, 1000))");
+}
+
+TEST_F(ExpressionTest, EqualityIsStructural) {
+  FuncExpr a = FuncExpr::Call("f", {FuncExpr::Number(1)});
+  FuncExpr b = FuncExpr::Call("f", {FuncExpr::Number(1)});
+  FuncExpr c = FuncExpr::Call("f", {FuncExpr::Number(2)});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST_F(ExpressionTest, BareMeasureRefAddsNothing) {
+  Cube cube = MakeCube();
+  auto name = ApplyExpression(FuncExpr::Measure("m"), registry_, &cube);
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(*name, "m");
+  EXPECT_EQ(cube.measure_count(), 2);
+}
+
+TEST_F(ExpressionTest, NestedCallDecomposesIntoTransformChain) {
+  Cube cube = MakeCube();
+  FuncExpr expr = FuncExpr::Call(
+      "percOfTotal",
+      {FuncExpr::Call("difference", {FuncExpr::Measure("m"),
+                                     FuncExpr::Measure("benchmark.m")}),
+       FuncExpr::Measure("m")});
+  auto name = ApplyExpression(expr, registry_, &cube);
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(*name, "percOfTotal");
+  // The intermediate difference column exists (cube E of Example 4.3).
+  auto diff = CellMap(cube, "difference");
+  EXPECT_EQ(diff[K("a")], -50);
+  auto pot = CellMap(cube, "percOfTotal");
+  EXPECT_NEAR(pot[K("a")], -50.0 / 220.0, 1e-12);
+}
+
+TEST_F(ExpressionTest, NumberBecomesConstantColumn) {
+  Cube cube = MakeCube();
+  FuncExpr expr = FuncExpr::Call(
+      "ratio", {FuncExpr::Measure("m"), FuncExpr::Number(1000)});
+  ASSERT_TRUE(ApplyExpression(expr, registry_, &cube).ok());
+  EXPECT_TRUE(cube.MeasureIndex("$1000").ok());
+  auto ratio = CellMap(cube, "ratio");
+  EXPECT_DOUBLE_EQ(ratio[K("a")], 0.1);
+}
+
+TEST_F(ExpressionTest, RepeatedFunctionsGetUniqueNames) {
+  Cube cube = MakeCube();
+  FuncExpr expr = FuncExpr::Call(
+      "difference",
+      {FuncExpr::Call("difference", {FuncExpr::Measure("m"),
+                                     FuncExpr::Measure("benchmark.m")}),
+       FuncExpr::Number(1)});
+  auto name = ApplyExpression(expr, registry_, &cube);
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(*name, "difference_2");
+  EXPECT_TRUE(cube.MeasureIndex("difference").ok());
+}
+
+TEST_F(ExpressionTest, ConstantColumnsAreReused) {
+  Cube cube = MakeCube();
+  FuncExpr expr = FuncExpr::Call(
+      "difference", {FuncExpr::Call("ratio", {FuncExpr::Measure("m"),
+                                              FuncExpr::Number(10)}),
+                     FuncExpr::Number(10)});
+  ASSERT_TRUE(ApplyExpression(expr, registry_, &cube).ok());
+  int constants = 0;
+  for (int i = 0; i < cube.measure_count(); ++i) {
+    if (cube.measure_name(i) == "$10") ++constants;
+  }
+  EXPECT_EQ(constants, 1);
+}
+
+TEST_F(ExpressionTest, ArityMismatchFails) {
+  Cube cube = MakeCube();
+  FuncExpr expr = FuncExpr::Call("difference", {FuncExpr::Measure("m")});
+  EXPECT_FALSE(ApplyExpression(expr, registry_, &cube).ok());
+}
+
+TEST_F(ExpressionTest, UnknownFunctionFails) {
+  Cube cube = MakeCube();
+  FuncExpr expr = FuncExpr::Call("frobnicate", {FuncExpr::Measure("m")});
+  EXPECT_EQ(ApplyExpression(expr, registry_, &cube).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ExpressionTest, UnknownMeasureFails) {
+  Cube cube = MakeCube();
+  FuncExpr expr = FuncExpr::Measure("ghost");
+  EXPECT_FALSE(ApplyExpression(expr, registry_, &cube).ok());
+}
+
+TEST_F(ExpressionTest, HolisticInsideCellComposition) {
+  Cube cube = MakeCube();
+  // minMaxNorm(difference(m, benchmark.m)): holistic over a cell transform.
+  FuncExpr expr = FuncExpr::Call(
+      "minMaxNorm",
+      {FuncExpr::Call("difference", {FuncExpr::Measure("m"),
+                                     FuncExpr::Measure("benchmark.m")})});
+  ASSERT_TRUE(ApplyExpression(expr, registry_, &cube).ok());
+  auto norm = CellMap(cube, "minMaxNorm");
+  // difference values: -50, -20, 10 -> normalized 0, 0.5, 1.
+  EXPECT_DOUBLE_EQ(norm[K("a")], 0.0);
+  EXPECT_DOUBLE_EQ(norm[K("b")], 0.5);
+  EXPECT_DOUBLE_EQ(norm[K("c")], 1.0);
+}
+
+}  // namespace
+}  // namespace assess

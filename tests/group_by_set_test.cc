@@ -1,0 +1,102 @@
+#include "olap/group_by_set.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace assess {
+namespace {
+
+using ::assess::testutil::BuildMiniSales;
+
+class GroupBySetTest : public ::testing::Test {
+ protected:
+  GroupBySetTest() : mini_(BuildMiniSales()) {}
+  const CubeSchema& schema() const { return *mini_.schema; }
+  testutil::MiniDb mini_;
+};
+
+TEST_F(GroupBySetTest, FromLevelNamesResolves) {
+  auto gbs = GroupBySet::FromLevelNames(schema(), {"product", "country"});
+  ASSERT_TRUE(gbs.ok());
+  EXPECT_EQ(gbs->Arity(), 2);
+  EXPECT_FALSE(gbs->HasHierarchy(0));  // Date fully aggregated
+  ASSERT_TRUE(gbs->HasHierarchy(1));
+  EXPECT_EQ(gbs->LevelOf(1), 0);  // product is the finest Product level
+  ASSERT_TRUE(gbs->HasHierarchy(2));
+  EXPECT_EQ(gbs->LevelOf(2), 1);  // country
+}
+
+TEST_F(GroupBySetTest, RejectsUnknownLevel) {
+  EXPECT_FALSE(GroupBySet::FromLevelNames(schema(), {"warehouse"}).ok());
+}
+
+TEST_F(GroupBySetTest, RejectsTwoLevelsOfOneHierarchy) {
+  auto gbs = GroupBySet::FromLevelNames(schema(), {"store", "country"});
+  ASSERT_FALSE(gbs.ok());
+  EXPECT_EQ(gbs.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(GroupBySetTest, EmptyGroupBySetIsApexCube) {
+  auto gbs = GroupBySet::FromLevelNames(schema(), {});
+  ASSERT_TRUE(gbs.ok());
+  EXPECT_EQ(gbs->Arity(), 0);
+}
+
+TEST_F(GroupBySetTest, RollsUpToIsReflexive) {
+  auto g = *GroupBySet::FromLevelNames(schema(), {"product", "country"});
+  EXPECT_TRUE(g.RollsUpTo(g, schema()));
+}
+
+TEST_F(GroupBySetTest, FinerRollsUpToCoarser) {
+  auto fine = *GroupBySet::FromLevelNames(schema(), {"date", "product"});
+  auto coarse = *GroupBySet::FromLevelNames(schema(), {"month"});
+  EXPECT_TRUE(fine.RollsUpTo(coarse, schema()));
+  EXPECT_FALSE(coarse.RollsUpTo(fine, schema()));
+}
+
+TEST_F(GroupBySetTest, IncomparableSetsDoNotRollUp) {
+  auto a = *GroupBySet::FromLevelNames(schema(), {"month"});
+  auto b = *GroupBySet::FromLevelNames(schema(), {"product"});
+  EXPECT_FALSE(a.RollsUpTo(b, schema()));
+  EXPECT_FALSE(b.RollsUpTo(a, schema()));
+}
+
+TEST_F(GroupBySetTest, TopGroupBySetRollsUpToEverything) {
+  auto top =
+      *GroupBySet::FromLevelNames(schema(), {"date", "product", "store"});
+  for (const auto& levels :
+       std::vector<std::vector<std::string>>{{"month", "type"},
+                                             {"year"},
+                                             {"country"},
+                                             {},
+                                             {"date", "product", "store"}}) {
+    auto other = *GroupBySet::FromLevelNames(schema(), levels);
+    EXPECT_TRUE(top.RollsUpTo(other, schema()));
+  }
+}
+
+TEST_F(GroupBySetTest, ToStringListsLevels) {
+  auto g = *GroupBySet::FromLevelNames(schema(), {"product", "country"});
+  EXPECT_EQ(g.ToString(schema()), "<product, country>");
+}
+
+TEST_F(GroupBySetTest, Equality) {
+  auto a = *GroupBySet::FromLevelNames(schema(), {"product"});
+  auto b = *GroupBySet::FromLevelNames(schema(), {"product"});
+  auto c = *GroupBySet::FromLevelNames(schema(), {"type"});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST_F(GroupBySetTest, SetAndClearLevel) {
+  GroupBySet g(3);
+  EXPECT_EQ(g.Arity(), 0);
+  g.SetLevel(1, 0);
+  EXPECT_TRUE(g.HasHierarchy(1));
+  g.ClearLevel(1);
+  EXPECT_FALSE(g.HasHierarchy(1));
+}
+
+}  // namespace
+}  // namespace assess

@@ -1,0 +1,103 @@
+#include "olap/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+namespace assess {
+namespace {
+
+Hierarchy MakeGeo() {
+  Hierarchy h("Store");
+  h.AddLevel("store");
+  h.AddLevel("city");
+  h.AddLevel("country");
+  MemberId italy = h.AddMember(2, "Italy");
+  MemberId rome = h.AddMember(1, "Rome");
+  h.SetParent(1, rome, italy);
+  MemberId smart = h.AddMember(0, "SmartMart");
+  h.SetParent(0, smart, rome);
+  return h;
+}
+
+TEST(HierarchyTest, LevelsInRollUpOrder) {
+  Hierarchy h = MakeGeo();
+  EXPECT_EQ(h.level_count(), 3);
+  EXPECT_EQ(h.level_name(0), "store");
+  EXPECT_EQ(h.level_name(2), "country");
+  EXPECT_EQ(*h.LevelIndex("city"), 1);
+  EXPECT_TRUE(h.HasLevel("store"));
+  EXPECT_FALSE(h.HasLevel("region"));
+  EXPECT_FALSE(h.LevelIndex("region").ok());
+}
+
+TEST(HierarchyTest, MembersAreInternedIdempotently) {
+  Hierarchy h = MakeGeo();
+  MemberId rome1 = h.AddMember(1, "Rome");
+  MemberId rome2 = h.AddMember(1, "Rome");
+  EXPECT_EQ(rome1, rome2);
+  EXPECT_EQ(h.LevelCardinality(1), 1);
+  EXPECT_EQ(*h.MemberIdOf(1, "Rome"), rome1);
+  EXPECT_EQ(h.MemberName(1, rome1), "Rome");
+  EXPECT_FALSE(h.MemberIdOf(1, "Paris").ok());
+}
+
+TEST(HierarchyTest, RollUpWalksTheChain) {
+  Hierarchy h = MakeGeo();
+  MemberId smart = *h.MemberIdOf(0, "SmartMart");
+  EXPECT_EQ(h.MemberName(1, h.RollUpMember(0, smart, 1)), "Rome");
+  EXPECT_EQ(h.MemberName(2, h.RollUpMember(0, smart, 2)), "Italy");
+  // rup_G(gamma) = gamma for the same level.
+  EXPECT_EQ(h.RollUpMember(0, smart, 0), smart);
+}
+
+TEST(HierarchyTest, RollUpWithMissingLinkIsInvalid) {
+  Hierarchy h("H");
+  h.AddLevel("a");
+  h.AddLevel("b");
+  MemberId orphan = h.AddMember(0, "orphan");
+  EXPECT_EQ(h.RollUpMember(0, orphan, 1), kInvalidMember);
+}
+
+TEST(HierarchyTest, ValidateAcceptsCompleteMapping) {
+  EXPECT_TRUE(MakeGeo().Validate().ok());
+}
+
+TEST(HierarchyTest, ValidateRejectsOrphans) {
+  Hierarchy h("H");
+  h.AddLevel("a");
+  h.AddLevel("b");
+  h.AddMember(0, "orphan");
+  Status st = h.Validate();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("orphan"), std::string::npos);
+}
+
+TEST(HierarchyTest, CoarsestLevelNeedsNoParents) {
+  Hierarchy h("H");
+  h.AddLevel("only");
+  h.AddMember(0, "x");
+  EXPECT_TRUE(h.Validate().ok());
+}
+
+TEST(HierarchyTest, TemporalFlag) {
+  Hierarchy h("Date");
+  EXPECT_FALSE(h.temporal());
+  h.set_temporal(true);
+  EXPECT_TRUE(h.temporal());
+}
+
+TEST(HierarchyTest, PartOfIsFunctional) {
+  // Every member of a finer level maps to exactly one coarser member, and
+  // SetParent overwrites rather than multiplying.
+  Hierarchy h("H");
+  h.AddLevel("a");
+  h.AddLevel("b");
+  MemberId b1 = h.AddMember(1, "b1");
+  MemberId b2 = h.AddMember(1, "b2");
+  MemberId a = h.AddMember(0, "a");
+  h.SetParent(0, a, b1);
+  h.SetParent(0, a, b2);
+  EXPECT_EQ(h.RollUpMember(0, a, 1), b2);
+}
+
+}  // namespace
+}  // namespace assess

@@ -1,0 +1,142 @@
+// End-to-end integration over the experimental workload: the four intention
+// statements of Section 6 against generated SSB databases, checking result
+// sanity, plan behaviour, cardinality scaling (Table 2's premise) and the
+// timing-breakdown accounting used by Figures 3-4.
+
+#include <gtest/gtest.h>
+
+#include "assess/effort.h"
+#include "assess/session.h"
+#include "ssb/ssb_generator.h"
+#include "ssb/workload.h"
+
+namespace assess {
+namespace {
+
+class WorkloadIntegrationTest : public ::testing::Test {
+ protected:
+  WorkloadIntegrationTest() {
+    SsbConfig config;
+    config.scale_factor = 0.01;
+    db_ = std::move(BuildSsbDatabase(config)).value();
+    session_ = std::make_unique<AssessSession>(db_.get());
+  }
+
+  std::unique_ptr<StarDatabase> db_;
+  std::unique_ptr<AssessSession> session_;
+};
+
+TEST_F(WorkloadIntegrationTest, EveryIntentionRunsOnEveryFeasiblePlan) {
+  for (const WorkloadStatement& stmt : SsbWorkload()) {
+    auto analyzed = session_->Prepare(stmt.text);
+    ASSERT_TRUE(analyzed.ok())
+        << stmt.name << ": " << analyzed.status().ToString();
+    for (PlanKind plan : FeasiblePlans(*analyzed)) {
+      auto result = session_->Query(stmt.text, plan);
+      ASSERT_TRUE(result.ok()) << stmt.name << "/" << PlanKindToString(plan)
+                               << ": " << result.status().ToString();
+      EXPECT_GT(result->cube.NumRows(), 0) << stmt.name;
+      EXPECT_FALSE(result->sql.empty()) << stmt.name;
+      EXPECT_GT(result->timings.Total(), 0.0) << stmt.name;
+      // The Section 4.1 result contract: m, m_B, m_Δ and labels all present.
+      EXPECT_TRUE(result->cube.MeasureIndex(result->measure).ok());
+      EXPECT_TRUE(
+          result->cube.MeasureIndex(result->benchmark_measure).ok())
+          << stmt.name;
+      EXPECT_TRUE(
+          result->cube.MeasureIndex(result->comparison_measure).ok());
+      EXPECT_EQ(static_cast<int64_t>(result->cube.labels().size()),
+                result->cube.NumRows());
+    }
+  }
+}
+
+TEST_F(WorkloadIntegrationTest, TimingBucketsMatchPlanShape) {
+  for (const WorkloadStatement& stmt : SsbWorkload()) {
+    auto analyzed = session_->Prepare(stmt.text);
+    ASSERT_TRUE(analyzed.ok());
+    for (PlanKind plan : FeasiblePlans(*analyzed)) {
+      auto result = session_->Query(stmt.text, plan);
+      ASSERT_TRUE(result.ok());
+      const StepTimings& t = result->timings;
+      if (plan == PlanKind::kNP) {
+        EXPECT_GT(t.get_c, 0.0) << stmt.name;
+        EXPECT_EQ(t.get_cb, 0.0) << stmt.name;
+        if (analyzed->type != BenchmarkType::kConstant) {
+          EXPECT_GT(t.get_b, 0.0) << stmt.name;
+          EXPECT_GT(t.join, 0.0) << stmt.name;
+        }
+      } else {
+        // Fused plans: a single engine call, no separate gets or client join.
+        EXPECT_EQ(t.get_c, 0.0) << stmt.name;
+        EXPECT_EQ(t.get_b, 0.0) << stmt.name;
+        EXPECT_GT(t.get_cb, 0.0) << stmt.name;
+        EXPECT_EQ(t.join, 0.0) << stmt.name;
+      }
+      if (analyzed->type == BenchmarkType::kPast) {
+        EXPECT_GT(t.transform, 0.0) << stmt.name;
+      }
+    }
+  }
+}
+
+TEST_F(WorkloadIntegrationTest, TargetCubeCardinalityScalesWithTheData) {
+  // Table 2's premise: with by/for fixed, |C| grows with |C0|.
+  SsbConfig small_config;
+  small_config.scale_factor = 0.002;
+  auto small_db = std::move(BuildSsbDatabase(small_config)).value();
+  AssessSession small_session(small_db.get());
+  for (const WorkloadStatement& stmt : SsbWorkload()) {
+    auto big = session_->Query(stmt.text);
+    auto small = small_session.Query(stmt.text);
+    ASSERT_TRUE(big.ok() && small.ok()) << stmt.name;
+    EXPECT_GT(big->cube.NumRows(), small->cube.NumRows()) << stmt.name;
+  }
+}
+
+TEST_F(WorkloadIntegrationTest, BestPlanIsFastestOrClose) {
+  // Sanity rather than a strict benchmark: the preferred plan must not be
+  // dramatically slower than NP on any intention (the Section 6 claim,
+  // with slack for timer noise at this small scale).
+  for (const WorkloadStatement& stmt : SsbWorkload()) {
+    auto analyzed = session_->Prepare(stmt.text);
+    ASSERT_TRUE(analyzed.ok());
+    auto np = session_->Query(stmt.text, PlanKind::kNP);
+    auto best = session_->Query(stmt.text, BestPlan(*analyzed));
+    ASSERT_TRUE(np.ok() && best.ok());
+    EXPECT_LT(best->timings.Total(), np->timings.Total() * 3 + 0.05)
+        << stmt.name;
+  }
+}
+
+TEST_F(WorkloadIntegrationTest, EffortReportsCoverAllIntentions) {
+  for (const WorkloadStatement& stmt : SsbWorkload()) {
+    auto analyzed = session_->Prepare(stmt.text);
+    ASSERT_TRUE(analyzed.ok());
+    auto report = MeasureFormulationEffort(*analyzed, *db_);
+    ASSERT_TRUE(report.ok()) << stmt.name;
+    EXPECT_GT(report->total_chars(), report->assess_chars * 10) << stmt.name;
+  }
+}
+
+TEST_F(WorkloadIntegrationTest, ExternalJoinDropsUnbudgetedCustomers) {
+  // BUDGET omits one customer in five, so assess returns fewer cells than
+  // assess* and the difference is exactly the null-labeled cells.
+  const std::string inner = SsbWorkload()[1].text;
+  std::string star = inner;
+  star.replace(star.find("assess revenue"), 14, "assess* revenue");
+  auto inner_result = session_->Query(inner);
+  auto star_result = session_->Query(star);
+  ASSERT_TRUE(inner_result.ok() && star_result.ok())
+      << star_result.status().ToString();
+  EXPECT_GT(star_result->cube.NumRows(), inner_result->cube.NumRows());
+  int64_t nulls = 0;
+  for (const std::string& label : star_result->cube.labels()) {
+    if (label.empty()) ++nulls;
+  }
+  EXPECT_EQ(star_result->cube.NumRows() - nulls,
+            inner_result->cube.NumRows());
+}
+
+}  // namespace
+}  // namespace assess

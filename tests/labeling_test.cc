@@ -1,0 +1,353 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+#include "labeling/distribution_labeling.h"
+#include "labeling/kmeans_labeling.h"
+#include "labeling/label_function.h"
+#include "labeling/range_labeling.h"
+#include "olap/cube.h"
+
+namespace assess {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::vector<std::string> Apply(const LabelFunction& fn,
+                               std::vector<double> values) {
+  std::vector<std::string> labels;
+  Status st = fn.Apply(std::span<const double>(values), &labels);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return labels;
+}
+
+// --- LabelRange ---------------------------------------------------------
+
+TEST(LabelRangeTest, ContainsRespectsBounds) {
+  LabelRange closed{0, 1, true, true, "x"};
+  EXPECT_TRUE(closed.Contains(0));
+  EXPECT_TRUE(closed.Contains(1));
+  LabelRange open{0, 1, false, false, "x"};
+  EXPECT_FALSE(open.Contains(0));
+  EXPECT_FALSE(open.Contains(1));
+  EXPECT_TRUE(open.Contains(0.5));
+}
+
+TEST(LabelRangeTest, InfiniteBounds) {
+  LabelRange r{-kInf, -0.2, true, false, "bad"};
+  EXPECT_TRUE(r.Contains(-1e300));
+  EXPECT_FALSE(r.Contains(-0.2));
+  EXPECT_EQ(r.ToString(), "[-inf, -0.2): bad");
+}
+
+// --- RangeLabeling construction ------------------------------------------
+
+TEST(RangeLabelingTest, MakeRejectsEmpty) {
+  EXPECT_FALSE(RangeLabeling::Make({}).ok());
+}
+
+TEST(RangeLabelingTest, MakeRejectsEmptyInterval) {
+  EXPECT_FALSE(RangeLabeling::Make({{1, 0, true, true, "x"}}).ok());
+  EXPECT_FALSE(RangeLabeling::Make({{1, 1, true, false, "x"}}).ok());
+  // A closed point interval is fine.
+  EXPECT_TRUE(RangeLabeling::Make({{1, 1, true, true, "x"}}).ok());
+}
+
+TEST(RangeLabelingTest, MakeRejectsNanAndEmptyLabel) {
+  EXPECT_FALSE(RangeLabeling::Make({{std::nan(""), 1, true, true, "x"}}).ok());
+  EXPECT_FALSE(RangeLabeling::Make({{0, 1, true, true, ""}}).ok());
+}
+
+TEST(RangeLabelingTest, MakeRejectsOverlap) {
+  EXPECT_FALSE(RangeLabeling::Make({{0, 2, true, true, "a"},
+                                    {1, 3, true, true, "b"}})
+                   .ok());
+  // Closed bounds touching at one point overlap...
+  EXPECT_FALSE(RangeLabeling::Make({{0, 1, true, true, "a"},
+                                    {1, 2, true, true, "b"}})
+                   .ok());
+  // ...but half-open adjacency is the canonical partition.
+  EXPECT_TRUE(RangeLabeling::Make({{0, 1, true, false, "a"},
+                                   {1, 2, true, true, "b"}})
+                  .ok());
+}
+
+TEST(RangeLabelingTest, ApplyMapsPaperExample) {
+  // The sibling labeling of Example 4.1.
+  auto fn = *RangeLabeling::Make({{-kInf, -0.2, true, false, "bad"},
+                                  {-0.2, 0.2, true, true, "ok"},
+                                  {0.2, kInf, false, true, "good"}});
+  auto labels = Apply(fn, {-0.23, -0.09, 0.05, -0.2, 0.2, 0.21});
+  EXPECT_EQ(labels,
+            (std::vector<std::string>{"bad", "ok", "ok", "ok", "ok", "good"}));
+}
+
+TEST(RangeLabelingTest, ApplyNullsGetEmptyLabel) {
+  auto fn = *RangeLabeling::Make({{-kInf, kInf, true, true, "any"}});
+  auto labels = Apply(fn, {1.0, kNullMeasure});
+  EXPECT_EQ(labels[0], "any");
+  EXPECT_EQ(labels[1], "");
+}
+
+TEST(RangeLabelingTest, ApplyUncoveredValueFails) {
+  auto fn = *RangeLabeling::Make({{0, 1, true, true, "x"}});
+  std::vector<std::string> labels;
+  std::vector<double> values = {2.0};
+  Status st = fn.Apply(std::span<const double>(values), &labels);
+  EXPECT_EQ(st.code(), StatusCode::kOutOfRange);
+}
+
+TEST(RangeLabelingTest, ApplyPointIntervalAmongOpenNeighbors) {
+  // [0,0] sorts next to (0,1]; probing 0 must find the point interval even
+  // though the binary-search candidate is the open one.
+  auto fn = *RangeLabeling::Make({{0, 0, true, true, "zero"},
+                                  {0, 1, false, true, "pos"}});
+  auto labels = Apply(fn, {0.0, 0.5});
+  EXPECT_EQ(labels[0], "zero");
+  EXPECT_EQ(labels[1], "pos");
+}
+
+TEST(RangeLabelingTest, BoundaryGoesToInclusiveSide) {
+  auto fn = *RangeLabeling::Make({{0, 0.9, true, false, "bad"},
+                                  {0.9, 1.1, true, true, "acceptable"},
+                                  {1.1, kInf, false, true, "good"}});
+  auto labels = Apply(fn, {0.9, 1.1, 1.1000001});
+  EXPECT_EQ(labels,
+            (std::vector<std::string>{"acceptable", "acceptable", "good"}));
+}
+
+TEST(RangeLabelingTest, Covers) {
+  auto fn = *RangeLabeling::Make({{0, 1, true, false, "a"},
+                                  {1, 2, true, true, "b"}});
+  EXPECT_TRUE(fn.Covers(0, 2));
+  EXPECT_TRUE(fn.Covers(0.5, 1.5));
+  EXPECT_FALSE(fn.Covers(-1, 2));
+  EXPECT_FALSE(fn.Covers(0, 3));
+  auto gap = *RangeLabeling::Make({{0, 1, true, false, "a"},
+                                   {1, 2, false, true, "b"}});
+  EXPECT_FALSE(gap.Covers(0, 2));  // the point 1 is uncovered
+  auto full = *RangeLabeling::Make({{-kInf, 0, true, false, "neg"},
+                                    {0, kInf, true, true, "pos"}});
+  EXPECT_TRUE(full.Covers(-kInf, kInf));
+}
+
+TEST(RangeLabelingTest, ToStringInlineForm) {
+  auto fn = *RangeLabeling::Make({{0, 1, true, false, "a"}});
+  EXPECT_EQ(fn.ToString(), "{[0, 1): a}");
+  auto named = *RangeLabeling::Make({{0, 1, true, false, "a"}}, "5stars");
+  EXPECT_EQ(named.ToString(), "5stars");
+  EXPECT_EQ(named.name(), "5stars");
+}
+
+// --- QuantileLabeling ------------------------------------------------------
+
+TEST(QuantileLabelingTest, QuartilesSplitEvenly) {
+  auto fn = *QuantileLabeling::Make(4);
+  auto labels = Apply(fn, {1, 2, 3, 4, 5, 6, 7, 8});
+  EXPECT_EQ(labels[0], "top-4");
+  EXPECT_EQ(labels[1], "top-4");
+  EXPECT_EQ(labels[2], "top-3");
+  EXPECT_EQ(labels[3], "top-3");
+  EXPECT_EQ(labels[4], "top-2");
+  EXPECT_EQ(labels[5], "top-2");
+  EXPECT_EQ(labels[6], "top-1");
+  EXPECT_EQ(labels[7], "top-1");
+}
+
+TEST(QuantileLabelingTest, TiesShareLabels) {
+  auto fn = *QuantileLabeling::Make(2);
+  auto labels = Apply(fn, {5, 5, 5, 5});
+  for (const std::string& l : labels) EXPECT_EQ(l, labels[0]);
+}
+
+TEST(QuantileLabelingTest, CustomLabels) {
+  auto fn = *QuantileLabeling::Make(2, {"low", "high"});
+  auto labels = Apply(fn, {1, 2, 3, 4});
+  EXPECT_EQ(labels, (std::vector<std::string>{"low", "low", "high", "high"}));
+}
+
+TEST(QuantileLabelingTest, WrongLabelCountFails) {
+  EXPECT_FALSE(QuantileLabeling::Make(3, {"a", "b"}).ok());
+  EXPECT_FALSE(QuantileLabeling::Make(0).ok());
+}
+
+TEST(QuantileLabelingTest, NullsKeepNullLabel) {
+  auto fn = *QuantileLabeling::Make(2);
+  auto labels = Apply(fn, {1, kNullMeasure, 3});
+  EXPECT_EQ(labels[1], "");
+  EXPECT_NE(labels[0], "");
+}
+
+TEST(QuantileLabelingTest, AllNull) {
+  auto fn = *QuantileLabeling::Make(4);
+  auto labels = Apply(fn, {kNullMeasure, kNullMeasure});
+  EXPECT_EQ(labels, (std::vector<std::string>{"", ""}));
+}
+
+// --- EquiWidthLabeling ------------------------------------------------------
+
+TEST(EquiWidthLabelingTest, BinsByValueNotByCount) {
+  auto fn = *EquiWidthLabeling::Make(2, {"low", "high"});
+  // Skewed distribution: only the 10 lands in the upper half.
+  auto labels = Apply(fn, {0, 1, 2, 10});
+  EXPECT_EQ(labels, (std::vector<std::string>{"low", "low", "low", "high"}));
+}
+
+TEST(EquiWidthLabelingTest, MaxValueInLastBin) {
+  auto fn = *EquiWidthLabeling::Make(4);
+  auto labels = Apply(fn, {0, 1});
+  EXPECT_EQ(labels[1], "top-1");
+}
+
+TEST(EquiWidthLabelingTest, DegenerateSingleValue) {
+  auto fn = *EquiWidthLabeling::Make(3);
+  auto labels = Apply(fn, {5, 5});
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_NE(labels[0], "");
+}
+
+// --- ZScoreLabeling ---------------------------------------------------------
+
+TEST(ZScoreLabelingTest, FiveBuckets) {
+  ZScoreLabeling fn;
+  // mean 0, stddev 1 after standardization of a symmetric sample.
+  auto labels = Apply(fn, {-10, -1, 0, 1, 10, 0, 0, 0, 0, 0});
+  EXPECT_EQ(labels[0], "very-low");
+  EXPECT_EQ(labels[4], "very-high");
+  EXPECT_EQ(labels[2], "normal");
+}
+
+TEST(ZScoreLabelingTest, DegenerateAllEqual) {
+  ZScoreLabeling fn;
+  auto labels = Apply(fn, {3, 3, 3});
+  EXPECT_EQ(labels, (std::vector<std::string>{"normal", "normal", "normal"}));
+}
+
+// --- KMeansLabeling ----------------------------------------------------------
+
+TEST(KMeansLabelingTest, FitFindsSeparatedCentroids) {
+  std::vector<double> sorted = {0, 1, 2, 100, 101, 102};
+  auto centroids = KMeansLabeling::Fit(sorted, 2, 50);
+  ASSERT_EQ(centroids.size(), 2u);
+  EXPECT_NEAR(centroids[0], 1.0, 1e-9);
+  EXPECT_NEAR(centroids[1], 101.0, 1e-9);
+}
+
+TEST(KMeansLabelingTest, LabelsAscendingByCentroid) {
+  auto fn = *KMeansLabeling::Make(2);
+  auto labels = Apply(fn, {0, 1, 100, 101});
+  EXPECT_EQ(labels,
+            (std::vector<std::string>{"cluster-1", "cluster-1", "cluster-2",
+                                      "cluster-2"}));
+}
+
+TEST(KMeansLabelingTest, AutoKStopsEarlyOnSeparatedClusters) {
+  auto fn = *KMeansLabeling::Make(5, /*auto_k=*/true);
+  std::vector<double> values;
+  for (int i = 0; i < 20; ++i) values.push_back(i % 2 == 0 ? 0.0 : 1000.0);
+  auto labels = Apply(fn, values);
+  std::set<std::string> distinct(labels.begin(), labels.end());
+  EXPECT_EQ(distinct.size(), 2u);  // the elbow stops at k = 2
+}
+
+TEST(KMeansLabelingTest, KLargerThanDataIsClamped) {
+  auto fn = *KMeansLabeling::Make(10);
+  auto labels = Apply(fn, {1.0, 2.0});
+  EXPECT_EQ(labels.size(), 2u);
+  EXPECT_NE(labels[0], "");
+}
+
+TEST(KMeansLabelingTest, RejectsNonPositiveK) {
+  EXPECT_FALSE(KMeansLabeling::Make(0).ok());
+}
+
+// --- Registry ----------------------------------------------------------------
+
+TEST(LabelingRegistryTest, BuiltinsPresent) {
+  LabelingRegistry registry = LabelingRegistry::Default();
+  for (const char* name :
+       {"median", "terciles", "quartiles", "quintiles", "deciles", "zscore",
+        "kmeans-auto"}) {
+    EXPECT_TRUE(registry.Contains(name)) << name;
+  }
+  EXPECT_FALSE(registry.Contains("5stars"));
+}
+
+TEST(LabelingRegistryTest, UserRegistration) {
+  LabelingRegistry registry = LabelingRegistry::Default();
+  auto stars = RangeLabeling::Make({{-1, -0.6, true, true, "*"},
+                                    {-0.6, -0.2, false, true, "**"},
+                                    {-0.2, 0.2, false, true, "***"},
+                                    {0.2, 0.6, false, true, "****"},
+                                    {0.6, 1, false, true, "*****"}},
+                                   "5stars");
+  ASSERT_TRUE(stars.ok());
+  ASSERT_TRUE(
+      registry.Register(std::make_shared<RangeLabeling>(std::move(*stars)))
+          .ok());
+  EXPECT_TRUE(registry.Find("5STARS").ok());
+  EXPECT_EQ(registry
+                .Register(std::make_shared<RangeLabeling>(
+                    *RangeLabeling::Make({{0, 1, true, true, "x"}}, "5stars")))
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+// --- Partition property (every labeling assigns exactly one label) ----------
+
+class LabelingPartitionTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LabelingPartitionTest, EveryValueGetsExactlyOneLabel) {
+  Rng rng(GetParam());
+  std::vector<double> values;
+  for (int i = 0; i < 200; ++i) {
+    values.push_back(rng.NextDouble() * 100.0 - 50.0);
+  }
+  values.push_back(kNullMeasure);
+
+  LabelingRegistry registry = LabelingRegistry::Default();
+  for (const std::string& name : registry.Names()) {
+    auto fn = *registry.Find(name);
+    std::vector<std::string> labels;
+    Status st = fn->Apply(std::span<const double>(values), &labels);
+    ASSERT_TRUE(st.ok()) << name << ": " << st.ToString();
+    ASSERT_EQ(labels.size(), values.size()) << name;
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (IsNullMeasure(values[i])) {
+        EXPECT_EQ(labels[i], "") << name;
+      } else {
+        EXPECT_NE(labels[i], "") << name;
+      }
+    }
+  }
+}
+
+TEST_P(LabelingPartitionTest, QuantileGroupsAreContiguousInValueOrder) {
+  Rng rng(GetParam() ^ 0xABCD);
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) values.push_back(rng.NextDouble());
+  auto fn = *QuantileLabeling::Make(4);
+  std::vector<std::string> labels;
+  ASSERT_TRUE(fn.Apply(std::span<const double>(values), &labels).ok());
+  // Sort by value; labels must be non-increasing in top-k rank order, i.e.
+  // the group index (k - rank) is non-decreasing.
+  std::vector<size_t> order(values.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+  int prev_group = 0;
+  for (size_t i : order) {
+    int group = 4 - (labels[i][4] - '0');  // "top-N"
+    EXPECT_GE(group, prev_group);
+    prev_group = std::max(prev_group, group);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LabelingPartitionTest,
+                         ::testing::Values(1u, 7u, 42u, 1234u));
+
+}  // namespace
+}  // namespace assess

@@ -1,0 +1,117 @@
+#include "assess/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace assess {
+namespace {
+
+std::vector<TokenType> Types(const std::vector<Token>& tokens) {
+  std::vector<TokenType> out;
+  for (const Token& t : tokens) out.push_back(t.type);
+  return out;
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  auto tokens = *Tokenize("   \n\t ");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, Identifiers) {
+  auto tokens = *Tokenize("with SALES assess storeSales");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].text, "with");
+  EXPECT_EQ(tokens[1].text, "SALES");
+  EXPECT_EQ(tokens[3].text, "storeSales");
+}
+
+TEST(LexerTest, KeywordMatchingIsCaseInsensitive) {
+  auto tokens = *Tokenize("WITH With with");
+  EXPECT_TRUE(tokens[0].IsKeyword("with"));
+  EXPECT_TRUE(tokens[1].IsKeyword("with"));
+  EXPECT_TRUE(tokens[2].IsKeyword("WITH"));
+  EXPECT_FALSE(tokens[2].IsKeyword("by"));
+}
+
+TEST(LexerTest, Numbers) {
+  auto tokens = *Tokenize("1000 0.9 1e3 2.5E-2");
+  EXPECT_EQ(tokens[0].number, 1000);
+  EXPECT_EQ(tokens[1].number, 0.9);
+  EXPECT_EQ(tokens[2].number, 1000);
+  EXPECT_EQ(tokens[3].number, 0.025);
+}
+
+TEST(LexerTest, Strings) {
+  auto tokens = *Tokenize("'Fresh Fruit' 'Italy'");
+  EXPECT_EQ(tokens[0].type, TokenType::kString);
+  EXPECT_EQ(tokens[0].text, "Fresh Fruit");
+  EXPECT_EQ(tokens[1].text, "Italy");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("'Italy").ok());
+}
+
+TEST(LexerTest, Punctuation) {
+  auto tokens = *Tokenize("( ) { } [ ] , : = * . -");
+  EXPECT_EQ(Types(tokens),
+            (std::vector<TokenType>{
+                TokenType::kLParen, TokenType::kRParen, TokenType::kLBrace,
+                TokenType::kRBrace, TokenType::kLBracket,
+                TokenType::kRBracket, TokenType::kComma, TokenType::kColon,
+                TokenType::kEquals, TokenType::kStar, TokenType::kDot,
+                TokenType::kMinus, TokenType::kEnd}));
+}
+
+TEST(LexerTest, DottedMeasureLexesAsThreeTokens) {
+  auto tokens = *Tokenize("benchmark.quantity");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].text, "benchmark");
+  EXPECT_EQ(tokens[1].type, TokenType::kDot);
+  EXPECT_EQ(tokens[2].text, "quantity");
+}
+
+TEST(LexerTest, RangeSyntax) {
+  auto tokens = *Tokenize("[0, 0.9): bad");
+  EXPECT_EQ(Types(tokens),
+            (std::vector<TokenType>{
+                TokenType::kLBracket, TokenType::kNumber, TokenType::kComma,
+                TokenType::kNumber, TokenType::kRParen, TokenType::kColon,
+                TokenType::kIdent, TokenType::kEnd}));
+}
+
+TEST(LexerTest, NegativeBoundsLexAsMinusThenNumber) {
+  auto tokens = *Tokenize("-0.2 -inf");
+  EXPECT_EQ(tokens[0].type, TokenType::kMinus);
+  EXPECT_EQ(tokens[1].number, 0.2);
+  EXPECT_EQ(tokens[2].type, TokenType::kMinus);
+  EXPECT_TRUE(tokens[3].IsKeyword("inf"));
+}
+
+TEST(LexerTest, OffsetsPointIntoTheInput) {
+  auto tokens = *Tokenize("with SALES");
+  EXPECT_EQ(tokens[0].offset, 0u);
+  EXPECT_EQ(tokens[1].offset, 5u);
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  Result<std::vector<Token>> r = Tokenize("with SALES; drop");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("';'"), std::string::npos);
+}
+
+TEST(LexerTest, NumberFollowedByIdent) {
+  // "5stars" lexes as number 5 + identifier "stars" (refused elsewhere or
+  // fused by the parser's labels rule).
+  auto tokens = *Tokenize("5stars");
+  EXPECT_EQ(tokens[0].type, TokenType::kNumber);
+  EXPECT_EQ(tokens[1].text, "stars");
+}
+
+TEST(LexerTest, TokenTypeNames) {
+  EXPECT_EQ(TokenTypeToString(TokenType::kIdent), "identifier");
+  EXPECT_EQ(TokenTypeToString(TokenType::kEnd), "end of statement");
+}
+
+}  // namespace
+}  // namespace assess

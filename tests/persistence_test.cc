@@ -1,0 +1,138 @@
+#include "storage/database_io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "assess/session.h"
+#include "ssb/sales_generator.h"
+#include "ssb/ssb_generator.h"
+#include "test_util.h"
+
+namespace assess {
+namespace {
+
+using ::assess::testutil::BuildMiniSales;
+using ::assess::testutil::CellMap;
+using ::assess::testutil::LabelMap;
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  PersistenceTest() {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("assessdb_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+  }
+  ~PersistenceTest() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(PersistenceTest, RoundTripsTheMiniDatabase) {
+  testutil::MiniDb mini = BuildMiniSales();
+  ASSERT_TRUE(SaveDatabase(*mini.db, dir_.string()).ok());
+  auto loaded = LoadDatabase(dir_.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  const BoundCube* original = *mini.db->Find("SALES");
+  const BoundCube* restored = *(*loaded)->Find("SALES");
+  EXPECT_EQ(restored->facts().NumRows(), original->facts().NumRows());
+  EXPECT_EQ(restored->schema().measure_count(),
+            original->schema().measure_count());
+  EXPECT_EQ(restored->schema().measure(1).name, "sales");
+  EXPECT_TRUE(restored->Validate().ok());
+  EXPECT_TRUE(restored->schema().hierarchy(0).temporal());
+
+  // Same query, same cells.
+  AssessSession before(mini.db.get());
+  AssessSession after(loaded->get());
+  const char* statement =
+      "with SALES for type = 'Fresh Fruit', country = 'Italy' "
+      "by product, country assess quantity against country = 'France' "
+      "using difference(quantity, benchmark.quantity) "
+      "labels {[-inf, 0): behind, [0, inf]: ahead}";
+  auto expected = before.Query(statement);
+  auto actual = after.Query(statement);
+  ASSERT_TRUE(expected.ok() && actual.ok());
+  EXPECT_EQ(CellMap(expected->cube, "quantity"),
+            CellMap(actual->cube, "quantity"));
+  EXPECT_EQ(LabelMap(expected->cube), LabelMap(actual->cube));
+}
+
+TEST_F(PersistenceTest, RoundTripsSharedHierarchiesAcrossCubes) {
+  SsbConfig config;
+  config.scale_factor = 0.002;
+  auto db = std::move(BuildSsbDatabase(config)).value();
+  ASSERT_TRUE(SaveDatabase(*db, dir_.string()).ok());
+  auto loaded = LoadDatabase(dir_.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  // SSB and BUDGET share hierarchies after the round trip, so external
+  // benchmarks still join on identical dictionaries.
+  const BoundCube* ssb = *(*loaded)->Find("SSB");
+  const BoundCube* budget = *(*loaded)->Find("BUDGET");
+  EXPECT_EQ(ssb->schema().hierarchy_ptr(0).get(),
+            budget->schema().hierarchy_ptr(0).get());
+
+  AssessSession before(db.get());
+  AssessSession after(loaded->get());
+  const char* statement =
+      "with SSB by customer assess revenue against BUDGET.plannedRevenue "
+      "using normalizedDifference(revenue, benchmark.plannedRevenue) "
+      "labels {[-inf, 0): under, [0, inf]: over}";
+  auto expected = before.Query(statement);
+  auto actual = after.Query(statement);
+  ASSERT_TRUE(expected.ok() && actual.ok());
+  EXPECT_EQ(expected->cube.NumRows(), actual->cube.NumRows());
+  EXPECT_EQ(LabelMap(expected->cube), LabelMap(actual->cube));
+}
+
+TEST_F(PersistenceTest, LoadRejectsMissingCatalog) {
+  auto loaded = LoadDatabase((dir_ / "nowhere").string());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(PersistenceTest, LoadRejectsWrongVersion) {
+  std::filesystem::create_directories(dir_);
+  std::ofstream out(dir_ / "catalog.assess");
+  out << "assessdb 99\n";
+  out.close();
+  auto loaded = LoadDatabase(dir_.string());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotSupported);
+}
+
+TEST_F(PersistenceTest, LoadRejectsTruncatedColumns) {
+  testutil::MiniDb mini = BuildMiniSales();
+  ASSERT_TRUE(SaveDatabase(*mini.db, dir_.string()).ok());
+  // Truncate one fact column.
+  std::filesystem::resize_file(dir_ / "SALES.m0.bin", 4);
+  auto loaded = LoadDatabase(dir_.string());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PersistenceTest, LoadRejectsGarbageCatalog) {
+  std::filesystem::create_directories(dir_);
+  std::ofstream out(dir_ / "catalog.assess");
+  out << "assessdb 1\nhierarchies banana\n";
+  out.close();
+  auto loaded = LoadDatabase(dir_.string());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PersistenceTest, SaveIsIdempotent) {
+  testutil::MiniDb mini = BuildMiniSales();
+  ASSERT_TRUE(SaveDatabase(*mini.db, dir_.string()).ok());
+  ASSERT_TRUE(SaveDatabase(*mini.db, dir_.string()).ok());
+  auto loaded = LoadDatabase(dir_.string());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)->CubeNames(), std::vector<std::string>{"SALES"});
+}
+
+}  // namespace
+}  // namespace assess

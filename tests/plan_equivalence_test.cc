@@ -1,0 +1,165 @@
+// Property suite: every feasible plan of a statement computes the same
+// cube — same cells, same measure values, same comparison, same labels —
+// and materialized views never change results, only access paths. This is
+// the correctness backbone of Section 5's optimization story: NP, JOP and
+// POP are rewrites of one logical plan (properties P1-P3).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "assess/session.h"
+#include "ssb/sales_generator.h"
+#include "ssb/ssb_generator.h"
+#include "test_util.h"
+
+namespace assess {
+namespace {
+
+using ::assess::testutil::CellMap;
+using ::assess::testutil::LabelMap;
+
+void ExpectSameCells(const AssessResult& a, const AssessResult& b,
+                     const std::string& context) {
+  ASSERT_EQ(a.cube.NumRows(), b.cube.NumRows()) << context;
+  for (const std::string& measure :
+       {a.measure, a.benchmark_measure, a.comparison_measure}) {
+    auto lhs = CellMap(a.cube, measure);
+    auto rhs = CellMap(b.cube, measure);
+    ASSERT_EQ(lhs.size(), rhs.size()) << context << " measure " << measure;
+    for (const auto& [coord, value] : lhs) {
+      auto it = rhs.find(coord);
+      ASSERT_NE(it, rhs.end()) << context;
+      if (std::isnan(value)) {
+        EXPECT_TRUE(std::isnan(it->second)) << context;
+      } else {
+        EXPECT_NEAR(value, it->second, 1e-9 * (1.0 + std::fabs(value)))
+            << context << " measure " << measure;
+      }
+    }
+  }
+  EXPECT_EQ(LabelMap(a.cube), LabelMap(b.cube)) << context;
+}
+
+class SalesPlanEquivalenceTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  SalesPlanEquivalenceTest() {
+    SalesConfig config;
+    config.facts = 60000;
+    db_ = std::move(BuildSalesDatabase(config)).value();
+    session_ = std::make_unique<AssessSession>(db_.get());
+  }
+
+  std::unique_ptr<StarDatabase> db_;
+  std::unique_ptr<AssessSession> session_;
+};
+
+TEST_P(SalesPlanEquivalenceTest, AllFeasiblePlansAgree) {
+  const char* text = GetParam();
+  auto analyzed = session_->Prepare(text);
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+  std::vector<PlanKind> plans = FeasiblePlans(*analyzed);
+  ASSERT_GE(plans.size(), 1u);
+  auto baseline = session_->Query(text, plans[0]);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  for (size_t i = 1; i < plans.size(); ++i) {
+    auto other = session_->Query(text, plans[i]);
+    ASSERT_TRUE(other.ok()) << other.status().ToString();
+    ExpectSameCells(*baseline, *other,
+                    std::string(PlanKindToString(plans[i])) + " vs " +
+                        std::string(PlanKindToString(plans[0])));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Statements, SalesPlanEquivalenceTest,
+    ::testing::Values(
+        // Sibling, coarse group-by.
+        "with SALES for type = 'Fresh Fruit', country = 'Italy' "
+        "by product, country assess quantity against country = 'France' "
+        "using percOfTotal(difference(quantity, benchmark.quantity), "
+        "quantity) labels {[-inf, -0.1): bad, [-0.1, 0.1]: ok, (0.1, inf]: "
+        "good}",
+        // Sibling at store level with a holistic-only using clause.
+        "with SALES for city = 'Rome' by product, city assess storeSales "
+        "against city = 'Paris' using zscore(difference(storeSales, "
+        "benchmark.storeSales)) labels quartiles",
+        // Sibling with assess*.
+        "with SALES for country = 'Italy' by product, country "
+        "assess* quantity against country = 'Greece' "
+        "using difference(quantity, benchmark.quantity) "
+        "labels {[-inf, inf]: seen}",
+        // Past with a 4-month window over all stores.
+        "with SALES for month = '1997-07' by month, store assess storeSales "
+        "against past 4 using ratio(storeSales, benchmark.storeSales) "
+        "labels {[0, 0.95): worse, [0.95, 1.05]: fine, (1.05, inf): better}",
+        // Past with k = 2 and distribution labels.
+        "with SALES for month = '1997-11' by month, store, product "
+        "assess quantity against past 2 "
+        "using difference(quantity, benchmark.quantity) labels quintiles",
+        // Past with k = 1.
+        "with SALES for month = '1996-06' by month, city assess storeSales "
+        "against past 1 using ratio(storeSales, benchmark.storeSales) "
+        "labels median"));
+
+TEST(SsbPlanEquivalenceTest, WorkloadStatementsAgreeAcrossPlans) {
+  SsbConfig config;
+  config.scale_factor = 0.005;
+  auto db = BuildSsbDatabase(config);
+  ASSERT_TRUE(db.ok());
+  AssessSession session(db->get());
+  const char* statements[] = {
+      "with SSB by customer assess revenue against BUDGET.plannedRevenue "
+      "using normalizedDifference(revenue, benchmark.plannedRevenue) "
+      "labels {[-inf, 0): under, [0, inf]: over}",
+      "with SSB for s_region = 'ASIA' by c_nation, s_region assess quantity "
+      "against s_region = 'AMERICA' using difference(quantity, "
+      "benchmark.quantity) labels quartiles",
+      "with SSB for month = '1998-06' by month, s_nation assess revenue "
+      "against past 3 using ratio(revenue, benchmark.revenue) "
+      "labels {[0, 1): below, [1, inf): above}",
+  };
+  for (const char* text : statements) {
+    auto analyzed = session.Prepare(text);
+    ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+    std::vector<PlanKind> plans = FeasiblePlans(*analyzed);
+    auto baseline = session.Query(text, plans[0]);
+    ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+    EXPECT_GT(baseline->cube.NumRows(), 0) << text;
+    for (size_t i = 1; i < plans.size(); ++i) {
+      auto other = session.Query(text, plans[i]);
+      ASSERT_TRUE(other.ok()) << other.status().ToString();
+      ExpectSameCells(*baseline, *other, text);
+    }
+  }
+}
+
+TEST(ViewEquivalenceTest, ViewsChangeAccessPathNotResults) {
+  SalesConfig config;
+  config.facts = 60000;
+  auto db = std::move(BuildSalesDatabase(config)).value();
+
+  const char* text =
+      "with SALES for type = 'Fresh Fruit', country = 'Italy' "
+      "by product, country assess quantity against country = 'France' "
+      "using difference(quantity, benchmark.quantity) labels quartiles";
+
+  AssessSession without_views(db.get(), /*use_views=*/false);
+  auto baseline = without_views.Query(text, PlanKind::kPOP);
+  ASSERT_TRUE(baseline.ok());
+
+  StarQueryEngine materializer(db.get());
+  ASSERT_TRUE(materializer
+                  .MaterializeView(db.get(), "SALES",
+                                   {"product", "country"}, "mv_pc")
+                  .ok());
+  AssessSession with_views(db.get(), /*use_views=*/true);
+  for (PlanKind plan : {PlanKind::kNP, PlanKind::kJOP, PlanKind::kPOP}) {
+    auto accelerated = with_views.Query(text, plan);
+    ASSERT_TRUE(accelerated.ok());
+    ExpectSameCells(*baseline, *accelerated, "view-accelerated");
+  }
+}
+
+}  // namespace
+}  // namespace assess

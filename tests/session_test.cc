@@ -1,0 +1,137 @@
+#include "assess/session.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace assess {
+namespace {
+
+using ::assess::testutil::BuildMiniSales;
+using ::assess::testutil::CellMap;
+using ::assess::testutil::K;
+using ::assess::testutil::LabelMap;
+
+class SessionTest : public ::testing::Test {
+ protected:
+  SessionTest() : mini_(BuildMiniSales()), session_(mini_.db.get()) {}
+
+  testutil::MiniDb mini_;
+  AssessSession session_;
+};
+
+TEST_F(SessionTest, BestPlanPrefersPopForSibling) {
+  auto r = session_.Query(
+      "with SALES for country = 'Italy' by product, country assess quantity "
+      "against country = 'France' labels quartiles");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->plan, PlanKind::kPOP);
+}
+
+TEST_F(SessionTest, BestPlanPrefersJopForExternalAndNpForConstant) {
+  auto constant = session_.Query(
+      "with SALES by month assess sales against 10 labels quartiles");
+  ASSERT_TRUE(constant.ok());
+  EXPECT_EQ(constant->plan, PlanKind::kNP);
+}
+
+TEST_F(SessionTest, ExplainListsSteps) {
+  auto text = session_.Explain(
+      "with SALES for country = 'Italy' by product, country assess quantity "
+      "against country = 'France' labels quartiles",
+      PlanKind::kPOP);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("get+pivot (P3)"), std::string::npos);
+  EXPECT_NE(text->find("label:"), std::string::npos);
+  auto infeasible = session_.Explain(
+      "with SALES by month assess sales labels quartiles", PlanKind::kPOP);
+  EXPECT_EQ(infeasible.status().code(), StatusCode::kNotSupported);
+}
+
+TEST_F(SessionTest, ParseErrorsPropagate) {
+  auto r = session_.Query("select * from sales");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+// Example 3.3 of the paper: a user-declared 5stars labeling applied to the
+// min-max-normalized difference between sales by gender and an external
+// benchmark. Our SALES cube has no gender, so the scenario is rebuilt on
+// stores: target {SmartMart 145, PetitPrix 68}, benchmark
+// {SmartMart 165, PetitPrix 63}, differences {-20, +5}; minMaxNorm maps
+// them to {0, 1}, labeled '***'... i.e. the lowest and highest star bands
+// applicable under the normalized-domain variant of the paper's lambda.
+TEST_F(SessionTest, UserRegisteredLabelingEndToEnd) {
+  // Register the benchmark cube.
+  auto plan_schema = std::make_shared<CubeSchema>("TARGETS");
+  for (int h = 0; h < mini_.schema->hierarchy_count(); ++h) {
+    plan_schema->AddHierarchy(mini_.schema->hierarchy_ptr(h));
+  }
+  plan_schema->AddMeasure({"goal", AggOp::kSum});
+  const BoundCube* sales = *mini_.db->Find("SALES");
+  std::vector<DimensionTable> dims;
+  for (int h = 0; h < mini_.schema->hierarchy_count(); ++h) {
+    dims.push_back(sales->dimension(h));
+  }
+  FactTable facts("TARGETS", 3, 1);
+  facts.AddRow({0, 3, 0}, {165.0});  // SmartMart goal
+  facts.AddRow({0, 3, 1}, {63.0});   // PetitPrix goal
+  ASSERT_TRUE(mini_.db
+                  ->Register("TARGETS", std::make_unique<BoundCube>(
+                                            plan_schema, std::move(dims),
+                                            std::move(facts)))
+                  .ok());
+
+  // Register the named labeling (Example 3.3's lambda over [0, 1]).
+  auto stars = RangeLabeling::Make({{0.0, 0.2, true, true, "*"},
+                                    {0.2, 0.4, false, true, "**"},
+                                    {0.4, 0.6, false, true, "***"},
+                                    {0.6, 0.8, false, true, "****"},
+                                    {0.8, 1.0, false, true, "*****"}},
+                                   "5stars");
+  ASSERT_TRUE(stars.ok());
+  ASSERT_TRUE(session_.labelings()
+                  ->Register(std::make_shared<RangeLabeling>(
+                      std::move(*stars)))
+                  .ok());
+
+  auto r = session_.Query(
+      "with SALES by store assess sales against TARGETS.goal "
+      "using minMaxNorm(difference(sales, benchmark.goal)) labels 5stars");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto labels = LabelMap(r->cube);
+  EXPECT_EQ(labels[K("SmartMart")], "*");    // normalized 0
+  EXPECT_EQ(labels[K("PetitPrix")], "*****");  // normalized 1
+}
+
+TEST_F(SessionTest, UserRegisteredFunctionEndToEnd) {
+  FunctionDef shortfall;
+  shortfall.name = "shortfall";
+  shortfall.kind = FunctionKind::kCell;
+  shortfall.arity = 2;
+  shortfall.cell = [](std::span<const double> a) {
+    return a[0] < a[1] ? a[1] - a[0] : 0.0;
+  };
+  ASSERT_TRUE(session_.functions()->Register(std::move(shortfall)).ok());
+  auto r = session_.Query(
+      "with SALES by store assess sales against 100 "
+      "using shortfall(sales, 100) "
+      "labels {[0, 0]: met, (0, inf): missed}");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto labels = LabelMap(r->cube);
+  EXPECT_EQ(labels[K("SmartMart")], "met");   // 145 >= 100
+  EXPECT_EQ(labels[K("PetitPrix")], "missed");  // 68 < 100
+}
+
+TEST_F(SessionTest, PrepareExposesAnalyzedStatement) {
+  auto analyzed = session_.Prepare(
+      "with SALES for month = '1997-07' by month, store assess sales "
+      "against past 2 labels quartiles");
+  ASSERT_TRUE(analyzed.ok());
+  EXPECT_EQ(analyzed->type, BenchmarkType::kPast);
+  EXPECT_EQ(analyzed->past_members,
+            (std::vector<std::string>{"1997-05", "1997-06"}));
+}
+
+}  // namespace
+}  // namespace assess

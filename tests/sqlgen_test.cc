@@ -1,0 +1,154 @@
+#include "sqlgen/sql_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "assess/analyzer.h"
+#include "assess/parser.h"
+#include "test_util.h"
+
+namespace assess {
+namespace {
+
+using ::assess::testutil::BuildMiniSales;
+
+class SqlGenTest : public ::testing::Test {
+ protected:
+  SqlGenTest()
+      : mini_(BuildMiniSales()),
+        functions_(FunctionRegistry::Default()),
+        labelings_(LabelingRegistry::Default()),
+        gen_(mini_.schema.get()) {}
+
+  AnalyzedStatement Must(const std::string& text) {
+    auto stmt = ParseAssessStatement(text);
+    EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+    auto analyzed = Analyze(*stmt, *mini_.db, functions_, labelings_);
+    EXPECT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+    return std::move(analyzed).value();
+  }
+
+  testutil::MiniDb mini_;
+  FunctionRegistry functions_;
+  LabelingRegistry labelings_;
+  SqlGenerator gen_;
+};
+
+TEST_F(SqlGenTest, GetHasListing1Shape) {
+  AnalyzedStatement a = Must(
+      "with SALES for type = 'Fresh Fruit', country = 'Italy' "
+      "by product, country assess quantity labels quartiles");
+  std::string sql = *gen_.RenderGet(a.target);
+  EXPECT_NE(sql.find("select product, country, sum(quantity) as quantity"),
+            std::string::npos);
+  EXPECT_NE(sql.find("from sales f"), std::string::npos);
+  EXPECT_NE(sql.find("join product p on p.pkey = f.pkey"), std::string::npos);
+  EXPECT_NE(sql.find("join store s on s.skey = f.skey"), std::string::npos);
+  EXPECT_NE(sql.find("where type = 'Fresh Fruit' and country = 'Italy'"),
+            std::string::npos);
+  EXPECT_NE(sql.find("group by product, country"), std::string::npos);
+  // The untouched Date dimension is not joined.
+  EXPECT_EQ(sql.find("join date"), std::string::npos);
+}
+
+TEST_F(SqlGenTest, GetWithoutPredicatesHasNoWhere) {
+  AnalyzedStatement a =
+      Must("with SALES by month assess sales labels quartiles");
+  std::string sql = *gen_.RenderGet(a.target);
+  EXPECT_EQ(sql.find("where"), std::string::npos);
+  EXPECT_NE(sql.find("join date d on d.dkey = f.dkey"), std::string::npos);
+}
+
+TEST_F(SqlGenTest, ApexQueryHasNoGroupBy) {
+  AnalyzedStatement a = Must("with SALES by month assess sales labels "
+                             "quartiles");
+  CubeQuery apex = a.target;
+  apex.group_by = GroupBySet(mini_.schema->hierarchy_count());
+  std::string sql = *gen_.RenderGet(apex);
+  EXPECT_EQ(sql.find("group by"), std::string::npos);
+}
+
+TEST_F(SqlGenTest, InAndBetweenRendering) {
+  AnalyzedStatement a = Must(
+      "with SALES for country in ('Italy', 'France'), "
+      "month between '1997-03' and '1997-06' "
+      "by product assess quantity labels quartiles");
+  std::string sql = *gen_.RenderGet(a.target);
+  EXPECT_NE(sql.find("country in ('Italy', 'France')"), std::string::npos);
+  EXPECT_NE(sql.find("month between '1997-03' and '1997-06'"),
+            std::string::npos);
+}
+
+TEST_F(SqlGenTest, JoinHasListing4Shape) {
+  AnalyzedStatement a = Must(
+      "with SALES for type = 'Fresh Fruit', country = 'Italy' "
+      "by product, country assess quantity against country = 'France' "
+      "labels quartiles");
+  std::string sql =
+      *gen_.RenderJoin(a.target, gen_, a.benchmark, a.join_levels, false);
+  EXPECT_NE(sql.find("select t1.product, t1.country, t1.quantity, "
+                     "t2.quantity as bc_quantity"),
+            std::string::npos);
+  EXPECT_NE(sql.find("country = 'Italy'"), std::string::npos);
+  EXPECT_NE(sql.find("country = 'France'"), std::string::npos);
+  EXPECT_NE(sql.find(") t1"), std::string::npos);
+  EXPECT_NE(sql.find(") t2"), std::string::npos);
+  EXPECT_NE(sql.find("on t1.product = t2.product"), std::string::npos);
+  EXPECT_EQ(sql.find("left join"), std::string::npos);
+}
+
+TEST_F(SqlGenTest, OuterJoinForAssessStar) {
+  AnalyzedStatement a = Must(
+      "with SALES for country = 'Italy' by product, country "
+      "assess* quantity against country = 'France' labels quartiles");
+  std::string sql =
+      *gen_.RenderJoin(a.target, gen_, a.benchmark, a.join_levels, true);
+  EXPECT_NE(sql.find("left join"), std::string::npos);
+}
+
+TEST_F(SqlGenTest, PivotHasListing5Shape) {
+  AnalyzedStatement a = Must(
+      "with SALES for type = 'Fresh Fruit', country = 'Italy' "
+      "by product, country assess quantity against country = 'France' "
+      "labels quartiles");
+  CubeQuery all = a.target;
+  for (Predicate& p : all.predicates) {
+    if (p.members == std::vector<std::string>{"Italy"}) {
+      p.op = PredicateOp::kIn;
+      p.members = {"Italy", "France"};
+    }
+  }
+  std::string sql =
+      *gen_.RenderPivot(all, "country", "Italy", {"France"}, true);
+  EXPECT_NE(sql.find("select 'Italy' as country, product, quantity, "
+                     "bc_quantity"),
+            std::string::npos);
+  EXPECT_NE(sql.find("country in ('Italy', 'France')"), std::string::npos);
+  EXPECT_NE(sql.find("pivot (sum(quantity) for country"), std::string::npos);
+  EXPECT_NE(sql.find("in ('Italy' as quantity, 'France' as bc_quantity)"),
+            std::string::npos);
+  EXPECT_NE(sql.find("where quantity is not null and bc_quantity is not "
+                     "null"),
+            std::string::npos);
+}
+
+TEST_F(SqlGenTest, PivotWithoutCompletenessFilter) {
+  AnalyzedStatement a = Must(
+      "with SALES for country = 'Italy' by product, country "
+      "assess quantity against country = 'France' labels quartiles");
+  std::string sql =
+      *gen_.RenderPivot(a.target, "country", "Italy", {"France"}, false);
+  EXPECT_EQ(sql.find("is not null"), std::string::npos);
+}
+
+TEST_F(SqlGenTest, PivotNumbersMultipleSlices) {
+  AnalyzedStatement a = Must(
+      "with SALES for month = '1997-07', store = 'SmartMart' "
+      "by month, store assess sales against past 2 labels quartiles");
+  std::string sql = *gen_.RenderPivot(a.benchmark, "month", "1997-06",
+                                      {"1997-04", "1997-05"}, true);
+  EXPECT_NE(sql.find("bc_sales_1"), std::string::npos);
+  EXPECT_NE(sql.find("bc_sales_2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace assess

@@ -1,0 +1,165 @@
+#include "test_util.h"
+
+namespace assess::testutil {
+
+namespace {
+
+struct FactSpec {
+  const char* date;
+  const char* product;
+  const char* store;
+  double quantity;
+  double sales;
+};
+
+// Fresh-fruit quantities reproduce Figure 1; milk sales give SmartMart the
+// monthly series 10, 20, 30, 40, 45 (OLS forecast for July: 50) and
+// PetitPrix 5, 10, 15, 20, 18 (forecast 25).
+constexpr FactSpec kFacts[] = {
+    {"1997-07-01", "Apple", "SmartMart", 60, 0},
+    {"1997-07-02", "Apple", "SmartMart", 40, 0},
+    {"1997-07-01", "Pear", "SmartMart", 90, 0},
+    {"1997-07-01", "Lemon", "SmartMart", 30, 0},
+    {"1997-07-01", "Apple", "PetitPrix", 150, 0},
+    {"1997-07-02", "Pear", "PetitPrix", 110, 0},
+    {"1997-07-01", "Lemon", "PetitPrix", 20, 0},
+    {"1997-03-15", "milk", "SmartMart", 0, 10},
+    {"1997-04-15", "milk", "SmartMart", 0, 20},
+    {"1997-05-15", "milk", "SmartMart", 0, 30},
+    {"1997-06-15", "milk", "SmartMart", 0, 40},
+    {"1997-07-15", "milk", "SmartMart", 0, 45},
+    {"1997-03-15", "milk", "PetitPrix", 0, 5},
+    {"1997-04-15", "milk", "PetitPrix", 0, 10},
+    {"1997-05-15", "milk", "PetitPrix", 0, 15},
+    {"1997-06-15", "milk", "PetitPrix", 0, 20},
+    {"1997-07-15", "milk", "PetitPrix", 0, 18},
+};
+
+struct ProductSpec {
+  const char* name;
+  const char* type;
+};
+constexpr ProductSpec kProducts[] = {
+    {"Apple", "Fresh Fruit"},
+    {"Pear", "Fresh Fruit"},
+    {"Lemon", "Fresh Fruit"},
+    {"milk", "Dairy"},
+};
+
+struct StoreSpec {
+  const char* name;
+  const char* country;
+};
+constexpr StoreSpec kStores[] = {
+    {"SmartMart", "Italy"},
+    {"PetitPrix", "France"},
+};
+
+constexpr const char* kDates[] = {
+    "1997-03-15", "1997-04-15", "1997-05-15", "1997-06-15",
+    "1997-07-01", "1997-07-02", "1997-07-15",
+};
+
+}  // namespace
+
+MiniDb BuildMiniSales() {
+  auto h_date = std::make_shared<Hierarchy>("Date");
+  h_date->set_temporal(true);
+  h_date->AddLevel("date");
+  h_date->AddLevel("month");
+  h_date->AddLevel("year");
+  DimensionTable dates("date", h_date);
+  for (const char* date : kDates) {
+    std::string name(date);
+    MemberId year = h_date->AddMember(2, name.substr(0, 4));
+    MemberId month = h_date->AddMember(1, name.substr(0, 7));
+    h_date->SetParent(1, month, year);
+    MemberId day = h_date->AddMember(0, name);
+    h_date->SetParent(0, day, month);
+    dates.AddRow({day, month, year});
+  }
+
+  auto h_product = std::make_shared<Hierarchy>("Product");
+  h_product->AddLevel("product");
+  h_product->AddLevel("type");
+  DimensionTable products("product", h_product);
+  for (const ProductSpec& p : kProducts) {
+    MemberId type = h_product->AddMember(1, p.type);
+    MemberId product = h_product->AddMember(0, p.name);
+    h_product->SetParent(0, product, type);
+    products.AddRow({product, type});
+  }
+
+  auto h_store = std::make_shared<Hierarchy>("Store");
+  h_store->AddLevel("store");
+  h_store->AddLevel("country");
+  DimensionTable stores("store", h_store);
+  for (const StoreSpec& s : kStores) {
+    MemberId country = h_store->AddMember(1, s.country);
+    MemberId store = h_store->AddMember(0, s.name);
+    h_store->SetParent(0, store, country);
+    stores.AddRow({store, country});
+  }
+
+  // Country populations (exact round numbers for per-capita assertions).
+  h_store->SetProperty(1, "population", "Italy", 60.0);
+  h_store->SetProperty(1, "population", "France", 70.0);
+
+  auto schema = std::make_shared<CubeSchema>("SALES");
+  schema->AddHierarchy(h_date);
+  schema->AddHierarchy(h_product);
+  schema->AddHierarchy(h_store);
+  schema->AddMeasure({"quantity", AggOp::kSum});
+  schema->AddMeasure({"sales", AggOp::kSum});
+
+  FactTable facts("SALES", 3, 2);
+  for (const FactSpec& f : kFacts) {
+    int32_t d = *h_date->MemberIdOf(0, f.date);
+    int32_t p = *h_product->MemberIdOf(0, f.product);
+    int32_t s = *h_store->MemberIdOf(0, f.store);
+    facts.AddRow({d, p, s}, {f.quantity, f.sales});
+  }
+
+  MiniDb out;
+  out.schema = schema;
+  out.db = std::make_unique<StarDatabase>();
+  std::vector<DimensionTable> dims = {dates, products, stores};
+  auto bound =
+      std::make_unique<BoundCube>(schema, std::move(dims), std::move(facts));
+  Status st = bound->Validate();
+  (void)st;
+  Status reg = out.db->Register("SALES", std::move(bound));
+  (void)reg;
+  return out;
+}
+
+std::map<std::vector<std::string>, double> CellMap(
+    const Cube& cube, const std::string& measure) {
+  std::map<std::vector<std::string>, double> out;
+  Result<int> idx = cube.MeasureIndex(measure);
+  if (!idx.ok()) return out;
+  for (int64_t r = 0; r < cube.NumRows(); ++r) {
+    std::vector<std::string> coord;
+    coord.reserve(cube.level_count());
+    for (int i = 0; i < cube.level_count(); ++i) {
+      coord.push_back(cube.CoordName(r, i));
+    }
+    out[coord] = cube.MeasureAt(r, *idx);
+  }
+  return out;
+}
+
+std::map<std::vector<std::string>, std::string> LabelMap(const Cube& cube) {
+  std::map<std::vector<std::string>, std::string> out;
+  for (int64_t r = 0; r < cube.NumRows(); ++r) {
+    std::vector<std::string> coord;
+    coord.reserve(cube.level_count());
+    for (int i = 0; i < cube.level_count(); ++i) {
+      coord.push_back(cube.CoordName(r, i));
+    }
+    out[coord] = cube.labels().empty() ? "" : cube.labels()[r];
+  }
+  return out;
+}
+
+}  // namespace assess::testutil

@@ -1,0 +1,51 @@
+#ifndef ASSESS_TESTS_TEST_UTIL_H_
+#define ASSESS_TESTS_TEST_UTIL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "assess/result_set.h"
+#include "olap/cube.h"
+#include "storage/star_schema.h"
+
+namespace assess::testutil {
+
+/// A small, fully deterministic SALES-like database whose aggregates are
+/// laid out by hand, so tests can assert exact values. It reproduces the
+/// running example of the paper:
+///
+///  - Fresh-fruit quantities match Figure 1 exactly:
+///      Italy:  Apple 100, Pear 90, Lemon 30
+///      France: Apple 150, Pear 110, Lemon 20
+///  - SmartMart monthly sales 1997-03..07 are 10, 20, 30, 40, 45, so the
+///    OLS forecast for 1997-07 from the previous four months is exactly 50.
+///
+/// Schema: Date (date >= month >= year, temporal), Product (product >=
+/// type), Store (store >= country); measures quantity and sales (sums).
+struct MiniDb {
+  std::unique_ptr<StarDatabase> db;
+  std::shared_ptr<CubeSchema> schema;
+};
+
+MiniDb BuildMiniSales();
+
+/// Map from coordinate (member names, in axis order) to one measure's value;
+/// order-independent cube comparison.
+std::map<std::vector<std::string>, double> CellMap(const Cube& cube,
+                                                   const std::string& measure);
+
+/// Map from coordinate to label.
+std::map<std::vector<std::string>, std::string> LabelMap(const Cube& cube);
+
+/// Coordinate literal usable inside gtest macros (braced initializers split
+/// macro arguments): CellMap(...)[K("Apple", "Italy")].
+template <typename... Args>
+std::vector<std::string> K(Args&&... args) {
+  return {std::string(std::forward<Args>(args))...};
+}
+
+}  // namespace assess::testutil
+
+#endif  // ASSESS_TESTS_TEST_UTIL_H_
