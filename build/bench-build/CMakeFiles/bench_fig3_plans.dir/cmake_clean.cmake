@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_plans"
+  "../bench/bench_fig3_plans.pdb"
+  "CMakeFiles/bench_fig3_plans.dir/bench_fig3_plans.cc.o"
+  "CMakeFiles/bench_fig3_plans.dir/bench_fig3_plans.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_plans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_formulation"
+  "../bench/bench_table1_formulation.pdb"
+  "CMakeFiles/bench_table1_formulation.dir/bench_table1_formulation.cc.o"
+  "CMakeFiles/bench_table1_formulation.dir/bench_table1_formulation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_formulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_cardinality"
+  "../bench/bench_table2_cardinality.pdb"
+  "CMakeFiles/bench_table2_cardinality.dir/bench_table2_cardinality.cc.o"
+  "CMakeFiles/bench_table2_cardinality.dir/bench_table2_cardinality.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_cardinality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

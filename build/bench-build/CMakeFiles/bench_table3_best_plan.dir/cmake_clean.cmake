@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_best_plan"
+  "../bench/bench_table3_best_plan.pdb"
+  "CMakeFiles/bench_table3_best_plan.dir/bench_table3_best_plan.cc.o"
+  "CMakeFiles/bench_table3_best_plan.dir/bench_table3_best_plan.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_best_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

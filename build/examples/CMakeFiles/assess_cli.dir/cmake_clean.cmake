@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assess_cli.dir/assess_cli.cpp.o"
+  "CMakeFiles/assess_cli.dir/assess_cli.cpp.o.d"
+  "assess_cli"
+  "assess_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assess_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

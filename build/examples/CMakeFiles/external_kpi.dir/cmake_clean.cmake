@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/external_kpi.dir/external_kpi.cpp.o"
+  "CMakeFiles/external_kpi.dir/external_kpi.cpp.o.d"
+  "external_kpi"
+  "external_kpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/external_kpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/past_forecast.dir/past_forecast.cpp.o"
+  "CMakeFiles/past_forecast.dir/past_forecast.cpp.o.d"
+  "past_forecast"
+  "past_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/past_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rollup_share.dir/rollup_share.cpp.o"
+  "CMakeFiles/rollup_share.dir/rollup_share.cpp.o.d"
+  "rollup_share"
+  "rollup_share.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rollup_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

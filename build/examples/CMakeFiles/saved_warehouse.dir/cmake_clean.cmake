@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saved_warehouse.dir/saved_warehouse.cpp.o"
+  "CMakeFiles/saved_warehouse.dir/saved_warehouse.cpp.o.d"
+  "saved_warehouse"
+  "saved_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saved_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sibling_analysis.dir/sibling_analysis.cpp.o"
+  "CMakeFiles/sibling_analysis.dir/sibling_analysis.cpp.o.d"
+  "sibling_analysis"
+  "sibling_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sibling_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

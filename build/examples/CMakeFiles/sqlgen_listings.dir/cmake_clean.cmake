@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlgen_listings.dir/sqlgen_listings.cpp.o"
+  "CMakeFiles/sqlgen_listings.dir/sqlgen_listings.cpp.o.d"
+  "sqlgen_listings"
+  "sqlgen_listings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlgen_listings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/operators.cc" "src/CMakeFiles/assess.dir/algebra/operators.cc.o" "gcc" "src/CMakeFiles/assess.dir/algebra/operators.cc.o.d"
+  "/root/repo/src/assess/analyzer.cc" "src/CMakeFiles/assess.dir/assess/analyzer.cc.o" "gcc" "src/CMakeFiles/assess.dir/assess/analyzer.cc.o.d"
+  "/root/repo/src/assess/ast.cc" "src/CMakeFiles/assess.dir/assess/ast.cc.o" "gcc" "src/CMakeFiles/assess.dir/assess/ast.cc.o.d"
+  "/root/repo/src/assess/cost_model.cc" "src/CMakeFiles/assess.dir/assess/cost_model.cc.o" "gcc" "src/CMakeFiles/assess.dir/assess/cost_model.cc.o.d"
+  "/root/repo/src/assess/effort.cc" "src/CMakeFiles/assess.dir/assess/effort.cc.o" "gcc" "src/CMakeFiles/assess.dir/assess/effort.cc.o.d"
+  "/root/repo/src/assess/executor.cc" "src/CMakeFiles/assess.dir/assess/executor.cc.o" "gcc" "src/CMakeFiles/assess.dir/assess/executor.cc.o.d"
+  "/root/repo/src/assess/lexer.cc" "src/CMakeFiles/assess.dir/assess/lexer.cc.o" "gcc" "src/CMakeFiles/assess.dir/assess/lexer.cc.o.d"
+  "/root/repo/src/assess/parser.cc" "src/CMakeFiles/assess.dir/assess/parser.cc.o" "gcc" "src/CMakeFiles/assess.dir/assess/parser.cc.o.d"
+  "/root/repo/src/assess/planner.cc" "src/CMakeFiles/assess.dir/assess/planner.cc.o" "gcc" "src/CMakeFiles/assess.dir/assess/planner.cc.o.d"
+  "/root/repo/src/assess/python_codegen.cc" "src/CMakeFiles/assess.dir/assess/python_codegen.cc.o" "gcc" "src/CMakeFiles/assess.dir/assess/python_codegen.cc.o.d"
+  "/root/repo/src/assess/result_set.cc" "src/CMakeFiles/assess.dir/assess/result_set.cc.o" "gcc" "src/CMakeFiles/assess.dir/assess/result_set.cc.o.d"
+  "/root/repo/src/assess/suggest.cc" "src/CMakeFiles/assess.dir/assess/suggest.cc.o" "gcc" "src/CMakeFiles/assess.dir/assess/suggest.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/assess.dir/common/status.cc.o" "gcc" "src/CMakeFiles/assess.dir/common/status.cc.o.d"
+  "/root/repo/src/common/str_util.cc" "src/CMakeFiles/assess.dir/common/str_util.cc.o" "gcc" "src/CMakeFiles/assess.dir/common/str_util.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/assess.dir/common/value.cc.o" "gcc" "src/CMakeFiles/assess.dir/common/value.cc.o.d"
+  "/root/repo/src/forecast/forecast.cc" "src/CMakeFiles/assess.dir/forecast/forecast.cc.o" "gcc" "src/CMakeFiles/assess.dir/forecast/forecast.cc.o.d"
+  "/root/repo/src/functions/builtin_functions.cc" "src/CMakeFiles/assess.dir/functions/builtin_functions.cc.o" "gcc" "src/CMakeFiles/assess.dir/functions/builtin_functions.cc.o.d"
+  "/root/repo/src/functions/expression.cc" "src/CMakeFiles/assess.dir/functions/expression.cc.o" "gcc" "src/CMakeFiles/assess.dir/functions/expression.cc.o.d"
+  "/root/repo/src/functions/function_registry.cc" "src/CMakeFiles/assess.dir/functions/function_registry.cc.o" "gcc" "src/CMakeFiles/assess.dir/functions/function_registry.cc.o.d"
+  "/root/repo/src/labeling/distribution_labeling.cc" "src/CMakeFiles/assess.dir/labeling/distribution_labeling.cc.o" "gcc" "src/CMakeFiles/assess.dir/labeling/distribution_labeling.cc.o.d"
+  "/root/repo/src/labeling/kmeans_labeling.cc" "src/CMakeFiles/assess.dir/labeling/kmeans_labeling.cc.o" "gcc" "src/CMakeFiles/assess.dir/labeling/kmeans_labeling.cc.o.d"
+  "/root/repo/src/labeling/label_function.cc" "src/CMakeFiles/assess.dir/labeling/label_function.cc.o" "gcc" "src/CMakeFiles/assess.dir/labeling/label_function.cc.o.d"
+  "/root/repo/src/labeling/range_labeling.cc" "src/CMakeFiles/assess.dir/labeling/range_labeling.cc.o" "gcc" "src/CMakeFiles/assess.dir/labeling/range_labeling.cc.o.d"
+  "/root/repo/src/olap/cube.cc" "src/CMakeFiles/assess.dir/olap/cube.cc.o" "gcc" "src/CMakeFiles/assess.dir/olap/cube.cc.o.d"
+  "/root/repo/src/olap/cube_query.cc" "src/CMakeFiles/assess.dir/olap/cube_query.cc.o" "gcc" "src/CMakeFiles/assess.dir/olap/cube_query.cc.o.d"
+  "/root/repo/src/olap/cube_schema.cc" "src/CMakeFiles/assess.dir/olap/cube_schema.cc.o" "gcc" "src/CMakeFiles/assess.dir/olap/cube_schema.cc.o.d"
+  "/root/repo/src/olap/group_by_set.cc" "src/CMakeFiles/assess.dir/olap/group_by_set.cc.o" "gcc" "src/CMakeFiles/assess.dir/olap/group_by_set.cc.o.d"
+  "/root/repo/src/olap/hierarchy.cc" "src/CMakeFiles/assess.dir/olap/hierarchy.cc.o" "gcc" "src/CMakeFiles/assess.dir/olap/hierarchy.cc.o.d"
+  "/root/repo/src/sqlgen/sql_generator.cc" "src/CMakeFiles/assess.dir/sqlgen/sql_generator.cc.o" "gcc" "src/CMakeFiles/assess.dir/sqlgen/sql_generator.cc.o.d"
+  "/root/repo/src/ssb/sales_generator.cc" "src/CMakeFiles/assess.dir/ssb/sales_generator.cc.o" "gcc" "src/CMakeFiles/assess.dir/ssb/sales_generator.cc.o.d"
+  "/root/repo/src/ssb/ssb_generator.cc" "src/CMakeFiles/assess.dir/ssb/ssb_generator.cc.o" "gcc" "src/CMakeFiles/assess.dir/ssb/ssb_generator.cc.o.d"
+  "/root/repo/src/ssb/workload.cc" "src/CMakeFiles/assess.dir/ssb/workload.cc.o" "gcc" "src/CMakeFiles/assess.dir/ssb/workload.cc.o.d"
+  "/root/repo/src/storage/database_io.cc" "src/CMakeFiles/assess.dir/storage/database_io.cc.o" "gcc" "src/CMakeFiles/assess.dir/storage/database_io.cc.o.d"
+  "/root/repo/src/storage/materialized_view.cc" "src/CMakeFiles/assess.dir/storage/materialized_view.cc.o" "gcc" "src/CMakeFiles/assess.dir/storage/materialized_view.cc.o.d"
+  "/root/repo/src/storage/predicate.cc" "src/CMakeFiles/assess.dir/storage/predicate.cc.o" "gcc" "src/CMakeFiles/assess.dir/storage/predicate.cc.o.d"
+  "/root/repo/src/storage/star_query_engine.cc" "src/CMakeFiles/assess.dir/storage/star_query_engine.cc.o" "gcc" "src/CMakeFiles/assess.dir/storage/star_query_engine.cc.o.d"
+  "/root/repo/src/storage/star_schema.cc" "src/CMakeFiles/assess.dir/storage/star_schema.cc.o" "gcc" "src/CMakeFiles/assess.dir/storage/star_schema.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/assess.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/assess.dir/storage/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assess_test_util.dir/test_util.cc.o"
+  "CMakeFiles/assess_test_util.dir/test_util.cc.o.d"
+  "libassess_test_util.a"
+  "libassess_test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assess_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

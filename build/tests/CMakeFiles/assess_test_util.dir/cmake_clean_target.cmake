@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libassess_test_util.a"
+)

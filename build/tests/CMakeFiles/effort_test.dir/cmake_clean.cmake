@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/effort_test.dir/effort_test.cc.o"
+  "CMakeFiles/effort_test.dir/effort_test.cc.o.d"
+  "effort_test"
+  "effort_test.pdb"
+  "effort_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/effort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

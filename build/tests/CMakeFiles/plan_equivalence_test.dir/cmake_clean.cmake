@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_equivalence_test.dir/plan_equivalence_test.cc.o"
+  "CMakeFiles/plan_equivalence_test.dir/plan_equivalence_test.cc.o.d"
+  "plan_equivalence_test"
+  "plan_equivalence_test.pdb"
+  "plan_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

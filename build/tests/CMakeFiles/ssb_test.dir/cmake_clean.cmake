@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssb_test.dir/ssb_test.cc.o"
+  "CMakeFiles/ssb_test.dir/ssb_test.cc.o.d"
+  "ssb_test"
+  "ssb_test.pdb"
+  "ssb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

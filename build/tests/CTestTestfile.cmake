@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/hierarchy_test[1]_include.cmake")
+include("/root/repo/build/tests/group_by_set_test[1]_include.cmake")
+include("/root/repo/build/tests/cube_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/algebra_test[1]_include.cmake")
+include("/root/repo/build/tests/functions_test[1]_include.cmake")
+include("/root/repo/build/tests/labeling_test[1]_include.cmake")
+include("/root/repo/build/tests/forecast_test[1]_include.cmake")
+include("/root/repo/build/tests/lexer_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/analyzer_test[1]_include.cmake")
+include("/root/repo/build/tests/sqlgen_test[1]_include.cmake")
+include("/root/repo/build/tests/executor_test[1]_include.cmake")
+include("/root/repo/build/tests/session_test[1]_include.cmake")
+include("/root/repo/build/tests/plan_equivalence_test[1]_include.cmake")
+include("/root/repo/build/tests/effort_test[1]_include.cmake")
+include("/root/repo/build/tests/ssb_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/cost_model_test[1]_include.cmake")
+include("/root/repo/build/tests/persistence_test[1]_include.cmake")
+include("/root/repo/build/tests/suggest_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
