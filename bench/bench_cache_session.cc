@@ -1,0 +1,141 @@
+// Measures the semantic result cache across assess sessions: a cold session
+// executes the SSB workload against an empty shared cache, then a warm
+// session replays it (plus a drill-out variant answered purely by
+// subsumption) against the same cache. Reports per-statement cold/warm wall
+// times and the cache counters, and writes BENCH_cache.json for the
+// regression record. The warm replay must show exact + subsumption hits > 0
+// and a wall-time speedup.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "cache/cube_cache.h"
+
+int main() {
+  using namespace assess;
+  using namespace assess::bench;
+
+  double sf = BaseScaleFactorFromEnv(0.02);
+  int reps = RepsFromEnv(1);
+  auto db = BuildScale({"SSB", sf});
+
+  // The four workload intentions, plus a sibling comparison at nation
+  // granularity whose warm counterpart drills out to region: the region
+  // statement's gets are answerable only by re-aggregating the cached
+  // nation-level cubes (a subsumption hit, never an exact hit).
+  std::vector<WorkloadStatement> cold = SsbWorkload();
+  cold.push_back(
+      {"DrillNation",
+       "with SSB for s_region = 'ASIA' by c_nation, s_region "
+       "assess quantity against s_region = 'AMERICA' "
+       "using difference(quantity, benchmark.quantity) labels quartiles"});
+  std::vector<WorkloadStatement> warm = cold;
+  warm.push_back(
+      {"DrillRegion",
+       "with SSB for s_region = 'ASIA' by c_region, s_region "
+       "assess quantity against s_region = 'AMERICA' "
+       "using difference(quantity, benchmark.quantity) labels quartiles"});
+
+  ExecutorOptions options;
+  options.shared_cache = std::make_shared<CubeResultCache>(options.cache);
+
+  auto run = [&](const AssessSession& session, const WorkloadStatement& stmt,
+                 int n) {
+    double total = 0.0;
+    for (int r = 0; r < n; ++r) {
+      Stopwatch watch;
+      auto result = session.Query(stmt.text);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s failed: %s\n", stmt.name.c_str(),
+                     result.status().ToString().c_str());
+        std::exit(1);
+      }
+      total += watch.ElapsedSeconds();
+    }
+    return total / n;
+  };
+
+  std::printf(
+      "Result cache, cross-session reuse (SF %.3g, %d warm rep(s) "
+      "averaged)\n\n%-12s %10s %10s %8s\n",
+      sf, reps, "statement", "cold(s)", "warm(s)", "speedup");
+
+  AssessSession cold_session(db.get(), options);
+  AssessSession warm_session(db.get(), options);
+  double cold_total = 0.0, warm_total = 0.0;
+  for (size_t i = 0; i < warm.size(); ++i) {
+    // DrillRegion has no cold counterpart: its cold time is a fresh scan in
+    // the cold session, its warm time a subsumption rewrite in the warm one.
+    double cold_s = i < cold.size()
+                        ? run(cold_session, warm[i], 1)
+                        : run(AssessSession(db.get(), ExecutorOptions{}),
+                              warm[i], 1);
+    double warm_s = run(warm_session, warm[i], reps);
+    cold_total += cold_s;
+    warm_total += warm_s;
+    std::printf("%-12s %10.4f %10.4f %7.1fx\n", warm[i].name.c_str(), cold_s,
+                warm_s, cold_s / warm_s);
+  }
+
+  CacheStats stats = warm_session.cache_stats();
+  double hit_rate =
+      stats.lookups > 0 ? static_cast<double>(stats.hits()) / stats.lookups
+                        : 0.0;
+  double speedup = warm_total > 0.0 ? cold_total / warm_total : 0.0;
+  std::printf(
+      "\ntotal        %10.4f %10.4f %7.1fx\n\n"
+      "cache: %llu lookups, %llu exact hits, %llu subsumption hits, "
+      "%llu misses (hit rate %.1f%%)\n"
+      "       %llu insertions, %llu evictions, %llu entries, "
+      "%.1f MiB resident (budget %.1f MiB)\n",
+      cold_total, warm_total, speedup,
+      static_cast<unsigned long long>(stats.lookups),
+      static_cast<unsigned long long>(stats.exact_hits),
+      static_cast<unsigned long long>(stats.subsumption_hits),
+      static_cast<unsigned long long>(stats.misses), 100.0 * hit_rate,
+      static_cast<unsigned long long>(stats.insertions),
+      static_cast<unsigned long long>(stats.evictions),
+      static_cast<unsigned long long>(stats.entries),
+      stats.bytes_resident / (1024.0 * 1024.0),
+      options.shared_cache->budget_bytes() / (1024.0 * 1024.0));
+
+  std::FILE* json = std::fopen("BENCH_cache.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_cache.json\n");
+    return 1;
+  }
+  std::fprintf(
+      json,
+      "{\n"
+      "  \"scale_factor\": %.6g,\n"
+      "  \"cold_seconds\": %.6f,\n"
+      "  \"warm_seconds\": %.6f,\n"
+      "  \"speedup\": %.3f,\n"
+      "  \"lookups\": %llu,\n"
+      "  \"exact_hits\": %llu,\n"
+      "  \"subsumption_hits\": %llu,\n"
+      "  \"misses\": %llu,\n"
+      "  \"hit_rate\": %.4f,\n"
+      "  \"evictions\": %llu,\n"
+      "  \"bytes_resident\": %llu\n"
+      "}\n",
+      sf, cold_total, warm_total, speedup,
+      static_cast<unsigned long long>(stats.lookups),
+      static_cast<unsigned long long>(stats.exact_hits),
+      static_cast<unsigned long long>(stats.subsumption_hits),
+      static_cast<unsigned long long>(stats.misses), hit_rate,
+      static_cast<unsigned long long>(stats.evictions),
+      static_cast<unsigned long long>(stats.bytes_resident));
+  std::fclose(json);
+  std::printf("\nwrote BENCH_cache.json\n");
+
+  bool ok = stats.hits() > 0 && stats.subsumption_hits > 0 &&
+            warm_total < cold_total;
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: expected warm hits and warm < cold\n");
+    return 1;
+  }
+  return 0;
+}

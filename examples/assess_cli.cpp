@@ -32,7 +32,7 @@ void PrintHelp() {
     labels {[0, 0.9): bad, [0.9, 1.1]: acceptable, (1.1, inf): good}
 Meta commands: \plan NP|JOP|POP, \explain <stmt>, \sql <stmt>,
                \rank <stmt>, \csv <stmt>, \suggest <partial stmt>,
-               \functions, \labelings, \help, \quit
+               \functions, \labelings, \cache, \help, \quit
 )";
 }
 
@@ -91,6 +91,16 @@ int main(int argc, char** argv) {
         for (const std::string& name : session.labelings()->Names()) {
           std::cout << "  " << name << "\n";
         }
+        continue;
+      }
+      if (input == "\\cache") {
+        assess::CacheStats stats = session.cache_stats();
+        std::cout << "  lookups " << stats.lookups << ", exact hits "
+                  << stats.exact_hits << ", subsumption hits "
+                  << stats.subsumption_hits << ", misses " << stats.misses
+                  << "\n  insertions " << stats.insertions << ", evictions "
+                  << stats.evictions << ", entries " << stats.entries
+                  << ", resident " << stats.bytes_resident << " bytes\n";
         continue;
       }
       if (assess::StartsWith(input, "\\plan")) {

@@ -12,6 +12,13 @@
 
 namespace assess {
 
+/// \brief Engine configuration as seen from the interactive front-ends:
+/// views on, one aggregation worker per hardware thread (override
+/// `threads` explicitly, e.g. to 1, for deterministic serial tests), and
+/// the semantic result cache on. Pass `shared_cache` to pool warm results
+/// across several executors/sessions over the same database.
+using ExecutorOptions = EngineOptions;
+
 /// \brief Executes analyzed assess statements under a chosen plan.
 ///
 /// The executor realizes the client/server split of the paper's prototype:
@@ -23,8 +30,12 @@ namespace assess {
 class Executor {
  public:
   Executor(const StarDatabase* db, const FunctionRegistry* functions,
+           ExecutorOptions options)
+      : db_(db), functions_(functions), engine_(db, options) {}
+
+  Executor(const StarDatabase* db, const FunctionRegistry* functions,
            bool use_views = true)
-      : db_(db), functions_(functions), engine_(db, use_views) {}
+      : Executor(db, functions, WithViews(use_views)) {}
 
   /// \brief Runs `analyzed` with plan `plan` (must be feasible for the
   /// statement's benchmark type).
@@ -34,6 +45,12 @@ class Executor {
   const StarQueryEngine& engine() const { return engine_; }
 
  private:
+  static ExecutorOptions WithViews(bool use_views) {
+    ExecutorOptions options;
+    options.use_views = use_views;
+    return options;
+  }
+
   Result<AssessResult> ExecuteConstant(const AnalyzedStatement& analyzed) const;
   /// NP/JOP for every join-based benchmark (external, sibling, ancestor).
   Result<AssessResult> ExecuteViaJoin(const AnalyzedStatement& analyzed,

@@ -34,16 +34,34 @@ enum class PlanSelection {
 /// predeclared labelings (e.g. "5stars") before querying.
 class AssessSession {
  public:
-  explicit AssessSession(const StarDatabase* db, bool use_views = true)
+  /// \brief Configured construction: `options` controls views, aggregation
+  /// threads (default: one per hardware thread) and the semantic result
+  /// cache (default: on; see EngineOptions). To share a warm cache across
+  /// sessions, pass the same `options.shared_cache` to each.
+  AssessSession(const StarDatabase* db, const ExecutorOptions& options)
       : db_(db),
         functions_(FunctionRegistry::Default()),
         labelings_(LabelingRegistry::Default()),
-        executor_(db, &functions_, use_views) {}
+        executor_(db, &functions_, options) {}
+
+  explicit AssessSession(const StarDatabase* db, bool use_views = true)
+      : AssessSession(db, [use_views] {
+          ExecutorOptions options;
+          options.use_views = use_views;
+          return options;
+        }()) {}
 
   FunctionRegistry* functions() { return &functions_; }
   LabelingRegistry* labelings() { return &labelings_; }
   AnalyzerOptions* options() { return &options_; }
   const Executor& executor() const { return executor_; }
+
+  /// \brief The engine's result cache (nullptr when disabled) and its
+  /// counters, for monitoring interactive sessions.
+  const std::shared_ptr<CubeResultCache>& result_cache() const {
+    return executor_.engine().result_cache();
+  }
+  CacheStats cache_stats() const { return executor_.engine().cache_stats(); }
 
   void set_plan_selection(PlanSelection selection) {
     plan_selection_ = selection;

@@ -1,0 +1,149 @@
+#include "cache/cube_cache.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_set>
+
+#include "storage/materialized_view.h"
+
+namespace assess {
+
+CubeResultCache::CubeResultCache(CacheOptions options)
+    : budget_bytes_(options.budget_bytes),
+      shards_(std::max(options.shards, 1)) {
+  shard_budget_ = budget_bytes_ / shards_.size();
+}
+
+CubeResultCache::Shard& CubeResultCache::ShardFor(const std::string& key) {
+  return shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+std::optional<Cube> CubeResultCache::FindExact(const std::string& key) {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) return std::nullopt;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  exact_hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->cube;
+}
+
+std::optional<CubeResultCache::Snapshot> CubeResultCache::FindSubsuming(
+    const CubeSchema& schema, const CanonicalQuery& want) {
+  std::optional<Snapshot> best;
+  int64_t best_rows = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto it = shard.lru.begin(); it != shard.lru.end(); ++it) {
+      if (!EntryAnswersQuery(schema, want, it->query)) continue;
+      int64_t rows = it->cube.NumRows();
+      if (best && rows >= best_rows) continue;
+      best = Snapshot{it->query, it->cube};
+      best_rows = rows;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it);
+    }
+  }
+  if (best) {
+    subsumption_hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return best;
+}
+
+void CubeResultCache::Insert(const std::string& key, CanonicalQuery query,
+                             const Cube& cube) {
+  size_t bytes = EstimateCubeBytes(cube) + key.size() + sizeof(Entry);
+  if (bytes > shard_budget_) return;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    shard.bytes -= it->second->bytes;
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+  }
+  shard.lru.push_front(Entry{key, std::move(query), cube, bytes});
+  shard.index[key] = shard.lru.begin();
+  shard.bytes += bytes;
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  while (shard.bytes > shard_budget_ && shard.lru.size() > 1) {
+    Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void CubeResultCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.lru.clear();
+    shard.index.clear();
+    shard.bytes = 0;
+  }
+}
+
+CacheStats CubeResultCache::stats() const {
+  CacheStats stats;
+  stats.lookups = lookups_.load(std::memory_order_relaxed);
+  stats.exact_hits = exact_hits_.load(std::memory_order_relaxed);
+  stats.subsumption_hits = subsumption_hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.insertions = insertions_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    stats.bytes_resident += shard.bytes;
+    stats.entries += shard.lru.size();
+  }
+  return stats;
+}
+
+bool EntryAnswersQuery(const CubeSchema& schema, const CanonicalQuery& want,
+                       const CanonicalQuery& entry) {
+  if (want.cube_name != entry.cube_name) return false;
+  // Requested measures must all be present in the entry's result.
+  if (!std::includes(entry.measures.begin(), entry.measures.end(),
+                     want.measures.begin(), want.measures.end())) {
+    return false;
+  }
+  // The entry's predicate conjunction must be implied by the request's:
+  // every entry predicate appears canonically in the request, so the
+  // entry's rows are a superset of the rows the request needs.
+  std::unordered_set<std::string> want_keys;
+  for (const Predicate& p : want.predicates) want_keys.insert(PredicateKey(p));
+  std::unordered_set<std::string> entry_keys;
+  for (const Predicate& p : entry.predicates) {
+    const std::string key = PredicateKey(p);
+    if (!want_keys.count(key)) return false;
+    entry_keys.insert(key);
+  }
+  // The residual request (its group-by plus the extra predicates the entry
+  // has not already applied) must be answerable by rolling the entry up —
+  // the same rule that decides whether a materialized view answers a query.
+  CubeQuery residual;
+  residual.cube_name = want.cube_name;
+  residual.group_by = want.group_by;
+  residual.measures = want.measures;
+  for (const Predicate& p : want.predicates) {
+    if (!entry_keys.count(PredicateKey(p))) residual.predicates.push_back(p);
+  }
+  return RollupAnswersQuery(schema, residual, entry.group_by);
+}
+
+size_t EstimateCubeBytes(const Cube& cube) {
+  size_t bytes = 0;
+  const size_t rows = static_cast<size_t>(cube.NumRows());
+  bytes += static_cast<size_t>(cube.level_count()) * rows * sizeof(MemberId);
+  bytes += static_cast<size_t>(cube.measure_count()) * rows * sizeof(double);
+  for (int m = 0; m < cube.measure_count(); ++m) {
+    bytes += cube.measure_name(m).size() + sizeof(std::string);
+  }
+  bytes += static_cast<size_t>(cube.level_count()) * sizeof(LevelRef);
+  return bytes;
+}
+
+}  // namespace assess

@@ -1,0 +1,135 @@
+#ifndef ASSESS_CACHE_CUBE_CACHE_H_
+#define ASSESS_CACHE_CUBE_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/query_fingerprint.h"
+#include "olap/cube.h"
+#include "olap/cube_schema.h"
+
+namespace assess {
+
+/// \brief Sizing knobs of the result cache.
+struct CacheOptions {
+  /// Total byte budget across all shards; LRU entries are evicted past it.
+  size_t budget_bytes = size_t{64} << 20;
+  /// Number of independently locked shards (clamped to >= 1). Keys are
+  /// distributed by fingerprint hash, so concurrent sessions rarely contend.
+  int shards = 8;
+};
+
+/// \brief Monotonic counters and residency gauges of the cache, readable at
+/// any time (each counter is an independent atomic, so a snapshot taken
+/// under concurrent traffic is per-field accurate but not globally atomic).
+struct CacheStats {
+  uint64_t lookups = 0;            ///< Execute() calls that consulted the cache
+  uint64_t exact_hits = 0;         ///< answered by fingerprint identity
+  uint64_t subsumption_hits = 0;   ///< answered by re-aggregating a finer entry
+  uint64_t misses = 0;             ///< fell through to the engine scan
+  uint64_t insertions = 0;         ///< entries stored (replacements included)
+  uint64_t evictions = 0;          ///< entries dropped by the byte budget
+  size_t bytes_resident = 0;       ///< estimated bytes currently held
+  size_t entries = 0;              ///< entries currently held
+
+  uint64_t hits() const { return exact_hits + subsumption_hits; }
+};
+
+/// \brief A sharded, thread-safe, byte-budgeted LRU cache of cube-query
+/// results: the dynamic generalization of the static materialized views in
+/// storage/materialized_view.h. Entries are keyed by canonical query
+/// fingerprint; lookups either match exactly or find a finer-grained entry
+/// whose result subsumes the request (see EntryAnswersQuery) for
+/// client-side re-aggregation.
+///
+/// The cache assumes the underlying StarDatabase fact data is immutable, as
+/// everywhere else in the engine; call Clear() after mutating fact tables.
+class CubeResultCache {
+ public:
+  explicit CubeResultCache(CacheOptions options = {});
+
+  /// A copied-out cache entry: the canonical query it answers plus its
+  /// result cube (measure columns named with schema measure names).
+  struct Snapshot {
+    CanonicalQuery query;
+    Cube cube;
+  };
+
+  /// \brief Exact lookup by fingerprint key. Counts a lookup; on hit the
+  /// entry is bumped to most-recently-used and its cube copied out.
+  std::optional<Cube> FindExact(const std::string& key);
+
+  /// \brief Subsumption lookup: among entries on `want.cube_name`, returns
+  /// a copy of the smallest (fewest rows) entry that answers `want` per
+  /// EntryAnswersQuery, or nullopt. Call after FindExact missed; counts the
+  /// subsumption hit or the overall miss.
+  std::optional<Snapshot> FindSubsuming(const CubeSchema& schema,
+                                        const CanonicalQuery& want);
+
+  /// \brief Stores `cube` as the result of `query` under `key`, replacing
+  /// any previous entry, then evicts least-recently-used entries until the
+  /// shard is back under budget. Entries bigger than a whole shard's budget
+  /// are not stored (they would only thrash the LRU list).
+  void Insert(const std::string& key, CanonicalQuery query, const Cube& cube);
+
+  /// \brief Drops every entry (required after mutating fact data).
+  void Clear();
+
+  CacheStats stats() const;
+
+  size_t budget_bytes() const { return budget_bytes_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    CanonicalQuery query;
+    Cube cube;
+    size_t bytes = 0;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    size_t bytes = 0;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  size_t budget_bytes_;
+  size_t shard_budget_;
+  std::vector<Shard> shards_;
+
+  mutable std::atomic<uint64_t> lookups_{0};
+  mutable std::atomic<uint64_t> exact_hits_{0};
+  mutable std::atomic<uint64_t> subsumption_hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+  mutable std::atomic<uint64_t> insertions_{0};
+  mutable std::atomic<uint64_t> evictions_{0};
+};
+
+/// \brief True when a cached result for `entry` can answer `want` by
+/// client-side re-aggregation: same cube; the entry's group-by is
+/// finer-or-equal (RollupAnswersQuery, shared with the materialized-view
+/// picker, which also enforces that avg measures disqualify); the entry's
+/// predicates are a subset of the request's (so the request's conjunction
+/// implies the entry's and the entry's rows are a superset of the rows
+/// needed); every *extra* request predicate sits on a level coarser-or-equal
+/// than the entry's group-by level so it can be re-evaluated on the entry's
+/// cells; and the requested measures are a subset of the entry's.
+bool EntryAnswersQuery(const CubeSchema& schema, const CanonicalQuery& want,
+                       const CanonicalQuery& entry);
+
+/// \brief Estimated resident size of a cached cube (coordinate columns,
+/// measure columns, names and fixed bookkeeping).
+size_t EstimateCubeBytes(const Cube& cube);
+
+}  // namespace assess
+
+#endif  // ASSESS_CACHE_CUBE_CACHE_H_

@@ -4,14 +4,14 @@
 
 namespace assess {
 
-bool ViewAnswersQuery(const CubeSchema& schema, const CubeQuery& query,
-                      const MaterializedView& view) {
+bool RollupAnswersQuery(const CubeSchema& schema, const CubeQuery& query,
+                        const GroupBySet& source_group_by) {
   // Measures must re-aggregate losslessly.
   for (int m : query.measures) {
     if (schema.measure(m).op == AggOp::kAvg) return false;
   }
   // Per hierarchy: the finest level the query touches must be rolled up to
-  // from the view's level for that hierarchy.
+  // from the source's level for that hierarchy.
   for (int h = 0; h < schema.hierarchy_count(); ++h) {
     int finest_needed = -1;  // -1: hierarchy untouched.
     if (query.group_by.HasHierarchy(h)) {
@@ -23,10 +23,15 @@ bool ViewAnswersQuery(const CubeSchema& schema, const CubeQuery& query,
           finest_needed < 0 ? p.level : std::min(finest_needed, p.level);
     }
     if (finest_needed < 0) continue;
-    if (!view.group_by.HasHierarchy(h)) return false;
-    if (view.group_by.LevelOf(h) > finest_needed) return false;
+    if (!source_group_by.HasHierarchy(h)) return false;
+    if (source_group_by.LevelOf(h) > finest_needed) return false;
   }
   return true;
+}
+
+bool ViewAnswersQuery(const CubeSchema& schema, const CubeQuery& query,
+                      const MaterializedView& view) {
+  return RollupAnswersQuery(schema, query, view.group_by);
 }
 
 int PickBestView(const CubeSchema& schema, const CubeQuery& query,

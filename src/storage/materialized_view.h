@@ -25,11 +25,17 @@ struct MaterializedView {
   Cube data;
 };
 
-/// \brief True when `query` can be answered by re-aggregating `view`:
-/// every level the query needs (group-by or predicate) is available at a
-/// finer-or-equal level in the view, and all query measures re-aggregate
-/// losslessly (sum/min/max/count; avg is not distributive and disqualifies
-/// the view).
+/// \brief True when `query` can be answered by re-aggregating any
+/// selection-free result pre-aggregated at `source_group_by`: every level
+/// the query needs (group-by or predicate) is available at a finer-or-equal
+/// level in the source, and all query measures re-aggregate losslessly
+/// (sum/min/max/count; avg is not distributive and disqualifies the
+/// source). Shared between the static view picker and the dynamic result
+/// cache's subsumption matcher.
+bool RollupAnswersQuery(const CubeSchema& schema, const CubeQuery& query,
+                        const GroupBySet& source_group_by);
+
+/// \brief RollupAnswersQuery specialized to a materialized view.
 bool ViewAnswersQuery(const CubeSchema& schema, const CubeQuery& query,
                       const MaterializedView& view);
 

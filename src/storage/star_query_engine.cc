@@ -4,9 +4,13 @@
 #include <array>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <thread>
+#include <unordered_set>
+#include <utility>
 
 #include "algebra/operators.h"
+#include "cache/query_fingerprint.h"
 #include "storage/flat_map64.h"
 #include "storage/materialized_view.h"
 #include "storage/predicate.h"
@@ -269,7 +273,107 @@ Result<Cube> Aggregate(int64_t rows, std::vector<HierScanPlan>& hiers,
                            std::move(result_state.acc));
 }
 
+// Answers `query` by re-aggregating `data`, a selection-free-or-weaker
+// result pre-aggregated at `data_group_by` (a materialized view or a cached
+// cube). `preds` holds, partitioned by hierarchy, the predicates still to
+// apply on top of `data` (for views: all of the query's; for cached
+// results: the ones the cached entry had not already applied). Feasibility
+// (level reachability, lossless measures) must have been established by
+// RollupAnswersQuery / EntryAnswersQuery.
+Result<Cube> AggregateFromRollup(const CubeSchema& schema,
+                                 const CubeQuery& query,
+                                 const std::vector<std::vector<Predicate>>& preds,
+                                 const Cube& data,
+                                 const GroupBySet& data_group_by,
+                                 int threads) {
+  std::vector<HierScanPlan> hiers;
+  std::vector<MeasureScanPlan> measures;
+  int64_t rows = data.NumRows();
+  int data_pos = 0;
+  for (int h = 0; h < schema.hierarchy_count(); ++h) {
+    bool in_data = data_group_by.HasHierarchy(h);
+    int pos = in_data ? data_pos++ : -1;
+    bool grouped = query.group_by.HasHierarchy(h);
+    if (!grouped && preds[h].empty()) continue;
+    if (!in_data) {
+      return Status::Internal("rollup source lacks a needed hierarchy");
+    }
+    const Hierarchy& hier = schema.hierarchy(h);
+    int data_level = data_group_by.LevelOf(h);
+    HierScanPlan plan;
+    plan.hierarchy = schema.hierarchy_ptr(h);
+    plan.grouped = grouped;
+    plan.codes = &data.coord_column(pos);
+    if (grouped) {
+      plan.group_level = query.group_by.LevelOf(h);
+      int32_t card = hier.LevelCardinality(data_level);
+      plan.owned_group_code.resize(card);
+      for (MemberId m = 0; m < card; ++m) {
+        plan.owned_group_code[m] =
+            hier.RollUpMember(data_level, m, plan.group_level);
+      }
+    }
+    if (!preds[h].empty()) {
+      ASSESS_ASSIGN_OR_RETURN(
+          plan.pass, BuildConjunctionFlags(hier, preds[h], data_level));
+    }
+    hiers.push_back(std::move(plan));
+  }
+  for (int m : query.measures) {
+    const MeasureDef& def = schema.measure(m);
+    ASSESS_ASSIGN_OR_RETURN(int src, data.MeasureIndex(def.name));
+    MeasureScanPlan mp;
+    mp.source = &data.measure_column(src);
+    // Counts stored in the source re-aggregate by summation.
+    mp.op = def.op == AggOp::kCount ? AggOp::kSum : def.op;
+    mp.name = def.name;
+    measures.push_back(std::move(mp));
+  }
+  return Aggregate(rows, hiers, measures, threads);
+}
+
+// Copies `cached` with its measure columns selected (by schema measure
+// name) in the order `measure_ids` requests — the projection that maps a
+// canonically stored cache entry back to the caller's measure list.
+// Column copies keep values bit-identical to the originally computed cube.
+Result<Cube> ProjectMeasures(const Cube& cached, const CubeSchema& schema,
+                             const std::vector<int>& measure_ids) {
+  std::vector<LevelRef> levels = cached.levels();
+  std::vector<std::vector<MemberId>> coords;
+  coords.reserve(levels.size());
+  for (int i = 0; i < cached.level_count(); ++i) {
+    coords.push_back(cached.coord_column(i));
+  }
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> columns;
+  names.reserve(measure_ids.size());
+  columns.reserve(measure_ids.size());
+  for (int m : measure_ids) {
+    const std::string& name = schema.measure(m).name;
+    ASSESS_ASSIGN_OR_RETURN(int idx, cached.MeasureIndex(name));
+    names.push_back(name);
+    columns.push_back(cached.measure_column(idx));
+  }
+  return Cube::FromColumns(std::move(levels), std::move(coords),
+                           std::move(names), std::move(columns));
+}
+
 }  // namespace
+
+StarQueryEngine::StarQueryEngine(const StarDatabase* db,
+                                 const EngineOptions& options)
+    : db_(db),
+      use_views_(options.use_views),
+      threads_(options.threads > 0
+                   ? options.threads
+                   : std::max(1, static_cast<int>(
+                                     std::thread::hardware_concurrency()))) {
+  if (options.use_result_cache) {
+    cache_ = options.shared_cache
+                 ? options.shared_cache
+                 : std::make_shared<CubeResultCache>(options.cache);
+  }
+}
 
 Result<Cube> StarQueryEngine::Execute(const CubeQuery& query) const {
   ASSESS_ASSIGN_OR_RETURN(const BoundCube* bound, db_->Find(query.cube_name));
@@ -277,6 +381,52 @@ Result<Cube> StarQueryEngine::Execute(const CubeQuery& query) const {
 }
 
 Result<Cube> StarQueryEngine::ExecuteInternal(const BoundCube& bound,
+                                              const CubeQuery& query) const {
+  last_cache_outcome_ = CacheOutcome::kBypass;
+  if (cache_ == nullptr) return ExecuteUncached(bound, query);
+  const CubeSchema& schema = bound.schema();
+  for (const Predicate& p : query.predicates) {
+    if (p.hierarchy < 0 || p.hierarchy >= schema.hierarchy_count()) {
+      // Let the scan path produce its usual diagnostic.
+      return ExecuteUncached(bound, query);
+    }
+  }
+
+  CanonicalQuery canon = CanonicalizeQuery(query);
+  std::string key = FingerprintKey(canon);
+  if (std::optional<Cube> hit = cache_->FindExact(key)) {
+    last_used_view_ = false;
+    last_cache_outcome_ = CacheOutcome::kExactHit;
+    return ProjectMeasures(*hit, schema, query.measures);
+  }
+  if (std::optional<CubeResultCache::Snapshot> finer =
+          cache_->FindSubsuming(schema, canon)) {
+    // Re-aggregate the finer cached result client-side, applying only the
+    // predicates the cached entry has not already applied.
+    std::unordered_set<std::string> applied;
+    for (const Predicate& p : finer->query.predicates) {
+      applied.insert(PredicateKey(p));
+    }
+    std::vector<std::vector<Predicate>> extra(schema.hierarchy_count());
+    for (const Predicate& p : canon.predicates) {
+      if (!applied.count(PredicateKey(p))) extra[p.hierarchy].push_back(p);
+    }
+    ASSESS_ASSIGN_OR_RETURN(
+        Cube rolled,
+        AggregateFromRollup(schema, query, extra, finer->cube,
+                            finer->query.group_by, threads_));
+    last_used_view_ = false;
+    last_cache_outcome_ = CacheOutcome::kSubsumptionHit;
+    cache_->Insert(key, std::move(canon), rolled);
+    return rolled;
+  }
+  ASSESS_ASSIGN_OR_RETURN(Cube cube, ExecuteUncached(bound, query));
+  last_cache_outcome_ = CacheOutcome::kMiss;
+  cache_->Insert(key, std::move(canon), cube);
+  return cube;
+}
+
+Result<Cube> StarQueryEngine::ExecuteUncached(const BoundCube& bound,
                                               const CubeQuery& query) const {
   const CubeSchema& schema = bound.schema();
   last_used_view_ = false;
@@ -290,88 +440,49 @@ Result<Cube> StarQueryEngine::ExecuteInternal(const BoundCube& bound,
     preds[p.hierarchy].push_back(p);
   }
 
+  if (query.group_by.Arity() > 16) {
+    return Status::NotSupported("group-by sets beyond 16 levels");
+  }
+
   int view_index = -1;
   if (use_views_) {
     view_index = PickBestView(schema, query, bound.views());
   }
-
-  std::vector<HierScanPlan> hiers;
-  std::vector<MeasureScanPlan> measures;
-  int64_t rows = 0;
-
   if (view_index >= 0) {
     last_used_view_ = true;
     const MaterializedView& view = bound.views()[view_index];
-    rows = view.data.NumRows();
-    int view_pos = 0;
-    for (int h = 0; h < schema.hierarchy_count(); ++h) {
-      bool in_view = view.group_by.HasHierarchy(h);
-      int pos = in_view ? view_pos++ : -1;
-      bool grouped = query.group_by.HasHierarchy(h);
-      if (!grouped && preds[h].empty()) continue;
-      const Hierarchy& hier = schema.hierarchy(h);
-      int view_level = view.group_by.LevelOf(h);  // guaranteed by picker
-      HierScanPlan plan;
-      plan.hierarchy = schema.hierarchy_ptr(h);
-      plan.grouped = grouped;
-      plan.codes = &view.data.coord_column(pos);
-      if (grouped) {
-        plan.group_level = query.group_by.LevelOf(h);
-        int32_t card = hier.LevelCardinality(view_level);
-        plan.owned_group_code.resize(card);
-        for (MemberId m = 0; m < card; ++m) {
-          plan.owned_group_code[m] =
-              hier.RollUpMember(view_level, m, plan.group_level);
-        }
-      }
-      if (!preds[h].empty()) {
-        ASSESS_ASSIGN_OR_RETURN(
-            plan.pass, BuildConjunctionFlags(hier, preds[h], view_level));
-      }
-      hiers.push_back(std::move(plan));
-    }
-    for (int m : query.measures) {
-      const MeasureDef& def = schema.measure(m);
-      ASSESS_ASSIGN_OR_RETURN(int src, view.data.MeasureIndex(def.name));
-      MeasureScanPlan mp;
-      mp.source = &view.data.measure_column(src);
-      // Counts stored in the view re-aggregate by summation.
-      mp.op = def.op == AggOp::kCount ? AggOp::kSum : def.op;
-      mp.name = def.name;
-      measures.push_back(std::move(mp));
-    }
-  } else {
-    rows = bound.facts().NumRows();
-    for (int h = 0; h < schema.hierarchy_count(); ++h) {
-      bool grouped = query.group_by.HasHierarchy(h);
-      if (!grouped && preds[h].empty()) continue;
-      const DimensionTable& dim = bound.dimension(h);
-      HierScanPlan plan;
-      plan.hierarchy = schema.hierarchy_ptr(h);
-      plan.grouped = grouped;
-      plan.codes = &bound.facts().fk_column(h);
-      if (grouped) {
-        plan.group_level = query.group_by.LevelOf(h);
-        plan.external_group_code = &dim.level_column(plan.group_level);
-      }
-      if (!preds[h].empty()) {
-        ASSESS_ASSIGN_OR_RETURN(plan.pass,
-                                BuildDimensionRowFlags(dim, preds[h]));
-      }
-      hiers.push_back(std::move(plan));
-    }
-    for (int m : query.measures) {
-      const MeasureDef& def = schema.measure(m);
-      MeasureScanPlan mp;
-      mp.source = &bound.facts().measure_column(m);
-      mp.op = def.op;
-      mp.name = def.name;
-      measures.push_back(std::move(mp));
-    }
+    return AggregateFromRollup(schema, query, preds, view.data, view.group_by,
+                               threads_);
   }
 
-  if (query.group_by.Arity() > 16) {
-    return Status::NotSupported("group-by sets beyond 16 levels");
+  std::vector<HierScanPlan> hiers;
+  std::vector<MeasureScanPlan> measures;
+  int64_t rows = bound.facts().NumRows();
+  for (int h = 0; h < schema.hierarchy_count(); ++h) {
+    bool grouped = query.group_by.HasHierarchy(h);
+    if (!grouped && preds[h].empty()) continue;
+    const DimensionTable& dim = bound.dimension(h);
+    HierScanPlan plan;
+    plan.hierarchy = schema.hierarchy_ptr(h);
+    plan.grouped = grouped;
+    plan.codes = &bound.facts().fk_column(h);
+    if (grouped) {
+      plan.group_level = query.group_by.LevelOf(h);
+      plan.external_group_code = &dim.level_column(plan.group_level);
+    }
+    if (!preds[h].empty()) {
+      ASSESS_ASSIGN_OR_RETURN(plan.pass,
+                              BuildDimensionRowFlags(dim, preds[h]));
+    }
+    hiers.push_back(std::move(plan));
+  }
+  for (int m : query.measures) {
+    const MeasureDef& def = schema.measure(m);
+    MeasureScanPlan mp;
+    mp.source = &bound.facts().measure_column(m);
+    mp.op = def.op;
+    mp.name = def.name;
+    measures.push_back(std::move(mp));
   }
   return Aggregate(rows, hiers, measures, threads_);
 }

@@ -1,9 +1,11 @@
 #ifndef ASSESS_STORAGE_STAR_QUERY_ENGINE_H_
 #define ASSESS_STORAGE_STAR_QUERY_ENGINE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "cache/cube_cache.h"
 #include "common/result.h"
 #include "olap/cube.h"
 #include "olap/cube_query.h"
@@ -30,6 +32,31 @@ struct PivotSpec {
   bool require_complete = true;
 };
 
+/// \brief Full engine configuration. This is the option set interactive
+/// front-ends (Executor/AssessSession) construct engines with; the result
+/// cache is ON by default here because assess sessions re-touch the same
+/// benchmark cubes constantly.
+struct EngineOptions {
+  bool use_views = true;
+  /// Aggregation workers; <= 0 means one per hardware thread.
+  int threads = 0;
+  /// Semantic result cache: exact fingerprint hits plus subsumption-aware
+  /// reuse of finer-grained cached results.
+  bool use_result_cache = true;
+  CacheOptions cache;
+  /// When set, this cache instance is used instead of creating a private
+  /// one — the way several sessions over one database share warm results.
+  std::shared_ptr<CubeResultCache> shared_cache;
+};
+
+/// \brief How the last Execute() was answered, for tests and benches.
+enum class CacheOutcome {
+  kBypass,          ///< cache disabled for this engine
+  kMiss,            ///< computed by scan (fact table or view)
+  kExactHit,        ///< served from an identical cached result
+  kSubsumptionHit,  ///< re-aggregated from a finer cached result
+};
+
 /// \brief The query engine over star-schema storage: the stand-in for the
 /// DBMS of the paper's architecture.
 ///
@@ -37,20 +64,30 @@ struct PivotSpec {
 /// Section 5.2: Execute (a single `get`, used by every plan), ExecuteJoined
 /// (get + get + join, the JOP push-down) and ExecutePivoted (get + pivot,
 /// the POP push-down). Everything else happens client-side on Cube values.
+///
+/// All entry points funnel through one internal get, so the result cache
+/// accelerates NP, JOP and POP alike.
 class StarQueryEngine {
  public:
-  /// \brief `threads` > 1 enables partitioned parallel aggregation for
-  /// large scans (each worker aggregates a fact-range into a private hash
-  /// table; partials are merged by coordinate). Results are equal to the
-  /// serial path up to floating-point reduction order (sums may differ in
-  /// the last ulp); cell order may differ.
+  /// \brief Configured construction (the front door for sessions).
+  StarQueryEngine(const StarDatabase* db, const EngineOptions& options);
+
+  /// \brief Legacy construction: serial by default and — deliberately —
+  /// without a result cache, so direct uses (microbenches, equivalence
+  /// tests, view materialization) keep measuring and exercising raw scans.
+  /// `threads` > 1 enables partitioned parallel aggregation for large scans
+  /// (each worker aggregates a fact-range into a private hash table;
+  /// partials are merged by coordinate). Results are equal to the serial
+  /// path up to floating-point reduction order (sums may differ in the last
+  /// ulp); cell order may differ.
   explicit StarQueryEngine(const StarDatabase* db, bool use_views = true,
                            int threads = 1)
       : db_(db), use_views_(use_views), threads_(threads < 1 ? 1 : threads) {}
 
   /// \brief Executes a cube query (the `get` logical operator): aggregates
   /// the detailed cube at the query's group-by set under its predicates.
-  /// Answers from the smallest applicable materialized view when enabled.
+  /// Answers from the result cache when possible, else from the smallest
+  /// applicable materialized view when enabled, else from the fact table.
   Result<Cube> Execute(const CubeQuery& query) const;
 
   /// \brief JOP push-down: evaluates target and benchmark queries and joins
@@ -88,17 +125,37 @@ class StarQueryEngine {
                                   const std::string& view_name) const;
 
   /// \brief Whether the last Execute() was answered from a view (observable
-  /// for tests and the ablation bench).
+  /// for tests and the ablation bench). False for cache hits.
   bool last_used_view() const { return last_used_view_; }
+
+  /// \brief How the last internal get was answered.
+  CacheOutcome last_cache_outcome() const { return last_cache_outcome_; }
+
+  /// \brief The result cache, or nullptr when disabled. Shareable across
+  /// engines/sessions over the same (immutable) database.
+  const std::shared_ptr<CubeResultCache>& result_cache() const {
+    return cache_;
+  }
+
+  /// \brief Cache counters (all zero when the cache is disabled).
+  CacheStats cache_stats() const {
+    return cache_ ? cache_->stats() : CacheStats{};
+  }
+
+  int threads() const { return threads_; }
 
  private:
   Result<Cube> ExecuteInternal(const BoundCube& bound,
+                               const CubeQuery& query) const;
+  Result<Cube> ExecuteUncached(const BoundCube& bound,
                                const CubeQuery& query) const;
 
   const StarDatabase* db_;
   bool use_views_;
   int threads_;
+  std::shared_ptr<CubeResultCache> cache_;
   mutable bool last_used_view_ = false;
+  mutable CacheOutcome last_cache_outcome_ = CacheOutcome::kBypass;
 };
 
 }  // namespace assess

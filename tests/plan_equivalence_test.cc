@@ -19,6 +19,16 @@ namespace {
 using ::assess::testutil::CellMap;
 using ::assess::testutil::LabelMap;
 
+// Plan equivalence must compare real executions: with the result cache on,
+// every plan after the first would be answered from the first plan's cached
+// gets and the property would hold vacuously.
+ExecutorOptions NoCacheOptions(bool use_views = true) {
+  ExecutorOptions options;
+  options.use_views = use_views;
+  options.use_result_cache = false;
+  return options;
+}
+
 void ExpectSameCells(const AssessResult& a, const AssessResult& b,
                      const std::string& context) {
   ASSERT_EQ(a.cube.NumRows(), b.cube.NumRows()) << context;
@@ -47,7 +57,7 @@ class SalesPlanEquivalenceTest : public ::testing::TestWithParam<const char*> {
     SalesConfig config;
     config.facts = 60000;
     db_ = std::move(BuildSalesDatabase(config)).value();
-    session_ = std::make_unique<AssessSession>(db_.get());
+    session_ = std::make_unique<AssessSession>(db_.get(), NoCacheOptions());
   }
 
   std::unique_ptr<StarDatabase> db_;
@@ -107,7 +117,7 @@ TEST(SsbPlanEquivalenceTest, WorkloadStatementsAgreeAcrossPlans) {
   config.scale_factor = 0.005;
   auto db = BuildSsbDatabase(config);
   ASSERT_TRUE(db.ok());
-  AssessSession session(db->get());
+  AssessSession session(db->get(), NoCacheOptions());
   const char* statements[] = {
       "with SSB by customer assess revenue against BUDGET.plannedRevenue "
       "using normalizedDifference(revenue, benchmark.plannedRevenue) "
@@ -144,7 +154,7 @@ TEST(ViewEquivalenceTest, ViewsChangeAccessPathNotResults) {
       "by product, country assess quantity against country = 'France' "
       "using difference(quantity, benchmark.quantity) labels quartiles";
 
-  AssessSession without_views(db.get(), /*use_views=*/false);
+  AssessSession without_views(db.get(), NoCacheOptions(/*use_views=*/false));
   auto baseline = without_views.Query(text, PlanKind::kPOP);
   ASSERT_TRUE(baseline.ok());
 
@@ -153,7 +163,7 @@ TEST(ViewEquivalenceTest, ViewsChangeAccessPathNotResults) {
                   .MaterializeView(db.get(), "SALES",
                                    {"product", "country"}, "mv_pc")
                   .ok());
-  AssessSession with_views(db.get(), /*use_views=*/true);
+  AssessSession with_views(db.get(), NoCacheOptions(/*use_views=*/true));
   for (PlanKind plan : {PlanKind::kNP, PlanKind::kJOP, PlanKind::kPOP}) {
     auto accelerated = with_views.Query(text, plan);
     ASSERT_TRUE(accelerated.ok());
