@@ -1,0 +1,148 @@
+// Measures assessd end-to-end throughput over loopback TCP: for each
+// (worker threads x concurrent clients) configuration a fresh server is
+// started on an ephemeral port, each client thread replays the SSB workload
+// round-robin, and the aggregate requests/second is reported together with
+// the server's own latency percentiles and cache hit rate. Writes
+// BENCH_server.json for the regression record. With the shared result cache
+// on (the default), every configuration past the first requests per
+// statement is served warm, so the numbers measure the protocol + server
+// path rather than raw engine time.
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "client/assess_client.h"
+#include "server/assessd.h"
+#include "server/protocol.h"
+
+int main() {
+  using namespace assess;
+  using namespace assess::bench;
+
+  double sf = DefaultBaseSf();
+  auto db = BuildScale({"SSB", sf});
+  std::vector<WorkloadStatement> workload = SsbWorkload();
+
+  const int kWorkerSweep[] = {1, 2, 4};
+  const int kClientSweep[] = {1, 4, 8};
+  const int kRequestsPerClient = 30;
+
+  struct ConfigResult {
+    int workers = 0;
+    int clients = 0;
+    int requests = 0;
+    double seconds = 0.0;
+    double rps = 0.0;
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+    double hit_rate = 0.0;
+  };
+  std::vector<ConfigResult> results;
+
+  std::printf("assessd loopback throughput (SF %.3g, %d requests/client)\n\n",
+              sf, kRequestsPerClient);
+  std::printf("%8s %8s %9s %10s %10s %9s %9s\n", "workers", "clients",
+              "requests", "wall(s)", "req/s", "p50(ms)", "hit rate");
+
+  for (int workers : kWorkerSweep) {
+    for (int clients : kClientSweep) {
+      ServerOptions options;
+      options.worker_threads = workers;
+      AssessServer server(db.get(), options);
+      Status started = server.Start();
+      if (!started.ok()) {
+        std::fprintf(stderr, "server start failed: %s\n",
+                     started.ToString().c_str());
+        return 1;
+      }
+
+      // Warm the shared cache so every configuration measures the same
+      // (cached) engine work and the sweep isolates server-side scaling.
+      {
+        auto warm = AssessClient::Connect("127.0.0.1", server.port());
+        if (!warm.ok()) {
+          std::fprintf(stderr, "connect failed: %s\n",
+                       warm.status().ToString().c_str());
+          return 1;
+        }
+        for (const WorkloadStatement& stmt : workload) {
+          auto r = warm->Query(stmt.text);
+          if (!r.ok()) {
+            std::fprintf(stderr, "%s failed: %s\n", stmt.name.c_str(),
+                         r.status().ToString().c_str());
+            return 1;
+          }
+        }
+      }
+
+      std::atomic<int> failures{0};
+      Stopwatch watch;
+      std::vector<std::thread> threads;
+      threads.reserve(clients);
+      for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+          auto client = AssessClient::Connect("127.0.0.1", server.port());
+          if (!client.ok()) {
+            ++failures;
+            return;
+          }
+          for (int r = 0; r < kRequestsPerClient; ++r) {
+            const WorkloadStatement& stmt =
+                workload[(c + r) % workload.size()];
+            if (!client->Query(stmt.text).ok()) ++failures;
+          }
+        });
+      }
+      for (std::thread& t : threads) t.join();
+      double seconds = watch.ElapsedSeconds();
+
+      ServerStats stats = server.Snapshot();
+      server.Stop();
+      if (failures.load() > 0) {
+        std::fprintf(stderr, "FAIL: %d request(s) failed at workers=%d "
+                     "clients=%d\n", failures.load(), workers, clients);
+        return 1;
+      }
+
+      ConfigResult row;
+      row.workers = workers;
+      row.clients = clients;
+      row.requests = clients * kRequestsPerClient;
+      row.seconds = seconds;
+      row.rps = seconds > 0.0 ? row.requests / seconds : 0.0;
+      row.p50_ms = stats.p50_ms;
+      row.p99_ms = stats.p99_ms;
+      row.hit_rate = stats.cache_hit_rate();
+      results.push_back(row);
+      std::printf("%8d %8d %9d %10.3f %10.1f %9.2f %8.1f%%\n", row.workers,
+                  row.clients, row.requests, row.seconds, row.rps, row.p50_ms,
+                  100.0 * row.hit_rate);
+    }
+  }
+
+  std::FILE* json = std::fopen("BENCH_server.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_server.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"scale_factor\": %.6g,\n"
+               "  \"requests_per_client\": %d,\n  \"configs\": [\n",
+               sf, kRequestsPerClient);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ConfigResult& r = results[i];
+    std::fprintf(json,
+                 "    {\"workers\": %d, \"clients\": %d, \"requests\": %d, "
+                 "\"seconds\": %.6f, \"requests_per_second\": %.2f, "
+                 "\"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+                 "\"cache_hit_rate\": %.4f}%s\n",
+                 r.workers, r.clients, r.requests, r.seconds, r.rps, r.p50_ms,
+                 r.p99_ms, r.hit_rate, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("\nwrote BENCH_server.json\n");
+  return 0;
+}

@@ -1,6 +1,7 @@
 // Interactive assess shell: a small REPL over the SALES cube (or the SSB
-// cube with --ssb). Type an assess statement on one line; the shell prints
-// the labeled result. Meta commands:
+// cube with --ssb), or — with --connect host:port — a remote REPL against a
+// running assessd. Type an assess statement on one line; the shell prints
+// the labeled result. Meta commands (local mode):
 //   \plan NP|JOP|POP   force a plan (default: best feasible)
 //   \explain <stmt>    show the logical plan instead of executing
 //   \sql <stmt>        show the SQL the plan pushes to the engine
@@ -9,7 +10,12 @@
 //   \csv <stmt>        execute and print the result as CSV
 //   \functions         list comparison functions
 //   \labelings         list predeclared labeling functions
+//   \cache             result-cache counters (local session / remote server)
+//   \stats             \cache plus server load & latency (remote; alias of
+//                      \cache locally)
 //   \quit
+// Remote mode serves the subset in examples/remote_repl.h; plan forcing and
+// suggestion stay in-process (the server always picks the best plan).
 
 #include <iostream>
 #include <optional>
@@ -17,7 +23,9 @@
 
 #include "assess/session.h"
 #include "assess/suggest.h"
+#include "client/assess_client.h"
 #include "common/str_util.h"
+#include "remote_repl.h"
 #include "ssb/sales_generator.h"
 #include "ssb/ssb_generator.h"
 
@@ -32,13 +40,41 @@ void PrintHelp() {
     labels {[0, 0.9): bad, [0.9, 1.1]: acceptable, (1.1, inf): good}
 Meta commands: \plan NP|JOP|POP, \explain <stmt>, \sql <stmt>,
                \rank <stmt>, \csv <stmt>, \suggest <partial stmt>,
-               \functions, \labelings, \cache, \help, \quit
+               \functions, \labelings, \help, \quit
+Monitoring:    \cache  result-cache counters (this session's engine)
+               \stats  alias of \cache here; against a server
+                       (--connect host:port) it adds load, in-flight/queued
+                       requests and latency percentiles
 )";
+}
+
+int RunRemote(const std::string& target) {
+  std::string host = "127.0.0.1";
+  uint16_t port = assess::kDefaultPort;
+  if (!assess_examples::ParseHostPort(target, &host, &port)) {
+    std::cerr << "bad --connect target '" << target << "' (want host:port)\n";
+    return 2;
+  }
+  auto client = assess::AssessClient::Connect(host, port);
+  if (!client.ok()) {
+    std::cerr << client.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "connected to assessd at " << host << ":" << port << "\n";
+  assess_examples::PrintRemoteHelp();
+  return assess_examples::RunRemoteRepl(*client);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--connect") {
+    if (argc < 3) {
+      std::cerr << "usage: " << argv[0] << " --connect host:port\n";
+      return 2;
+    }
+    return RunRemote(argv[2]);
+  }
   bool use_ssb = argc > 1 && std::string(argv[1]) == "--ssb";
   std::unique_ptr<assess::StarDatabase> db;
   if (use_ssb) {
@@ -93,7 +129,7 @@ int main(int argc, char** argv) {
         }
         continue;
       }
-      if (input == "\\cache") {
+      if (input == "\\cache" || input == "\\stats") {
         assess::CacheStats stats = session.cache_stats();
         std::cout << "  lookups " << stats.lookups << ", exact hits "
                   << stats.exact_hits << ", subsumption hits "

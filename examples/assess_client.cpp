@@ -1,0 +1,48 @@
+// Remote assess shell: connects to a running assessd and serves the same
+// REPL as assess_cli, executed server-side.
+//
+//   assess_client                         # 127.0.0.1:7117 (assessd default)
+//   assess_client host:port               # interactive REPL
+//   assess_client host:port "<statement>" # one-shot: execute and print
+//
+// Start a server first, e.g.:  assessd --sales --port 7117
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "client/assess_client.h"
+#include "remote_repl.h"
+#include "server/protocol.h"
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  uint16_t port = assess::kDefaultPort;
+  if (argc > 1 &&
+      !assess_examples::ParseHostPort(argv[1], &host, &port)) {
+    std::cerr << "usage: " << argv[0] << " [host:port] [statement]\n";
+    return 2;
+  }
+
+  auto client = assess::AssessClient::Connect(host, port);
+  if (!client.ok()) {
+    std::cerr << client.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "connected to assessd at " << host << ":" << port << "\n";
+
+  if (argc > 2) {
+    // One-shot mode: run the statement, print the result, exit non-zero on
+    // a typed error.
+    auto result = client->Query(argv[2]);
+    if (!result.ok()) {
+      std::cerr << result.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << result->ToString(40);
+    return 0;
+  }
+
+  assess_examples::PrintRemoteHelp();
+  return assess_examples::RunRemoteRepl(*client);
+}

@@ -1,0 +1,132 @@
+// Shared remote REPL loop for assess_client and `assess_cli --connect`:
+// reads assess statements from stdin, executes them on a remote assessd,
+// and prints results exactly like the in-process shell. Meta commands:
+//   \csv <stmt>   execute and print the result as CSV
+//   \sql <stmt>   show the SQL the server's plan pushed to the engine
+//   \stats        server statistics (load, latency percentiles, cache)
+//   \cache        just the shared result cache counters
+//   \ping         liveness probe
+//   \help, \quit
+//
+// Plan forcing and completion (\plan, \rank, \suggest, ...) are in-process
+// features: the server always picks the best feasible plan.
+
+#ifndef ASSESS_EXAMPLES_REMOTE_REPL_H_
+#define ASSESS_EXAMPLES_REMOTE_REPL_H_
+
+#include <iostream>
+#include <string>
+
+#include "client/assess_client.h"
+#include "common/str_util.h"
+
+namespace assess_examples {
+
+inline void PrintRemoteHelp() {
+  std::cout <<
+      R"(Type an assess statement, e.g.:
+  with SALES by month assess storeSales labels quartiles
+Meta commands: \csv <stmt>, \sql <stmt>, \stats, \cache, \ping,
+               \help, \quit
+)";
+}
+
+/// Runs the REPL until \quit or EOF. Returns 0, or 1 when the connection
+/// died mid-session.
+inline int RunRemoteRepl(assess::AssessClient& client) {
+  std::string line;
+  while (true) {
+    std::cout << "assess> " << std::flush;
+    if (!std::getline(std::cin, line)) break;
+    std::string_view input = assess::Trim(line);
+    if (input.empty()) continue;
+    if (input[0] == '\\') {
+      if (input == "\\quit" || input == "\\q") break;
+      if (input == "\\help") {
+        PrintRemoteHelp();
+        continue;
+      }
+      if (input == "\\ping") {
+        assess::Status st = client.Ping();
+        std::cout << (st.ok() ? "pong" : st.ToString()) << "\n";
+        if (!client.connected()) return 1;
+        continue;
+      }
+      if (input == "\\stats" || input == "\\cache") {
+        auto stats = client.Stats();
+        if (!stats.ok()) {
+          std::cout << stats.status().ToString() << "\n";
+          if (!client.connected()) return 1;
+          continue;
+        }
+        if (input == "\\stats") {
+          std::cout << stats->ToString() << "\n";
+        } else {
+          std::cout << "  lookups " << stats->cache_lookups << ", exact hits "
+                    << stats->cache_exact_hits << ", subsumption hits "
+                    << stats->cache_subsumption_hits << ", misses "
+                    << stats->cache_misses << "\n  entries "
+                    << stats->cache_entries << ", resident "
+                    << stats->cache_bytes << " bytes\n";
+        }
+        continue;
+      }
+      if (assess::StartsWith(input, "\\csv") ||
+          assess::StartsWith(input, "\\sql")) {
+        bool csv = assess::StartsWith(input, "\\csv");
+        std::string_view stmt = assess::Trim(input.substr(4));
+        auto result = client.Query(stmt);
+        if (!result.ok()) {
+          std::cout << result.status().ToString() << "\n";
+          if (!client.connected()) return 1;
+          continue;
+        }
+        if (csv) {
+          result->WriteCsv(std::cout);
+        } else {
+          for (const std::string& sql : result->sql) {
+            std::cout << sql << "\n\n";
+          }
+        }
+        continue;
+      }
+      std::cout << "unknown meta command; \\help for help\n";
+      continue;
+    }
+    auto result = client.Query(input);
+    if (!result.ok()) {
+      std::cout << result.status().ToString() << "\n";
+      if (!client.connected()) return 1;
+      continue;
+    }
+    std::cout << result->ToString(40) << "("
+              << assess::PlanKindToString(result->plan) << ","
+              << result->timings.ToString() << ")\n";
+  }
+  return 0;
+}
+
+/// Parses "host:port" (or just "host", keeping `*port`). Returns false on a
+/// malformed port.
+inline bool ParseHostPort(std::string_view target, std::string* host,
+                          uint16_t* port) {
+  size_t colon = target.rfind(':');
+  if (colon == std::string_view::npos) {
+    *host = std::string(target);
+    return !host->empty();
+  }
+  *host = std::string(target.substr(0, colon));
+  std::string port_text(target.substr(colon + 1));
+  if (host->empty() || port_text.empty()) return false;
+  char* end = nullptr;
+  long value = std::strtol(port_text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || value <= 0 || value > 65535) {
+    return false;
+  }
+  *port = static_cast<uint16_t>(value);
+  return true;
+}
+
+}  // namespace assess_examples
+
+#endif  // ASSESS_EXAMPLES_REMOTE_REPL_H_

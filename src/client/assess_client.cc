@@ -1,0 +1,83 @@
+#include "client/assess_client.h"
+
+#include <utility>
+
+#include "assess/wire_format.h"
+
+namespace assess {
+
+Result<AssessClient> AssessClient::Connect(const std::string& host,
+                                           uint16_t port,
+                                           size_t max_frame_bytes) {
+  ASSESS_ASSIGN_OR_RETURN(int fd, ConnectTo(host, port));
+  return AssessClient(fd, max_frame_bytes);
+}
+
+AssessClient::AssessClient(AssessClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      max_frame_bytes_(other.max_frame_bytes_) {}
+
+AssessClient& AssessClient::operator=(AssessClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    max_frame_bytes_ = other.max_frame_bytes_;
+  }
+  return *this;
+}
+
+AssessClient::~AssessClient() { Close(); }
+
+void AssessClient::Close() {
+  CloseSocket(fd_);
+  fd_ = -1;
+}
+
+Status AssessClient::RoundTrip(FrameType request, std::string_view payload,
+                               FrameType expected, std::string* response) {
+  if (fd_ < 0) return Status::Unavailable("client is not connected");
+  ASSESS_RETURN_NOT_OK(WriteFrame(fd_, request, payload));
+  Frame frame;
+  Status read = ReadFrame(fd_, max_frame_bytes_, &frame);
+  if (!read.ok()) {
+    // A dead or desynchronized connection is unusable from here on.
+    Close();
+    return read;
+  }
+  if (frame.type == FrameType::kError) {
+    Status remote = Status::OK();
+    Status decoded = DeserializeStatus(frame.payload, &remote);
+    if (!decoded.ok()) {
+      Close();
+      return decoded.WithContext("undecodable error response");
+    }
+    return remote;  // typed server-side error; the connection stays usable
+  }
+  if (frame.type != expected) {
+    Close();
+    return Status::Internal("unexpected response frame type");
+  }
+  *response = std::move(frame.payload);
+  return Status::OK();
+}
+
+Result<AssessResult> AssessClient::Query(std::string_view statement) {
+  std::string payload;
+  ASSESS_RETURN_NOT_OK(
+      RoundTrip(FrameType::kQuery, statement, FrameType::kResult, &payload));
+  return DeserializeAssessResult(payload);
+}
+
+Result<ServerStats> AssessClient::Stats() {
+  std::string payload;
+  ASSESS_RETURN_NOT_OK(
+      RoundTrip(FrameType::kStats, {}, FrameType::kStatsReply, &payload));
+  return ServerStats::Deserialize(payload);
+}
+
+Status AssessClient::Ping() {
+  std::string payload;
+  return RoundTrip(FrameType::kPing, {}, FrameType::kPong, &payload);
+}
+
+}  // namespace assess

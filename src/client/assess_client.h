@@ -1,0 +1,76 @@
+#ifndef ASSESS_CLIENT_ASSESS_CLIENT_H_
+#define ASSESS_CLIENT_ASSESS_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "assess/result_set.h"
+#include "common/result.h"
+#include "server/protocol.h"
+
+namespace assess {
+
+/// \brief Client side of the assessd protocol: a blocking, single-connection
+/// remote AssessSession.
+///
+///   auto client = AssessClient::Connect("127.0.0.1", 7117);
+///   if (!client.ok()) { ... }
+///   auto result = client->Query(
+///       "with SALES by month assess storeSales labels quartiles");
+///
+/// Query() mirrors AssessSession::Query(): the same statement against the
+/// same database yields a bit-identical AssessResult (coordinates, measure
+/// bits, labels, chosen plan, pushed SQL), just computed on the server with
+/// its shared result cache. Server-side failures come back as the same
+/// typed Status the in-process session would return (plus kUnavailable for
+/// overload/shutdown rejections and kTimeout for deadline violations) —
+/// an error never costs the connection.
+///
+/// One in-flight request per client (the protocol is strict
+/// request/response); a client is not thread-safe — use one per thread, the
+/// server pools their caches anyway. Movable, not copyable; the destructor
+/// closes the connection.
+class AssessClient {
+ public:
+  static Result<AssessClient> Connect(
+      const std::string& host, uint16_t port,
+      size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+  AssessClient(AssessClient&& other) noexcept;
+  AssessClient& operator=(AssessClient&& other) noexcept;
+  AssessClient(const AssessClient&) = delete;
+  AssessClient& operator=(const AssessClient&) = delete;
+  ~AssessClient();
+
+  /// \brief Executes one assess statement on the server.
+  Result<AssessResult> Query(std::string_view statement);
+
+  /// \brief Fetches the server's statistics snapshot.
+  Result<ServerStats> Stats();
+
+  /// \brief Round-trips a ping frame.
+  Status Ping();
+
+  /// \brief Closes the connection (idempotent; further calls fail with
+  /// kUnavailable).
+  void Close();
+
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  AssessClient(int fd, size_t max_frame_bytes)
+      : fd_(fd), max_frame_bytes_(max_frame_bytes) {}
+
+  /// Sends `request` and reads the single response frame, enforcing the
+  /// expected response type and decoding kError payloads into their Status.
+  Status RoundTrip(FrameType request, std::string_view payload,
+                   FrameType expected, std::string* response);
+
+  int fd_ = -1;
+  size_t max_frame_bytes_ = kDefaultMaxFrameBytes;
+};
+
+}  // namespace assess
+
+#endif  // ASSESS_CLIENT_ASSESS_CLIENT_H_

@@ -18,8 +18,29 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "NotSupported";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kTimeout:
+      return "Timeout";
   }
   return "Unknown";
+}
+
+Status Status::FromCode(StatusCode code, std::string msg) {
+  switch (code) {
+    case StatusCode::kOk:
+      return Status::OK();
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kAlreadyExists:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kNotSupported:
+    case StatusCode::kInternal:
+    case StatusCode::kUnavailable:
+    case StatusCode::kTimeout:
+      return Status(code, std::move(msg));
+  }
+  return Status::Internal("unknown status code: " + std::move(msg));
 }
 
 std::string Status::ToString() const {

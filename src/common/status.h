@@ -20,6 +20,9 @@ enum class StatusCode {
   kOutOfRange,        ///< index or interval violation
   kNotSupported,      ///< operation unsupported for the given benchmark/plan
   kInternal,          ///< invariant violation inside the library
+  kUnavailable,       ///< resource temporarily unavailable (server overloaded,
+                      ///< shutting down, connection closed); safe to retry
+  kTimeout,           ///< per-request wall-clock deadline exceeded
 };
 
 /// \brief Human-readable name of a status code (e.g. "InvalidArgument").
@@ -53,6 +56,16 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+
+  /// \brief Rebuilds a status from a code + message pair (the shape errors
+  /// take on the wire). An unknown code collapses to kInternal.
+  static Status FromCode(StatusCode code, std::string msg);
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

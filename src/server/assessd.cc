@@ -1,0 +1,408 @@
+#include "server/assessd.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <future>
+
+#include "assess/wire_format.h"
+
+namespace assess {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedMs(Clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - since)
+      .count();
+}
+
+/// Size of the sliding latency window behind the percentile estimates.
+constexpr size_t kLatencyWindow = 4096;
+
+/// Blocked response writes (peer stopped reading with a full socket buffer)
+/// abort with kUnavailable after this long instead of wedging a reader
+/// thread forever; see Stop()'s drain sequencing.
+constexpr int kSendTimeoutSeconds = 10;
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  size_t rank = static_cast<size_t>(
+      std::ceil(p * static_cast<double>(sorted.size())));
+  if (rank == 0) rank = 1;
+  return sorted[std::min(rank, sorted.size()) - 1];
+}
+
+}  // namespace
+
+struct AssessServer::Connection {
+  int fd = -1;
+  std::unique_ptr<AssessSession> session;
+  std::thread reader;
+  std::atomic<bool> done{false};
+};
+
+struct AssessServer::Request {
+  Connection* conn = nullptr;
+  std::string statement;
+  Clock::time_point admitted;
+  std::promise<std::pair<FrameType, std::string>> response;
+};
+
+AssessServer::AssessServer(const StarDatabase* db, ServerOptions options)
+    : db_(db), options_(std::move(options)) {}
+
+AssessServer::~AssessServer() { Stop(); }
+
+Status AssessServer::Start() {
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    if (started_) return Status::InvalidArgument("server already started");
+    started_ = true;
+  }
+  if (options_.engine.use_result_cache && !options_.engine.shared_cache) {
+    options_.engine.shared_cache =
+        std::make_shared<CubeResultCache>(options_.engine.cache);
+  }
+  int workers = options_.worker_threads;
+  if (workers <= 0) {
+    workers = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+  }
+  if (options_.max_queue < 0) options_.max_queue = 0;
+
+  ASSESS_ASSIGN_OR_RETURN(
+      ListenSocket listener,
+      ListenOn(options_.host, options_.port, options_.listen_backlog));
+  listen_fd_ = listener.fd;
+  port_ = listener.port;
+
+  latency_window_.assign(kLatencyWindow, 0.0);
+  workers_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back(&AssessServer::WorkerLoop, this);
+  }
+  acceptor_ = std::thread(&AssessServer::AcceptLoop, this);
+  return Status::OK();
+}
+
+void AssessServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    if (!started_ || stopped_) return;
+    stopped_ = true;
+  }
+  // 1. Stop admitting queries (under the queue mutex, so no request can
+  //    slip past the drain wait below).
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+  }
+  // 2. Stop accepting connections.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  CloseSocket(listen_fd_);
+  listen_fd_ = -1;
+  // 3. Drain: every queued and in-flight request completes.
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    drain_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  }
+  // 4. Unblock readers parked in recv while letting their final response
+  //    writes flush (SHUT_RD only; blocked writes bail out via the send
+  //    timeout set at accept time).
+  std::vector<std::unique_ptr<Connection>> retiring;
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (const auto& conn : connections_) {
+      if (!conn->done.load()) ::shutdown(conn->fd, SHUT_RD);
+    }
+    retiring.swap(connections_);
+  }
+  // 5. Join readers and release their sockets — outside conn_mutex_, since
+  //    a reader answering a late kStats takes that mutex inside Snapshot().
+  for (const auto& conn : retiring) {
+    if (conn->reader.joinable()) conn->reader.join();
+    CloseSocket(conn->fd);
+  }
+  retiring.clear();
+  // 6. Retire the worker pool.
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    workers_exit_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+void AssessServer::AcceptLoop() {
+  while (true) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down (Stop) or fatal: stop accepting
+    }
+    ReapFinishedConnections();
+
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    timeval send_timeout{};
+    send_timeout.tv_sec = kSendTimeoutSeconds;
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+                 sizeof(send_timeout));
+
+    size_t open = 0;
+    {
+      std::lock_guard<std::mutex> lock(conn_mutex_);
+      for (const auto& conn : connections_) {
+        if (!conn->done.load()) ++open;
+      }
+    }
+    bool stopping;
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      stopping = stopping_;
+    }
+    if (stopping || open >= static_cast<size_t>(options_.max_connections)) {
+      WriteFrame(fd, FrameType::kError,
+                 SerializeStatus(Status::Unavailable(
+                     stopping ? "server shutting down"
+                              : "too many connections")));
+      CloseSocket(fd);
+      continue;
+    }
+
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->session = std::make_unique<AssessSession>(db_, options_.engine);
+    Connection* raw = conn.get();
+    {
+      std::lock_guard<std::mutex> lock(conn_mutex_);
+      connections_.push_back(std::move(conn));
+    }
+    raw->reader = std::thread(&AssessServer::ReaderLoop, this, raw);
+  }
+}
+
+void AssessServer::ReapFinishedConnections() {
+  std::lock_guard<std::mutex> lock(conn_mutex_);
+  auto finished = [](const std::unique_ptr<Connection>& conn) {
+    return conn->done.load();
+  };
+  for (const auto& conn : connections_) {
+    if (finished(conn)) {
+      if (conn->reader.joinable()) conn->reader.join();
+      CloseSocket(conn->fd);
+    }
+  }
+  connections_.erase(
+      std::remove_if(connections_.begin(), connections_.end(), finished),
+      connections_.end());
+}
+
+void AssessServer::ReaderLoop(Connection* conn) {
+  while (true) {
+    Frame frame;
+    Status read = ReadFrame(conn->fd, options_.max_frame_bytes, &frame);
+    if (!read.ok()) {
+      // Unframable streams (zero/oversized length, unknown type) get one
+      // typed error before the close; vanished peers just close.
+      if (read.code() == StatusCode::kInvalidArgument) {
+        WriteFrame(conn->fd, FrameType::kError, SerializeStatus(read));
+      }
+      break;
+    }
+    if (frame.type == FrameType::kPing) {
+      if (!WriteFrame(conn->fd, FrameType::kPong, {}).ok()) break;
+      continue;
+    }
+    if (frame.type == FrameType::kStats) {
+      if (!WriteFrame(conn->fd, FrameType::kStatsReply,
+                      Snapshot().Serialize())
+               .ok()) {
+        break;
+      }
+      continue;
+    }
+    if (frame.type != FrameType::kQuery) {
+      WriteFrame(conn->fd, FrameType::kError,
+                 SerializeStatus(Status::InvalidArgument(
+                     "unexpected frame type for a request")));
+      break;
+    }
+
+    total_requests_.fetch_add(1, std::memory_order_relaxed);
+    Request request;
+    request.conn = conn;
+    request.statement = std::move(frame.payload);
+    request.admitted = Clock::now();
+    auto response = request.response.get_future();
+
+    Status rejected = Status::OK();
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      if (stopping_) {
+        rejected = Status::Unavailable("server shutting down");
+      } else if (queue_.size() >= static_cast<size_t>(options_.max_queue)) {
+        rejected = Status::Unavailable("server overloaded: request queue full");
+      } else {
+        queue_.push_back(&request);
+      }
+    }
+    if (!rejected.ok()) {
+      if (rejected.message().find("overloaded") != std::string::npos) {
+        rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        error_responses_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (!WriteFrame(conn->fd, FrameType::kError, SerializeStatus(rejected))
+               .ok()) {
+        break;
+      }
+      continue;
+    }
+    queue_cv_.notify_one();
+
+    // Strict request/response: wait for the worker, then write. The request
+    // lives on this stack frame, so the wait must be unconditional.
+    auto [type, payload] = response.get();
+    RecordLatency(ElapsedMs(request.admitted));
+    if (!WriteFrame(conn->fd, type, payload).ok()) break;
+  }
+  ::shutdown(conn->fd, SHUT_RDWR);
+  conn->done.store(true);
+}
+
+void AssessServer::WorkerLoop() {
+  while (true) {
+    Request* request = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock,
+                     [this] { return !queue_.empty() || workers_exit_; });
+      if (queue_.empty()) return;  // workers_exit_ and nothing left to drain
+      request = queue_.front();
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    auto response = ExecuteRequest(request);
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) drain_cv_.notify_all();
+    }
+    // Fulfilled only after in_flight_ dropped: a request whose response is
+    // ready is no longer in flight, so a stats probe right after a reply
+    // never sees a phantom in-flight request. Last touch of `request` — the
+    // reader owns it and may free it once the future resolves.
+    request->response.set_value(std::move(response));
+  }
+}
+
+std::pair<FrameType, std::string> AssessServer::ExecuteRequest(
+    Request* request) {
+  const int64_t timeout_ms = options_.request_timeout_ms;
+  auto overdue = [&] {
+    return timeout_ms > 0 && ElapsedMs(request->admitted) >
+                                 static_cast<double>(timeout_ms);
+  };
+  auto timeout_status = [&](const char* where) {
+    char msg[96];
+    std::snprintf(msg, sizeof(msg), "request exceeded %lld ms deadline %s",
+                  static_cast<long long>(timeout_ms), where);
+    return Status::Timeout(msg);
+  };
+
+  FrameType type = FrameType::kError;
+  std::string payload;
+  if (overdue()) {
+    // Spent its whole budget waiting for a worker; do not execute at all.
+    timeouts_.fetch_add(1, std::memory_order_relaxed);
+    payload = SerializeStatus(timeout_status("while queued"));
+  } else {
+    if (options_.pre_execute_hook) options_.pre_execute_hook();
+    Result<AssessResult> result =
+        request->conn->session->Query(request->statement);
+    if (overdue()) {
+      timeouts_.fetch_add(1, std::memory_order_relaxed);
+      payload = SerializeStatus(timeout_status("during execution"));
+    } else if (!result.ok()) {
+      error_responses_.fetch_add(1, std::memory_order_relaxed);
+      payload = SerializeStatus(result.status());
+    } else {
+      payload = SerializeAssessResult(*result);
+      if (payload.size() + 1 > options_.max_frame_bytes) {
+        char msg[96];
+        std::snprintf(msg, sizeof(msg),
+                      "result of %zu bytes exceeds the %zu byte frame limit",
+                      payload.size(), options_.max_frame_bytes);
+        error_responses_.fetch_add(1, std::memory_order_relaxed);
+        payload = SerializeStatus(Status::OutOfRange(msg));
+      } else {
+        type = FrameType::kResult;
+        ok_responses_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  return {type, std::move(payload)};
+}
+
+void AssessServer::RecordLatency(double ms) {
+  std::lock_guard<std::mutex> lock(latency_mutex_);
+  latency_window_[latency_next_] = ms;
+  latency_next_ = (latency_next_ + 1) % latency_window_.size();
+  latency_count_ = std::min(latency_count_ + 1, latency_window_.size());
+}
+
+ServerStats AssessServer::Snapshot() const {
+  ServerStats stats;
+  stats.total_requests = total_requests_.load(std::memory_order_relaxed);
+  stats.ok_responses = ok_responses_.load(std::memory_order_relaxed);
+  stats.error_responses = error_responses_.load(std::memory_order_relaxed);
+  stats.rejected_overload =
+      rejected_overload_.load(std::memory_order_relaxed);
+  stats.timeouts = timeouts_.load(std::memory_order_relaxed);
+  stats.worker_threads = workers_.size();
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stats.queued = queue_.size();
+    stats.in_flight = static_cast<uint64_t>(in_flight_);
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (const auto& conn : connections_) {
+      if (!conn->done.load()) ++stats.connections;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(latency_mutex_);
+    std::vector<double> sorted(latency_window_.begin(),
+                               latency_window_.begin() + latency_count_);
+    std::sort(sorted.begin(), sorted.end());
+    stats.p50_ms = Percentile(sorted, 0.50);
+    stats.p90_ms = Percentile(sorted, 0.90);
+    stats.p99_ms = Percentile(sorted, 0.99);
+  }
+  if (options_.engine.shared_cache) {
+    CacheStats cache = options_.engine.shared_cache->stats();
+    stats.cache_lookups = cache.lookups;
+    stats.cache_exact_hits = cache.exact_hits;
+    stats.cache_subsumption_hits = cache.subsumption_hits;
+    stats.cache_misses = cache.misses;
+    stats.cache_entries = cache.entries;
+    stats.cache_bytes = cache.bytes_resident;
+  }
+  return stats;
+}
+
+}  // namespace assess

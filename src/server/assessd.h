@@ -1,0 +1,163 @@
+#ifndef ASSESS_SERVER_ASSESSD_H_
+#define ASSESS_SERVER_ASSESSD_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "assess/session.h"
+#include "server/protocol.h"
+#include "storage/star_schema.h"
+
+namespace assess {
+
+/// \brief Tuning knobs of an AssessServer.
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read the actual one from port() after
+  /// Start() (the way the loopback tests and benches run many servers).
+  uint16_t port = 0;
+  /// Size of the execution worker pool; <= 0 means one per hardware thread.
+  int worker_threads = 0;
+  /// Admission control: at most this many requests may wait for a worker;
+  /// further queries are rejected immediately with kUnavailable ("server
+  /// overloaded") instead of building an unbounded backlog.
+  int max_queue = 128;
+  /// Connections beyond this are greeted with kUnavailable and closed.
+  int max_connections = 256;
+  int listen_backlog = 64;
+  /// Per-request wall-clock budget, measured from admission (enqueue) to
+  /// response readiness. Requests that overstay — waiting or executing —
+  /// are answered with kTimeout. <= 0 disables the deadline.
+  int64_t request_timeout_ms = 30'000;
+  /// Protocol frame cap for this server (requests and responses).
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Engine configuration for the per-connection sessions. When the result
+  /// cache is enabled and no shared_cache is given, Start() creates one, so
+  /// all connections pool warm results by construction.
+  EngineOptions engine;
+  /// Test-only: runs at the start of each query's execution, inside the
+  /// worker, before the session is consulted. Lets tests make execution
+  /// arbitrarily slow to exercise admission control and timeouts.
+  std::function<void()> pre_execute_hook;
+};
+
+/// \brief assessd: a concurrent TCP server exposing one StarDatabase to many
+/// remote assess sessions over the framed protocol of server/protocol.h.
+///
+/// Threading model — one acceptor, one reader per connection, a bounded
+/// worker pool:
+///
+///   - The acceptor thread accepts sockets and spawns a reader thread per
+///     connection, each owning a private AssessSession. All sessions share
+///     the server's EngineOptions::shared_cache, so any connection's warm
+///     results serve every other connection (the PR-1 cache finally used as
+///     designed).
+///   - Readers parse frames, answer control frames (kPing, kStats) inline,
+///     and submit kQuery frames to the bounded request queue. Strict
+///     request/response per connection: a reader waits for the response and
+///     writes it before reading the next frame, so a session is never used
+///     by two threads at once.
+///   - Workers pop requests, enforce the wall-clock deadline, execute via
+///     the connection's session and hand the serialized response back to
+///     the reader.
+///
+/// Backpressure is explicit: a full queue rejects with kUnavailable rather
+/// than queueing unboundedly, and the queue bound plus strict per-connection
+/// request/response cap memory at (connections + queue) outstanding frames.
+///
+/// Shutdown (Stop(), also run by the destructor) is a graceful drain: stop
+/// accepting connections and admitting queries, let queued and in-flight
+/// requests complete and their responses flush, then close connections and
+/// join all threads. The assessd daemon wires SIGINT/SIGTERM to Stop().
+class AssessServer {
+ public:
+  /// \brief `db` must outlive the server and stay immutable while serving
+  /// (the same contract the shared cache already imposes).
+  AssessServer(const StarDatabase* db, ServerOptions options);
+  ~AssessServer();
+
+  AssessServer(const AssessServer&) = delete;
+  AssessServer& operator=(const AssessServer&) = delete;
+
+  /// \brief Binds, then starts the acceptor and the worker pool.
+  Status Start();
+
+  /// \brief Graceful drain; idempotent and safe to call concurrently with
+  /// serving traffic.
+  void Stop();
+
+  /// \brief The bound port (valid after a successful Start()).
+  uint16_t port() const { return port_; }
+
+  /// \brief Point-in-time server statistics (what kStats returns).
+  ServerStats Snapshot() const;
+
+ private:
+  struct Connection;
+  struct Request;
+
+  void AcceptLoop();
+  void ReaderLoop(Connection* conn);
+  void WorkerLoop();
+
+  /// Executes one admitted request; the worker loop fulfils the promise
+  /// with the returned (frame type, payload) after leaving the in-flight
+  /// count.
+  std::pair<FrameType, std::string> ExecuteRequest(Request* request);
+
+  void RecordLatency(double ms);
+  void ReapFinishedConnections();
+
+  const StarDatabase* db_;
+  ServerOptions options_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  // Connections (guarded by conn_mutex_). Readers mark themselves done;
+  // the acceptor reaps finished ones so long-lived servers do not grow.
+  mutable std::mutex conn_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+
+  // Request queue (guarded by queue_mutex_). stopping_ is flipped under the
+  // same mutex so admission and drain cannot race.
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;   // workers: work available / exiting
+  std::condition_variable drain_cv_;   // Stop(): queue empty and idle
+  std::deque<Request*> queue_;
+  bool stopping_ = false;
+  bool workers_exit_ = false;
+  int in_flight_ = 0;
+
+  bool started_ = false;
+  bool stopped_ = false;
+  std::mutex lifecycle_mutex_;
+
+  // Monotonic counters.
+  std::atomic<uint64_t> total_requests_{0};
+  std::atomic<uint64_t> ok_responses_{0};
+  std::atomic<uint64_t> error_responses_{0};
+  std::atomic<uint64_t> rejected_overload_{0};
+  std::atomic<uint64_t> timeouts_{0};
+
+  // Sliding latency window (guarded by latency_mutex_).
+  mutable std::mutex latency_mutex_;
+  std::vector<double> latency_window_;
+  size_t latency_next_ = 0;
+  size_t latency_count_ = 0;
+};
+
+}  // namespace assess
+
+#endif  // ASSESS_SERVER_ASSESSD_H_

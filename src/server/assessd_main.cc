@@ -1,0 +1,142 @@
+// assessd: serves a star database to remote assess sessions over TCP.
+//
+//   assessd [--sales | --ssb [--sf X]] [--host H] [--port P] [--workers N]
+//           [--queue N] [--timeout-ms N] [--cache-mb N] [--max-frame-mb N]
+//
+// Loads the database once, then serves the framed protocol of
+// server/protocol.h until SIGINT/SIGTERM, which trigger a graceful drain
+// (in-flight and queued requests complete, new ones are rejected). Connect
+// with `assess_client` or `assess_cli --connect host:port`.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "server/assessd.h"
+#include "ssb/sales_generator.h"
+#include "ssb/ssb_generator.h"
+
+namespace {
+
+// Signal handlers may only touch lock-free state; the main thread sleeps in
+// sigwait-style polling on this flag and runs the actual drain.
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void HandleSignal(int) { g_shutdown = 1; }
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--sales | --ssb] [--sf X] [--host H] [--port P]\n"
+      "          [--workers N] [--queue N] [--timeout-ms N] [--cache-mb N]\n"
+      "          [--max-frame-mb N]\n"
+      "Serves the SALES (default) or SSB database on H:P (default "
+      "127.0.0.1:%u).\n",
+      argv0, assess::kDefaultPort);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool use_ssb = false;
+  double scale_factor = 0.02;
+  assess::ServerOptions options;
+  options.port = assess::kDefaultPort;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--ssb") {
+      use_ssb = true;
+    } else if (arg == "--sales") {
+      use_ssb = false;
+    } else if (arg == "--sf") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      scale_factor = std::atof(v);
+    } else if (arg == "--host") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.host = v;
+    } else if (arg == "--port") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.port = static_cast<uint16_t>(std::atoi(v));
+    } else if (arg == "--workers") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.worker_threads = std::atoi(v);
+    } else if (arg == "--queue") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.max_queue = std::atoi(v);
+    } else if (arg == "--timeout-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.request_timeout_ms = std::atoll(v);
+    } else if (arg == "--cache-mb") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.engine.cache.budget_bytes =
+          static_cast<size_t>(std::atoll(v)) << 20;
+    } else if (arg == "--max-frame-mb") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.max_frame_bytes = static_cast<size_t>(std::atoll(v)) << 20;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  std::unique_ptr<assess::StarDatabase> db;
+  if (use_ssb) {
+    assess::SsbConfig config;
+    config.scale_factor = scale_factor;
+    auto built = assess::BuildSsbDatabase(config);
+    if (!built.ok()) {
+      std::fprintf(stderr, "cannot build SSB database: %s\n",
+                   built.status().ToString().c_str());
+      return 1;
+    }
+    db = std::move(built).value();
+    std::fprintf(stderr, "assessd: SSB database ready (SF %.3g)\n",
+                 scale_factor);
+  } else {
+    auto built = assess::BuildSalesDatabase(assess::SalesConfig{});
+    if (!built.ok()) {
+      std::fprintf(stderr, "cannot build SALES database: %s\n",
+                   built.status().ToString().c_str());
+      return 1;
+    }
+    db = std::move(built).value();
+    std::fprintf(stderr, "assessd: SALES database ready\n");
+  }
+
+  assess::AssessServer server(db.get(), options);
+  assess::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "assessd: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "assessd: listening on %s:%u\n", options.host.c_str(),
+               server.port());
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_shutdown == 0) {
+    // nanosleep returns early (EINTR) when a signal lands; re-check then.
+    struct timespec tick = {1, 0};
+    nanosleep(&tick, nullptr);
+  }
+
+  std::fprintf(stderr, "assessd: draining...\n");
+  server.Stop();
+  std::fprintf(stderr, "assessd: stopped\n");
+  return 0;
+}

@@ -1,0 +1,339 @@
+#include "server/protocol.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace assess {
+namespace {
+
+Status SendAll(int fd, const char* data, size_t len) {
+  size_t written = 0;
+  while (written < len) {
+    ssize_t n = ::send(fd, data + written, len - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("send failed: ") +
+                                 std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Reads exactly `len` bytes. `*eof` is set when the peer closed cleanly
+/// before the first byte (only meaningful on a non-OK return).
+Status RecvAll(int fd, char* data, size_t len, bool* eof) {
+  *eof = false;
+  size_t read = 0;
+  while (read < len) {
+    ssize_t n = ::recv(fd, data + read, len - read, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("recv failed: ") +
+                                 std::strerror(errno));
+    }
+    if (n == 0) {
+      *eof = read == 0;
+      return Status::Unavailable(read == 0 ? "connection closed"
+                                           : "connection closed mid-frame");
+    }
+    read += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+void PutU32Le(char* out, uint32_t v) {
+  out[0] = static_cast<char>(v & 0xFF);
+  out[1] = static_cast<char>((v >> 8) & 0xFF);
+  out[2] = static_cast<char>((v >> 16) & 0xFF);
+  out[3] = static_cast<char>((v >> 24) & 0xFF);
+}
+
+uint32_t GetU32Le(const char* in) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(in[0])) |
+         static_cast<uint32_t>(static_cast<uint8_t>(in[1])) << 8 |
+         static_cast<uint32_t>(static_cast<uint8_t>(in[2])) << 16 |
+         static_cast<uint32_t>(static_cast<uint8_t>(in[3])) << 24;
+}
+
+bool IsKnownFrameType(uint8_t type) {
+  switch (static_cast<FrameType>(type)) {
+    case FrameType::kQuery:
+    case FrameType::kStats:
+    case FrameType::kPing:
+    case FrameType::kResult:
+    case FrameType::kError:
+    case FrameType::kStatsReply:
+    case FrameType::kPong:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, FrameType type, std::string_view payload) {
+  if (payload.size() + 1 > UINT32_MAX) {
+    return Status::InvalidArgument("frame payload too large");
+  }
+  std::string buf;
+  buf.reserve(5 + payload.size());
+  char header[5];
+  PutU32Le(header, static_cast<uint32_t>(payload.size() + 1));
+  header[4] = static_cast<char>(type);
+  buf.append(header, 5);
+  buf.append(payload.data(), payload.size());
+  return SendAll(fd, buf.data(), buf.size());
+}
+
+Status ReadFrame(int fd, size_t max_frame_bytes, Frame* out) {
+  char header[5];
+  bool eof = false;
+  ASSESS_RETURN_NOT_OK(RecvAll(fd, header, 4, &eof));
+  uint32_t length = GetU32Le(header);
+  if (length == 0) {
+    return Status::InvalidArgument("frame with zero length");
+  }
+  if (length > max_frame_bytes) {
+    char msg[64];
+    std::snprintf(msg, sizeof(msg), "frame of %u bytes exceeds limit %zu",
+                  length, max_frame_bytes);
+    return Status::InvalidArgument(msg);
+  }
+  ASSESS_RETURN_NOT_OK(RecvAll(fd, header + 4, 1, &eof));
+  uint8_t type = static_cast<uint8_t>(header[4]);
+  if (!IsKnownFrameType(type)) {
+    return Status::InvalidArgument("unknown frame type");
+  }
+  out->type = static_cast<FrameType>(type);
+  out->payload.resize(length - 1);
+  if (length > 1) {
+    ASSESS_RETURN_NOT_OK(RecvAll(fd, out->payload.data(), length - 1, &eof));
+  }
+  return Status::OK();
+}
+
+Result<ListenSocket> ListenOn(const std::string& host, uint16_t port,
+                              int backlog) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Unavailable(std::string("socket failed: ") +
+                               std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    CloseSocket(fd);
+    return Status::InvalidArgument("cannot parse listen address '" + host +
+                                   "'");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st = Status::Unavailable(std::string("bind failed: ") +
+                                    std::strerror(errno));
+    CloseSocket(fd);
+    return st;
+  }
+  if (::listen(fd, backlog) < 0) {
+    Status st = Status::Unavailable(std::string("listen failed: ") +
+                                    std::strerror(errno));
+    CloseSocket(fd);
+    return st;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) < 0) {
+    Status st = Status::Unavailable(std::string("getsockname failed: ") +
+                                    std::strerror(errno));
+    CloseSocket(fd);
+    return st;
+  }
+  return ListenSocket{fd, ntohs(bound.sin_port)};
+}
+
+Result<int> ConnectTo(const std::string& host, uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* resolved = nullptr;
+  char port_text[8];
+  std::snprintf(port_text, sizeof(port_text), "%u", port);
+  int rc = ::getaddrinfo(host.c_str(), port_text, &hints, &resolved);
+  if (rc != 0) {
+    return Status::Unavailable("cannot resolve '" + host +
+                               "': " + gai_strerror(rc));
+  }
+  Status last = Status::Unavailable("no addresses for '" + host + "'");
+  for (addrinfo* ai = resolved; ai != nullptr; ai = ai->ai_next) {
+    int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      ::freeaddrinfo(resolved);
+      return fd;
+    }
+    last = Status::Unavailable("connect to " + host + ":" + port_text +
+                               " failed: " + std::strerror(errno));
+    CloseSocket(fd);
+  }
+  ::freeaddrinfo(resolved);
+  return last;
+}
+
+void CloseSocket(int fd) {
+  if (fd < 0) return;
+  while (::close(fd) < 0 && errno == EINTR) {
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ServerStats
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void PutVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+void PutDouble(std::string* out, double v) {
+  uint64_t bits = std::bit_cast<uint64_t>(v);
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((bits >> (8 * i)) & 0xFF));
+  }
+}
+
+struct StatsReader {
+  std::string_view data;
+  size_t pos = 0;
+
+  Status GetVarint(uint64_t* out) {
+    uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      if (pos >= data.size()) {
+        return Status::InvalidArgument("stats: truncated varint");
+      }
+      uint8_t byte = static_cast<uint8_t>(data[pos++]);
+      v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) {
+        *out = v;
+        return Status::OK();
+      }
+    }
+    return Status::InvalidArgument("stats: varint too long");
+  }
+
+  Status GetDouble(double* out) {
+    if (data.size() - pos < 8) {
+      return Status::InvalidArgument("stats: truncated double");
+    }
+    uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i) {
+      bits |= static_cast<uint64_t>(static_cast<uint8_t>(data[pos + i]))
+              << (8 * i);
+    }
+    pos += 8;
+    *out = std::bit_cast<double>(bits);
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+std::string ServerStats::Serialize() const {
+  std::string out;
+  out.push_back('T');  // stats magic
+  out.push_back(0x01);
+  for (uint64_t v : {total_requests, ok_responses, error_responses,
+                     rejected_overload, timeouts, queued, in_flight,
+                     connections, worker_threads}) {
+    PutVarint(&out, v);
+  }
+  PutDouble(&out, p50_ms);
+  PutDouble(&out, p90_ms);
+  PutDouble(&out, p99_ms);
+  for (uint64_t v : {cache_lookups, cache_exact_hits, cache_subsumption_hits,
+                     cache_misses, cache_entries, cache_bytes}) {
+    PutVarint(&out, v);
+  }
+  return out;
+}
+
+Result<ServerStats> ServerStats::Deserialize(std::string_view data) {
+  StatsReader reader{data};
+  if (data.size() < 2 || data[0] != 'T' || data[1] != 0x01) {
+    return Status::InvalidArgument("stats: bad magic");
+  }
+  reader.pos = 2;
+  ServerStats stats;
+  uint64_t* ints[] = {&stats.total_requests,    &stats.ok_responses,
+                      &stats.error_responses,   &stats.rejected_overload,
+                      &stats.timeouts,          &stats.queued,
+                      &stats.in_flight,         &stats.connections,
+                      &stats.worker_threads};
+  for (uint64_t* slot : ints) {
+    ASSESS_RETURN_NOT_OK(reader.GetVarint(slot));
+  }
+  ASSESS_RETURN_NOT_OK(reader.GetDouble(&stats.p50_ms));
+  ASSESS_RETURN_NOT_OK(reader.GetDouble(&stats.p90_ms));
+  ASSESS_RETURN_NOT_OK(reader.GetDouble(&stats.p99_ms));
+  uint64_t* cache_ints[] = {&stats.cache_lookups, &stats.cache_exact_hits,
+                            &stats.cache_subsumption_hits,
+                            &stats.cache_misses,  &stats.cache_entries,
+                            &stats.cache_bytes};
+  for (uint64_t* slot : cache_ints) {
+    ASSESS_RETURN_NOT_OK(reader.GetVarint(slot));
+  }
+  if (reader.pos != data.size()) {
+    return Status::InvalidArgument("stats: trailing bytes");
+  }
+  return stats;
+}
+
+std::string ServerStats::ToString() const {
+  char buf[768];
+  std::snprintf(
+      buf, sizeof(buf),
+      "requests: %llu total, %llu ok, %llu errors, %llu overload-rejected, "
+      "%llu timeouts\n"
+      "load: %llu queued, %llu in flight, %llu connections, %llu workers\n"
+      "latency: p50 %.3f ms, p90 %.3f ms, p99 %.3f ms\n"
+      "cache: %llu lookups, %llu exact hits, %llu subsumption hits, "
+      "%llu misses (hit rate %.1f%%)\n"
+      "       %llu entries, %.1f MiB resident",
+      static_cast<unsigned long long>(total_requests),
+      static_cast<unsigned long long>(ok_responses),
+      static_cast<unsigned long long>(error_responses),
+      static_cast<unsigned long long>(rejected_overload),
+      static_cast<unsigned long long>(timeouts),
+      static_cast<unsigned long long>(queued),
+      static_cast<unsigned long long>(in_flight),
+      static_cast<unsigned long long>(connections),
+      static_cast<unsigned long long>(worker_threads), p50_ms, p90_ms, p99_ms,
+      static_cast<unsigned long long>(cache_lookups),
+      static_cast<unsigned long long>(cache_exact_hits),
+      static_cast<unsigned long long>(cache_subsumption_hits),
+      static_cast<unsigned long long>(cache_misses), 100.0 * cache_hit_rate(),
+      static_cast<unsigned long long>(cache_entries),
+      cache_bytes / (1024.0 * 1024.0));
+  return buf;
+}
+
+}  // namespace assess

@@ -1,0 +1,135 @@
+#ifndef ASSESS_SERVER_PROTOCOL_H_
+#define ASSESS_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace assess {
+
+/// \brief The assessd wire protocol: a length-prefixed framed request /
+/// response exchange over TCP, shared by the server (src/server/assessd.h)
+/// and the client library (src/client/assess_client.h).
+///
+/// Frame layout (all on-wire integers little-endian):
+///
+///   frame   := length(u32 LE) | type(u8) | payload(length - 1 bytes)
+///
+/// `length` counts the type byte plus the payload, so a valid frame has
+/// length >= 1; frames whose length exceeds the configured maximum
+/// (kDefaultMaxFrameBytes unless overridden) are rejected without reading
+/// the payload — the peer cannot make the receiver allocate unboundedly.
+///
+/// Exchange model: strict request/response per connection. The client sends
+/// one request frame and reads exactly one response frame before sending the
+/// next; the server serves many connections concurrently but at most one
+/// in-flight request per connection.
+///
+///   request  kQuery  payload = assess statement (UTF-8 text)
+///            kStats  payload empty; server answers with kStatsReply
+///            kPing   payload empty; liveness probe
+///   response kResult payload = SerializeAssessResult bytes
+///            kError  payload = SerializeStatus bytes (typed code + message)
+///            kStatsReply payload = ServerStats::Serialize bytes
+///            kPong   payload empty
+///
+/// Malformed traffic (length 0, oversized length, unknown type, truncated
+/// frame, garbage) terminates only the offending connection: the server
+/// answers with a kError frame when the stream is still framable and closes
+/// the socket, leaving every other connection serving.
+enum class FrameType : uint8_t {
+  kQuery = 0x01,
+  kStats = 0x02,
+  kPing = 0x03,
+  kResult = 0x11,
+  kError = 0x12,
+  kStatsReply = 0x13,
+  kPong = 0x14,
+};
+
+/// Frames larger than this are protocol violations by default; both sides
+/// take the cap as a parameter so deployments can raise it.
+inline constexpr size_t kDefaultMaxFrameBytes = size_t{16} << 20;  // 16 MiB
+
+/// The port assessd binds when none is given (0 picks an ephemeral port).
+inline constexpr uint16_t kDefaultPort = 7117;
+
+/// \brief One decoded frame.
+struct Frame {
+  FrameType type = FrameType::kPing;
+  std::string payload;
+};
+
+/// \brief Writes one frame to `fd`, looping over partial sends and EINTR.
+/// Uses MSG_NOSIGNAL, so writing to a dead peer yields kUnavailable rather
+/// than SIGPIPE.
+Status WriteFrame(int fd, FrameType type, std::string_view payload);
+
+/// \brief Reads one frame from `fd` into `*out`.
+///
+/// Returns kUnavailable("connection closed") on a clean close at a frame
+/// boundary, kUnavailable("...mid-frame...") when the peer vanished partway
+/// through a frame, and kInvalidArgument when the stream is unframable
+/// (length 0 or length > max_frame_bytes) — in which case the stream is
+/// desynchronized and the caller should close it.
+Status ReadFrame(int fd, size_t max_frame_bytes, Frame* out);
+
+/// \brief Opens a listening TCP socket on host:port (port 0 = ephemeral).
+/// Returns the fd and the actually bound port.
+struct ListenSocket {
+  int fd = -1;
+  uint16_t port = 0;
+};
+Result<ListenSocket> ListenOn(const std::string& host, uint16_t port,
+                              int backlog);
+
+/// \brief Connects to host:port; returns the connected fd.
+Result<int> ConnectTo(const std::string& host, uint16_t port);
+
+/// \brief Closes `fd` if open (EINTR-safe, idempotent with fd < 0).
+void CloseSocket(int fd);
+
+/// \brief The server-side counters a kStats request returns: request
+/// outcomes, backpressure state, client-observed latency percentiles and
+/// the shared result cache's counters. All values are a point-in-time
+/// snapshot.
+struct ServerStats {
+  uint64_t total_requests = 0;     ///< query frames admitted or rejected
+  uint64_t ok_responses = 0;       ///< kResult responses sent
+  uint64_t error_responses = 0;    ///< kError responses (excluding below)
+  uint64_t rejected_overload = 0;  ///< admission-control rejections
+  uint64_t timeouts = 0;           ///< per-request deadline violations
+  uint64_t queued = 0;             ///< requests waiting for a worker
+  uint64_t in_flight = 0;          ///< requests executing right now
+  uint64_t connections = 0;        ///< open client connections
+  uint64_t worker_threads = 0;     ///< size of the worker pool
+  double p50_ms = 0.0;             ///< request latency percentiles over a
+  double p90_ms = 0.0;             ///< sliding window (queue wait +
+  double p99_ms = 0.0;             ///< execution + serialization)
+  uint64_t cache_lookups = 0;      ///< shared result cache counters
+  uint64_t cache_exact_hits = 0;
+  uint64_t cache_subsumption_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_entries = 0;
+  uint64_t cache_bytes = 0;
+
+  double cache_hit_rate() const {
+    return cache_lookups > 0
+               ? static_cast<double>(cache_exact_hits +
+                                     cache_subsumption_hits) /
+                     static_cast<double>(cache_lookups)
+               : 0.0;
+  }
+
+  std::string Serialize() const;
+  static Result<ServerStats> Deserialize(std::string_view data);
+
+  /// \brief Multi-line human-readable rendering (the CLI's \stats output).
+  std::string ToString() const;
+};
+
+}  // namespace assess
+
+#endif  // ASSESS_SERVER_PROTOCOL_H_

@@ -1,0 +1,479 @@
+// Loopback integration tests for assessd: remote results bit-identical to
+// the in-process session, typed errors that never cost the connection,
+// >= 8 concurrent clients over one shared cache, admission control,
+// per-request timeouts, protocol robustness against malformed traffic, and
+// graceful drain. Also the TSan target for the shared-cache / worker-pool
+// paths (see .github/workflows/ci.yml).
+
+#include "server/assessd.h"
+
+#include <sys/socket.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "assess/session.h"
+#include "assess/wire_format.h"
+#include "client/assess_client.h"
+#include "server/protocol.h"
+#include "test_util.h"
+
+namespace assess {
+namespace {
+
+using ::assess::testutil::BuildMiniSales;
+
+// Mixed workload over the MiniSales database: one statement per benchmark
+// shape the planner distinguishes (sibling/POP, constant/NP, past, roll-up).
+const char* kSibling =
+    "with SALES for country = 'Italy' by product, country assess quantity "
+    "against country = 'France' labels quartiles";
+const char* kConstant =
+    "with SALES by month assess sales against 10 labels quartiles";
+const char* kPast =
+    "with SALES for month = '1997-07' by month, store assess sales "
+    "against past 2 labels quartiles";
+const char* kRollup = "with SALES by month assess sales labels quartiles";
+
+std::vector<std::string> MixedStatements() {
+  return {kSibling, kConstant, kPast, kRollup};
+}
+
+/// Everything except timings must match bit-for-bit between a remote and an
+/// in-process execution of the same statement (timings are measured, so
+/// they legitimately differ run to run).
+void ExpectSameComputation(const AssessResult& expected,
+                           const AssessResult& actual) {
+  EXPECT_EQ(expected.plan, actual.plan);
+  EXPECT_EQ(expected.measure, actual.measure);
+  EXPECT_EQ(expected.benchmark_measure, actual.benchmark_measure);
+  EXPECT_EQ(expected.comparison_measure, actual.comparison_measure);
+  EXPECT_EQ(expected.sql, actual.sql);
+  const Cube& lhs = expected.cube;
+  const Cube& rhs = actual.cube;
+  ASSERT_EQ(lhs.level_count(), rhs.level_count());
+  ASSERT_EQ(lhs.measure_count(), rhs.measure_count());
+  ASSERT_EQ(lhs.NumRows(), rhs.NumRows());
+  for (int l = 0; l < lhs.level_count(); ++l) {
+    EXPECT_EQ(lhs.level(l).name(), rhs.level(l).name());
+    for (int64_t r = 0; r < lhs.NumRows(); ++r) {
+      ASSERT_EQ(lhs.CoordName(r, l), rhs.CoordName(r, l))
+          << "row " << r << " level " << l;
+    }
+  }
+  for (int m = 0; m < lhs.measure_count(); ++m) {
+    EXPECT_EQ(lhs.measure_name(m), rhs.measure_name(m));
+    for (int64_t r = 0; r < lhs.NumRows(); ++r) {
+      double x = lhs.MeasureAt(r, m), y = rhs.MeasureAt(r, m);
+      ASSERT_EQ(std::isnan(x), std::isnan(y));
+      if (!std::isnan(x)) {
+        ASSERT_EQ(x, y) << "row " << r << " measure " << m;
+      }
+    }
+  }
+  EXPECT_EQ(lhs.labels(), rhs.labels());
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  ServerTest() : mini_(BuildMiniSales()) {}
+
+  /// Starts a server on an ephemeral loopback port.
+  std::unique_ptr<AssessServer> StartServer(ServerOptions options = {}) {
+    auto server = std::make_unique<AssessServer>(mini_.db.get(), options);
+    Status started = server->Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+    return server;
+  }
+
+  AssessClient ConnectOrDie(const AssessServer& server) {
+    auto client = AssessClient::Connect("127.0.0.1", server.port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(client).value();
+  }
+
+  testutil::MiniDb mini_;
+};
+
+TEST_F(ServerTest, StartPingStop) {
+  auto server = StartServer();
+  ASSERT_GT(server->port(), 0);
+  AssessClient client = ConnectOrDie(*server);
+  EXPECT_TRUE(client.Ping().ok());
+  server->Stop();
+  // Stop is idempotent; a stopped server refuses new connections.
+  server->Stop();
+  auto late = AssessClient::Connect("127.0.0.1", server->port());
+  if (late.ok()) {
+    EXPECT_FALSE(late->Ping().ok());
+  }
+}
+
+TEST_F(ServerTest, RemoteResultsMatchInProcessSession) {
+  auto server = StartServer();
+  AssessClient client = ConnectOrDie(*server);
+  AssessSession local(mini_.db.get());
+  for (const std::string& statement : MixedStatements()) {
+    auto expected = local.Query(statement);
+    ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+    auto remote = client.Query(statement);
+    ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+    ExpectSameComputation(*expected, *remote);
+    // Remote timings are real measurements from the server.
+    EXPECT_GE(remote->timings.Total(), 0.0);
+  }
+}
+
+TEST_F(ServerTest, ErrorsTravelAsTypedCodesAndKeepTheConnection) {
+  auto server = StartServer();
+  AssessClient client = ConnectOrDie(*server);
+
+  auto syntax = client.Query("select * from sales");
+  ASSERT_FALSE(syntax.ok());
+  EXPECT_EQ(syntax.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(syntax.status().message().empty());
+
+  auto unknown = client.Query(
+      "with NOPE by month assess sales against 10 labels quartiles");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+
+  // The same connection keeps serving after both errors.
+  ASSERT_TRUE(client.connected());
+  auto ok = client.Query(kConstant);
+  EXPECT_TRUE(ok.ok()) << ok.status().ToString();
+}
+
+TEST_F(ServerTest, EightConcurrentClientsBitIdenticalResults) {
+  constexpr int kClients = 8;
+  constexpr int kRoundsPerClient = 6;
+  auto server = StartServer();
+
+  // Expected results computed in-process, once, up front.
+  AssessSession local(mini_.db.get());
+  std::vector<std::string> statements = MixedStatements();
+  std::vector<AssessResult> expected;
+  for (const std::string& statement : statements) {
+    auto r = local.Query(statement);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    expected.push_back(std::move(*r));
+  }
+
+  std::atomic<int> failures{0};
+  std::atomic<int> completed{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto client = AssessClient::Connect("127.0.0.1", server->port());
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      for (int round = 0; round < kRoundsPerClient; ++round) {
+        // Different clients walk the workload with different phases, so at
+        // any instant a mix of statements is in flight.
+        size_t pick = static_cast<size_t>(c + round) % statements.size();
+        auto remote = client->Query(statements[pick]);
+        if (!remote.ok()) {
+          ++failures;
+          continue;
+        }
+        ExpectSameComputation(expected[pick], *remote);
+        ++completed;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(completed.load(), kClients * kRoundsPerClient);
+
+  // All connections pooled one cache: with 8 clients x 6 rounds over 4
+  // distinct statements, most executions must have been cache hits.
+  AssessClient probe = ConnectOrDie(*server);
+  auto stats = probe.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->ok_responses, static_cast<uint64_t>(kClients *
+                                                       kRoundsPerClient));
+  EXPECT_GT(stats->cache_lookups, 0u);
+  EXPECT_GT(stats->cache_exact_hits + stats->cache_subsumption_hits, 0u);
+}
+
+TEST_F(ServerTest, StatsReportLoadLatencyAndCache) {
+  auto server = StartServer();
+  AssessClient client = ConnectOrDie(*server);
+  ASSERT_TRUE(client.Query(kSibling).ok());
+  ASSERT_TRUE(client.Query(kSibling).ok());  // second run: exact cache hit
+  ASSERT_FALSE(client.Query("nonsense").ok());
+
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->total_requests, 3u);
+  EXPECT_EQ(stats->ok_responses, 2u);
+  EXPECT_EQ(stats->error_responses, 1u);
+  EXPECT_EQ(stats->rejected_overload, 0u);
+  EXPECT_EQ(stats->timeouts, 0u);
+  EXPECT_EQ(stats->in_flight, 0u);
+  EXPECT_EQ(stats->queued, 0u);
+  EXPECT_GE(stats->worker_threads, 1u);
+  EXPECT_GE(stats->connections, 1u);
+  EXPECT_GT(stats->cache_lookups, 0u);
+  EXPECT_GT(stats->cache_exact_hits, 0u);
+  EXPECT_GT(stats->cache_hit_rate(), 0.0);
+  // Three responses recorded; the window percentiles are ordered.
+  EXPECT_GE(stats->p90_ms, stats->p50_ms);
+  EXPECT_GE(stats->p99_ms, stats->p90_ms);
+  EXPECT_GT(stats->p99_ms, 0.0);
+  // The human rendering mentions the load numbers.
+  EXPECT_NE(stats->ToString().find("hit rate"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol robustness: every abuse below must leave other connections
+// serving. kHealthyAfterwards runs a full query on a separate, well-behaved
+// connection after each abuse.
+// ---------------------------------------------------------------------------
+
+class RawConnection {
+ public:
+  explicit RawConnection(uint16_t port) {
+    auto fd = ConnectTo("127.0.0.1", port);
+    fd_ = fd.ok() ? *fd : -1;
+  }
+  ~RawConnection() { CloseSocket(fd_); }
+
+  bool ok() const { return fd_ >= 0; }
+
+  void SendBytes(const void* data, size_t len) {
+    (void)!::send(fd_, data, len, MSG_NOSIGNAL);
+  }
+
+  /// Reads one frame with a generous cap; returns its status.
+  Status ReadOneFrame(Frame* frame) {
+    return ReadFrame(fd_, size_t{64} << 20, frame);
+  }
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+TEST_F(ServerTest, MalformedTrafficLeavesServerServing) {
+  auto server = StartServer();
+  AssessClient healthy = ConnectOrDie(*server);
+
+  auto expect_healthy = [&] {
+    auto r = healthy.Query(kConstant);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+  };
+
+  {
+    // Oversized length prefix: rejected with a typed error, then closed —
+    // without the server ever allocating the claimed buffer.
+    RawConnection bad(server->port());
+    ASSERT_TRUE(bad.ok());
+    uint32_t huge = 1u << 30;  // 1 GiB, way over the 16 MiB default
+    char header[5];
+    std::memcpy(header, &huge, 4);
+    header[4] = 0x01;
+    bad.SendBytes(header, 5);
+    Frame response;
+    Status read = bad.ReadOneFrame(&response);
+    ASSERT_TRUE(read.ok()) << read.ToString();
+    EXPECT_EQ(response.type, FrameType::kError);
+    Status remote = Status::OK();
+    ASSERT_TRUE(DeserializeStatus(response.payload, &remote).ok());
+    EXPECT_EQ(remote.code(), StatusCode::kInvalidArgument);
+    // ...and the stream is closed afterwards.
+    EXPECT_FALSE(bad.ReadOneFrame(&response).ok());
+    expect_healthy();
+  }
+  {
+    // Zero-length frame: unframable.
+    RawConnection bad(server->port());
+    ASSERT_TRUE(bad.ok());
+    const char zeros[5] = {0, 0, 0, 0, 0};
+    bad.SendBytes(zeros, 4);
+    Frame response;
+    Status read = bad.ReadOneFrame(&response);
+    if (read.ok()) {
+      EXPECT_EQ(response.type, FrameType::kError);
+    }
+    expect_healthy();
+  }
+  {
+    // Truncated frame: a 100-byte announcement with 10 bytes delivered.
+    RawConnection bad(server->port());
+    ASSERT_TRUE(bad.ok());
+    uint32_t length = 100;
+    char buf[15];
+    std::memcpy(buf, &length, 4);
+    buf[4] = 0x01;
+    std::memset(buf + 5, 'x', 10);
+    bad.SendBytes(buf, 15);
+    // Close mid-frame; the server must just drop the connection.
+    expect_healthy();
+  }
+  {
+    // Garbage bytes.
+    RawConnection bad(server->port());
+    ASSERT_TRUE(bad.ok());
+    const char garbage[] = "\xde\xad\xbe\xef\xba\xad\xf0\x0d garbage";
+    bad.SendBytes(garbage, sizeof(garbage));
+    expect_healthy();
+  }
+  {
+    // Mid-request disconnect: a valid query whose sender vanishes before
+    // the response. The server executes, fails to write, and moves on.
+    RawConnection bad(server->port());
+    ASSERT_TRUE(bad.ok());
+    std::string statement = kConstant;
+    uint32_t length = static_cast<uint32_t>(statement.size() + 1);
+    std::string frame;
+    frame.append(reinterpret_cast<const char*>(&length), 4);
+    frame.push_back(0x01);
+    frame.append(statement);
+    bad.SendBytes(frame.data(), frame.size());
+  }  // RawConnection closes here, likely before the response is ready
+  expect_healthy();
+
+  // Unknown frame type.
+  {
+    RawConnection bad(server->port());
+    ASSERT_TRUE(bad.ok());
+    const char unknown[5] = {1, 0, 0, 0, 0x7F};
+    bad.SendBytes(unknown, 5);
+    Frame response;
+    Status read = bad.ReadOneFrame(&response);
+    if (read.ok()) {
+      EXPECT_EQ(response.type, FrameType::kError);
+    }
+    expect_healthy();
+  }
+}
+
+TEST_F(ServerTest, OverloadedServerRejectsWithTypedError) {
+  ServerOptions options;
+  options.worker_threads = 1;
+  options.max_queue = 1;
+  options.pre_execute_hook = [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  };
+  auto server = StartServer(options);
+
+  // 6 concurrent one-query clients against 1 worker + 1 queue slot: at
+  // most 2 can be admitted per 150 ms window, so some must be rejected.
+  // Loop a few rounds to make the race a non-event even on slow machines.
+  std::atomic<int> succeeded{0};
+  std::atomic<int> overloaded{0};
+  std::atomic<int> other{0};
+  for (int round = 0; round < 5 && (succeeded.load() == 0 ||
+                                    overloaded.load() == 0);
+       ++round) {
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 6; ++c) {
+      clients.emplace_back([&] {
+        auto client = AssessClient::Connect("127.0.0.1", server->port());
+        if (!client.ok()) {
+          ++other;
+          return;
+        }
+        auto r = client->Query(kConstant);
+        if (r.ok()) {
+          ++succeeded;
+        } else if (r.status().code() == StatusCode::kUnavailable &&
+                   r.status().message().find("overloaded") !=
+                       std::string::npos) {
+          ++overloaded;
+        } else {
+          ++other;
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+  EXPECT_GT(succeeded.load(), 0);
+  EXPECT_GT(overloaded.load(), 0);
+  EXPECT_EQ(other.load(), 0);
+
+  // Rejection is backpressure, not failure: an idle server serves again.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  AssessClient after = ConnectOrDie(*server);
+  EXPECT_TRUE(after.Query(kConstant).ok());
+  auto stats = after.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->rejected_overload,
+            static_cast<uint64_t>(overloaded.load()));
+}
+
+TEST_F(ServerTest, SlowRequestsHitTheWallClockTimeout) {
+  ServerOptions options;
+  options.request_timeout_ms = 50;
+  options.pre_execute_hook = [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  };
+  auto server = StartServer(options);
+  AssessClient client = ConnectOrDie(*server);
+  auto r = client.Query(kConstant);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTimeout);
+  EXPECT_NE(r.status().message().find("deadline"), std::string::npos);
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->timeouts, 1u);
+}
+
+TEST_F(ServerTest, ConnectionCapGreetsExtraClientsWithUnavailable) {
+  ServerOptions options;
+  options.max_connections = 1;
+  auto server = StartServer(options);
+  AssessClient first = ConnectOrDie(*server);
+  ASSERT_TRUE(first.Ping().ok());
+  auto second = AssessClient::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(second.ok());  // TCP accepts, then the server says no
+  Status st = second->Ping();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  // The first client is unaffected.
+  EXPECT_TRUE(first.Query(kConstant).ok());
+}
+
+TEST_F(ServerTest, StopDrainsInFlightRequests) {
+  ServerOptions options;
+  options.pre_execute_hook = [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  };
+  auto server = StartServer(options);
+
+  std::atomic<bool> got_result{false};
+  std::atomic<bool> query_sent{false};
+  std::thread slow_client([&] {
+    auto client = AssessClient::Connect("127.0.0.1", server->port());
+    ASSERT_TRUE(client.ok());
+    query_sent.store(true);
+    auto r = client->Query(kConstant);
+    // Graceful drain: the in-flight request completes with its result.
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    got_result.store(r.ok());
+  });
+
+  while (!query_sent.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Give the query time to reach the worker, then drain.
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  server->Stop();
+  slow_client.join();
+  EXPECT_TRUE(got_result.load());
+}
+
+}  // namespace
+}  // namespace assess

@@ -1,0 +1,235 @@
+// The compact binary wire format for AssessResult and Status: exact
+// round-trips (including NaN measures, labels, empty cubes), independence
+// from the producer's member-id assignment, and totality of the
+// deserializers over truncated and garbage bytes — this is the payload
+// format of the assessd protocol, tested here with no server involved.
+
+#include "assess/wire_format.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "assess/session.h"
+#include "common/rng.h"
+#include "olap/hierarchy.h"
+#include "test_util.h"
+
+namespace assess {
+namespace {
+
+using ::assess::testutil::BuildMiniSales;
+
+AssessResult MakeHandcraftedResult() {
+  auto dates = std::make_shared<Hierarchy>("Date");
+  int month = dates->AddLevel("month");
+  dates->AddMember(month, "1997-01");
+  dates->AddMember(month, "1997-02");
+  dates->AddMember(month, "1997-03");
+  auto stores = std::make_shared<Hierarchy>("Store");
+  int country = stores->AddLevel("country");
+  stores->AddMember(country, "Italy");
+  stores->AddMember(country, "France");
+
+  // Deliberately reference members out of id order so the re-dictionarized
+  // encoding is exercised.
+  Cube cube = Cube::FromColumns(
+      {LevelRef{dates, month}, LevelRef{stores, country}},
+      {{2, 0, 2, 1}, {1, 1, 0, 0}},
+      {"sales", "benchmark.sales", "delta"},
+      {{10.5, -3.25, 0.0, 7.0},
+       {kNullMeasure, 1e300, -0.0, 42.0},
+       {1.0, 2.0, kNullMeasure, std::numeric_limits<double>::infinity()}});
+  cube.SetLabels({"good", "bad", "", "good"});
+
+  AssessResult result;
+  result.cube = std::move(cube);
+  result.measure = "sales";
+  result.benchmark_measure = "benchmark.sales";
+  result.comparison_measure = "delta";
+  result.plan = PlanKind::kJOP;
+  result.timings.get_c = 0.25;
+  result.timings.get_cb = 1.5;
+  result.timings.label = 0.0625;
+  result.sql = {"SELECT month, country FROM sales", "SELECT 1"};
+  return result;
+}
+
+void ExpectResultsIdentical(const AssessResult& a, const AssessResult& b) {
+  EXPECT_EQ(a.measure, b.measure);
+  EXPECT_EQ(a.benchmark_measure, b.benchmark_measure);
+  EXPECT_EQ(a.comparison_measure, b.comparison_measure);
+  EXPECT_EQ(a.plan, b.plan);
+  EXPECT_EQ(a.sql, b.sql);
+  EXPECT_EQ(a.timings.Total(), b.timings.Total());
+  EXPECT_EQ(a.timings.get_c, b.timings.get_c);
+  EXPECT_EQ(a.timings.get_cb, b.timings.get_cb);
+
+  const Cube& lhs = a.cube;
+  const Cube& rhs = b.cube;
+  ASSERT_EQ(lhs.level_count(), rhs.level_count());
+  ASSERT_EQ(lhs.measure_count(), rhs.measure_count());
+  ASSERT_EQ(lhs.NumRows(), rhs.NumRows());
+  for (int l = 0; l < lhs.level_count(); ++l) {
+    EXPECT_EQ(lhs.level(l).name(), rhs.level(l).name());
+    EXPECT_EQ(lhs.level(l).hierarchy->name(), rhs.level(l).hierarchy->name());
+    for (int64_t r = 0; r < lhs.NumRows(); ++r) {
+      // Coordinates compare by member *name*: ids may legitimately differ
+      // (the wire dictionary indexes by first appearance).
+      EXPECT_EQ(lhs.CoordName(r, l), rhs.CoordName(r, l));
+    }
+  }
+  for (int m = 0; m < lhs.measure_count(); ++m) {
+    EXPECT_EQ(lhs.measure_name(m), rhs.measure_name(m));
+    for (int64_t r = 0; r < lhs.NumRows(); ++r) {
+      double x = lhs.MeasureAt(r, m), y = rhs.MeasureAt(r, m);
+      // Bit-identity, which distinguishes -0.0 and covers NaN.
+      EXPECT_EQ(std::signbit(x), std::signbit(y));
+      EXPECT_EQ(std::isnan(x), std::isnan(y));
+      if (!std::isnan(x)) {
+        EXPECT_EQ(x, y);
+      }
+    }
+  }
+  EXPECT_EQ(lhs.labels(), rhs.labels());
+  // The user-facing renderings agree exactly.
+  EXPECT_EQ(a.ToString(100), b.ToString(100));
+  std::ostringstream lhs_csv, rhs_csv;
+  a.WriteCsv(lhs_csv);
+  b.WriteCsv(rhs_csv);
+  EXPECT_EQ(lhs_csv.str(), rhs_csv.str());
+}
+
+TEST(WireFormatTest, HandcraftedResultRoundTrips) {
+  AssessResult original = MakeHandcraftedResult();
+  std::string bytes = SerializeAssessResult(original);
+  auto decoded = DeserializeAssessResult(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectResultsIdentical(original, *decoded);
+}
+
+TEST(WireFormatTest, ReserializationIsStable) {
+  AssessResult original = MakeHandcraftedResult();
+  std::string bytes = SerializeAssessResult(original);
+  auto decoded = DeserializeAssessResult(bytes);
+  ASSERT_TRUE(decoded.ok());
+  // decode(encode(x)) re-encodes to the same bytes: the local dictionary
+  // order is canonical (first appearance), so the format is a fixpoint.
+  EXPECT_EQ(SerializeAssessResult(*decoded), bytes);
+}
+
+TEST(WireFormatTest, RealSessionResultRoundTrips) {
+  testutil::MiniDb mini = BuildMiniSales();
+  AssessSession session(mini.db.get());
+  auto result = session.Query(
+      "with SALES for country = 'Italy' by product, country assess quantity "
+      "against country = 'France' labels quartiles");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto decoded = DeserializeAssessResult(SerializeAssessResult(*result));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectResultsIdentical(*result, *decoded);
+}
+
+TEST(WireFormatTest, EmptyCubeRoundTrips) {
+  AssessResult result;
+  result.measure = "m";
+  std::string bytes = SerializeAssessResult(result);
+  auto decoded = DeserializeAssessResult(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->cube.NumRows(), 0);
+  EXPECT_EQ(decoded->cube.level_count(), 0);
+  EXPECT_EQ(decoded->measure, "m");
+}
+
+TEST(WireFormatTest, StatusRoundTripsEveryCode) {
+  const Status cases[] = {
+      Status::InvalidArgument("syntax error at 'frobnicate'"),
+      Status::NotFound("no cube 'NOPE'"),
+      Status::AlreadyExists("dup"),
+      Status::OutOfRange("row 9"),
+      Status::NotSupported("POP infeasible"),
+      Status::Internal("invariant"),
+      Status::Unavailable("server overloaded"),
+      Status::Timeout("deadline exceeded"),
+      Status::OK(),
+  };
+  for (const Status& original : cases) {
+    Status decoded = Status::Internal("sentinel");
+    Status parse = DeserializeStatus(SerializeStatus(original), &decoded);
+    ASSERT_TRUE(parse.ok()) << parse.ToString();
+    EXPECT_EQ(decoded.code(), original.code());
+    EXPECT_EQ(decoded.message(), original.message());
+  }
+}
+
+TEST(WireFormatTest, EveryTruncationFailsGracefully) {
+  std::string bytes = SerializeAssessResult(MakeHandcraftedResult());
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    auto decoded = DeserializeAssessResult(std::string_view(bytes).substr(
+        0, len));
+    EXPECT_FALSE(decoded.ok()) << "prefix of " << len << " bytes decoded";
+  }
+  std::string status_bytes = SerializeStatus(Status::NotFound("x"));
+  for (size_t len = 0; len < status_bytes.size(); ++len) {
+    Status out = Status::OK();
+    EXPECT_FALSE(
+        DeserializeStatus(std::string_view(status_bytes).substr(0, len), &out)
+            .ok());
+  }
+}
+
+TEST(WireFormatTest, TrailingBytesRejected) {
+  std::string bytes = SerializeAssessResult(MakeHandcraftedResult());
+  bytes.push_back('\0');
+  EXPECT_FALSE(DeserializeAssessResult(bytes).ok());
+}
+
+TEST(WireFormatTest, GarbageBytesFailGracefully) {
+  // Deterministic fuzz: random buffers and bit-flipped valid encodings must
+  // error out, never crash or allocate unboundedly.
+  Rng rng(20260806);
+  std::string valid = SerializeAssessResult(MakeHandcraftedResult());
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string garbage(static_cast<size_t>(rng.UniformRange(0, 64)), '\0');
+    for (char& c : garbage) {
+      c = static_cast<char>(rng.UniformRange(0, 255));
+    }
+    (void)DeserializeAssessResult(garbage);
+    Status out = Status::OK();
+    (void)DeserializeStatus(garbage, &out);
+
+    std::string flipped = valid;
+    size_t at = static_cast<size_t>(rng.UniformRange(
+        0, static_cast<int64_t>(flipped.size()) - 1));
+    flipped[at] = static_cast<char>(flipped[at] ^
+                                    (1 << rng.UniformRange(0, 7)));
+    auto decoded = DeserializeAssessResult(flipped);
+    if (decoded.ok()) {
+      // A flipped measure bit can still decode; it must then round-trip.
+      EXPECT_EQ(SerializeAssessResult(*decoded).size(), flipped.size());
+    }
+  }
+}
+
+TEST(WireFormatTest, HostileCountsDoNotAllocate) {
+  // A result header claiming 2^40 levels must be rejected by the byte
+  // budget check, not by an allocation attempt.
+  std::string bytes;
+  bytes.push_back('A');
+  bytes.push_back(0x01);
+  bytes.push_back(0x00);                   // plan NP
+  bytes.append(7 * 8, '\0');               // timings
+  bytes.append(3, '\0');                   // three empty strings
+  bytes.push_back(0x00);                   // no sql
+  // n_levels = huge varint
+  bytes.append({'\xff', '\xff', '\xff', '\xff', '\xff', '\x1f'});
+  auto decoded = DeserializeAssessResult(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("count exceeds"),
+            std::string::npos)
+      << decoded.status().ToString();
+}
+
+}  // namespace
+}  // namespace assess
