@@ -17,6 +17,7 @@
 // Remote mode serves the subset in examples/remote_repl.h; plan forcing and
 // suggestion stay in-process (the server always picks the best plan).
 
+#include <cstdlib>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -48,16 +49,18 @@ Monitoring:    \cache  result-cache counters (this session's engine)
 )";
 }
 
-int RunRemote(const std::string& target) {
+int RunRemote(const std::string& target, const assess::ClientOptions& options) {
   std::string host = "127.0.0.1";
   uint16_t port = assess::kDefaultPort;
   if (!assess_examples::ParseHostPort(target, &host, &port)) {
     std::cerr << "bad --connect target '" << target << "' (want host:port)\n";
     return 2;
   }
-  auto client = assess::AssessClient::Connect(host, port);
+  auto client = assess::AssessClient::Connect(host, port, options);
   if (!client.ok()) {
-    std::cerr << client.status().ToString() << "\n";
+    std::cerr << "cannot connect to assessd at " << host << ":" << port
+              << ":\n"
+              << assess_examples::DescribeRemoteError(client.status()) << "\n";
     return 1;
   }
   std::cout << "connected to assessd at " << host << ":" << port << "\n";
@@ -70,10 +73,24 @@ int RunRemote(const std::string& target) {
 int main(int argc, char** argv) {
   if (argc > 1 && std::string(argv[1]) == "--connect") {
     if (argc < 3) {
-      std::cerr << "usage: " << argv[0] << " --connect host:port\n";
+      std::cerr << "usage: " << argv[0]
+                << " --connect host:port [--retry N] [--connect-timeout-ms N]\n";
       return 2;
     }
-    return RunRemote(argv[2]);
+    assess::ClientOptions options;
+    for (int i = 3; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--retry" && i + 1 < argc) {
+        options.max_retries = std::atoi(argv[++i]);
+      } else if (arg == "--connect-timeout-ms" && i + 1 < argc) {
+        options.connect_timeout_ms = std::atoll(argv[++i]);
+      } else {
+        std::cerr << "unknown option '" << arg
+                  << "' (want --retry N or --connect-timeout-ms N)\n";
+        return 2;
+      }
+    }
+    return RunRemote(argv[2], options);
   }
   bool use_ssb = argc > 1 && std::string(argv[1]) == "--ssb";
   std::unique_ptr<assess::StarDatabase> db;

@@ -26,7 +26,9 @@ int main(int argc, char** argv) {
 
   auto client = assess::AssessClient::Connect(host, port);
   if (!client.ok()) {
-    std::cerr << client.status().ToString() << "\n";
+    std::cerr << "cannot connect to assessd at " << host << ":" << port
+              << ":\n"
+              << assess_examples::DescribeRemoteError(client.status()) << "\n";
     return 1;
   }
   std::cout << "connected to assessd at " << host << ":" << port << "\n";
@@ -36,7 +38,8 @@ int main(int argc, char** argv) {
     // a typed error.
     auto result = client->Query(argv[2]);
     if (!result.ok()) {
-      std::cerr << result.status().ToString() << "\n";
+      std::cerr << assess_examples::DescribeRemoteError(result.status())
+                << "\n";
       return 1;
     }
     std::cout << result->ToString(40);

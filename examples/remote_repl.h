@@ -22,6 +22,43 @@
 
 namespace assess_examples {
 
+/// Turns the statuses a remote call can fail with into a message that tells
+/// the user what to *do*, not just what went wrong. Falls back to the plain
+/// status text for ordinary query errors (parse errors etc.).
+inline std::string DescribeRemoteError(const assess::Status& status) {
+  switch (status.code()) {
+    case assess::StatusCode::kUnavailable:
+      if (status.message().find("overloaded") != std::string::npos) {
+        return status.ToString() +
+               "\nThe server is saturated; retry in a moment or raise its "
+               "--queue/--workers.";
+      }
+      if (status.message().find("shutting down") != std::string::npos) {
+        return status.ToString() +
+               "\nThe server is draining for shutdown; reconnect once it is "
+               "restarted.";
+      }
+      return status.ToString() +
+             "\nThe connection is gone; check that assessd is still running "
+             "and reachable, then reconnect (or pass --retry N to retry "
+             "automatically).";
+    case assess::StatusCode::kTimeout:
+      return status.ToString() +
+             "\nThe request may still have executed. Retrying is safe — "
+             "retried queries are deduplicated server-side.";
+    case assess::StatusCode::kCorruptFrame:
+      return status.ToString() +
+             "\nA frame failed its integrity check; the link is unreliable. "
+             "Retrying on a fresh connection is safe.";
+    case assess::StatusCode::kFrameTooLarge:
+      return status.ToString() +
+             "\nNarrow the query (fewer group-by members) or raise "
+             "--max-frame-mb on both ends.";
+    default:
+      return status.ToString();
+  }
+}
+
 inline void PrintRemoteHelp() {
   std::cout <<
       R"(Type an assess statement, e.g.:
@@ -48,14 +85,14 @@ inline int RunRemoteRepl(assess::AssessClient& client) {
       }
       if (input == "\\ping") {
         assess::Status st = client.Ping();
-        std::cout << (st.ok() ? "pong" : st.ToString()) << "\n";
+        std::cout << (st.ok() ? "pong" : DescribeRemoteError(st)) << "\n";
         if (!client.connected()) return 1;
         continue;
       }
       if (input == "\\stats" || input == "\\cache") {
         auto stats = client.Stats();
         if (!stats.ok()) {
-          std::cout << stats.status().ToString() << "\n";
+          std::cout << DescribeRemoteError(stats.status()) << "\n";
           if (!client.connected()) return 1;
           continue;
         }
@@ -77,7 +114,7 @@ inline int RunRemoteRepl(assess::AssessClient& client) {
         std::string_view stmt = assess::Trim(input.substr(4));
         auto result = client.Query(stmt);
         if (!result.ok()) {
-          std::cout << result.status().ToString() << "\n";
+          std::cout << DescribeRemoteError(result.status()) << "\n";
           if (!client.connected()) return 1;
           continue;
         }
@@ -95,7 +132,7 @@ inline int RunRemoteRepl(assess::AssessClient& client) {
     }
     auto result = client.Query(input);
     if (!result.ok()) {
-      std::cout << result.status().ToString() << "\n";
+      std::cout << DescribeRemoteError(result.status()) << "\n";
       if (!client.connected()) return 1;
       continue;
     }

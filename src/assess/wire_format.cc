@@ -333,7 +333,7 @@ Status DeserializeStatus(std::string_view data, Status* out) {
     return Status::InvalidArgument("wire: not a serialized status");
   }
   ASSESS_RETURN_NOT_OK(reader.GetByte(&code));
-  if (code > static_cast<uint8_t>(StatusCode::kTimeout)) {
+  if (code > static_cast<uint8_t>(kMaxStatusCode)) {
     return Status::InvalidArgument("wire: unknown status code");
   }
   std::string message;

@@ -4,6 +4,7 @@
 #include <functional>
 #include <unordered_set>
 
+#include "common/failpoint.h"
 #include "storage/materialized_view.h"
 
 namespace assess {
@@ -20,6 +21,9 @@ CubeResultCache::Shard& CubeResultCache::ShardFor(const std::string& key) {
 
 std::optional<Cube> CubeResultCache::FindExact(const std::string& key) {
   lookups_.fetch_add(1, std::memory_order_relaxed);
+  // A triggered lookup failpoint degrades to a miss: results must be
+  // byte-identical with or without the cache's help.
+  if (ASSESS_FAILPOINT_TRIGGERED("cache.lookup")) return std::nullopt;
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.index.find(key);
@@ -33,6 +37,10 @@ std::optional<CubeResultCache::Snapshot> CubeResultCache::FindSubsuming(
     const CubeSchema& schema, const CanonicalQuery& want) {
   std::optional<Snapshot> best;
   int64_t best_rows = 0;
+  if (ASSESS_FAILPOINT_TRIGGERED("cache.lookup")) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return best;
+  }
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mutex);
     for (auto it = shard.lru.begin(); it != shard.lru.end(); ++it) {
@@ -54,6 +62,7 @@ std::optional<CubeResultCache::Snapshot> CubeResultCache::FindSubsuming(
 
 void CubeResultCache::Insert(const std::string& key, CanonicalQuery query,
                              const Cube& cube) {
+  if (ASSESS_FAILPOINT_TRIGGERED("cache.insert")) return;  // dropped insert
   size_t bytes = EstimateCubeBytes(cube) + key.size() + sizeof(Entry);
   if (bytes > shard_budget_) return;
   Shard& shard = ShardFor(key);

@@ -7,9 +7,36 @@
 
 #include "assess/result_set.h"
 #include "common/result.h"
+#include "common/rng.h"
 #include "server/protocol.h"
 
 namespace assess {
+
+/// \brief Resilience knobs of an AssessClient.
+struct ClientOptions {
+  /// Deadline for establishing (or re-establishing) the TCP connection.
+  /// A dead-but-routable host fails with kTimeout after this long instead
+  /// of blocking for the kernel's SYN retry budget. <= 0 blocks.
+  int64_t connect_timeout_ms = 5'000;
+  /// Socket receive deadline per response; expiry surfaces as kTimeout and
+  /// costs the connection (the next call reconnects). <= 0 blocks.
+  int64_t read_timeout_ms = 60'000;
+  /// Socket send deadline per request frame. <= 0 blocks.
+  int64_t write_timeout_ms = 30'000;
+  /// Automatic retries after a retryable failure (kUnavailable, kTimeout,
+  /// kCorruptFrame): the total attempt count is 1 + max_retries. 0 keeps
+  /// the pre-retry behaviour — every failure surfaces to the caller.
+  int max_retries = 0;
+  /// Decorrelated-jitter backoff between attempts: each sleep is uniform in
+  /// [base, 3 * previous sleep], capped.
+  int64_t backoff_base_ms = 50;
+  int64_t backoff_cap_ms = 2'000;
+  /// Seed for the backoff jitter and the request-id stream; 0 derives one
+  /// from the wall clock (tests pass a fixed seed for reproducibility).
+  uint64_t seed = 0;
+  /// Frame cap this client enforces on responses.
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
 
 /// \brief Client side of the assessd protocol: a blocking, single-connection
 /// remote AssessSession.
@@ -27,12 +54,24 @@ namespace assess {
 /// overload/shutdown rejections and kTimeout for deadline violations) —
 /// an error never costs the connection.
 ///
+/// Resilience (ClientOptions): every call honours connect/read/write
+/// deadlines, and with max_retries > 0 retryable failures (kUnavailable,
+/// kTimeout, kCorruptFrame) trigger automatic reconnection and retry with
+/// exponential backoff and decorrelated jitter. Retried queries are safe:
+/// each Query() carries one client-generated request id reused across its
+/// attempts, and the server replays the stored response for a repeated id
+/// instead of executing twice — at-most-once execution even when a response
+/// (not the request) was what got lost.
+///
 /// One in-flight request per client (the protocol is strict
 /// request/response); a client is not thread-safe — use one per thread, the
 /// server pools their caches anyway. Movable, not copyable; the destructor
 /// closes the connection.
 class AssessClient {
  public:
+  static Result<AssessClient> Connect(const std::string& host, uint16_t port,
+                                      ClientOptions options);
+  /// Back-compat overload: default resilience options (no retries).
   static Result<AssessClient> Connect(
       const std::string& host, uint16_t port,
       size_t max_frame_bytes = kDefaultMaxFrameBytes);
@@ -43,32 +82,53 @@ class AssessClient {
   AssessClient& operator=(const AssessClient&) = delete;
   ~AssessClient();
 
-  /// \brief Executes one assess statement on the server.
+  /// \brief Executes one assess statement on the server (retrying per
+  /// ClientOptions under one request id).
   Result<AssessResult> Query(std::string_view statement);
 
-  /// \brief Fetches the server's statistics snapshot.
+  /// \brief Fetches the server's statistics snapshot (retryable: reads are
+  /// idempotent by nature).
   Result<ServerStats> Stats();
 
-  /// \brief Round-trips a ping frame.
+  /// \brief Round-trips a ping frame (retryable).
   Status Ping();
 
-  /// \brief Closes the connection (idempotent; further calls fail with
-  /// kUnavailable).
+  /// \brief Sends a failpoint admin spec (see common/failpoint.h) and
+  /// returns the server's armed-points listing. Never retried. Fails with
+  /// kNotSupported unless the server runs with failpoint admin enabled.
+  Result<std::string> Failpoint(std::string_view spec);
+
+  /// \brief Closes the connection. With retries enabled the next call
+  /// reconnects; otherwise further calls fail with kUnavailable.
   void Close();
 
   bool connected() const { return fd_ >= 0; }
 
  private:
-  AssessClient(int fd, size_t max_frame_bytes)
-      : fd_(fd), max_frame_bytes_(max_frame_bytes) {}
+  AssessClient(std::string host, uint16_t port, const ClientOptions& options);
+
+  /// Connects (with the configured deadline) if not connected, and applies
+  /// the socket read/write deadlines.
+  Status EnsureConnected();
 
   /// Sends `request` and reads the single response frame, enforcing the
   /// expected response type and decoding kError payloads into their Status.
   Status RoundTrip(FrameType request, std::string_view payload,
                    FrameType expected, std::string* response);
 
+  /// EnsureConnected + RoundTrip under the retry policy: retryable failures
+  /// reconnect and retry with decorrelated-jitter backoff.
+  Status RoundTripWithRetry(FrameType request, std::string_view payload,
+                            FrameType expected, std::string* response);
+
+  uint64_t NextRequestId();
+
+  std::string host_;
+  uint16_t port_ = 0;
+  ClientOptions options_;
+  Rng rng_;
+  int64_t prev_backoff_ms_ = 0;
   int fd_ = -1;
-  size_t max_frame_bytes_ = kDefaultMaxFrameBytes;
 };
 
 }  // namespace assess

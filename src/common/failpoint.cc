@@ -1,0 +1,367 @@
+#include "common/failpoint.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "common/str_util.h"
+
+namespace assess {
+namespace {
+
+/// FNV-1a, for deriving a per-point default RNG seed from its name so two
+/// armed points never share a random stream.
+uint64_t HashName(std::string_view name) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : name) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+Status ParseError(std::string_view point, const std::string& why) {
+  return Status::InvalidArgument("failpoint spec '" + std::string(point) +
+                                 "': " + why);
+}
+
+bool ParseStatusCode(std::string_view name, StatusCode* out) {
+  struct Mapping {
+    std::string_view name;
+    StatusCode code;
+  };
+  static constexpr Mapping kCodes[] = {
+      {"invalid_argument", StatusCode::kInvalidArgument},
+      {"not_found", StatusCode::kNotFound},
+      {"already_exists", StatusCode::kAlreadyExists},
+      {"out_of_range", StatusCode::kOutOfRange},
+      {"not_supported", StatusCode::kNotSupported},
+      {"internal", StatusCode::kInternal},
+      {"unavailable", StatusCode::kUnavailable},
+      {"timeout", StatusCode::kTimeout},
+      {"corrupt_frame", StatusCode::kCorruptFrame},
+      {"frame_too_large", StatusCode::kFrameTooLarge},
+  };
+  for (const Mapping& m : kCodes) {
+    if (m.name == name) {
+      *out = m.code;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Parses one `name=action:mod:mod` point; arms or disarms it.
+Status ApplyOnePoint(FailpointRegistry* registry, std::string_view point) {
+  size_t eq = point.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    return ParseError(point, "expected name=action");
+  }
+  std::string name(Trim(point.substr(0, eq)));
+  std::string_view rest = Trim(point.substr(eq + 1));
+  if (rest.empty()) return ParseError(point, "missing action");
+
+  // Split off ':'-separated modifiers; the action may carry a
+  // parenthesized argument that itself never contains ':'.
+  std::string_view action_text = rest;
+  std::string_view mods;
+  size_t colon = rest.find(':', rest.find(')') == std::string_view::npos
+                                    ? 0
+                                    : rest.find(')'));
+  if (colon != std::string_view::npos) {
+    action_text = Trim(rest.substr(0, colon));
+    mods = rest.substr(colon + 1);
+  }
+
+  std::string_view verb = action_text;
+  std::string_view args;
+  size_t open = action_text.find('(');
+  if (open != std::string_view::npos) {
+    if (action_text.back() != ')') {
+      return ParseError(point, "unbalanced parentheses");
+    }
+    verb = action_text.substr(0, open);
+    args = action_text.substr(open + 1,
+                              action_text.size() - open - 2);
+  }
+
+  FailpointSpec spec;
+  if (verb == "off") {
+    if (!args.empty()) return ParseError(point, "off takes no argument");
+    registry->Disarm(name);
+    return Status::OK();
+  } else if (verb == "error") {
+    spec.action = FailpointAction::kError;
+    if (!args.empty()) {
+      std::string_view code_text = args;
+      size_t comma = args.find(',');
+      if (comma != std::string_view::npos) {
+        code_text = Trim(args.substr(0, comma));
+        spec.message = std::string(Trim(args.substr(comma + 1)));
+      }
+      if (!ParseStatusCode(Trim(code_text), &spec.code)) {
+        return ParseError(point, "unknown status code '" +
+                                     std::string(code_text) + "'");
+      }
+    }
+  } else if (verb == "delay") {
+    spec.action = FailpointAction::kDelay;
+    char* end = nullptr;
+    std::string ms(Trim(args));
+    long value = std::strtol(ms.c_str(), &end, 10);
+    if (ms.empty() || end == nullptr || *end != '\0' || value < 0) {
+      return ParseError(point, "delay wants a millisecond count");
+    }
+    spec.delay_ms = static_cast<int>(value);
+  } else if (verb == "corrupt") {
+    if (!args.empty()) return ParseError(point, "corrupt takes no argument");
+    spec.action = FailpointAction::kCorrupt;
+  } else if (verb == "abort") {
+    if (!args.empty()) return ParseError(point, "abort takes no argument");
+    spec.action = FailpointAction::kAbort;
+  } else {
+    return ParseError(point, "unknown action '" + std::string(verb) + "'");
+  }
+
+  while (!mods.empty()) {
+    std::string_view mod = mods;
+    size_t next = mods.find(':');
+    if (next != std::string_view::npos) {
+      mod = mods.substr(0, next);
+      mods = mods.substr(next + 1);
+    } else {
+      mods = {};
+    }
+    mod = Trim(mod);
+    std::string text;
+    char* end = nullptr;
+    if (mod.rfind("p=", 0) == 0) {
+      text = std::string(mod.substr(2));
+      double p = std::strtod(text.c_str(), &end);
+      if (text.empty() || *end != '\0' || p < 0.0 || p > 1.0) {
+        return ParseError(point, "p wants a probability in [0, 1]");
+      }
+      spec.probability = p;
+    } else if (mod.rfind("budget=", 0) == 0) {
+      text = std::string(mod.substr(7));
+      long long budget = std::strtoll(text.c_str(), &end, 10);
+      if (text.empty() || *end != '\0') {
+        return ParseError(point, "budget wants an integer");
+      }
+      spec.budget = budget;
+    } else if (mod.rfind("seed=", 0) == 0) {
+      text = std::string(mod.substr(5));
+      unsigned long long seed = std::strtoull(text.c_str(), &end, 10);
+      if (text.empty() || *end != '\0') {
+        return ParseError(point, "seed wants an integer");
+      }
+      spec.seed = seed;
+    } else {
+      return ParseError(point, "unknown modifier '" + std::string(mod) + "'");
+    }
+  }
+  return registry->Arm(name, std::move(spec));
+}
+
+}  // namespace
+
+std::atomic<int>& FailpointRegistry::ArmedCount() {
+  static std::atomic<int> count{0};
+  return count;
+}
+
+FailpointRegistry& FailpointRegistry::Instance() {
+  static FailpointRegistry* registry = [] {
+    auto* r = new FailpointRegistry();
+    if (const char* env = std::getenv("ASSESS_FAILPOINTS");
+        env != nullptr && *env != '\0') {
+      Status armed = r->ArmFromString(env);
+      if (!armed.ok()) {
+        std::fprintf(stderr, "ASSESS_FAILPOINTS ignored: %s\n",
+                     armed.ToString().c_str());
+      }
+    }
+    return r;
+  }();
+  return *registry;
+}
+
+#ifdef ASSESS_FAILPOINTS_ENABLED
+// The macros gate on ArmedCount() before ever touching Instance(), so the
+// environment variable must be read eagerly — otherwise a process armed
+// only via ASSESS_FAILPOINTS would never wake the registry up.
+namespace {
+[[maybe_unused]] const bool kEnvArmed =
+    (FailpointRegistry::Instance(), true);
+}  // namespace
+#endif
+
+Status FailpointRegistry::Arm(const std::string& name, FailpointSpec spec) {
+  if (!kFailpointsCompiledIn) {
+    return Status::NotSupported(
+        "failpoints compiled out (build with ASSESS_FAILPOINTS=ON)");
+  }
+  if (name.empty()) return Status::InvalidArgument("empty failpoint name");
+  uint64_t seed = spec.seed != 0 ? spec.seed : HashName(name);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(name);
+  if (it != points_.end()) {
+    points_.erase(it);
+    ArmedCount().fetch_sub(1, std::memory_order_relaxed);
+  }
+  points_.emplace(name, Armed(std::move(spec), seed));
+  ArmedCount().fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status FailpointRegistry::ArmFromString(std::string_view config) {
+  size_t pos = 0;
+  while (pos <= config.size()) {
+    size_t semi = config.find(';', pos);
+    if (semi == std::string_view::npos) semi = config.size();
+    std::string_view point = Trim(config.substr(pos, semi - pos));
+    if (!point.empty()) {
+      ASSESS_RETURN_NOT_OK(ApplyOnePoint(this, point));
+    }
+    pos = semi + 1;
+  }
+  return Status::OK();
+}
+
+bool FailpointRegistry::Disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (points_.erase(name) == 0) return false;
+  ArmedCount().fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+void FailpointRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ArmedCount().fetch_sub(static_cast<int>(points_.size()),
+                         std::memory_order_relaxed);
+  points_.clear();
+}
+
+uint64_t FailpointRegistry::triggers(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(name);
+  return it != points_.end() ? it->second.triggered : 0;
+}
+
+std::string FailpointRegistry::Describe() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (points_.empty()) return "no failpoints armed";
+  std::string out;
+  for (const auto& [name, armed] : points_) {
+    const char* action = "?";
+    switch (armed.spec.action) {
+      case FailpointAction::kError:
+        action = "error";
+        break;
+      case FailpointAction::kDelay:
+        action = "delay";
+        break;
+      case FailpointAction::kCorrupt:
+        action = "corrupt";
+        break;
+      case FailpointAction::kAbort:
+        action = "abort";
+        break;
+    }
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "%s: %s p=%.3g budget=%lld hits=%llu triggered=%llu\n",
+                  name.c_str(), action, armed.spec.probability,
+                  static_cast<long long>(armed.spec.budget),
+                  static_cast<unsigned long long>(armed.hits),
+                  static_cast<unsigned long long>(armed.triggered));
+    out += line;
+  }
+  return out;
+}
+
+bool FailpointRegistry::Trigger(std::string_view name, FailpointSpec* spec,
+                                uint64_t* draw) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(std::string(name));
+  if (it == points_.end()) return false;
+  Armed& armed = it->second;
+  ++armed.hits;
+  if (armed.spec.budget == 0) return false;  // budget exhausted
+  if (armed.spec.probability < 1.0 &&
+      armed.rng.NextDouble() >= armed.spec.probability) {
+    return false;
+  }
+  if (armed.spec.budget > 0) --armed.spec.budget;
+  ++armed.triggered;
+  *spec = armed.spec;
+  *draw = armed.rng.Next();
+  return true;
+}
+
+Status FailpointRegistry::Hit(std::string_view name) {
+  FailpointSpec spec;
+  uint64_t draw = 0;
+  if (!Trigger(name, &spec, &draw)) return Status::OK();
+  switch (spec.action) {
+    case FailpointAction::kError: {
+      std::string message = spec.message.empty()
+                                ? "injected by failpoint " + std::string(name)
+                                : spec.message;
+      return Status::FromCode(spec.code, std::move(message));
+    }
+    case FailpointAction::kDelay:
+      // Sleep outside the registry lock (Trigger already released it), so a
+      // stalled site never blocks arming or other sites.
+      std::this_thread::sleep_for(std::chrono::milliseconds(spec.delay_ms));
+      return Status::OK();
+    case FailpointAction::kAbort:
+      std::fprintf(stderr, "failpoint %.*s: abort\n",
+                   static_cast<int>(name.size()), name.data());
+      std::abort();
+    case FailpointAction::kCorrupt:
+      return Status::OK();  // only meaningful at corrupt sites
+  }
+  return Status::OK();
+}
+
+bool FailpointRegistry::HitTriggered(std::string_view name) {
+  FailpointSpec spec;
+  uint64_t draw = 0;
+  if (!Trigger(name, &spec, &draw)) return false;
+  if (spec.action == FailpointAction::kDelay) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(spec.delay_ms));
+  } else if (spec.action == FailpointAction::kAbort) {
+    std::fprintf(stderr, "failpoint %.*s: abort\n",
+                 static_cast<int>(name.size()), name.data());
+    std::abort();
+  }
+  return true;
+}
+
+void FailpointRegistry::HitCorrupt(std::string_view name, std::string* buf,
+                                   size_t offset) {
+  FailpointSpec spec;
+  uint64_t draw = 0;
+  if (!Trigger(name, &spec, &draw)) return;
+  if (spec.action == FailpointAction::kDelay) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(spec.delay_ms));
+    return;
+  }
+  if (spec.action != FailpointAction::kCorrupt) return;
+  if (buf == nullptr || buf->size() <= offset) return;
+  // Flip 1-8 bytes past `offset` with a deterministic per-point stream.
+  // The caller keeps the length prefix out of range so the receiver
+  // *detects* the corruption instead of desynchronizing on a bad length.
+  Rng rng(draw);
+  size_t span = buf->size() - offset;
+  size_t flips = 1 + rng.Uniform(8);
+  for (size_t i = 0; i < flips; ++i) {
+    size_t at = offset + rng.Uniform(span);
+    (*buf)[at] = static_cast<char>((*buf)[at] ^
+                                   static_cast<char>(1 + rng.Uniform(255)));
+  }
+}
+
+}  // namespace assess

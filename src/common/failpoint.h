@@ -1,0 +1,202 @@
+#ifndef ASSESS_COMMON_FAILPOINT_H_
+#define ASSESS_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace assess {
+
+/// \brief Named fault-injection points, for testing how the stack survives
+/// failures a real deployment sees: torn connections, corrupted frames,
+/// slow disks, overload and crashes mid-request.
+///
+/// A failpoint is a named site in production code:
+///
+///   ASSESS_FAILPOINT("server.read_frame");           // may return an error
+///   if (ASSESS_FAILPOINT_TRIGGERED("cache.insert"))  // may skip a step
+///     return;
+///   ASSESS_FAILPOINT_CORRUPT("net.write_frame", &buf);  // may flip bytes
+///
+/// Sites are compiled in only when the CMake option ASSESS_FAILPOINTS is ON
+/// (the default); with ASSESS_FAILPOINTS=OFF every macro is a no-op and the
+/// registry refuses to arm. When compiled in but not armed, a site costs
+/// one relaxed atomic load and a predictable branch — nothing measurable on
+/// the serving path.
+///
+/// Arming happens at runtime, by spec string, through any of:
+///   - the ASSESS_FAILPOINTS environment variable (read once, at first use),
+///   - `assessd --failpoints "<spec>"`,
+///   - the kFailpoint admin frame (when the server allows it),
+///   - FailpointRegistry::Instance().ArmFromString(...) in tests.
+///
+/// Spec grammar (';'-separated points):
+///
+///   spec    := point (';' point)*
+///   point   := name '=' action modifier*
+///   action  := 'off'                      disarm the point
+///            | 'error'                    return kUnavailable
+///            | 'error(' code ')'          return the named code
+///            | 'error(' code ',' msg ')'  ... with a custom message
+///            | 'delay(' ms ')'            sleep, then continue
+///            | 'corrupt'                  flip bytes (corrupt sites only)
+///            | 'abort'                    std::abort()
+///   modifier:= ':p=' float                trigger probability (default 1)
+///            | ':budget=' int             max triggers (default unlimited)
+///            | ':seed=' int               RNG seed for p / corruption
+///
+/// Example: "server.read_frame=error(unavailable):p=0.25:budget=3;
+///           server.worker_dequeue=delay(50)"
+///
+/// Code names: invalid_argument, not_found, already_exists, out_of_range,
+/// not_supported, internal, unavailable, timeout, corrupt_frame,
+/// frame_too_large.
+
+/// \brief True when failpoint sites are compiled in (ASSESS_FAILPOINTS=ON).
+#ifdef ASSESS_FAILPOINTS_ENABLED
+inline constexpr bool kFailpointsCompiledIn = true;
+#else
+inline constexpr bool kFailpointsCompiledIn = false;
+#endif
+
+/// \brief What an armed failpoint does when it triggers.
+enum class FailpointAction {
+  kError,    ///< return a Status with the configured code and message
+  kDelay,    ///< sleep delay_ms, then continue
+  kCorrupt,  ///< flip random bytes (only at ASSESS_FAILPOINT_CORRUPT sites)
+  kAbort,    ///< std::abort() — simulates a crash mid-request
+};
+
+/// \brief Full configuration of one armed point.
+struct FailpointSpec {
+  FailpointAction action = FailpointAction::kError;
+  StatusCode code = StatusCode::kUnavailable;  ///< for kError
+  std::string message;                         ///< "" = default message
+  int delay_ms = 0;                            ///< for kDelay
+  double probability = 1.0;  ///< chance each hit triggers, in [0, 1]
+  int64_t budget = -1;       ///< max triggers; < 0 means unlimited
+  uint64_t seed = 0;         ///< 0 = derived from the point name
+};
+
+/// \brief Process-wide registry of armed failpoints. Thread-safe; the
+/// unarmed fast path is a single relaxed atomic load (see the macros).
+class FailpointRegistry {
+ public:
+  /// \brief The process singleton. On first call, arms whatever the
+  /// ASSESS_FAILPOINTS environment variable specifies (parse errors are
+  /// reported to stderr, not fatal).
+  static FailpointRegistry& Instance();
+
+  /// \brief Arms (or re-arms, resetting counters) one point. Fails with
+  /// kNotSupported when failpoints are compiled out.
+  Status Arm(const std::string& name, FailpointSpec spec);
+
+  /// \brief Parses and applies a full spec string (grammar above). Applies
+  /// points left to right; the first malformed point aborts with
+  /// kInvalidArgument and leaves earlier points armed.
+  Status ArmFromString(std::string_view config);
+
+  /// \brief Disarms one point. Returns true when it was armed.
+  bool Disarm(const std::string& name);
+
+  /// \brief Disarms everything (chaos harness teardown).
+  void DisarmAll();
+
+  /// \brief Times the named point fired (triggered, not merely hit).
+  uint64_t triggers(const std::string& name) const;
+
+  /// \brief Human-readable listing of armed points with hit/trigger
+  /// counters (the kFailpoint admin reply).
+  std::string Describe() const;
+
+  // Internal: the slow path behind the macros. `Hit` evaluates the point
+  // and either returns a non-OK Status (kError), sleeps and returns OK
+  // (kDelay), aborts (kAbort), or returns OK (unarmed / suppressed /
+  // kCorrupt at a non-corrupt site).
+  Status Hit(std::string_view name);
+  // True when the point triggers with a non-error action — the skip-a-step
+  // form (kError at such a site also reports true).
+  bool HitTriggered(std::string_view name);
+  // Flips 1-8 bytes of `*buf` past `offset` when the point triggers with
+  // action kCorrupt. Also honours kDelay at corrupt sites.
+  void HitCorrupt(std::string_view name, std::string* buf, size_t offset);
+
+  /// \brief Number of armed points, as a cheap global gate.
+  static std::atomic<int>& ArmedCount();
+
+ private:
+  struct Armed {
+    FailpointSpec spec;
+    Rng rng;
+    uint64_t hits = 0;
+    uint64_t triggered = 0;
+    Armed(FailpointSpec s, uint64_t seed) : spec(std::move(s)), rng(seed) {}
+  };
+
+  FailpointRegistry() = default;
+
+  /// Decides whether the point fires now (probability + budget, counters
+  /// updated) and copies the spec out. Returns false when unarmed or
+  /// suppressed.
+  bool Trigger(std::string_view name, FailpointSpec* spec, uint64_t* draw);
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Armed> points_;
+};
+
+#ifdef ASSESS_FAILPOINTS_ENABLED
+
+/// \brief May return a non-OK Status (or sleep / abort) out of the
+/// enclosing function; usable in functions returning Status or Result<T>.
+#define ASSESS_FAILPOINT(name)                                              \
+  do {                                                                      \
+    if (::assess::FailpointRegistry::ArmedCount().load(                     \
+            std::memory_order_relaxed) > 0) {                               \
+      ::assess::Status _assess_fp =                                         \
+          ::assess::FailpointRegistry::Instance().Hit(name);                \
+      if (!_assess_fp.ok()) return _assess_fp;                              \
+    }                                                                       \
+  } while (false)
+
+/// \brief Expression form: true when the point triggers (skip-a-step
+/// sites, e.g. a cache insert that "fails" by not happening).
+#define ASSESS_FAILPOINT_TRIGGERED(name)                             \
+  (::assess::FailpointRegistry::ArmedCount().load(                   \
+       std::memory_order_relaxed) > 0 &&                             \
+   ::assess::FailpointRegistry::Instance().HitTriggered(name))
+
+/// \brief May flip bytes of `*buf` past byte `offset` (corrupt action).
+#define ASSESS_FAILPOINT_CORRUPT(name, buf, offset)                  \
+  do {                                                               \
+    if (::assess::FailpointRegistry::ArmedCount().load(              \
+            std::memory_order_relaxed) > 0) {                        \
+      ::assess::FailpointRegistry::Instance().HitCorrupt(name, buf,  \
+                                                         offset);    \
+    }                                                                \
+  } while (false)
+
+#else  // !ASSESS_FAILPOINTS_ENABLED
+
+#define ASSESS_FAILPOINT(name) \
+  do {                         \
+    (void)(name);              \
+  } while (false)
+#define ASSESS_FAILPOINT_TRIGGERED(name) ((void)(name), false)
+#define ASSESS_FAILPOINT_CORRUPT(name, buf, offset) \
+  do {                                              \
+    (void)(name);                                   \
+    (void)(buf);                                    \
+    (void)(offset);                                 \
+  } while (false)
+
+#endif  // ASSESS_FAILPOINTS_ENABLED
+
+}  // namespace assess
+
+#endif  // ASSESS_COMMON_FAILPOINT_H_

@@ -22,6 +22,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Unavailable";
     case StatusCode::kTimeout:
       return "Timeout";
+    case StatusCode::kCorruptFrame:
+      return "CorruptFrame";
+    case StatusCode::kFrameTooLarge:
+      return "FrameTooLarge";
   }
   return "Unknown";
 }
@@ -38,6 +42,8 @@ Status Status::FromCode(StatusCode code, std::string msg) {
     case StatusCode::kInternal:
     case StatusCode::kUnavailable:
     case StatusCode::kTimeout:
+    case StatusCode::kCorruptFrame:
+    case StatusCode::kFrameTooLarge:
       return Status(code, std::move(msg));
   }
   return Status::Internal("unknown status code: " + std::move(msg));

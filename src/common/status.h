@@ -23,7 +23,13 @@ enum class StatusCode {
   kUnavailable,       ///< resource temporarily unavailable (server overloaded,
                       ///< shutting down, connection closed); safe to retry
   kTimeout,           ///< per-request wall-clock deadline exceeded
+  kCorruptFrame,      ///< a network frame failed its CRC32C integrity check;
+                      ///< the stream is untrustworthy, safe to retry
+  kFrameTooLarge,     ///< a network frame exceeds the configured size cap
 };
+
+/// \brief The highest valid StatusCode value, for wire-format validation.
+inline constexpr StatusCode kMaxStatusCode = StatusCode::kFrameTooLarge;
 
 /// \brief Human-readable name of a status code (e.g. "InvalidArgument").
 std::string_view StatusCodeToString(StatusCode code);
@@ -61,6 +67,12 @@ class Status {
   }
   static Status Timeout(std::string msg) {
     return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status CorruptFrame(std::string msg) {
+    return Status(StatusCode::kCorruptFrame, std::move(msg));
+  }
+  static Status FrameTooLarge(std::string msg) {
+    return Status(StatusCode::kFrameTooLarge, std::move(msg));
   }
 
   /// \brief Rebuilds a status from a code + message pair (the shape errors

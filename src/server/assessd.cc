@@ -13,6 +13,7 @@
 #include <future>
 
 #include "assess/wire_format.h"
+#include "common/failpoint.h"
 
 namespace assess {
 namespace {
@@ -40,6 +41,13 @@ double Percentile(const std::vector<double>& sorted, double p) {
   return sorted[std::min(rank, sorted.size()) - 1];
 }
 
+/// Status-returning wrapper around a failpoint site, for use where the
+/// enclosing function does not itself return Status (reader/worker loops).
+Status FailpointStatus(const char* name) {
+  ASSESS_FAILPOINT(name);
+  return Status::OK();
+}
+
 }  // namespace
 
 struct AssessServer::Connection {
@@ -52,6 +60,7 @@ struct AssessServer::Connection {
 struct AssessServer::Request {
   Connection* conn = nullptr;
   std::string statement;
+  uint64_t request_id = 0;  ///< client idempotency key; 0 = none
   Clock::time_point admitted;
   std::promise<std::pair<FrameType, std::string>> response;
 };
@@ -152,6 +161,12 @@ void AssessServer::AcceptLoop() {
       if (errno == EINTR) continue;
       return;  // listener shut down (Stop) or fatal: stop accepting
     }
+    if (ASSESS_FAILPOINT_TRIGGERED("server.accept")) {
+      // Simulates the peer vanishing between connect and service: the
+      // client sees a reset, not a typed error.
+      CloseSocket(fd);
+      continue;
+    }
     ReapFinishedConnections();
 
     int one = 1;
@@ -214,10 +229,15 @@ void AssessServer::ReaderLoop(Connection* conn) {
   while (true) {
     Frame frame;
     Status read = ReadFrame(conn->fd, options_.max_frame_bytes, &frame);
+    if (read.ok()) read = FailpointStatus("server.read_frame");
     if (!read.ok()) {
-      // Unframable streams (zero/oversized length, unknown type) get one
-      // typed error before the close; vanished peers just close.
-      if (read.code() == StatusCode::kInvalidArgument) {
+      // Framing-level failures (bad length, unknown type, oversized frame,
+      // failed CRC) get one typed error before the close, so the peer can
+      // tell a protocol problem from a vanished server; torn connections
+      // just close.
+      if (read.code() == StatusCode::kInvalidArgument ||
+          read.code() == StatusCode::kFrameTooLarge ||
+          read.code() == StatusCode::kCorruptFrame) {
         WriteFrame(conn->fd, FrameType::kError, SerializeStatus(read));
       }
       break;
@@ -234,6 +254,23 @@ void AssessServer::ReaderLoop(Connection* conn) {
       }
       continue;
     }
+    if (frame.type == FrameType::kFailpoint) {
+      // Fault-injection admin: arm/disarm by spec string, reply with the
+      // registry listing. Off by default — only servers started with
+      // failpoint admin enabled honour it.
+      Status armed = Status::NotSupported(
+          "failpoint admin is disabled on this server");
+      if (options_.allow_failpoint_admin) {
+        armed = FailpointRegistry::Instance().ArmFromString(frame.payload);
+      }
+      Status written =
+          armed.ok() ? WriteFrame(conn->fd, FrameType::kFailpointReply,
+                                  FailpointRegistry::Instance().Describe())
+                     : WriteFrame(conn->fd, FrameType::kError,
+                                  SerializeStatus(armed));
+      if (!written.ok()) break;
+      continue;
+    }
     if (frame.type != FrameType::kQuery) {
       WriteFrame(conn->fd, FrameType::kError,
                  SerializeStatus(Status::InvalidArgument(
@@ -242,9 +279,33 @@ void AssessServer::ReaderLoop(Connection* conn) {
     }
 
     total_requests_.fetch_add(1, std::memory_order_relaxed);
+    uint64_t request_id = 0;
+    std::string_view statement;
+    Status decoded = DecodeQueryPayload(frame.payload, &request_id,
+                                        &statement);
+    if (!decoded.ok()) {
+      if (!WriteFrame(conn->fd, FrameType::kError, SerializeStatus(decoded))
+               .ok()) {
+        break;
+      }
+      continue;
+    }
+
+    // Retry dedup: a retried request (same nonzero id, after a reconnect or
+    // a corrupted response) replays its stored response instead of
+    // executing twice.
+    FrameType replay_type = FrameType::kError;
+    std::string replay_payload;
+    if (request_id != 0 &&
+        FindDeduped(request_id, &replay_type, &replay_payload)) {
+      if (!WriteFrame(conn->fd, replay_type, replay_payload).ok()) break;
+      continue;
+    }
+
     Request request;
     request.conn = conn;
-    request.statement = std::move(frame.payload);
+    request.statement = std::string(statement);
+    request.request_id = request_id;
     request.admitted = Clock::now();
     auto response = request.response.get_future();
 
@@ -277,7 +338,9 @@ void AssessServer::ReaderLoop(Connection* conn) {
     // lives on this stack frame, so the wait must be unconditional.
     auto [type, payload] = response.get();
     RecordLatency(ElapsedMs(request.admitted));
-    if (!WriteFrame(conn->fd, type, payload).ok()) break;
+    Status written = FailpointStatus("server.write_frame");
+    if (written.ok()) written = WriteFrame(conn->fd, type, payload);
+    if (!written.ok()) break;
   }
   ::shutdown(conn->fd, SHUT_RDWR);
   conn->done.store(true);
@@ -325,20 +388,33 @@ std::pair<FrameType, std::string> AssessServer::ExecuteRequest(
 
   FrameType type = FrameType::kError;
   std::string payload;
+  StatusCode error_code = StatusCode::kOk;
+  auto fail = [&](const Status& status) {
+    error_responses_.fetch_add(1, std::memory_order_relaxed);
+    error_code = status.code();
+    payload = SerializeStatus(status);
+  };
+
+  Status dequeued = FailpointStatus("server.worker_dequeue");
   if (overdue()) {
     // Spent its whole budget waiting for a worker; do not execute at all.
     timeouts_.fetch_add(1, std::memory_order_relaxed);
+    error_code = StatusCode::kTimeout;
     payload = SerializeStatus(timeout_status("while queued"));
+  } else if (!dequeued.ok()) {
+    fail(dequeued);
   } else {
     if (options_.pre_execute_hook) options_.pre_execute_hook();
+    Status injected = FailpointStatus("server.session_execute");
     Result<AssessResult> result =
-        request->conn->session->Query(request->statement);
+        injected.ok() ? request->conn->session->Query(request->statement)
+                      : Result<AssessResult>(injected);
     if (overdue()) {
       timeouts_.fetch_add(1, std::memory_order_relaxed);
+      error_code = StatusCode::kTimeout;
       payload = SerializeStatus(timeout_status("during execution"));
     } else if (!result.ok()) {
-      error_responses_.fetch_add(1, std::memory_order_relaxed);
-      payload = SerializeStatus(result.status());
+      fail(result.status());
     } else {
       payload = SerializeAssessResult(*result);
       if (payload.size() + 1 > options_.max_frame_bytes) {
@@ -346,15 +422,63 @@ std::pair<FrameType, std::string> AssessServer::ExecuteRequest(
         std::snprintf(msg, sizeof(msg),
                       "result of %zu bytes exceeds the %zu byte frame limit",
                       payload.size(), options_.max_frame_bytes);
-        error_responses_.fetch_add(1, std::memory_order_relaxed);
-        payload = SerializeStatus(Status::OutOfRange(msg));
+        fail(Status::FrameTooLarge(msg));
       } else {
         type = FrameType::kResult;
         ok_responses_.fetch_add(1, std::memory_order_relaxed);
       }
     }
   }
+
+  // Only deterministic outcomes enter the dedup store: results and errors
+  // that re-derive identically from the statement. Transient conditions
+  // (kUnavailable, kTimeout, injected faults, kInternal) must re-execute on
+  // retry, so they are never replayed.
+  if (request->request_id != 0) {
+    bool deterministic = type == FrameType::kResult ||
+                         error_code == StatusCode::kInvalidArgument ||
+                         error_code == StatusCode::kNotFound ||
+                         error_code == StatusCode::kNotSupported ||
+                         error_code == StatusCode::kOutOfRange ||
+                         error_code == StatusCode::kAlreadyExists ||
+                         error_code == StatusCode::kFrameTooLarge;
+    if (deterministic) StoreDeduped(request->request_id, type, payload);
+  }
   return {type, std::move(payload)};
+}
+
+bool AssessServer::FindDeduped(uint64_t request_id, FrameType* type,
+                               std::string* payload) {
+  if (options_.dedup_entries == 0) return false;
+  std::lock_guard<std::mutex> lock(dedup_mutex_);
+  auto it = dedup_map_.find(request_id);
+  if (it == dedup_map_.end()) return false;
+  *type = it->second.first;
+  *payload = it->second.second;
+  return true;
+}
+
+void AssessServer::StoreDeduped(uint64_t request_id, FrameType type,
+                                const std::string& payload) {
+  if (options_.dedup_entries == 0) return;
+  std::lock_guard<std::mutex> lock(dedup_mutex_);
+  auto [it, inserted] = dedup_map_.try_emplace(request_id, type, payload);
+  if (!inserted) return;  // first stored response wins; retries replay it
+  dedup_fifo_.push_back(request_id);
+  dedup_bytes_held_ += payload.size();
+  // FIFO eviction past the entry cap; the byte cap keeps at least the
+  // newest entry so one huge response cannot disable dedup entirely.
+  while (dedup_fifo_.size() > options_.dedup_entries ||
+         (dedup_bytes_held_ > options_.dedup_bytes &&
+          dedup_fifo_.size() > 1)) {
+    uint64_t oldest = dedup_fifo_.front();
+    dedup_fifo_.pop_front();
+    auto old = dedup_map_.find(oldest);
+    if (old != dedup_map_.end()) {
+      dedup_bytes_held_ -= old->second.second.size();
+      dedup_map_.erase(old);
+    }
+  }
 }
 
 void AssessServer::RecordLatency(double ms) {

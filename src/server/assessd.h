@@ -10,6 +10,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -40,6 +41,16 @@ struct ServerOptions {
   int64_t request_timeout_ms = 30'000;
   /// Protocol frame cap for this server (requests and responses).
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Retry dedup: completed responses are remembered by their client
+  /// request id so a retried (reconnected) request replays its stored
+  /// response instead of executing again. Bounded FIFO; 0 disables.
+  size_t dedup_entries = 1024;
+  /// Byte cap on the stored dedup responses (oldest evicted past it).
+  size_t dedup_bytes = size_t{32} << 20;
+  /// Whether kFailpoint admin frames may arm/disarm fault injection on
+  /// this server. Off by default: chaos testing is opt-in
+  /// (`assessd --failpoint-admin`).
+  bool allow_failpoint_admin = false;
   /// Engine configuration for the per-connection sessions. When the result
   /// cache is enabled and no shared_cache is given, Start() creates one, so
   /// all connections pool warm results by construction.
@@ -111,8 +122,15 @@ class AssessServer {
 
   /// Executes one admitted request; the worker loop fulfils the promise
   /// with the returned (frame type, payload) after leaving the in-flight
-  /// count.
+  /// count. Deterministic outcomes of requests carrying a nonzero id are
+  /// stored for retry dedup.
   std::pair<FrameType, std::string> ExecuteRequest(Request* request);
+
+  /// Retry dedup: the stored response for `request_id`, if any.
+  bool FindDeduped(uint64_t request_id, FrameType* type,
+                   std::string* payload);
+  void StoreDeduped(uint64_t request_id, FrameType type,
+                    const std::string& payload);
 
   void RecordLatency(double ms);
   void ReapFinishedConnections();
@@ -143,6 +161,13 @@ class AssessServer {
   bool started_ = false;
   bool stopped_ = false;
   std::mutex lifecycle_mutex_;
+
+  // Retry dedup store (guarded by dedup_mutex_): completed responses keyed
+  // by client request id, evicted FIFO past the entry and byte caps.
+  mutable std::mutex dedup_mutex_;
+  std::unordered_map<uint64_t, std::pair<FrameType, std::string>> dedup_map_;
+  std::deque<uint64_t> dedup_fifo_;
+  size_t dedup_bytes_held_ = 0;
 
   // Monotonic counters.
   std::atomic<uint64_t> total_requests_{0};

@@ -2,6 +2,7 @@
 //
 //   assessd [--sales | --ssb [--sf X]] [--host H] [--port P] [--workers N]
 //           [--queue N] [--timeout-ms N] [--cache-mb N] [--max-frame-mb N]
+//           [--failpoints SPEC] [--failpoint-admin]
 //
 // Loads the database once, then serves the framed protocol of
 // server/protocol.h until SIGINT/SIGTERM, which trigger a graceful drain
@@ -15,6 +16,7 @@
 #include <memory>
 #include <string>
 
+#include "common/failpoint.h"
 #include "server/assessd.h"
 #include "ssb/sales_generator.h"
 #include "ssb/ssb_generator.h"
@@ -32,9 +34,13 @@ int Usage(const char* argv0) {
       stderr,
       "usage: %s [--sales | --ssb] [--sf X] [--host H] [--port P]\n"
       "          [--workers N] [--queue N] [--timeout-ms N] [--cache-mb N]\n"
-      "          [--max-frame-mb N]\n"
+      "          [--max-frame-mb N] [--failpoints SPEC] [--failpoint-admin]\n"
       "Serves the SALES (default) or SSB database on H:P (default "
-      "127.0.0.1:%u).\n",
+      "127.0.0.1:%u).\n"
+      "--failpoints arms fault-injection points at startup (see\n"
+      "common/failpoint.h for the spec grammar); --failpoint-admin lets\n"
+      "clients arm them at runtime via the kFailpoint frame. Both need a\n"
+      "build with ASSESS_FAILPOINTS=ON.\n",
       argv0, assess::kDefaultPort);
   return 2;
 }
@@ -89,6 +95,18 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       options.max_frame_bytes = static_cast<size_t>(std::atoll(v)) << 20;
+    } else if (arg == "--failpoints") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      assess::Status armed =
+          assess::FailpointRegistry::Instance().ArmFromString(v);
+      if (!armed.ok()) {
+        std::fprintf(stderr, "assessd: --failpoints: %s\n",
+                     armed.ToString().c_str());
+        return 2;
+      }
+    } else if (arg == "--failpoint-admin") {
+      options.allow_failpoint_admin = true;
     } else {
       return Usage(argv[0]);
     }

@@ -1,9 +1,11 @@
 #include "server/protocol.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -11,6 +13,9 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+
+#include "common/crc32c.h"
+#include "common/failpoint.h"
 
 namespace assess {
 namespace {
@@ -21,6 +26,9 @@ Status SendAll(int fd, const char* data, size_t len) {
     ssize_t n = ::send(fd, data + written, len - written, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::Timeout("send deadline exceeded");
+      }
       return Status::Unavailable(std::string("send failed: ") +
                                  std::strerror(errno));
     }
@@ -38,6 +46,9 @@ Status RecvAll(int fd, char* data, size_t len, bool* eof) {
     ssize_t n = ::recv(fd, data + read, len - read, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::Timeout("recv deadline exceeded");
+      }
       return Status::Unavailable(std::string("recv failed: ") +
                                  std::strerror(errno));
     }
@@ -70,10 +81,12 @@ bool IsKnownFrameType(uint8_t type) {
     case FrameType::kQuery:
     case FrameType::kStats:
     case FrameType::kPing:
+    case FrameType::kFailpoint:
     case FrameType::kResult:
     case FrameType::kError:
     case FrameType::kStatsReply:
     case FrameType::kPong:
+    case FrameType::kFailpointReply:
       return true;
   }
   return false;
@@ -81,17 +94,31 @@ bool IsKnownFrameType(uint8_t type) {
 
 }  // namespace
 
-Status WriteFrame(int fd, FrameType type, std::string_view payload) {
-  if (payload.size() + 1 > UINT32_MAX) {
-    return Status::InvalidArgument("frame payload too large");
-  }
+std::string EncodeFrame(FrameType type, std::string_view payload) {
   std::string buf;
-  buf.reserve(5 + payload.size());
+  buf.reserve(9 + payload.size());
   char header[5];
   PutU32Le(header, static_cast<uint32_t>(payload.size() + 1));
   header[4] = static_cast<char>(type);
   buf.append(header, 5);
   buf.append(payload.data(), payload.size());
+  // The trailer covers type + payload; the length prefix stays outside so
+  // that a corrupted body is *detected* rather than desynchronizing the
+  // stream (see the header comment).
+  char trailer[4];
+  PutU32Le(trailer, Crc32c(buf.data() + 4, buf.size() - 4));
+  buf.append(trailer, 4);
+  return buf;
+}
+
+Status WriteFrame(int fd, FrameType type, std::string_view payload) {
+  if (payload.size() + 1 > UINT32_MAX) {
+    return Status::InvalidArgument("frame payload too large");
+  }
+  std::string buf = EncodeFrame(type, payload);
+  // Fault injection: flip bytes past the length prefix of an outgoing
+  // frame, so the receiver's CRC check must catch it.
+  ASSESS_FAILPOINT_CORRUPT("net.write_frame", &buf, 4);
   return SendAll(fd, buf.data(), buf.size());
 }
 
@@ -107,18 +134,53 @@ Status ReadFrame(int fd, size_t max_frame_bytes, Frame* out) {
     char msg[64];
     std::snprintf(msg, sizeof(msg), "frame of %u bytes exceeds limit %zu",
                   length, max_frame_bytes);
-    return Status::InvalidArgument(msg);
+    return Status::FrameTooLarge(msg);
   }
   ASSESS_RETURN_NOT_OK(RecvAll(fd, header + 4, 1, &eof));
   uint8_t type = static_cast<uint8_t>(header[4]);
-  if (!IsKnownFrameType(type)) {
-    return Status::InvalidArgument("unknown frame type");
-  }
-  out->type = static_cast<FrameType>(type);
   out->payload.resize(length - 1);
   if (length > 1) {
     ASSESS_RETURN_NOT_OK(RecvAll(fd, out->payload.data(), length - 1, &eof));
   }
+  char trailer[4];
+  ASSESS_RETURN_NOT_OK(RecvAll(fd, trailer, 4, &eof));
+  uint32_t crc = Crc32cExtend(Crc32c(header + 4, 1), out->payload.data(),
+                              out->payload.size());
+  if (crc != GetU32Le(trailer)) {
+    return Status::CorruptFrame("frame failed its CRC32C integrity check");
+  }
+  // Type validation after the CRC: a flipped type byte is corruption, not a
+  // protocol violation by the peer.
+  if (!IsKnownFrameType(type)) {
+    return Status::InvalidArgument("unknown frame type");
+  }
+  out->type = static_cast<FrameType>(type);
+  return Status::OK();
+}
+
+std::string EncodeQueryPayload(uint64_t request_id,
+                               std::string_view statement) {
+  std::string payload;
+  payload.reserve(8 + statement.size());
+  for (int i = 0; i < 8; ++i) {
+    payload.push_back(static_cast<char>((request_id >> (8 * i)) & 0xFF));
+  }
+  payload.append(statement.data(), statement.size());
+  return payload;
+}
+
+Status DecodeQueryPayload(std::string_view payload, uint64_t* request_id,
+                          std::string_view* statement) {
+  if (payload.size() < 8) {
+    return Status::InvalidArgument(
+        "query frame too short for its request id");
+  }
+  uint64_t id = 0;
+  for (int i = 0; i < 8; ++i) {
+    id |= static_cast<uint64_t>(static_cast<uint8_t>(payload[i])) << (8 * i);
+  }
+  *request_id = id;
+  *statement = payload.substr(8);
   return Status::OK();
 }
 
@@ -163,7 +225,60 @@ Result<ListenSocket> ListenOn(const std::string& host, uint16_t port,
   return ListenSocket{fd, ntohs(bound.sin_port)};
 }
 
-Result<int> ConnectTo(const std::string& host, uint16_t port) {
+namespace {
+
+/// Bounded TCP handshake: non-blocking connect, poll for writability, then
+/// SO_ERROR to read the handshake's outcome. Returns kTimeout when the
+/// deadline expires first.
+Status ConnectWithDeadline(int fd, const sockaddr* addr, socklen_t addrlen,
+                           int64_t timeout_ms) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::Unavailable(std::string("fcntl failed: ") +
+                               std::strerror(errno));
+  }
+  int rc = ::connect(fd, addr, addrlen);
+  if (rc < 0 && errno != EINPROGRESS) {
+    return Status::Unavailable(std::string("connect failed: ") +
+                               std::strerror(errno));
+  }
+  if (rc < 0) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    int ready;
+    do {
+      ready = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+    } while (ready < 0 && errno == EINTR);
+    if (ready < 0) {
+      return Status::Unavailable(std::string("poll failed: ") +
+                                 std::strerror(errno));
+    }
+    if (ready == 0) {
+      char msg[64];
+      std::snprintf(msg, sizeof(msg), "connect timed out after %lld ms",
+                    static_cast<long long>(timeout_ms));
+      return Status::Timeout(msg);
+    }
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) < 0 ||
+        err != 0) {
+      return Status::Unavailable(std::string("connect failed: ") +
+                                 std::strerror(err != 0 ? err : errno));
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) < 0) {
+    return Status::Unavailable(std::string("fcntl failed: ") +
+                               std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<int> ConnectTo(const std::string& host, uint16_t port,
+                      int64_t timeout_ms) {
   addrinfo hints{};
   hints.ai_family = AF_INET;
   hints.ai_socktype = SOCK_STREAM;
@@ -179,14 +294,21 @@ Result<int> ConnectTo(const std::string& host, uint16_t port) {
   for (addrinfo* ai = resolved; ai != nullptr; ai = ai->ai_next) {
     int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
     if (fd < 0) continue;
-    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+    Status connected;
+    if (timeout_ms > 0) {
+      connected = ConnectWithDeadline(fd, ai->ai_addr, ai->ai_addrlen,
+                                      timeout_ms);
+    } else if (::connect(fd, ai->ai_addr, ai->ai_addrlen) != 0) {
+      connected = Status::Unavailable(std::string("connect failed: ") +
+                                      std::strerror(errno));
+    }
+    if (connected.ok()) {
       int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       ::freeaddrinfo(resolved);
       return fd;
     }
-    last = Status::Unavailable("connect to " + host + ":" + port_text +
-                               " failed: " + std::strerror(errno));
+    last = connected.WithContext("connect to " + host + ":" + port_text);
     CloseSocket(fd);
   }
   ::freeaddrinfo(resolved);

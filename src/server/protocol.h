@@ -15,38 +15,56 @@ namespace assess {
 ///
 /// Frame layout (all on-wire integers little-endian):
 ///
-///   frame   := length(u32 LE) | type(u8) | payload(length - 1 bytes)
+///   frame := length(u32 LE) | type(u8) | payload(length - 1 bytes)
+///          | crc32c(u32 LE)
 ///
 /// `length` counts the type byte plus the payload, so a valid frame has
 /// length >= 1; frames whose length exceeds the configured maximum
-/// (kDefaultMaxFrameBytes unless overridden) are rejected without reading
-/// the payload — the peer cannot make the receiver allocate unboundedly.
+/// (kDefaultMaxFrameBytes unless overridden) are rejected with
+/// kFrameTooLarge without reading the payload — the peer cannot make the
+/// receiver allocate unboundedly. The trailer is the CRC32C of the type
+/// byte plus the payload; a mismatch surfaces as a typed kCorruptFrame
+/// error instead of a garbled result, so bit flips anywhere between the
+/// peers are detected, not silently decoded. (The length prefix is not
+/// covered: a corrupted length either trips the cap, fails the shifted
+/// CRC check, or leaves the receiver waiting — which the client-side read
+/// deadline converts into a retryable kTimeout.)
 ///
 /// Exchange model: strict request/response per connection. The client sends
 /// one request frame and reads exactly one response frame before sending the
 /// next; the server serves many connections concurrently but at most one
 /// in-flight request per connection.
 ///
-///   request  kQuery  payload = assess statement (UTF-8 text)
+///   request  kQuery  payload = request_id(u64 LE) | statement (UTF-8 text)
 ///            kStats  payload empty; server answers with kStatsReply
 ///            kPing   payload empty; liveness probe
+///            kFailpoint payload = failpoint spec (common/failpoint.h);
+///                     admin frame, refused unless the server allows it
 ///   response kResult payload = SerializeAssessResult bytes
 ///            kError  payload = SerializeStatus bytes (typed code + message)
 ///            kStatsReply payload = ServerStats::Serialize bytes
 ///            kPong   payload empty
+///            kFailpointReply payload = armed-failpoint listing (text)
+///
+/// The kQuery request id is the client's idempotency key: a nonzero id
+/// identifies one logical request across retries and reconnections, and the
+/// server replays the stored response for an id it has already answered
+/// instead of executing again. Id 0 opts out.
 ///
 /// Malformed traffic (length 0, oversized length, unknown type, truncated
-/// frame, garbage) terminates only the offending connection: the server
-/// answers with a kError frame when the stream is still framable and closes
-/// the socket, leaving every other connection serving.
+/// frame, CRC mismatch, garbage) terminates only the offending connection:
+/// the server answers with a typed kError frame when the stream is still
+/// framable and closes the socket, leaving every other connection serving.
 enum class FrameType : uint8_t {
   kQuery = 0x01,
   kStats = 0x02,
   kPing = 0x03,
+  kFailpoint = 0x04,
   kResult = 0x11,
   kError = 0x12,
   kStatsReply = 0x13,
   kPong = 0x14,
+  kFailpointReply = 0x15,
 };
 
 /// Frames larger than this are protocol violations by default; both sides
@@ -62,19 +80,38 @@ struct Frame {
   std::string payload;
 };
 
+/// \brief Builds the full wire bytes of one frame — length prefix, type,
+/// payload and CRC32C trailer. Shared by WriteFrame and by tests that need
+/// to splice valid (or deliberately damaged) frames onto a raw socket.
+std::string EncodeFrame(FrameType type, std::string_view payload);
+
 /// \brief Writes one frame to `fd`, looping over partial sends and EINTR.
 /// Uses MSG_NOSIGNAL, so writing to a dead peer yields kUnavailable rather
-/// than SIGPIPE.
+/// than SIGPIPE; a socket send deadline (SO_SNDTIMEO) that expires yields
+/// kTimeout.
 Status WriteFrame(int fd, FrameType type, std::string_view payload);
 
 /// \brief Reads one frame from `fd` into `*out`.
 ///
 /// Returns kUnavailable("connection closed") on a clean close at a frame
 /// boundary, kUnavailable("...mid-frame...") when the peer vanished partway
-/// through a frame, and kInvalidArgument when the stream is unframable
-/// (length 0 or length > max_frame_bytes) — in which case the stream is
-/// desynchronized and the caller should close it.
+/// through a frame, kTimeout when a socket receive deadline (SO_RCVTIMEO)
+/// expires, kFrameTooLarge when the announced length exceeds
+/// `max_frame_bytes`, kCorruptFrame when the CRC32C trailer does not match
+/// the received bytes, and kInvalidArgument when the stream is otherwise
+/// unframable (length 0, unknown frame type). On every non-OK return except
+/// kTimeout the stream is untrustworthy and the caller should close it.
 Status ReadFrame(int fd, size_t max_frame_bytes, Frame* out);
+
+/// \brief Encodes a kQuery payload: the idempotency request id followed by
+/// the statement text.
+std::string EncodeQueryPayload(uint64_t request_id,
+                               std::string_view statement);
+
+/// \brief Splits a kQuery payload into id and statement (a view into
+/// `payload`, which must outlive it).
+Status DecodeQueryPayload(std::string_view payload, uint64_t* request_id,
+                          std::string_view* statement);
 
 /// \brief Opens a listening TCP socket on host:port (port 0 = ephemeral).
 /// Returns the fd and the actually bound port.
@@ -85,8 +122,12 @@ struct ListenSocket {
 Result<ListenSocket> ListenOn(const std::string& host, uint16_t port,
                               int backlog);
 
-/// \brief Connects to host:port; returns the connected fd.
-Result<int> ConnectTo(const std::string& host, uint16_t port);
+/// \brief Connects to host:port; returns the connected fd. A positive
+/// `timeout_ms` bounds the TCP handshake (a dead-but-routable host
+/// otherwise blocks in connect(2) indefinitely) and fails with kTimeout;
+/// <= 0 keeps the OS default blocking behavior.
+Result<int> ConnectTo(const std::string& host, uint16_t port,
+                      int64_t timeout_ms = 0);
 
 /// \brief Closes `fd` if open (EINTR-safe, idempotent with fd < 0).
 void CloseSocket(int fd);

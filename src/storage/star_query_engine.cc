@@ -11,6 +11,7 @@
 
 #include "algebra/operators.h"
 #include "cache/query_fingerprint.h"
+#include "common/failpoint.h"
 #include "storage/flat_map64.h"
 #include "storage/materialized_view.h"
 #include "storage/predicate.h"
@@ -382,6 +383,7 @@ Result<Cube> StarQueryEngine::Execute(const CubeQuery& query) const {
 
 Result<Cube> StarQueryEngine::ExecuteInternal(const BoundCube& bound,
                                               const CubeQuery& query) const {
+  ASSESS_FAILPOINT("storage.group_by");
   last_cache_outcome_ = CacheOutcome::kBypass;
   if (cache_ == nullptr) return ExecuteUncached(bound, query);
   const CubeSchema& schema = bound.schema();
@@ -428,6 +430,7 @@ Result<Cube> StarQueryEngine::ExecuteInternal(const BoundCube& bound,
 
 Result<Cube> StarQueryEngine::ExecuteUncached(const BoundCube& bound,
                                               const CubeQuery& query) const {
+  ASSESS_FAILPOINT("storage.scan");
   const CubeSchema& schema = bound.schema();
   last_used_view_ = false;
 
@@ -490,6 +493,7 @@ Result<Cube> StarQueryEngine::ExecuteUncached(const BoundCube& bound,
 Result<Cube> StarQueryEngine::ExecuteJoined(
     const CubeQuery& target, const CubeQuery& benchmark,
     const std::vector<std::string>& join_levels, bool left_outer) const {
+  ASSESS_FAILPOINT("storage.join");
   ASSESS_ASSIGN_OR_RETURN(const BoundCube* bt, db_->Find(target.cube_name));
   ASSESS_ASSIGN_OR_RETURN(const BoundCube* bb, db_->Find(benchmark.cube_name));
   ASSESS_ASSIGN_OR_RETURN(Cube left, ExecuteInternal(*bt, target));
@@ -504,6 +508,7 @@ Result<Cube> StarQueryEngine::ExecuteConcatJoined(
     const std::string& order_level, int expected,
     const std::vector<std::vector<std::string>>& slot_names,
     bool require_complete) const {
+  ASSESS_FAILPOINT("storage.join");
   ASSESS_ASSIGN_OR_RETURN(const BoundCube* bt, db_->Find(target.cube_name));
   ASSESS_ASSIGN_OR_RETURN(const BoundCube* bb, db_->Find(benchmark.cube_name));
   ASSESS_ASSIGN_OR_RETURN(Cube left, ExecuteInternal(*bt, target));

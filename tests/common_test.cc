@@ -3,6 +3,8 @@
 #include <cmath>
 #include <set>
 
+#include "common/crc32c.h"
+#include "common/failpoint.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -215,6 +217,143 @@ TEST(StopwatchTest, Monotonic) {
   EXPECT_GE(a, 0.0);
   sw.Restart();
   EXPECT_GE(sw.ElapsedMillis(), 0.0);
+}
+
+TEST(Crc32cTest, KnownAnswers) {
+  // RFC 3720 appendix B check value for the Castagnoli polynomial.
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(Crc32c(""), 0u);
+  // 32 zero bytes (iSCSI test vector).
+  std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros), 0x8A9136AAu);
+  std::string ones(32, '\xff');
+  EXPECT_EQ(Crc32c(ones), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, ExtendComposes) {
+  std::string a = "assess queries for ";
+  std::string b = "interactive analysis";
+  EXPECT_EQ(Crc32cExtend(Crc32c(a), b.data(), b.size()), Crc32c(a + b));
+  // Byte-at-a-time equals one-shot (exercises the slicing tail path).
+  uint32_t crc = 0;
+  for (char c : a) crc = Crc32cExtend(crc, &c, 1);
+  EXPECT_EQ(crc, Crc32c(a));
+}
+
+TEST(Crc32cTest, DetectsSingleBitFlips) {
+  std::string payload = "with SALES by month assess sales labels quartiles";
+  uint32_t clean = Crc32c(payload);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      payload[i] ^= static_cast<char>(1 << bit);
+      EXPECT_NE(Crc32c(payload), clean) << "byte " << i << " bit " << bit;
+      payload[i] ^= static_cast<char>(1 << bit);
+    }
+  }
+}
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FailpointRegistry::Instance().DisarmAll(); }
+  void TearDown() override { FailpointRegistry::Instance().DisarmAll(); }
+};
+
+Status HitOnce(const char* name) {
+  ASSESS_FAILPOINT(name);
+  return Status::OK();
+}
+
+TEST_F(FailpointTest, UnarmedIsFree) {
+  EXPECT_TRUE(HitOnce("never.armed").ok());
+  EXPECT_EQ(FailpointRegistry::Instance().triggers("never.armed"), 0u);
+}
+
+TEST_F(FailpointTest, ArmedErrorFiresWithCodeAndMessage) {
+  if (!kFailpointsCompiledIn) {
+    FailpointSpec spec;
+    EXPECT_EQ(FailpointRegistry::Instance().Arm("x", spec).code(),
+              StatusCode::kNotSupported);
+    GTEST_SKIP() << "failpoints compiled out";
+  }
+  auto& registry = FailpointRegistry::Instance();
+  ASSERT_TRUE(registry
+                  .ArmFromString(
+                      "test.point=error(timeout, simulated stall)")
+                  .ok());
+  Status hit = HitOnce("test.point");
+  EXPECT_EQ(hit.code(), StatusCode::kTimeout);
+  EXPECT_EQ(hit.message(), "simulated stall");
+  EXPECT_EQ(registry.triggers("test.point"), 1u);
+  EXPECT_NE(registry.Describe().find("test.point"), std::string::npos);
+  EXPECT_TRUE(registry.Disarm("test.point"));
+  EXPECT_TRUE(HitOnce("test.point").ok());
+}
+
+TEST_F(FailpointTest, BudgetLimitsTriggers) {
+  if (!kFailpointsCompiledIn) GTEST_SKIP() << "failpoints compiled out";
+  auto& registry = FailpointRegistry::Instance();
+  ASSERT_TRUE(registry.ArmFromString("test.budget=error:budget=2").ok());
+  EXPECT_FALSE(HitOnce("test.budget").ok());
+  EXPECT_FALSE(HitOnce("test.budget").ok());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(HitOnce("test.budget").ok()) << "budget not enforced";
+  }
+  EXPECT_EQ(registry.triggers("test.budget"), 2u);
+}
+
+TEST_F(FailpointTest, ProbabilityIsSeededAndDeterministic) {
+  if (!kFailpointsCompiledIn) GTEST_SKIP() << "failpoints compiled out";
+  auto& registry = FailpointRegistry::Instance();
+  auto run = [&]() {
+    EXPECT_TRUE(
+        registry.ArmFromString("test.p=error:p=0.5:seed=42").ok());
+    std::string pattern;
+    for (int i = 0; i < 64; ++i) {
+      pattern.push_back(HitOnce("test.p").ok() ? '.' : 'X');
+    }
+    return pattern;
+  };
+  std::string first = run();
+  std::string second = run();  // re-arming resets the stream
+  EXPECT_EQ(first, second);
+  // p=0.5 over 64 draws: both outcomes occur.
+  EXPECT_NE(first.find('X'), std::string::npos);
+  EXPECT_NE(first.find('.'), std::string::npos);
+}
+
+TEST_F(FailpointTest, TriggeredFormSkipsSteps) {
+  if (!kFailpointsCompiledIn) GTEST_SKIP() << "failpoints compiled out";
+  auto& registry = FailpointRegistry::Instance();
+  ASSERT_TRUE(registry.ArmFromString("test.skip=error:budget=1").ok());
+  EXPECT_TRUE(ASSESS_FAILPOINT_TRIGGERED("test.skip"));
+  EXPECT_FALSE(ASSESS_FAILPOINT_TRIGGERED("test.skip"));  // budget spent
+}
+
+TEST_F(FailpointTest, CorruptFlipsBytesPastOffset) {
+  if (!kFailpointsCompiledIn) GTEST_SKIP() << "failpoints compiled out";
+  auto& registry = FailpointRegistry::Instance();
+  ASSERT_TRUE(registry.ArmFromString("test.corrupt=corrupt:seed=7").ok());
+  std::string buf(64, 'a');
+  std::string original = buf;
+  ASSESS_FAILPOINT_CORRUPT("test.corrupt", &buf, 4);
+  EXPECT_NE(buf, original);
+  EXPECT_EQ(buf.substr(0, 4), original.substr(0, 4)) << "offset not honoured";
+}
+
+TEST_F(FailpointTest, SpecParserRejectsMalformedInput) {
+  auto& registry = FailpointRegistry::Instance();
+  for (const char* bad :
+       {"nameonly", "=error", "x=", "x=explode", "x=error(nosuchcode)",
+        "x=delay(abc)", "x=error:p=2", "x=error:budget=x", "x=error:tweak=1",
+        "x=off(1)"}) {
+    Status st = registry.ArmFromString(bad);
+    EXPECT_FALSE(st.ok()) << "accepted '" << bad << "'";
+    if (kFailpointsCompiledIn) {
+      EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << bad;
+    }
+  }
+  // 'off' for an unknown point parses fine (disarming is idempotent).
+  EXPECT_TRUE(registry.ArmFromString("x=off").ok());
 }
 
 }  // namespace

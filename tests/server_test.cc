@@ -291,7 +291,7 @@ TEST_F(ServerTest, MalformedTrafficLeavesServerServing) {
     EXPECT_EQ(response.type, FrameType::kError);
     Status remote = Status::OK();
     ASSERT_TRUE(DeserializeStatus(response.payload, &remote).ok());
-    EXPECT_EQ(remote.code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(remote.code(), StatusCode::kFrameTooLarge);
     // ...and the stream is closed afterwards.
     EXPECT_FALSE(bad.ReadOneFrame(&response).ok());
     expect_healthy();
@@ -335,27 +335,43 @@ TEST_F(ServerTest, MalformedTrafficLeavesServerServing) {
     // the response. The server executes, fails to write, and moves on.
     RawConnection bad(server->port());
     ASSERT_TRUE(bad.ok());
-    std::string statement = kConstant;
-    uint32_t length = static_cast<uint32_t>(statement.size() + 1);
-    std::string frame;
-    frame.append(reinterpret_cast<const char*>(&length), 4);
-    frame.push_back(0x01);
-    frame.append(statement);
+    std::string frame =
+        EncodeFrame(FrameType::kQuery, EncodeQueryPayload(0, kConstant));
     bad.SendBytes(frame.data(), frame.size());
   }  // RawConnection closes here, likely before the response is ready
   expect_healthy();
 
-  // Unknown frame type.
+  // Unknown frame type (well-formed otherwise: correct CRC trailer).
   {
     RawConnection bad(server->port());
     ASSERT_TRUE(bad.ok());
-    const char unknown[5] = {1, 0, 0, 0, 0x7F};
-    bad.SendBytes(unknown, 5);
+    std::string frame = EncodeFrame(static_cast<FrameType>(0x7F), "");
+    bad.SendBytes(frame.data(), frame.size());
     Frame response;
     Status read = bad.ReadOneFrame(&response);
     if (read.ok()) {
       EXPECT_EQ(response.type, FrameType::kError);
     }
+    expect_healthy();
+  }
+
+  // A frame whose CRC trailer does not match its bytes: typed
+  // kCorruptFrame error, then the connection is closed.
+  {
+    RawConnection bad(server->port());
+    ASSERT_TRUE(bad.ok());
+    std::string frame =
+        EncodeFrame(FrameType::kQuery, EncodeQueryPayload(0, kConstant));
+    frame[frame.size() / 2] ^= 0x40;  // flip one covered bit
+    bad.SendBytes(frame.data(), frame.size());
+    Frame response;
+    Status read = bad.ReadOneFrame(&response);
+    ASSERT_TRUE(read.ok()) << read.ToString();
+    EXPECT_EQ(response.type, FrameType::kError);
+    Status remote = Status::OK();
+    ASSERT_TRUE(DeserializeStatus(response.payload, &remote).ok());
+    EXPECT_EQ(remote.code(), StatusCode::kCorruptFrame);
+    EXPECT_FALSE(bad.ReadOneFrame(&response).ok());
     expect_healthy();
   }
 }

@@ -9,6 +9,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <limits>
 #include <memory>
 
 #include "assess/session.h"
@@ -152,6 +154,8 @@ TEST(WireFormatTest, StatusRoundTripsEveryCode) {
       Status::Internal("invariant"),
       Status::Unavailable("server overloaded"),
       Status::Timeout("deadline exceeded"),
+      Status::CorruptFrame("crc mismatch"),
+      Status::FrameTooLarge("17 MiB > 16 MiB cap"),
       Status::OK(),
   };
   for (const Status& original : cases) {
@@ -160,6 +164,70 @@ TEST(WireFormatTest, StatusRoundTripsEveryCode) {
     ASSERT_TRUE(parse.ok()) << parse.ToString();
     EXPECT_EQ(decoded.code(), original.code());
     EXPECT_EQ(decoded.message(), original.message());
+  }
+}
+
+// Property-style: random cubes whose measures are drawn from the IEEE-754
+// corner set (NaN, +/-inf, -0.0, denormal, huge) must round-trip
+// bit-exactly, including empty results. Seeded, so failures reproduce.
+TEST(WireFormatTest, SpecialFloatMeasuresRoundTripExactly) {
+  auto dates = std::make_shared<Hierarchy>("Date");
+  int month = dates->AddLevel("month");
+  for (int m = 0; m < 12; ++m) {
+    dates->AddMember(month, "1997-" + std::to_string(m + 1));
+  }
+  const double corner[] = {std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity(),
+                           -0.0,
+                           0.0,
+                           std::numeric_limits<double>::denorm_min(),
+                           -std::numeric_limits<double>::max(),
+                           1.0,
+                           kNullMeasure};
+  constexpr size_t kCorners = sizeof(corner) / sizeof(corner[0]);
+
+  for (uint64_t seed = 1; seed <= 32; ++seed) {
+    Rng rng(seed * 0x9E37 + 11);
+    int64_t rows = static_cast<int64_t>(rng.Uniform(13));  // 0..12: empty too
+    int measures = 1 + static_cast<int>(rng.Uniform(3));
+    std::vector<std::vector<int32_t>> coords(1);
+    for (int64_t r = 0; r < rows; ++r) {
+      coords[0].push_back(static_cast<int32_t>(r));
+    }
+    std::vector<std::string> names;
+    std::vector<std::vector<double>> values(measures);
+    for (int m = 0; m < measures; ++m) {
+      names.push_back("m" + std::to_string(m));
+      for (int64_t r = 0; r < rows; ++r) {
+        values[m].push_back(corner[rng.Uniform(kCorners)]);
+      }
+    }
+    AssessResult original;
+    original.cube = Cube::FromColumns({LevelRef{dates, month}}, coords,
+                                      names, values);
+    original.measure = "m0";
+
+    auto decoded = DeserializeAssessResult(SerializeAssessResult(original));
+    ASSERT_TRUE(decoded.ok()) << "seed " << seed << ": "
+                              << decoded.status().ToString();
+    ASSERT_EQ(decoded->cube.NumRows(), rows) << "seed " << seed;
+    for (int m = 0; m < measures; ++m) {
+      for (int64_t r = 0; r < rows; ++r) {
+        double want = original.cube.MeasureAt(r, m);
+        double got = decoded->cube.MeasureAt(r, m);
+        // Bit-exact, not value-equal: distinguishes -0.0 from 0.0 and
+        // compares NaN payloads.
+        uint64_t want_bits, got_bits;
+        std::memcpy(&want_bits, &want, sizeof(want));
+        std::memcpy(&got_bits, &got, sizeof(got));
+        ASSERT_EQ(want_bits, got_bits)
+            << "seed " << seed << " row " << r << " measure " << m;
+      }
+    }
+    // And the re-encoding is a fixpoint even for special values.
+    EXPECT_EQ(SerializeAssessResult(*decoded), SerializeAssessResult(original))
+        << "seed " << seed;
   }
 }
 
