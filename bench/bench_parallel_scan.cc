@@ -1,0 +1,290 @@
+// Morsel-driven scan benchmark: what the shared task pool and the fused
+// scan→aggregate kernel buy on SSB fact scans.
+//
+//   1. Fused vs. materialize-then-aggregate at 1 thread: the same dense-array
+//      aggregation, with and without the intermediate row-id vector the
+//      pre-fusion design materialized between selection and aggregation.
+//   2. Thread sweep 1/2/4/8 over a selective and a non-selective scan
+//      (speedups are only physical up to the host's core count, recorded in
+//      the JSON as "host_cores").
+//   3. A concurrent-query mix: several clients hammering one shared pool,
+//      the assessd deployment in miniature.
+//
+// Engines run with views and the result cache off so every execution is a
+// raw fact scan. Do not set ASSESS_THREADS here — it would force every
+// configuration to one parallelism and flatten the sweep. Writes
+// BENCH_parallel.json for the regression record.
+
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "common/task_pool.h"
+#include "storage/predicate.h"
+#include "storage/star_query_engine.h"
+
+namespace assess {
+namespace {
+
+using bench::RepsFromEnv;
+using bench::Secs;
+
+// Group-by c_nation under a year predicate, hand-rolled both ways so the
+// *only* difference is the intermediate row-id vector. Dense-array sums
+// (nation cardinality is tiny) keep the aggregation identical across both.
+struct TwoPassTimings {
+  double materialize = 0;  // pass 1: row ids; pass 2: aggregate them
+  double fused = 0;        // one pass: filter and aggregate together
+  double checksum = 0;     // defeats dead-code elimination, sanity-checks
+};
+
+TwoPassTimings RunFusionComparison(const BoundCube& bound, int reps) {
+  const FactTable& facts = bound.facts();
+  const std::vector<int32_t>& date_fk = facts.fk_column(0);
+  const std::vector<int32_t>& cust_fk = facts.fk_column(1);
+  const std::vector<double>& revenue = facts.measure_column(1);
+  const int64_t rows = facts.NumRows();
+
+  std::vector<Predicate> preds = {
+      {0, 2, PredicateOp::kIn, {"1997", "1998"}}};
+  auto flags_or = BuildDimensionRowFlags(bound.dimension(0), preds);
+  if (!flags_or.ok()) {
+    std::fprintf(stderr, "flags failed: %s\n",
+                 flags_or.status().ToString().c_str());
+    std::exit(1);
+  }
+  const std::vector<uint8_t> flags = *flags_or;
+  const std::vector<int32_t>& nation_of =
+      bound.dimension(1).level_column(2);  // customer row -> c_nation code
+  const size_t nations = static_cast<size_t>(
+      bound.schema().hierarchy(1).LevelCardinality(2));
+
+  TwoPassTimings t;
+  double check_two_pass = 0, check_fused = 0;
+  for (int r = 0; r < reps; ++r) {
+    {
+      // The pre-fusion shape: selection materializes passing row ids, then
+      // aggregation re-visits them. Costs a second pass over the selection's
+      // output plus the vector's memory traffic.
+      Stopwatch sw;
+      std::vector<int64_t> ids;
+      for (int64_t i = 0; i < rows; ++i) {
+        if (flags[date_fk[i]]) ids.push_back(i);
+      }
+      std::vector<double> sums(nations, 0.0);
+      for (int64_t id : ids) {
+        sums[nation_of[cust_fk[id]]] += revenue[id];
+      }
+      t.materialize += sw.ElapsedSeconds() / reps;
+      check_two_pass = 0;
+      for (double s : sums) check_two_pass += s;
+    }
+    {
+      // The fused kernel: filter and aggregate in the same row visit.
+      Stopwatch sw;
+      std::vector<double> sums(nations, 0.0);
+      for (int64_t i = 0; i < rows; ++i) {
+        if (flags[date_fk[i]]) sums[nation_of[cust_fk[i]]] += revenue[i];
+      }
+      t.fused += sw.ElapsedSeconds() / reps;
+      check_fused = 0;
+      for (double s : sums) check_fused += s;
+    }
+  }
+  if (check_two_pass != check_fused) {
+    std::fprintf(stderr, "fusion comparison disagrees: %f vs %f\n",
+                 check_two_pass, check_fused);
+    std::exit(1);
+  }
+  t.checksum = check_fused;
+  return t;
+}
+
+struct SweepPoint {
+  int threads = 0;
+  const char* query = nullptr;
+  double seconds = 0;
+  uint64_t morsels_scanned = 0;
+  uint64_t morsels_skipped = 0;
+};
+
+double TimeQuery(const StarQueryEngine& engine, const CubeQuery& query,
+                 int reps) {
+  double total = 0;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch sw;
+    auto cube = engine.Execute(query);
+    if (!cube.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   cube.status().ToString().c_str());
+      std::exit(1);
+    }
+    total += sw.ElapsedSeconds();
+  }
+  return total / reps;
+}
+
+}  // namespace
+}  // namespace assess
+
+int main() {
+  using namespace assess;
+
+  const int reps = bench::RepsFromEnv(5);
+  const double sf = BaseScaleFactorFromEnv(0.2);  // 1.2M lineorders default
+  const int host_cores =
+      static_cast<int>(std::thread::hardware_concurrency());
+
+  SsbScalePoint point;
+  point.name = "SSB-parallel";
+  point.scale_factor = sf;
+  std::unique_ptr<StarDatabase> db = bench::BuildScale(point, false);
+  const BoundCube* ssb = *db->Find("SSB");
+  const int64_t rows = ssb->facts().NumRows();
+
+  std::printf("parallel scan bench: SF %.3g (%lld rows, %lld morsels), "
+              "%d host cores, %d reps\n\n",
+              sf, static_cast<long long>(rows),
+              static_cast<long long>((rows + kMorselRows - 1) / kMorselRows),
+              host_cores, reps);
+
+  // -- 1. Fused vs materialize-then-aggregate, 1 thread ---------------------
+  TwoPassTimings fusion = RunFusionComparison(*ssb, reps);
+  std::printf("fusion (1 thread, year IN {1997,1998} by c_nation):\n");
+  std::printf("  materialize-then-aggregate %ss\n", Secs(fusion.materialize).c_str());
+  std::printf("  fused single pass          %ss  (%.2fx)\n\n",
+              Secs(fusion.fused).c_str(), fusion.materialize / fusion.fused);
+
+  // -- 2. Thread sweep ------------------------------------------------------
+  auto make_query = [&](bool selective) {
+    std::vector<Predicate> preds;
+    if (selective) {
+      preds.push_back({3, 3, PredicateOp::kEquals, {"ASIA"}});
+      preds.push_back({0, 2, PredicateOp::kIn, {"1997", "1998"}});
+    }
+    auto q = CubeQuery::Make(ssb->schema(), "SSB",
+                             {"c_nation", "s_region"}, std::move(preds),
+                             {"revenue"});
+    if (!q.ok()) {
+      std::fprintf(stderr, "bad query: %s\n", q.status().ToString().c_str());
+      std::exit(1);
+    }
+    return *q;
+  };
+  const CubeQuery selective = make_query(true);
+  const CubeQuery non_selective = make_query(false);
+
+  std::vector<SweepPoint> sweep;
+  double base_selective = 0, base_non_selective = 0;
+  std::printf("thread sweep (group by c_nation, s_region):\n");
+  std::printf("  %7s  %14s  %9s  %9s  %8s %8s\n", "threads", "query",
+              "seconds", "speedup", "scanned", "skipped");
+  for (int threads : {1, 2, 4, 8}) {
+    EngineOptions options;
+    options.use_views = false;
+    options.use_result_cache = false;
+    options.threads = threads;
+    options.pool = std::make_shared<TaskPool>(threads);
+    StarQueryEngine engine(db.get(), options);
+    for (bool is_selective : {false, true}) {
+      const CubeQuery& q = is_selective ? selective : non_selective;
+      ScanStats before = engine.scan_stats();
+      double seconds = TimeQuery(engine, q, reps);
+      ScanStats after = engine.scan_stats();
+      SweepPoint p;
+      p.threads = threads;
+      p.query = is_selective ? "selective" : "non-selective";
+      p.seconds = seconds;
+      p.morsels_scanned = (after.morsels_scanned - before.morsels_scanned) / reps;
+      p.morsels_skipped = (after.morsels_skipped - before.morsels_skipped) / reps;
+      double& base = is_selective ? base_selective : base_non_selective;
+      if (threads == 1) base = seconds;
+      std::printf("  %7d  %14s  %ss  %8.2fx  %8llu %8llu\n", threads, p.query,
+                  Secs(seconds).c_str(), base / seconds,
+                  static_cast<unsigned long long>(p.morsels_scanned),
+                  static_cast<unsigned long long>(p.morsels_skipped));
+      sweep.push_back(p);
+    }
+  }
+
+  // -- 3. Concurrent-query mix over one shared pool -------------------------
+  constexpr int kClients = 4;
+  constexpr int kQueriesPerClient = 6;
+  auto pool = std::make_shared<TaskPool>(4);
+  Stopwatch mix_sw;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      EngineOptions options;
+      options.use_views = false;
+      options.use_result_cache = false;
+      options.threads = 2;
+      options.pool = pool;
+      StarQueryEngine engine(db.get(), options);
+      for (int i = 0; i < kQueriesPerClient; ++i) {
+        const CubeQuery& q = (i + c) % 2 == 0 ? selective : non_selective;
+        auto cube = engine.Execute(q);
+        if (!cube.ok()) {
+          std::fprintf(stderr, "concurrent query failed: %s\n",
+                       cube.status().ToString().c_str());
+          std::exit(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  double mix_seconds = mix_sw.ElapsedSeconds();
+  TaskPoolStats mix_stats = pool->stats();
+  std::printf("\nconcurrent mix: %d clients x %d queries on a 4-worker pool: "
+              "%ss (%.1f q/s, %llu morsels scanned, %llu skipped)\n",
+              kClients, kQueriesPerClient, Secs(mix_seconds).c_str(),
+              kClients * kQueriesPerClient / mix_seconds,
+              static_cast<unsigned long long>(mix_stats.morsels_scanned),
+              static_cast<unsigned long long>(mix_stats.morsels_skipped));
+
+  // -- JSON record ----------------------------------------------------------
+  std::FILE* json = std::fopen("BENCH_parallel.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_parallel.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n"
+               "  \"scale_factor\": %.6g,\n"
+               "  \"rows\": %lld,\n"
+               "  \"host_cores\": %d,\n"
+               "  \"reps\": %d,\n"
+               "  \"fusion_1thread\": {\"materialize_seconds\": %.6f, "
+               "\"fused_seconds\": %.6f, \"speedup\": %.3f},\n"
+               "  \"thread_sweep\": [\n",
+               sf, static_cast<long long>(rows), host_cores, reps,
+               fusion.materialize, fusion.fused,
+               fusion.materialize / fusion.fused);
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const SweepPoint& p = sweep[i];
+    double base = std::string(p.query) == "selective" ? base_selective
+                                                      : base_non_selective;
+    std::fprintf(json,
+                 "    {\"threads\": %d, \"query\": \"%s\", \"seconds\": %.6f, "
+                 "\"speedup_vs_1\": %.3f, \"morsels_scanned\": %llu, "
+                 "\"morsels_skipped\": %llu}%s\n",
+                 p.threads, p.query, p.seconds, base / p.seconds,
+                 static_cast<unsigned long long>(p.morsels_scanned),
+                 static_cast<unsigned long long>(p.morsels_skipped),
+                 i + 1 < sweep.size() ? "," : "");
+  }
+  std::fprintf(json,
+               "  ],\n"
+               "  \"concurrent_mix\": {\"clients\": %d, "
+               "\"queries_per_client\": %d, \"pool_workers\": 4, "
+               "\"seconds\": %.6f, \"queries_per_second\": %.2f}\n"
+               "}\n",
+               kClients, kQueriesPerClient, mix_seconds,
+               kClients * kQueriesPerClient / mix_seconds);
+  std::fclose(json);
+  std::printf("\nwrote BENCH_parallel.json\n");
+  return 0;
+}

@@ -13,10 +13,12 @@
 namespace assess {
 
 /// \brief Engine configuration as seen from the interactive front-ends:
-/// views on, one aggregation worker per hardware thread (override
-/// `threads` explicitly, e.g. to 1, for deterministic serial tests), and
-/// the semantic result cache on. Pass `shared_cache` to pool warm results
-/// across several executors/sessions over the same database.
+/// views on, scans scheduled on the shared morsel pool (`threads <= 0`
+/// derives the per-query cap from the pool's worker count; results are
+/// bit-identical at every thread count, so overriding is a scheduling
+/// choice, not a precision one), and the semantic result cache on. Pass
+/// `shared_cache` to pool warm results across several executors/sessions
+/// over the same database, and `pool` to pin scans to a private pool.
 using ExecutorOptions = EngineOptions;
 
 /// \brief Executes analyzed assess statements under a chosen plan.

@@ -34,10 +34,11 @@ enum class PlanSelection {
 /// predeclared labelings (e.g. "5stars") before querying.
 class AssessSession {
  public:
-  /// \brief Configured construction: `options` controls views, aggregation
-  /// threads (default: one per hardware thread) and the semantic result
-  /// cache (default: on; see EngineOptions). To share a warm cache across
-  /// sessions, pass the same `options.shared_cache` to each.
+  /// \brief Configured construction: `options` controls views, the scan
+  /// pool and per-query thread cap (default: the shared pool's worker
+  /// count; see EngineOptions) and the semantic result cache (default:
+  /// on). To share a warm cache across sessions, pass the same
+  /// `options.shared_cache` to each.
   AssessSession(const StarDatabase* db, const ExecutorOptions& options)
       : db_(db),
         functions_(FunctionRegistry::Default()),

@@ -14,6 +14,7 @@
 
 #include "assess/wire_format.h"
 #include "common/failpoint.h"
+#include "common/task_pool.h"
 
 namespace assess {
 namespace {
@@ -80,6 +81,11 @@ Status AssessServer::Start() {
     options_.engine.shared_cache =
         std::make_shared<CubeResultCache>(options_.engine.cache);
   }
+  // One scan pool for every session this server hosts: per-connection
+  // engines then derive their intra-query parallelism from this fixed
+  // worker set instead of each sizing itself to the whole machine, so N
+  // concurrent sessions cannot oversubscribe into N × cores scan threads.
+  if (!options_.engine.pool) options_.engine.pool = TaskPool::Shared();
   int workers = options_.worker_threads;
   if (workers <= 0) {
     workers = static_cast<int>(
@@ -525,6 +531,13 @@ ServerStats AssessServer::Snapshot() const {
     stats.cache_misses = cache.misses;
     stats.cache_entries = cache.entries;
     stats.cache_bytes = cache.bytes_resident;
+  }
+  if (options_.engine.pool) {
+    TaskPoolStats pool = options_.engine.pool->stats();
+    stats.pool_workers = pool.workers;
+    stats.pool_queue_depth = pool.queue_depth;
+    stats.morsels_scanned = pool.morsels_scanned;
+    stats.morsels_skipped = pool.morsels_skipped;
   }
   return stats;
 }

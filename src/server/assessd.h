@@ -53,7 +53,12 @@ struct ServerOptions {
   bool allow_failpoint_admin = false;
   /// Engine configuration for the per-connection sessions. When the result
   /// cache is enabled and no shared_cache is given, Start() creates one, so
-  /// all connections pool warm results by construction.
+  /// all connections pool warm results by construction. Likewise, when no
+  /// scan pool is given, Start() installs the process-wide TaskPool::Shared()
+  /// — every session then schedules its morsels on one fixed worker set, and
+  /// `engine.threads <= 0` caps each query at that pool's parallelism rather
+  /// than at hardware_concurrency (N sessions share the cores instead of
+  /// each assuming it owns them all).
   EngineOptions engine;
   /// Test-only: runs at the start of each query's execution, inside the
   /// worker, before the session is consulted. Lets tests make execution

@@ -1,8 +1,8 @@
 // assessd: serves a star database to remote assess sessions over TCP.
 //
 //   assessd [--sales | --ssb [--sf X]] [--host H] [--port P] [--workers N]
-//           [--queue N] [--timeout-ms N] [--cache-mb N] [--max-frame-mb N]
-//           [--failpoints SPEC] [--failpoint-admin]
+//           [--engine-threads N] [--queue N] [--timeout-ms N] [--cache-mb N]
+//           [--max-frame-mb N] [--failpoints SPEC] [--failpoint-admin]
 //
 // Loads the database once, then serves the framed protocol of
 // server/protocol.h until SIGINT/SIGTERM, which trigger a graceful drain
@@ -33,10 +33,13 @@ int Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--sales | --ssb] [--sf X] [--host H] [--port P]\n"
-      "          [--workers N] [--queue N] [--timeout-ms N] [--cache-mb N]\n"
-      "          [--max-frame-mb N] [--failpoints SPEC] [--failpoint-admin]\n"
+      "          [--workers N] [--engine-threads N] [--queue N]\n"
+      "          [--timeout-ms N] [--cache-mb N] [--max-frame-mb N]\n"
+      "          [--failpoints SPEC] [--failpoint-admin]\n"
       "Serves the SALES (default) or SSB database on H:P (default "
       "127.0.0.1:%u).\n"
+      "--engine-threads caps how many shared-pool workers one query's scan\n"
+      "may occupy (default: the pool's own parallelism).\n"
       "--failpoints arms fault-injection points at startup (see\n"
       "common/failpoint.h for the spec grammar); --failpoint-admin lets\n"
       "clients arm them at runtime via the kFailpoint frame. Both need a\n"
@@ -78,6 +81,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       options.worker_threads = std::atoi(v);
+    } else if (arg == "--engine-threads") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.engine.threads = std::atoi(v);
     } else if (arg == "--queue") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);

@@ -382,7 +382,7 @@ struct StatsReader {
 std::string ServerStats::Serialize() const {
   std::string out;
   out.push_back('T');  // stats magic
-  out.push_back(0x01);
+  out.push_back(0x02);  // v2: adds task pool + morsel counters
   for (uint64_t v : {total_requests, ok_responses, error_responses,
                      rejected_overload, timeouts, queued, in_flight,
                      connections, worker_threads}) {
@@ -395,12 +395,16 @@ std::string ServerStats::Serialize() const {
                      cache_misses, cache_entries, cache_bytes}) {
     PutVarint(&out, v);
   }
+  for (uint64_t v :
+       {pool_workers, pool_queue_depth, morsels_scanned, morsels_skipped}) {
+    PutVarint(&out, v);
+  }
   return out;
 }
 
 Result<ServerStats> ServerStats::Deserialize(std::string_view data) {
   StatsReader reader{data};
-  if (data.size() < 2 || data[0] != 'T' || data[1] != 0x01) {
+  if (data.size() < 2 || data[0] != 'T' || data[1] != 0x02) {
     return Status::InvalidArgument("stats: bad magic");
   }
   reader.pos = 2;
@@ -423,6 +427,11 @@ Result<ServerStats> ServerStats::Deserialize(std::string_view data) {
   for (uint64_t* slot : cache_ints) {
     ASSESS_RETURN_NOT_OK(reader.GetVarint(slot));
   }
+  uint64_t* pool_ints[] = {&stats.pool_workers, &stats.pool_queue_depth,
+                           &stats.morsels_scanned, &stats.morsels_skipped};
+  for (uint64_t* slot : pool_ints) {
+    ASSESS_RETURN_NOT_OK(reader.GetVarint(slot));
+  }
   if (reader.pos != data.size()) {
     return Status::InvalidArgument("stats: trailing bytes");
   }
@@ -430,7 +439,7 @@ Result<ServerStats> ServerStats::Deserialize(std::string_view data) {
 }
 
 std::string ServerStats::ToString() const {
-  char buf[768];
+  char buf[1024];
   std::snprintf(
       buf, sizeof(buf),
       "requests: %llu total, %llu ok, %llu errors, %llu overload-rejected, "
@@ -439,7 +448,9 @@ std::string ServerStats::ToString() const {
       "latency: p50 %.3f ms, p90 %.3f ms, p99 %.3f ms\n"
       "cache: %llu lookups, %llu exact hits, %llu subsumption hits, "
       "%llu misses (hit rate %.1f%%)\n"
-      "       %llu entries, %.1f MiB resident",
+      "       %llu entries, %.1f MiB resident\n"
+      "engine: %llu pool workers, %llu scan jobs queued; morsels %llu "
+      "scanned, %llu skipped by zone maps",
       static_cast<unsigned long long>(total_requests),
       static_cast<unsigned long long>(ok_responses),
       static_cast<unsigned long long>(error_responses),
@@ -454,7 +465,11 @@ std::string ServerStats::ToString() const {
       static_cast<unsigned long long>(cache_subsumption_hits),
       static_cast<unsigned long long>(cache_misses), 100.0 * cache_hit_rate(),
       static_cast<unsigned long long>(cache_entries),
-      cache_bytes / (1024.0 * 1024.0));
+      cache_bytes / (1024.0 * 1024.0),
+      static_cast<unsigned long long>(pool_workers),
+      static_cast<unsigned long long>(pool_queue_depth),
+      static_cast<unsigned long long>(morsels_scanned),
+      static_cast<unsigned long long>(morsels_skipped));
   return buf;
 }
 

@@ -155,6 +155,10 @@ struct ServerStats {
   uint64_t cache_misses = 0;
   uint64_t cache_entries = 0;
   uint64_t cache_bytes = 0;
+  uint64_t pool_workers = 0;      ///< shared task pool: worker threads
+  uint64_t pool_queue_depth = 0;  ///< scan jobs with unclaimed morsels
+  uint64_t morsels_scanned = 0;   ///< morsels aggregated, all sessions
+  uint64_t morsels_skipped = 0;   ///< morsels pruned by zone maps
 
   double cache_hit_rate() const {
     return cache_lookups > 0

@@ -5,13 +5,13 @@
 #include <cmath>
 #include <limits>
 #include <optional>
-#include <thread>
 #include <unordered_set>
 #include <utility>
 
 #include "algebra/operators.h"
 #include "cache/query_fingerprint.h"
 #include "common/failpoint.h"
+#include "common/task_pool.h"
 #include "storage/flat_map64.h"
 #include "storage/materialized_view.h"
 #include "storage/predicate.h"
@@ -26,6 +26,10 @@ namespace {
 struct HierScanPlan {
   bool grouped = false;
   const std::vector<int32_t>* codes = nullptr;  // source code column
+  // Fact-table dimension index behind `codes` (for zone-map lookup), or -1
+  // when the source is a rolled-up cube (views, cached results) — those
+  // carry no zone maps.
+  int fact_dim = -1;
   // Translation domain -> group member id: either borrowed from a dimension
   // table column (fact scans) or owned (view scans). Never point
   // `external_group_code` at `owned_group_code`: plans are moved into a
@@ -186,12 +190,32 @@ void MergeAggStates(const std::vector<HierScanPlan*>& grouped,
   }
 }
 
+// How one Aggregate() call is scheduled: which pool runs its morsels, how
+// many participants it may occupy, and (fact scans only) the zone maps that
+// let whole morsels be skipped. `scanned`/`skipped` report back what
+// happened, for the engine's counters and the server stats frame.
+struct MorselExec {
+  TaskPool* pool = nullptr;
+  int max_threads = 1;
+  const FactZoneMaps* zones = nullptr;
+  uint64_t scanned = 0;
+  uint64_t skipped = 0;
+};
+
 // Hash-aggregates `rows` source rows under the given hierarchy and measure
-// plans, producing the derived cube. With threads > 1 and a large enough
-// scan, the row range is partitioned across workers and partials merged.
+// plans, producing the derived cube.
+//
+// The scan is fused and morsel-driven: rows are decomposed into
+// kMorselRows-sized morsels pulled dynamically by pool workers, each morsel
+// evaluated predicate-and-aggregate in a single pass into its own partial
+// state (no intermediate row-id vector), morsels whose zone maps prove the
+// predicate unsatisfiable skipped outright. Partials are merged in morsel
+// index order, so the floating-point reduction order — and therefore every
+// output bit — is a function of the data alone, identical across thread
+// counts and across runs.
 Result<Cube> Aggregate(int64_t rows, std::vector<HierScanPlan>& hiers,
                        const std::vector<MeasureScanPlan>& measures,
-                       int threads) {
+                       MorselExec* exec) {
   // Assign radixes to the grouped hierarchies.
   std::vector<HierScanPlan*> needed;
   std::vector<HierScanPlan*> grouped;
@@ -222,30 +246,86 @@ Result<Cube> Aggregate(int64_t rows, std::vector<HierScanPlan>& hiers,
     return state;
   };
 
-  constexpr int64_t kParallelThreshold = 1 << 16;
-  int workers = threads;
-  if (rows < kParallelThreshold) workers = 1;
+  const int64_t num_morsels =
+      rows == 0 ? 0 : (rows + kMorselRows - 1) / kMorselRows;
 
-  AggState result_state = make_state();
-  if (workers <= 1) {
-    AggregateRange(0, rows, needed, grouped, measures, &result_state);
-  } else {
-    std::vector<AggState> partials;
-    partials.reserve(workers);
-    for (int w = 0; w < workers; ++w) partials.push_back(make_state());
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (int w = 0; w < workers; ++w) {
-      int64_t begin = rows * w / workers;
-      int64_t end = rows * (w + 1) / workers;
-      pool.emplace_back([&, begin, end, w]() {
-        AggregateRange(begin, end, needed, grouped, measures, &partials[w]);
-      });
+  // Zone-map pruning: a morsel is skippable when, for some predicated
+  // hierarchy, no code in the morsel's [min, max] range passes. The
+  // per-hierarchy prefix sums over the pass flags make that an O(1) check
+  // per (morsel, hierarchy); building them costs one pass over the
+  // dimension rows, negligible next to the fact scan they prune.
+  std::vector<int64_t> work;
+  work.reserve(num_morsels);
+  if (exec->zones != nullptr && num_morsels > 1) {
+    struct Pruner {
+      const std::vector<ZoneRange>* zones = nullptr;
+      std::vector<int32_t> pass_prefix;
+    };
+    std::vector<Pruner> pruners;
+    for (HierScanPlan& h : hiers) {
+      if (h.pass.empty() || h.fact_dim < 0) continue;
+      Pruner pruner;
+      pruner.zones = &exec->zones->dims[h.fact_dim];
+      pruner.pass_prefix.resize(h.pass.size() + 1);
+      pruner.pass_prefix[0] = 0;
+      for (size_t i = 0; i < h.pass.size(); ++i) {
+        pruner.pass_prefix[i + 1] =
+            pruner.pass_prefix[i] + (h.pass[i] ? 1 : 0);
+      }
+      pruners.push_back(std::move(pruner));
     }
-    for (std::thread& t : pool) t.join();
+    for (int64_t m = 0; m < num_morsels; ++m) {
+      bool runnable = true;
+      for (const Pruner& pruner : pruners) {
+        const ZoneRange& zone = (*pruner.zones)[m];
+        if (pruner.pass_prefix[zone.max + 1] -
+                pruner.pass_prefix[zone.min] ==
+            0) {
+          runnable = false;
+          break;
+        }
+      }
+      if (runnable) work.push_back(m);
+    }
+  } else {
+    for (int64_t m = 0; m < num_morsels; ++m) work.push_back(m);
+  }
+  exec->scanned = work.size();
+  exec->skipped = static_cast<uint64_t>(num_morsels) - work.size();
+
+  // One partial state per surviving morsel, filled by whichever pool
+  // participant claims it.
+  std::vector<AggState> partials;
+  partials.reserve(work.size());
+  for (size_t i = 0; i < work.size(); ++i) partials.push_back(make_state());
+
+  if (!work.empty()) {
+    auto task = [&](int64_t i) -> Status {
+      int64_t begin = work[i] * kMorselRows;
+      int64_t end = std::min(rows, begin + kMorselRows);
+      AggregateRange(begin, end, needed, grouped, measures, &partials[i]);
+      return Status::OK();
+    };
+    if (exec->pool != nullptr) {
+      ASSESS_RETURN_NOT_OK(exec->pool->RunMorsels(
+          static_cast<int64_t>(work.size()), exec->max_threads, task));
+    } else {
+      for (size_t i = 0; i < work.size(); ++i) {
+        ASSESS_RETURN_NOT_OK(task(static_cast<int64_t>(i)));
+      }
+    }
+  }
+
+  // Deterministic merge: always in morsel index order. A single-morsel scan
+  // adopts its partial unchanged, which also keeps sub-morsel scans
+  // bit-identical to the pre-morsel serial engine.
+  AggState result_state;
+  if (work.size() == 1) {
     result_state = std::move(partials[0]);
-    for (int w = 1; w < workers; ++w) {
-      MergeAggStates(grouped, measures, partials[w], &result_state);
+  } else {
+    result_state = make_state();
+    for (const AggState& partial : partials) {
+      MergeAggStates(grouped, measures, partial, &result_state);
     }
   }
 
@@ -286,7 +366,7 @@ Result<Cube> AggregateFromRollup(const CubeSchema& schema,
                                  const std::vector<std::vector<Predicate>>& preds,
                                  const Cube& data,
                                  const GroupBySet& data_group_by,
-                                 int threads) {
+                                 MorselExec* exec) {
   std::vector<HierScanPlan> hiers;
   std::vector<MeasureScanPlan> measures;
   int64_t rows = data.NumRows();
@@ -330,7 +410,7 @@ Result<Cube> AggregateFromRollup(const CubeSchema& schema,
     mp.name = def.name;
     measures.push_back(std::move(mp));
   }
-  return Aggregate(rows, hiers, measures, threads);
+  return Aggregate(rows, hiers, measures, exec);
 }
 
 // Copies `cached` with its measure columns selected (by schema measure
@@ -365,15 +445,33 @@ StarQueryEngine::StarQueryEngine(const StarDatabase* db,
                                  const EngineOptions& options)
     : db_(db),
       use_views_(options.use_views),
-      threads_(options.threads > 0
-                   ? options.threads
-                   : std::max(1, static_cast<int>(
-                                     std::thread::hardware_concurrency()))) {
+      pool_(options.pool ? options.pool : TaskPool::Shared()) {
+  // Default parallelism comes from the pool, not the hardware: inside
+  // assessd many sessions share one pool, and each must size itself as one
+  // tenant of that pool rather than as the machine's sole owner.
+  int forced = ForcedThreadsFromEnv();
+  threads_ = forced > 0            ? forced
+             : options.threads > 0 ? options.threads
+                                   : std::max(1, pool_->parallelism());
   if (options.use_result_cache) {
     cache_ = options.shared_cache
                  ? options.shared_cache
                  : std::make_shared<CubeResultCache>(options.cache);
   }
+}
+
+StarQueryEngine::StarQueryEngine(const StarDatabase* db, bool use_views,
+                                 int threads)
+    : db_(db), use_views_(use_views), pool_(TaskPool::Shared()) {
+  int forced = ForcedThreadsFromEnv();
+  threads_ = forced > 0 ? forced : std::max(1, threads);
+}
+
+void StarQueryEngine::CountMorsels(uint64_t scanned, uint64_t skipped) const {
+  if (scanned == 0 && skipped == 0) return;
+  morsels_scanned_.fetch_add(scanned, std::memory_order_relaxed);
+  morsels_skipped_.fetch_add(skipped, std::memory_order_relaxed);
+  if (pool_) pool_->AddScanCounts(scanned, skipped);
 }
 
 Result<Cube> StarQueryEngine::Execute(const CubeQuery& query) const {
@@ -413,10 +511,11 @@ Result<Cube> StarQueryEngine::ExecuteInternal(const BoundCube& bound,
     for (const Predicate& p : canon.predicates) {
       if (!applied.count(PredicateKey(p))) extra[p.hierarchy].push_back(p);
     }
-    ASSESS_ASSIGN_OR_RETURN(
-        Cube rolled,
-        AggregateFromRollup(schema, query, extra, finer->cube,
-                            finer->query.group_by, threads_));
+    MorselExec exec{pool_.get(), threads_};
+    auto rolled_or = AggregateFromRollup(schema, query, extra, finer->cube,
+                                         finer->query.group_by, &exec);
+    CountMorsels(exec.scanned, exec.skipped);
+    ASSESS_ASSIGN_OR_RETURN(Cube rolled, std::move(rolled_or));
     last_used_view_ = false;
     last_cache_outcome_ = CacheOutcome::kSubsumptionHit;
     cache_->Insert(key, std::move(canon), rolled);
@@ -454,8 +553,11 @@ Result<Cube> StarQueryEngine::ExecuteUncached(const BoundCube& bound,
   if (view_index >= 0) {
     last_used_view_ = true;
     const MaterializedView& view = bound.views()[view_index];
-    return AggregateFromRollup(schema, query, preds, view.data, view.group_by,
-                               threads_);
+    MorselExec exec{pool_.get(), threads_};
+    auto result = AggregateFromRollup(schema, query, preds, view.data,
+                                      view.group_by, &exec);
+    CountMorsels(exec.scanned, exec.skipped);
+    return result;
   }
 
   std::vector<HierScanPlan> hiers;
@@ -469,6 +571,7 @@ Result<Cube> StarQueryEngine::ExecuteUncached(const BoundCube& bound,
     plan.hierarchy = schema.hierarchy_ptr(h);
     plan.grouped = grouped;
     plan.codes = &bound.facts().fk_column(h);
+    plan.fact_dim = h;
     if (grouped) {
       plan.group_level = query.group_by.LevelOf(h);
       plan.external_group_code = &dim.level_column(plan.group_level);
@@ -487,7 +590,19 @@ Result<Cube> StarQueryEngine::ExecuteUncached(const BoundCube& bound,
     mp.name = def.name;
     measures.push_back(std::move(mp));
   }
-  return Aggregate(rows, hiers, measures, threads_);
+  MorselExec exec{pool_.get(), threads_};
+  // Zone maps pay off only when there is a predicate to prune with and more
+  // than one morsel to prune; building them is one-time per table.
+  bool predicated = false;
+  for (const HierScanPlan& h : hiers) {
+    if (!h.pass.empty()) predicated = true;
+  }
+  if (predicated && rows > kMorselRows) {
+    exec.zones = &bound.facts().zone_maps();
+  }
+  auto result = Aggregate(rows, hiers, measures, &exec);
+  CountMorsels(exec.scanned, exec.skipped);
+  return result;
 }
 
 Result<Cube> StarQueryEngine::ExecuteJoined(
@@ -538,8 +653,9 @@ Result<int64_t> StarQueryEngine::MaterializeView(
                           GroupBySet::FromLevelNames(schema, level_names));
   for (int m = 0; m < schema.measure_count(); ++m) query.measures.push_back(m);
 
-  // Build the view from base data only (never from another view).
-  StarQueryEngine base_engine(db_, /*use_views=*/false);
+  // Build the view from base data only (never from another view), at this
+  // engine's parallelism — the morsel merge keeps it deterministic.
+  StarQueryEngine base_engine(db_, /*use_views=*/false, threads_);
   ASSESS_ASSIGN_OR_RETURN(Cube data, base_engine.ExecuteInternal(*bound, query));
   int64_t rows = data.NumRows();
   bound->AddView(MaterializedView{view_name, query.group_by, std::move(data)});

@@ -1,6 +1,8 @@
 #ifndef ASSESS_STORAGE_STAR_QUERY_ENGINE_H_
 #define ASSESS_STORAGE_STAR_QUERY_ENGINE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -12,6 +14,8 @@
 #include "storage/star_schema.h"
 
 namespace assess {
+
+class TaskPool;
 
 /// \brief Pivot push-down specification (the ⊞ operator executed
 /// "server-side", Section 5.2.3). The query it applies to must slice the
@@ -38,8 +42,17 @@ struct PivotSpec {
 /// benchmark cubes constantly.
 struct EngineOptions {
   bool use_views = true;
-  /// Aggregation workers; <= 0 means one per hardware thread.
+  /// Intra-query parallelism cap: how many pool participants one scan may
+  /// occupy at once. <= 0 derives it from the shared pool's worker count —
+  /// NOT from hardware_concurrency, so many sessions inside one assessd
+  /// still size themselves against the one pool they all share instead of
+  /// each assuming it owns the whole machine. 1 runs scans inline on the
+  /// calling thread (bit-identical results either way; see TaskPool).
   int threads = 0;
+  /// The worker pool scans are scheduled on. When unset, the process-wide
+  /// TaskPool::Shared() is used — every engine in the process then draws
+  /// from one fixed worker set no matter how many sessions exist.
+  std::shared_ptr<TaskPool> pool;
   /// Semantic result cache: exact fingerprint hits plus subsumption-aware
   /// reuse of finer-grained cached results.
   bool use_result_cache = true;
@@ -47,6 +60,14 @@ struct EngineOptions {
   /// When set, this cache instance is used instead of creating a private
   /// one — the way several sessions over one database share warm results.
   std::shared_ptr<CubeResultCache> shared_cache;
+};
+
+/// \brief Morsel accounting for one engine: how many scan morsels were
+/// actually aggregated vs. skipped outright because their zone maps proved
+/// no row could pass the pushed-down predicate.
+struct ScanStats {
+  uint64_t morsels_scanned = 0;
+  uint64_t morsels_skipped = 0;
 };
 
 /// \brief How the last Execute() was answered, for tests and benches.
@@ -75,14 +96,12 @@ class StarQueryEngine {
   /// \brief Legacy construction: serial by default and — deliberately —
   /// without a result cache, so direct uses (microbenches, equivalence
   /// tests, view materialization) keep measuring and exercising raw scans.
-  /// `threads` > 1 enables partitioned parallel aggregation for large scans
-  /// (each worker aggregates a fact-range into a private hash table;
-  /// partials are merged by coordinate). Results are equal to the serial
-  /// path up to floating-point reduction order (sums may differ in the last
-  /// ulp); cell order may differ.
+  /// `threads` > 1 lets large scans occupy that many participants of the
+  /// process-wide TaskPool (morsel-driven; partials merged in morsel order,
+  /// so results are bit-identical to the serial path at every thread
+  /// count).
   explicit StarQueryEngine(const StarDatabase* db, bool use_views = true,
-                           int threads = 1)
-      : db_(db), use_views_(use_views), threads_(threads < 1 ? 1 : threads) {}
+                           int threads = 1);
 
   /// \brief Executes a cube query (the `get` logical operator): aggregates
   /// the detailed cube at the query's group-by set under its predicates.
@@ -144,16 +163,31 @@ class StarQueryEngine {
 
   int threads() const { return threads_; }
 
+  /// \brief The pool this engine schedules scans on (never null).
+  const std::shared_ptr<TaskPool>& pool() const { return pool_; }
+
+  /// \brief Morsel counters for every scan this engine has run. The same
+  /// counts also accumulate into the pool, where assessd reads them
+  /// fleet-wide for the stats frame.
+  ScanStats scan_stats() const {
+    return ScanStats{morsels_scanned_.load(std::memory_order_relaxed),
+                     morsels_skipped_.load(std::memory_order_relaxed)};
+  }
+
  private:
   Result<Cube> ExecuteInternal(const BoundCube& bound,
                                const CubeQuery& query) const;
   Result<Cube> ExecuteUncached(const BoundCube& bound,
                                const CubeQuery& query) const;
+  void CountMorsels(uint64_t scanned, uint64_t skipped) const;
 
   const StarDatabase* db_;
   bool use_views_;
   int threads_;
+  std::shared_ptr<TaskPool> pool_;
   std::shared_ptr<CubeResultCache> cache_;
+  mutable std::atomic<uint64_t> morsels_scanned_{0};
+  mutable std::atomic<uint64_t> morsels_skipped_{0};
   mutable bool last_used_view_ = false;
   mutable CacheOutcome last_cache_outcome_ = CacheOutcome::kBypass;
 };

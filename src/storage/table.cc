@@ -1,5 +1,9 @@
 #include "storage/table.h"
 
+#include <algorithm>
+
+#include "common/task_pool.h"
+
 namespace assess {
 
 void DimensionTable::AddRow(const std::vector<MemberId>& codes) {
@@ -55,6 +59,31 @@ void FactTable::AddRow(const std::vector<int32_t>& fks,
   for (size_t m = 0; m < measures_.size(); ++m) {
     measures_[m].push_back(measures[m]);
   }
+}
+
+const FactZoneMaps& FactTable::zone_maps() const {
+  std::call_once(zone_cache_->once, [this] {
+    FactZoneMaps& maps = zone_cache_->maps;
+    int64_t rows = NumRows();
+    maps.num_morsels = rows == 0 ? 0 : (rows + kMorselRows - 1) / kMorselRows;
+    maps.dims.resize(fk_.size());
+    for (size_t d = 0; d < fk_.size(); ++d) {
+      const std::vector<int32_t>& codes = fk_[d];
+      maps.dims[d].resize(maps.num_morsels);
+      for (int64_t m = 0; m < maps.num_morsels; ++m) {
+        int64_t begin = m * kMorselRows;
+        int64_t end = std::min(rows, begin + kMorselRows);
+        int32_t lo = codes[begin];
+        int32_t hi = codes[begin];
+        for (int64_t r = begin + 1; r < end; ++r) {
+          lo = std::min(lo, codes[r]);
+          hi = std::max(hi, codes[r]);
+        }
+        maps.dims[d][m] = ZoneRange{lo, hi};
+      }
+    }
+  });
+  return zone_cache_->maps;
 }
 
 }  // namespace assess

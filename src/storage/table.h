@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,23 @@
 #include "olap/hierarchy.h"
 
 namespace assess {
+
+/// \brief Min/max foreign-key code of one morsel of one fact column: the
+/// zone-map block statistic that lets a scan skip a whole morsel when the
+/// pushed-down predicate rejects every code in [min, max].
+struct ZoneRange {
+  int32_t min = 0;
+  int32_t max = 0;
+};
+
+/// \brief Per-morsel zone maps over a fact table: dims[d][m] is the code
+/// range of dimension d within morsel m (kMorselRows rows per morsel, the
+/// scheduling granularity of common/task_pool.h). Built once, lazily, on
+/// the first scan that can use them.
+struct FactZoneMaps {
+  int64_t num_morsels = 0;
+  std::vector<std::vector<ZoneRange>> dims;
+};
 
 /// \brief A dimension table of a star schema, bound to one hierarchy.
 ///
@@ -97,10 +115,26 @@ class FactTable {
     return measures_[m];
   }
 
+  /// \brief The per-morsel zone maps, built on first use (one pass over the
+  /// foreign-key columns) and cached. Thread-safe under the engine's
+  /// contract that the table is immutable while being queried; rows added
+  /// after the first call would leave the maps stale, so loaders must
+  /// finish building before serving starts.
+  const FactZoneMaps& zone_maps() const;
+
  private:
+  struct ZoneMapCache {
+    std::once_flag once;
+    FactZoneMaps maps;
+  };
+
   std::string name_;
   std::vector<std::vector<int32_t>> fk_;
   std::vector<std::vector<double>> measures_;
+  // Heap-held so FactTable stays movable (once_flag is not); the cache
+  // pointer moves with the table, the flag never moves.
+  std::unique_ptr<ZoneMapCache> zone_cache_ =
+      std::make_unique<ZoneMapCache>();
 };
 
 }  // namespace assess

@@ -148,6 +148,7 @@ const std::vector<CatalogEntry>& Catalog() {
       {"server.session_execute", {"error(unavailable)", "delay(%d)"}},
       {"net.write_frame", {"corrupt"}},
       {"storage.scan", {"error(unavailable)", "delay(%d)"}},
+      {"pool.morsel", {"error(unavailable)", "delay(%d)"}},
       {"storage.join", {"error(unavailable)", "delay(%d)"}},
       {"storage.group_by", {"error(unavailable)", "delay(%d)"}},
       {"cache.lookup", {"error"}},  // triggering degrades to a miss
@@ -455,6 +456,48 @@ TEST_F(ChaosTest, InjectedStorageErrorIsTypedAndSurvivable) {
   auto result = client->Query(kStatements[3]);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   ExpectSameComputation(expected_[3], *result, "after injected error");
+  registry.DisarmAll();
+}
+
+// A failed morsel inside the shared scan pool surfaces as its typed error —
+// the job stops claiming further morsels, the pool and the connection both
+// survive, and a clean retry recomputes the bit-identical answer.
+TEST_F(ChaosTest, FailedMorselIsTypedErrorNotAHang) {
+  if (!kFailpointsCompiledIn) {
+    GTEST_SKIP() << "built with ASSESS_FAILPOINTS=OFF";
+  }
+  auto& registry = FailpointRegistry::Instance();
+  auto server = StartServer();
+  auto client = AssessClient::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(registry
+                  .ArmFromString(
+                      "pool.morsel=error(internal, morsel gremlins):budget=1")
+                  .ok());
+  auto failed = client->Query(kStatements[3]);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kInternal);
+  EXPECT_TRUE(client->connected()) << "typed error must not cost the link";
+  auto result = client->Query(kStatements[3]);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectSameComputation(expected_[3], *result, "after morsel failure");
+  registry.DisarmAll();
+}
+
+// A stuck morsel (injected delay at the pool's execution site) only slows
+// the scan down; the answer is still bit-identical.
+TEST_F(ChaosTest, DelayedMorselStillCompletes) {
+  if (!kFailpointsCompiledIn) {
+    GTEST_SKIP() << "built with ASSESS_FAILPOINTS=OFF";
+  }
+  auto& registry = FailpointRegistry::Instance();
+  auto server = StartServer();
+  auto client = AssessClient::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(registry.ArmFromString("pool.morsel=delay(25):budget=4").ok());
+  auto result = client->Query(kStatements[0]);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectSameComputation(expected_[0], *result, "after delayed morsels");
   registry.DisarmAll();
 }
 

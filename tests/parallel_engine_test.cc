@@ -5,9 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <thread>
 
 #include "assess/session.h"
 #include "common/rng.h"
+#include "common/task_pool.h"
 #include "ssb/ssb_generator.h"
 #include "ssb/workload.h"
 #include "storage/star_query_engine.h"
@@ -31,6 +34,20 @@ void ExpectCellsNear(const Cube& expected, const Cube& actual,
     EXPECT_NEAR(value, it->second, 1e-9 * (1.0 + std::fabs(value)))
         << measure;
   }
+}
+
+// Coordinate -> raw bit pattern of one measure, for *bit-identical*
+// comparison: the morsel-order merge promises the same output bits at every
+// thread count, stronger than ExpectCellsNear's ulp tolerance.
+std::map<std::vector<std::string>, uint64_t> BitMap(
+    const Cube& cube, const std::string& measure) {
+  std::map<std::vector<std::string>, uint64_t> out;
+  for (const auto& [coord, value] : CellMap(cube, measure)) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    out[coord] = bits;
+  }
+  return out;
 }
 
 class ParallelEngineTest : public ::testing::Test {
@@ -166,6 +183,161 @@ TEST_F(ParallelEngineTest, FullAssessPipelineUnderParallelEngine) {
               return serial.Execute(analyzed->target)->NumRows() +
                      serial.Execute(analyzed->benchmark)->NumRows();
             }());
+}
+
+TEST_F(ParallelEngineTest, BitIdenticalAcrossThreadCountsAndRuns) {
+  // The determinism contract: every output bit is a function of the data
+  // alone. threads=1, threads=2 and threads=8 — and repeated runs of each —
+  // must agree exactly, not just within float tolerance, because partials
+  // are merged in morsel index order regardless of which thread filled them.
+  const std::vector<std::vector<std::string>> group_bys = {
+      {"part"}, {"c_nation", "s_region"}, {}};
+  for (const auto& by : group_bys) {
+    CubeQuery unpredicated = Query(by, {}, {"revenue", "quantity"});
+    CubeQuery predicated =
+        Query(by, {{3, 3, PredicateOp::kEquals, {"ASIA"}}}, {"revenue"});
+    StarQueryEngine baseline(db_.get(), false, 1);
+    auto expected_rev = BitMap(*baseline.Execute(unpredicated), "revenue");
+    auto expected_qty = BitMap(*baseline.Execute(unpredicated), "quantity");
+    auto expected_pred = BitMap(*baseline.Execute(predicated), "revenue");
+    for (int threads : {1, 2, 8}) {
+      StarQueryEngine engine(db_.get(), false, threads);
+      for (int run = 0; run < 2; ++run) {
+        Cube cube = *engine.Execute(unpredicated);
+        EXPECT_EQ(expected_rev, BitMap(cube, "revenue"))
+            << "threads=" << threads << " run=" << run;
+        EXPECT_EQ(expected_qty, BitMap(cube, "quantity"))
+            << "threads=" << threads << " run=" << run;
+        EXPECT_EQ(expected_pred, BitMap(*engine.Execute(predicated), "revenue"))
+            << "threads=" << threads << " run=" << run;
+      }
+    }
+  }
+}
+
+TEST_F(ParallelEngineTest, ZoneMapsSkipMorselsOnClusteredData) {
+  // A table clustered on the dimension key — code = row / kMorselRows — is
+  // the best case for zone maps: an equality predicate touches exactly one
+  // morsel and every other one is proven empty and skipped without a scan.
+  auto hier = std::make_shared<Hierarchy>("H");
+  hier->AddLevel("k");
+  constexpr int kChunks = 4;
+  DimensionTable dim("k", hier);
+  for (int g = 0; g < kChunks; ++g) {
+    dim.AddRow({hier->AddMember(0, "g" + std::to_string(g))});
+  }
+  auto schema = std::make_shared<CubeSchema>("T");
+  schema->AddHierarchy(hier);
+  schema->AddMeasure({"s", AggOp::kSum});
+  FactTable facts("T", 1, 1);
+  const int64_t rows = kChunks * kMorselRows;
+  facts.Reserve(rows);
+  for (int64_t i = 0; i < rows; ++i) {
+    facts.AddRow({static_cast<int32_t>(i / kMorselRows)}, {1.0});
+  }
+  StarDatabase db;
+  ASSERT_TRUE(db.Register("T", std::make_unique<BoundCube>(
+                                   schema, std::vector<DimensionTable>{dim},
+                                   std::move(facts)))
+                  .ok());
+  StarQueryEngine engine(&db, false, 2);
+  CubeQuery q = *CubeQuery::Make(*schema, "T", {},
+                                 {{0, 0, PredicateOp::kEquals, {"g2"}}},
+                                 {"s"});
+  Cube cube = *engine.Execute(q);
+  ASSERT_EQ(cube.NumRows(), 1);
+  EXPECT_EQ(CellMap(cube, "s")[{}], static_cast<double>(kMorselRows));
+  ScanStats stats = engine.scan_stats();
+  EXPECT_EQ(stats.morsels_scanned, 1u);
+  EXPECT_EQ(stats.morsels_skipped, static_cast<uint64_t>(kChunks - 1));
+
+  // An unpredicated scan of the same table must not skip anything.
+  CubeQuery all = *CubeQuery::Make(*schema, "T", {"k"}, {}, {"s"});
+  Cube full = *engine.Execute(all);
+  EXPECT_EQ(full.NumRows(), kChunks);
+  stats = engine.scan_stats();
+  EXPECT_EQ(stats.morsels_scanned, 1u + kChunks);
+  EXPECT_EQ(stats.morsels_skipped, static_cast<uint64_t>(kChunks - 1));
+}
+
+TEST_F(ParallelEngineTest, AssessResultBitIdenticalAcrossSessionThreads) {
+  // Statement-level determinism: whole AssessResults — cells, measures,
+  // labels, chosen plan, pushed SQL — agree bit-for-bit across sessions
+  // configured at different thread counts, and across repeated runs.
+  const std::string statement = SsbWorkload()[2].text;
+  ExecutorOptions serial_options;
+  serial_options.threads = 1;
+  AssessSession serial(db_.get(), serial_options);
+  auto expected = serial.Query(statement);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+  for (int threads : {2, 8}) {
+    ExecutorOptions options;
+    options.threads = threads;
+    AssessSession session(db_.get(), options);
+    for (int run = 0; run < 2; ++run) {
+      auto actual = session.Query(statement);
+      ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+      EXPECT_EQ(expected->plan, actual->plan) << threads;
+      EXPECT_EQ(expected->sql, actual->sql) << threads;
+      const Cube& lhs = expected->cube;
+      const Cube& rhs = actual->cube;
+      ASSERT_EQ(lhs.NumRows(), rhs.NumRows()) << threads;
+      ASSERT_EQ(lhs.measure_count(), rhs.measure_count()) << threads;
+      for (int l = 0; l < lhs.level_count(); ++l) {
+        for (int64_t r = 0; r < lhs.NumRows(); ++r) {
+          ASSERT_EQ(lhs.CoordName(r, l), rhs.CoordName(r, l)) << threads;
+        }
+      }
+      for (int m = 0; m < lhs.measure_count(); ++m) {
+        for (int64_t r = 0; r < lhs.NumRows(); ++r) {
+          double x = lhs.MeasureAt(r, m), y = rhs.MeasureAt(r, m);
+          uint64_t xb = 0, yb = 0;
+          std::memcpy(&xb, &x, sizeof(x));
+          std::memcpy(&yb, &y, sizeof(y));
+          ASSERT_EQ(xb, yb)
+              << "threads=" << threads << " row " << r << " measure " << m;
+        }
+      }
+      EXPECT_EQ(lhs.labels(), rhs.labels()) << threads;
+    }
+  }
+}
+
+TEST_F(ParallelEngineTest, ConcurrentQueriesShareOnePool) {
+  // The assessd deployment in miniature: many sessions, one pool. Every
+  // concurrent query must come back bit-identical to the serial baseline
+  // (this test is the TSan workout for the pool's job multiplexing).
+  auto pool = std::make_shared<TaskPool>(4);
+  CubeQuery q = Query({"c_nation", "s_region"},
+                      {{0, 2, PredicateOp::kIn, {"1997", "1998"}}},
+                      {"revenue"});
+  StarQueryEngine baseline(db_.get(), false, 1);
+  const auto expected = BitMap(*baseline.Execute(q), "revenue");
+
+  constexpr int kClients = 8;
+  std::vector<std::thread> clients;
+  std::vector<int> mismatches(kClients, -1);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      EngineOptions options;
+      options.use_views = false;
+      options.use_result_cache = false;
+      options.threads = 3;
+      options.pool = pool;
+      StarQueryEngine engine(db_.get(), options);
+      int bad = 0;
+      for (int run = 0; run < 3; ++run) {
+        auto cube = engine.Execute(q);
+        if (!cube.ok() || BitMap(*cube, "revenue") != expected) ++bad;
+      }
+      mismatches[c] = bad;
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(mismatches[c], 0) << "client " << c;
+  }
+  EXPECT_EQ(pool->stats().queue_depth, 0u);
 }
 
 }  // namespace
