@@ -9,6 +9,7 @@
 
 #include "assess/session.h"
 #include "common/stopwatch.h"
+#include "obs/trace.h"
 #include "ssb/ssb_generator.h"
 #include "ssb/workload.h"
 
@@ -54,6 +55,19 @@ struct RunStats {
   double total() const { return mean.Total(); }
 };
 
+/// Executes one query under a per-call trace (when tracing is compiled in),
+/// so the returned StepTimings are the span-tree view — the breakdown
+/// benches then read the same clock as EXPLAIN ANALYZE. With
+/// ASSESS_TRACING=OFF the trace is inert and the executor's stopwatches
+/// fill the timings as before.
+inline Result<AssessResult> TracedQuery(const AssessSession& session,
+                                        const std::string& text,
+                                        PlanKind plan) {
+  TraceContext trace;
+  TraceContext::Scope scope(&trace);
+  return session.Query(text, plan);
+}
+
 /// Runs `text` under `plan` `reps` times and averages the step timings
 /// (mirroring Section 6.2's repeated-execution protocol).
 inline RunStats RunStatement(const AssessSession& session,
@@ -61,7 +75,7 @@ inline RunStats RunStatement(const AssessSession& session,
                              int reps) {
   RunStats stats;
   for (int r = 0; r < reps; ++r) {
-    auto result = session.Query(text, plan);
+    auto result = TracedQuery(session, text, plan);
     if (!result.ok()) {
       std::fprintf(stderr, "query failed: %s\n",
                    result.status().ToString().c_str());
@@ -89,7 +103,7 @@ inline std::vector<RunStats> RunStatementsInterleaved(
   std::vector<RunStats> stats(plans.size());
   for (int r = 0; r < reps; ++r) {
     for (size_t i = 0; i < plans.size(); ++i) {
-      auto result = session.Query(text, plans[i]);
+      auto result = TracedQuery(session, text, plans[i]);
       if (!result.ok()) {
         std::fprintf(stderr, "query failed: %s\n",
                      result.status().ToString().c_str());

@@ -4,6 +4,8 @@
 // the labeled result. Meta commands (local mode):
 //   \plan NP|JOP|POP   force a plan (default: best feasible)
 //   \explain <stmt>    show the logical plan instead of executing
+//   \analyze <stmt>    EXPLAIN ANALYZE: execute under a trace and print the
+//                      span tree + Figure 4 phase breakdown
 //   \sql <stmt>        show the SQL the plan pushes to the engine
 //   \rank <stmt>       rank the feasible plans by estimated cost
 //   \suggest <partial> complete a partial statement (labels etc. optional)
@@ -16,12 +18,17 @@
 //   \quit
 // Remote mode serves the subset in examples/remote_repl.h; plan forcing and
 // suggestion stay in-process (the server always picks the best plan).
+//
+// One-shot mode: `assess_cli [--ssb] --explain-analyze "<stmt>"` runs the
+// statement under EXPLAIN ANALYZE and exits (scriptable; needs a build with
+// ASSESS_TRACING=ON).
 
 #include <cstdlib>
 #include <iostream>
 #include <optional>
 #include <string>
 
+#include "assess/explain_analyze.h"
 #include "assess/session.h"
 #include "assess/suggest.h"
 #include "client/assess_client.h"
@@ -39,9 +46,9 @@ void PrintHelp() {
   with SALES for year = '1997', product = 'milk' by year, product
     assess quantity against 10000 using ratio(quantity, 10000)
     labels {[0, 0.9): bad, [0.9, 1.1]: acceptable, (1.1, inf): good}
-Meta commands: \plan NP|JOP|POP, \explain <stmt>, \sql <stmt>,
-               \rank <stmt>, \csv <stmt>, \suggest <partial stmt>,
-               \functions, \labelings, \help, \quit
+Meta commands: \plan NP|JOP|POP, \explain <stmt>, \analyze <stmt>,
+               \sql <stmt>, \rank <stmt>, \csv <stmt>,
+               \suggest <partial stmt>, \functions, \labelings, \help, \quit
 Monitoring:    \cache  result-cache counters (this session's engine)
                \stats  alias of \cache here; against a server
                        (--connect host:port) it adds load, in-flight/queued
@@ -92,7 +99,21 @@ int main(int argc, char** argv) {
     }
     return RunRemote(argv[2], options);
   }
-  bool use_ssb = argc > 1 && std::string(argv[1]) == "--ssb";
+  bool use_ssb = false;
+  std::optional<std::string> explain_analyze;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--ssb") {
+      use_ssb = true;
+    } else if (arg == "--explain-analyze") {
+      if (i + 1 >= argc) {
+        std::cerr << "usage: " << argv[0]
+                  << " [--ssb] --explain-analyze \"<stmt>\"\n";
+        return 2;
+      }
+      explain_analyze = argv[++i];
+    }
+  }
   std::unique_ptr<assess::StarDatabase> db;
   if (use_ssb) {
     assess::SsbConfig config;
@@ -112,6 +133,17 @@ int main(int argc, char** argv) {
     }
     db = std::move(built).value();
     std::cout << "SALES database ready.\n";
+  }
+
+  if (explain_analyze.has_value()) {
+    assess::AssessSession session(db.get());
+    auto text = assess::ExplainAnalyzeStatement(session, *explain_analyze);
+    if (!text.ok()) {
+      std::cerr << text.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << *text;
+    return 0;
   }
   PrintHelp();
 
@@ -171,6 +203,16 @@ int main(int argc, char** argv) {
         forced_plan = *plan;
         std::cout << "plan forced to " << assess::PlanKindToString(*plan)
                   << "\n";
+        continue;
+      }
+      if (assess::StartsWith(input, "\\analyze")) {
+        std::string_view stmt = assess::Trim(input.substr(8));
+        auto text = assess::ExplainAnalyzeStatement(session, stmt, forced_plan);
+        if (!text.ok()) {
+          std::cout << text.status().ToString() << "\n";
+          continue;
+        }
+        std::cout << *text;
         continue;
       }
       if (assess::StartsWith(input, "\\explain")) {

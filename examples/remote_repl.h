@@ -1,11 +1,13 @@
 // Shared remote REPL loop for assess_client and `assess_cli --connect`:
 // reads assess statements from stdin, executes them on a remote assessd,
 // and prints results exactly like the in-process shell. Meta commands:
-//   \csv <stmt>   execute and print the result as CSV
-//   \sql <stmt>   show the SQL the server's plan pushed to the engine
-//   \stats        server statistics (load, latency percentiles, cache)
-//   \cache        just the shared result cache counters
-//   \ping         liveness probe
+//   \csv <stmt>     execute and print the result as CSV
+//   \sql <stmt>     show the SQL the server's plan pushed to the engine
+//   \analyze <stmt> EXPLAIN ANALYZE on the server (span tree + phases)
+//   \stats          server statistics (load, latency percentiles, cache)
+//   \cache          just the shared result cache counters
+//   \metrics        Prometheus-style metrics exposition
+//   \ping           liveness probe
 //   \help, \quit
 //
 // Plan forcing and completion (\plan, \rank, \suggest, ...) are in-process
@@ -63,8 +65,8 @@ inline void PrintRemoteHelp() {
   std::cout <<
       R"(Type an assess statement, e.g.:
   with SALES by month assess storeSales labels quartiles
-Meta commands: \csv <stmt>, \sql <stmt>, \stats, \cache, \ping,
-               \help, \quit
+Meta commands: \csv <stmt>, \sql <stmt>, \analyze <stmt>, \stats, \cache,
+               \metrics, \ping, \help, \quit
 )";
 }
 
@@ -106,6 +108,27 @@ inline int RunRemoteRepl(assess::AssessClient& client) {
                     << stats->cache_entries << ", resident "
                     << stats->cache_bytes << " bytes\n";
         }
+        continue;
+      }
+      if (input == "\\metrics") {
+        auto metrics = client.Metrics();
+        if (!metrics.ok()) {
+          std::cout << DescribeRemoteError(metrics.status()) << "\n";
+          if (!client.connected()) return 1;
+          continue;
+        }
+        std::cout << *metrics;
+        continue;
+      }
+      if (assess::StartsWith(input, "\\analyze")) {
+        std::string_view stmt = assess::Trim(input.substr(8));
+        auto text = client.ExplainAnalyze(stmt);
+        if (!text.ok()) {
+          std::cout << DescribeRemoteError(text.status()) << "\n";
+          if (!client.connected()) return 1;
+          continue;
+        }
+        std::cout << *text;
         continue;
       }
       if (assess::StartsWith(input, "\\csv") ||

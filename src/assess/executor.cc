@@ -8,11 +8,32 @@
 #include "common/str_util.h"
 #include "forecast/forecast.h"
 #include "functions/expression.h"
+#include "obs/trace.h"
 #include "sqlgen/sql_generator.h"
 
 namespace assess {
 
 namespace {
+
+// Times one Figure 4 phase: opens a span named after the phase and, on
+// scope exit (including the early returns of ASSESS_ASSIGN_OR_RETURN),
+// accumulates the elapsed wall time into the StepTimings slot. The
+// Stopwatch keeps StepTimings filled when tracing is compiled out; in
+// traced runs Execute() re-derives the timings from the span tree, making
+// StepTimings a view over the trace.
+class PhaseScope {
+ public:
+  PhaseScope(const char* name, double* slot) : span_(name), slot_(slot) {}
+  ~PhaseScope() { *slot_ += sw_.ElapsedSeconds(); }
+
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  Span span_;
+  double* slot_;
+  Stopwatch sw_;
+};
 
 // Names of the pivot/concat-join slots holding the k past values. The
 // assessed measure's slot i is "past<i>"; any extra measures the query
@@ -112,29 +133,31 @@ Result<FuncExpr> MaterializeProperties(const FuncExpr& expr, Cube* cube) {
 
 Status Executor::CompareAndLabel(const AnalyzedStatement& analyzed,
                                  AssessResult* result) const {
-  Stopwatch sw;
   Cube* cube = &result->cube;
-  if (analyzed.type == BenchmarkType::kConstant) {
-    AddConstantMeasure(cube, analyzed.benchmark_measure_name,
-                       analyzed.constant);
+  {
+    PhaseScope phase("compare", &result->timings.compare);
+    if (analyzed.type == BenchmarkType::kConstant) {
+      AddConstantMeasure(cube, analyzed.benchmark_measure_name,
+                         analyzed.constant);
+    }
+    ASSESS_ASSIGN_OR_RETURN(FuncExpr comparison_expr,
+                            MaterializeProperties(analyzed.using_expr, cube));
+    ASSESS_ASSIGN_OR_RETURN(
+        result->comparison_measure,
+        ApplyExpression(comparison_expr, *functions_, cube));
   }
-  ASSESS_ASSIGN_OR_RETURN(FuncExpr comparison_expr,
-                          MaterializeProperties(analyzed.using_expr, cube));
-  ASSESS_ASSIGN_OR_RETURN(
-      result->comparison_measure,
-      ApplyExpression(comparison_expr, *functions_, cube));
-  result->timings.compare = sw.ElapsedSeconds();
 
-  sw.Restart();
-  ASSESS_ASSIGN_OR_RETURN(int cmp_idx,
-                          cube->MeasureIndex(result->comparison_measure));
-  const std::vector<double>& comparison = cube->measure_column(cmp_idx);
-  std::vector<std::string> labels;
-  ASSESS_RETURN_NOT_OK(analyzed.label_function->Apply(
-      std::span<const double>(comparison.data(), comparison.size()),
-      &labels));
-  cube->SetLabels(std::move(labels));
-  result->timings.label = sw.ElapsedSeconds();
+  {
+    PhaseScope phase("label", &result->timings.label);
+    ASSESS_ASSIGN_OR_RETURN(int cmp_idx,
+                            cube->MeasureIndex(result->comparison_measure));
+    const std::vector<double>& comparison = cube->measure_column(cmp_idx);
+    std::vector<std::string> labels;
+    ASSESS_RETURN_NOT_OK(analyzed.label_function->Apply(
+        std::span<const double>(comparison.data(), comparison.size()),
+        &labels));
+    cube->SetLabels(std::move(labels));
+  }
 
   result->measure = analyzed.measure;
   result->benchmark_measure = analyzed.benchmark_measure_name;
@@ -148,19 +171,33 @@ Result<AssessResult> Executor::Execute(const AnalyzedStatement& analyzed,
         std::string(PlanKindToString(plan)) + " is not feasible for " +
         std::string(BenchmarkTypeToString(analyzed.type)) + " benchmarks");
   }
-  switch (analyzed.type) {
-    case BenchmarkType::kNone:
-    case BenchmarkType::kConstant:
-      return ExecuteConstant(analyzed);
-    case BenchmarkType::kExternal:
-    case BenchmarkType::kAncestor:
-      return ExecuteViaJoin(analyzed, plan);
-    case BenchmarkType::kSibling:
-      return ExecuteSibling(analyzed, plan);
-    case BenchmarkType::kPast:
-      return ExecutePast(analyzed, plan);
+  Span span("execute");
+  if (span.active()) {
+    span.AddString("plan", PlanKindToString(plan));
+    span.AddString("benchmark", BenchmarkTypeToString(analyzed.type));
   }
-  return Status::Internal("unreachable benchmark type");
+  Result<AssessResult> result = [&]() -> Result<AssessResult> {
+    switch (analyzed.type) {
+      case BenchmarkType::kNone:
+      case BenchmarkType::kConstant:
+        return ExecuteConstant(analyzed);
+      case BenchmarkType::kExternal:
+      case BenchmarkType::kAncestor:
+        return ExecuteViaJoin(analyzed, plan);
+      case BenchmarkType::kSibling:
+        return ExecuteSibling(analyzed, plan);
+      case BenchmarkType::kPast:
+        return ExecutePast(analyzed, plan);
+    }
+    return Status::Internal("unreachable benchmark type");
+  }();
+  if (span.active() && result.ok()) {
+    span.AddInt("rows", result->cube.NumRows());
+    // StepTimings as a view over the trace: in traced runs the Figure 4
+    // breakdown is the per-phase span durations under this execute span.
+    result->timings = StepTimingsFromTrace(*span.context(), span.id());
+  }
+  return result;
 }
 
 Result<AssessResult> Executor::ExecuteConstant(
@@ -169,10 +206,12 @@ Result<AssessResult> Executor::ExecuteConstant(
   result.plan = PlanKind::kNP;
   SqlGenerator gen(analyzed.schema.get());
 
-  Stopwatch sw;
-  ASSESS_ASSIGN_OR_RETURN(Cube engine_cube, engine_.Execute(analyzed.target));
-  result.cube = TransferToClient(engine_cube);
-  result.timings.get_c = sw.ElapsedSeconds();
+  {
+    PhaseScope phase("get_c", &result.timings.get_c);
+    ASSESS_ASSIGN_OR_RETURN(Cube engine_cube,
+                            engine_.Execute(analyzed.target));
+    result.cube = TransferToClient(engine_cube);
+  }
   ASSESS_ASSIGN_OR_RETURN(std::string sql, gen.RenderGet(analyzed.target));
   result.sql.push_back(std::move(sql));
 
@@ -194,39 +233,45 @@ Result<AssessResult> Executor::ExecuteViaJoin(const AnalyzedStatement& analyzed,
   SqlGenerator benchmark_gen(benchmark_cube->schema_ptr().get());
 
   if (plan == PlanKind::kJOP) {
-    Stopwatch sw;
-    ASSESS_ASSIGN_OR_RETURN(
-        Cube joined,
-        engine_.ExecuteJoined(analyzed.target, analyzed.benchmark,
-                              analyzed.join_levels, analyzed.star));
-    result.cube = TransferToClient(joined);
-    result.timings.get_cb = sw.ElapsedSeconds();
+    {
+      PhaseScope phase("get_cb", &result.timings.get_cb);
+      ASSESS_ASSIGN_OR_RETURN(
+          Cube joined,
+          engine_.ExecuteJoined(analyzed.target, analyzed.benchmark,
+                                analyzed.join_levels, analyzed.star));
+      result.cube = TransferToClient(joined);
+    }
     ASSESS_ASSIGN_OR_RETURN(
         std::string sql,
         gen.RenderJoin(analyzed.target, benchmark_gen, analyzed.benchmark,
                        analyzed.join_levels, analyzed.star));
     result.sql.push_back(std::move(sql));
   } else {
-    Stopwatch sw;
-    ASSESS_ASSIGN_OR_RETURN(Cube c, engine_.Execute(analyzed.target));
-    Cube target = TransferToClient(c);
-    result.timings.get_c = sw.ElapsedSeconds();
+    Cube target;
+    {
+      PhaseScope phase("get_c", &result.timings.get_c);
+      ASSESS_ASSIGN_OR_RETURN(Cube c, engine_.Execute(analyzed.target));
+      target = TransferToClient(c);
+    }
     ASSESS_ASSIGN_OR_RETURN(std::string sql_c, gen.RenderGet(analyzed.target));
     result.sql.push_back(std::move(sql_c));
 
-    sw.Restart();
-    ASSESS_ASSIGN_OR_RETURN(Cube b, engine_.Execute(analyzed.benchmark));
-    Cube benchmark = TransferToClient(b);
-    result.timings.get_b = sw.ElapsedSeconds();
+    Cube benchmark;
+    {
+      PhaseScope phase("get_b", &result.timings.get_b);
+      ASSESS_ASSIGN_OR_RETURN(Cube b, engine_.Execute(analyzed.benchmark));
+      benchmark = TransferToClient(b);
+    }
     ASSESS_ASSIGN_OR_RETURN(std::string sql_b,
                             benchmark_gen.RenderGet(analyzed.benchmark));
     result.sql.push_back(std::move(sql_b));
 
-    sw.Restart();
-    ASSESS_ASSIGN_OR_RETURN(result.cube,
-                            JoinCubes(target, benchmark, analyzed.join_levels,
-                                      "benchmark", analyzed.star));
-    result.timings.join = sw.ElapsedSeconds();
+    {
+      PhaseScope phase("join", &result.timings.join);
+      ASSESS_ASSIGN_OR_RETURN(
+          result.cube, JoinCubes(target, benchmark, analyzed.join_levels,
+                                 "benchmark", analyzed.star));
+    }
   }
 
   ASSESS_RETURN_NOT_OK(CompareAndLabel(analyzed, &result));
@@ -263,11 +308,12 @@ Result<AssessResult> Executor::ExecuteSibling(
     }
     spec.require_complete = !analyzed.star;
 
-    Stopwatch sw;
-    ASSESS_ASSIGN_OR_RETURN(Cube pivoted,
-                            engine_.ExecutePivoted(query_all, spec));
-    result.cube = TransferToClient(pivoted);
-    result.timings.get_cb = sw.ElapsedSeconds();
+    {
+      PhaseScope phase("get_cb", &result.timings.get_cb);
+      ASSESS_ASSIGN_OR_RETURN(Cube pivoted,
+                              engine_.ExecutePivoted(query_all, spec));
+      result.cube = TransferToClient(pivoted);
+    }
     ASSESS_ASSIGN_OR_RETURN(
         std::string sql,
         gen.RenderPivot(query_all, spec.level, spec.reference_member,
@@ -302,58 +348,65 @@ Result<AssessResult> Executor::ExecutePast(const AnalyzedStatement& analyzed,
                                        query_all.measures, analyzed.measure);
     spec.require_complete = !analyzed.star;
 
-    Stopwatch sw;
-    ASSESS_ASSIGN_OR_RETURN(Cube pivoted,
-                            engine_.ExecutePivoted(query_all, spec));
-    result.cube = TransferToClient(pivoted);
-    result.timings.get_cb = sw.ElapsedSeconds();
+    {
+      PhaseScope phase("get_cb", &result.timings.get_cb);
+      ASSESS_ASSIGN_OR_RETURN(Cube pivoted,
+                              engine_.ExecutePivoted(query_all, spec));
+      result.cube = TransferToClient(pivoted);
+    }
     ASSESS_ASSIGN_OR_RETURN(
         std::string sql,
         gen.RenderPivot(query_all, spec.level, spec.reference_member,
                         spec.other_members, spec.require_complete));
     result.sql.push_back(std::move(sql));
 
-    sw.Restart();
-    ASSESS_RETURN_NOT_OK(CellTransform(
-        &result.cube, analyzed.benchmark_measure_name, PastInputs(k),
-        ForecastFn(analyzed.forecast), /*null_propagates=*/false));
-    result.timings.transform = sw.ElapsedSeconds();
+    {
+      PhaseScope phase("transform", &result.timings.transform);
+      ASSESS_RETURN_NOT_OK(CellTransform(
+          &result.cube, analyzed.benchmark_measure_name, PastInputs(k),
+          ForecastFn(analyzed.forecast), /*null_propagates=*/false));
+    }
   } else if (plan == PlanKind::kJOP) {
-    Stopwatch sw;
-    ASSESS_ASSIGN_OR_RETURN(
-        Cube joined,
-        engine_.ExecuteConcatJoined(analyzed.target, analyzed.benchmark,
-                                    analyzed.join_levels, analyzed.time_level,
-                                    k,
-                                    PastSlotNames(k, *analyzed.schema,
-                                                  analyzed.benchmark.measures,
-                                                  analyzed.measure),
-                                    !analyzed.star));
-    result.cube = TransferToClient(joined);
-    result.timings.get_cb = sw.ElapsedSeconds();
+    {
+      PhaseScope phase("get_cb", &result.timings.get_cb);
+      ASSESS_ASSIGN_OR_RETURN(
+          Cube joined,
+          engine_.ExecuteConcatJoined(
+              analyzed.target, analyzed.benchmark, analyzed.join_levels,
+              analyzed.time_level, k,
+              PastSlotNames(k, *analyzed.schema, analyzed.benchmark.measures,
+                            analyzed.measure),
+              !analyzed.star));
+      result.cube = TransferToClient(joined);
+    }
     ASSESS_ASSIGN_OR_RETURN(
         std::string sql,
         gen.RenderJoin(analyzed.target, gen, analyzed.benchmark,
                        analyzed.join_levels, analyzed.star));
     result.sql.push_back(std::move(sql));
 
-    sw.Restart();
-    ASSESS_RETURN_NOT_OK(CellTransform(
-        &result.cube, analyzed.benchmark_measure_name, PastInputs(k),
-        ForecastFn(analyzed.forecast), /*null_propagates=*/false));
-    result.timings.transform = sw.ElapsedSeconds();
+    {
+      PhaseScope phase("transform", &result.timings.transform);
+      ASSESS_RETURN_NOT_OK(CellTransform(
+          &result.cube, analyzed.benchmark_measure_name, PastInputs(k),
+          ForecastFn(analyzed.forecast), /*null_propagates=*/false));
+    }
   } else {
-    Stopwatch sw;
-    ASSESS_ASSIGN_OR_RETURN(Cube c, engine_.Execute(analyzed.target));
-    Cube target = TransferToClient(c);
-    result.timings.get_c = sw.ElapsedSeconds();
+    Cube target;
+    {
+      PhaseScope phase("get_c", &result.timings.get_c);
+      ASSESS_ASSIGN_OR_RETURN(Cube c, engine_.Execute(analyzed.target));
+      target = TransferToClient(c);
+    }
     ASSESS_ASSIGN_OR_RETURN(std::string sql_c, gen.RenderGet(analyzed.target));
     result.sql.push_back(std::move(sql_c));
 
-    sw.Restart();
-    ASSESS_ASSIGN_OR_RETURN(Cube b, engine_.Execute(analyzed.benchmark));
-    Cube benchmark = TransferToClient(b);
-    result.timings.get_b = sw.ElapsedSeconds();
+    Cube benchmark;
+    {
+      PhaseScope phase("get_b", &result.timings.get_b);
+      ASSESS_ASSIGN_OR_RETURN(Cube b, engine_.Execute(analyzed.benchmark));
+      benchmark = TransferToClient(b);
+    }
     ASSESS_ASSIGN_OR_RETURN(std::string sql_b,
                             gen.RenderGet(analyzed.benchmark));
     result.sql.push_back(std::move(sql_b));
@@ -361,37 +414,40 @@ Result<AssessResult> Executor::ExecutePast(const AnalyzedStatement& analyzed,
     // Transformation: pivot the k past slices into measures (the reference
     // slice is the latest past member, whose own value is the k-th point),
     // forecast, and project the prediction into the benchmark measure m.
-    sw.Restart();
-    std::vector<std::string> others(analyzed.past_members.begin(),
-                                    analyzed.past_members.end() - 1);
-    // require_complete keeps plans equivalent: under assess, every plan
-    // keeps exactly the cells with a full k-slice history. (Under assess*
-    // POP can forecast from partial histories that NP lacks a pivot row
-    // for; both degrade to nulls rather than errors.)
-    ASSESS_ASSIGN_OR_RETURN(
-        Cube pivoted,
-        PivotCube(benchmark, analyzed.time_level, analyzed.past_members.back(),
-                  others,
-                  PastSlotNames(k - 1, *analyzed.schema,
-                                analyzed.benchmark.measures,
-                                analyzed.measure),
-                  /*require_complete=*/!analyzed.star));
-    // Chronological inputs: past1..past_{k-1} then the reference slice's m.
-    std::vector<std::string> inputs = PastInputs(k - 1);
-    inputs.push_back(analyzed.measure);
-    ASSESS_RETURN_NOT_OK(CellTransform(&pivoted, "predicted", inputs,
-                                       ForecastFn(analyzed.forecast),
-                                       /*null_propagates=*/false));
-    ASSESS_ASSIGN_OR_RETURN(
-        Cube predicted,
-        ProjectMeasures(pivoted, {{"predicted", analyzed.measure}}));
-    result.timings.transform = sw.ElapsedSeconds();
+    Cube predicted;
+    {
+      PhaseScope phase("transform", &result.timings.transform);
+      std::vector<std::string> others(analyzed.past_members.begin(),
+                                      analyzed.past_members.end() - 1);
+      // require_complete keeps plans equivalent: under assess, every plan
+      // keeps exactly the cells with a full k-slice history. (Under assess*
+      // POP can forecast from partial histories that NP lacks a pivot row
+      // for; both degrade to nulls rather than errors.)
+      ASSESS_ASSIGN_OR_RETURN(
+          Cube pivoted,
+          PivotCube(benchmark, analyzed.time_level,
+                    analyzed.past_members.back(), others,
+                    PastSlotNames(k - 1, *analyzed.schema,
+                                  analyzed.benchmark.measures,
+                                  analyzed.measure),
+                    /*require_complete=*/!analyzed.star));
+      // Chronological inputs: past1..past_{k-1} then the reference slice's m.
+      std::vector<std::string> inputs = PastInputs(k - 1);
+      inputs.push_back(analyzed.measure);
+      ASSESS_RETURN_NOT_OK(CellTransform(&pivoted, "predicted", inputs,
+                                         ForecastFn(analyzed.forecast),
+                                         /*null_propagates=*/false));
+      ASSESS_ASSIGN_OR_RETURN(
+          predicted, ProjectMeasures(pivoted, {{"predicted",
+                                                analyzed.measure}}));
+    }
 
-    sw.Restart();
-    ASSESS_ASSIGN_OR_RETURN(result.cube,
-                            JoinCubes(target, predicted, analyzed.join_levels,
-                                      "benchmark", analyzed.star));
-    result.timings.join = sw.ElapsedSeconds();
+    {
+      PhaseScope phase("join", &result.timings.join);
+      ASSESS_ASSIGN_OR_RETURN(
+          result.cube, JoinCubes(target, predicted, analyzed.join_levels,
+                                 "benchmark", analyzed.star));
+    }
   }
 
   ASSESS_RETURN_NOT_OK(CompareAndLabel(analyzed, &result));

@@ -1,0 +1,64 @@
+#include "assess/explain_analyze.h"
+
+#include <cstdio>
+
+#include "obs/trace.h"
+
+namespace assess {
+namespace {
+
+void AppendPhase(std::string* out, const char* name, double seconds) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "  %-16s %10.3f ms\n", name,
+                seconds * 1e3);
+  out->append(buf);
+}
+
+}  // namespace
+
+Result<std::string> ExplainAnalyzeStatement(const AssessSession& session,
+                                            std::string_view statement,
+                                            std::optional<PlanKind> plan,
+                                            ExplainAnalyzeFormat format) {
+  if (!kTracingCompiledIn) {
+    return Status::NotSupported(
+        "EXPLAIN ANALYZE needs tracing: rebuild with -DASSESS_TRACING=ON");
+  }
+  TraceContext trace;
+  Result<AssessResult> result = [&]() -> Result<AssessResult> {
+    TraceContext::Scope scope(&trace);
+    Span root("query");
+    return plan ? session.Query(statement, *plan) : session.Query(statement);
+  }();
+  ASSESS_RETURN_NOT_OK(result.status());
+
+  if (format == ExplainAnalyzeFormat::kJson) return trace.ToJson();
+  if (format == ExplainAnalyzeFormat::kChromeTrace) {
+    return trace.ToChromeTrace();
+  }
+
+  std::string out;
+  out.append("EXPLAIN ANALYZE (plan=")
+      .append(PlanKindToString(result->plan))
+      .append(", cells=")
+      .append(std::to_string(result->cube.NumRows()))
+      .append(")\n\nplan steps:\n");
+  ASSESS_ASSIGN_OR_RETURN(std::string steps,
+                          session.Explain(statement, result->plan));
+  out.append(steps);
+  if (!out.empty() && out.back() != '\n') out.push_back('\n');
+
+  out.append("\nspan tree:\n").append(trace.ToTreeString());
+
+  const StepTimings timings = StepTimingsFromTrace(trace);
+  out.append("\nFigure 4 phases:\n");
+  AppendPhase(&out, "query evaluation",
+              timings.get_c + timings.get_b + timings.get_cb);
+  AppendPhase(&out, "transformation", timings.transform + timings.join);
+  AppendPhase(&out, "comparison", timings.compare);
+  AppendPhase(&out, "labeling", timings.label);
+  AppendPhase(&out, "total", timings.Total());
+  return out;
+}
+
+}  // namespace assess

@@ -1,0 +1,40 @@
+#ifndef ASSESS_ASSESS_EXPLAIN_ANALYZE_H_
+#define ASSESS_ASSESS_EXPLAIN_ANALYZE_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "assess/session.h"
+#include "common/result.h"
+
+namespace assess {
+
+/// \brief Output shape of ExplainAnalyzeStatement.
+enum class ExplainAnalyzeFormat {
+  kText,         ///< operator-annotated plan + span tree + phase totals
+  kJson,         ///< the raw span tree as JSON
+  kChromeTrace,  ///< Chrome trace_event JSON (chrome://tracing, Perfetto)
+};
+
+/// \brief EXPLAIN ANALYZE: executes `statement` under a fresh trace and
+/// renders where the time went.
+///
+/// The text format prints the logical plan steps (what EXPLAIN shows),
+/// the recorded span tree (what actually ran, with rows/morsels/cache
+/// attributes), and the Figure 4 phase totals derived from the same spans —
+/// so the CLI, `bench_fig4_breakdown`, and the paper's tables all read one
+/// clock. `plan` forces a plan; by default the session's selection strategy
+/// picks, exactly as a plain Query() would.
+///
+/// Returns kNotSupported when tracing is compiled out (ASSESS_TRACING=OFF):
+/// there are no spans to report, and silently returning an empty tree would
+/// read as "this query did nothing".
+Result<std::string> ExplainAnalyzeStatement(
+    const AssessSession& session, std::string_view statement,
+    std::optional<PlanKind> plan = std::nullopt,
+    ExplainAnalyzeFormat format = ExplainAnalyzeFormat::kText);
+
+}  // namespace assess
+
+#endif  // ASSESS_ASSESS_EXPLAIN_ANALYZE_H_

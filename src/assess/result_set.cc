@@ -11,6 +11,49 @@
 
 namespace assess {
 
+StepTimings StepTimingsFromTrace(const TraceContext& trace,
+                                 TraceContext::SpanId root) {
+  StepTimings timings;
+  const std::vector<SpanNode> nodes = trace.Snapshot();
+  // Subtree membership: parents always precede children in the snapshot (a
+  // child's id is assigned after its parent's), so one forward pass marks
+  // every descendant of `root`.
+  std::vector<char> in_subtree(nodes.size(),
+                               root == TraceContext::kNoSpan ? 1 : 0);
+  if (root != TraceContext::kNoSpan) {
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      if (nodes[i].id == root) {
+        in_subtree[i] = 1;
+      } else if (nodes[i].parent >= 0 &&
+                 static_cast<size_t>(nodes[i].parent) < i &&
+                 in_subtree[nodes[i].parent]) {
+        in_subtree[i] = 1;
+      }
+    }
+  }
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (!in_subtree[i] || nodes[i].duration_ns < 0) continue;
+    const double seconds = nodes[i].duration_ns * 1e-9;
+    const std::string& name = nodes[i].name;
+    if (name == "get_c") {
+      timings.get_c += seconds;
+    } else if (name == "get_b") {
+      timings.get_b += seconds;
+    } else if (name == "get_cb") {
+      timings.get_cb += seconds;
+    } else if (name == "transform") {
+      timings.transform += seconds;
+    } else if (name == "join") {
+      timings.join += seconds;
+    } else if (name == "compare") {
+      timings.compare += seconds;
+    } else if (name == "label") {
+      timings.label += seconds;
+    }
+  }
+  return timings;
+}
+
 std::string StepTimings::ToString() const {
   std::ostringstream out;
   char buf[64];

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "assess/planner.h"
+#include "obs/trace.h"
 #include "olap/cube.h"
 
 namespace assess {
@@ -27,6 +28,16 @@ struct StepTimings {
 
   std::string ToString() const;
 };
+
+/// \brief Derives the Figure 4 breakdown from a span tree: sums the closed
+/// spans named after each phase (get_c, get_b, get_cb, transform, join,
+/// compare, label), restricted to the subtree under `root` when given —
+/// pass the executor's "execute" span id to scope a trace shared across
+/// queries to one of them. All zeros when the trace has no phase spans
+/// (e.g. tracing compiled out).
+StepTimings StepTimingsFromTrace(
+    const TraceContext& trace,
+    TraceContext::SpanId root = TraceContext::kNoSpan);
 
 /// \brief The result of an assess statement: for each cell, its coordinate,
 /// the value of m, the benchmark measure, the comparison value and the

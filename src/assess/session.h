@@ -9,6 +9,7 @@
 #include "assess/parser.h"
 #include "assess/planner.h"
 #include "assess/result_set.h"
+#include "obs/trace.h"
 
 namespace assess {
 
@@ -71,19 +72,28 @@ class AssessSession {
 
   /// \brief Parses and analyzes a statement without executing it.
   Result<AnalyzedStatement> Prepare(std::string_view statement) const {
-    ASSESS_ASSIGN_OR_RETURN(AssessStatement stmt,
-                            ParseAssessStatement(statement));
-    return Analyze(stmt, *db_, functions_, labelings_, options_);
+    Result<AssessStatement> stmt = [&] {
+      Span span("parse");
+      return ParseAssessStatement(statement);
+    }();
+    ASSESS_RETURN_NOT_OK(stmt.status());
+    Span span("analyze");
+    return Analyze(*stmt, *db_, functions_, labelings_, options_);
   }
 
   /// \brief Executes a statement with the plan chosen by the configured
   /// selection strategy (rule-based by default).
   Result<AssessResult> Query(std::string_view statement) const {
     ASSESS_ASSIGN_OR_RETURN(AnalyzedStatement analyzed, Prepare(statement));
-    PlanKind plan = BestPlan(analyzed);
-    if (plan_selection_ == PlanSelection::kCostBased) {
-      CostEstimator estimator(db_);
-      ASSESS_ASSIGN_OR_RETURN(plan, estimator.ChoosePlan(analyzed));
+    PlanKind plan;
+    {
+      Span span("plan");
+      plan = BestPlan(analyzed);
+      if (plan_selection_ == PlanSelection::kCostBased) {
+        CostEstimator estimator(db_);
+        ASSESS_ASSIGN_OR_RETURN(plan, estimator.ChoosePlan(analyzed));
+      }
+      if (span.active()) span.AddString("chosen", PlanKindToString(plan));
     }
     return executor_.Execute(analyzed, plan);
   }

@@ -5,6 +5,8 @@
 #include <unordered_set>
 
 #include "common/failpoint.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/materialized_view.h"
 
 namespace assess {
@@ -20,21 +22,35 @@ CubeResultCache::Shard& CubeResultCache::ShardFor(const std::string& key) {
 }
 
 std::optional<Cube> CubeResultCache::FindExact(const std::string& key) {
+  Span span("cache.lookup");
   lookups_.fetch_add(1, std::memory_order_relaxed);
+  static Counter* const lookups_total =
+      MetricsRegistry::Instance().GetCounter(
+          "assess_cache_lookups_total",
+          "Result-cache lookups across all cache instances");
+  lookups_total->Inc();
   // A triggered lookup failpoint degrades to a miss: results must be
   // byte-identical with or without the cache's help.
-  if (ASSESS_FAILPOINT_TRIGGERED("cache.lookup")) return std::nullopt;
+  if (ASSESS_FAILPOINT_TRIGGERED("cache.lookup")) {
+    span.AddInt("hit", 0);
+    return std::nullopt;
+  }
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.index.find(key);
-  if (it == shard.index.end()) return std::nullopt;
+  if (it == shard.index.end()) {
+    span.AddInt("hit", 0);
+    return std::nullopt;
+  }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   exact_hits_.fetch_add(1, std::memory_order_relaxed);
+  span.AddInt("hit", 1);
   return it->second->cube;
 }
 
 std::optional<CubeResultCache::Snapshot> CubeResultCache::FindSubsuming(
     const CubeSchema& schema, const CanonicalQuery& want) {
+  Span span("cache.subsume");
   std::optional<Snapshot> best;
   int64_t best_rows = 0;
   if (ASSESS_FAILPOINT_TRIGGERED("cache.lookup")) {
@@ -57,13 +73,16 @@ std::optional<CubeResultCache::Snapshot> CubeResultCache::FindSubsuming(
   } else {
     misses_.fetch_add(1, std::memory_order_relaxed);
   }
+  span.AddInt("hit", best ? 1 : 0);
   return best;
 }
 
 void CubeResultCache::Insert(const std::string& key, CanonicalQuery query,
                              const Cube& cube) {
   if (ASSESS_FAILPOINT_TRIGGERED("cache.insert")) return;  // dropped insert
+  Span span("cache.insert");
   size_t bytes = EstimateCubeBytes(cube) + key.size() + sizeof(Entry);
+  span.AddInt("bytes", static_cast<int64_t>(bytes));
   if (bytes > shard_budget_) return;
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mutex);

@@ -188,6 +188,24 @@ Result<ServerStats> AssessClient::Stats() {
   return ServerStats::Deserialize(payload);
 }
 
+Result<std::string> AssessClient::Metrics() {
+  std::string payload;
+  ASSESS_RETURN_NOT_OK(RoundTripWithRetry(FrameType::kMetrics, {},
+                                          FrameType::kMetricsReply, &payload));
+  return payload;
+}
+
+Result<std::string> AssessClient::ExplainAnalyze(std::string_view statement) {
+  // Deliberately no retry loop: a timing measurement that silently ran
+  // twice would be misleading, and the statement may be expensive.
+  ASSESS_RETURN_NOT_OK(EnsureConnected());
+  std::string request = EncodeQueryPayload(NextRequestId(), statement);
+  std::string payload;
+  ASSESS_RETURN_NOT_OK(RoundTrip(FrameType::kExplainAnalyze, request,
+                                 FrameType::kExplainReply, &payload));
+  return payload;
+}
+
 Status AssessClient::Ping() {
   std::string payload;
   return RoundTripWithRetry(FrameType::kPing, {}, FrameType::kPong, &payload);

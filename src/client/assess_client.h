@@ -90,6 +90,16 @@ class AssessClient {
   /// idempotent by nature).
   Result<ServerStats> Stats();
 
+  /// \brief Fetches the server's Prometheus-style metrics exposition
+  /// (retryable, like Stats()).
+  Result<std::string> Metrics();
+
+  /// \brief Runs `statement` on the server under EXPLAIN ANALYZE and returns
+  /// the rendered span tree + phase breakdown. Never retried and never
+  /// deduplicated: every call re-executes and re-measures. Fails with
+  /// kNotSupported when the server was built with ASSESS_TRACING=OFF.
+  Result<std::string> ExplainAnalyze(std::string_view statement);
+
   /// \brief Round-trips a ping frame (retryable).
   Status Ping();
 

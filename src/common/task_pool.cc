@@ -4,6 +4,8 @@
 #include <cstdlib>
 
 #include "common/failpoint.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace assess {
 
@@ -43,6 +45,12 @@ struct TaskPool::Job {
   Status error;       ///< first error (guarded by pool mutex_)
   int participants = 0;  ///< threads inside Drain() (guarded by mutex_)
   std::condition_variable done_cv;  ///< waits on mutex_: participants == 0
+  /// The submitter's trace position, captured before publication: workers
+  /// install it so their pool-side spans parent under the submitting
+  /// query's span even though they run on foreign threads. The trace
+  /// outlives the job because RunMorsels (called beneath the traced scope)
+  /// does not return until every participant has left.
+  TraceContext::Binding trace;
 };
 
 TaskPool::TaskPool(int workers) {
@@ -76,10 +84,14 @@ Status TaskPool::RunOne(Job* job, int64_t morsel) {
 }
 
 void TaskPool::Drain(Job* job) {
+  TraceContext::BindScope bind(job->trace);
+  Span span("pool.drain");
+  int64_t ran = 0;
   while (!job->failed.load(std::memory_order_acquire)) {
     int64_t morsel = job->next.fetch_add(1, std::memory_order_relaxed);
     if (morsel >= job->num_morsels) break;
     Status status = RunOne(job, morsel);
+    ++ran;
     if (!status.ok()) {
       std::lock_guard<std::mutex> lock(mutex_);
       if (!job->failed.load(std::memory_order_relaxed)) {
@@ -88,6 +100,7 @@ void TaskPool::Drain(Job* job) {
       }
     }
   }
+  span.AddInt("morsels", ran);
 }
 
 TaskPool::Job* TaskPool::ClaimEligibleJobLocked() {
@@ -132,6 +145,7 @@ Status TaskPool::RunMorsels(int64_t num_morsels, int max_participants,
   job.fn = &fn;
   job.num_morsels = num_morsels;
   job.max_participants = max_participants;
+  job.trace = TraceContext::CurrentBinding();
 
   // Serial inline path: same morsel decomposition, same failpoint site,
   // zero scheduling. Results are identical to the parallel path by the
@@ -168,6 +182,18 @@ Status TaskPool::RunMorsels(int64_t num_morsels, int max_participants,
 void TaskPool::AddScanCounts(uint64_t scanned, uint64_t skipped) {
   morsels_scanned_.fetch_add(scanned, std::memory_order_relaxed);
   morsels_skipped_.fetch_add(skipped, std::memory_order_relaxed);
+  // Process-wide mirrors in the metrics registry (one call per scan, not
+  // per morsel, so the registry never sits on the morsel hot path).
+  static Counter* const scanned_total =
+      MetricsRegistry::Instance().GetCounter(
+          "assess_morsels_scanned_total",
+          "Morsels aggregated across all engines");
+  static Counter* const skipped_total =
+      MetricsRegistry::Instance().GetCounter(
+          "assess_morsels_skipped_total",
+          "Morsels pruned by zone maps across all engines");
+  scanned_total->Inc(scanned);
+  skipped_total->Inc(skipped);
 }
 
 TaskPoolStats TaskPool::stats() const {

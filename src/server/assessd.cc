@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <future>
 
+#include "assess/explain_analyze.h"
 #include "assess/wire_format.h"
 #include "common/failpoint.h"
 #include "common/task_pool.h"
@@ -26,21 +27,10 @@ double ElapsedMs(Clock::time_point since) {
       .count();
 }
 
-/// Size of the sliding latency window behind the percentile estimates.
-constexpr size_t kLatencyWindow = 4096;
-
 /// Blocked response writes (peer stopped reading with a full socket buffer)
 /// abort with kUnavailable after this long instead of wedging a reader
 /// thread forever; see Stop()'s drain sequencing.
 constexpr int kSendTimeoutSeconds = 10;
-
-double Percentile(const std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0.0;
-  size_t rank = static_cast<size_t>(
-      std::ceil(p * static_cast<double>(sorted.size())));
-  if (rank == 0) rank = 1;
-  return sorted[std::min(rank, sorted.size()) - 1];
-}
 
 /// Status-returning wrapper around a failpoint site, for use where the
 /// enclosing function does not itself return Status (reader/worker loops).
@@ -62,12 +52,15 @@ struct AssessServer::Request {
   Connection* conn = nullptr;
   std::string statement;
   uint64_t request_id = 0;  ///< client idempotency key; 0 = none
+  bool explain = false;     ///< kExplainAnalyze: trace + render, no dedup
   Clock::time_point admitted;
   std::promise<std::pair<FrameType, std::string>> response;
 };
 
 AssessServer::AssessServer(const StarDatabase* db, ServerOptions options)
-    : db_(db), options_(std::move(options)) {}
+    : db_(db),
+      options_(std::move(options)),
+      trace_sampler_(options_.trace_sample, options_.trace_seed) {}
 
 AssessServer::~AssessServer() { Stop(); }
 
@@ -99,7 +92,6 @@ Status AssessServer::Start() {
   listen_fd_ = listener.fd;
   port_ = listener.port;
 
-  latency_window_.assign(kLatencyWindow, 0.0);
   workers_.reserve(workers);
   for (int i = 0; i < workers; ++i) {
     workers_.emplace_back(&AssessServer::WorkerLoop, this);
@@ -260,6 +252,13 @@ void AssessServer::ReaderLoop(Connection* conn) {
       }
       continue;
     }
+    if (frame.type == FrameType::kMetrics) {
+      if (!WriteFrame(conn->fd, FrameType::kMetricsReply, RenderMetrics())
+               .ok()) {
+        break;
+      }
+      continue;
+    }
     if (frame.type == FrameType::kFailpoint) {
       // Fault-injection admin: arm/disarm by spec string, reply with the
       // registry listing. Off by default — only servers started with
@@ -277,12 +276,14 @@ void AssessServer::ReaderLoop(Connection* conn) {
       if (!written.ok()) break;
       continue;
     }
-    if (frame.type != FrameType::kQuery) {
+    if (frame.type != FrameType::kQuery &&
+        frame.type != FrameType::kExplainAnalyze) {
       WriteFrame(conn->fd, FrameType::kError,
                  SerializeStatus(Status::InvalidArgument(
                      "unexpected frame type for a request")));
       break;
     }
+    const bool explain = frame.type == FrameType::kExplainAnalyze;
 
     total_requests_.fetch_add(1, std::memory_order_relaxed);
     uint64_t request_id = 0;
@@ -299,10 +300,11 @@ void AssessServer::ReaderLoop(Connection* conn) {
 
     // Retry dedup: a retried request (same nonzero id, after a reconnect or
     // a corrupted response) replays its stored response instead of
-    // executing twice.
+    // executing twice. EXPLAIN ANALYZE is never deduplicated — each run
+    // re-measures.
     FrameType replay_type = FrameType::kError;
     std::string replay_payload;
-    if (request_id != 0 &&
+    if (!explain && request_id != 0 &&
         FindDeduped(request_id, &replay_type, &replay_payload)) {
       if (!WriteFrame(conn->fd, replay_type, replay_payload).ok()) break;
       continue;
@@ -312,6 +314,7 @@ void AssessServer::ReaderLoop(Connection* conn) {
     request.conn = conn;
     request.statement = std::string(statement);
     request.request_id = request_id;
+    request.explain = explain;
     request.admitted = Clock::now();
     auto response = request.response.get_future();
 
@@ -409,12 +412,40 @@ std::pair<FrameType, std::string> AssessServer::ExecuteRequest(
     payload = SerializeStatus(timeout_status("while queued"));
   } else if (!dequeued.ok()) {
     fail(dequeued);
+  } else if (request->explain) {
+    if (options_.pre_execute_hook) options_.pre_execute_hook();
+    Status injected = FailpointStatus("server.session_execute");
+    Result<std::string> rendered =
+        injected.ok() ? ExplainAnalyzeStatement(*request->conn->session,
+                                                request->statement)
+                      : Result<std::string>(injected);
+    if (overdue()) {
+      timeouts_.fetch_add(1, std::memory_order_relaxed);
+      error_code = StatusCode::kTimeout;
+      payload = SerializeStatus(timeout_status("during execution"));
+    } else if (!rendered.ok()) {
+      fail(rendered.status());
+    } else {
+      traces_sampled_.fetch_add(1, std::memory_order_relaxed);
+      type = FrameType::kExplainReply;
+      payload = *std::move(rendered);
+      ok_responses_.fetch_add(1, std::memory_order_relaxed);
+    }
   } else {
     if (options_.pre_execute_hook) options_.pre_execute_hook();
     Status injected = FailpointStatus("server.session_execute");
-    Result<AssessResult> result =
-        injected.ok() ? request->conn->session->Query(request->statement)
-                      : Result<AssessResult>(injected);
+    // Slow-query log: trace sampled queries so the dump can show where a
+    // slow one spent its time. Off (the default) records no spans at all.
+    const bool traced = kTracingCompiledIn && options_.slow_query_ms >= 0 &&
+                        SampleTrace();
+    TraceContext trace;
+    const Clock::time_point exec_start = Clock::now();
+    Result<AssessResult> result = [&]() -> Result<AssessResult> {
+      if (!injected.ok()) return {injected};
+      TraceContext::Scope scope(traced ? &trace : nullptr);
+      Span span("query");
+      return request->conn->session->Query(request->statement);
+    }();
     if (overdue()) {
       timeouts_.fetch_add(1, std::memory_order_relaxed);
       error_code = StatusCode::kTimeout;
@@ -422,7 +453,12 @@ std::pair<FrameType, std::string> AssessServer::ExecuteRequest(
     } else if (!result.ok()) {
       fail(result.status());
     } else {
-      payload = SerializeAssessResult(*result);
+      {
+        TraceContext::Scope scope(traced ? &trace : nullptr);
+        Span span("wire.serialize");
+        payload = SerializeAssessResult(*result);
+        span.AddInt("bytes", static_cast<int64_t>(payload.size()));
+      }
       if (payload.size() + 1 > options_.max_frame_bytes) {
         char msg[96];
         std::snprintf(msg, sizeof(msg),
@@ -434,13 +470,24 @@ std::pair<FrameType, std::string> AssessServer::ExecuteRequest(
         ok_responses_.fetch_add(1, std::memory_order_relaxed);
       }
     }
+    if (traced) {
+      traces_sampled_.fetch_add(1, std::memory_order_relaxed);
+      trace_spans_.fetch_add(trace.span_count(), std::memory_order_relaxed);
+      const double exec_ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - exec_start)
+              .count();
+      if (exec_ms >= static_cast<double>(options_.slow_query_ms)) {
+        slow_queries_.fetch_add(1, std::memory_order_relaxed);
+        EmitSlowQuery(request->statement, exec_ms, trace);
+      }
+    }
   }
 
   // Only deterministic outcomes enter the dedup store: results and errors
   // that re-derive identically from the statement. Transient conditions
   // (kUnavailable, kTimeout, injected faults, kInternal) must re-execute on
   // retry, so they are never replayed.
-  if (request->request_id != 0) {
+  if (!request->explain && request->request_id != 0) {
     bool deterministic = type == FrameType::kResult ||
                          error_code == StatusCode::kInvalidArgument ||
                          error_code == StatusCode::kNotFound ||
@@ -487,11 +534,26 @@ void AssessServer::StoreDeduped(uint64_t request_id, FrameType type,
   }
 }
 
-void AssessServer::RecordLatency(double ms) {
-  std::lock_guard<std::mutex> lock(latency_mutex_);
-  latency_window_[latency_next_] = ms;
-  latency_next_ = (latency_next_ + 1) % latency_window_.size();
-  latency_count_ = std::min(latency_count_ + 1, latency_window_.size());
+void AssessServer::RecordLatency(double ms) { latency_hist_.Observe(ms); }
+
+bool AssessServer::SampleTrace() {
+  std::lock_guard<std::mutex> lock(trace_mutex_);
+  return trace_sampler_.Sample();
+}
+
+void AssessServer::EmitSlowQuery(const std::string& statement, double ms,
+                                 const TraceContext& trace) {
+  // The sink sits behind a failpoint so chaos tests can make it fail or
+  // stall: the response is already produced, so a broken sink only moves a
+  // counter — it can never corrupt a result or wedge the session.
+  Status emit = FailpointStatus("trace.emit");
+  if (!emit.ok()) {
+    trace_emit_failures_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  std::string tree = trace.ToTreeString();
+  std::fprintf(stderr, "[assessd] slow query (%.3f ms): %s\n%s", ms,
+               statement.c_str(), tree.c_str());
 }
 
 ServerStats AssessServer::Snapshot() const {
@@ -514,15 +576,13 @@ ServerStats AssessServer::Snapshot() const {
       if (!conn->done.load()) ++stats.connections;
     }
   }
-  {
-    std::lock_guard<std::mutex> lock(latency_mutex_);
-    std::vector<double> sorted(latency_window_.begin(),
-                               latency_window_.begin() + latency_count_);
-    std::sort(sorted.begin(), sorted.end());
-    stats.p50_ms = Percentile(sorted, 0.50);
-    stats.p90_ms = Percentile(sorted, 0.90);
-    stats.p99_ms = Percentile(sorted, 0.99);
-  }
+  stats.p50_ms = latency_hist_.Quantile(0.50);
+  stats.p90_ms = latency_hist_.Quantile(0.90);
+  stats.p99_ms = latency_hist_.Quantile(0.99);
+  stats.latency_samples = latency_hist_.Count();
+  stats.slow_queries = slow_queries_.load(std::memory_order_relaxed);
+  stats.traces_sampled = traces_sampled_.load(std::memory_order_relaxed);
+  stats.trace_spans = trace_spans_.load(std::memory_order_relaxed);
   if (options_.engine.shared_cache) {
     CacheStats cache = options_.engine.shared_cache->stats();
     stats.cache_lookups = cache.lookups;
@@ -540,6 +600,42 @@ ServerStats AssessServer::Snapshot() const {
     stats.morsels_skipped = pool.morsels_skipped;
   }
   return stats;
+}
+
+std::string AssessServer::RenderMetrics() const {
+  std::string out = MetricsRegistry::Instance().RenderPrometheus();
+  AppendHistogramExposition(
+      &out, "assessd_request_latency_ms",
+      "Request latency from admission to response readiness (ms)",
+      latency_hist_);
+  auto counter = [&out](const char* name, const char* help, uint64_t value) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "# HELP %s %s\n# TYPE %s counter\n%s %llu\n", name, help,
+                  name, name, static_cast<unsigned long long>(value));
+    out += buf;
+  };
+  counter("assessd_requests_total", "Query frames admitted or rejected",
+          total_requests_.load(std::memory_order_relaxed));
+  counter("assessd_responses_ok_total", "kResult responses sent",
+          ok_responses_.load(std::memory_order_relaxed));
+  counter("assessd_responses_error_total", "kError responses sent",
+          error_responses_.load(std::memory_order_relaxed));
+  counter("assessd_rejected_overload_total", "Admission-control rejections",
+          rejected_overload_.load(std::memory_order_relaxed));
+  counter("assessd_timeouts_total", "Per-request deadline violations",
+          timeouts_.load(std::memory_order_relaxed));
+  counter("assessd_slow_queries_total",
+          "Queries at or over the slow-query threshold",
+          slow_queries_.load(std::memory_order_relaxed));
+  counter("assessd_traces_sampled_total", "Queries executed under a trace",
+          traces_sampled_.load(std::memory_order_relaxed));
+  counter("assessd_trace_spans_total", "Spans recorded across sampled traces",
+          trace_spans_.load(std::memory_order_relaxed));
+  counter("assessd_trace_emit_failures_total",
+          "Slow-query dumps dropped by a failing sink",
+          trace_emit_failures_.load(std::memory_order_relaxed));
+  return out;
 }
 
 }  // namespace assess

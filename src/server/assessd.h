@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "assess/session.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/protocol.h"
 #include "storage/star_schema.h"
 
@@ -51,6 +53,16 @@ struct ServerOptions {
   /// this server. Off by default: chaos testing is opt-in
   /// (`assessd --failpoint-admin`).
   bool allow_failpoint_admin = false;
+  /// Slow-query log: sampled queries whose execution takes at least this
+  /// many milliseconds get their span tree dumped to stderr. < 0 (default)
+  /// disables the log and the per-query tracing behind it; 0 logs every
+  /// sampled query. No-op when tracing is compiled out.
+  int64_t slow_query_ms = -1;
+  /// Fraction of queries traced when the slow-query log is on, in [0, 1].
+  /// The sampler is deterministic under `trace_seed`, so a given rate and
+  /// seed always trace the same request sequence.
+  double trace_sample = 1.0;
+  uint64_t trace_seed = 1;
   /// Engine configuration for the per-connection sessions. When the result
   /// cache is enabled and no shared_cache is given, Start() creates one, so
   /// all connections pool warm results by construction. Likewise, when no
@@ -117,6 +129,11 @@ class AssessServer {
   /// \brief Point-in-time server statistics (what kStats returns).
   ServerStats Snapshot() const;
 
+  /// \brief Prometheus-style text exposition (what kMetrics returns): the
+  /// process metrics registry plus this server's own series — the request
+  /// latency histogram and the request/trace counters.
+  std::string RenderMetrics() const;
+
  private:
   struct Connection;
   struct Request;
@@ -139,6 +156,13 @@ class AssessServer {
 
   void RecordLatency(double ms);
   void ReapFinishedConnections();
+
+  /// Deterministic sampling decision for one query (trace_mutex_).
+  bool SampleTrace();
+  /// Dumps a slow query's span tree to stderr, behind the "trace.emit"
+  /// failpoint: a failing sink only moves a counter, never the response.
+  void EmitSlowQuery(const std::string& statement, double ms,
+                     const TraceContext& trace);
 
   const StarDatabase* db_;
   ServerOptions options_;
@@ -181,11 +205,18 @@ class AssessServer {
   std::atomic<uint64_t> rejected_overload_{0};
   std::atomic<uint64_t> timeouts_{0};
 
-  // Sliding latency window (guarded by latency_mutex_).
-  mutable std::mutex latency_mutex_;
-  std::vector<double> latency_window_;
-  size_t latency_next_ = 0;
-  size_t latency_count_ = 0;
+  // Request latency histogram: lock-free Observe, whole-lifetime
+  // percentiles (replaces the old sliding-window array + sort).
+  Histogram latency_hist_{Histogram::LatencyBoundsMs()};
+
+  // Slow-query tracing. The sampler's Rng is stateful, hence the mutex;
+  // the counters feed the v3 stats fields.
+  std::mutex trace_mutex_;
+  TraceSampler trace_sampler_;
+  std::atomic<uint64_t> slow_queries_{0};
+  std::atomic<uint64_t> traces_sampled_{0};
+  std::atomic<uint64_t> trace_spans_{0};
+  std::atomic<uint64_t> trace_emit_failures_{0};
 };
 
 }  // namespace assess

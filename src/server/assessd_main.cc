@@ -3,6 +3,7 @@
 //   assessd [--sales | --ssb [--sf X]] [--host H] [--port P] [--workers N]
 //           [--engine-threads N] [--queue N] [--timeout-ms N] [--cache-mb N]
 //           [--max-frame-mb N] [--failpoints SPEC] [--failpoint-admin]
+//           [--slow-query-ms N] [--trace-sample X]
 //
 // Loads the database once, then serves the framed protocol of
 // server/protocol.h until SIGINT/SIGTERM, which trigger a graceful drain
@@ -36,6 +37,7 @@ int Usage(const char* argv0) {
       "          [--workers N] [--engine-threads N] [--queue N]\n"
       "          [--timeout-ms N] [--cache-mb N] [--max-frame-mb N]\n"
       "          [--failpoints SPEC] [--failpoint-admin]\n"
+      "          [--slow-query-ms N] [--trace-sample X]\n"
       "Serves the SALES (default) or SSB database on H:P (default "
       "127.0.0.1:%u).\n"
       "--engine-threads caps how many shared-pool workers one query's scan\n"
@@ -43,7 +45,10 @@ int Usage(const char* argv0) {
       "--failpoints arms fault-injection points at startup (see\n"
       "common/failpoint.h for the spec grammar); --failpoint-admin lets\n"
       "clients arm them at runtime via the kFailpoint frame. Both need a\n"
-      "build with ASSESS_FAILPOINTS=ON.\n",
+      "build with ASSESS_FAILPOINTS=ON.\n"
+      "--slow-query-ms dumps the span tree of queries at or over N ms to\n"
+      "stderr (needs ASSESS_TRACING=ON); --trace-sample X traces only that\n"
+      "fraction of queries (deterministic, default 1).\n",
       argv0, assess::kDefaultPort);
   return 2;
 }
@@ -114,6 +119,14 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--failpoint-admin") {
       options.allow_failpoint_admin = true;
+    } else if (arg == "--slow-query-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.slow_query_ms = std::atoll(v);
+    } else if (arg == "--trace-sample") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.trace_sample = std::atof(v);
     } else {
       return Usage(argv[0]);
     }

@@ -82,11 +82,15 @@ bool IsKnownFrameType(uint8_t type) {
     case FrameType::kStats:
     case FrameType::kPing:
     case FrameType::kFailpoint:
+    case FrameType::kMetrics:
+    case FrameType::kExplainAnalyze:
     case FrameType::kResult:
     case FrameType::kError:
     case FrameType::kStatsReply:
     case FrameType::kPong:
     case FrameType::kFailpointReply:
+    case FrameType::kMetricsReply:
+    case FrameType::kExplainReply:
       return true;
   }
   return false;
@@ -382,7 +386,7 @@ struct StatsReader {
 std::string ServerStats::Serialize() const {
   std::string out;
   out.push_back('T');  // stats magic
-  out.push_back(0x02);  // v2: adds task pool + morsel counters
+  out.push_back(0x03);  // v3: appends observability counters after v2 fields
   for (uint64_t v : {total_requests, ok_responses, error_responses,
                      rejected_overload, timeouts, queued, in_flight,
                      connections, worker_threads}) {
@@ -399,14 +403,23 @@ std::string ServerStats::Serialize() const {
        {pool_workers, pool_queue_depth, morsels_scanned, morsels_skipped}) {
     PutVarint(&out, v);
   }
+  for (uint64_t v :
+       {latency_samples, slow_queries, traces_sampled, trace_spans}) {
+    PutVarint(&out, v);
+  }
   return out;
 }
 
 Result<ServerStats> ServerStats::Deserialize(std::string_view data) {
   StatsReader reader{data};
-  if (data.size() < 2 || data[0] != 'T' || data[1] != 0x02) {
+  // v2 payloads (pre-observability peers) decode with the new counters left
+  // at zero; v3 appends them after the v2 field groups, so one pass reads
+  // both layouts.
+  if (data.size() < 2 || data[0] != 'T' ||
+      (data[1] != 0x02 && data[1] != 0x03)) {
     return Status::InvalidArgument("stats: bad magic");
   }
+  const bool v3 = data[1] == 0x03;
   reader.pos = 2;
   ServerStats stats;
   uint64_t* ints[] = {&stats.total_requests,    &stats.ok_responses,
@@ -432,6 +445,13 @@ Result<ServerStats> ServerStats::Deserialize(std::string_view data) {
   for (uint64_t* slot : pool_ints) {
     ASSESS_RETURN_NOT_OK(reader.GetVarint(slot));
   }
+  if (v3) {
+    uint64_t* obs_ints[] = {&stats.latency_samples, &stats.slow_queries,
+                            &stats.traces_sampled, &stats.trace_spans};
+    for (uint64_t* slot : obs_ints) {
+      ASSESS_RETURN_NOT_OK(reader.GetVarint(slot));
+    }
+  }
   if (reader.pos != data.size()) {
     return Status::InvalidArgument("stats: trailing bytes");
   }
@@ -450,7 +470,9 @@ std::string ServerStats::ToString() const {
       "%llu misses (hit rate %.1f%%)\n"
       "       %llu entries, %.1f MiB resident\n"
       "engine: %llu pool workers, %llu scan jobs queued; morsels %llu "
-      "scanned, %llu skipped by zone maps",
+      "scanned, %llu skipped by zone maps\n"
+      "obs: %llu latency samples, %llu slow queries, %llu traces "
+      "(%llu spans)",
       static_cast<unsigned long long>(total_requests),
       static_cast<unsigned long long>(ok_responses),
       static_cast<unsigned long long>(error_responses),
@@ -469,7 +491,11 @@ std::string ServerStats::ToString() const {
       static_cast<unsigned long long>(pool_workers),
       static_cast<unsigned long long>(pool_queue_depth),
       static_cast<unsigned long long>(morsels_scanned),
-      static_cast<unsigned long long>(morsels_skipped));
+      static_cast<unsigned long long>(morsels_skipped),
+      static_cast<unsigned long long>(latency_samples),
+      static_cast<unsigned long long>(slow_queries),
+      static_cast<unsigned long long>(traces_sampled),
+      static_cast<unsigned long long>(trace_spans));
   return buf;
 }
 

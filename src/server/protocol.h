@@ -40,11 +40,20 @@ namespace assess {
 ///            kPing   payload empty; liveness probe
 ///            kFailpoint payload = failpoint spec (common/failpoint.h);
 ///                     admin frame, refused unless the server allows it
+///            kMetrics payload empty; admin frame answered with the
+///                     Prometheus-style text exposition of the process
+///                     metrics registry plus this server's own series
+///            kExplainAnalyze payload = request_id(u64 LE) | statement;
+///                     executes like kQuery but under a trace, answering
+///                     with the rendered EXPLAIN ANALYZE text (never
+///                     deduplicated or replayed — each run re-measures)
 ///   response kResult payload = SerializeAssessResult bytes
 ///            kError  payload = SerializeStatus bytes (typed code + message)
 ///            kStatsReply payload = ServerStats::Serialize bytes
 ///            kPong   payload empty
 ///            kFailpointReply payload = armed-failpoint listing (text)
+///            kMetricsReply payload = metrics exposition (text)
+///            kExplainReply payload = EXPLAIN ANALYZE rendering (text)
 ///
 /// The kQuery request id is the client's idempotency key: a nonzero id
 /// identifies one logical request across retries and reconnections, and the
@@ -60,11 +69,15 @@ enum class FrameType : uint8_t {
   kStats = 0x02,
   kPing = 0x03,
   kFailpoint = 0x04,
+  kMetrics = 0x05,
+  kExplainAnalyze = 0x06,
   kResult = 0x11,
   kError = 0x12,
   kStatsReply = 0x13,
   kPong = 0x14,
   kFailpointReply = 0x15,
+  kMetricsReply = 0x16,
+  kExplainReply = 0x17,
 };
 
 /// Frames larger than this are protocol violations by default; both sides
@@ -146,8 +159,8 @@ struct ServerStats {
   uint64_t in_flight = 0;          ///< requests executing right now
   uint64_t connections = 0;        ///< open client connections
   uint64_t worker_threads = 0;     ///< size of the worker pool
-  double p50_ms = 0.0;             ///< request latency percentiles over a
-  double p90_ms = 0.0;             ///< sliding window (queue wait +
+  double p50_ms = 0.0;             ///< request latency percentiles from the
+  double p90_ms = 0.0;             ///< server's histogram (queue wait +
   double p99_ms = 0.0;             ///< execution + serialization)
   uint64_t cache_lookups = 0;      ///< shared result cache counters
   uint64_t cache_exact_hits = 0;
@@ -159,6 +172,13 @@ struct ServerStats {
   uint64_t pool_queue_depth = 0;  ///< scan jobs with unclaimed morsels
   uint64_t morsels_scanned = 0;   ///< morsels aggregated, all sessions
   uint64_t morsels_skipped = 0;   ///< morsels pruned by zone maps
+  // v3: observability counters. The latency percentiles above are estimated
+  // from a fixed-bucket histogram over the server's whole lifetime (not a
+  // sliding window); latency_samples is that histogram's total count.
+  uint64_t latency_samples = 0;  ///< requests measured into the histogram
+  uint64_t slow_queries = 0;     ///< queries over --slow-query-ms
+  uint64_t traces_sampled = 0;   ///< queries executed under a trace
+  uint64_t trace_spans = 0;      ///< spans recorded across those traces
 
   double cache_hit_rate() const {
     return cache_lookups > 0

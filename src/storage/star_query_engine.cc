@@ -12,6 +12,7 @@
 #include "cache/query_fingerprint.h"
 #include "common/failpoint.h"
 #include "common/task_pool.h"
+#include "obs/trace.h"
 #include "storage/flat_map64.h"
 #include "storage/materialized_view.h"
 #include "storage/predicate.h"
@@ -439,6 +440,20 @@ Result<Cube> ProjectMeasures(const Cube& cached, const CubeSchema& schema,
                            std::move(names), std::move(columns));
 }
 
+const char* CacheOutcomeName(CacheOutcome outcome) {
+  switch (outcome) {
+    case CacheOutcome::kBypass:
+      return "bypass";
+    case CacheOutcome::kMiss:
+      return "miss";
+    case CacheOutcome::kExactHit:
+      return "exact_hit";
+    case CacheOutcome::kSubsumptionHit:
+      return "subsumption_hit";
+  }
+  return "unknown";
+}
+
 }  // namespace
 
 StarQueryEngine::StarQueryEngine(const StarDatabase* db,
@@ -481,6 +496,18 @@ Result<Cube> StarQueryEngine::Execute(const CubeQuery& query) const {
 
 Result<Cube> StarQueryEngine::ExecuteInternal(const BoundCube& bound,
                                               const CubeQuery& query) const {
+  Span span("engine.get");
+  if (span.active()) span.AddString("cube", query.cube_name);
+  Result<Cube> result = ExecuteGet(bound, query);
+  if (span.active()) {
+    span.AddString("outcome", CacheOutcomeName(last_cache_outcome_));
+    if (result.ok()) span.AddInt("rows", result->NumRows());
+  }
+  return result;
+}
+
+Result<Cube> StarQueryEngine::ExecuteGet(const BoundCube& bound,
+                                         const CubeQuery& query) const {
   ASSESS_FAILPOINT("storage.group_by");
   last_cache_outcome_ = CacheOutcome::kBypass;
   if (cache_ == nullptr) return ExecuteUncached(bound, query);
@@ -511,10 +538,16 @@ Result<Cube> StarQueryEngine::ExecuteInternal(const BoundCube& bound,
     for (const Predicate& p : canon.predicates) {
       if (!applied.count(PredicateKey(p))) extra[p.hierarchy].push_back(p);
     }
+    Span span("engine.rollup");
     MorselExec exec{pool_.get(), threads_};
     auto rolled_or = AggregateFromRollup(schema, query, extra, finer->cube,
                                          finer->query.group_by, &exec);
     CountMorsels(exec.scanned, exec.skipped);
+    if (span.active()) {
+      span.AddInt("source_rows", finer->cube.NumRows());
+      span.AddInt("morsels_scanned", static_cast<int64_t>(exec.scanned));
+      span.AddInt("morsels_skipped", static_cast<int64_t>(exec.skipped));
+    }
     ASSESS_ASSIGN_OR_RETURN(Cube rolled, std::move(rolled_or));
     last_used_view_ = false;
     last_cache_outcome_ = CacheOutcome::kSubsumptionHit;
@@ -553,13 +586,21 @@ Result<Cube> StarQueryEngine::ExecuteUncached(const BoundCube& bound,
   if (view_index >= 0) {
     last_used_view_ = true;
     const MaterializedView& view = bound.views()[view_index];
+    Span span("engine.scan");
     MorselExec exec{pool_.get(), threads_};
     auto result = AggregateFromRollup(schema, query, preds, view.data,
                                       view.group_by, &exec);
     CountMorsels(exec.scanned, exec.skipped);
+    if (span.active()) {
+      span.AddString("source", "view");
+      span.AddInt("rows", view.data.NumRows());
+      span.AddInt("morsels_scanned", static_cast<int64_t>(exec.scanned));
+      span.AddInt("morsels_skipped", static_cast<int64_t>(exec.skipped));
+    }
     return result;
   }
 
+  Span span("engine.scan");
   std::vector<HierScanPlan> hiers;
   std::vector<MeasureScanPlan> measures;
   int64_t rows = bound.facts().NumRows();
@@ -602,6 +643,12 @@ Result<Cube> StarQueryEngine::ExecuteUncached(const BoundCube& bound,
   }
   auto result = Aggregate(rows, hiers, measures, &exec);
   CountMorsels(exec.scanned, exec.skipped);
+  if (span.active()) {
+    span.AddString("source", "fact");
+    span.AddInt("rows", rows);
+    span.AddInt("morsels_scanned", static_cast<int64_t>(exec.scanned));
+    span.AddInt("morsels_skipped", static_cast<int64_t>(exec.skipped));
+  }
   return result;
 }
 
@@ -611,6 +658,7 @@ Result<Cube> StarQueryEngine::ExecuteJoined(
   ASSESS_FAILPOINT("storage.join");
   ASSESS_ASSIGN_OR_RETURN(const BoundCube* bt, db_->Find(target.cube_name));
   ASSESS_ASSIGN_OR_RETURN(const BoundCube* bb, db_->Find(benchmark.cube_name));
+  Span span("engine.join");
   ASSESS_ASSIGN_OR_RETURN(Cube left, ExecuteInternal(*bt, target));
   ASSESS_ASSIGN_OR_RETURN(Cube right, ExecuteInternal(*bb, benchmark));
   std::string prefix = benchmark.alias.empty() ? "benchmark" : benchmark.alias;
@@ -626,6 +674,7 @@ Result<Cube> StarQueryEngine::ExecuteConcatJoined(
   ASSESS_FAILPOINT("storage.join");
   ASSESS_ASSIGN_OR_RETURN(const BoundCube* bt, db_->Find(target.cube_name));
   ASSESS_ASSIGN_OR_RETURN(const BoundCube* bb, db_->Find(benchmark.cube_name));
+  Span span("engine.join");
   ASSESS_ASSIGN_OR_RETURN(Cube left, ExecuteInternal(*bt, target));
   ASSESS_ASSIGN_OR_RETURN(Cube right, ExecuteInternal(*bb, benchmark));
   return ConcatJoinCubes(left, right, join_levels, order_level, expected,
@@ -636,6 +685,7 @@ Result<Cube> StarQueryEngine::ExecutePivoted(const CubeQuery& query_all,
                                              const PivotSpec& spec) const {
   ASSESS_ASSIGN_OR_RETURN(const BoundCube* bound,
                           db_->Find(query_all.cube_name));
+  Span span("engine.pivot");
   ASSESS_ASSIGN_OR_RETURN(Cube all, ExecuteInternal(*bound, query_all));
   return PivotCube(all, spec.level, spec.reference_member, spec.other_members,
                    spec.measure_names, spec.require_complete);

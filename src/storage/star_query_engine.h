@@ -177,6 +177,10 @@ class StarQueryEngine {
  private:
   Result<Cube> ExecuteInternal(const BoundCube& bound,
                                const CubeQuery& query) const;
+  /// ExecuteInternal minus the "engine.get" span: cache lookup, subsumption
+  /// roll-up, or uncached scan.
+  Result<Cube> ExecuteGet(const BoundCube& bound,
+                          const CubeQuery& query) const;
   Result<Cube> ExecuteUncached(const BoundCube& bound,
                                const CubeQuery& query) const;
   void CountMorsels(uint64_t scanned, uint64_t skipped) const;

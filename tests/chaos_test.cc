@@ -24,6 +24,7 @@
 #include "client/assess_client.h"
 #include "common/failpoint.h"
 #include "common/rng.h"
+#include "obs/trace.h"
 #include "server/assessd.h"
 #include "server/protocol.h"
 #include "test_util.h"
@@ -522,6 +523,70 @@ TEST_F(ChaosTest, DegradedCacheNeverChangesResults) {
                           "round " + std::to_string(round));
   }
   registry.DisarmAll();
+}
+
+// A failing trace sink must be invisible to clients: with the slow-query
+// log tracing every request and the emit site erroring every time, results
+// stay bit-identical, the connection survives, and the failure is only a
+// counter — the response was produced before the emit was attempted.
+TEST_F(ChaosTest, FailingTraceSinkNeverCorruptsResults) {
+  if (!kFailpointsCompiledIn) {
+    GTEST_SKIP() << "built with ASSESS_FAILPOINTS=OFF";
+  }
+  if (!kTracingCompiledIn) {
+    GTEST_SKIP() << "built with ASSESS_TRACING=OFF";
+  }
+  auto& registry = FailpointRegistry::Instance();
+  ServerOptions options;
+  options.slow_query_ms = 0;  // every traced query goes through the sink
+  auto server = StartServer(options);
+  auto client = AssessClient::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(
+      registry.ArmFromString("trace.emit=error(internal, sink down)").ok());
+  for (int round = 0; round < 6; ++round) {
+    size_t which = static_cast<size_t>(round) % kStatementCount;
+    auto result = client->Query(kStatements[which]);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ExpectSameComputation(expected_[which], *result,
+                          "round " + std::to_string(round));
+  }
+  EXPECT_TRUE(client->connected());
+  EXPECT_GT(registry.triggers("trace.emit"), 0u)
+      << "the sink failure was never injected";
+  auto stats = server->Snapshot();
+  EXPECT_EQ(stats.traces_sampled, 6u);
+  EXPECT_EQ(stats.slow_queries, 6u)
+      << "a failing sink must not lose the slow-query count";
+  registry.DisarmAll();
+  server->Stop();
+}
+
+// A slow trace sink only delays the worker after the response bytes are
+// ready; queries still answer correctly and the server drains cleanly.
+TEST_F(ChaosTest, SlowTraceSinkOnlySlowsDown) {
+  if (!kFailpointsCompiledIn) {
+    GTEST_SKIP() << "built with ASSESS_FAILPOINTS=OFF";
+  }
+  if (!kTracingCompiledIn) {
+    GTEST_SKIP() << "built with ASSESS_TRACING=OFF";
+  }
+  auto& registry = FailpointRegistry::Instance();
+  ServerOptions options;
+  options.slow_query_ms = 0;
+  auto server = StartServer(options);
+  auto client = AssessClient::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(registry.ArmFromString("trace.emit=delay(25):budget=4").ok());
+  for (int round = 0; round < 4; ++round) {
+    size_t which = static_cast<size_t>(round) % kStatementCount;
+    auto result = client->Query(kStatements[which]);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ExpectSameComputation(expected_[which], *result,
+                          "round " + std::to_string(round));
+  }
+  registry.DisarmAll();
+  server->Stop();  // a hung emit would deadlock this drain
 }
 
 // ---------------------------------------------------------------------------

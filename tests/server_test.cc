@@ -491,5 +491,158 @@ TEST_F(ServerTest, StopDrainsInFlightRequests) {
   EXPECT_TRUE(got_result.load());
 }
 
+// ---------------------------------------------------------------------------
+// Stats wire v3 + observability surfaces.
+// ---------------------------------------------------------------------------
+
+TEST(ServerStatsWire, V3RoundTripsEveryField) {
+  ServerStats stats;
+  stats.total_requests = 101;
+  stats.ok_responses = 90;
+  stats.error_responses = 11;
+  stats.rejected_overload = 3;
+  stats.timeouts = 2;
+  stats.queued = 5;
+  stats.in_flight = 4;
+  stats.connections = 7;
+  stats.worker_threads = 8;
+  stats.p50_ms = 1.5;
+  stats.p90_ms = 9.25;
+  stats.p99_ms = 42.0;
+  stats.cache_lookups = 1000;
+  stats.cache_exact_hits = 600;
+  stats.cache_subsumption_hits = 100;
+  stats.cache_misses = 300;
+  stats.cache_entries = 12;
+  stats.cache_bytes = 1 << 20;
+  stats.pool_workers = 4;
+  stats.pool_queue_depth = 1;
+  stats.morsels_scanned = 5000;
+  stats.morsels_skipped = 2000;
+  stats.latency_samples = 101;
+  stats.slow_queries = 6;
+  stats.traces_sampled = 50;
+  stats.trace_spans = 900;
+
+  std::string wire = stats.Serialize();
+  ASSERT_GE(wire.size(), 2u);
+  EXPECT_EQ(wire[0], 'T');
+  EXPECT_EQ(wire[1], 0x03);
+
+  auto decoded = ServerStats::Deserialize(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->total_requests, stats.total_requests);
+  EXPECT_EQ(decoded->worker_threads, stats.worker_threads);
+  EXPECT_EQ(decoded->p50_ms, stats.p50_ms);
+  EXPECT_EQ(decoded->p99_ms, stats.p99_ms);
+  EXPECT_EQ(decoded->cache_bytes, stats.cache_bytes);
+  EXPECT_EQ(decoded->morsels_skipped, stats.morsels_skipped);
+  EXPECT_EQ(decoded->latency_samples, stats.latency_samples);
+  EXPECT_EQ(decoded->slow_queries, stats.slow_queries);
+  EXPECT_EQ(decoded->traces_sampled, stats.traces_sampled);
+  EXPECT_EQ(decoded->trace_spans, stats.trace_spans);
+  // The human rendering carries the new counters too.
+  EXPECT_NE(stats.ToString().find("slow queries"), std::string::npos);
+
+  // Trailing garbage is still rejected.
+  EXPECT_FALSE(ServerStats::Deserialize(wire + "x").ok());
+}
+
+TEST(ServerStatsWire, AcceptsV2PayloadsWithZeroObservabilityFields) {
+  // A hand-crafted v2 payload from a pre-observability peer: magic, version
+  // 0x02, 9 zero varints, 3 zero doubles, 6 cache varints, 4 pool varints.
+  std::string v2;
+  v2.push_back('T');
+  v2.push_back(0x02);
+  v2.append(9, '\0');   // request/load varints
+  v2.append(24, '\0');  // p50/p90/p99 doubles
+  v2.append(6, '\0');   // cache varints
+  v2.append(4, '\0');   // pool varints
+  auto decoded = ServerStats::Deserialize(v2);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->latency_samples, 0u);
+  EXPECT_EQ(decoded->slow_queries, 0u);
+  EXPECT_EQ(decoded->traces_sampled, 0u);
+  EXPECT_EQ(decoded->trace_spans, 0u);
+  // v2 length checks still hold: trailing bytes stay an error.
+  EXPECT_FALSE(ServerStats::Deserialize(v2 + '\0').ok());
+  // Unknown versions are rejected outright.
+  std::string v9 = v2;
+  v9[1] = 0x09;
+  EXPECT_FALSE(ServerStats::Deserialize(v9).ok());
+}
+
+TEST_F(ServerTest, MetricsFrameReturnsPrometheusExposition) {
+  auto server = StartServer();
+  AssessClient client = ConnectOrDie(*server);
+  ASSERT_TRUE(client.Query(kConstant).ok());
+
+  auto metrics = client.Metrics();
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  // Per-server series: the latency histogram plus the request counters.
+  EXPECT_NE(metrics->find("assessd_request_latency_ms_bucket"),
+            std::string::npos);
+  EXPECT_NE(metrics->find("assessd_request_latency_ms_count"),
+            std::string::npos);
+  EXPECT_NE(metrics->find("assessd_requests_total 1"), std::string::npos);
+  // Process-registry series fed by the engine layers.
+  EXPECT_NE(metrics->find("assess_morsels_scanned_total"), std::string::npos);
+  // kMetrics is answered inline by the reader (no latency sample), so only
+  // the query landed in the histogram.
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->latency_samples, 1u);
+}
+
+TEST_F(ServerTest, RemoteExplainAnalyzeRendersSpans) {
+  auto server = StartServer();
+  AssessClient client = ConnectOrDie(*server);
+  auto text = client.ExplainAnalyze(kRollup);
+  if (!kTracingCompiledIn) {
+    ASSERT_FALSE(text.ok());
+    EXPECT_EQ(text.status().code(), StatusCode::kNotSupported);
+    return;
+  }
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("span tree:"), std::string::npos);
+  EXPECT_NE(text->find("Figure 4 phases:"), std::string::npos);
+  EXPECT_NE(text->find("query"), std::string::npos);
+  // Each EXPLAIN ANALYZE re-executes (never deduplicated); both calls
+  // succeed and the server counts both traces.
+  ASSERT_TRUE(client.ExplainAnalyze(kRollup).ok());
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->traces_sampled, 2u);
+}
+
+TEST_F(ServerTest, SlowQueryLogCountsTracedQueries) {
+  if (!kTracingCompiledIn) GTEST_SKIP() << "needs ASSESS_TRACING=ON";
+  ServerOptions options;
+  options.slow_query_ms = 0;  // every traced query counts as slow
+  auto server = StartServer(options);
+  AssessClient client = ConnectOrDie(*server);
+  ASSERT_TRUE(client.Query(kConstant).ok());
+  ASSERT_TRUE(client.Query(kSibling).ok());
+
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->traces_sampled, 2u);
+  EXPECT_EQ(stats->slow_queries, 2u);
+  EXPECT_GT(stats->trace_spans, 0u);
+}
+
+TEST_F(ServerTest, TraceSampleZeroTracesNothing) {
+  ServerOptions options;
+  options.slow_query_ms = 0;
+  options.trace_sample = 0.0;
+  auto server = StartServer(options);
+  AssessClient client = ConnectOrDie(*server);
+  ASSERT_TRUE(client.Query(kConstant).ok());
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->traces_sampled, 0u);
+  EXPECT_EQ(stats->slow_queries, 0u);
+}
+
 }  // namespace
 }  // namespace assess
