@@ -1,0 +1,81 @@
+#ifndef ASSESS_COMMON_SIMD_H_
+#define ASSESS_COMMON_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace assess {
+
+/// \brief The instruction-set tiers the scan kernels are compiled for.
+///
+/// Dispatch is compile-time per translation unit (each tier's kernels live
+/// in a TU built with the matching -m flags) and runtime per process: the
+/// active tier is the best one that is (a) compiled in, (b) supported by
+/// the CPU, and (c) not ruled out by the ASSESS_SIMD environment variable.
+/// Every tier computes bit-identical results — the scalar fallback mirrors
+/// the vector kernels' lane order exactly — so the choice is purely a
+/// performance knob and CI can pin any tier on any machine.
+enum class SimdLevel : int {
+  kScalar = 0,
+  kSSE42 = 1,
+  kAVX2 = 2,
+};
+
+/// \brief Lower-case tier name ("scalar", "sse42", "avx2") for spans,
+/// metrics and EXPLAIN ANALYZE.
+const char* SimdLevelName(SimdLevel level);
+
+/// \brief The best tier this CPU can execute (compiled-in tiers only; on
+/// non-x86 builds this is always kScalar).
+SimdLevel DetectCpuSimdLevel();
+
+/// \brief The tier scans actually run at: DetectCpuSimdLevel() clamped by
+/// the ASSESS_SIMD environment variable. Recognized values (case-
+/// insensitive): "off"/"scalar"/"0" force the scalar fallback; "sse42" and
+/// "avx2" cap the tier (requesting a tier the CPU lacks falls back to the
+/// best supported one, never errors); anything else / unset means "auto".
+/// Resolved once per process and cached; ForceSimdLevelForTest overrides.
+SimdLevel ActiveSimdLevel();
+
+/// \brief Test/bench hook: pins ActiveSimdLevel() to `level` (clamped to
+/// what the CPU supports) until reset. Pass -1 to clear the override.
+void ForceSimdLevelForTest(int level);
+
+/// \brief Resolves an ASSESS_SIMD-style string against a detected tier
+/// (exposed for tests of the parsing rules).
+SimdLevel ResolveSimdLevel(const char* spec, SimdLevel detected);
+
+/// \brief Cache-line-aligned allocator for columnar buffers the vector
+/// kernels load with full-width aligned reads. Allocations are padded to a
+/// multiple of kSimdAlign bytes so a kernel may always read one whole
+/// vector at the tail without touching unowned memory.
+inline constexpr size_t kSimdAlign = 64;
+
+template <class T>
+struct SimdAllocator {
+  using value_type = T;
+
+  SimdAllocator() = default;
+  template <class U>
+  SimdAllocator(const SimdAllocator<U>&) {}
+
+  T* allocate(size_t n) {
+    size_t bytes = (n * sizeof(T) + kSimdAlign - 1) / kSimdAlign * kSimdAlign;
+    void* p = ::operator new(bytes, std::align_val_t{kSimdAlign});
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, size_t) {
+    ::operator delete(p, std::align_val_t{kSimdAlign});
+  }
+
+  template <class U>
+  bool operator==(const SimdAllocator<U>&) const {
+    return true;
+  }
+};
+
+}  // namespace assess
+
+#endif  // ASSESS_COMMON_SIMD_H_

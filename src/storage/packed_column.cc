@@ -1,0 +1,47 @@
+#include "storage/packed_column.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace assess {
+
+PackedColumn PackedColumn::Pack(const std::vector<int32_t>& codes) {
+  int32_t max_code = 0;
+  for (int32_t c : codes) max_code = std::max(max_code, c);
+
+  PackedColumn col;
+  col.size_ = static_cast<int64_t>(codes.size());
+  col.width_ = max_code <= 0xFF    ? Width::kU8
+               : max_code <= 0xFFFF ? Width::kU16
+                                    : Width::kU32;
+  // One whole alignment unit of zero padding past the end: full-width tail
+  // loads stay in bounds, and the padding decodes to code 0 (never used).
+  int64_t payload = col.size_ * col.bytes_per_code();
+  col.bytes_.assign(payload + kSimdAlign, 0);
+  switch (col.width_) {
+    case Width::kU8: {
+      uint8_t* out = col.bytes_.data();
+      for (int64_t i = 0; i < col.size_; ++i) {
+        out[i] = static_cast<uint8_t>(codes[i]);
+      }
+      break;
+    }
+    case Width::kU16: {
+      uint16_t* out = reinterpret_cast<uint16_t*>(col.bytes_.data());
+      for (int64_t i = 0; i < col.size_; ++i) {
+        out[i] = static_cast<uint16_t>(codes[i]);
+      }
+      break;
+    }
+    case Width::kU32: {
+      if (payload > 0) {
+        std::memcpy(col.bytes_.data(), codes.data(),
+                    static_cast<size_t>(payload));
+      }
+      break;
+    }
+  }
+  return col;
+}
+
+}  // namespace assess

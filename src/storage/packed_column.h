@@ -1,0 +1,63 @@
+#ifndef ASSESS_STORAGE_PACKED_COLUMN_H_
+#define ASSESS_STORAGE_PACKED_COLUMN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/simd.h"
+
+namespace assess {
+
+/// \brief A dictionary-compressed view of one fact foreign-key column.
+///
+/// Fact FK columns are already dictionary codes (row indexes into the
+/// dimension table), so compression is width reduction: codes are stored at
+/// the narrowest power-of-two byte width that holds the column's maximum
+/// (1, 2 or 4 bytes). Power-of-two widths — rather than arbitrary bit
+/// widths — keep the vector kernels' unpack step a single widening load
+/// (cvtepu8/cvtepu16) instead of a per-width shift network, and keep
+/// random access O(1) for the scalar mirror path.
+///
+/// Storage is cache-line-aligned and padded to a whole line of zero bytes
+/// past the last code, so a vector kernel may always issue one full-width
+/// load at the tail without reading unowned memory (the scalar tail loop
+/// never reads the padding, and padding codes never reach a lane-table
+/// gather).
+class PackedColumn {
+ public:
+  enum class Width : uint8_t { kU8 = 1, kU16 = 2, kU32 = 4 };
+
+  PackedColumn() = default;
+
+  /// \brief Packs `codes` (all non-negative) at the narrowest width.
+  static PackedColumn Pack(const std::vector<int32_t>& codes);
+
+  int64_t size() const { return size_; }
+  Width width() const { return width_; }
+  int bytes_per_code() const { return static_cast<int>(width_); }
+  int64_t byte_size() const { return size_ * bytes_per_code(); }
+
+  const uint8_t* data() const { return bytes_.data(); }
+
+  int32_t CodeAt(int64_t i) const {
+    switch (width_) {
+      case Width::kU8:
+        return bytes_[i];
+      case Width::kU16:
+        return reinterpret_cast<const uint16_t*>(bytes_.data())[i];
+      case Width::kU32:
+        return static_cast<int32_t>(
+            reinterpret_cast<const uint32_t*>(bytes_.data())[i]);
+    }
+    return 0;
+  }
+
+ private:
+  Width width_ = Width::kU32;
+  int64_t size_ = 0;
+  std::vector<uint8_t, SimdAllocator<uint8_t>> bytes_;
+};
+
+}  // namespace assess
+
+#endif  // ASSESS_STORAGE_PACKED_COLUMN_H_

@@ -1,0 +1,65 @@
+#include "storage/scan_kernels.h"
+
+#include "storage/scan_kernels_impl.h"
+
+namespace assess {
+
+// Entry points of the tier TUs (compiled with -msse4.2 / -mavx2; only added
+// to the build on x86-64, see src/CMakeLists.txt).
+#if defined(ASSESS_SIMD_X86)
+namespace simd_detail {
+void FusedScanSse42(const FusedScanArgs& args, int64_t begin, int64_t end,
+                    AggState* state);
+void MinMaxInt32Sse42(const int32_t* values, int64_t n, int32_t* min_out,
+                      int32_t* max_out);
+void FusedScanAvx2(const FusedScanArgs& args, int64_t begin, int64_t end,
+                   AggState* state);
+void MinMaxInt32Avx2(const int32_t* values, int64_t n, int32_t* min_out,
+                     int32_t* max_out);
+}  // namespace simd_detail
+#endif
+
+namespace {
+
+void FusedScanScalar(const FusedScanArgs& args, int64_t begin, int64_t end,
+                     AggState* state) {
+  kernel_detail::FusedScanImpl<kernel_detail::IsaScalar>(args, begin, end,
+                                                         state);
+}
+
+}  // namespace
+
+FusedScanFn GetFusedScanKernel(SimdLevel level) {
+#if defined(ASSESS_SIMD_X86)
+  switch (level) {
+    case SimdLevel::kAVX2:
+      return &simd_detail::FusedScanAvx2;
+    case SimdLevel::kSSE42:
+      return &simd_detail::FusedScanSse42;
+    case SimdLevel::kScalar:
+      break;
+  }
+#else
+  (void)level;
+#endif
+  return &FusedScanScalar;
+}
+
+void MinMaxInt32(SimdLevel level, const int32_t* values, int64_t n,
+                 int32_t* min_out, int32_t* max_out) {
+#if defined(ASSESS_SIMD_X86)
+  switch (level) {
+    case SimdLevel::kAVX2:
+      simd_detail::MinMaxInt32Avx2(values, n, min_out, max_out);
+      return;
+    case SimdLevel::kSSE42:
+      simd_detail::MinMaxInt32Sse42(values, n, min_out, max_out);
+      return;
+    case SimdLevel::kScalar:
+      break;
+  }
+#endif
+  kernel_detail::IsaScalar::MinMax(values, n, min_out, max_out);
+}
+
+}  // namespace assess

@@ -1,0 +1,115 @@
+#ifndef ASSESS_STORAGE_SCAN_KERNELS_H_
+#define ASSESS_STORAGE_SCAN_KERNELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/simd.h"
+#include "olap/cube_schema.h"
+#include "olap/hierarchy.h"
+#include "storage/flat_map64.h"
+#include "storage/packed_column.h"
+
+namespace assess {
+
+/// \brief The fused scan→aggregate kernels: predicate evaluation, group-key
+/// construction and measure accumulation in one pass over a morsel.
+///
+/// The engine lowers a scan into *lane tables*: for every hierarchy the
+/// scan touches, a uint32 array over that hierarchy's code domain holding
+///
+///   lane[code] = kLaneReject                     when the conjunction of
+///                                                predicates rejects `code`
+///   lane[code] = radix * (group_member + 1)      when grouped (0 if only
+///                                                predicated)
+///
+/// so per fact row the kernel computes key = 1 + Σ_h lane_h[code_h], with
+/// the reject bit OR-accumulated alongside the sum. Keys are exact integers
+/// (the engine only picks this kernel when the mixed-radix key space fits
+/// kDenseKeyLimit, so the sum never reaches the reject bit) and group
+/// lookup is a direct index into a dense key→group array — no hashing.
+///
+/// Determinism contract: every tier (scalar / SSE4.2 / AVX2) produces
+/// bit-identical output. Vector tiers only compute integer keys and pass
+/// bitmaps; floating-point accumulation is row-sequential in all tiers,
+/// except the no-group-by fast path which uses kAccLanes fixed-lane partial
+/// accumulators with the *same* lane assignment (row→lane (r−begin)&3) and
+/// the same lane merge order in every tier, scalar included.
+
+/// \brief Reject marker in a lane table (bit 31; clean lane sums stay far
+/// below it because the key space is capped at kDenseKeyLimit).
+inline constexpr uint32_t kLaneReject = 0x80000000u;
+
+/// \brief Largest dense key space (max key + 1) the fused kernel handles;
+/// larger group-by spaces fall back to the generic hash kernel. 2^18 keys
+/// = a 1 MiB key→group array per in-flight morsel, freed at morsel end.
+inline constexpr uint32_t kDenseKeyLimit = 1u << 18;
+
+/// \brief Fixed lane count of the no-group-by partial accumulators. ISA-
+/// independent: the AVX2 tier maps it onto one 4-lane register, the SSE4.2
+/// tier onto two 2-lane registers, the scalar tier onto four doubles — all
+/// with rows assigned to lane (r − begin) & 3 and lanes merged 0→3.
+inline constexpr int kAccLanes = 4;
+
+/// \brief One hierarchy's input to the fused kernel. Exactly one of
+/// `packed` (fact scans) / `codes32` (view and cached-result roll-ups) is
+/// set; `lane` spans the code domain of that source.
+struct KernelColumn {
+  const PackedColumn* packed = nullptr;
+  const int32_t* codes32 = nullptr;
+  const uint32_t* lane = nullptr;
+};
+
+/// \brief Decode schema for one grouped hierarchy: member ids are recovered
+/// from a key as (key − 1) / radix % card1 − 1 on first-seen insertion.
+struct KernelGroup {
+  uint32_t radix = 0;
+  uint32_t card1 = 0;  ///< level cardinality + 1
+};
+
+struct KernelMeasure {
+  const double* source = nullptr;  ///< null: rows contribute 0.0 (count)
+  AggOp op = AggOp::kSum;
+};
+
+/// \brief Per-morsel aggregation state shared by the dense fused kernels
+/// and the generic hash kernel; partials merge in morsel index order.
+struct AggState {
+  FlatMap64 map{1024};
+  int32_t num_groups = 0;
+  std::vector<std::vector<MemberId>> out_coords;  ///< [grouped hier][group]
+  std::vector<std::vector<double>> acc;           ///< [measure][group]
+  std::vector<std::vector<int64_t>> cnt;          ///< [measure][group], avg
+  /// Dense key→group index, -1 = empty. Allocated by the fused kernel on
+  /// entry, released when its morsel completes (only the group lists above
+  /// survive to the merge).
+  std::vector<int32_t> dense;
+  int64_t rows_visited = 0;
+  int64_t rows_passed = 0;
+};
+
+/// \brief Everything a fused-kernel invocation needs besides the row range.
+struct FusedScanArgs {
+  std::vector<KernelColumn> columns;  ///< all touched hierarchies
+  std::vector<KernelGroup> groups;    ///< grouped subset, radix-ascending
+  std::vector<KernelMeasure> measures;
+  uint32_t key_space = 0;  ///< dense array size (> max possible key)
+};
+
+/// \brief Runs the fused scan→aggregate over rows [begin, end) of one
+/// morsel, accumulating into `state`.
+using FusedScanFn = void (*)(const FusedScanArgs& args, int64_t begin,
+                             int64_t end, AggState* state);
+
+/// \brief The fused kernel for `level` (pointers for compiled-in tiers;
+/// asking for a tier that is not compiled in returns the scalar kernel).
+FusedScanFn GetFusedScanKernel(SimdLevel level);
+
+/// \brief Min/max of `n` int32 codes (zone-map construction), vectorized at
+/// `level`. Exact, so trivially tier-independent. `n` must be > 0.
+void MinMaxInt32(SimdLevel level, const int32_t* values, int64_t n,
+                 int32_t* min_out, int32_t* max_out);
+
+}  // namespace assess
+
+#endif  // ASSESS_STORAGE_SCAN_KERNELS_H_

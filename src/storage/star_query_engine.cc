@@ -11,11 +11,14 @@
 #include "algebra/operators.h"
 #include "cache/query_fingerprint.h"
 #include "common/failpoint.h"
+#include "common/simd.h"
 #include "common/task_pool.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "storage/flat_map64.h"
 #include "storage/materialized_view.h"
 #include "storage/predicate.h"
+#include "storage/scan_kernels.h"
 
 namespace assess {
 
@@ -27,6 +30,13 @@ namespace {
 struct HierScanPlan {
   bool grouped = false;
   const std::vector<int32_t>* codes = nullptr;  // source code column
+  // Dictionary-compressed view of `codes` (fact scans only); the fused
+  // kernels read it instead of the int32 column when present.
+  const PackedColumn* packed = nullptr;
+  // Exclusive upper bound of the source's code domain (dimension row count
+  // for fact scans, Dom(view level) for roll-up scans): the lane-table
+  // length of the fused kernels.
+  int64_t code_domain = 0;
   // Fact-table dimension index behind `codes` (for zone-map lookup), or -1
   // when the source is a rolled-up cube (views, cached results) — those
   // carry no zone maps.
@@ -69,19 +79,12 @@ double InitialAccumulator(AggOp op) {
   return 0.0;
 }
 
-// Shared per-worker aggregation state: a private hash table plus columnar
-// group coordinates and accumulators.
-struct AggState {
-  FlatMap64 map{1024};
-  int32_t num_groups = 0;
-  std::vector<std::vector<MemberId>> out_coords;
-  std::vector<std::vector<double>> acc;
-  std::vector<std::vector<int64_t>> cnt;
-};
-
-// Aggregates source rows [begin, end) into `state`. Keys are mixed-radix
-// coordinate encodings offset by one, so they are always >= 1 (FlatMap64's
-// empty sentinel is 0) even for fully aggregated queries.
+// Aggregates source rows [begin, end) into `state` (the generic hash
+// kernel, used when the mixed-radix key space exceeds kDenseKeyLimit —
+// the fused kernels of storage/scan_kernels.h cover everything smaller).
+// Keys are mixed-radix coordinate encodings offset by one, so they are
+// always >= 1 (FlatMap64's empty sentinel is 0) even for fully aggregated
+// queries.
 void AggregateRange(int64_t begin, int64_t end,
                     const std::vector<HierScanPlan*>& needed,
                     const std::vector<HierScanPlan*>& grouped,
@@ -90,6 +93,7 @@ void AggregateRange(int64_t begin, int64_t end,
   const int num_grouped = static_cast<int>(grouped.size());
   const int num_measures = static_cast<int>(measures.size());
   std::array<MemberId, 16> row_groups;
+  state->rows_visited += end - begin;
   for (int64_t r = begin; r < end; ++r) {
     uint64_t key = 1;
     bool pass = true;
@@ -107,6 +111,7 @@ void AggregateRange(int64_t begin, int64_t end,
       }
     }
     if (!pass) continue;
+    ++state->rows_passed;
 
     bool inserted = false;
     int32_t group = state->map.FindOrInsert(key, state->num_groups, &inserted);
@@ -201,7 +206,60 @@ struct MorselExec {
   const FactZoneMaps* zones = nullptr;
   uint64_t scanned = 0;
   uint64_t skipped = 0;
+  // What Aggregate() actually ran, for spans and EXPLAIN ANALYZE: the SIMD
+  // tier (meaningful when `fused`), whether the dense fused kernel or the
+  // generic hash kernel did the work, and the scan's selectivity inputs.
+  SimdLevel simd = SimdLevel::kScalar;
+  bool fused = false;
+  int64_t rows_visited = 0;
+  int64_t rows_passed = 0;
 };
+
+// Process-wide dispatch counters (one bump per scan, not per morsel): which
+// kernel tier actually ran, for `\metrics` and the CI smoke checks.
+void CountKernelDispatch(const MorselExec& exec) {
+  static Counter* const generic = MetricsRegistry::Instance().GetCounter(
+      "assess_kernel_dispatch_generic_total",
+      "Scans aggregated by the generic hash kernel");
+  static Counter* const scalar = MetricsRegistry::Instance().GetCounter(
+      "assess_kernel_dispatch_scalar_total",
+      "Scans aggregated by the fused scalar kernel");
+  static Counter* const sse42 = MetricsRegistry::Instance().GetCounter(
+      "assess_kernel_dispatch_sse42_total",
+      "Scans aggregated by the fused SSE4.2 kernel");
+  static Counter* const avx2 = MetricsRegistry::Instance().GetCounter(
+      "assess_kernel_dispatch_avx2_total",
+      "Scans aggregated by the fused AVX2 kernel");
+  if (!exec.fused) {
+    generic->Inc(1);
+    return;
+  }
+  switch (exec.simd) {
+    case SimdLevel::kScalar:
+      scalar->Inc(1);
+      break;
+    case SimdLevel::kSSE42:
+      sse42->Inc(1);
+      break;
+    case SimdLevel::kAVX2:
+      avx2->Inc(1);
+      break;
+  }
+}
+
+// Annotates a scan span with the kernel path and observed selectivity.
+void AddKernelSpanAttrs(Span& span, const MorselExec& exec) {
+  if (!span.active()) return;
+  span.AddString("simd", exec.fused ? SimdLevelName(exec.simd) : "generic");
+  span.AddString("kernel", exec.fused ? "fused_dense" : "hash");
+  span.AddInt("rows_visited", exec.rows_visited);
+  span.AddInt("rows_passed", exec.rows_passed);
+  if (exec.rows_visited > 0) {
+    // Per-mille so the span attribute stays integral.
+    span.AddInt("selectivity_permille",
+                exec.rows_passed * 1000 / exec.rows_visited);
+  }
+}
 
 // Hash-aggregates `rows` source rows under the given hierarchy and measure
 // plans, producing the derived cube.
@@ -246,6 +304,59 @@ Result<Cube> Aggregate(int64_t rows, std::vector<HierScanPlan>& hiers,
     state.cnt.resize(num_measures);
     return state;
   };
+
+  // Kernel selection. The fused dense kernels apply when the mixed-radix
+  // key space fits kDenseKeyLimit (the reject-bit encoding and the dense
+  // key→group array both require it) and the dense array is not large
+  // relative to the scan (clearing key_space slots per morsel must stay
+  // negligible next to visiting the rows). Both inputs are properties of
+  // the query and data alone — never of the SIMD tier or thread count — so
+  // the kernel choice cannot break the bit-identical determinism contract.
+  const uint64_t key_space = factor + 1;
+  const bool use_fused =
+      key_space <= kDenseKeyLimit &&
+      static_cast<int64_t>(key_space) <= std::max<int64_t>(int64_t{4096}, rows);
+
+  std::vector<std::vector<uint32_t>> lane_tables;
+  FusedScanArgs fused_args;
+  FusedScanFn fused_fn = nullptr;
+  if (use_fused) {
+    exec->fused = true;
+    exec->simd = ActiveSimdLevel();
+    fused_fn = GetFusedScanKernel(exec->simd);
+    fused_args.key_space = static_cast<uint32_t>(key_space);
+    lane_tables.reserve(needed.size());
+    for (HierScanPlan* h : needed) {
+      std::vector<uint32_t> lane(static_cast<size_t>(h->code_domain), 0u);
+      const std::vector<MemberId>* gc =
+          h->grouped ? &h->group_code() : nullptr;
+      for (int64_t c = 0; c < h->code_domain; ++c) {
+        if (!h->pass.empty() && !h->pass[c]) {
+          lane[c] = kLaneReject;
+        } else if (gc != nullptr) {
+          lane[c] = static_cast<uint32_t>(h->radix) *
+                    (static_cast<uint32_t>((*gc)[c]) + 1u);
+        }
+      }
+      lane_tables.push_back(std::move(lane));
+      KernelColumn col;
+      col.packed = h->packed;
+      if (h->packed == nullptr) col.codes32 = h->codes->data();
+      col.lane = lane_tables.back().data();
+      fused_args.columns.push_back(col);
+      if (h->grouped) {
+        fused_args.groups.push_back(KernelGroup{
+            static_cast<uint32_t>(h->radix),
+            static_cast<uint32_t>(
+                h->hierarchy->LevelCardinality(h->group_level)) +
+                1u});
+      }
+    }
+    for (const MeasureScanPlan& m : measures) {
+      fused_args.measures.push_back(KernelMeasure{
+          m.source != nullptr ? m.source->data() : nullptr, m.op});
+    }
+  }
 
   const int64_t num_morsels =
       rows == 0 ? 0 : (rows + kMorselRows - 1) / kMorselRows;
@@ -304,7 +415,11 @@ Result<Cube> Aggregate(int64_t rows, std::vector<HierScanPlan>& hiers,
     auto task = [&](int64_t i) -> Status {
       int64_t begin = work[i] * kMorselRows;
       int64_t end = std::min(rows, begin + kMorselRows);
-      AggregateRange(begin, end, needed, grouped, measures, &partials[i]);
+      if (fused_fn != nullptr) {
+        fused_fn(fused_args, begin, end, &partials[i]);
+      } else {
+        AggregateRange(begin, end, needed, grouped, measures, &partials[i]);
+      }
       return Status::OK();
     };
     if (exec->pool != nullptr) {
@@ -316,6 +431,11 @@ Result<Cube> Aggregate(int64_t rows, std::vector<HierScanPlan>& hiers,
       }
     }
   }
+  for (const AggState& partial : partials) {
+    exec->rows_visited += partial.rows_visited;
+    exec->rows_passed += partial.rows_passed;
+  }
+  CountKernelDispatch(*exec);
 
   // Deterministic merge: always in morsel index order. A single-morsel scan
   // adopts its partial unchanged, which also keeps sub-morsel scans
@@ -386,6 +506,7 @@ Result<Cube> AggregateFromRollup(const CubeSchema& schema,
     plan.hierarchy = schema.hierarchy_ptr(h);
     plan.grouped = grouped;
     plan.codes = &data.coord_column(pos);
+    plan.code_domain = hier.LevelCardinality(data_level);
     if (grouped) {
       plan.group_level = query.group_by.LevelOf(h);
       int32_t card = hier.LevelCardinality(data_level);
@@ -548,6 +669,7 @@ Result<Cube> StarQueryEngine::ExecuteGet(const BoundCube& bound,
       span.AddInt("morsels_scanned", static_cast<int64_t>(exec.scanned));
       span.AddInt("morsels_skipped", static_cast<int64_t>(exec.skipped));
     }
+    AddKernelSpanAttrs(span, exec);
     ASSESS_ASSIGN_OR_RETURN(Cube rolled, std::move(rolled_or));
     last_used_view_ = false;
     last_cache_outcome_ = CacheOutcome::kSubsumptionHit;
@@ -597,13 +719,18 @@ Result<Cube> StarQueryEngine::ExecuteUncached(const BoundCube& bound,
       span.AddInt("morsels_scanned", static_cast<int64_t>(exec.scanned));
       span.AddInt("morsels_skipped", static_cast<int64_t>(exec.skipped));
     }
+    AddKernelSpanAttrs(span, exec);
     return result;
   }
 
   Span span("engine.scan");
   std::vector<HierScanPlan> hiers;
   std::vector<MeasureScanPlan> measures;
-  int64_t rows = bound.facts().NumRows();
+  const FactTable& facts = bound.facts();
+  int64_t rows = facts.NumRows();
+  const PackedFactColumns& packed = facts.packed_fk();
+  ASSESS_RETURN_NOT_OK(facts.CheckDerivedFreshness(
+      packed.built_rows, "packed foreign-key views"));
   for (int h = 0; h < schema.hierarchy_count(); ++h) {
     bool grouped = query.group_by.HasHierarchy(h);
     if (!grouped && preds[h].empty()) continue;
@@ -611,7 +738,9 @@ Result<Cube> StarQueryEngine::ExecuteUncached(const BoundCube& bound,
     HierScanPlan plan;
     plan.hierarchy = schema.hierarchy_ptr(h);
     plan.grouped = grouped;
-    plan.codes = &bound.facts().fk_column(h);
+    plan.codes = &facts.fk_column(h);
+    plan.packed = &packed.dims[h];
+    plan.code_domain = dim.NumRows();
     plan.fact_dim = h;
     if (grouped) {
       plan.group_level = query.group_by.LevelOf(h);
@@ -626,7 +755,7 @@ Result<Cube> StarQueryEngine::ExecuteUncached(const BoundCube& bound,
   for (int m : query.measures) {
     const MeasureDef& def = schema.measure(m);
     MeasureScanPlan mp;
-    mp.source = &bound.facts().measure_column(m);
+    mp.source = &facts.measure_column(m);
     mp.op = def.op;
     mp.name = def.name;
     measures.push_back(std::move(mp));
@@ -639,7 +768,10 @@ Result<Cube> StarQueryEngine::ExecuteUncached(const BoundCube& bound,
     if (!h.pass.empty()) predicated = true;
   }
   if (predicated && rows > kMorselRows) {
-    exec.zones = &bound.facts().zone_maps();
+    const FactZoneMaps& zones = facts.zone_maps();
+    ASSESS_RETURN_NOT_OK(
+        facts.CheckDerivedFreshness(zones.built_rows, "zone maps"));
+    exec.zones = &zones;
   }
   auto result = Aggregate(rows, hiers, measures, &exec);
   CountMorsels(exec.scanned, exec.skipped);
@@ -649,6 +781,7 @@ Result<Cube> StarQueryEngine::ExecuteUncached(const BoundCube& bound,
     span.AddInt("morsels_scanned", static_cast<int64_t>(exec.scanned));
     span.AddInt("morsels_skipped", static_cast<int64_t>(exec.skipped));
   }
+  AddKernelSpanAttrs(span, exec);
   return result;
 }
 

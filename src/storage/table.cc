@@ -1,8 +1,11 @@
 #include "storage/table.h"
 
 #include <algorithm>
+#include <cassert>
 
+#include "common/simd.h"
 #include "common/task_pool.h"
+#include "storage/scan_kernels.h"
 
 namespace assess {
 
@@ -64,7 +67,9 @@ void FactTable::AddRow(const std::vector<int32_t>& fks,
 const FactZoneMaps& FactTable::zone_maps() const {
   std::call_once(zone_cache_->once, [this] {
     FactZoneMaps& maps = zone_cache_->maps;
+    const SimdLevel simd = ActiveSimdLevel();
     int64_t rows = NumRows();
+    maps.built_rows = rows;
     maps.num_morsels = rows == 0 ? 0 : (rows + kMorselRows - 1) / kMorselRows;
     maps.dims.resize(fk_.size());
     for (size_t d = 0; d < fk_.size(); ++d) {
@@ -73,17 +78,38 @@ const FactZoneMaps& FactTable::zone_maps() const {
       for (int64_t m = 0; m < maps.num_morsels; ++m) {
         int64_t begin = m * kMorselRows;
         int64_t end = std::min(rows, begin + kMorselRows);
-        int32_t lo = codes[begin];
-        int32_t hi = codes[begin];
-        for (int64_t r = begin + 1; r < end; ++r) {
-          lo = std::min(lo, codes[r]);
-          hi = std::max(hi, codes[r]);
-        }
-        maps.dims[d][m] = ZoneRange{lo, hi};
+        ZoneRange zone;
+        MinMaxInt32(simd, codes.data() + begin, end - begin, &zone.min,
+                    &zone.max);
+        maps.dims[d][m] = zone;
       }
     }
   });
   return zone_cache_->maps;
+}
+
+const PackedFactColumns& FactTable::packed_fk() const {
+  std::call_once(packed_cache_->once, [this] {
+    PackedFactColumns& packed = packed_cache_->columns;
+    packed.built_rows = NumRows();
+    packed.dims.reserve(fk_.size());
+    for (const std::vector<int32_t>& codes : fk_) {
+      packed.dims.push_back(PackedColumn::Pack(codes));
+    }
+  });
+  return packed_cache_->columns;
+}
+
+Status FactTable::CheckDerivedFreshness(int64_t built_rows,
+                                        const char* what) const {
+  if (built_rows == NumRows()) return Status::OK();
+  assert(false && "derived scan structure is stale: rows were appended "
+                  "after it was built");
+  return Status::Internal(
+      std::string(what) + " of fact table '" + name_ + "' are stale: built "
+      "at " + std::to_string(built_rows) + " rows but the table now has " +
+      std::to_string(NumRows()) +
+      "; loaders must finish appending before serving starts");
 }
 
 }  // namespace assess

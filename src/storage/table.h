@@ -9,6 +9,7 @@
 
 #include "common/result.h"
 #include "olap/hierarchy.h"
+#include "storage/packed_column.h"
 
 namespace assess {
 
@@ -26,7 +27,20 @@ struct ZoneRange {
 /// the first scan that can use them.
 struct FactZoneMaps {
   int64_t num_morsels = 0;
+  /// NumRows() when the maps were built: the scan path refuses to prune
+  /// with maps that no longer cover the table (see
+  /// FactTable::CheckDerivedFreshness).
+  int64_t built_rows = 0;
   std::vector<std::vector<ZoneRange>> dims;
+};
+
+/// \brief Dictionary-compressed (width-reduced, cache-line-aligned) views
+/// of a fact table's foreign-key columns: what the vector scan kernels
+/// read instead of the int32 columns. Built once, lazily, like zone maps,
+/// with the same staleness rule.
+struct PackedFactColumns {
+  int64_t built_rows = 0;
+  std::vector<PackedColumn> dims;
 };
 
 /// \brief A dimension table of a star schema, bound to one hierarchy.
@@ -115,17 +129,34 @@ class FactTable {
     return measures_[m];
   }
 
-  /// \brief The per-morsel zone maps, built on first use (one pass over the
-  /// foreign-key columns) and cached. Thread-safe under the engine's
-  /// contract that the table is immutable while being queried; rows added
-  /// after the first call would leave the maps stale, so loaders must
-  /// finish building before serving starts.
+  /// \brief The per-morsel zone maps, built on first use (one vectorized
+  /// pass over the foreign-key columns) and cached. Thread-safe under the
+  /// engine's contract that the table is immutable while being queried.
+  /// Each map records the row count it was built at; rows appended
+  /// afterwards make it stale, which CheckDerivedFreshness turns into a
+  /// loud failure instead of silently wrong skips.
   const FactZoneMaps& zone_maps() const;
+
+  /// \brief The dictionary-compressed foreign-key views, built on first
+  /// use and cached; same immutability contract and staleness rule as
+  /// zone_maps().
+  const PackedFactColumns& packed_fk() const;
+
+  /// \brief Fails (debug assert + typed Status) when `built_rows` — the
+  /// row count a derived structure (zone maps, packed views) was built at —
+  /// no longer matches NumRows(): rows were appended after the build, and
+  /// the derived structure would silently mis-serve the scan. `what`
+  /// names the structure in the diagnostic.
+  Status CheckDerivedFreshness(int64_t built_rows, const char* what) const;
 
  private:
   struct ZoneMapCache {
     std::once_flag once;
     FactZoneMaps maps;
+  };
+  struct PackedCache {
+    std::once_flag once;
+    PackedFactColumns columns;
   };
 
   std::string name_;
@@ -135,6 +166,8 @@ class FactTable {
   // pointer moves with the table, the flag never moves.
   std::unique_ptr<ZoneMapCache> zone_cache_ =
       std::make_unique<ZoneMapCache>();
+  std::unique_ptr<PackedCache> packed_cache_ =
+      std::make_unique<PackedCache>();
 };
 
 }  // namespace assess
