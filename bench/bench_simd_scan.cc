@@ -174,7 +174,8 @@ int main() {
   for (size_t c = 0; c < cust_lane.size(); ++c) {
     cust_lane[c] = static_cast<uint32_t>(nation_of[c]) + 1u;
   }
-  const PackedFactColumns& packed = facts.packed_fk();
+  const FactSnapshot snap = facts.SnapshotWithDerived();
+  const PackedFactColumns& packed = snap.derived->packed;
   FusedScanArgs args;
   KernelColumn date_col;
   date_col.packed = &packed.dims[0];

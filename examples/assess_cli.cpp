@@ -12,6 +12,8 @@
 //   \csv <stmt>        execute and print the result as CSV
 //   \functions         list comparison functions
 //   \labelings         list predeclared labeling functions
+//   \ingest <file> [cube]  stream a CSV/JSONL file into a cube (members
+//                      are auto-inserted; cube defaults to SALES or SSB)
 //   \cache             result-cache counters (local session / remote server)
 //   \stats             \cache plus server load & latency (remote; alias of
 //                      \cache locally)
@@ -33,6 +35,7 @@
 #include "assess/suggest.h"
 #include "client/assess_client.h"
 #include "common/str_util.h"
+#include "ingest/ingestor.h"
 #include "remote_repl.h"
 #include "ssb/sales_generator.h"
 #include "ssb/ssb_generator.h"
@@ -48,7 +51,8 @@ void PrintHelp() {
     labels {[0, 0.9): bad, [0.9, 1.1]: acceptable, (1.1, inf): good}
 Meta commands: \plan NP|JOP|POP, \explain <stmt>, \analyze <stmt>,
                \sql <stmt>, \rank <stmt>, \csv <stmt>,
-               \suggest <partial stmt>, \functions, \labelings, \help, \quit
+               \suggest <partial stmt>, \ingest <file> [cube],
+               \functions, \labelings, \help, \quit
 Monitoring:    \cache  result-cache counters (this session's engine)
                \stats  alias of \cache here; against a server
                        (--connect host:port) it adds load, in-flight/queued
@@ -147,7 +151,13 @@ int main(int argc, char** argv) {
   }
   PrintHelp();
 
-  assess::AssessSession session(db.get());
+  // One explicit shared cache, so \ingest sweeps the same entries the
+  // session's queries populate (a private session cache would be invisible
+  // to the ingester).
+  assess::EngineOptions engine;
+  engine.shared_cache =
+      std::make_shared<assess::CubeResultCache>(engine.cache);
+  assess::AssessSession session(db.get(), engine);
   std::optional<assess::PlanKind> forced_plan = std::nullopt;
   auto run = [&session, &forced_plan](std::string_view stmt) {
     if (forced_plan.has_value()) return session.Query(stmt, *forced_plan);
@@ -261,6 +271,26 @@ int main(int argc, char** argv) {
           std::cout << "  [" << s.rationale << "]\n    "
                     << s.statement.ToString() << "\n";
         }
+        continue;
+      }
+      if (assess::StartsWith(input, "\\ingest")) {
+        std::string path;
+        std::string cube = use_ssb ? "SSB" : "SALES";
+        if (!assess_examples::ParseIngestArgs(assess::Trim(input.substr(7)),
+                                              &path, &cube)) {
+          std::cout << "usage: \\ingest <file> [cube]\n";
+          continue;
+        }
+        assess::IngestOptions opts;
+        opts.format = assess::IngestFormatFromPath(path);
+        opts.auto_insert_members = true;
+        assess::Ingestor ingestor(db.get(), engine.shared_cache, opts);
+        auto stats = ingestor.IngestFile(cube, path);
+        if (!stats.ok()) {
+          std::cout << stats.status().ToString() << "\n";
+          continue;
+        }
+        std::cout << stats->ToString() << "\n";
         continue;
       }
       if (assess::StartsWith(input, "\\csv")) {

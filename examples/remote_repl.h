@@ -4,6 +4,8 @@
 //   \csv <stmt>     execute and print the result as CSV
 //   \sql <stmt>     show the SQL the server's plan pushed to the engine
 //   \analyze <stmt> EXPLAIN ANALYZE on the server (span tree + phases)
+//   \ingest <file> [cube]  stream a CSV/JSONL file into a cube on the
+//                   server (needs assessd --ingest; cube defaults to SALES)
 //   \stats          server statistics (load, latency percentiles, cache)
 //   \cache          just the shared result cache counters
 //   \metrics        Prometheus-style metrics exposition
@@ -16,13 +18,42 @@
 #ifndef ASSESS_EXAMPLES_REMOTE_REPL_H_
 #define ASSESS_EXAMPLES_REMOTE_REPL_H_
 
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "client/assess_client.h"
 #include "common/str_util.h"
 
 namespace assess_examples {
+
+/// Reads a whole file; false (with a message on stdout) when unreadable.
+inline bool ReadFileForIngest(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cout << "cannot open '" << path << "'\n";
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+/// Splits "\ingest <file> [cube]" arguments; false on a missing file arg.
+inline bool ParseIngestArgs(std::string_view rest, std::string* path,
+                            std::string* cube) {
+  size_t space = rest.find_first_of(" \t");
+  if (space == std::string_view::npos) {
+    *path = std::string(rest);
+  } else {
+    *path = std::string(rest.substr(0, space));
+    std::string_view tail = assess::Trim(rest.substr(space));
+    if (!tail.empty()) *cube = std::string(tail);
+  }
+  return !path->empty();
+}
 
 /// Turns the statuses a remote call can fail with into a message that tells
 /// the user what to *do*, not just what went wrong. Falls back to the plain
@@ -66,7 +97,7 @@ inline void PrintRemoteHelp() {
       R"(Type an assess statement, e.g.:
   with SALES by month assess storeSales labels quartiles
 Meta commands: \csv <stmt>, \sql <stmt>, \analyze <stmt>, \stats, \cache,
-               \metrics, \ping, \help, \quit
+               \metrics, \ping, \ingest <file> [cube], \help, \quit
 )";
 }
 
@@ -118,6 +149,26 @@ inline int RunRemoteRepl(assess::AssessClient& client) {
           continue;
         }
         std::cout << *metrics;
+        continue;
+      }
+      if (assess::StartsWith(input, "\\ingest")) {
+        std::string path;
+        std::string cube = "SALES";
+        if (!ParseIngestArgs(assess::Trim(input.substr(7)), &path, &cube)) {
+          std::cout << "usage: \\ingest <file> [cube]\n";
+          continue;
+        }
+        std::string text;
+        if (!ReadFileForIngest(path, &text)) continue;
+        auto stats = client.Ingest(cube, text,
+                                   assess::IngestFormatFromPath(path),
+                                   /*auto_insert=*/true);
+        if (!stats.ok()) {
+          std::cout << DescribeRemoteError(stats.status()) << "\n";
+          if (!client.connected()) return 1;
+          continue;
+        }
+        std::cout << stats->ToString() << "\n";
         continue;
       }
       if (assess::StartsWith(input, "\\analyze")) {

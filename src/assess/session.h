@@ -1,6 +1,7 @@
 #ifndef ASSESS_ASSESS_SESSION_H_
 #define ASSESS_ASSESS_SESSION_H_
 
+#include <shared_mutex>
 #include <string_view>
 
 #include "assess/analyzer.h"
@@ -71,20 +72,22 @@ class AssessSession {
   PlanSelection plan_selection() const { return plan_selection_; }
 
   /// \brief Parses and analyzes a statement without executing it.
+  ///
+  /// Every public entry point holds the database's schema mutex shared for
+  /// the duration of the statement: member-stable fact appends proceed
+  /// concurrently (queries see consistent epoch snapshots), while ingest
+  /// batches that insert new dimension members take it exclusively.
   Result<AnalyzedStatement> Prepare(std::string_view statement) const {
-    Result<AssessStatement> stmt = [&] {
-      Span span("parse");
-      return ParseAssessStatement(statement);
-    }();
-    ASSESS_RETURN_NOT_OK(stmt.status());
-    Span span("analyze");
-    return Analyze(*stmt, *db_, functions_, labelings_, options_);
+    std::shared_lock<std::shared_mutex> lock(db_->schema_mutex());
+    return PrepareLocked(statement);
   }
 
   /// \brief Executes a statement with the plan chosen by the configured
   /// selection strategy (rule-based by default).
   Result<AssessResult> Query(std::string_view statement) const {
-    ASSESS_ASSIGN_OR_RETURN(AnalyzedStatement analyzed, Prepare(statement));
+    std::shared_lock<std::shared_mutex> lock(db_->schema_mutex());
+    ASSESS_ASSIGN_OR_RETURN(AnalyzedStatement analyzed,
+                            PrepareLocked(statement));
     PlanKind plan;
     {
       Span span("plan");
@@ -100,21 +103,27 @@ class AssessSession {
 
   /// \brief Feasible plans ranked by the cost model, cheapest first.
   Result<std::vector<PlanCost>> RankPlans(std::string_view statement) const {
-    ASSESS_ASSIGN_OR_RETURN(AnalyzedStatement analyzed, Prepare(statement));
+    std::shared_lock<std::shared_mutex> lock(db_->schema_mutex());
+    ASSESS_ASSIGN_OR_RETURN(AnalyzedStatement analyzed,
+                            PrepareLocked(statement));
     CostEstimator estimator(db_);
     return estimator.RankPlans(analyzed);
   }
 
   /// \brief Executes a statement with an explicit plan.
   Result<AssessResult> Query(std::string_view statement, PlanKind plan) const {
-    ASSESS_ASSIGN_OR_RETURN(AnalyzedStatement analyzed, Prepare(statement));
+    std::shared_lock<std::shared_mutex> lock(db_->schema_mutex());
+    ASSESS_ASSIGN_OR_RETURN(AnalyzedStatement analyzed,
+                            PrepareLocked(statement));
     return executor_.Execute(analyzed, plan);
   }
 
   /// \brief The logical steps the given plan performs for this statement.
   Result<std::string> Explain(std::string_view statement,
                               PlanKind plan) const {
-    ASSESS_ASSIGN_OR_RETURN(AnalyzedStatement analyzed, Prepare(statement));
+    std::shared_lock<std::shared_mutex> lock(db_->schema_mutex());
+    ASSESS_ASSIGN_OR_RETURN(AnalyzedStatement analyzed,
+                            PrepareLocked(statement));
     if (!IsPlanFeasible(analyzed, plan)) {
       return Status::NotSupported(
           std::string(PlanKindToString(plan)) + " is not feasible for " +
@@ -124,6 +133,16 @@ class AssessSession {
   }
 
  private:
+  Result<AnalyzedStatement> PrepareLocked(std::string_view statement) const {
+    Result<AssessStatement> stmt = [&] {
+      Span span("parse");
+      return ParseAssessStatement(statement);
+    }();
+    ASSESS_RETURN_NOT_OK(stmt.status());
+    Span span("analyze");
+    return Analyze(*stmt, *db_, functions_, labelings_, options_);
+  }
+
   const StarDatabase* db_;
   FunctionRegistry functions_;
   LabelingRegistry labelings_;

@@ -114,6 +114,33 @@ void CubeResultCache::Clear() {
   }
 }
 
+size_t CubeResultCache::InvalidateEpochsBefore(std::string_view cube_name,
+                                               uint64_t epoch) {
+  static Counter* const invalidations_total =
+      MetricsRegistry::Instance().GetCounter(
+          "assess_cache_epoch_invalidations_total",
+          "Cached results swept because their cube advanced past their epoch");
+  size_t dropped = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      if (it->query.cube_name == cube_name && it->query.epoch < epoch) {
+        shard.bytes -= it->bytes;
+        shard.index.erase(it->key);
+        it = shard.lru.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (dropped > 0) {
+    epoch_invalidations_.fetch_add(dropped, std::memory_order_relaxed);
+    invalidations_total->Inc(static_cast<uint64_t>(dropped));
+  }
+  return dropped;
+}
+
 CacheStats CubeResultCache::stats() const {
   CacheStats stats;
   stats.lookups = lookups_.load(std::memory_order_relaxed);
@@ -122,6 +149,8 @@ CacheStats CubeResultCache::stats() const {
   stats.misses = misses_.load(std::memory_order_relaxed);
   stats.insertions = insertions_.load(std::memory_order_relaxed);
   stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.epoch_invalidations =
+      epoch_invalidations_.load(std::memory_order_relaxed);
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mutex);
     stats.bytes_resident += shard.bytes;
@@ -133,6 +162,7 @@ CacheStats CubeResultCache::stats() const {
 bool EntryAnswersQuery(const CubeSchema& schema, const CanonicalQuery& want,
                        const CanonicalQuery& entry) {
   if (want.cube_name != entry.cube_name) return false;
+  if (want.epoch != entry.epoch) return false;
   // Requested measures must all be present in the entry's result.
   if (!std::includes(entry.measures.begin(), entry.measures.end(),
                      want.measures.begin(), want.measures.end())) {

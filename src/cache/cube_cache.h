@@ -35,6 +35,7 @@ struct CacheStats {
   uint64_t misses = 0;             ///< fell through to the engine scan
   uint64_t insertions = 0;         ///< entries stored (replacements included)
   uint64_t evictions = 0;          ///< entries dropped by the byte budget
+  uint64_t epoch_invalidations = 0;  ///< entries swept by InvalidateEpochsBefore
   size_t bytes_resident = 0;       ///< estimated bytes currently held
   size_t entries = 0;              ///< entries currently held
 
@@ -48,8 +49,11 @@ struct CacheStats {
 /// whose result subsumes the request (see EntryAnswersQuery) for
 /// client-side re-aggregation.
 ///
-/// The cache assumes the underlying StarDatabase fact data is immutable, as
-/// everywhere else in the engine; call Clear() after mutating fact tables.
+/// Mutable fact tables are handled by epoch keying: the engine stamps every
+/// entry with the fact epoch it was computed at (part of the fingerprint,
+/// checked again by subsumption), so entries from superseded epochs can
+/// never answer a query — they merely occupy budget until the LRU or an
+/// InvalidateEpochsBefore sweep reclaims them.
 class CubeResultCache {
  public:
   explicit CubeResultCache(CacheOptions options = {});
@@ -78,8 +82,15 @@ class CubeResultCache {
   /// are not stored (they would only thrash the LRU list).
   void Insert(const std::string& key, CanonicalQuery query, const Cube& cube);
 
-  /// \brief Drops every entry (required after mutating fact data).
+  /// \brief Drops every entry.
   void Clear();
+
+  /// \brief Sweeps entries of `cube_name` whose epoch predates `epoch` —
+  /// the ingest commit's eager reclamation of results its append just made
+  /// stale. Pure memory hygiene: epoch keying already makes such entries
+  /// unreachable. Returns the number of entries dropped (also counted in
+  /// stats and the assess_cache_epoch_invalidations_total metric).
+  size_t InvalidateEpochsBefore(std::string_view cube_name, uint64_t epoch);
 
   CacheStats stats() const;
 
@@ -112,6 +123,7 @@ class CubeResultCache {
   mutable std::atomic<uint64_t> misses_{0};
   mutable std::atomic<uint64_t> insertions_{0};
   mutable std::atomic<uint64_t> evictions_{0};
+  mutable std::atomic<uint64_t> epoch_invalidations_{0};
 };
 
 /// \brief True when a cached result for `entry` can answer `want` by
@@ -122,7 +134,9 @@ class CubeResultCache {
 /// implies the entry's and the entry's rows are a superset of the rows
 /// needed); every *extra* request predicate sits on a level coarser-or-equal
 /// than the entry's group-by level so it can be re-evaluated on the entry's
-/// cells; and the requested measures are a subset of the entry's.
+/// cells; and the requested measures are a subset of the entry's. Entries
+/// from a different fact epoch never answer: their cube had different
+/// contents.
 bool EntryAnswersQuery(const CubeSchema& schema, const CanonicalQuery& want,
                        const CanonicalQuery& entry);
 

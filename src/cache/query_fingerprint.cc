@@ -80,6 +80,8 @@ std::string FingerprintKey(const CanonicalQuery& query) {
     key.append(std::to_string(m));
     key.push_back(',');
   }
+  key.push_back('e');
+  key.append(std::to_string(query.epoch));
   return key;
 }
 

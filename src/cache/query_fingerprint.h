@@ -27,6 +27,11 @@ struct CanonicalQuery {
   GroupBySet group_by;
   std::vector<Predicate> predicates;
   std::vector<int> measures;
+  /// The fact-table epoch the result was computed at. Not part of query
+  /// canonicalization (CanonicalizeQuery leaves it 0); the engine stamps it
+  /// from the admission snapshot before keying the cache, so entries from
+  /// different table contents never collide and never answer each other.
+  uint64_t epoch = 0;
 };
 
 CanonicalQuery CanonicalizeQuery(const CubeQuery& query);

@@ -206,6 +206,22 @@ Result<std::string> AssessClient::ExplainAnalyze(std::string_view statement) {
   return payload;
 }
 
+Result<IngestStats> AssessClient::Ingest(std::string_view cube,
+                                         std::string_view text,
+                                         IngestFormat format,
+                                         bool auto_insert) {
+  // One id across attempts, like Query(): the server's dedup store turns a
+  // retried ingest into a replay of its stored receipt, so the rows land
+  // at most once no matter which side of the exchange got lost.
+  std::string request = EncodeIngestPayload(
+      NextRequestId(), cube, format,
+      auto_insert ? kIngestFlagAutoInsert : uint8_t{0}, text);
+  std::string payload;
+  ASSESS_RETURN_NOT_OK(RoundTripWithRetry(FrameType::kIngest, request,
+                                          FrameType::kIngestReply, &payload));
+  return IngestStats::Deserialize(payload);
+}
+
 Status AssessClient::Ping() {
   std::string payload;
   return RoundTripWithRetry(FrameType::kPing, {}, FrameType::kPong, &payload);

@@ -8,6 +8,7 @@
 #include "assess/result_set.h"
 #include "common/result.h"
 #include "common/rng.h"
+#include "ingest/ingest.h"
 #include "server/protocol.h"
 
 namespace assess {
@@ -99,6 +100,17 @@ class AssessClient {
   /// deduplicated: every call re-executes and re-measures. Fails with
   /// kNotSupported when the server was built with ASSESS_TRACING=OFF.
   Result<std::string> ExplainAnalyze(std::string_view statement);
+
+  /// \brief Streams `text` (CSV with header line, or JSONL) into `cube` on
+  /// the server, returning what the load did. Retried under one request id,
+  /// and the server replays the stored receipt for a repeated id — a retry
+  /// after a lost response never appends the rows twice. `auto_insert` asks
+  /// the server to add unknown dimension members; it is honoured only when
+  /// the server's own ingest policy allows it. Fails with kNotSupported on
+  /// a read-only server (assessd without --ingest).
+  Result<IngestStats> Ingest(std::string_view cube, std::string_view text,
+                             IngestFormat format = IngestFormat::kCsv,
+                             bool auto_insert = false);
 
   /// \brief Round-trips a ping frame (retryable).
   Status Ping();

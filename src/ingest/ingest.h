@@ -1,0 +1,74 @@
+#ifndef ASSESS_INGEST_INGEST_H_
+#define ASSESS_INGEST_INGEST_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace assess {
+
+/// \brief Text row formats the streaming ingester understands.
+enum class IngestFormat : uint8_t {
+  kCsv = 0,    ///< header line + comma-separated records (RFC-4180 quoting)
+  kJsonl = 1,  ///< one flat JSON object per line, keys = column names
+};
+
+std::string_view IngestFormatToString(IngestFormat format);
+
+/// \brief Picks the format from a file name: ".jsonl"/".ndjson" select
+/// kJsonl, everything else kCsv.
+IngestFormat IngestFormatFromPath(std::string_view path);
+
+/// \brief Knobs of one ingest run.
+struct IngestOptions {
+  IngestFormat format = IngestFormat::kCsv;
+
+  /// When a row names a level-0 member missing from the dimension, insert
+  /// it (together with its roll-up parents, which the row must then also
+  /// provide) instead of rejecting the row. Inserts take the database's
+  /// exclusive schema lock; member-stable ingest never does.
+  bool auto_insert_members = false;
+
+  /// Rows per atomic fact-table batch: each batch commits under one epoch,
+  /// extends the derived scan structures, maintains the materialized views
+  /// and invalidates superseded cache entries before the next batch starts.
+  int64_t batch_rows = 8192;
+
+  /// Incremental maintenance (the default): appended rows are aggregated
+  /// once per view and merged into it, and only cache entries of this cube
+  /// from older epochs are swept. When false, every batch rebuilds all
+  /// views from scratch and clears the whole cache — the full-invalidation
+  /// baseline the churn bench compares against.
+  bool incremental = true;
+
+  /// Malformed or unresolvable rows beyond this many abort the ingest with
+  /// the row's typed error. 0 (default) = strict: fail on the first bad
+  /// row. Rejected rows are counted in IngestStats::rows_rejected.
+  int64_t max_errors = 0;
+};
+
+/// \brief What one ingest run did. Serializes to a fixed little-endian
+/// layout for the kIngestReply wire frame.
+struct IngestStats {
+  uint64_t rows_ingested = 0;   ///< fact rows committed
+  uint64_t rows_rejected = 0;   ///< malformed rows skipped (<= max_errors)
+  uint64_t batches = 0;         ///< atomic fact-table batches committed
+  uint64_t new_members = 0;     ///< dimension rows auto-inserted
+  uint64_t epoch = 0;           ///< fact epoch after the last batch
+  uint64_t mv_incremental_updates = 0;  ///< view delta-merges applied
+  uint64_t mv_full_rebuilds = 0;        ///< views rebuilt from scratch
+  uint64_t cache_invalidations = 0;     ///< cache entries swept
+  uint64_t repacks = 0;  ///< packed-column width overflows hit
+
+  std::string Serialize() const;
+  static Result<IngestStats> Deserialize(std::string_view payload);
+
+  /// \brief One-line human rendering for the CLI.
+  std::string ToString() const;
+};
+
+}  // namespace assess
+
+#endif  // ASSESS_INGEST_INGEST_H_

@@ -1,0 +1,616 @@
+#include "ingest/ingestor.h"
+
+#include <algorithm>
+#include <fstream>
+#include <mutex>
+#include <numeric>
+#include <shared_mutex>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "ingest/row_codec.h"
+#include "obs/metrics.h"
+#include "olap/cube.h"
+#include "storage/star_query_engine.h"
+
+namespace assess {
+
+namespace {
+
+Counter& IngestRowsTotal() {
+  static Counter* c = MetricsRegistry::Instance().GetCounter(
+      "assess_ingest_rows_total", "Fact rows committed by streaming ingest");
+  return *c;
+}
+
+Counter& IngestBatchesTotal() {
+  static Counter* c = MetricsRegistry::Instance().GetCounter(
+      "assess_ingest_batches_total",
+      "Atomic fact-table batches committed by streaming ingest");
+  return *c;
+}
+
+/// What one input column (CSV header cell / JSONL key) feeds.
+struct ColumnBinding {
+  enum Kind { kDimLevel, kMeasure };
+  Kind kind = kDimLevel;
+  int hierarchy = -1;
+  int level = -1;
+  int measure = -1;
+};
+
+/// Merges a delta aggregation (the appended rows, grouped at the view's
+/// group-by set) into a copy of the view's cube: matching coordinates
+/// combine per the schema operator, new coordinates append. The index is
+/// built over the *old* cube only — delta coordinates are unique within the
+/// delta (it is itself grouped), so appended rows never need indexing.
+Result<Cube> MergeViewDelta(const CubeSchema& schema,
+                            const MaterializedView& view, const Cube& delta) {
+  Cube merged = view.data;
+  const int64_t delta_rows = delta.NumRows();
+  if (delta_rows == 0) return merged;
+
+  const int levels = merged.level_count();
+  const int num_measures = merged.measure_count();
+  std::vector<AggOp> ops(num_measures);
+  std::vector<int> delta_col(num_measures);
+  for (int i = 0; i < num_measures; ++i) {
+    ASSESS_ASSIGN_OR_RETURN(int mi,
+                            schema.MeasureIndex(merged.measure_name(i)));
+    ops[i] = schema.measure(mi).op;
+    ASSESS_ASSIGN_OR_RETURN(delta_col[i],
+                            delta.MeasureIndex(merged.measure_name(i)));
+  }
+  for (int l = 0; l < levels; ++l) {
+    if (delta.level_count() <= l ||
+        delta.level(l).name() != merged.level(l).name()) {
+      return Status::Internal(
+          "delta aggregation axes do not match materialized view '" +
+          view.name + "'");
+    }
+  }
+
+  std::vector<int> keys(levels);
+  std::iota(keys.begin(), keys.end(), 0);
+  CoordinateIndex index(view.data, keys);
+  std::vector<MemberId> coords(levels);
+  std::vector<double> measures(num_measures);
+  for (int64_t r = 0; r < delta_rows; ++r) {
+    const std::vector<int32_t>& rows = index.Lookup(delta, keys, r);
+    if (!rows.empty()) {
+      const int64_t row = rows[0];
+      for (int i = 0; i < num_measures; ++i) {
+        const double d = delta.MeasureAt(r, delta_col[i]);
+        const double old = merged.MeasureAt(row, i);
+        double v = 0;
+        switch (ops[i]) {
+          case AggOp::kSum:
+          case AggOp::kCount:
+            v = old + d;
+            break;
+          case AggOp::kMin:
+            v = std::min(old, d);
+            break;
+          case AggOp::kMax:
+            v = std::max(old, d);
+            break;
+          case AggOp::kAvg:
+            return Status::Internal(
+                "avg measures cannot be delta-merged (caller must rebuild)");
+        }
+        merged.SetMeasure(row, i, v);
+      }
+    } else {
+      for (int l = 0; l < levels; ++l) coords[l] = delta.CoordAt(r, l);
+      for (int i = 0; i < num_measures; ++i) {
+        measures[i] = delta.MeasureAt(r, delta_col[i]);
+      }
+      merged.AddRow(coords, measures);
+    }
+  }
+  return merged;
+}
+
+}  // namespace
+
+/// Per-IngestText state: schema bindings, the member lookup maps, the
+/// pending batch columns and the running stats.
+struct Ingestor::Run {
+  explicit Run(const StarDatabase* db)
+      : engine(db, /*use_views=*/false, /*threads=*/1) {}
+
+  BoundCube* bound = nullptr;
+  std::string cube_name;
+  const CubeSchema* schema = nullptr;
+  /// Delta/rebuild aggregation for view maintenance: no views (a view must
+  /// never be built from itself), no cache, serial.
+  StarQueryEngine engine;
+
+  // Interned column bindings, shared by the CSV header and JSONL keys.
+  std::vector<ColumnBinding> bindings;
+  std::unordered_map<std::string, int> binding_index;
+  std::vector<int> header_bindings;  // CSV: binding per header column
+
+  /// Per hierarchy: finest-level member name -> dimension row. Run-local;
+  /// misses re-check the live dictionary under the schema lock.
+  std::vector<std::unordered_map<std::string, int32_t>> key_to_row;
+
+  // Pending batch (column-major, staged until CommitBatch).
+  std::vector<std::vector<int32_t>> fks;
+  std::vector<std::vector<double>> measures;
+  int64_t pending = 0;
+
+  // Per-row scratch, sized once.
+  std::vector<std::vector<const std::string*>> level_values;  // [h][level]
+  std::vector<int32_t> row_fks;
+  std::vector<double> row_measures;
+  std::vector<char> measure_set;
+
+  bool has_avg_measure = false;
+  uint64_t repack_base = 0;
+  IngestStats stats;
+};
+
+Ingestor::Ingestor(StarDatabase* db, std::shared_ptr<CubeResultCache> cache,
+                   IngestOptions options)
+    : db_(db), cache_(std::move(cache)), options_(options) {}
+
+Result<int> Ingestor::BindColumn(Run* run, const std::string& name) {
+  auto it = run->binding_index.find(name);
+  if (it != run->binding_index.end()) return it->second;
+  const CubeSchema& schema = *run->schema;
+  ColumnBinding binding;
+  Result<int> h = schema.HierarchyOfLevel(name);
+  if (h.ok()) {
+    binding.kind = ColumnBinding::kDimLevel;
+    binding.hierarchy = *h;
+    ASSESS_ASSIGN_OR_RETURN(binding.level,
+                            schema.hierarchy(*h).LevelIndex(name));
+  } else {
+    Result<int> m = schema.MeasureIndex(name);
+    if (!m.ok()) {
+      return Status::InvalidArgument("unknown column '" + name +
+                                     "': not a level or measure of cube '" +
+                                     run->cube_name + "'");
+    }
+    binding.kind = ColumnBinding::kMeasure;
+    binding.measure = *m;
+  }
+  const int idx = static_cast<int>(run->bindings.size());
+  run->bindings.push_back(binding);
+  run->binding_index.emplace(name, idx);
+  return idx;
+}
+
+Status Ingestor::BindCsvHeader(Run* run, const std::vector<std::string>& names) {
+  run->header_bindings.clear();
+  for (const std::string& name : names) {
+    ASSESS_ASSIGN_OR_RETURN(int b, BindColumn(run, name));
+    if (std::find(run->header_bindings.begin(), run->header_bindings.end(),
+                  b) != run->header_bindings.end()) {
+      return Status::InvalidArgument("duplicate CSV column '" + name + "'");
+    }
+    run->header_bindings.push_back(b);
+  }
+  const CubeSchema& schema = *run->schema;
+  auto bound = [&](ColumnBinding::Kind kind, int h, int level, int m) {
+    for (int b : run->header_bindings) {
+      const ColumnBinding& cb = run->bindings[b];
+      if (cb.kind != kind) continue;
+      if (kind == ColumnBinding::kDimLevel
+              ? (cb.hierarchy == h && cb.level == level)
+              : cb.measure == m) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (int h = 0; h < schema.hierarchy_count(); ++h) {
+    if (!bound(ColumnBinding::kDimLevel, h, 0, -1)) {
+      return Status::InvalidArgument(
+          "CSV header is missing key column '" +
+          schema.hierarchy(h).level_name(0) + "' of dimension '" +
+          schema.hierarchy(h).name() + "'");
+    }
+  }
+  for (int m = 0; m < schema.measure_count(); ++m) {
+    if (!bound(ColumnBinding::kMeasure, -1, -1, m)) {
+      return Status::InvalidArgument("CSV header is missing measure column '" +
+                                     schema.measure(m).name + "'");
+    }
+  }
+  return Status::OK();
+}
+
+Status Ingestor::ResolveDimension(
+    Run* run, int64_t line_no, int h,
+    const std::vector<const std::string*>& level_values, int32_t* fk_out) {
+  const std::string& key = *level_values[0];
+  {
+    std::shared_lock<std::shared_mutex> lock(db_->schema_mutex());
+    auto it = run->key_to_row[h].find(key);
+    if (it != run->key_to_row[h].end()) {
+      const int32_t row = it->second;
+      // Coarser values, when provided, must agree with the stored roll-up.
+      const DimensionTable& dim = run->bound->dimension(h);
+      const Hierarchy& hier = dim.hierarchy();
+      for (int l = 1; l < hier.level_count(); ++l) {
+        if (level_values[l] == nullptr) continue;
+        const std::string& have = hier.MemberName(l, dim.CodeAt(row, l));
+        if (have != *level_values[l]) {
+          return Status::InvalidArgument(
+              "member '" + key + "' of dimension '" + dim.name() +
+              "' rolls up to '" + have + "' at level '" + hier.level_name(l) +
+              "', not '" + *level_values[l] + "'");
+        }
+      }
+      *fk_out = row;
+      return Status::OK();
+    }
+  }
+  if (!options_.auto_insert_members) {
+    return Status::NotFound("unknown member '" + key + "' of dimension '" +
+                            run->bound->dimension(h).name() +
+                            "' (auto-insert is off)");
+  }
+  return AutoInsertMember(run, line_no, h, level_values, fk_out);
+}
+
+Status Ingestor::AutoInsertMember(
+    Run* run, int64_t line_no, int h,
+    const std::vector<const std::string*>& level_values, int32_t* fk_out) {
+  (void)line_no;
+  const std::string& key = *level_values[0];
+  DimensionTable& dim = run->bound->mutable_dimension(h);
+  Hierarchy& hier = dim.mutable_hierarchy();
+  const int level_count = hier.level_count();
+  // The whole roll-up chain is needed to link the new member.
+  for (int l = 1; l < level_count; ++l) {
+    if (level_values[l] == nullptr) {
+      return Status::InvalidArgument(
+          "auto-insert of member '" + key + "' needs a value for level '" +
+          hier.level_name(l) + "' of dimension '" + dim.name() + "'");
+    }
+  }
+
+  // Growing a dimension mutates structures queries index directly, so the
+  // insert runs under the database's exclusive schema lock. Sessions hold
+  // it shared for a statement; member-stable ingest never takes it
+  // exclusively.
+  std::unique_lock<std::shared_mutex> lock(db_->schema_mutex());
+
+  // A concurrent ingest (or a sibling cube sharing this hierarchy) may have
+  // interned members meanwhile; AddMember is idempotent, but an existing
+  // member must agree with the roll-up the row declares.
+  std::vector<MemberId> codes(level_count);
+  std::vector<bool> existed(level_count);
+  for (int l = 0; l < level_count; ++l) {
+    const int32_t before = hier.LevelCardinality(l);
+    codes[l] = hier.AddMember(l, *level_values[l]);
+    existed[l] = codes[l] < before;
+  }
+  for (int l = 0; l + 1 < level_count; ++l) {
+    if (existed[l]) {
+      const MemberId parent = hier.RollUpMember(l, codes[l], l + 1);
+      if (parent == kInvalidMember) {
+        hier.SetParent(l, codes[l], codes[l + 1]);
+      } else if (parent != codes[l + 1]) {
+        return Status::InvalidArgument(
+            "conflicting roll-up: member '" + *level_values[l] +
+            "' of level '" + hier.level_name(l) + "' already rolls up to '" +
+            hier.MemberName(l + 1, parent) + "', not '" +
+            *level_values[l + 1] + "'");
+      }
+    } else {
+      hier.SetParent(l, codes[l], codes[l + 1]);
+    }
+  }
+
+  if (existed[0]) {
+    // The member was interned before (e.g. by a cube sharing the
+    // hierarchy); this cube's dimension may or may not already have its
+    // row. Rare path: linear re-check of the live table.
+    const std::vector<MemberId>& col = dim.level_column(0);
+    for (int64_t r = static_cast<int64_t>(col.size()) - 1; r >= 0; --r) {
+      if (col[r] == codes[0]) {
+        run->key_to_row[h].emplace(key, static_cast<int32_t>(r));
+        *fk_out = static_cast<int32_t>(r);
+        return Status::OK();
+      }
+    }
+  }
+
+  dim.AddRow(codes);
+  const int32_t row = static_cast<int32_t>(dim.NumRows() - 1);
+  run->key_to_row[h].emplace(key, row);
+  run->stats.new_members += 1;
+  *fk_out = row;
+  return Status::OK();
+}
+
+Status Ingestor::ProcessRow(Run* run, int64_t line_no,
+                            const std::vector<std::string>& fields,
+                            const std::vector<int>& field_bindings) {
+  // Chaos site: a triggered failpoint rejects this row with its typed
+  // error (committed batches stay committed; max_errors applies as usual).
+  ASSESS_FAILPOINT("ingest.row");
+  const CubeSchema& schema = *run->schema;
+  const int hierarchies = schema.hierarchy_count();
+  const int num_measures = schema.measure_count();
+
+  for (auto& lv : run->level_values) {
+    std::fill(lv.begin(), lv.end(), nullptr);
+  }
+  std::fill(run->measure_set.begin(), run->measure_set.end(), 0);
+
+  for (size_t i = 0; i < fields.size(); ++i) {
+    const ColumnBinding& b = run->bindings[field_bindings[i]];
+    if (b.kind == ColumnBinding::kDimLevel) {
+      const std::string*& slot = run->level_values[b.hierarchy][b.level];
+      if (slot != nullptr) {
+        return Status::InvalidArgument(
+            "duplicate value for level '" +
+            schema.hierarchy(b.hierarchy).level_name(b.level) + "'");
+      }
+      // Empty fields (and JSONL nulls) mean "not provided".
+      if (!fields[i].empty()) slot = &fields[i];
+    } else {
+      if (run->measure_set[b.measure]) {
+        return Status::InvalidArgument("duplicate value for measure '" +
+                                       schema.measure(b.measure).name + "'");
+      }
+      Result<double> v = ParseMeasureValue(fields[i]);
+      if (!v.ok()) {
+        return v.status().WithContext("measure '" +
+                                      schema.measure(b.measure).name + "'");
+      }
+      run->row_measures[b.measure] = *v;
+      run->measure_set[b.measure] = 1;
+    }
+  }
+
+  for (int h = 0; h < hierarchies; ++h) {
+    if (run->level_values[h][0] == nullptr) {
+      return Status::InvalidArgument(
+          "missing value for key column '" +
+          schema.hierarchy(h).level_name(0) + "' of dimension '" +
+          schema.hierarchy(h).name() + "'");
+    }
+  }
+  for (int m = 0; m < num_measures; ++m) {
+    if (!run->measure_set[m]) {
+      return Status::InvalidArgument("missing value for measure '" +
+                                     schema.measure(m).name + "'");
+    }
+  }
+
+  for (int h = 0; h < hierarchies; ++h) {
+    ASSESS_RETURN_NOT_OK(ResolveDimension(run, line_no, h,
+                                          run->level_values[h],
+                                          &run->row_fks[h]));
+  }
+
+  // The row is fully validated and resolved: stage it. Nothing above
+  // mutated the pending batch, so a rejected row leaves no trace.
+  for (int h = 0; h < hierarchies; ++h) {
+    run->fks[h].push_back(run->row_fks[h]);
+  }
+  for (int m = 0; m < num_measures; ++m) {
+    run->measures[m].push_back(run->row_measures[m]);
+  }
+  run->pending += 1;
+  return Status::OK();
+}
+
+Status Ingestor::CommitBatch(Run* run) {
+  if (run->pending == 0) return Status::OK();
+  // Chaos site: a triggered failpoint fails the whole ingest before this
+  // batch publishes anything — earlier batches stay committed.
+  ASSESS_FAILPOINT("ingest.commit");
+
+  // One whole commit (append + derived extension + view maintenance +
+  // cache sweep) at a time per cube; queries never wait here — they scan
+  // admission snapshots. The schema lock is shared: view maintenance reads
+  // dimensions and hierarchies, which a concurrent auto-insert (exclusive)
+  // may not mutate mid-scan.
+  std::lock_guard<std::mutex> commit_lock(run->bound->ingest_mutex());
+  std::shared_lock<std::shared_mutex> schema_lock(db_->schema_mutex());
+
+  FactTable& facts = run->bound->mutable_facts();
+  const AppendResult app = facts.AppendBatch(run->fks, run->measures);
+  // Extend packed FK views and zone maps to the new prefix right away (if
+  // they were ever built), so query latency stays flat under churn.
+  facts.ExtendDerivedIfBuilt();
+
+  run->stats.rows_ingested += static_cast<uint64_t>(app.rows);
+  run->stats.batches += 1;
+  run->stats.epoch = app.epoch;
+  IngestRowsTotal().Inc(static_cast<uint64_t>(app.rows));
+  IngestBatchesTotal().Inc();
+
+  for (auto& col : run->fks) col.clear();
+  for (auto& col : run->measures) col.clear();
+  run->pending = 0;
+
+  // Writes flow through the materialized views: aggregate only the appended
+  // delta and merge it in, falling back to a full rebuild when the delta is
+  // not contiguous with what the views cover (or avg makes merging lossy).
+  // Until PublishViews lands, queries at the new epoch skip the (lagging)
+  // views and scan facts — consistent, just slower.
+  std::shared_ptr<const ViewSet> old_set = run->bound->views_snapshot();
+  if (!old_set->views.empty()) {
+    const int64_t new_rows = app.first_row + app.rows;
+    const bool contiguous = old_set->rows == app.first_row;
+    const bool delta_ok =
+        options_.incremental && contiguous && !run->has_avg_measure;
+    std::vector<MaterializedView> next;
+    next.reserve(old_set->views.size());
+    for (const MaterializedView& view : old_set->views) {
+      if (delta_ok) {
+        ASSESS_ASSIGN_OR_RETURN(
+            Cube delta, run->engine.AggregateFactRange(
+                            *run->bound, view.group_by, app.first_row,
+                            new_rows));
+        ASSESS_ASSIGN_OR_RETURN(Cube merged,
+                                MergeViewDelta(*run->schema, view, delta));
+        next.push_back(
+            MaterializedView{view.name, view.group_by, std::move(merged)});
+        run->stats.mv_incremental_updates += 1;
+      } else {
+        ASSESS_ASSIGN_OR_RETURN(
+            Cube rebuilt, run->engine.AggregateFactRange(
+                              *run->bound, view.group_by, 0, new_rows));
+        next.push_back(
+            MaterializedView{view.name, view.group_by, std::move(rebuilt)});
+        run->stats.mv_full_rebuilds += 1;
+      }
+    }
+    run->bound->PublishViews(std::move(next), app.epoch, new_rows);
+  }
+
+  if (cache_ != nullptr) {
+    if (options_.incremental) {
+      // Epoch keying already makes superseded entries unreachable; the
+      // sweep is eager memory reclamation.
+      run->stats.cache_invalidations +=
+          cache_->InvalidateEpochsBefore(run->cube_name, app.epoch);
+    } else {
+      // Full-invalidation baseline: drop everything, every batch.
+      run->stats.cache_invalidations += cache_->stats().entries;
+      cache_->Clear();
+    }
+  }
+  return Status::OK();
+}
+
+Status Ingestor::IngestLines(Run* run, std::string_view text) {
+  std::vector<std::string> fields;
+  std::vector<int> field_bindings;
+  std::vector<std::pair<std::string, std::string>> kvs;
+  bool have_header = options_.format != IngestFormat::kCsv;
+  int64_t line_no = 0;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const size_t eol = text.find('\n', pos);
+    std::string_view line = eol == std::string_view::npos
+                                ? text.substr(pos)
+                                : text.substr(pos, eol - pos);
+    pos = eol == std::string_view::npos ? text.size() : eol + 1;
+    line_no += 1;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty()) continue;
+
+    Status st = Status::OK();
+    if (options_.format == IngestFormat::kCsv) {
+      st = SplitCsvLine(line, &fields);
+      if (st.ok() && !have_header) {
+        have_header = true;
+        st = BindCsvHeader(run, fields);
+        if (!st.ok()) {
+          // A bad header fails everything — no row is interpretable.
+          return st.WithContext("line " + std::to_string(line_no));
+        }
+        continue;
+      }
+      if (st.ok() && fields.size() != run->header_bindings.size()) {
+        st = Status::InvalidArgument(
+            "expected " + std::to_string(run->header_bindings.size()) +
+            " fields per the header, got " + std::to_string(fields.size()));
+      }
+      if (st.ok()) st = ProcessRow(run, line_no, fields, run->header_bindings);
+    } else {
+      st = ParseJsonlObject(line, &kvs);
+      if (st.ok()) {
+        fields.clear();
+        field_bindings.clear();
+        for (auto& kv : kvs) {
+          Result<int> b = BindColumn(run, kv.first);
+          if (!b.ok()) {
+            st = b.status();
+            break;
+          }
+          field_bindings.push_back(*b);
+          fields.push_back(std::move(kv.second));
+        }
+        if (st.ok()) st = ProcessRow(run, line_no, fields, field_bindings);
+      }
+    }
+
+    if (!st.ok()) {
+      st = st.WithContext("line " + std::to_string(line_no));
+      if (static_cast<int64_t>(run->stats.rows_rejected) >=
+          options_.max_errors) {
+        return st;
+      }
+      run->stats.rows_rejected += 1;
+      continue;
+    }
+    if (run->pending >= options_.batch_rows) {
+      // Commit failures are fatal: the batch is atomic, nothing of it
+      // published, and retrying rows out of order would reorder epochs.
+      ASSESS_RETURN_NOT_OK(CommitBatch(run));
+    }
+  }
+  return CommitBatch(run);
+}
+
+Result<IngestStats> Ingestor::IngestText(std::string_view cube_name,
+                                         std::string_view text) {
+  if (options_.batch_rows <= 0) {
+    return Status::InvalidArgument("batch_rows must be positive");
+  }
+  ASSESS_ASSIGN_OR_RETURN(BoundCube * bound, db_->FindMutable(cube_name));
+  Run run(db_);
+  run.bound = bound;
+  run.cube_name = std::string(cube_name);
+  run.schema = &bound->schema();
+  const CubeSchema& schema = *run.schema;
+  const int hierarchies = schema.hierarchy_count();
+  const int num_measures = schema.measure_count();
+  run.fks.resize(hierarchies);
+  run.measures.resize(num_measures);
+  run.key_to_row.resize(hierarchies);
+  run.level_values.resize(hierarchies);
+  run.row_fks.resize(hierarchies, 0);
+  run.row_measures.resize(num_measures, 0.0);
+  run.measure_set.resize(num_measures, 0);
+  for (int m = 0; m < num_measures; ++m) {
+    if (schema.measure(m).op == AggOp::kAvg) run.has_avg_measure = true;
+  }
+  run.repack_base = bound->facts().derived_repacks();
+  {
+    std::shared_lock<std::shared_mutex> lock(db_->schema_mutex());
+    for (int h = 0; h < hierarchies; ++h) {
+      const DimensionTable& dim = bound->dimension(h);
+      const Hierarchy& hier = dim.hierarchy();
+      run.level_values[h].resize(hier.level_count(), nullptr);
+      auto& map = run.key_to_row[h];
+      map.reserve(static_cast<size_t>(dim.NumRows()));
+      for (int64_t r = 0; r < dim.NumRows(); ++r) {
+        map.emplace(hier.MemberName(0, dim.CodeAt(r, 0)),
+                    static_cast<int32_t>(r));
+      }
+    }
+  }
+  run.stats.epoch = bound->facts().epoch();
+
+  Status st = IngestLines(&run, text);
+  run.stats.repacks = bound->facts().derived_repacks() - run.repack_base;
+  if (!st.ok()) return st;
+  return run.stats;
+}
+
+Result<IngestStats> Ingestor::IngestFile(std::string_view cube_name,
+                                         const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open ingest file '" + path + "'");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return IngestText(cube_name, buf.str());
+}
+
+}  // namespace assess

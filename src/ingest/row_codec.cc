@@ -1,0 +1,189 @@
+#include "ingest/row_codec.h"
+
+#include <cstdlib>
+
+namespace assess {
+
+Status SplitCsvLine(std::string_view line, std::vector<std::string>* out) {
+  out->clear();
+  std::string field;
+  size_t i = 0;
+  const size_t n = line.size();
+  while (true) {
+    field.clear();
+    if (i < n && line[i] == '"') {
+      ++i;  // opening quote
+      bool closed = false;
+      while (i < n) {
+        char c = line[i];
+        if (c == '"') {
+          if (i + 1 < n && line[i + 1] == '"') {
+            field.push_back('"');
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        field.push_back(c);
+        ++i;
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated quoted CSV field");
+      }
+      if (i < n && line[i] != ',') {
+        return Status::InvalidArgument(
+            "unexpected text after closing quote in CSV field");
+      }
+    } else {
+      while (i < n && line[i] != ',') {
+        field.push_back(line[i]);
+        ++i;
+      }
+    }
+    out->push_back(field);
+    if (i >= n) return Status::OK();
+    ++i;  // the comma
+  }
+}
+
+namespace {
+
+void SkipSpace(std::string_view s, size_t* i) {
+  while (*i < s.size() &&
+         (s[*i] == ' ' || s[*i] == '\t' || s[*i] == '\r')) {
+    ++*i;
+  }
+}
+
+Status ParseJsonString(std::string_view s, size_t* i, std::string* out) {
+  out->clear();
+  if (*i >= s.size() || s[*i] != '"') {
+    return Status::InvalidArgument("expected '\"' in JSONL object");
+  }
+  ++*i;
+  while (*i < s.size()) {
+    char c = s[*i];
+    if (c == '"') {
+      ++*i;
+      return Status::OK();
+    }
+    if (c == '\\') {
+      ++*i;
+      if (*i >= s.size()) break;
+      switch (s[*i]) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u':
+          return Status::InvalidArgument(
+              "\\u escapes are not supported in ingest JSONL");
+        default:
+          return Status::InvalidArgument("bad JSON string escape");
+      }
+      ++*i;
+      continue;
+    }
+    out->push_back(c);
+    ++*i;
+  }
+  return Status::InvalidArgument("unterminated JSON string");
+}
+
+// A bare scalar: number / true / false / null, returned as literal text
+// (null as ""). Consumes up to the next ',' / '}' / whitespace.
+Status ParseJsonScalar(std::string_view s, size_t* i, std::string* out) {
+  out->clear();
+  const size_t start = *i;
+  while (*i < s.size()) {
+    char c = s[*i];
+    if (c == ',' || c == '}' || c == ' ' || c == '\t' || c == '\r') break;
+    if (c == '{' || c == '[') {
+      return Status::InvalidArgument(
+          "nested objects/arrays are not supported in ingest JSONL");
+    }
+    out->push_back(c);
+    ++*i;
+  }
+  if (*i == start) {
+    return Status::InvalidArgument("expected a JSON value");
+  }
+  if (*out == "null") out->clear();
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ParseJsonlObject(
+    std::string_view line,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  out->clear();
+  size_t i = 0;
+  SkipSpace(line, &i);
+  if (i >= line.size() || line[i] != '{') {
+    return Status::InvalidArgument("JSONL line must be a JSON object");
+  }
+  ++i;
+  SkipSpace(line, &i);
+  if (i < line.size() && line[i] == '}') {
+    ++i;
+  } else {
+    while (true) {
+      std::string key, value;
+      ASSESS_RETURN_NOT_OK(ParseJsonString(line, &i, &key));
+      SkipSpace(line, &i);
+      if (i >= line.size() || line[i] != ':') {
+        return Status::InvalidArgument("expected ':' in JSONL object");
+      }
+      ++i;
+      SkipSpace(line, &i);
+      if (i < line.size() && line[i] == '"') {
+        ASSESS_RETURN_NOT_OK(ParseJsonString(line, &i, &value));
+      } else {
+        ASSESS_RETURN_NOT_OK(ParseJsonScalar(line, &i, &value));
+      }
+      out->emplace_back(std::move(key), std::move(value));
+      SkipSpace(line, &i);
+      if (i >= line.size()) {
+        return Status::InvalidArgument("unterminated JSONL object");
+      }
+      if (line[i] == ',') {
+        ++i;
+        SkipSpace(line, &i);
+        continue;
+      }
+      if (line[i] == '}') {
+        ++i;
+        break;
+      }
+      return Status::InvalidArgument("expected ',' or '}' in JSONL object");
+    }
+  }
+  SkipSpace(line, &i);
+  if (i != line.size()) {
+    return Status::InvalidArgument("trailing text after JSONL object");
+  }
+  return Status::OK();
+}
+
+Result<double> ParseMeasureValue(std::string_view field) {
+  if (field.empty()) {
+    return Status::InvalidArgument("empty measure value");
+  }
+  // strtod needs a terminated buffer; measure fields are short.
+  std::string buf(field);
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("not a number: '" + buf + "'");
+  }
+  return v;
+}
+
+}  // namespace assess

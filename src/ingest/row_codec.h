@@ -1,0 +1,33 @@
+#ifndef ASSESS_INGEST_ROW_CODEC_H_
+#define ASSESS_INGEST_ROW_CODEC_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace assess {
+
+/// \brief Splits one CSV record into fields. Supports RFC-4180 quoting:
+/// a field may be enclosed in double quotes, inside which commas and
+/// newlines-free text pass through and `""` encodes one quote. Errors are
+/// kInvalidArgument (unterminated quote, text after a closing quote).
+Status SplitCsvLine(std::string_view line, std::vector<std::string>* out);
+
+/// \brief Parses one line of JSONL into (key, value) pairs. The object must
+/// be flat: values are strings, numbers, booleans or null; nested objects
+/// and arrays are rejected (kInvalidArgument). Numbers and booleans are
+/// returned as their literal text; null becomes the empty string. String
+/// escapes \" \\ \/ \b \f \n \r \t are decoded; \uXXXX is rejected.
+Status ParseJsonlObject(std::string_view line,
+                        std::vector<std::pair<std::string, std::string>>* out);
+
+/// \brief Strict double parser for measure fields: the entire field must be
+/// a number (kInvalidArgument otherwise, with the offending text).
+Result<double> ParseMeasureValue(std::string_view field);
+
+}  // namespace assess
+
+#endif  // ASSESS_INGEST_ROW_CODEC_H_

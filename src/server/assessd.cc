@@ -16,6 +16,7 @@
 #include "assess/wire_format.h"
 #include "common/failpoint.h"
 #include "common/task_pool.h"
+#include "ingest/ingestor.h"
 
 namespace assess {
 namespace {
@@ -50,9 +51,14 @@ struct AssessServer::Connection {
 
 struct AssessServer::Request {
   Connection* conn = nullptr;
+  /// The statement text — or, for an ingest request, the raw row text.
   std::string statement;
   uint64_t request_id = 0;  ///< client idempotency key; 0 = none
   bool explain = false;     ///< kExplainAnalyze: trace + render, no dedup
+  bool ingest = false;      ///< kIngest: stream `statement` as rows
+  std::string ingest_cube;
+  IngestFormat ingest_format = IngestFormat::kCsv;
+  bool ingest_auto_insert = false;
   Clock::time_point admitted;
   std::promise<std::pair<FrameType, std::string>> response;
 };
@@ -277,19 +283,26 @@ void AssessServer::ReaderLoop(Connection* conn) {
       continue;
     }
     if (frame.type != FrameType::kQuery &&
-        frame.type != FrameType::kExplainAnalyze) {
+        frame.type != FrameType::kExplainAnalyze &&
+        frame.type != FrameType::kIngest) {
       WriteFrame(conn->fd, FrameType::kError,
                  SerializeStatus(Status::InvalidArgument(
                      "unexpected frame type for a request")));
       break;
     }
     const bool explain = frame.type == FrameType::kExplainAnalyze;
+    const bool ingest = frame.type == FrameType::kIngest;
 
     total_requests_.fetch_add(1, std::memory_order_relaxed);
     uint64_t request_id = 0;
     std::string_view statement;
-    Status decoded = DecodeQueryPayload(frame.payload, &request_id,
-                                        &statement);
+    std::string_view ingest_cube;
+    IngestFormat ingest_format = IngestFormat::kCsv;
+    uint8_t ingest_flags = 0;
+    Status decoded =
+        ingest ? DecodeIngestPayload(frame.payload, &request_id, &ingest_cube,
+                                     &ingest_format, &ingest_flags, &statement)
+               : DecodeQueryPayload(frame.payload, &request_id, &statement);
     if (!decoded.ok()) {
       if (!WriteFrame(conn->fd, FrameType::kError, SerializeStatus(decoded))
                .ok()) {
@@ -300,8 +313,9 @@ void AssessServer::ReaderLoop(Connection* conn) {
 
     // Retry dedup: a retried request (same nonzero id, after a reconnect or
     // a corrupted response) replays its stored response instead of
-    // executing twice. EXPLAIN ANALYZE is never deduplicated — each run
-    // re-measures.
+    // executing twice. For ingest this is the at-most-once guarantee — a
+    // retried ingest must never append its rows a second time. EXPLAIN
+    // ANALYZE is never deduplicated — each run re-measures.
     FrameType replay_type = FrameType::kError;
     std::string replay_payload;
     if (!explain && request_id != 0 &&
@@ -315,6 +329,10 @@ void AssessServer::ReaderLoop(Connection* conn) {
     request.statement = std::string(statement);
     request.request_id = request_id;
     request.explain = explain;
+    request.ingest = ingest;
+    request.ingest_cube = std::string(ingest_cube);
+    request.ingest_format = ingest_format;
+    request.ingest_auto_insert = (ingest_flags & kIngestFlagAutoInsert) != 0;
     request.admitted = Clock::now();
     auto response = request.response.get_future();
 
@@ -412,6 +430,41 @@ std::pair<FrameType, std::string> AssessServer::ExecuteRequest(
     payload = SerializeStatus(timeout_status("while queued"));
   } else if (!dequeued.ok()) {
     fail(dequeued);
+  } else if (request->ingest) {
+    if (options_.pre_execute_hook) options_.pre_execute_hook();
+    Status injected = FailpointStatus("server.session_execute");
+    Result<IngestStats> ingested = [&]() -> Result<IngestStats> {
+      if (!injected.ok()) return {injected};
+      if (options_.mutable_db == nullptr) {
+        return Status::NotSupported(
+            "this server is read-only; start assessd with --ingest to "
+            "accept row streams");
+      }
+      IngestOptions opts = options_.ingest;
+      opts.format = request->ingest_format;
+      // The wire flag can only narrow the server's policy, never widen it:
+      // a client cannot force member auto-insert onto a server that forbids
+      // it, but may opt out of it for one load.
+      opts.auto_insert_members =
+          opts.auto_insert_members && request->ingest_auto_insert;
+      Ingestor ingestor(options_.mutable_db, options_.engine.shared_cache,
+                        opts);
+      return ingestor.IngestText(request->ingest_cube, request->statement);
+    }();
+    if (overdue()) {
+      timeouts_.fetch_add(1, std::memory_order_relaxed);
+      error_code = StatusCode::kTimeout;
+      payload = SerializeStatus(timeout_status("during execution"));
+    } else if (!ingested.ok()) {
+      fail(ingested.status());
+    } else {
+      ingest_rows_.fetch_add(ingested->rows_ingested,
+                             std::memory_order_relaxed);
+      ingest_batches_.fetch_add(ingested->batches, std::memory_order_relaxed);
+      type = FrameType::kIngestReply;
+      payload = ingested->Serialize();
+      ok_responses_.fetch_add(1, std::memory_order_relaxed);
+    }
   } else if (request->explain) {
     if (options_.pre_execute_hook) options_.pre_execute_hook();
     Status injected = FailpointStatus("server.session_execute");
@@ -486,9 +539,11 @@ std::pair<FrameType, std::string> AssessServer::ExecuteRequest(
   // Only deterministic outcomes enter the dedup store: results and errors
   // that re-derive identically from the statement. Transient conditions
   // (kUnavailable, kTimeout, injected faults, kInternal) must re-execute on
-  // retry, so they are never replayed.
+  // retry, so they are never replayed. Ingest replies are always stored —
+  // they are the receipt whose replay makes a retried ingest append-once.
   if (!request->explain && request->request_id != 0) {
     bool deterministic = type == FrameType::kResult ||
+                         type == FrameType::kIngestReply ||
                          error_code == StatusCode::kInvalidArgument ||
                          error_code == StatusCode::kNotFound ||
                          error_code == StatusCode::kNotSupported ||
@@ -583,6 +638,8 @@ ServerStats AssessServer::Snapshot() const {
   stats.slow_queries = slow_queries_.load(std::memory_order_relaxed);
   stats.traces_sampled = traces_sampled_.load(std::memory_order_relaxed);
   stats.trace_spans = trace_spans_.load(std::memory_order_relaxed);
+  stats.ingest_rows = ingest_rows_.load(std::memory_order_relaxed);
+  stats.ingest_batches = ingest_batches_.load(std::memory_order_relaxed);
   if (options_.engine.shared_cache) {
     CacheStats cache = options_.engine.shared_cache->stats();
     stats.cache_lookups = cache.lookups;
@@ -591,6 +648,7 @@ ServerStats AssessServer::Snapshot() const {
     stats.cache_misses = cache.misses;
     stats.cache_entries = cache.entries;
     stats.cache_bytes = cache.bytes_resident;
+    stats.cache_epoch_invalidations = cache.epoch_invalidations;
   }
   if (options_.engine.pool) {
     TaskPoolStats pool = options_.engine.pool->stats();

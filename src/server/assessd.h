@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "assess/session.h"
+#include "ingest/ingest.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "server/protocol.h"
@@ -72,6 +73,14 @@ struct ServerOptions {
   /// than at hardware_concurrency (N sessions share the cores instead of
   /// each assuming it owns them all).
   EngineOptions engine;
+  /// Ingestion: when set (to the same database passed to the constructor,
+  /// but mutable), kIngest frames stream rows into it; when null (the
+  /// default) the server is read-only and refuses them with kNotSupported.
+  StarDatabase* mutable_db = nullptr;
+  /// Server-side ingestion policy (format is taken per-request from the
+  /// frame; the wire's auto-insert flag is honoured only when
+  /// `ingest.auto_insert_members` also allows it).
+  IngestOptions ingest;
   /// Test-only: runs at the start of each query's execution, inside the
   /// worker, before the session is consulted. Lets tests make execution
   /// arbitrarily slow to exercise admission control and timeouts.
@@ -204,6 +213,8 @@ class AssessServer {
   std::atomic<uint64_t> error_responses_{0};
   std::atomic<uint64_t> rejected_overload_{0};
   std::atomic<uint64_t> timeouts_{0};
+  std::atomic<uint64_t> ingest_rows_{0};
+  std::atomic<uint64_t> ingest_batches_{0};
 
   // Request latency histogram: lock-free Observe, whole-lifetime
   // percentiles (replaces the old sliding-window array + sort).

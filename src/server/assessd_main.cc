@@ -4,6 +4,7 @@
 //           [--engine-threads N] [--queue N] [--timeout-ms N] [--cache-mb N]
 //           [--max-frame-mb N] [--failpoints SPEC] [--failpoint-admin]
 //           [--slow-query-ms N] [--trace-sample X]
+//           [--ingest] [--ingest-auto-insert] [--ingest-max-errors N]
 //
 // Loads the database once, then serves the framed protocol of
 // server/protocol.h until SIGINT/SIGTERM, which trigger a graceful drain
@@ -38,6 +39,7 @@ int Usage(const char* argv0) {
       "          [--timeout-ms N] [--cache-mb N] [--max-frame-mb N]\n"
       "          [--failpoints SPEC] [--failpoint-admin]\n"
       "          [--slow-query-ms N] [--trace-sample X]\n"
+      "          [--ingest] [--ingest-auto-insert] [--ingest-max-errors N]\n"
       "Serves the SALES (default) or SSB database on H:P (default "
       "127.0.0.1:%u).\n"
       "--engine-threads caps how many shared-pool workers one query's scan\n"
@@ -48,7 +50,11 @@ int Usage(const char* argv0) {
       "build with ASSESS_FAILPOINTS=ON.\n"
       "--slow-query-ms dumps the span tree of queries at or over N ms to\n"
       "stderr (needs ASSESS_TRACING=ON); --trace-sample X traces only that\n"
-      "fraction of queries (deterministic, default 1).\n",
+      "fraction of queries (deterministic, default 1).\n"
+      "--ingest accepts kIngest row streams (the server is read-only\n"
+      "without it); --ingest-auto-insert lets streamed rows add new\n"
+      "dimension members; --ingest-max-errors tolerates N malformed rows\n"
+      "per load before aborting it (default 0).\n",
       argv0, assess::kDefaultPort);
   return 2;
 }
@@ -57,6 +63,7 @@ int Usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   bool use_ssb = false;
+  bool ingest_enabled = false;
   double scale_factor = 0.02;
   assess::ServerOptions options;
   options.port = assess::kDefaultPort;
@@ -127,6 +134,14 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       options.trace_sample = std::atof(v);
+    } else if (arg == "--ingest") {
+      ingest_enabled = true;
+    } else if (arg == "--ingest-auto-insert") {
+      options.ingest.auto_insert_members = true;
+    } else if (arg == "--ingest-max-errors") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.ingest.max_errors = std::atoll(v);
     } else {
       return Usage(argv[0]);
     }
@@ -154,6 +169,12 @@ int main(int argc, char** argv) {
     }
     db = std::move(built).value();
     std::fprintf(stderr, "assessd: SALES database ready\n");
+  }
+
+  if (ingest_enabled) {
+    options.mutable_db = db.get();
+    std::fprintf(stderr, "assessd: ingest enabled%s\n",
+                 options.ingest.auto_insert_members ? " (auto-insert)" : "");
   }
 
   assess::AssessServer server(db.get(), options);

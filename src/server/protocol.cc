@@ -91,6 +91,8 @@ bool IsKnownFrameType(uint8_t type) {
     case FrameType::kFailpointReply:
     case FrameType::kMetricsReply:
     case FrameType::kExplainReply:
+    case FrameType::kIngest:
+    case FrameType::kIngestReply:
       return true;
   }
   return false;
@@ -185,6 +187,52 @@ Status DecodeQueryPayload(std::string_view payload, uint64_t* request_id,
   }
   *request_id = id;
   *statement = payload.substr(8);
+  return Status::OK();
+}
+
+std::string EncodeIngestPayload(uint64_t request_id, std::string_view cube,
+                                IngestFormat format, uint8_t flags,
+                                std::string_view text) {
+  std::string payload;
+  payload.reserve(12 + cube.size() + text.size());
+  for (int i = 0; i < 8; ++i) {
+    payload.push_back(static_cast<char>((request_id >> (8 * i)) & 0xFF));
+  }
+  uint16_t cube_len = static_cast<uint16_t>(cube.size());
+  payload.push_back(static_cast<char>(cube_len & 0xFF));
+  payload.push_back(static_cast<char>((cube_len >> 8) & 0xFF));
+  payload.append(cube.data(), cube.size());
+  payload.push_back(static_cast<char>(format));
+  payload.push_back(static_cast<char>(flags));
+  payload.append(text.data(), text.size());
+  return payload;
+}
+
+Status DecodeIngestPayload(std::string_view payload, uint64_t* request_id,
+                           std::string_view* cube, IngestFormat* format,
+                           uint8_t* flags, std::string_view* text) {
+  if (payload.size() < 10) {
+    return Status::InvalidArgument("ingest frame too short for its header");
+  }
+  uint64_t id = 0;
+  for (int i = 0; i < 8; ++i) {
+    id |= static_cast<uint64_t>(static_cast<uint8_t>(payload[i])) << (8 * i);
+  }
+  size_t cube_len = static_cast<size_t>(static_cast<uint8_t>(payload[8])) |
+                    static_cast<size_t>(static_cast<uint8_t>(payload[9])) << 8;
+  if (payload.size() < 12 + cube_len) {
+    return Status::InvalidArgument("ingest frame truncated in its cube name");
+  }
+  uint8_t format_byte = static_cast<uint8_t>(payload[10 + cube_len]);
+  if (format_byte != static_cast<uint8_t>(IngestFormat::kCsv) &&
+      format_byte != static_cast<uint8_t>(IngestFormat::kJsonl)) {
+    return Status::InvalidArgument("ingest frame has an unknown format byte");
+  }
+  *request_id = id;
+  *cube = payload.substr(10, cube_len);
+  *format = static_cast<IngestFormat>(format_byte);
+  *flags = static_cast<uint8_t>(payload[11 + cube_len]);
+  *text = payload.substr(12 + cube_len);
   return Status::OK();
 }
 
@@ -386,7 +434,7 @@ struct StatsReader {
 std::string ServerStats::Serialize() const {
   std::string out;
   out.push_back('T');  // stats magic
-  out.push_back(0x03);  // v3: appends observability counters after v2 fields
+  out.push_back(0x04);  // v4: appends ingest counters after the v3 fields
   for (uint64_t v : {total_requests, ok_responses, error_responses,
                      rejected_overload, timeouts, queued, in_flight,
                      connections, worker_threads}) {
@@ -407,19 +455,23 @@ std::string ServerStats::Serialize() const {
        {latency_samples, slow_queries, traces_sampled, trace_spans}) {
     PutVarint(&out, v);
   }
+  for (uint64_t v :
+       {ingest_rows, ingest_batches, cache_epoch_invalidations}) {
+    PutVarint(&out, v);
+  }
   return out;
 }
 
 Result<ServerStats> ServerStats::Deserialize(std::string_view data) {
   StatsReader reader{data};
-  // v2 payloads (pre-observability peers) decode with the new counters left
-  // at zero; v3 appends them after the v2 field groups, so one pass reads
-  // both layouts.
+  // Older payloads decode with the newer counters left at zero; each version
+  // appends its field group after the previous one's, so one pass reads
+  // every layout.
   if (data.size() < 2 || data[0] != 'T' ||
-      (data[1] != 0x02 && data[1] != 0x03)) {
+      (data[1] != 0x02 && data[1] != 0x03 && data[1] != 0x04)) {
     return Status::InvalidArgument("stats: bad magic");
   }
-  const bool v3 = data[1] == 0x03;
+  const uint8_t version = static_cast<uint8_t>(data[1]);
   reader.pos = 2;
   ServerStats stats;
   uint64_t* ints[] = {&stats.total_requests,    &stats.ok_responses,
@@ -445,10 +497,17 @@ Result<ServerStats> ServerStats::Deserialize(std::string_view data) {
   for (uint64_t* slot : pool_ints) {
     ASSESS_RETURN_NOT_OK(reader.GetVarint(slot));
   }
-  if (v3) {
+  if (version >= 0x03) {
     uint64_t* obs_ints[] = {&stats.latency_samples, &stats.slow_queries,
                             &stats.traces_sampled, &stats.trace_spans};
     for (uint64_t* slot : obs_ints) {
+      ASSESS_RETURN_NOT_OK(reader.GetVarint(slot));
+    }
+  }
+  if (version >= 0x04) {
+    uint64_t* ingest_ints[] = {&stats.ingest_rows, &stats.ingest_batches,
+                               &stats.cache_epoch_invalidations};
+    for (uint64_t* slot : ingest_ints) {
       ASSESS_RETURN_NOT_OK(reader.GetVarint(slot));
     }
   }
@@ -459,7 +518,7 @@ Result<ServerStats> ServerStats::Deserialize(std::string_view data) {
 }
 
 std::string ServerStats::ToString() const {
-  char buf[1024];
+  char buf[1280];
   std::snprintf(
       buf, sizeof(buf),
       "requests: %llu total, %llu ok, %llu errors, %llu overload-rejected, "
@@ -472,7 +531,9 @@ std::string ServerStats::ToString() const {
       "engine: %llu pool workers, %llu scan jobs queued; morsels %llu "
       "scanned, %llu skipped by zone maps\n"
       "obs: %llu latency samples, %llu slow queries, %llu traces "
-      "(%llu spans)",
+      "(%llu spans)\n"
+      "ingest: %llu rows in %llu batches; %llu stale-epoch cache entries "
+      "swept",
       static_cast<unsigned long long>(total_requests),
       static_cast<unsigned long long>(ok_responses),
       static_cast<unsigned long long>(error_responses),
@@ -495,7 +556,10 @@ std::string ServerStats::ToString() const {
       static_cast<unsigned long long>(latency_samples),
       static_cast<unsigned long long>(slow_queries),
       static_cast<unsigned long long>(traces_sampled),
-      static_cast<unsigned long long>(trace_spans));
+      static_cast<unsigned long long>(trace_spans),
+      static_cast<unsigned long long>(ingest_rows),
+      static_cast<unsigned long long>(ingest_batches),
+      static_cast<unsigned long long>(cache_epoch_invalidations));
   return buf;
 }
 

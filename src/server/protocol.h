@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "common/result.h"
+#include "ingest/ingest.h"
 
 namespace assess {
 
@@ -47,6 +48,15 @@ namespace assess {
 ///                     executes like kQuery but under a trace, answering
 ///                     with the rendered EXPLAIN ANALYZE text (never
 ///                     deduplicated or replayed — each run re-measures)
+///   request  kIngest payload = request_id(u64 LE) | cube_len(u16 LE) |
+///                     cube name | format(u8, IngestFormat) | flags(u8,
+///                     bit0 = auto-insert members) | row text (CSV/JSONL).
+///                     Streams rows into the served database; refused with
+///                     kNotSupported unless the server was started with an
+///                     ingest-enabled (mutable) database. The request id is
+///                     the same idempotency key kQuery uses: a retried
+///                     ingest replays its stored reply instead of appending
+///                     the rows twice.
 ///   response kResult payload = SerializeAssessResult bytes
 ///            kError  payload = SerializeStatus bytes (typed code + message)
 ///            kStatsReply payload = ServerStats::Serialize bytes
@@ -54,6 +64,7 @@ namespace assess {
 ///            kFailpointReply payload = armed-failpoint listing (text)
 ///            kMetricsReply payload = metrics exposition (text)
 ///            kExplainReply payload = EXPLAIN ANALYZE rendering (text)
+///            kIngestReply payload = IngestStats::Serialize bytes
 ///
 /// The kQuery request id is the client's idempotency key: a nonzero id
 /// identifies one logical request across retries and reconnections, and the
@@ -71,6 +82,7 @@ enum class FrameType : uint8_t {
   kFailpoint = 0x04,
   kMetrics = 0x05,
   kExplainAnalyze = 0x06,
+  kIngest = 0x07,
   kResult = 0x11,
   kError = 0x12,
   kStatsReply = 0x13,
@@ -78,6 +90,7 @@ enum class FrameType : uint8_t {
   kFailpointReply = 0x15,
   kMetricsReply = 0x16,
   kExplainReply = 0x17,
+  kIngestReply = 0x18,
 };
 
 /// Frames larger than this are protocol violations by default; both sides
@@ -125,6 +138,22 @@ std::string EncodeQueryPayload(uint64_t request_id,
 /// `payload`, which must outlive it).
 Status DecodeQueryPayload(std::string_view payload, uint64_t* request_id,
                           std::string_view* statement);
+
+/// \brief Encodes a kIngest payload: request_id(u64 LE) | cube_len(u16 LE) |
+/// cube name | format(u8) | flags(u8, bit0 = auto-insert members) | row text.
+std::string EncodeIngestPayload(uint64_t request_id, std::string_view cube,
+                                IngestFormat format, uint8_t flags,
+                                std::string_view text);
+
+/// Flag bits carried in the kIngest flags byte.
+inline constexpr uint8_t kIngestFlagAutoInsert = 0x01;
+
+/// \brief Splits a kIngest payload; `cube` and `text` view into `payload`,
+/// which must outlive them. kInvalidArgument on truncation or an unknown
+/// format byte.
+Status DecodeIngestPayload(std::string_view payload, uint64_t* request_id,
+                           std::string_view* cube, IngestFormat* format,
+                           uint8_t* flags, std::string_view* text);
 
 /// \brief Opens a listening TCP socket on host:port (port 0 = ephemeral).
 /// Returns the fd and the actually bound port.
@@ -179,6 +208,10 @@ struct ServerStats {
   uint64_t slow_queries = 0;     ///< queries over --slow-query-ms
   uint64_t traces_sampled = 0;   ///< queries executed under a trace
   uint64_t trace_spans = 0;      ///< spans recorded across those traces
+  // v4: ingestion counters (zero on a read-only server).
+  uint64_t ingest_rows = 0;     ///< fact rows appended via kIngest
+  uint64_t ingest_batches = 0;  ///< epoch-stamped commits those rows made
+  uint64_t cache_epoch_invalidations = 0;  ///< stale-epoch entries swept
 
   double cache_hit_rate() const {
     return cache_lookups > 0

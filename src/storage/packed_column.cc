@@ -5,43 +5,125 @@
 
 namespace assess {
 
-PackedColumn PackedColumn::Pack(const std::vector<int32_t>& codes) {
-  int32_t max_code = 0;
-  for (int32_t c : codes) max_code = std::max(max_code, c);
+PackedColumn::Width PackedColumn::WidthFor(int32_t max_code) {
+  return max_code <= 0xFF    ? Width::kU8
+         : max_code <= 0xFFFF ? Width::kU16
+                              : Width::kU32;
+}
 
-  PackedColumn col;
-  col.size_ = static_cast<int64_t>(codes.size());
-  col.width_ = max_code <= 0xFF    ? Width::kU8
-               : max_code <= 0xFFFF ? Width::kU16
-                                    : Width::kU32;
+std::shared_ptr<PackedColumn::Buffer> PackedColumn::NewBuffer(
+    int64_t payload_bytes) {
+  auto buffer = std::make_shared<Buffer>();
   // One whole alignment unit of zero padding past the end: full-width tail
   // loads stay in bounds, and the padding decodes to code 0 (never used).
-  int64_t payload = col.size_ * col.bytes_per_code();
-  col.bytes_.assign(payload + kSimdAlign, 0);
-  switch (col.width_) {
+  buffer->assign(static_cast<size_t>(payload_bytes) + kSimdAlign, 0);
+  return buffer;
+}
+
+void PackedColumn::Encode(Width width, const int32_t* codes, int64_t n,
+                          uint8_t* out) {
+  switch (width) {
     case Width::kU8: {
-      uint8_t* out = col.bytes_.data();
-      for (int64_t i = 0; i < col.size_; ++i) {
+      for (int64_t i = 0; i < n; ++i) {
         out[i] = static_cast<uint8_t>(codes[i]);
       }
       break;
     }
     case Width::kU16: {
-      uint16_t* out = reinterpret_cast<uint16_t*>(col.bytes_.data());
-      for (int64_t i = 0; i < col.size_; ++i) {
-        out[i] = static_cast<uint16_t>(codes[i]);
+      uint16_t* out16 = reinterpret_cast<uint16_t*>(out);
+      for (int64_t i = 0; i < n; ++i) {
+        out16[i] = static_cast<uint16_t>(codes[i]);
       }
       break;
     }
     case Width::kU32: {
-      if (payload > 0) {
-        std::memcpy(col.bytes_.data(), codes.data(),
-                    static_cast<size_t>(payload));
+      if (n > 0) {
+        std::memcpy(out, codes, static_cast<size_t>(n) * sizeof(int32_t));
       }
       break;
     }
   }
+}
+
+PackedColumn PackedColumn::Pack(const std::vector<int32_t>& codes) {
+  return Pack(codes.data(), static_cast<int64_t>(codes.size()));
+}
+
+PackedColumn PackedColumn::Pack(const int32_t* codes, int64_t n) {
+  int32_t max_code = 0;
+  for (int64_t i = 0; i < n; ++i) max_code = std::max(max_code, codes[i]);
+
+  PackedColumn col;
+  col.size_ = n;
+  col.width_ = WidthFor(max_code);
+  col.bytes_ = NewBuffer(n * col.bytes_per_code());
+  Encode(col.width_, codes, n, col.bytes_->data());
   return col;
+}
+
+PackedColumn PackedColumn::ExtendedWith(const int32_t* delta, int64_t n,
+                                        bool* repacked) const {
+  *repacked = false;
+  int32_t max_code = 0;
+  for (int64_t i = 0; i < n; ++i) max_code = std::max(max_code, delta[i]);
+  const Width need = WidthFor(max_code);
+
+  PackedColumn out;
+  out.size_ = size_ + n;
+
+  const bool width_ok =
+      static_cast<int>(need) <= static_cast<int>(width_);
+  if (bytes_ != nullptr && width_ok) {
+    const int64_t old_payload = size_ * bytes_per_code();
+    const int64_t new_payload = out.size_ * bytes_per_code();
+    if (new_payload + static_cast<int64_t>(kSimdAlign) <=
+        static_cast<int64_t>(bytes_->size())) {
+      // In-place append past the published prefix: bytes beyond `size_` are
+      // unobservable through any older version of this column, and the
+      // region past the new payload is still the zeroed padding.
+      Encode(width_, delta, n, bytes_->data() + old_payload);
+      out.width_ = width_;
+      out.bytes_ = bytes_;
+      return out;
+    }
+  }
+
+  // Reallocation: either the buffer is out of headroom (re-encode at the
+  // same width, with geometric growth so repeated batch appends amortize)
+  // or a delta code overflowed the width tier (full repack, one tier up).
+  out.width_ = width_ok ? width_ : need;
+  *repacked = !width_ok && bytes_ != nullptr && size_ > 0;
+  const int64_t payload = out.size_ * out.bytes_per_code();
+  out.bytes_ = NewBuffer(std::max<int64_t>(payload * 2, 4096));
+  if (size_ > 0) {
+    if (out.width_ == width_) {
+      std::memcpy(out.bytes_->data(), bytes_->data(),
+                  static_cast<size_t>(size_ * bytes_per_code()));
+    } else {
+      uint8_t* base = out.bytes_->data();
+      switch (out.width_) {
+        case Width::kU8:
+          for (int64_t i = 0; i < size_; ++i) {
+            base[i] = static_cast<uint8_t>(CodeAt(i));
+          }
+          break;
+        case Width::kU16:
+          for (int64_t i = 0; i < size_; ++i) {
+            reinterpret_cast<uint16_t*>(base)[i] =
+                static_cast<uint16_t>(CodeAt(i));
+          }
+          break;
+        case Width::kU32:
+          for (int64_t i = 0; i < size_; ++i) {
+            reinterpret_cast<uint32_t*>(base)[i] =
+                static_cast<uint32_t>(CodeAt(i));
+          }
+          break;
+      }
+    }
+  }
+  Encode(out.width_, delta, n, out.bytes_->data() + size_ * out.bytes_per_code());
+  return out;
 }
 
 }  // namespace assess

@@ -2,6 +2,7 @@
 #define ASSESS_STORAGE_PACKED_COLUMN_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/simd.h"
@@ -23,6 +24,14 @@ namespace assess {
 /// load at the tail without reading unowned memory (the scalar tail loop
 /// never reads the padding, and padding codes never reach a lane-table
 /// gather).
+///
+/// The buffer is held behind a shared_ptr so column versions are cheap to
+/// snapshot: ExtendedWith() appends codes for an appended fact-row suffix
+/// into the *same* buffer when the width tier and capacity allow it —
+/// readers of older versions index only their own (smaller) prefix, and the
+/// scan kernels never load past the scan end, so the append is invisible to
+/// them — and falls back to a fresh buffer, re-encoding every code at the
+/// wider width, when a new code overflows the current tier.
 class PackedColumn {
  public:
   enum class Width : uint8_t { kU8 = 1, kU16 = 2, kU32 = 4 };
@@ -31,31 +40,52 @@ class PackedColumn {
 
   /// \brief Packs `codes` (all non-negative) at the narrowest width.
   static PackedColumn Pack(const std::vector<int32_t>& codes);
+  static PackedColumn Pack(const int32_t* codes, int64_t n);
+
+  /// \brief A column covering this one's codes plus `delta[0, n)` appended.
+  /// Single-writer: callers must serialize every ExtendedWith on one column
+  /// lineage (FactTable's derived mutex does). Sets *repacked when a delta
+  /// code overflowed the width tier and forced a full repack of the column
+  /// at the next width.
+  PackedColumn ExtendedWith(const int32_t* delta, int64_t n,
+                            bool* repacked) const;
 
   int64_t size() const { return size_; }
   Width width() const { return width_; }
   int bytes_per_code() const { return static_cast<int>(width_); }
   int64_t byte_size() const { return size_ * bytes_per_code(); }
 
-  const uint8_t* data() const { return bytes_.data(); }
+  const uint8_t* data() const {
+    return bytes_ != nullptr ? bytes_->data() : nullptr;
+  }
 
   int32_t CodeAt(int64_t i) const {
+    const uint8_t* base = bytes_->data();
     switch (width_) {
       case Width::kU8:
-        return bytes_[i];
+        return base[i];
       case Width::kU16:
-        return reinterpret_cast<const uint16_t*>(bytes_.data())[i];
+        return reinterpret_cast<const uint16_t*>(base)[i];
       case Width::kU32:
         return static_cast<int32_t>(
-            reinterpret_cast<const uint32_t*>(bytes_.data())[i]);
+            reinterpret_cast<const uint32_t*>(base)[i]);
     }
     return 0;
   }
 
  private:
+  using Buffer = std::vector<uint8_t, SimdAllocator<uint8_t>>;
+
+  static Width WidthFor(int32_t max_code);
+  static void Encode(Width width, const int32_t* codes, int64_t n,
+                     uint8_t* out);
+  /// Allocates a zeroed buffer holding `payload_bytes` of codes plus the
+  /// alignment unit of tail padding.
+  static std::shared_ptr<Buffer> NewBuffer(int64_t payload_bytes);
+
   Width width_ = Width::kU32;
   int64_t size_ = 0;
-  std::vector<uint8_t, SimdAllocator<uint8_t>> bytes_;
+  std::shared_ptr<Buffer> bytes_;
 };
 
 }  // namespace assess

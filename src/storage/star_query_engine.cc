@@ -29,7 +29,10 @@ namespace {
 // member ids and predicate pass flags.
 struct HierScanPlan {
   bool grouped = false;
-  const std::vector<int32_t>* codes = nullptr;  // source code column
+  // Source code column: a raw pointer (into a fact snapshot's pinned bank,
+  // or a rolled-up cube's coordinate column) so plans never re-read a
+  // vector object a concurrent appender may be growing.
+  const int32_t* codes = nullptr;
   // Dictionary-compressed view of `codes` (fact scans only); the fused
   // kernels read it instead of the int32 column when present.
   const PackedColumn* packed = nullptr;
@@ -60,7 +63,7 @@ struct HierScanPlan {
 };
 
 struct MeasureScanPlan {
-  const std::vector<double>* source = nullptr;
+  const double* source = nullptr;
   AggOp op = AggOp::kSum;  // effective re-aggregation operator
   std::string name;
 };
@@ -99,7 +102,7 @@ void AggregateRange(int64_t begin, int64_t end,
     bool pass = true;
     int g = 0;
     for (HierScanPlan* h : needed) {
-      int32_t code = (*h->codes)[r];
+      int32_t code = h->codes[r];
       if (!h->pass.empty() && !h->pass[code]) {
         pass = false;
         break;
@@ -126,7 +129,7 @@ void AggregateRange(int64_t begin, int64_t end,
       }
     }
     for (int m = 0; m < num_measures; ++m) {
-      double v = measures[m].source ? (*measures[m].source)[r] : 0.0;
+      double v = measures[m].source ? measures[m].source[r] : 0.0;
       switch (measures[m].op) {
         case AggOp::kSum:
           state->acc[m][group] += v;
@@ -341,7 +344,7 @@ Result<Cube> Aggregate(int64_t rows, std::vector<HierScanPlan>& hiers,
       lane_tables.push_back(std::move(lane));
       KernelColumn col;
       col.packed = h->packed;
-      if (h->packed == nullptr) col.codes32 = h->codes->data();
+      if (h->packed == nullptr) col.codes32 = h->codes;
       col.lane = lane_tables.back().data();
       fused_args.columns.push_back(col);
       if (h->grouped) {
@@ -353,8 +356,7 @@ Result<Cube> Aggregate(int64_t rows, std::vector<HierScanPlan>& hiers,
       }
     }
     for (const MeasureScanPlan& m : measures) {
-      fused_args.measures.push_back(KernelMeasure{
-          m.source != nullptr ? m.source->data() : nullptr, m.op});
+      fused_args.measures.push_back(KernelMeasure{m.source, m.op});
     }
   }
 
@@ -505,7 +507,7 @@ Result<Cube> AggregateFromRollup(const CubeSchema& schema,
     HierScanPlan plan;
     plan.hierarchy = schema.hierarchy_ptr(h);
     plan.grouped = grouped;
-    plan.codes = &data.coord_column(pos);
+    plan.codes = data.coord_column(pos).data();
     plan.code_domain = hier.LevelCardinality(data_level);
     if (grouped) {
       plan.group_level = query.group_by.LevelOf(h);
@@ -526,7 +528,7 @@ Result<Cube> AggregateFromRollup(const CubeSchema& schema,
     const MeasureDef& def = schema.measure(m);
     ASSESS_ASSIGN_OR_RETURN(int src, data.MeasureIndex(def.name));
     MeasureScanPlan mp;
-    mp.source = &data.measure_column(src);
+    mp.source = data.measure_column(src).data();
     // Counts stored in the source re-aggregate by summation.
     mp.op = def.op == AggOp::kCount ? AggOp::kSum : def.op;
     mp.name = def.name;
@@ -631,16 +633,21 @@ Result<Cube> StarQueryEngine::ExecuteGet(const BoundCube& bound,
                                          const CubeQuery& query) const {
   ASSESS_FAILPOINT("storage.group_by");
   last_cache_outcome_ = CacheOutcome::kBypass;
-  if (cache_ == nullptr) return ExecuteUncached(bound, query);
+  if (cache_ == nullptr) return ExecuteUncached(bound, query, nullptr);
   const CubeSchema& schema = bound.schema();
   for (const Predicate& p : query.predicates) {
     if (p.hierarchy < 0 || p.hierarchy >= schema.hierarchy_count()) {
       // Let the scan path produce its usual diagnostic.
-      return ExecuteUncached(bound, query);
+      return ExecuteUncached(bound, query, nullptr);
     }
   }
 
+  // Admission: capture the snapshot the whole get answers at. The cache is
+  // keyed by its epoch, so entries are only ever reused for byte-identical
+  // table contents, and the scan below reads exactly this prefix.
+  FactSnapshot snap = bound.facts().Snapshot();
   CanonicalQuery canon = CanonicalizeQuery(query);
+  canon.epoch = snap.epoch;
   std::string key = FingerprintKey(canon);
   if (std::optional<Cube> hit = cache_->FindExact(key)) {
     last_used_view_ = false;
@@ -676,14 +683,15 @@ Result<Cube> StarQueryEngine::ExecuteGet(const BoundCube& bound,
     cache_->Insert(key, std::move(canon), rolled);
     return rolled;
   }
-  ASSESS_ASSIGN_OR_RETURN(Cube cube, ExecuteUncached(bound, query));
+  ASSESS_ASSIGN_OR_RETURN(Cube cube, ExecuteUncached(bound, query, &snap));
   last_cache_outcome_ = CacheOutcome::kMiss;
   cache_->Insert(key, std::move(canon), cube);
   return cube;
 }
 
 Result<Cube> StarQueryEngine::ExecuteUncached(const BoundCube& bound,
-                                              const CubeQuery& query) const {
+                                              const CubeQuery& query,
+                                              const FactSnapshot* snap_in) const {
   ASSESS_FAILPOINT("storage.scan");
   const CubeSchema& schema = bound.schema();
   last_used_view_ = false;
@@ -701,13 +709,26 @@ Result<Cube> StarQueryEngine::ExecuteUncached(const BoundCube& bound,
     return Status::NotSupported("group-by sets beyond 16 levels");
   }
 
+  // Admission snapshot: the consistent committed prefix this get answers
+  // at (passed down by ExecuteGet so the cache key's epoch and the scan
+  // agree; taken here for uncached paths).
+  const FactTable& facts = bound.facts();
+  FactSnapshot snap = snap_in != nullptr ? *snap_in : facts.Snapshot();
+
   int view_index = -1;
+  std::shared_ptr<const ViewSet> view_set;
   if (use_views_) {
-    view_index = PickBestView(schema, query, bound.views());
+    view_set = bound.views_snapshot();
+    // Views lag fact commits by design (facts publish first, views after);
+    // a set stamped at another epoch aggregates different table contents,
+    // so the scan falls back to the facts rather than mix epochs.
+    if (view_set->epoch == snap.epoch) {
+      view_index = PickBestView(schema, query, view_set->views);
+    }
   }
   if (view_index >= 0) {
     last_used_view_ = true;
-    const MaterializedView& view = bound.views()[view_index];
+    const MaterializedView& view = view_set->views[view_index];
     Span span("engine.scan");
     MorselExec exec{pool_.get(), threads_};
     auto result = AggregateFromRollup(schema, query, preds, view.data,
@@ -716,6 +737,7 @@ Result<Cube> StarQueryEngine::ExecuteUncached(const BoundCube& bound,
     if (span.active()) {
       span.AddString("source", "view");
       span.AddInt("rows", view.data.NumRows());
+      span.AddInt("epoch", static_cast<int64_t>(snap.epoch));
       span.AddInt("morsels_scanned", static_cast<int64_t>(exec.scanned));
       span.AddInt("morsels_skipped", static_cast<int64_t>(exec.skipped));
     }
@@ -726,11 +748,12 @@ Result<Cube> StarQueryEngine::ExecuteUncached(const BoundCube& bound,
   Span span("engine.scan");
   std::vector<HierScanPlan> hiers;
   std::vector<MeasureScanPlan> measures;
-  const FactTable& facts = bound.facts();
-  int64_t rows = facts.NumRows();
-  const PackedFactColumns& packed = facts.packed_fk();
-  ASSESS_RETURN_NOT_OK(facts.CheckDerivedFreshness(
-      packed.built_rows, "packed foreign-key views"));
+  const int64_t rows = snap.rows;
+  // Build or extend the packed/zone accelerators up to the snapshot before
+  // reading any dimension state: every code they cover then predates the
+  // dimension rows visible below, keeping lane tables and pass flags large
+  // enough for every code a scan or pruner can meet.
+  facts.EnsureDerived(&snap);
   for (int h = 0; h < schema.hierarchy_count(); ++h) {
     bool grouped = query.group_by.HasHierarchy(h);
     if (!grouped && preds[h].empty()) continue;
@@ -738,8 +761,8 @@ Result<Cube> StarQueryEngine::ExecuteUncached(const BoundCube& bound,
     HierScanPlan plan;
     plan.hierarchy = schema.hierarchy_ptr(h);
     plan.grouped = grouped;
-    plan.codes = &facts.fk_column(h);
-    plan.packed = &packed.dims[h];
+    plan.codes = snap.fk[h];
+    plan.packed = &snap.derived->packed.dims[h];
     plan.code_domain = dim.NumRows();
     plan.fact_dim = h;
     if (grouped) {
@@ -755,31 +778,77 @@ Result<Cube> StarQueryEngine::ExecuteUncached(const BoundCube& bound,
   for (int m : query.measures) {
     const MeasureDef& def = schema.measure(m);
     MeasureScanPlan mp;
-    mp.source = &facts.measure_column(m);
+    mp.source = snap.measures[m];
     mp.op = def.op;
     mp.name = def.name;
     measures.push_back(std::move(mp));
   }
   MorselExec exec{pool_.get(), threads_};
   // Zone maps pay off only when there is a predicate to prune with and more
-  // than one morsel to prune; building them is one-time per table.
+  // than one morsel to prune; extension for appended suffixes is
+  // incremental, so this stays one boundary-morsel recompute per commit.
   bool predicated = false;
   for (const HierScanPlan& h : hiers) {
     if (!h.pass.empty()) predicated = true;
   }
   if (predicated && rows > kMorselRows) {
-    const FactZoneMaps& zones = facts.zone_maps();
-    ASSESS_RETURN_NOT_OK(
-        facts.CheckDerivedFreshness(zones.built_rows, "zone maps"));
-    exec.zones = &zones;
+    exec.zones = &snap.derived->zones;
   }
   auto result = Aggregate(rows, hiers, measures, &exec);
   CountMorsels(exec.scanned, exec.skipped);
   if (span.active()) {
     span.AddString("source", "fact");
     span.AddInt("rows", rows);
+    span.AddInt("epoch", static_cast<int64_t>(snap.epoch));
     span.AddInt("morsels_scanned", static_cast<int64_t>(exec.scanned));
     span.AddInt("morsels_skipped", static_cast<int64_t>(exec.skipped));
+  }
+  AddKernelSpanAttrs(span, exec);
+  return result;
+}
+
+Result<Cube> StarQueryEngine::AggregateFactRange(const BoundCube& bound,
+                                                 const GroupBySet& group_by,
+                                                 int64_t from,
+                                                 int64_t to) const {
+  const CubeSchema& schema = bound.schema();
+  FactSnapshot snap = bound.facts().Snapshot();
+  if (from < 0 || to < from || to > snap.rows) {
+    return Status::InvalidArgument(
+        "fact range [" + std::to_string(from) + ", " + std::to_string(to) +
+        ") is outside the committed prefix of '" + bound.facts().name() +
+        "' (" + std::to_string(snap.rows) + " rows)");
+  }
+  Span span("engine.delta_scan");
+  std::vector<HierScanPlan> hiers;
+  std::vector<MeasureScanPlan> measures;
+  for (int h = 0; h < schema.hierarchy_count(); ++h) {
+    if (!group_by.HasHierarchy(h)) continue;
+    const DimensionTable& dim = bound.dimension(h);
+    HierScanPlan plan;
+    plan.hierarchy = schema.hierarchy_ptr(h);
+    plan.grouped = true;
+    plan.codes = snap.fk[h] + from;
+    plan.code_domain = dim.NumRows();
+    plan.group_level = group_by.LevelOf(h);
+    plan.external_group_code = &dim.level_column(plan.group_level);
+    hiers.push_back(std::move(plan));
+  }
+  for (int m = 0; m < schema.measure_count(); ++m) {
+    const MeasureDef& def = schema.measure(m);
+    MeasureScanPlan mp;
+    mp.source = snap.measures[m] + from;
+    mp.op = def.op;
+    mp.name = def.name;
+    measures.push_back(std::move(mp));
+  }
+  MorselExec exec{pool_.get(), threads_};
+  auto result = Aggregate(to - from, hiers, measures, &exec);
+  CountMorsels(exec.scanned, exec.skipped);
+  if (span.active()) {
+    span.AddString("source", "fact_delta");
+    span.AddInt("rows", to - from);
+    span.AddInt("epoch", static_cast<int64_t>(snap.epoch));
   }
   AddKernelSpanAttrs(span, exec);
   return result;

@@ -143,6 +143,14 @@ class StarQueryEngine {
                                   const std::vector<std::string>& level_names,
                                   const std::string& view_name) const;
 
+  /// \brief Aggregates committed fact rows [from, to) of `bound` at
+  /// `group_by` — no predicates, all schema measures — through the fused
+  /// kernels. This is the delta-aggregation primitive incremental
+  /// materialized-view maintenance feeds appended batches through.
+  Result<Cube> AggregateFactRange(const BoundCube& bound,
+                                  const GroupBySet& group_by, int64_t from,
+                                  int64_t to) const;
+
   /// \brief Whether the last Execute() was answered from a view (observable
   /// for tests and the ablation bench). False for cache hits.
   bool last_used_view() const { return last_used_view_; }
@@ -181,8 +189,10 @@ class StarQueryEngine {
   /// roll-up, or uncached scan.
   Result<Cube> ExecuteGet(const BoundCube& bound,
                           const CubeQuery& query) const;
-  Result<Cube> ExecuteUncached(const BoundCube& bound,
-                               const CubeQuery& query) const;
+  /// `snap_in` is the admission snapshot the get must answer at (so the
+  /// cache key's epoch and the scan agree); null takes a fresh one.
+  Result<Cube> ExecuteUncached(const BoundCube& bound, const CubeQuery& query,
+                               const FactSnapshot* snap_in) const;
   void CountMorsels(uint64_t scanned, uint64_t skipped) const;
 
   const StarDatabase* db_;

@@ -2,6 +2,8 @@
 #define ASSESS_STORAGE_STAR_SCHEMA_H_
 
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -13,6 +15,21 @@
 
 namespace assess {
 
+/// \brief An immutable, atomically-swapped set of materialized views,
+/// stamped with the fact-table epoch its contents aggregate. The engine
+/// uses a set only when its epoch matches the fact snapshot it scans at;
+/// otherwise the views lag a commit and the scan falls back to the facts —
+/// so a query never mixes view data and fact data from different epochs.
+struct ViewSet {
+  uint64_t epoch = 0;
+  /// Committed fact rows the view contents aggregate: incremental
+  /// maintenance may merge a delta only when the delta's first row equals
+  /// this count (otherwise rows slipped in between and the maintainer
+  /// falls back to a full rebuild).
+  int64_t rows = 0;
+  std::vector<MaterializedView> views;
+};
+
 /// \brief A detailed cube bound to its star-schema storage: the cube schema,
 /// one dimension table per hierarchy (parallel to schema hierarchy order),
 /// the fact table, and any materialized views declared on it.
@@ -22,7 +39,8 @@ class BoundCube {
             std::vector<DimensionTable> dimensions, FactTable facts)
       : schema_(std::move(schema)),
         dimensions_(std::move(dimensions)),
-        facts_(std::move(facts)) {}
+        facts_(std::move(facts)),
+        views_(std::make_shared<const ViewSet>()) {}
 
   const CubeSchema& schema() const { return *schema_; }
   const std::shared_ptr<CubeSchema>& schema_ptr() const { return schema_; }
@@ -30,8 +48,53 @@ class BoundCube {
   const DimensionTable& dimension(int h) const { return dimensions_[h]; }
   const FactTable& facts() const { return facts_; }
 
-  const std::vector<MaterializedView>& views() const { return views_; }
-  void AddView(MaterializedView view) { views_.push_back(std::move(view)); }
+  /// \brief Write access for ingestion. Fact appends are snapshot-safe on
+  /// their own; dimension growth additionally requires the database's
+  /// exclusive schema lock (see StarDatabase::schema_mutex).
+  FactTable& mutable_facts() { return facts_; }
+  DimensionTable& mutable_dimension(int h) { return dimensions_[h]; }
+
+  /// \brief The current view set (never null; possibly empty).
+  std::shared_ptr<const ViewSet> views_snapshot() const {
+    std::lock_guard<std::mutex> lock(view_mu_);
+    return views_;
+  }
+
+  /// \brief Legacy accessor into the current set; setup-time use only (the
+  /// reference is invalidated by the next AddView/PublishViews).
+  const std::vector<MaterializedView>& views() const {
+    std::lock_guard<std::mutex> lock(view_mu_);
+    return views_->views;
+  }
+
+  /// \brief Appends a view, stamping the set at the facts' current epoch
+  /// (setup-time path: no appender may run concurrently).
+  void AddView(MaterializedView view) {
+    std::lock_guard<std::mutex> lock(view_mu_);
+    auto next = std::make_shared<ViewSet>();
+    next->epoch = facts_.epoch();
+    next->rows = facts_.NumRows();
+    next->views = views_->views;
+    next->views.push_back(std::move(view));
+    views_ = std::move(next);
+  }
+
+  /// \brief Atomically replaces the whole set — the incremental-maintenance
+  /// commit path. `epoch` / `rows` are the fact epoch and committed row
+  /// count the view contents aggregate.
+  void PublishViews(std::vector<MaterializedView> views, uint64_t epoch,
+                    int64_t rows) {
+    auto next = std::make_shared<ViewSet>();
+    next->epoch = epoch;
+    next->rows = rows;
+    next->views = std::move(views);
+    std::lock_guard<std::mutex> lock(view_mu_);
+    views_ = std::move(next);
+  }
+
+  /// \brief Serializes appenders on this cube: one ingest commit (append +
+  /// derived extension + view maintenance + cache invalidation) at a time.
+  std::mutex& ingest_mutex() const { return ingest_mu_; }
 
   /// \brief Cross-checks dimension tables against their hierarchies and the
   /// fact table's foreign keys against dimension sizes.
@@ -41,7 +104,9 @@ class BoundCube {
   std::shared_ptr<CubeSchema> schema_;
   std::vector<DimensionTable> dimensions_;
   FactTable facts_;
-  std::vector<MaterializedView> views_;
+  mutable std::mutex view_mu_;
+  std::shared_ptr<const ViewSet> views_;
+  mutable std::mutex ingest_mu_;
 };
 
 /// \brief The database: a catalog of named detailed cubes. Targets and
@@ -62,11 +127,20 @@ class StarDatabase {
   /// \brief Names of all registered cubes (catalog listing).
   std::vector<std::string> CubeNames() const;
 
-  /// \brief Mutable access, used to attach materialized views after load.
+  /// \brief Mutable access, used to attach materialized views after load
+  /// and by the ingestion path.
   Result<BoundCube*> FindMutable(std::string_view name);
+
+  /// \brief The schema lock. Member-stable fact appends are lock-free
+  /// (snapshots isolate them); but growing a dimension table or a hierarchy
+  /// dictionary mutates structures queries index directly, so sessions hold
+  /// this shared for the duration of a statement and dictionary-mutating
+  /// ingest commits hold it exclusive.
+  std::shared_mutex& schema_mutex() const { return schema_mu_; }
 
  private:
   std::unordered_map<std::string, std::unique_ptr<BoundCube>> cubes_;
+  mutable std::shared_mutex schema_mu_;
 };
 
 }  // namespace assess

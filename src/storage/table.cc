@@ -41,75 +41,198 @@ DimensionTable DimensionTable::FromColumns(
   return table;
 }
 
+FactTable::FactTable(std::string name, int dimension_count, int measure_count)
+    : name_(std::move(name)),
+      dims_(dimension_count),
+      meas_(measure_count),
+      state_(std::make_unique<State>()) {
+  state_->bank = std::make_shared<ColumnBank>();
+  state_->bank->fk.resize(dims_);
+  state_->bank->measures.resize(meas_);
+}
+
 FactTable FactTable::FromColumns(std::string name,
                                  std::vector<std::vector<int32_t>> fks,
                                  std::vector<std::vector<double>> measures) {
   FactTable table(std::move(name), static_cast<int>(fks.size()),
                   static_cast<int>(measures.size()));
-  table.fk_ = std::move(fks);
-  table.measures_ = std::move(measures);
+  int64_t rows = !fks.empty()         ? static_cast<int64_t>(fks[0].size())
+                 : !measures.empty()  ? static_cast<int64_t>(measures[0].size())
+                                      : 0;
+  table.state_->bank->fk = std::move(fks);
+  table.state_->bank->measures = std::move(measures);
+  table.state_->rows.store(rows, std::memory_order_release);
+  table.state_->epoch.store(rows > 0 ? 1 : 0, std::memory_order_release);
   return table;
 }
 
+void FactTable::EnsureCapacityLocked(int64_t extra) {
+  ColumnBank& bank = *state_->bank;
+  const int64_t rows = state_->rows.load(std::memory_order_relaxed);
+  const int64_t need = rows + extra;
+  bool fits = true;
+  for (const auto& col : bank.fk) {
+    if (static_cast<int64_t>(col.capacity()) < need) fits = false;
+  }
+  for (const auto& col : bank.measures) {
+    if (static_cast<int64_t>(col.capacity()) < need) fits = false;
+  }
+  if (fits) return;
+
+  // Live snapshots hold raw pointers into the current arrays; growing a
+  // column in place would reallocate under them. Growth therefore clones
+  // the whole bank — snapshots pin the old one until they drop — with
+  // geometric headroom so repeated appends amortize to O(1) per row.
+  const int64_t cap = std::max<int64_t>({need, rows * 2, int64_t{1024}});
+  auto grown = std::make_shared<ColumnBank>();
+  grown->fk.resize(bank.fk.size());
+  grown->measures.resize(bank.measures.size());
+  for (size_t d = 0; d < bank.fk.size(); ++d) {
+    grown->fk[d].reserve(cap);
+    grown->fk[d].assign(bank.fk[d].begin(), bank.fk[d].end());
+  }
+  for (size_t m = 0; m < bank.measures.size(); ++m) {
+    grown->measures[m].reserve(cap);
+    grown->measures[m].assign(bank.measures[m].begin(),
+                              bank.measures[m].end());
+  }
+  state_->bank = std::move(grown);
+}
+
 void FactTable::Reserve(int64_t rows) {
-  for (auto& col : fk_) col.reserve(rows);
-  for (auto& col : measures_) col.reserve(rows);
+  std::lock_guard<std::mutex> lock(state_->mu);
+  int64_t have = state_->rows.load(std::memory_order_relaxed);
+  if (rows > have) EnsureCapacityLocked(rows - have);
 }
 
 void FactTable::AddRow(const std::vector<int32_t>& fks,
                        const std::vector<double>& measures) {
-  for (size_t d = 0; d < fk_.size(); ++d) fk_[d].push_back(fks[d]);
-  for (size_t m = 0; m < measures_.size(); ++m) {
-    measures_[m].push_back(measures[m]);
+  std::lock_guard<std::mutex> lock(state_->mu);
+  EnsureCapacityLocked(1);
+  ColumnBank& bank = *state_->bank;
+  for (int d = 0; d < dims_; ++d) bank.fk[d].push_back(fks[d]);
+  for (int m = 0; m < meas_; ++m) bank.measures[m].push_back(measures[m]);
+  state_->rows.store(state_->rows.load(std::memory_order_relaxed) + 1,
+                     std::memory_order_release);
+  state_->epoch.store(state_->epoch.load(std::memory_order_relaxed) + 1,
+                      std::memory_order_release);
+}
+
+AppendResult FactTable::AppendBatch(
+    const std::vector<std::vector<int32_t>>& fks,
+    const std::vector<std::vector<double>>& measures) {
+  assert(static_cast<int>(fks.size()) == dims_);
+  assert(static_cast<int>(measures.size()) == meas_);
+  const int64_t n = !fks.empty()        ? static_cast<int64_t>(fks[0].size())
+                    : !measures.empty() ? static_cast<int64_t>(measures[0].size())
+                                        : 0;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  AppendResult result;
+  result.first_row = state_->rows.load(std::memory_order_relaxed);
+  result.rows = n;
+  result.epoch = state_->epoch.load(std::memory_order_relaxed);
+  if (n == 0) return result;
+  EnsureCapacityLocked(n);
+  ColumnBank& bank = *state_->bank;
+  for (int d = 0; d < dims_; ++d) {
+    assert(static_cast<int64_t>(fks[d].size()) == n);
+    bank.fk[d].insert(bank.fk[d].end(), fks[d].begin(), fks[d].end());
   }
+  for (int m = 0; m < meas_; ++m) {
+    assert(static_cast<int64_t>(measures[m].size()) == n);
+    bank.measures[m].insert(bank.measures[m].end(), measures[m].begin(),
+                            measures[m].end());
+  }
+  result.epoch += 1;
+  state_->rows.store(result.first_row + n, std::memory_order_release);
+  state_->epoch.store(result.epoch, std::memory_order_release);
+  return result;
 }
 
-const FactZoneMaps& FactTable::zone_maps() const {
-  std::call_once(zone_cache_->once, [this] {
-    FactZoneMaps& maps = zone_cache_->maps;
-    const SimdLevel simd = ActiveSimdLevel();
-    int64_t rows = NumRows();
-    maps.built_rows = rows;
-    maps.num_morsels = rows == 0 ? 0 : (rows + kMorselRows - 1) / kMorselRows;
-    maps.dims.resize(fk_.size());
-    for (size_t d = 0; d < fk_.size(); ++d) {
-      const std::vector<int32_t>& codes = fk_[d];
-      maps.dims[d].resize(maps.num_morsels);
-      for (int64_t m = 0; m < maps.num_morsels; ++m) {
-        int64_t begin = m * kMorselRows;
-        int64_t end = std::min(rows, begin + kMorselRows);
-        ZoneRange zone;
-        MinMaxInt32(simd, codes.data() + begin, end - begin, &zone.min,
-                    &zone.max);
-        maps.dims[d][m] = zone;
-      }
+FactSnapshot FactTable::Snapshot() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  FactSnapshot snap;
+  snap.rows = state_->rows.load(std::memory_order_relaxed);
+  snap.epoch = state_->epoch.load(std::memory_order_relaxed);
+  const ColumnBank& bank = *state_->bank;
+  snap.fk.reserve(dims_);
+  for (int d = 0; d < dims_; ++d) snap.fk.push_back(bank.fk[d].data());
+  snap.measures.reserve(meas_);
+  for (int m = 0; m < meas_; ++m) {
+    snap.measures.push_back(bank.measures[m].data());
+  }
+  snap.bank = state_->bank;
+  return snap;
+}
+
+FactSnapshot FactTable::SnapshotWithDerived() const {
+  FactSnapshot snap = Snapshot();
+  EnsureDerived(&snap);
+  return snap;
+}
+
+void FactTable::EnsureDerived(FactSnapshot* snap) const {
+  std::lock_guard<std::mutex> lock(state_->derived_mu);
+  std::shared_ptr<const FactDerived> cur = state_->derived;
+  if (cur != nullptr && cur->rows() >= snap->rows) {
+    snap->derived = std::move(cur);
+    return;
+  }
+  const int64_t old_rows = cur != nullptr ? cur->rows() : 0;
+  const int64_t rows = snap->rows;
+  const SimdLevel simd = ActiveSimdLevel();
+
+  auto next = std::make_shared<FactDerived>();
+  next->repacks = cur != nullptr ? cur->repacks : 0;
+  next->packed.built_rows = rows;
+  next->packed.dims.reserve(dims_);
+  for (int d = 0; d < dims_; ++d) {
+    const int32_t* codes = snap->fk[d];
+    if (cur != nullptr) {
+      bool repacked = false;
+      next->packed.dims.push_back(cur->packed.dims[d].ExtendedWith(
+          codes + old_rows, rows - old_rows, &repacked));
+      if (repacked) ++next->repacks;
+    } else {
+      next->packed.dims.push_back(PackedColumn::Pack(codes, rows));
     }
-  });
-  return zone_cache_->maps;
-}
+  }
 
-const PackedFactColumns& FactTable::packed_fk() const {
-  std::call_once(packed_cache_->once, [this] {
-    PackedFactColumns& packed = packed_cache_->columns;
-    packed.built_rows = NumRows();
-    packed.dims.reserve(fk_.size());
-    for (const std::vector<int32_t>& codes : fk_) {
-      packed.dims.push_back(PackedColumn::Pack(codes));
+  FactZoneMaps& zones = next->zones;
+  zones.built_rows = rows;
+  zones.num_morsels = rows == 0 ? 0 : (rows + kMorselRows - 1) / kMorselRows;
+  zones.dims.resize(dims_);
+  // Only the boundary morsel (which the suffix may have grown) and the
+  // brand-new morsels need computing; complete older morsels are copied.
+  const int64_t first_dirty = old_rows / kMorselRows;
+  for (int d = 0; d < dims_; ++d) {
+    std::vector<ZoneRange>& zd = zones.dims[d];
+    if (cur != nullptr) zd = cur->zones.dims[d];
+    zd.resize(zones.num_morsels);
+    for (int64_t m = first_dirty; m < zones.num_morsels; ++m) {
+      int64_t begin = m * kMorselRows;
+      int64_t end = std::min(rows, begin + kMorselRows);
+      MinMaxInt32(simd, snap->fk[d] + begin, end - begin, &zd[m].min,
+                  &zd[m].max);
     }
-  });
-  return packed_cache_->columns;
+  }
+
+  state_->derived = next;
+  snap->derived = std::move(next);
 }
 
-Status FactTable::CheckDerivedFreshness(int64_t built_rows,
-                                        const char* what) const {
-  if (built_rows == NumRows()) return Status::OK();
-  assert(false && "derived scan structure is stale: rows were appended "
-                  "after it was built");
-  return Status::Internal(
-      std::string(what) + " of fact table '" + name_ + "' are stale: built "
-      "at " + std::to_string(built_rows) + " rows but the table now has " +
-      std::to_string(NumRows()) +
-      "; loaders must finish appending before serving starts");
+void FactTable::ExtendDerivedIfBuilt() const {
+  {
+    std::lock_guard<std::mutex> lock(state_->derived_mu);
+    if (state_->derived == nullptr) return;
+  }
+  FactSnapshot snap = Snapshot();
+  EnsureDerived(&snap);
+}
+
+uint64_t FactTable::derived_repacks() const {
+  std::lock_guard<std::mutex> lock(state_->derived_mu);
+  return state_->derived != nullptr ? state_->derived->repacks : 0;
 }
 
 }  // namespace assess

@@ -1,6 +1,7 @@
 #ifndef ASSESS_STORAGE_TABLE_H_
 #define ASSESS_STORAGE_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -23,24 +24,66 @@ struct ZoneRange {
 
 /// \brief Per-morsel zone maps over a fact table: dims[d][m] is the code
 /// range of dimension d within morsel m (kMorselRows rows per morsel, the
-/// scheduling granularity of common/task_pool.h). Built once, lazily, on
-/// the first scan that can use them.
+/// scheduling granularity of common/task_pool.h). Built lazily on the first
+/// scan that can use them and *extended* incrementally when rows are
+/// appended afterwards (only the boundary morsel is recomputed).
 struct FactZoneMaps {
   int64_t num_morsels = 0;
-  /// NumRows() when the maps were built: the scan path refuses to prune
-  /// with maps that no longer cover the table (see
-  /// FactTable::CheckDerivedFreshness).
+  /// The committed row count the maps cover. A scan over a shorter prefix
+  /// may still prune with them: its boundary-morsel range is a superset of
+  /// the prefix's true range, which can only make pruning conservative.
   int64_t built_rows = 0;
   std::vector<std::vector<ZoneRange>> dims;
 };
 
 /// \brief Dictionary-compressed (width-reduced, cache-line-aligned) views
 /// of a fact table's foreign-key columns: what the vector scan kernels
-/// read instead of the int32 columns. Built once, lazily, like zone maps,
-/// with the same staleness rule.
+/// read instead of the int32 columns. Built lazily like zone maps and
+/// extended in place for appended suffixes (see PackedColumn).
 struct PackedFactColumns {
   int64_t built_rows = 0;
   std::vector<PackedColumn> dims;
+};
+
+/// \brief The derived scan accelerators of one fact table, versioned
+/// together: both members always cover the same committed row prefix.
+struct FactDerived {
+  FactZoneMaps zones;
+  PackedFactColumns packed;
+  /// Cumulative width-tier overflows that forced a full repack of a packed
+  /// column over this table's lifetime (surfaced by ingest stats).
+  uint64_t repacks = 0;
+
+  int64_t rows() const { return packed.built_rows; }
+};
+
+/// \brief One consistent view of a fact table: the committed row prefix at
+/// admission time, its epoch, and raw column pointers valid for the
+/// snapshot's lifetime (`bank` pins the storage even if the table grows its
+/// arrays afterwards). Queries capture a snapshot once and scan only this
+/// prefix, so in-flight queries never observe a partial batch.
+struct FactSnapshot {
+  int64_t rows = 0;
+  /// Publication counter: bumped by every committed mutation, so equal
+  /// epochs imply identical table contents — what the result cache keys
+  /// entries by.
+  uint64_t epoch = 0;
+  std::vector<const int32_t*> fk;       // one pointer per dimension
+  std::vector<const double*> measures;  // one pointer per measure
+  /// Derived accelerators covering >= `rows` (a newer snapshot may have
+  /// extended them further; scans bounded by `rows` read only their own
+  /// prefix, and a boundary-morsel zone range is then a superset —
+  /// conservative for pruning, never wrong). Null until EnsureDerived.
+  std::shared_ptr<const FactDerived> derived;
+  std::shared_ptr<const void> bank;  // keepalive for fk/measures pointers
+};
+
+/// \brief What one committed append published: the half-open row range
+/// [first_row, first_row + rows) and the epoch it became visible at.
+struct AppendResult {
+  int64_t first_row = 0;
+  int64_t rows = 0;
+  uint64_t epoch = 0;
 };
 
 /// \brief A dimension table of a star schema, bound to one hierarchy.
@@ -50,6 +93,11 @@ struct PackedFactColumns {
 /// (the surrogate-key convention of dimensional modeling). Member ids
 /// reference the hierarchy's per-level dictionaries, so attribute values are
 /// dictionary-encoded exactly once.
+///
+/// Unlike FactTable, dimension tables have no lock-free append path:
+/// growing one (auto-insert during ingest) requires the database's
+/// exclusive schema lock, because readers index level columns and the
+/// hierarchy dictionaries directly.
 class DimensionTable {
  public:
   DimensionTable(std::string name, std::shared_ptr<Hierarchy> hierarchy)
@@ -62,6 +110,7 @@ class DimensionTable {
   const std::shared_ptr<Hierarchy>& hierarchy_ptr() const {
     return hierarchy_;
   }
+  Hierarchy& mutable_hierarchy() { return *hierarchy_; }
 
   int64_t NumRows() const {
     return level_codes_.empty() ? 0
@@ -99,24 +148,43 @@ class DimensionTable {
 /// \brief The fact table of a star schema: one foreign-key column per
 /// dimension (indexing dimension-table rows) plus one double column per
 /// measure. A row is a business event (a cell of the detailed cube C0).
+///
+/// The table is append-only and versioned: every mutation commits under an
+/// internal mutex and atomically publishes a new committed row count and
+/// epoch. Readers take Snapshot() — raw column pointers plus the committed
+/// prefix length — and never block appenders; appenders never invalidate a
+/// live snapshot (capacity growth clones the column bank, and old banks
+/// stay pinned by the snapshots holding them).
 class FactTable {
  public:
-  FactTable(std::string name, int dimension_count, int measure_count)
-      : name_(std::move(name)),
-        fk_(dimension_count),
-        measures_(measure_count) {}
+  FactTable(std::string name, int dimension_count, int measure_count);
+  FactTable(FactTable&&) = default;
+  FactTable& operator=(FactTable&&) = default;
 
   const std::string& name() const { return name_; }
 
   int64_t NumRows() const {
-    return fk_.empty() ? 0 : static_cast<int64_t>(fk_[0].size());
+    return state_->rows.load(std::memory_order_acquire);
   }
-  int dimension_count() const { return static_cast<int>(fk_.size()); }
-  int measure_count() const { return static_cast<int>(measures_.size()); }
+  /// \brief The current publication epoch (0 for an empty table).
+  uint64_t epoch() const {
+    return state_->epoch.load(std::memory_order_acquire);
+  }
+  int dimension_count() const { return dims_; }
+  int measure_count() const { return meas_; }
 
   void Reserve(int64_t rows);
+
+  /// \brief Appends and commits one row (epoch +1).
   void AddRow(const std::vector<int32_t>& fks,
               const std::vector<double>& measures);
+
+  /// \brief Appends `fks[d]` / `measures[m]` column slices as one atomic
+  /// batch: no snapshot ever observes part of it, and the whole batch
+  /// becomes visible under a single new epoch. Columns must be equally
+  /// sized and match the table's shape.
+  AppendResult AppendBatch(const std::vector<std::vector<int32_t>>& fks,
+                           const std::vector<std::vector<double>>& measures);
 
   /// \brief Builds a table directly from columns (the persistence loader's
   /// path). All columns must be equally sized.
@@ -124,50 +192,62 @@ class FactTable {
                                std::vector<std::vector<int32_t>> fks,
                                std::vector<std::vector<double>> measures);
 
-  const std::vector<int32_t>& fk_column(int dim) const { return fk_[dim]; }
+  /// \brief Captures the committed prefix: O(columns), no derived build.
+  FactSnapshot Snapshot() const;
+
+  /// \brief Snapshot() plus EnsureDerived() — what fact scans use.
+  FactSnapshot SnapshotWithDerived() const;
+
+  /// \brief Fills `snap->derived` with accelerators covering at least
+  /// `snap->rows`, building them on first use and otherwise *extending* the
+  /// previous version for the appended suffix: packed columns append in
+  /// place (full repack only on width-tier overflow), zone maps recompute
+  /// only the boundary morsel. Serialized by an internal mutex.
+  void EnsureDerived(FactSnapshot* snap) const;
+
+  /// \brief Extends the derived accelerators to the current committed
+  /// prefix if they were ever built; no-op otherwise (stays lazy so pure
+  /// bulk loads never pay for them). Ingest commits call this so query
+  /// latency stays flat under churn.
+  void ExtendDerivedIfBuilt() const;
+
+  /// \brief Cumulative packed-column width-overflow repacks.
+  uint64_t derived_repacks() const;
+
+  /// \brief Legacy columnar accessors. Valid only while no appender runs
+  /// concurrently (setup, persistence, validation); serving paths use
+  /// Snapshot().
+  const std::vector<int32_t>& fk_column(int dim) const {
+    return state_->bank->fk[dim];
+  }
   const std::vector<double>& measure_column(int m) const {
-    return measures_[m];
+    return state_->bank->measures[m];
   }
 
-  /// \brief The per-morsel zone maps, built on first use (one vectorized
-  /// pass over the foreign-key columns) and cached. Thread-safe under the
-  /// engine's contract that the table is immutable while being queried.
-  /// Each map records the row count it was built at; rows appended
-  /// afterwards make it stale, which CheckDerivedFreshness turns into a
-  /// loud failure instead of silently wrong skips.
-  const FactZoneMaps& zone_maps() const;
-
-  /// \brief The dictionary-compressed foreign-key views, built on first
-  /// use and cached; same immutability contract and staleness rule as
-  /// zone_maps().
-  const PackedFactColumns& packed_fk() const;
-
-  /// \brief Fails (debug assert + typed Status) when `built_rows` — the
-  /// row count a derived structure (zone maps, packed views) was built at —
-  /// no longer matches NumRows(): rows were appended after the build, and
-  /// the derived structure would silently mis-serve the scan. `what`
-  /// names the structure in the diagnostic.
-  Status CheckDerivedFreshness(int64_t built_rows, const char* what) const;
-
  private:
-  struct ZoneMapCache {
-    std::once_flag once;
-    FactZoneMaps maps;
+  struct ColumnBank {
+    std::vector<std::vector<int32_t>> fk;
+    std::vector<std::vector<double>> measures;
   };
-  struct PackedCache {
-    std::once_flag once;
-    PackedFactColumns columns;
+  struct State {
+    std::mutex mu;  // guards bank_/rows/epoch publication
+    std::shared_ptr<ColumnBank> bank;
+    std::atomic<int64_t> rows{0};
+    std::atomic<uint64_t> epoch{0};
+    std::mutex derived_mu;  // serializes derived build/extension
+    std::shared_ptr<const FactDerived> derived;
   };
+
+  /// Clones the column bank with geometric headroom when an append of
+  /// `extra` rows would reallocate a column in place (which would
+  /// invalidate live snapshots' raw pointers). Callers hold state_->mu.
+  void EnsureCapacityLocked(int64_t extra);
 
   std::string name_;
-  std::vector<std::vector<int32_t>> fk_;
-  std::vector<std::vector<double>> measures_;
-  // Heap-held so FactTable stays movable (once_flag is not); the cache
-  // pointer moves with the table, the flag never moves.
-  std::unique_ptr<ZoneMapCache> zone_cache_ =
-      std::make_unique<ZoneMapCache>();
-  std::unique_ptr<PackedCache> packed_cache_ =
-      std::make_unique<PackedCache>();
+  int dims_ = 0;
+  int meas_ = 0;
+  // Heap-held so FactTable stays movable (mutexes and atomics are not).
+  std::unique_ptr<State> state_;
 };
 
 }  // namespace assess

@@ -1,0 +1,754 @@
+// Streaming ingestion: CSV/JSONL parsing with typed per-line errors, member
+// auto-insert with roll-up validation, epoch-stamped atomic batches,
+// incremental materialized-view maintenance proven bit-identical to a
+// from-scratch rebuild, epoch-keyed result-cache invalidation, packed-width
+// repacks under dimension growth, failpoint-driven batch atomicity, snapshot
+// isolation under concurrent append/query churn, and the kIngest wire frame
+// end to end (including at-most-once retry via the server's dedup store).
+
+#include "ingest/ingestor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "assess/session.h"
+#include "client/assess_client.h"
+#include "common/failpoint.h"
+#include "olap/cube_query.h"
+#include "olap/group_by_set.h"
+#include "server/assessd.h"
+#include "server/protocol.h"
+#include "storage/star_query_engine.h"
+#include "test_util.h"
+
+namespace assess {
+namespace {
+
+using ::assess::testutil::BuildMiniSales;
+using ::assess::testutil::CellMap;
+using ::assess::testutil::K;
+
+/// Aggregates the whole committed fact prefix at `level_names` through the
+/// delta-aggregation primitive — the ground truth ingest results are
+/// checked against.
+Cube AggregateAll(const StarDatabase& db, const BoundCube& bound,
+                  const std::vector<std::string>& level_names) {
+  StarQueryEngine engine(&db, /*use_views=*/false, /*threads=*/1);
+  auto group_by = GroupBySet::FromLevelNames(bound.schema(), level_names);
+  EXPECT_TRUE(group_by.ok()) << group_by.status().ToString();
+  auto cube = engine.AggregateFactRange(bound, *group_by, 0,
+                                        bound.facts().NumRows());
+  EXPECT_TRUE(cube.ok()) << cube.status().ToString();
+  return *std::move(cube);
+}
+
+class IngestTest : public ::testing::Test {
+ protected:
+  IngestTest() : mini_(BuildMiniSales()) {
+    bound_ = *mini_.db->FindMutable("SALES");
+  }
+
+  Result<IngestStats> Ingest(std::string_view text, IngestOptions options = {},
+                             std::shared_ptr<CubeResultCache> cache = nullptr) {
+    Ingestor ingestor(mini_.db.get(), std::move(cache), options);
+    return ingestor.IngestText("SALES", text);
+  }
+
+  testutil::MiniDb mini_;
+  BoundCube* bound_ = nullptr;
+};
+
+TEST_F(IngestTest, CsvRowsLandAndQueriesSeeThem) {
+  const int64_t rows_before = bound_->facts().NumRows();
+  const uint64_t epoch_before = bound_->facts().epoch();
+  auto before = CellMap(AggregateAll(*mini_.db, *bound_, {"product"}),
+                        "quantity");
+
+  auto stats = Ingest(
+      "date,product,store,quantity,sales\n"
+      "1997-07-02,Apple,SmartMart,5,7\n"
+      "1997-07-01,Pear,PetitPrix,3,2\n");
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->rows_ingested, 2u);
+  EXPECT_EQ(stats->rows_rejected, 0u);
+  EXPECT_EQ(stats->batches, 1u);
+  EXPECT_EQ(stats->new_members, 0u);
+  EXPECT_GT(stats->epoch, epoch_before);
+  EXPECT_EQ(stats->epoch, bound_->facts().epoch());
+  EXPECT_EQ(bound_->facts().NumRows(), rows_before + 2);
+
+  auto after = CellMap(AggregateAll(*mini_.db, *bound_, {"product"}),
+                       "quantity");
+  EXPECT_EQ(after[K("Apple")], before[K("Apple")] + 5);
+  EXPECT_EQ(after[K("Pear")], before[K("Pear")] + 3);
+  EXPECT_EQ(after[K("Lemon")], before[K("Lemon")]);
+
+  // End to end: a fresh session aggregates the appended rows too.
+  AssessSession session(mini_.db.get());
+  auto result = session.Query(
+      "with SALES by product assess quantity labels quartiles");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(CellMap(result->cube, "quantity")[K("Apple")],
+            before[K("Apple")] + 5);
+}
+
+TEST_F(IngestTest, JsonlRowsLandWithPerRowKeys) {
+  auto before = CellMap(AggregateAll(*mini_.db, *bound_, {"store"}), "sales");
+  IngestOptions options;
+  options.format = IngestFormat::kJsonl;
+  auto stats = Ingest(
+      R"({"date": "1997-07-01", "product": "milk", "store": "SmartMart",)"
+      R"( "quantity": 0, "sales": 11})"
+      "\n"
+      R"({"store": "PetitPrix", "sales": 4, "quantity": 1,)"
+      R"( "product": "Lemon", "date": "1997-07-02"})"
+      "\n",
+      options);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->rows_ingested, 2u);
+  auto after = CellMap(AggregateAll(*mini_.db, *bound_, {"store"}), "sales");
+  EXPECT_EQ(after[K("SmartMart")], before[K("SmartMart")] + 11);
+  EXPECT_EQ(after[K("PetitPrix")], before[K("PetitPrix")] + 4);
+}
+
+TEST_F(IngestTest, MalformedCsvProducesTypedLineErrors) {
+  const int64_t rows_before = bound_->facts().NumRows();
+
+  // Unknown header column: fatal, nothing ingested.
+  auto bad_header = Ingest("date,product,store,quantity,sales,discount\n");
+  ASSERT_FALSE(bad_header.ok());
+  EXPECT_EQ(bad_header.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad_header.status().message().find("line 1"), std::string::npos);
+  EXPECT_NE(bad_header.status().message().find("discount"),
+            std::string::npos);
+
+  // Missing required key column in the header.
+  auto no_key = Ingest("date,product,quantity,sales\n");
+  ASSERT_FALSE(no_key.ok());
+  EXPECT_EQ(no_key.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(no_key.status().message().find("store"), std::string::npos);
+
+  const std::string header = "date,product,store,quantity,sales\n";
+
+  // Unparsable measure carries its 1-based line number.
+  auto bad_measure =
+      Ingest(header + "1997-07-01,Apple,SmartMart,ten,0\n");
+  ASSERT_FALSE(bad_measure.ok());
+  EXPECT_EQ(bad_measure.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad_measure.status().message().find("line 2"), std::string::npos);
+
+  // Field-count mismatch against the header.
+  auto short_row = Ingest(header + "1997-07-01,Apple,SmartMart,1\n");
+  ASSERT_FALSE(short_row.ok());
+  EXPECT_EQ(short_row.status().code(), StatusCode::kInvalidArgument);
+
+  // Unterminated quoted field.
+  auto bad_quote = Ingest(header + "\"1997-07-01,Apple,SmartMart,1,2\n");
+  ASSERT_FALSE(bad_quote.ok());
+  EXPECT_EQ(bad_quote.status().code(), StatusCode::kInvalidArgument);
+
+  // Unknown member with auto-insert off is kNotFound, not a parse error.
+  auto unknown = Ingest(header + "1997-07-01,Durian,SmartMart,1,2\n");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(unknown.status().message().find("Durian"), std::string::npos);
+
+  // Strict mode rejected everything before any commit.
+  EXPECT_EQ(bound_->facts().NumRows(), rows_before);
+
+  // max_errors tolerates the bad row and lands the good ones.
+  IngestOptions tolerant;
+  tolerant.max_errors = 1;
+  auto mixed = Ingest(header +
+                          "1997-07-01,Apple,SmartMart,1,0\n"
+                          "1997-07-01,Durian,SmartMart,1,0\n"
+                          "1997-07-02,Pear,PetitPrix,2,0\n",
+                      tolerant);
+  ASSERT_TRUE(mixed.ok()) << mixed.status().ToString();
+  EXPECT_EQ(mixed->rows_ingested, 2u);
+  EXPECT_EQ(mixed->rows_rejected, 1u);
+  EXPECT_EQ(bound_->facts().NumRows(), rows_before + 2);
+}
+
+TEST_F(IngestTest, MalformedJsonlProducesTypedLineErrors) {
+  IngestOptions options;
+  options.format = IngestFormat::kJsonl;
+
+  auto not_json = Ingest("this is not json\n", options);
+  ASSERT_FALSE(not_json.ok());
+  EXPECT_EQ(not_json.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(not_json.status().message().find("line 1"), std::string::npos);
+
+  auto missing_measure = Ingest(
+      R"({"date": "1997-07-01", "product": "Apple", "store": "SmartMart",)"
+      R"( "quantity": 1})"
+      "\n",
+      options);
+  ASSERT_FALSE(missing_measure.ok());
+  EXPECT_EQ(missing_measure.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(missing_measure.status().message().find("sales"),
+            std::string::npos);
+
+  auto unknown_key = Ingest(
+      R"({"date": "1997-07-01", "product": "Apple", "store": "SmartMart",)"
+      R"( "quantity": 1, "sales": 2, "discount": 3})"
+      "\n",
+      options);
+  ASSERT_FALSE(unknown_key.ok());
+  EXPECT_EQ(unknown_key.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(unknown_key.status().message().find("discount"),
+            std::string::npos);
+
+  // A null key value means "absent" — for a required key that is an error.
+  auto null_key = Ingest(
+      R"({"date": null, "product": "Apple", "store": "SmartMart",)"
+      R"( "quantity": 1, "sales": 2})"
+      "\n",
+      options);
+  ASSERT_FALSE(null_key.ok());
+  EXPECT_EQ(null_key.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(IngestTest, AutoInsertGrowsDimensionsAndValidatesRollups) {
+  IngestOptions options;
+  options.auto_insert_members = true;
+  const std::string header = "date,product,type,store,quantity,sales\n";
+
+  auto stats =
+      Ingest(header + "1997-07-01,Mango,Fresh Fruit,SmartMart,12,0\n",
+             options);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->rows_ingested, 1u);
+  EXPECT_EQ(stats->new_members, 1u);
+
+  auto by_product =
+      CellMap(AggregateAll(*mini_.db, *bound_, {"product"}), "quantity");
+  EXPECT_EQ(by_product[K("Mango")], 12);
+  // The new member rolls up: type-level aggregation includes it.
+  auto by_type = CellMap(AggregateAll(*mini_.db, *bound_, {"type"}),
+                         "quantity");
+  EXPECT_EQ(by_type[K("Fresh Fruit")], 250 + 200 + 50 + 12);
+
+  // Auto-insert needs the whole roll-up chain.
+  auto missing_parent = Ingest(
+      "date,product,store,quantity,sales\n"
+      "1997-07-01,Papaya,SmartMart,1,0\n",
+      options);
+  ASSERT_FALSE(missing_parent.ok());
+  EXPECT_EQ(missing_parent.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(missing_parent.status().message().find("type"),
+            std::string::npos);
+
+  // An existing member must keep its stored roll-up.
+  auto conflict =
+      Ingest(header + "1997-07-01,Apple,Dairy,SmartMart,1,0\n", options);
+  ASSERT_FALSE(conflict.ok());
+  EXPECT_EQ(conflict.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(conflict.status().message().find("rolls up to"),
+            std::string::npos);
+
+  // Same conflict check without auto-insert: provided coarser values are
+  // validated against the dictionary.
+  auto conflict_stable =
+      Ingest(header + "1997-07-01,Apple,Dairy,SmartMart,1,0\n");
+  ASSERT_FALSE(conflict_stable.ok());
+  EXPECT_EQ(conflict_stable.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(IngestTest, IncrementalViewMaintenanceMatchesFromScratchRebuild) {
+  StarQueryEngine engine(mini_.db.get(), /*use_views=*/false, /*threads=*/1);
+  ASSERT_TRUE(engine
+                  .MaterializeView(mini_.db.get(), "SALES",
+                                   {"product", "country"}, "pv_pc")
+                  .ok());
+  ASSERT_TRUE(
+      engine.MaterializeView(mini_.db.get(), "SALES", {"month"}, "pv_m")
+          .ok());
+
+  // Many small batches: every commit must delta-merge both views.
+  IngestOptions options;
+  options.batch_rows = 2;
+  std::string text = "date,product,store,quantity,sales\n";
+  const char* products[] = {"Apple", "Pear", "Lemon", "milk"};
+  const char* stores[] = {"SmartMart", "PetitPrix"};
+  const char* dates[] = {"1997-07-01", "1997-07-02", "1997-03-15"};
+  for (int i = 0; i < 9; ++i) {
+    text += std::string(dates[i % 3]) + "," + products[i % 4] + "," +
+            stores[i % 2] + "," + std::to_string(i + 1) + "," +
+            std::to_string(2 * i) + "\n";
+  }
+  auto stats = Ingest(text, options);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->rows_ingested, 9u);
+  EXPECT_EQ(stats->batches, 5u);
+  EXPECT_EQ(stats->mv_incremental_updates, 2u * stats->batches);
+  EXPECT_EQ(stats->mv_full_rebuilds, 0u);
+
+  // The maintained set is stamped at the final epoch and row count.
+  std::shared_ptr<const ViewSet> set = bound_->views_snapshot();
+  ASSERT_EQ(set->views.size(), 2u);
+  EXPECT_EQ(set->epoch, bound_->facts().epoch());
+  EXPECT_EQ(set->rows, bound_->facts().NumRows());
+
+  // Bit-identity: each maintained view equals a from-scratch aggregation of
+  // the full fact prefix (integer measures, so no FP-order slack needed).
+  for (const MaterializedView& view : set->views) {
+    auto rebuilt = engine.AggregateFactRange(*bound_, view.group_by, 0,
+                                             bound_->facts().NumRows());
+    ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+    ASSERT_EQ(view.data.NumRows(), rebuilt->NumRows()) << view.name;
+    for (const char* measure : {"quantity", "sales"}) {
+      auto expected = CellMap(*rebuilt, measure);
+      auto actual = CellMap(view.data, measure);
+      EXPECT_EQ(actual, expected) << view.name << " " << measure;
+    }
+  }
+
+  // And queries answered *from* the maintained views match fact scans.
+  StarQueryEngine with_views(mini_.db.get(), /*use_views=*/true,
+                             /*threads=*/1);
+  auto query = CubeQuery::Make(*mini_.schema, "SALES",
+                               {"product", "country"}, {}, {"sales"});
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  auto from_views = with_views.Execute(*query);
+  ASSERT_TRUE(from_views.ok()) << from_views.status().ToString();
+  EXPECT_TRUE(with_views.last_used_view());
+  auto from_facts = AggregateAll(*mini_.db, *bound_, {"product", "country"});
+  EXPECT_EQ(CellMap(*from_views, "sales"), CellMap(from_facts, "sales"));
+}
+
+TEST_F(IngestTest, FullRebuildBaselineRebuildsEveryBatch) {
+  StarQueryEngine engine(mini_.db.get(), /*use_views=*/false, /*threads=*/1);
+  ASSERT_TRUE(
+      engine.MaterializeView(mini_.db.get(), "SALES", {"product"}, "pv")
+          .ok());
+  IngestOptions options;
+  options.incremental = false;
+  options.batch_rows = 1;
+  auto stats = Ingest(
+      "date,product,store,quantity,sales\n"
+      "1997-07-01,Apple,SmartMart,1,0\n"
+      "1997-07-02,Pear,PetitPrix,2,0\n",
+      options);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->mv_full_rebuilds, 2u);
+  EXPECT_EQ(stats->mv_incremental_updates, 0u);
+
+  std::shared_ptr<const ViewSet> set = bound_->views_snapshot();
+  auto rebuilt = engine.AggregateFactRange(
+      *bound_, set->views[0].group_by, 0, bound_->facts().NumRows());
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(CellMap(set->views[0].data, "quantity"),
+            CellMap(*rebuilt, "quantity"));
+}
+
+TEST_F(IngestTest, EpochKeyingInvalidatesCachedResults) {
+  auto cache = std::make_shared<CubeResultCache>(CacheOptions{});
+  EngineOptions engine_options;
+  engine_options.shared_cache = cache;
+  AssessSession session(mini_.db.get(), engine_options);
+  const char* statement =
+      "with SALES by product assess quantity labels quartiles";
+
+  auto first = session.Query(statement);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = session.Query(statement);
+  ASSERT_TRUE(second.ok());
+  CacheStats warm = cache->stats();
+  EXPECT_GE(warm.exact_hits, 1u);
+  ASSERT_GT(warm.entries, 0u);
+
+  auto stats = Ingest(
+      "date,product,store,quantity,sales\n"
+      "1997-07-01,Apple,SmartMart,100,0\n",
+      {}, cache);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  // The eager sweep reclaimed every pre-ingest entry of this cube.
+  EXPECT_EQ(stats->cache_invalidations, warm.entries);
+  EXPECT_GE(cache->stats().epoch_invalidations, warm.entries);
+
+  // Same statement at the new epoch: a miss, and the fresh result includes
+  // the appended rows (a stale hit would miss the +100).
+  const uint64_t misses_before = cache->stats().misses;
+  auto third = session.Query(statement);
+  ASSERT_TRUE(third.ok()) << third.status().ToString();
+  EXPECT_GT(cache->stats().misses, misses_before);
+  EXPECT_EQ(CellMap(third->cube, "quantity")[K("Apple")],
+            CellMap(first->cube, "quantity")[K("Apple")] + 100);
+}
+
+TEST_F(IngestTest, DimensionGrowthOverflowsPackedWidthAndRepacks) {
+  // Build the derived accelerators first, so appends extend them and the
+  // width-tier overflow path (not the initial build) is what repacks.
+  FactSnapshot snap = bound_->facts().SnapshotWithDerived();
+  ASSERT_NE(snap.derived, nullptr);
+  const uint64_t repacks_before = bound_->facts().derived_repacks();
+
+  // 300 new products push the product FK past the 8-bit packed tier.
+  IngestOptions options;
+  options.auto_insert_members = true;
+  options.batch_rows = 64;
+  std::string text = "date,product,type,store,quantity,sales\n";
+  for (int i = 0; i < 300; ++i) {
+    text += "1997-07-01,sku-" + std::to_string(i) + ",Bulk,SmartMart,1,1\n";
+  }
+  auto stats = Ingest(text, options);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->rows_ingested, 300u);
+  EXPECT_EQ(stats->new_members, 300u);
+  EXPECT_GE(stats->repacks, 1u);
+  EXPECT_GE(bound_->facts().derived_repacks(), repacks_before + 1);
+
+  // Scans through the repacked columns still aggregate correctly.
+  auto by_type = CellMap(AggregateAll(*mini_.db, *bound_, {"type"}),
+                         "quantity");
+  EXPECT_EQ(by_type[K("Bulk")], 300);
+}
+
+TEST_F(IngestTest, CommitFailpointKeepsCommittedBatchesAndDropsTheRest) {
+  if (!kFailpointsCompiledIn) GTEST_SKIP() << "failpoints compiled out";
+  FailpointRegistry& registry = FailpointRegistry::Instance();
+  registry.DisarmAll();
+
+  // A committed batch survives a later ingest failing at its commit: the
+  // failed run's staged rows vanish, the earlier epoch's rows do not.
+  IngestOptions options;
+  options.batch_rows = 2;
+  auto committed = Ingest(
+      "date,product,store,quantity,sales\n"
+      "1997-07-01,Apple,SmartMart,1,0\n"
+      "1997-07-01,Pear,SmartMart,1,0\n",
+      options);
+  ASSERT_TRUE(committed.ok()) << committed.status().ToString();
+  const int64_t rows_committed = bound_->facts().NumRows();
+  const uint64_t epoch_committed = bound_->facts().epoch();
+
+  ASSERT_TRUE(
+      registry.ArmFromString("ingest.commit=error(unavailable):budget=1")
+          .ok());
+  auto stats = Ingest(
+      "date,product,store,quantity,sales\n"
+      "1997-07-01,Lemon,SmartMart,1,0\n"
+      "1997-07-02,Apple,PetitPrix,1,0\n"
+      "1997-07-02,Pear,PetitPrix,1,0\n",
+      options);
+  registry.DisarmAll();
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kUnavailable);
+  // The failing commit was atomic: no rows, no epoch bump.
+  EXPECT_EQ(bound_->facts().NumRows(), rows_committed);
+  EXPECT_EQ(bound_->facts().epoch(), epoch_committed);
+
+  // Row-level failpoint: rejected rows count against max_errors and the
+  // remainder lands.
+  ASSERT_TRUE(
+      registry
+          .ArmFromString("ingest.row=error(invalid_argument):budget=2")
+          .ok());
+  IngestOptions tolerant;
+  tolerant.max_errors = 2;
+  auto chaos = Ingest(
+      "date,product,store,quantity,sales\n"
+      "1997-07-01,Apple,SmartMart,1,0\n"
+      "1997-07-01,Pear,SmartMart,1,0\n"
+      "1997-07-01,Lemon,SmartMart,1,0\n",
+      tolerant);
+  registry.DisarmAll();
+  ASSERT_TRUE(chaos.ok()) << chaos.status().ToString();
+  EXPECT_EQ(chaos->rows_rejected, 2u);
+  EXPECT_EQ(chaos->rows_ingested, 1u);
+}
+
+TEST_F(IngestTest, SnapshotIsolationUnderConcurrentAppendAndQuery) {
+  // Two appenders stream member-stable batches while readers aggregate
+  // concurrently. Batch atomicity means every observed total quantity is a
+  // whole number of batches past the base; monotonicity per reader means no
+  // reader ever sees a commit un-happen. Afterwards, the merged state must
+  // be bit-identical to a serial replay into a fresh database.
+  const auto base =
+      CellMap(AggregateAll(*mini_.db, *bound_, {"product"}), "quantity");
+  double base_total = 0;
+  for (const auto& [coord, v] : base) base_total += v;
+
+  constexpr int kAppenders = 2;
+  constexpr int kRowsPerAppender = 120;  // 15 batches of 8 rows each
+  constexpr int kBatchRows = 8;
+  const char* products[] = {"Apple", "Pear", "Lemon", "milk"};
+  const char* stores[] = {"SmartMart", "PetitPrix"};
+  auto appender_text = [&](int a) {
+    std::string text = "date,product,store,quantity,sales\n";
+    for (int i = 0; i < kRowsPerAppender; ++i) {
+      text += std::string("1997-07-0") + (a == 0 ? "1" : "2") + "," +
+              products[i % 4] + "," + stores[(a + i) % 2] + ",1,0\n";
+    }
+    return text;
+  };
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      StarQueryEngine engine(mini_.db.get(), /*use_views=*/false,
+                             /*threads=*/1);
+      auto group_by =
+          GroupBySet::FromLevelNames(bound_->schema(), {"product"});
+      double prev_total = base_total;
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto cube =
+            engine.AggregateFactRange(*bound_, *group_by, 0,
+                                      bound_->facts().NumRows());
+        if (!cube.ok()) {
+          violations.fetch_add(1);
+          break;
+        }
+        double total = 0;
+        auto cells = CellMap(*cube, "quantity");
+        for (const auto& [coord, v] : cells) total += v;
+        const double delta = total - base_total;
+        // Atomic batches: the appended quantity is a multiple of the batch
+        // size (each appended row carries quantity 1).
+        if (delta < 0 ||
+            static_cast<int64_t>(delta) % kBatchRows != 0 ||
+            total < prev_total) {
+          violations.fetch_add(1);
+        }
+        prev_total = total;
+      }
+    });
+  }
+
+  std::vector<std::thread> appenders;
+  std::vector<Status> append_status(kAppenders, Status::OK());
+  for (int a = 0; a < kAppenders; ++a) {
+    appenders.emplace_back([&, a] {
+      IngestOptions options;
+      options.batch_rows = kBatchRows;
+      Ingestor ingestor(mini_.db.get(), nullptr, options);
+      auto stats = ingestor.IngestText("SALES", appender_text(a));
+      if (!stats.ok()) append_status[a] = stats.status();
+    });
+  }
+  for (auto& t : appenders) t.join();
+  stop.store(true);
+  for (auto& t : readers) t.join();
+
+  for (const Status& st : append_status) {
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+  EXPECT_EQ(violations.load(), 0);
+
+  // Serial replay: the same rows into a fresh MiniDb, one appender.
+  testutil::MiniDb serial = BuildMiniSales();
+  IngestOptions options;
+  options.batch_rows = kBatchRows;
+  Ingestor replay(serial.db.get(), nullptr, options);
+  for (int a = 0; a < kAppenders; ++a) {
+    ASSERT_TRUE(replay.IngestText("SALES", appender_text(a)).ok());
+  }
+  const BoundCube* serial_bound = *serial.db->Find("SALES");
+  for (const char* measure : {"quantity", "sales"}) {
+    EXPECT_EQ(
+        CellMap(AggregateAll(*mini_.db, *bound_, {"product", "store"}),
+                measure),
+        CellMap(AggregateAll(*serial.db, *serial_bound,
+                             {"product", "store"}),
+                measure))
+        << measure;
+  }
+}
+
+// --- kIngest over the wire ------------------------------------------------
+
+class WireIngestTest : public ::testing::Test {
+ protected:
+  WireIngestTest() : mini_(BuildMiniSales()) {}
+
+  std::unique_ptr<AssessServer> StartServer(ServerOptions options = {}) {
+    auto server = std::make_unique<AssessServer>(mini_.db.get(), options);
+    Status started = server->Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+    return server;
+  }
+
+  testutil::MiniDb mini_;
+};
+
+TEST_F(WireIngestTest, ReadOnlyServerRefusesIngest) {
+  auto server = StartServer();
+  auto client = AssessClient::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.ok());
+  auto stats = client->Ingest(
+      "SALES",
+      "date,product,store,quantity,sales\n1997-07-01,Apple,SmartMart,1,0\n");
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kNotSupported);
+}
+
+TEST_F(WireIngestTest, IngestRoundTripUpdatesServedResults) {
+  ServerOptions options;
+  options.mutable_db = mini_.db.get();
+  auto server = StartServer(options);
+  auto client = AssessClient::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.ok());
+
+  const char* statement =
+      "with SALES by product assess quantity labels quartiles";
+  auto before = client->Query(statement);
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+
+  auto stats = client->Ingest(
+      "SALES",
+      "date,product,store,quantity,sales\n"
+      "1997-07-01,Apple,SmartMart,25,0\n"
+      "1997-07-02,Pear,PetitPrix,5,0\n");
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->rows_ingested, 2u);
+  EXPECT_EQ(stats->batches, 1u);
+
+  auto after = client->Query(statement);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(CellMap(after->cube, "quantity")[K("Apple")],
+            CellMap(before->cube, "quantity")[K("Apple")] + 25);
+
+  // Typed errors round-trip too (no auto-insert on this server).
+  auto unknown = client->Ingest(
+      "SALES",
+      "date,product,store,quantity,sales\n"
+      "1997-07-01,Durian,SmartMart,1,0\n");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+
+  // A client asking for auto-insert cannot widen a server that forbids it.
+  auto widened = client->Ingest(
+      "SALES",
+      "date,product,type,store,quantity,sales\n"
+      "1997-07-01,Durian,Fresh Fruit,SmartMart,1,0\n",
+      IngestFormat::kCsv, /*auto_insert=*/true);
+  ASSERT_FALSE(widened.ok());
+  EXPECT_EQ(widened.status().code(), StatusCode::kNotFound);
+
+  // v4 stats carry the ingest counters.
+  auto server_stats = client->Stats();
+  ASSERT_TRUE(server_stats.ok());
+  EXPECT_EQ(server_stats->ingest_rows, 2u);
+  EXPECT_EQ(server_stats->ingest_batches, 1u);
+}
+
+TEST_F(WireIngestTest, RetriedIngestReplaysItsReceiptInsteadOfAppending) {
+  ServerOptions options;
+  options.mutable_db = mini_.db.get();
+  auto server = StartServer(options);
+
+  auto fd = ConnectTo("127.0.0.1", server->port(), 2'000);
+  ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+
+  const std::string payload = EncodeIngestPayload(
+      /*request_id=*/0xABCDEF01u, "SALES", IngestFormat::kCsv, 0,
+      "date,product,store,quantity,sales\n"
+      "1997-07-01,Apple,SmartMart,9,0\n");
+  const BoundCube* bound = *mini_.db->Find("SALES");
+  const int64_t rows_before = bound->facts().NumRows();
+
+  Frame first_reply;
+  ASSERT_TRUE(WriteFrame(*fd, FrameType::kIngest, payload).ok());
+  ASSERT_TRUE(ReadFrame(*fd, kDefaultMaxFrameBytes, &first_reply).ok());
+  ASSERT_EQ(first_reply.type, FrameType::kIngestReply);
+  EXPECT_EQ(bound->facts().NumRows(), rows_before + 1);
+
+  // Same request id again (a retry after a lost response): the stored
+  // receipt comes back byte-identical and no second append happens.
+  Frame second_reply;
+  ASSERT_TRUE(WriteFrame(*fd, FrameType::kIngest, payload).ok());
+  ASSERT_TRUE(ReadFrame(*fd, kDefaultMaxFrameBytes, &second_reply).ok());
+  EXPECT_EQ(second_reply.type, FrameType::kIngestReply);
+  EXPECT_EQ(second_reply.payload, first_reply.payload);
+  EXPECT_EQ(bound->facts().NumRows(), rows_before + 1);
+
+  auto stats = IngestStats::Deserialize(first_reply.payload);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->rows_ingested, 1u);
+  CloseSocket(*fd);
+}
+
+TEST_F(WireIngestTest, MalformedIngestFramesAreTypedErrors) {
+  ServerOptions options;
+  options.mutable_db = mini_.db.get();
+  auto server = StartServer(options);
+  auto fd = ConnectTo("127.0.0.1", server->port(), 2'000);
+  ASSERT_TRUE(fd.ok());
+
+  // Truncated header: too short for request id + cube length.
+  Frame reply;
+  ASSERT_TRUE(WriteFrame(*fd, FrameType::kIngest, "short").ok());
+  ASSERT_TRUE(ReadFrame(*fd, kDefaultMaxFrameBytes, &reply).ok());
+  EXPECT_EQ(reply.type, FrameType::kError);
+  CloseSocket(*fd);
+
+  // Unknown format byte.
+  uint64_t id = 0;
+  std::string_view cube, text;
+  IngestFormat format = IngestFormat::kCsv;
+  uint8_t flags = 0;
+  std::string bad = EncodeIngestPayload(1, "SALES", IngestFormat::kCsv, 0, "");
+  bad[10 + 5] = 0x7F;  // format byte, after 8(id) + 2(len) + 5("SALES")
+  Status decoded = DecodeIngestPayload(bad, &id, &cube, &format, &flags,
+                                       &text);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.code(), StatusCode::kInvalidArgument);
+
+  // Codec round trip for both formats and the flag byte.
+  std::string good = EncodeIngestPayload(42, "SALES", IngestFormat::kJsonl,
+                                         kIngestFlagAutoInsert, "{}\n");
+  ASSERT_TRUE(
+      DecodeIngestPayload(good, &id, &cube, &format, &flags, &text).ok());
+  EXPECT_EQ(id, 42u);
+  EXPECT_EQ(cube, "SALES");
+  EXPECT_EQ(format, IngestFormat::kJsonl);
+  EXPECT_EQ(flags, kIngestFlagAutoInsert);
+  EXPECT_EQ(text, "{}\n");
+}
+
+TEST(IngestStatsTest, SerializeRoundTripsAndV4StatsDecode) {
+  IngestStats stats;
+  stats.rows_ingested = 1000;
+  stats.rows_rejected = 3;
+  stats.batches = 17;
+  stats.new_members = 5;
+  stats.epoch = 42;
+  stats.mv_incremental_updates = 34;
+  stats.mv_full_rebuilds = 1;
+  stats.cache_invalidations = 9;
+  stats.repacks = 2;
+  auto decoded = IngestStats::Deserialize(stats.Serialize());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->rows_ingested, 1000u);
+  EXPECT_EQ(decoded->rows_rejected, 3u);
+  EXPECT_EQ(decoded->batches, 17u);
+  EXPECT_EQ(decoded->new_members, 5u);
+  EXPECT_EQ(decoded->epoch, 42u);
+  EXPECT_EQ(decoded->mv_incremental_updates, 34u);
+  EXPECT_EQ(decoded->mv_full_rebuilds, 1u);
+  EXPECT_EQ(decoded->cache_invalidations, 9u);
+  EXPECT_EQ(decoded->repacks, 2u);
+  EXPECT_FALSE(IngestStats::Deserialize("truncated").ok());
+
+  ServerStats server_stats;
+  server_stats.ingest_rows = 7;
+  server_stats.ingest_batches = 2;
+  server_stats.cache_epoch_invalidations = 11;
+  auto round = ServerStats::Deserialize(server_stats.Serialize());
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  EXPECT_EQ(round->ingest_rows, 7u);
+  EXPECT_EQ(round->ingest_batches, 2u);
+  EXPECT_EQ(round->cache_epoch_invalidations, 11u);
+}
+
+}  // namespace
+}  // namespace assess

@@ -492,10 +492,10 @@ TEST_F(ServerTest, StopDrainsInFlightRequests) {
 }
 
 // ---------------------------------------------------------------------------
-// Stats wire v3 + observability surfaces.
+// Stats wire v4 + observability surfaces.
 // ---------------------------------------------------------------------------
 
-TEST(ServerStatsWire, V3RoundTripsEveryField) {
+TEST(ServerStatsWire, V4RoundTripsEveryField) {
   ServerStats stats;
   stats.total_requests = 101;
   stats.ok_responses = 90;
@@ -523,11 +523,14 @@ TEST(ServerStatsWire, V3RoundTripsEveryField) {
   stats.slow_queries = 6;
   stats.traces_sampled = 50;
   stats.trace_spans = 900;
+  stats.ingest_rows = 4096;
+  stats.ingest_batches = 3;
+  stats.cache_epoch_invalidations = 17;
 
   std::string wire = stats.Serialize();
   ASSERT_GE(wire.size(), 2u);
   EXPECT_EQ(wire[0], 'T');
-  EXPECT_EQ(wire[1], 0x03);
+  EXPECT_EQ(wire[1], 0x04);
 
   auto decoded = ServerStats::Deserialize(wire);
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
@@ -541,6 +544,10 @@ TEST(ServerStatsWire, V3RoundTripsEveryField) {
   EXPECT_EQ(decoded->slow_queries, stats.slow_queries);
   EXPECT_EQ(decoded->traces_sampled, stats.traces_sampled);
   EXPECT_EQ(decoded->trace_spans, stats.trace_spans);
+  EXPECT_EQ(decoded->ingest_rows, stats.ingest_rows);
+  EXPECT_EQ(decoded->ingest_batches, stats.ingest_batches);
+  EXPECT_EQ(decoded->cache_epoch_invalidations,
+            stats.cache_epoch_invalidations);
   // The human rendering carries the new counters too.
   EXPECT_NE(stats.ToString().find("slow queries"), std::string::npos);
 
