@@ -1,0 +1,262 @@
+// WAL durability benchmark: concurrent ingest threads commit batches into
+// their own cubes under each fsync mode — `batch` (one fsync per commit,
+// the durable baseline), `group` (leader-elected coalesced fsync), and
+// `none` (no sync; the filesystem-speed ceiling) — then the data directory
+// is reopened to time crash recovery (full WAL replay) and a checkpoint.
+// One thread per cube because same-cube ingests serialize on the cube's
+// ingest mutex: group commit coalesces *across* concurrent committers, so
+// that is what the bench must present. Writes BENCH_wal.json; the headline
+// number is the group-vs-batch throughput ratio (the whole point of group
+// commit is that N waiting committers share one fsync).
+//
+// The data directory lives under the working directory, not /tmp: on CI
+// hosts /tmp is often tmpfs, where fsync is free and every mode measures
+// the same thing.
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "ingest/ingestor.h"
+#include "storage/star_schema.h"
+#include "wal/durability.h"
+
+namespace {
+
+using namespace assess;
+using namespace assess::bench;
+
+constexpr int kMembers = 8;  // items per shard dimension
+
+std::string ShardName(int shard) { return "SHARD" + std::to_string(shard); }
+
+// One tiny single-dimension cube per ingest thread. The rows are
+// member-stable (every batch reuses the seeded items), so the bench times
+// the commit path — parse, append, WAL fsync — and not auto-insert locks.
+Result<std::unique_ptr<StarDatabase>> BuildShardedDb(int shards) {
+  auto db = std::make_unique<StarDatabase>();
+  for (int shard = 0; shard < shards; ++shard) {
+    auto hier = std::make_shared<Hierarchy>("Item");
+    hier->AddLevel("item");
+    DimensionTable items("item", hier);
+    for (int i = 0; i < kMembers; ++i) {
+      MemberId id = hier->AddMember(0, "item" + std::to_string(i));
+      items.AddRow({id});
+    }
+    auto schema = std::make_shared<CubeSchema>(ShardName(shard));
+    schema->AddHierarchy(hier);
+    schema->AddMeasure({"value", AggOp::kSum});
+
+    FactTable facts(ShardName(shard), /*dims=*/1, /*measures=*/1);
+    for (int i = 0; i < kMembers; ++i) {
+      facts.AddRow({i}, {1.0});
+    }
+    std::vector<DimensionTable> dims;
+    dims.push_back(std::move(items));
+    auto bound = std::make_unique<BoundCube>(schema, std::move(dims),
+                                             std::move(facts));
+    Status registered = db->Register(ShardName(shard), std::move(bound));
+    if (!registered.ok()) return registered;
+  }
+  return db;
+}
+
+// Deterministic member-stable CSV batch; `salt` varies the measures so
+// batches are not byte-identical.
+std::string Batch(int rows, int64_t salt) {
+  std::string text = "item,value\n";
+  for (int r = 0; r < rows; ++r) {
+    text += "item" + std::to_string((salt + r) % kMembers);
+    text += ',';
+    text += std::to_string(1 + (salt * 31 + r) % 9);
+    text += '\n';
+  }
+  return text;
+}
+
+struct ModeResult {
+  double ingest_seconds = 0;
+  double batches_per_sec = 0;
+  double rows_per_sec = 0;
+  uint64_t batches = 0;
+  uint64_t rows = 0;
+  WalStats wal;
+  double fsyncs_per_batch = 0;
+  double recovery_ms = 0;
+  uint64_t replayed_records = 0;
+  double checkpoint_ms = 0;
+};
+
+ModeResult RunMode(FsyncMode mode, int threads, int batches_per_thread,
+                   int rows_per_batch) {
+  const std::filesystem::path dir =
+      std::filesystem::path("bench_wal_data_" +
+                            std::string(FsyncModeToString(mode)));
+  std::filesystem::remove_all(dir);
+
+  DurabilityOptions options;
+  options.wal.fsync_mode = mode;
+  options.checkpoint_wal_bytes = 0;  // only explicit checkpoints
+  auto opened = DurabilityManager::Open(
+      dir.string(), options, [&] { return BuildShardedDb(threads); });
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 opened.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto mgr = std::move(opened).value();
+
+  IngestOptions ingest_options;
+  ingest_options.durability = mgr.get();
+  Ingestor ingestor(mgr->db(), /*cache=*/nullptr, ingest_options);
+
+  ModeResult result;
+  Stopwatch watch;
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      const std::string cube = ShardName(t);
+      for (int b = 0; b < batches_per_thread; ++b) {
+        auto stats = ingestor.IngestText(
+            cube, Batch(rows_per_batch, int64_t{t} * 1000 + b));
+        if (!stats.ok()) {
+          std::fprintf(stderr, "ingest failed: %s\n",
+                       stats.status().ToString().c_str());
+          std::exit(1);
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  result.ingest_seconds = watch.ElapsedSeconds();
+  result.batches = uint64_t(threads) * batches_per_thread;
+  result.rows = result.batches * rows_per_batch;
+  result.batches_per_sec = result.batches / result.ingest_seconds;
+  result.rows_per_sec = result.rows / result.ingest_seconds;
+  result.wal = mgr->wal_stats();
+  result.fsyncs_per_batch =
+      result.batches > 0
+          ? static_cast<double>(result.wal.fsyncs) / result.batches
+          : 0.0;
+
+  // Crash recovery: drop the manager (no shutdown checkpoint, like a
+  // crash) and reopen — every batch replays from the WAL.
+  mgr.reset();
+  Stopwatch recovery_watch;
+  auto reopened = DurabilityManager::Open(
+      dir.string(), options, [&] { return BuildShardedDb(threads); });
+  if (!reopened.ok()) {
+    std::fprintf(stderr, "recovery failed: %s\n",
+                 reopened.status().ToString().c_str());
+    std::exit(1);
+  }
+  result.recovery_ms = recovery_watch.ElapsedSeconds() * 1000.0;
+  result.replayed_records = (*reopened)->recovery().replayed_records;
+
+  Stopwatch checkpoint_watch;
+  Status checkpointed = (*reopened)->Checkpoint();
+  if (!checkpointed.ok()) {
+    std::fprintf(stderr, "checkpoint failed: %s\n",
+                 checkpointed.ToString().c_str());
+    std::exit(1);
+  }
+  result.checkpoint_ms = checkpoint_watch.ElapsedSeconds() * 1000.0;
+
+  reopened->reset();
+  std::filesystem::remove_all(dir);
+  return result;
+}
+
+void PrintMode(const char* name, const ModeResult& r) {
+  std::printf(
+      "%-8s %7.0f batches/s  %9.0f rows/s   %.2f fsyncs/batch "
+      "(%llu fsyncs / %llu appends)\n"
+      "         recovery %.1f ms (%llu records replayed)   checkpoint "
+      "%.1f ms\n",
+      name, r.batches_per_sec, r.rows_per_sec, r.fsyncs_per_batch,
+      static_cast<unsigned long long>(r.wal.fsyncs),
+      static_cast<unsigned long long>(r.wal.appends), r.recovery_ms,
+      static_cast<unsigned long long>(r.replayed_records), r.checkpoint_ms);
+}
+
+void WriteModeJson(std::FILE* json, const char* name, const ModeResult& r,
+                   bool trailing_comma) {
+  std::fprintf(
+      json,
+      "  \"%s\": {\n"
+      "    \"ingest_seconds\": %.4f,\n"
+      "    \"batches\": %llu,\n"
+      "    \"rows\": %llu,\n"
+      "    \"batches_per_sec\": %.1f,\n"
+      "    \"rows_per_sec\": %.1f,\n"
+      "    \"wal_appends\": %llu,\n"
+      "    \"wal_fsyncs\": %llu,\n"
+      "    \"wal_bytes\": %llu,\n"
+      "    \"fsyncs_per_batch\": %.3f,\n"
+      "    \"recovery_ms\": %.2f,\n"
+      "    \"replayed_records\": %llu,\n"
+      "    \"checkpoint_ms\": %.2f\n"
+      "  }%s\n",
+      name, r.ingest_seconds, static_cast<unsigned long long>(r.batches),
+      static_cast<unsigned long long>(r.rows), r.batches_per_sec,
+      r.rows_per_sec, static_cast<unsigned long long>(r.wal.appends),
+      static_cast<unsigned long long>(r.wal.fsyncs),
+      static_cast<unsigned long long>(r.wal.bytes_written),
+      r.fsyncs_per_batch, r.recovery_ms,
+      static_cast<unsigned long long>(r.replayed_records), r.checkpoint_ms,
+      trailing_comma ? "," : "");
+}
+
+}  // namespace
+
+int main() {
+  const int threads = 16;
+  const int batches_per_thread = RepsFromEnv(3) * 16;
+  const int rows_per_batch = 4;
+
+  std::printf(
+      "WAL durability (%d threads x %d batches of %d rows, one cube per "
+      "thread)\n\n",
+      threads, batches_per_thread, rows_per_batch);
+
+  ModeResult batch =
+      RunMode(FsyncMode::kAlways, threads, batches_per_thread, rows_per_batch);
+  ModeResult group =
+      RunMode(FsyncMode::kGroup, threads, batches_per_thread, rows_per_batch);
+  ModeResult none =
+      RunMode(FsyncMode::kNone, threads, batches_per_thread, rows_per_batch);
+  PrintMode("batch", batch);
+  PrintMode("group", group);
+  PrintMode("none", none);
+
+  const double speedup = batch.batches_per_sec > 0
+                             ? group.batches_per_sec / batch.batches_per_sec
+                             : 0.0;
+  std::printf("\ngroup commit speedup over fsync-per-batch: %.2fx\n",
+              speedup);
+
+  std::FILE* json = std::fopen("BENCH_wal.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_wal.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n"
+               "  \"threads\": %d,\n"
+               "  \"batches_per_thread\": %d,\n"
+               "  \"rows_per_batch\": %d,\n"
+               "  \"group_vs_batch_speedup\": %.3f,\n",
+               threads, batches_per_thread, rows_per_batch, speedup);
+  WriteModeJson(json, "batch", batch, /*trailing_comma=*/true);
+  WriteModeJson(json, "group", group, /*trailing_comma=*/true);
+  WriteModeJson(json, "none", none, /*trailing_comma=*/false);
+  std::fprintf(json, "}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_wal.json\n");
+  return 0;
+}

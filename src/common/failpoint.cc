@@ -42,6 +42,8 @@ bool ParseStatusCode(std::string_view name, StatusCode* out) {
       {"timeout", StatusCode::kTimeout},
       {"corrupt_frame", StatusCode::kCorruptFrame},
       {"frame_too_large", StatusCode::kFrameTooLarge},
+      {"corrupt_wal", StatusCode::kCorruptWal},
+      {"corrupt_checkpoint", StatusCode::kCorruptCheckpoint},
   };
   for (const Mapping& m : kCodes) {
     if (m.name == name) {

@@ -56,7 +56,7 @@ namespace assess {
 ///
 /// Code names: invalid_argument, not_found, already_exists, out_of_range,
 /// not_supported, internal, unavailable, timeout, corrupt_frame,
-/// frame_too_large.
+/// frame_too_large, corrupt_wal, corrupt_checkpoint.
 
 /// \brief True when failpoint sites are compiled in (ASSESS_FAILPOINTS=ON).
 #ifdef ASSESS_FAILPOINTS_ENABLED

@@ -1,0 +1,87 @@
+#include "common/fs_util.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace assess {
+
+namespace fs = std::filesystem;
+
+Status FsyncFd(int fd, const std::string& what) {
+  while (::fsync(fd) < 0) {
+    if (errno == EINTR) continue;
+    // EINVAL means the filesystem cannot sync this object (some virtual
+    // filesystems); treat it as best-effort rather than failing the commit.
+    if (errno == EINVAL) return Status::OK();
+    return Status::Internal("fsync of '" + what +
+                            "' failed: " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status FsyncPath(const std::string& path) {
+  int fd;
+  do {
+    fd = ::open(path.c_str(), O_RDONLY);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    return Status::Internal("cannot open '" + path +
+                            "' for fsync: " + std::strerror(errno));
+  }
+  Status synced = FsyncFd(fd, path);
+  ::close(fd);
+  return synced;
+}
+
+Status FsyncParentDir(const std::string& path) {
+  fs::path parent = fs::path(path).parent_path();
+  if (parent.empty()) parent = ".";
+  return FsyncPath(parent.string());
+}
+
+Status AtomicRenamePath(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) < 0) {
+    return Status::Internal("cannot rename '" + from + "' to '" + to +
+                            "': " + std::strerror(errno));
+  }
+  return FsyncParentDir(to);
+}
+
+Status WriteFileDurable(const std::string& path, std::string_view content,
+                        bool fsync) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Internal("cannot open '" + tmp + "' for writing");
+    }
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+    if (!out.flush()) {
+      return Status::Internal("short write to '" + tmp + "'");
+    }
+  }
+  if (fsync) ASSESS_RETURN_NOT_OK(FsyncPath(tmp));
+  ASSESS_RETURN_NOT_OK(AtomicRenamePath(tmp, path));
+  return Status::OK();
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return Status::OK();
+}
+
+}  // namespace assess

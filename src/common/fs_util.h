@@ -1,0 +1,50 @@
+#ifndef ASSESS_COMMON_FS_UTIL_H_
+#define ASSESS_COMMON_FS_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace assess {
+
+/// \brief Small durable-filesystem helpers shared by the persistence layer
+/// (storage/database_io) and the WAL (src/wal/): fsync wrappers and the
+/// write-to-temp + fsync + atomic-rename idiom that makes a file or
+/// directory appear all-or-nothing even across a crash.
+///
+/// Every helper returns a typed Status instead of throwing; callers decide
+/// whether a durability failure is fatal (a WAL fsync is) or a warning.
+
+/// \brief fsync(2) on an already-open descriptor; `what` names the file in
+/// the error message.
+Status FsyncFd(int fd, const std::string& what);
+
+/// \brief Opens `path` read-only and fsyncs it. Works for directories too —
+/// which is how a rename or file creation inside a directory is made
+/// durable on POSIX.
+Status FsyncPath(const std::string& path);
+
+/// \brief Fsyncs the parent directory of `path`, making `path`'s own
+/// directory entry (creation, rename, unlink) durable.
+Status FsyncParentDir(const std::string& path);
+
+/// \brief rename(2) `from` onto `to`, then fsyncs `to`'s parent directory so
+/// the swap survives a crash. POSIX rename is atomic for files and for
+/// directories whose target does not exist; callers renaming directories
+/// must pick fresh target names (checkpoint-<seq>) rather than replacing.
+Status AtomicRenamePath(const std::string& from, const std::string& to);
+
+/// \brief Writes `content` to `path` all-or-nothing: writes `path`.tmp,
+/// fsyncs it (when `fsync` is set), renames it over `path` and fsyncs the
+/// parent directory. A crash leaves either the old file or the new one,
+/// never a torn mix.
+Status WriteFileDurable(const std::string& path, std::string_view content,
+                        bool fsync = true);
+
+/// \brief Reads a whole file into `*out`; kNotFound when it does not exist.
+Status ReadFileToString(const std::string& path, std::string* out);
+
+}  // namespace assess
+
+#endif  // ASSESS_COMMON_FS_UTIL_H_

@@ -26,6 +26,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "CorruptFrame";
     case StatusCode::kFrameTooLarge:
       return "FrameTooLarge";
+    case StatusCode::kCorruptWal:
+      return "CorruptWal";
+    case StatusCode::kCorruptCheckpoint:
+      return "CorruptCheckpoint";
   }
   return "Unknown";
 }
@@ -44,6 +48,8 @@ Status Status::FromCode(StatusCode code, std::string msg) {
     case StatusCode::kTimeout:
     case StatusCode::kCorruptFrame:
     case StatusCode::kFrameTooLarge:
+    case StatusCode::kCorruptWal:
+    case StatusCode::kCorruptCheckpoint:
       return Status(code, std::move(msg));
   }
   return Status::Internal("unknown status code: " + std::move(msg));

@@ -26,10 +26,15 @@ enum class StatusCode {
   kCorruptFrame,      ///< a network frame failed its CRC32C integrity check;
                       ///< the stream is untrustworthy, safe to retry
   kFrameTooLarge,     ///< a network frame exceeds the configured size cap
+  kCorruptWal,        ///< a write-ahead-log record failed its CRC32C check
+                      ///< mid-log (not a torn tail); recovery must stop
+                      ///< rather than guess what follows
+  kCorruptCheckpoint, ///< a checkpoint directory is incomplete or fails its
+                      ///< manifest verification; the loader rejects it
 };
 
 /// \brief The highest valid StatusCode value, for wire-format validation.
-inline constexpr StatusCode kMaxStatusCode = StatusCode::kFrameTooLarge;
+inline constexpr StatusCode kMaxStatusCode = StatusCode::kCorruptCheckpoint;
 
 /// \brief Human-readable name of a status code (e.g. "InvalidArgument").
 std::string_view StatusCodeToString(StatusCode code);
@@ -73,6 +78,12 @@ class Status {
   }
   static Status FrameTooLarge(std::string msg) {
     return Status(StatusCode::kFrameTooLarge, std::move(msg));
+  }
+  static Status CorruptWal(std::string msg) {
+    return Status(StatusCode::kCorruptWal, std::move(msg));
+  }
+  static Status CorruptCheckpoint(std::string msg) {
+    return Status(StatusCode::kCorruptCheckpoint, std::move(msg));
   }
 
   /// \brief Rebuilds a status from a code + message pair (the shape errors

@@ -21,6 +21,37 @@ std::string_view IngestFormatToString(IngestFormat format);
 /// kJsonl, everything else kCsv.
 IngestFormat IngestFormatFromPath(std::string_view path);
 
+/// \brief Everything the durability layer needs to persist one committed
+/// ingest batch before its epoch is published: the accepted row text (for
+/// CSV, the bound header plus every accepted data line) and the epoch the
+/// batch will commit at. Pointers borrow from the ingest run and are valid
+/// only for the duration of the OnCommit call.
+struct IngestCommit {
+  const std::string* cube = nullptr;
+  /// The epoch this batch commits at (current fact epoch + 1) — stamped
+  /// into the WAL record so replay can verify it reproduces the same epoch.
+  uint64_t epoch = 0;
+  IngestFormat format = IngestFormat::kCsv;
+  bool auto_insert = false;
+  uint32_t row_count = 0;
+  /// CSV header line the rows were bound under (empty for JSONL).
+  const std::string* header = nullptr;
+  /// Accepted data lines, newline-joined.
+  const std::string* text = nullptr;
+};
+
+/// \brief Write-ahead hook the Ingestor calls inside CommitBatch — after
+/// validation, under the cube's ingest mutex, *before* AppendBatch
+/// publishes the epoch. A non-OK return aborts the commit: nothing is
+/// appended, no epoch moves, and the error surfaces as the batch's typed
+/// error. The DurabilityManager implements this to append + fsync the WAL
+/// record, so a batch is durable strictly before any client can observe it.
+class CommitDurabilityHook {
+ public:
+  virtual ~CommitDurabilityHook() = default;
+  virtual Status OnCommit(const IngestCommit& commit) = 0;
+};
+
 /// \brief Knobs of one ingest run.
 struct IngestOptions {
   IngestFormat format = IngestFormat::kCsv;
@@ -47,6 +78,12 @@ struct IngestOptions {
   /// the row's typed error. 0 (default) = strict: fail on the first bad
   /// row. Rejected rows are counted in IngestStats::rows_rejected.
   int64_t max_errors = 0;
+
+  /// When set, each batch commit calls OnCommit before publishing its
+  /// epoch; a failure aborts the batch with the hook's typed error (see
+  /// CommitDurabilityHook). Borrowed, not owned; null = no write-ahead
+  /// logging (in-process and bench use).
+  CommitDurabilityHook* durability = nullptr;
 };
 
 /// \brief What one ingest run did. Serializes to a fixed little-endian

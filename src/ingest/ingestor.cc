@@ -151,6 +151,13 @@ struct Ingestor::Run {
   bool has_avg_measure = false;
   uint64_t repack_base = 0;
   IngestStats stats;
+
+  // Write-ahead capture (populated only when options_.durability is set):
+  // the bound CSV header line and the accepted data lines of the pending
+  // batch, newline-joined. Replaying them through a fresh Ingestor
+  // reproduces the batch bit-for-bit, auto-insert side effects included.
+  std::string wal_header;
+  std::string wal_lines;
 };
 
 Ingestor::Ingestor(StarDatabase* db, std::shared_ptr<CubeResultCache> cache,
@@ -419,7 +426,33 @@ Status Ingestor::CommitBatch(Run* run) {
   std::shared_lock<std::shared_mutex> schema_lock(db_->schema_mutex());
 
   FactTable& facts = run->bound->mutable_facts();
+
+  // Write-ahead: the batch must be durable before its epoch publishes and
+  // any receipt can reach a client. The epoch is computed up front (we hold
+  // the cube's ingest mutex, so nobody else can move it) and stamped into
+  // the record; a hook failure aborts the whole ingest with its typed error
+  // while the fact table, views and cache are exactly as the previous batch
+  // left them — no half-published epoch.
+  const uint64_t commit_epoch = facts.epoch() + 1;
+  if (options_.durability != nullptr) {
+    IngestCommit commit;
+    commit.cube = &run->cube_name;
+    commit.epoch = commit_epoch;
+    commit.format = options_.format;
+    commit.auto_insert = options_.auto_insert_members;
+    commit.row_count = static_cast<uint32_t>(run->pending);
+    commit.header = &run->wal_header;
+    commit.text = &run->wal_lines;
+    ASSESS_RETURN_NOT_OK(options_.durability->OnCommit(commit));
+  }
+
   const AppendResult app = facts.AppendBatch(run->fks, run->measures);
+  if (app.epoch != commit_epoch) {
+    return Status::Internal(
+        "ingest epoch moved under the commit lock: logged " +
+        std::to_string(commit_epoch) + ", published " +
+        std::to_string(app.epoch));
+  }
   // Extend packed FK views and zone maps to the new prefix right away (if
   // they were ever built), so query latency stays flat under churn.
   facts.ExtendDerivedIfBuilt();
@@ -432,6 +465,7 @@ Status Ingestor::CommitBatch(Run* run) {
 
   for (auto& col : run->fks) col.clear();
   for (auto& col : run->measures) col.clear();
+  run->wal_lines.clear();
   run->pending = 0;
 
   // Writes flow through the materialized views: aggregate only the appended
@@ -512,6 +546,9 @@ Status Ingestor::IngestLines(Run* run, std::string_view text) {
           // A bad header fails everything — no row is interpretable.
           return st.WithContext("line " + std::to_string(line_no));
         }
+        if (options_.durability != nullptr) {
+          run->wal_header.assign(line.data(), line.size());
+        }
         continue;
       }
       if (st.ok() && fields.size() != run->header_bindings.size()) {
@@ -546,6 +583,12 @@ Status Ingestor::IngestLines(Run* run, std::string_view text) {
       }
       run->stats.rows_rejected += 1;
       continue;
+    }
+    if (options_.durability != nullptr) {
+      // Only *accepted* rows are logged: replay re-ingests exactly what
+      // committed, never a rejected line.
+      if (!run->wal_lines.empty()) run->wal_lines += '\n';
+      run->wal_lines.append(line.data(), line.size());
     }
     if (run->pending >= options_.batch_rows) {
       // Commit failures are fatal: the batch is atomic, nothing of it

@@ -17,6 +17,7 @@
 #include "common/failpoint.h"
 #include "common/task_pool.h"
 #include "ingest/ingestor.h"
+#include "wal/durability.h"
 
 namespace assess {
 namespace {
@@ -127,6 +128,15 @@ void AssessServer::Stop() {
   {
     std::unique_lock<std::mutex> lock(queue_mutex_);
     drain_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  }
+  // 3b. Graceful drain flushes the WAL: even under --fsync-mode none,
+  //     every batch committed before the drain is durable at exit.
+  if (options_.durability != nullptr) {
+    Status flushed = options_.durability->Flush();
+    if (!flushed.ok()) {
+      std::fprintf(stderr, "[assessd] WAL flush on drain failed: %s\n",
+                   flushed.ToString().c_str());
+    }
   }
   // 4. Unblock readers parked in recv while letting their final response
   //    writes flush (SHUT_RD only; blocked writes bail out via the send
@@ -447,6 +457,11 @@ std::pair<FrameType, std::string> AssessServer::ExecuteRequest(
       // it, but may opt out of it for one load.
       opts.auto_insert_members =
           opts.auto_insert_members && request->ingest_auto_insert;
+      // Write-ahead durability: each batch is logged + fsynced inside
+      // CommitBatch, before its epoch publishes — so by the time the
+      // kIngestReply receipt below reaches the client, every row it
+      // acknowledges survives a crash.
+      opts.durability = options_.durability;
       Ingestor ingestor(options_.mutable_db, options_.engine.shared_cache,
                         opts);
       return ingestor.IngestText(request->ingest_cube, request->statement);
@@ -464,6 +479,17 @@ std::pair<FrameType, std::string> AssessServer::ExecuteRequest(
       type = FrameType::kIngestReply;
       payload = ingested->Serialize();
       ok_responses_.fetch_add(1, std::memory_order_relaxed);
+      // Checkpoint trigger — after IngestText returned, so no ingest mutex
+      // is held here (Checkpoint takes them all). A failed checkpoint never
+      // fails the request: the WAL still covers everything.
+      if (options_.durability != nullptr &&
+          options_.durability->ShouldCheckpoint()) {
+        Status cp = options_.durability->Checkpoint();
+        if (!cp.ok()) {
+          std::fprintf(stderr, "[assessd] checkpoint failed: %s\n",
+                       cp.ToString().c_str());
+        }
+      }
     }
   } else if (request->explain) {
     if (options_.pre_execute_hook) options_.pre_execute_hook();
@@ -656,6 +682,16 @@ ServerStats AssessServer::Snapshot() const {
     stats.pool_queue_depth = pool.queue_depth;
     stats.morsels_scanned = pool.morsels_scanned;
     stats.morsels_skipped = pool.morsels_skipped;
+  }
+  if (options_.durability != nullptr) {
+    const WalStats wal = options_.durability->wal_stats();
+    stats.wal_appends = wal.appends;
+    stats.wal_fsyncs = wal.fsyncs;
+    stats.wal_bytes = wal.bytes_written;
+    stats.checkpoints = options_.durability->checkpoints();
+    const RecoveryInfo& rec = options_.durability->recovery();
+    stats.recovery_replayed_records = rec.replayed_records;
+    stats.recovery_truncated_bytes = rec.truncated_bytes;
   }
   return stats;
 }

@@ -23,6 +23,8 @@
 
 namespace assess {
 
+class DurabilityManager;
+
 /// \brief Tuning knobs of an AssessServer.
 struct ServerOptions {
   std::string host = "127.0.0.1";
@@ -81,6 +83,13 @@ struct ServerOptions {
   /// frame; the wire's auto-insert flag is honoured only when
   /// `ingest.auto_insert_members` also allows it).
   IngestOptions ingest;
+  /// Durability (assessd --data-dir): when set, every kIngest batch is
+  /// write-ahead-logged and made durable *before* its kIngestReply receipt,
+  /// a checkpoint is taken after any ingest that pushed the WAL past its
+  /// threshold, and graceful drain flushes the log. Borrowed, must outlive
+  /// the server; it typically also owns the database `mutable_db` points
+  /// to. Null = no durability (the in-memory default).
+  DurabilityManager* durability = nullptr;
   /// Test-only: runs at the start of each query's execution, inside the
   /// worker, before the session is consulted. Lets tests make execution
   /// arbitrarily slow to exercise admission control and timeouts.

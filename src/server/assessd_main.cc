@@ -5,11 +5,19 @@
 //           [--max-frame-mb N] [--failpoints SPEC] [--failpoint-admin]
 //           [--slow-query-ms N] [--trace-sample X]
 //           [--ingest] [--ingest-auto-insert] [--ingest-max-errors N]
+//           [--data-dir DIR] [--fsync-mode none|batch|group]
+//           [--checkpoint-wal-mb N]
 //
 // Loads the database once, then serves the framed protocol of
 // server/protocol.h until SIGINT/SIGTERM, which trigger a graceful drain
 // (in-flight and queued requests complete, new ones are rejected). Connect
 // with `assess_client` or `assess_cli --connect host:port`.
+//
+// With --data-dir, the database lives in DIR across restarts: the first
+// boot seals the generated database as checkpoint 1, every ingested batch
+// is write-ahead-logged and fsynced before its receipt, and a restart
+// recovers the newest checkpoint plus the WAL tail — so an acknowledged
+// batch survives a crash (kill -9 included).
 
 #include <csignal>
 #include <cstdio>
@@ -22,6 +30,7 @@
 #include "server/assessd.h"
 #include "ssb/sales_generator.h"
 #include "ssb/ssb_generator.h"
+#include "wal/durability.h"
 
 namespace {
 
@@ -40,6 +49,8 @@ int Usage(const char* argv0) {
       "          [--failpoints SPEC] [--failpoint-admin]\n"
       "          [--slow-query-ms N] [--trace-sample X]\n"
       "          [--ingest] [--ingest-auto-insert] [--ingest-max-errors N]\n"
+      "          [--data-dir DIR] [--fsync-mode none|batch|group]\n"
+      "          [--checkpoint-wal-mb N]\n"
       "Serves the SALES (default) or SSB database on H:P (default "
       "127.0.0.1:%u).\n"
       "--engine-threads caps how many shared-pool workers one query's scan\n"
@@ -54,7 +65,14 @@ int Usage(const char* argv0) {
       "--ingest accepts kIngest row streams (the server is read-only\n"
       "without it); --ingest-auto-insert lets streamed rows add new\n"
       "dimension members; --ingest-max-errors tolerates N malformed rows\n"
-      "per load before aborting it (default 0).\n",
+      "per load before aborting it (default 0).\n"
+      "--data-dir makes ingestion durable: batches are write-ahead-logged\n"
+      "and fsynced before their receipts, and a restart recovers the\n"
+      "newest checkpoint plus the WAL tail. --fsync-mode picks how commits\n"
+      "sync (group = coalesced fsync, default; batch = one fsync per\n"
+      "commit; none = no sync, crash may lose acknowledged batches).\n"
+      "--checkpoint-wal-mb snapshots the database once that much WAL\n"
+      "accumulated (default 128, 0 = only at shutdown).\n",
       argv0, assess::kDefaultPort);
   return 2;
 }
@@ -65,6 +83,8 @@ int main(int argc, char** argv) {
   bool use_ssb = false;
   bool ingest_enabled = false;
   double scale_factor = 0.02;
+  std::string data_dir;
+  assess::DurabilityOptions durability_options;
   assess::ServerOptions options;
   options.port = assess::kDefaultPort;
 
@@ -142,42 +162,95 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       options.ingest.max_errors = std::atoll(v);
+    } else if (arg == "--data-dir") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      data_dir = v;
+    } else if (arg == "--fsync-mode") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      auto mode = assess::ParseFsyncMode(v);
+      if (!mode.ok()) {
+        std::fprintf(stderr, "assessd: --fsync-mode: %s\n",
+                     mode.status().ToString().c_str());
+        return 2;
+      }
+      durability_options.wal.fsync_mode = *mode;
+    } else if (arg == "--checkpoint-wal-mb") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      durability_options.checkpoint_wal_bytes = std::atoll(v) << 20;
     } else {
       return Usage(argv[0]);
     }
   }
 
-  std::unique_ptr<assess::StarDatabase> db;
-  if (use_ssb) {
-    assess::SsbConfig config;
-    config.scale_factor = scale_factor;
-    auto built = assess::BuildSsbDatabase(config);
-    if (!built.ok()) {
-      std::fprintf(stderr, "cannot build SSB database: %s\n",
-                   built.status().ToString().c_str());
+  auto bootstrap =
+      [&]() -> assess::Result<std::unique_ptr<assess::StarDatabase>> {
+    if (use_ssb) {
+      assess::SsbConfig config;
+      config.scale_factor = scale_factor;
+      return assess::BuildSsbDatabase(config);
+    }
+    return assess::BuildSalesDatabase(assess::SalesConfig{});
+  };
+
+  std::unique_ptr<assess::StarDatabase> owned_db;
+  std::unique_ptr<assess::DurabilityManager> durability;
+  assess::StarDatabase* db = nullptr;
+  if (!data_dir.empty()) {
+    auto opened =
+        assess::DurabilityManager::Open(data_dir, durability_options,
+                                        bootstrap);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "assessd: cannot open data dir '%s': %s\n",
+                   data_dir.c_str(), opened.status().ToString().c_str());
       return 1;
     }
-    db = std::move(built).value();
-    std::fprintf(stderr, "assessd: SSB database ready (SF %.3g)\n",
-                 scale_factor);
+    durability = std::move(opened).value();
+    db = durability->db();
+    const assess::RecoveryInfo& rec = durability->recovery();
+    if (rec.fresh_start) {
+      std::fprintf(stderr,
+                   "assessd: data dir '%s' initialized (checkpoint 1, "
+                   "fsync %s)\n",
+                   data_dir.c_str(),
+                   std::string(FsyncModeToString(durability->fsync_mode()))
+                       .c_str());
+    } else {
+      std::fprintf(stderr,
+                   "assessd: recovered from '%s': checkpoint %llu (LSN "
+                   "%llu), %llu WAL records replayed\n",
+                   data_dir.c_str(),
+                   static_cast<unsigned long long>(rec.checkpoint_seq),
+                   static_cast<unsigned long long>(rec.checkpoint_lsn),
+                   static_cast<unsigned long long>(rec.replayed_records));
+      if (rec.tail_truncated) {
+        std::fprintf(stderr, "assessd: warning: %s\n", rec.tail_note.c_str());
+      }
+    }
+    options.durability = durability.get();
   } else {
-    auto built = assess::BuildSalesDatabase(assess::SalesConfig{});
+    auto built = bootstrap();
     if (!built.ok()) {
-      std::fprintf(stderr, "cannot build SALES database: %s\n",
+      std::fprintf(stderr, "cannot build database: %s\n",
                    built.status().ToString().c_str());
       return 1;
     }
-    db = std::move(built).value();
-    std::fprintf(stderr, "assessd: SALES database ready\n");
+    owned_db = std::move(built).value();
+    db = owned_db.get();
   }
+  std::fprintf(stderr, "assessd: %s database ready%s\n",
+               use_ssb ? "SSB" : "SALES",
+               data_dir.empty() ? "" : " (durable)");
 
   if (ingest_enabled) {
-    options.mutable_db = db.get();
+    options.mutable_db = db;
     std::fprintf(stderr, "assessd: ingest enabled%s\n",
                  options.ingest.auto_insert_members ? " (auto-insert)" : "");
   }
 
-  assess::AssessServer server(db.get(), options);
+  assess::AssessServer server(db, options);
   assess::Status started = server.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "assessd: %s\n", started.ToString().c_str());
@@ -196,6 +269,15 @@ int main(int argc, char** argv) {
 
   std::fprintf(stderr, "assessd: draining...\n");
   server.Stop();
+  if (durability != nullptr) {
+    // A shutdown checkpoint makes the next boot instant (nothing to
+    // replay); a failure is harmless — the WAL still covers everything.
+    assess::Status cp = durability->Checkpoint();
+    if (!cp.ok()) {
+      std::fprintf(stderr, "assessd: shutdown checkpoint failed: %s\n",
+                   cp.ToString().c_str());
+    }
+  }
   std::fprintf(stderr, "assessd: stopped\n");
   return 0;
 }

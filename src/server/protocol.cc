@@ -434,7 +434,7 @@ struct StatsReader {
 std::string ServerStats::Serialize() const {
   std::string out;
   out.push_back('T');  // stats magic
-  out.push_back(0x04);  // v4: appends ingest counters after the v3 fields
+  out.push_back(0x05);  // v5: appends durability counters after v4's
   for (uint64_t v : {total_requests, ok_responses, error_responses,
                      rejected_overload, timeouts, queued, in_flight,
                      connections, worker_threads}) {
@@ -459,6 +459,10 @@ std::string ServerStats::Serialize() const {
        {ingest_rows, ingest_batches, cache_epoch_invalidations}) {
     PutVarint(&out, v);
   }
+  for (uint64_t v : {wal_appends, wal_fsyncs, wal_bytes, checkpoints,
+                     recovery_replayed_records, recovery_truncated_bytes}) {
+    PutVarint(&out, v);
+  }
   return out;
 }
 
@@ -467,8 +471,7 @@ Result<ServerStats> ServerStats::Deserialize(std::string_view data) {
   // Older payloads decode with the newer counters left at zero; each version
   // appends its field group after the previous one's, so one pass reads
   // every layout.
-  if (data.size() < 2 || data[0] != 'T' ||
-      (data[1] != 0x02 && data[1] != 0x03 && data[1] != 0x04)) {
+  if (data.size() < 2 || data[0] != 'T' || data[1] < 0x02 || data[1] > 0x05) {
     return Status::InvalidArgument("stats: bad magic");
   }
   const uint8_t version = static_cast<uint8_t>(data[1]);
@@ -511,6 +514,15 @@ Result<ServerStats> ServerStats::Deserialize(std::string_view data) {
       ASSESS_RETURN_NOT_OK(reader.GetVarint(slot));
     }
   }
+  if (version >= 0x05) {
+    uint64_t* wal_ints[] = {&stats.wal_appends, &stats.wal_fsyncs,
+                            &stats.wal_bytes, &stats.checkpoints,
+                            &stats.recovery_replayed_records,
+                            &stats.recovery_truncated_bytes};
+    for (uint64_t* slot : wal_ints) {
+      ASSESS_RETURN_NOT_OK(reader.GetVarint(slot));
+    }
+  }
   if (reader.pos != data.size()) {
     return Status::InvalidArgument("stats: trailing bytes");
   }
@@ -518,7 +530,7 @@ Result<ServerStats> ServerStats::Deserialize(std::string_view data) {
 }
 
 std::string ServerStats::ToString() const {
-  char buf[1280];
+  char buf[1536];
   std::snprintf(
       buf, sizeof(buf),
       "requests: %llu total, %llu ok, %llu errors, %llu overload-rejected, "
@@ -533,7 +545,9 @@ std::string ServerStats::ToString() const {
       "obs: %llu latency samples, %llu slow queries, %llu traces "
       "(%llu spans)\n"
       "ingest: %llu rows in %llu batches; %llu stale-epoch cache entries "
-      "swept",
+      "swept\n"
+      "wal: %llu appends, %llu fsyncs, %.1f MiB written; %llu checkpoints; "
+      "recovery replayed %llu records, dropped %llu torn bytes",
       static_cast<unsigned long long>(total_requests),
       static_cast<unsigned long long>(ok_responses),
       static_cast<unsigned long long>(error_responses),
@@ -559,7 +573,13 @@ std::string ServerStats::ToString() const {
       static_cast<unsigned long long>(trace_spans),
       static_cast<unsigned long long>(ingest_rows),
       static_cast<unsigned long long>(ingest_batches),
-      static_cast<unsigned long long>(cache_epoch_invalidations));
+      static_cast<unsigned long long>(cache_epoch_invalidations),
+      static_cast<unsigned long long>(wal_appends),
+      static_cast<unsigned long long>(wal_fsyncs),
+      wal_bytes / (1024.0 * 1024.0),
+      static_cast<unsigned long long>(checkpoints),
+      static_cast<unsigned long long>(recovery_replayed_records),
+      static_cast<unsigned long long>(recovery_truncated_bytes));
   return buf;
 }
 

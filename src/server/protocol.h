@@ -212,6 +212,14 @@ struct ServerStats {
   uint64_t ingest_rows = 0;     ///< fact rows appended via kIngest
   uint64_t ingest_batches = 0;  ///< epoch-stamped commits those rows made
   uint64_t cache_epoch_invalidations = 0;  ///< stale-epoch entries swept
+  // v5: durability counters (zero on a server without --data-dir).
+  uint64_t wal_appends = 0;     ///< WAL records appended
+  uint64_t wal_fsyncs = 0;      ///< fsync(2) calls the WAL issued (group
+                                ///< commit makes this < appends under load)
+  uint64_t wal_bytes = 0;       ///< framed WAL bytes written
+  uint64_t checkpoints = 0;     ///< checkpoints published this run
+  uint64_t recovery_replayed_records = 0;  ///< WAL records startup replayed
+  uint64_t recovery_truncated_bytes = 0;   ///< torn-tail bytes dropped
 
   double cache_hit_rate() const {
     return cache_lookups > 0

@@ -1,12 +1,15 @@
 #include "storage/database_io.h"
 
 #include <cstdint>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <vector>
 
+#include "common/crc32c.h"
+#include "common/fs_util.h"
 #include "common/str_util.h"
 
 namespace assess {
@@ -14,24 +17,64 @@ namespace assess {
 namespace {
 
 constexpr int kFormatVersion = 1;
+constexpr char kManifestName[] = "manifest";
+constexpr char kManifestMagic[] = "assessmanifest";
+constexpr int kManifestVersion = 1;
 
 namespace fs = std::filesystem;
 
-// --- binary column files -----------------------------------------------
+// --- manifest -------------------------------------------------------------
+//
+// The manifest is written last and lists every other file in the directory
+// with its size and CRC32C:
+//
+//   assessmanifest 1
+//   file <name> <size> <crc32c, 8 hex digits>
+//
+// Its presence certifies the save completed; its checksums catch torn
+// column files a crash (or a stray write) left behind.
 
-template <typename T>
-Status WriteColumn(const fs::path& path, const std::vector<T>& column) {
+class ManifestBuilder {
+ public:
+  void Add(const std::string& name, size_t size, uint32_t crc) {
+    char line[64];
+    std::snprintf(line, sizeof(line), " %zu %08x\n", size, crc);
+    body_ += "file " + name + line;
+  }
+
+  std::string Render() const {
+    return std::string(kManifestMagic) + " " +
+           std::to_string(kManifestVersion) + "\n" + body_;
+  }
+
+ private:
+  std::string body_;
+};
+
+Status WriteFileWithManifest(const fs::path& path, const char* data,
+                             size_t size, bool fsync,
+                             ManifestBuilder* manifest) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {
     return Status::Internal("cannot open '" + path.string() +
                             "' for writing");
   }
-  out.write(reinterpret_cast<const char*>(column.data()),
-            static_cast<std::streamsize>(column.size() * sizeof(T)));
-  if (!out) {
+  out.write(data, static_cast<std::streamsize>(size));
+  if (!out.flush()) {
     return Status::Internal("short write to '" + path.string() + "'");
   }
+  out.close();
+  if (fsync) ASSESS_RETURN_NOT_OK(FsyncPath(path.string()));
+  manifest->Add(path.filename().string(), size, Crc32c(data, size));
   return Status::OK();
+}
+
+template <typename T>
+Status WriteColumn(const fs::path& path, const std::vector<T>& column,
+                   bool fsync, ManifestBuilder* manifest) {
+  return WriteFileWithManifest(path,
+                               reinterpret_cast<const char*>(column.data()),
+                               column.size() * sizeof(T), fsync, manifest);
 }
 
 template <typename T>
@@ -49,6 +92,72 @@ Result<std::vector<T>> ReadColumn(const fs::path& path, int64_t rows) {
                                    "' is truncated");
   }
   return column;
+}
+
+/// Verifies `directory` against its manifest: every listed file must exist
+/// with the recorded size and CRC32C. A missing or mismatching manifest is
+/// the typed signature of a partial save.
+Status VerifyManifest(const std::string& directory) {
+  std::string manifest;
+  Status read = ReadFileToString(
+      (fs::path(directory) / kManifestName).string(), &manifest);
+  if (!read.ok()) {
+    return Status::CorruptCheckpoint(
+        "database directory '" + directory + "' has no manifest — the save "
+        "was cut short (or predates the manifest format); refusing to load "
+        "a possibly partial directory");
+  }
+  std::istringstream in(manifest);
+  std::string line;
+  if (!std::getline(in, line) ||
+      line != std::string(kManifestMagic) + " " +
+                  std::to_string(kManifestVersion)) {
+    return Status::CorruptCheckpoint("malformed manifest header in '" +
+                                     directory + "'");
+  }
+  int files = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> fields = Split(line, ' ');
+    if (fields.size() != 4 || fields[0] != "file") {
+      return Status::CorruptCheckpoint("malformed manifest line '" + line +
+                                       "' in '" + directory + "'");
+    }
+    const std::string& name = fields[1];
+    uint64_t want_size = 0;
+    uint32_t want_crc = 0;
+    if (std::sscanf(fields[2].c_str(), "%llu",
+                    reinterpret_cast<unsigned long long*>(&want_size)) != 1 ||
+        std::sscanf(fields[3].c_str(), "%x", &want_crc) != 1) {
+      return Status::CorruptCheckpoint("malformed manifest entry for '" +
+                                       name + "' in '" + directory + "'");
+    }
+    std::string content;
+    Status st =
+        ReadFileToString((fs::path(directory) / name).string(), &content);
+    if (!st.ok()) {
+      return Status::CorruptCheckpoint("manifest lists '" + name +
+                                       "' but it is unreadable in '" +
+                                       directory + "': " + st.message());
+    }
+    if (content.size() != want_size) {
+      return Status::CorruptCheckpoint(
+          "file '" + name + "' in '" + directory + "' is " +
+          std::to_string(content.size()) + " bytes, manifest says " +
+          std::to_string(want_size) + " — partial save");
+    }
+    if (Crc32c(content) != want_crc) {
+      return Status::CorruptCheckpoint("file '" + name + "' in '" +
+                                       directory +
+                                       "' fails its manifest CRC32C check");
+    }
+    ++files;
+  }
+  if (files == 0) {
+    return Status::CorruptCheckpoint("manifest in '" + directory +
+                                     "' lists no files");
+  }
+  return Status::OK();
 }
 
 // --- catalog reading helpers ----------------------------------------------
@@ -113,13 +222,15 @@ Result<AggOp> AggOpFromString(const std::string& name) {
 
 }  // namespace
 
-Status SaveDatabase(const StarDatabase& db, const std::string& directory) {
+Status SaveDatabaseFiles(const StarDatabase& db, const std::string& directory,
+                         const SaveOptions& options) {
   std::error_code ec;
   fs::create_directories(directory, ec);
   if (ec) {
     return Status::Internal("cannot create directory '" + directory +
                             "': " + ec.message());
   }
+  ManifestBuilder manifest;
 
   // Collect the distinct hierarchies across cubes (they are shared).
   std::vector<std::shared_ptr<Hierarchy>> hierarchies;
@@ -180,11 +291,13 @@ Status SaveDatabase(const StarDatabase& db, const std::string& directory) {
         fs::path file = fs::path(directory) /
                         (name + ".dim" + std::to_string(h) + ".l" +
                          std::to_string(l) + ".bin");
-        ASSESS_RETURN_NOT_OK(WriteColumn(file, dim.level_column(l)));
+        ASSESS_RETURN_NOT_OK(WriteColumn(file, dim.level_column(l),
+                                         options.fsync, &manifest));
       }
       fs::path fk_file = fs::path(directory) /
                          (name + ".fk" + std::to_string(h) + ".bin");
-      ASSESS_RETURN_NOT_OK(WriteColumn(fk_file, cube->facts().fk_column(h)));
+      ASSESS_RETURN_NOT_OK(WriteColumn(fk_file, cube->facts().fk_column(h),
+                                       options.fsync, &manifest));
     }
     for (int m = 0; m < schema.measure_count(); ++m) {
       const MeasureDef& def = schema.measure(m);
@@ -192,18 +305,55 @@ Status SaveDatabase(const StarDatabase& db, const std::string& directory) {
               << "\n";
       fs::path file = fs::path(directory) /
                       (name + ".m" + std::to_string(m) + ".bin");
-      ASSESS_RETURN_NOT_OK(WriteColumn(file, cube->facts().measure_column(m)));
+      ASSESS_RETURN_NOT_OK(WriteColumn(file, cube->facts().measure_column(m),
+                                       options.fsync, &manifest));
     }
   }
 
-  std::ofstream out(fs::path(directory) / "catalog.assess",
-                    std::ios::trunc);
-  if (!out) {
-    return Status::Internal("cannot write catalog in '" + directory + "'");
+  std::string catalog_text = catalog.str();
+  ASSESS_RETURN_NOT_OK(WriteFileWithManifest(
+      fs::path(directory) / "catalog.assess", catalog_text.data(),
+      catalog_text.size(), options.fsync, &manifest));
+
+  for (const auto& [name, content] : options.extra_files) {
+    ASSESS_RETURN_NOT_OK(WriteFileWithManifest(fs::path(directory) / name,
+                                               content.data(), content.size(),
+                                               options.fsync, &manifest));
   }
-  out << catalog.str();
-  if (!out.flush()) {
-    return Status::Internal("short write of catalog in '" + directory + "'");
+
+  // The manifest goes last: once it exists (durably), the save is complete.
+  std::string manifest_text = manifest.Render();
+  ManifestBuilder ignored;
+  ASSESS_RETURN_NOT_OK(
+      WriteFileWithManifest(fs::path(directory) / kManifestName,
+                            manifest_text.data(), manifest_text.size(),
+                            options.fsync, &ignored));
+  if (options.fsync) ASSESS_RETURN_NOT_OK(FsyncPath(directory));
+  return Status::OK();
+}
+
+Status SaveDatabase(const StarDatabase& db, const std::string& directory) {
+  const std::string tmp = directory + ".tmp";
+  const std::string old = directory + ".old";
+  std::error_code ec;
+  fs::remove_all(tmp, ec);  // a leftover from an earlier interrupted save
+  fs::remove_all(old, ec);
+  ASSESS_RETURN_NOT_OK(SaveDatabaseFiles(db, tmp, SaveOptions{}));
+  // Swap: the previous version moves aside, the fresh one renames into
+  // place, the stale copy is deleted. At no instant is there no complete
+  // directory on disk; the loader never sees a partial one because only a
+  // fully-written, manifest-sealed tree ever carries the real name.
+  bool had_previous = fs::exists(directory);
+  if (had_previous) {
+    ASSESS_RETURN_NOT_OK(AtomicRenamePath(directory, old));
+  }
+  ASSESS_RETURN_NOT_OK(AtomicRenamePath(tmp, directory));
+  if (had_previous) {
+    fs::remove_all(old, ec);
+    if (ec) {
+      return Status::Internal("cannot remove stale snapshot '" + old +
+                              "': " + ec.message());
+    }
   }
   return Status::OK();
 }
@@ -223,6 +373,10 @@ Result<std::unique_ptr<StarDatabase>> LoadDatabase(
     return Status::NotSupported("unsupported database format version " +
                                 std::to_string(version));
   }
+
+  // The catalog parses so far and carries a supported version — now demand
+  // a complete directory before trusting any column file.
+  ASSESS_RETURN_NOT_OK(VerifyManifest(directory));
 
   ASSESS_ASSIGN_OR_RETURN(std::vector<std::string> hier_count_fields,
                           reader.Expect("hierarchies", 1));

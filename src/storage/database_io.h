@@ -3,6 +3,8 @@
 
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/result.h"
 #include "storage/star_schema.h"
@@ -10,24 +12,53 @@
 namespace assess {
 
 /// \brief On-disk persistence of a StarDatabase, so generated warehouses
-/// can be saved once and reloaded by benches and examples instead of being
-/// regenerated.
+/// can be saved once and reloaded by benches and examples — and so the
+/// checkpointer (src/wal/checkpoint) can snapshot a live database.
 ///
 /// Layout: one directory per database with a textual catalog file
 /// (`catalog.assess`) describing cubes, hierarchies (with their member
 /// dictionaries and part-of links) and measures, plus one little-endian
 /// binary column file per fact column (`<cube>.<col>.bin`). Dimension
 /// tables are stored inside the catalog (they are small); fact columns are
-/// raw arrays for fast I/O.
+/// raw arrays for fast I/O. A `manifest` file written last lists every
+/// other file with its size and CRC32C, so the loader can tell a complete
+/// directory from one a crash cut short.
 ///
 /// The format is versioned; readers reject unknown versions rather than
 /// guessing.
-///
-/// Saving overwrites files inside `directory` (which is created when
-/// missing) but never deletes unrelated files.
+
+/// \brief Knobs for SaveDatabaseFiles.
+struct SaveOptions {
+  /// fsync every file and the directory before returning. On by default;
+  /// benches regenerating scratch data may turn it off.
+  bool fsync = true;
+  /// Extra (file name, content) pairs written into the directory and
+  /// covered by the manifest — the checkpointer stores its `wal.meta`
+  /// (checkpoint LSN + per-cube epochs) this way.
+  std::vector<std::pair<std::string, std::string>> extra_files;
+};
+
+/// \brief Writes the database's file set — columns, catalog, extra files,
+/// then the manifest — directly into `directory` (created when missing).
+/// Not atomic on its own: a crash can leave a partial directory, which the
+/// missing-or-mismatching manifest makes LoadDatabase reject with a typed
+/// kCorruptCheckpoint. Callers wanting all-or-nothing use SaveDatabase
+/// (temp + rename) or write into a fresh checkpoint-<seq> directory.
+Status SaveDatabaseFiles(const StarDatabase& db, const std::string& directory,
+                         const SaveOptions& options);
+
+/// \brief Atomically replaces `directory` with a snapshot of `db`: the file
+/// set is written to `<directory>.tmp`, fsynced, and renamed into place. A
+/// crash at any point leaves either the previous complete directory or the
+/// new one — never a torn mix (during the swap itself the previous version
+/// sits at `<directory>.old` for one rename's worth of time).
 Status SaveDatabase(const StarDatabase& db, const std::string& directory);
 
-/// \brief Loads a database previously written by SaveDatabase.
+/// \brief Loads a database previously written by SaveDatabase /
+/// SaveDatabaseFiles. Typed failures: kNotFound when there is no catalog,
+/// kNotSupported for a future format version, kCorruptCheckpoint when the
+/// manifest is missing or any file fails its size/CRC32C check (a partial
+/// or damaged directory — never loaded on a guess).
 Result<std::unique_ptr<StarDatabase>> LoadDatabase(
     const std::string& directory);
 

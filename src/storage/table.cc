@@ -149,6 +149,11 @@ AppendResult FactTable::AppendBatch(
   return result;
 }
 
+void FactTable::SetEpochForRecovery(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  state_->epoch.store(epoch, std::memory_order_release);
+}
+
 FactSnapshot FactTable::Snapshot() const {
   std::lock_guard<std::mutex> lock(state_->mu);
   FactSnapshot snap;

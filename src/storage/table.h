@@ -192,6 +192,14 @@ class FactTable {
                                std::vector<std::vector<int32_t>> fks,
                                std::vector<std::vector<double>> measures);
 
+  /// \brief Overrides the publication epoch. FromColumns (and so the
+  /// persistence loader) can only infer "0 or 1" from the row count, but
+  /// crash recovery must restore the *exact* epoch the table carried when
+  /// the checkpoint was taken — result-cache keys and WAL replay
+  /// cross-checks compare epochs bit-for-bit. Recovery-time only: must not
+  /// race appenders.
+  void SetEpochForRecovery(uint64_t epoch);
+
   /// \brief Captures the committed prefix: O(columns), no derived build.
   FactSnapshot Snapshot() const;
 

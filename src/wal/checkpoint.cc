@@ -1,0 +1,199 @@
+#include "wal/checkpoint.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/failpoint.h"
+#include "common/fs_util.h"
+#include "common/str_util.h"
+#include "storage/database_io.h"
+
+namespace assess {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kCurrentName[] = "CURRENT";
+constexpr char kWalMetaName[] = "wal.meta";
+constexpr char kCheckpointPrefix[] = "checkpoint-";
+
+Result<uint64_t> ParseU64(std::string_view text) {
+  uint64_t value = 0;
+  if (text.empty()) return Status::InvalidArgument("empty integer");
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("malformed integer '" +
+                                     std::string(text) + "'");
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string EncodeCheckpointMeta(const CheckpointMeta& meta) {
+  std::string out = "wal_lsn " + std::to_string(meta.wal_lsn) + "\n";
+  for (const auto& [cube, epoch] : meta.cube_epochs) {
+    out += "epoch " + cube + " " + std::to_string(epoch) + "\n";
+  }
+  return out;
+}
+
+Result<CheckpointMeta> DecodeCheckpointMeta(std::string_view text) {
+  CheckpointMeta meta;
+  bool saw_lsn = false;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const size_t eol = text.find('\n', pos);
+    std::string_view line = eol == std::string_view::npos
+                                ? text.substr(pos)
+                                : text.substr(pos, eol - pos);
+    pos = eol == std::string_view::npos ? text.size() : eol + 1;
+    if (line.empty()) continue;
+    std::vector<std::string> fields = Split(std::string(line), ' ');
+    if (fields.size() == 2 && fields[0] == "wal_lsn") {
+      ASSESS_ASSIGN_OR_RETURN(meta.wal_lsn, ParseU64(fields[1]));
+      saw_lsn = true;
+    } else if (fields.size() == 3 && fields[0] == "epoch") {
+      ASSESS_ASSIGN_OR_RETURN(uint64_t epoch, ParseU64(fields[2]));
+      meta.cube_epochs.emplace_back(fields[1], epoch);
+    } else {
+      return Status::CorruptCheckpoint("malformed wal.meta line '" +
+                                       std::string(line) + "'");
+    }
+  }
+  if (!saw_lsn) {
+    return Status::CorruptCheckpoint("wal.meta has no wal_lsn line");
+  }
+  return meta;
+}
+
+std::string CheckpointDirName(uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s%010llu", kCheckpointPrefix,
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+Result<uint64_t> ParseCheckpointDirName(std::string_view name) {
+  const std::string_view prefix = kCheckpointPrefix;
+  if (name.size() != prefix.size() + 10 ||
+      name.substr(0, prefix.size()) != prefix) {
+    return Status::InvalidArgument("not a checkpoint directory name: '" +
+                                   std::string(name) + "'");
+  }
+  return ParseU64(name.substr(prefix.size()));
+}
+
+Status WriteCheckpoint(const StarDatabase& db, const std::string& data_dir,
+                       uint64_t seq, const CheckpointMeta& meta) {
+  const fs::path final_dir = fs::path(data_dir) / CheckpointDirName(seq);
+  const fs::path tmp_dir = final_dir.string() + ".tmp";
+  std::error_code ec;
+  fs::remove_all(tmp_dir, ec);  // leftover of an earlier interrupted attempt
+  if (fs::exists(final_dir)) {
+    return Status::Internal("checkpoint directory '" + final_dir.string() +
+                            "' already exists — sequence numbers must be "
+                            "fresh");
+  }
+  SaveOptions options;
+  options.extra_files.emplace_back(kWalMetaName, EncodeCheckpointMeta(meta));
+  ASSESS_RETURN_NOT_OK(SaveDatabaseFiles(db, tmp_dir.string(), options));
+  // Chaos site: the crash window between a fully-written snapshot and its
+  // publication — recovery must keep using the previous checkpoint.
+  ASSESS_FAILPOINT("checkpoint.rename");
+  return AtomicRenamePath(tmp_dir.string(), final_dir.string());
+}
+
+Result<uint64_t> ReadCurrentCheckpoint(const std::string& data_dir) {
+  std::string content;
+  Status st = ReadFileToString((fs::path(data_dir) / kCurrentName).string(),
+                               &content);
+  if (st.code() == StatusCode::kNotFound) return st;
+  ASSESS_RETURN_NOT_OK(st);
+  while (!content.empty() &&
+         (content.back() == '\n' || content.back() == '\r')) {
+    content.pop_back();
+  }
+  Result<uint64_t> seq = ParseCheckpointDirName(content);
+  if (!seq.ok()) {
+    return Status::CorruptCheckpoint("CURRENT names '" + content +
+                                     "', which is not a checkpoint");
+  }
+  if (!fs::exists(fs::path(data_dir) / content)) {
+    return Status::CorruptCheckpoint("CURRENT names '" + content +
+                                     "' but no such directory exists");
+  }
+  return seq;
+}
+
+Status PublishCurrentCheckpoint(const std::string& data_dir, uint64_t seq) {
+  return WriteFileDurable((fs::path(data_dir) / kCurrentName).string(),
+                          CheckpointDirName(seq) + "\n");
+}
+
+Result<LoadedCheckpoint> LoadCheckpoint(const std::string& data_dir,
+                                        uint64_t seq) {
+  const fs::path dir = fs::path(data_dir) / CheckpointDirName(seq);
+  LoadedCheckpoint loaded;
+  ASSESS_ASSIGN_OR_RETURN(loaded.db, LoadDatabase(dir.string()));
+  std::string meta_text;
+  Status st =
+      ReadFileToString((dir / kWalMetaName).string(), &meta_text);
+  if (!st.ok()) {
+    return Status::CorruptCheckpoint("checkpoint '" + dir.string() +
+                                     "' has no wal.meta: " + st.message());
+  }
+  ASSESS_ASSIGN_OR_RETURN(loaded.meta, DecodeCheckpointMeta(meta_text));
+  // Restore the exact epochs: a cube named by wal.meta must exist, and
+  // every loaded cube must be covered (else the snapshot and its meta
+  // disagree about the catalog).
+  for (const auto& [cube, epoch] : loaded.meta.cube_epochs) {
+    Result<BoundCube*> bound = loaded.db->FindMutable(cube);
+    if (!bound.ok()) {
+      return Status::CorruptCheckpoint("wal.meta names cube '" + cube +
+                                       "' which the snapshot does not "
+                                       "contain");
+    }
+    (*bound)->mutable_facts().SetEpochForRecovery(epoch);
+  }
+  if (loaded.meta.cube_epochs.size() != loaded.db->CubeNames().size()) {
+    return Status::CorruptCheckpoint(
+        "wal.meta covers " + std::to_string(loaded.meta.cube_epochs.size()) +
+        " cubes but the snapshot holds " +
+        std::to_string(loaded.db->CubeNames().size()));
+  }
+  return loaded;
+}
+
+Status GarbageCollectCheckpoints(const std::string& data_dir,
+                                 uint64_t keep_seq) {
+  Status first_error = Status::OK();
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(data_dir, ec)) {
+    if (!entry.is_directory()) continue;
+    const std::string name = entry.path().filename().string();
+    bool remove = false;
+    if (name.size() > 4 && name.substr(name.size() - 4) == ".tmp" &&
+        StartsWith(name, kCheckpointPrefix)) {
+      remove = true;  // orphan of an interrupted snapshot write
+    } else {
+      Result<uint64_t> seq = ParseCheckpointDirName(name);
+      remove = seq.ok() && *seq < keep_seq;
+    }
+    if (remove) {
+      std::error_code rm_ec;
+      fs::remove_all(entry.path(), rm_ec);
+      if (rm_ec && first_error.ok()) {
+        first_error = Status::Internal("cannot remove stale checkpoint '" +
+                                       entry.path().string() +
+                                       "': " + rm_ec.message());
+      }
+    }
+  }
+  return first_error;
+}
+
+}  // namespace assess

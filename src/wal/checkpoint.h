@@ -1,0 +1,85 @@
+#ifndef ASSESS_WAL_CHECKPOINT_H_
+#define ASSESS_WAL_CHECKPOINT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/star_schema.h"
+
+namespace assess {
+
+/// \brief Checkpoint directory management for the durability layer: a
+/// checkpoint is one manifest-sealed database snapshot directory
+/// `checkpoint-<seq>` under the data directory, plus a `wal.meta` file
+/// recording the WAL position it covers and each cube's exact epoch. A
+/// `CURRENT` pointer file (written atomically) names the live checkpoint;
+/// recovery loads it and replays only the WAL records past its LSN.
+///
+/// Every step is crash-ordered: the snapshot is written to a `.tmp`
+/// directory, fsynced file by file, sealed with its manifest, atomically
+/// renamed to its final (fresh, never-reused) name, and only then does
+/// CURRENT move. A crash anywhere leaves the previous checkpoint live and
+/// at worst an orphan `.tmp`/unreferenced directory for the next garbage
+/// collection.
+
+/// \brief What `wal.meta` records.
+struct CheckpointMeta {
+  /// Highest WAL LSN whose effects the snapshot includes; recovery replays
+  /// strictly greater LSNs.
+  uint64_t wal_lsn = 0;
+  /// Each cube's fact epoch at snapshot time. FromColumns can only infer
+  /// "0 or 1" from a row count, but cache keys and WAL replay cross-checks
+  /// need the exact value restored.
+  std::vector<std::pair<std::string, uint64_t>> cube_epochs;
+};
+
+std::string EncodeCheckpointMeta(const CheckpointMeta& meta);
+Result<CheckpointMeta> DecodeCheckpointMeta(std::string_view text);
+
+/// \brief `checkpoint-<seq, 10 digits>`.
+std::string CheckpointDirName(uint64_t seq);
+/// \brief Inverse of CheckpointDirName; kInvalidArgument for other names.
+Result<uint64_t> ParseCheckpointDirName(std::string_view name);
+
+/// \brief Writes snapshot `seq` of `db` under `data_dir` (tmp + manifest +
+/// atomic rename) but does *not* move CURRENT. Callers must ensure no
+/// appender runs concurrently. Failpoint `checkpoint.rename` fails the
+/// final rename, leaving only a `.tmp` orphan behind.
+Status WriteCheckpoint(const StarDatabase& db, const std::string& data_dir,
+                       uint64_t seq, const CheckpointMeta& meta);
+
+/// \brief The sequence number CURRENT names; kNotFound when no checkpoint
+/// has ever been published; kCorruptCheckpoint when CURRENT is malformed
+/// or names a directory that does not exist.
+Result<uint64_t> ReadCurrentCheckpoint(const std::string& data_dir);
+
+/// \brief Atomically repoints CURRENT at checkpoint `seq`.
+Status PublishCurrentCheckpoint(const std::string& data_dir, uint64_t seq);
+
+/// \brief A loaded checkpoint: the database plus its wal.meta.
+struct LoadedCheckpoint {
+  std::unique_ptr<StarDatabase> db;
+  CheckpointMeta meta;
+};
+
+/// \brief Loads checkpoint `seq` (manifest-verified) and restores each
+/// cube's exact epoch from wal.meta. Typed failures as LoadDatabase, plus
+/// kCorruptCheckpoint when wal.meta is missing, malformed, or names a cube
+/// the snapshot does not contain.
+Result<LoadedCheckpoint> LoadCheckpoint(const std::string& data_dir,
+                                        uint64_t seq);
+
+/// \brief Deletes checkpoint directories with seq < `keep_seq` and any
+/// orphaned `*.tmp` snapshot directories a crash left behind. Best-effort;
+/// returns the first deletion error but keeps going.
+Status GarbageCollectCheckpoints(const std::string& data_dir,
+                                 uint64_t keep_seq);
+
+}  // namespace assess
+
+#endif  // ASSESS_WAL_CHECKPOINT_H_

@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include "assess/session.h"
+#include "common/crc32c.h"
 #include "ssb/sales_generator.h"
 #include "ssb/ssb_generator.h"
 #include "test_util.h"
@@ -108,18 +109,53 @@ TEST_F(PersistenceTest, LoadRejectsWrongVersion) {
 TEST_F(PersistenceTest, LoadRejectsTruncatedColumns) {
   testutil::MiniDb mini = BuildMiniSales();
   ASSERT_TRUE(SaveDatabase(*mini.db, dir_.string()).ok());
-  // Truncate one fact column.
+  // Truncate one fact column: the manifest's size check catches the torn
+  // file before any parse touches it.
   std::filesystem::resize_file(dir_ / "SALES.m0.bin", 4);
   auto loaded = LoadDatabase(dir_.string());
   ASSERT_FALSE(loaded.ok());
-  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruptCheckpoint);
+}
+
+TEST_F(PersistenceTest, LoadRejectsBitFlippedColumns) {
+  testutil::MiniDb mini = BuildMiniSales();
+  ASSERT_TRUE(SaveDatabase(*mini.db, dir_.string()).ok());
+  // Same size, different bytes: only the manifest CRC32C can tell.
+  std::fstream f(dir_ / "SALES.m0.bin",
+                 std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(2, std::ios::beg);
+  f.put('\x7F');
+  f.close();
+  auto loaded = LoadDatabase(dir_.string());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruptCheckpoint);
+}
+
+TEST_F(PersistenceTest, LoadRejectsDirectoryWithoutManifest) {
+  testutil::MiniDb mini = BuildMiniSales();
+  ASSERT_TRUE(SaveDatabase(*mini.db, dir_.string()).ok());
+  // The manifest is written last, so a directory without one is the typed
+  // signature of a save that was cut short.
+  std::filesystem::remove(dir_ / "manifest");
+  auto loaded = LoadDatabase(dir_.string());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruptCheckpoint);
 }
 
 TEST_F(PersistenceTest, LoadRejectsGarbageCatalog) {
+  // A manifest-sealed directory whose catalog content is garbage: the
+  // bytes are intact (CRC passes), so the parser's typed error surfaces.
   std::filesystem::create_directories(dir_);
+  const std::string catalog = "assessdb 1\nhierarchies banana\n";
   std::ofstream out(dir_ / "catalog.assess");
-  out << "assessdb 1\nhierarchies banana\n";
+  out << catalog;
   out.close();
+  char entry[80];
+  std::snprintf(entry, sizeof(entry), "file catalog.assess %zu %08x\n",
+                catalog.size(), Crc32c(catalog));
+  std::ofstream manifest(dir_ / "manifest");
+  manifest << "assessmanifest 1\n" << entry;
+  manifest.close();
   auto loaded = LoadDatabase(dir_.string());
   ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
@@ -132,6 +168,27 @@ TEST_F(PersistenceTest, SaveIsIdempotent) {
   auto loaded = LoadDatabase(dir_.string());
   ASSERT_TRUE(loaded.ok());
   EXPECT_EQ((*loaded)->CubeNames(), std::vector<std::string>{"SALES"});
+  // The atomic swap cleaned up after itself.
+  EXPECT_FALSE(std::filesystem::exists(dir_.string() + ".tmp"));
+  EXPECT_FALSE(std::filesystem::exists(dir_.string() + ".old"));
+}
+
+TEST_F(PersistenceTest, SaveReplacesAnExistingDatabaseAtomically) {
+  testutil::MiniDb mini = BuildMiniSales();
+  ASSERT_TRUE(SaveDatabase(*mini.db, dir_.string()).ok());
+
+  // Grow the database, save over the same directory, and load: the new
+  // contents are there, intact per the manifest, with no stray siblings.
+  SsbConfig config;
+  config.scale_factor = 0.002;
+  auto bigger = std::move(BuildSsbDatabase(config)).value();
+  ASSERT_TRUE(SaveDatabase(*bigger, dir_.string()).ok());
+  auto loaded = LoadDatabase(dir_.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE((*loaded)->Contains("SSB"));
+  EXPECT_FALSE((*loaded)->Contains("SALES"));
+  EXPECT_FALSE(std::filesystem::exists(dir_.string() + ".tmp"));
+  EXPECT_FALSE(std::filesystem::exists(dir_.string() + ".old"));
 }
 
 }  // namespace

@@ -492,10 +492,10 @@ TEST_F(ServerTest, StopDrainsInFlightRequests) {
 }
 
 // ---------------------------------------------------------------------------
-// Stats wire v4 + observability surfaces.
+// Stats wire v5 + observability surfaces.
 // ---------------------------------------------------------------------------
 
-TEST(ServerStatsWire, V4RoundTripsEveryField) {
+TEST(ServerStatsWire, V5RoundTripsEveryField) {
   ServerStats stats;
   stats.total_requests = 101;
   stats.ok_responses = 90;
@@ -526,11 +526,17 @@ TEST(ServerStatsWire, V4RoundTripsEveryField) {
   stats.ingest_rows = 4096;
   stats.ingest_batches = 3;
   stats.cache_epoch_invalidations = 17;
+  stats.wal_appends = 33;
+  stats.wal_fsyncs = 9;
+  stats.wal_bytes = 8192;
+  stats.checkpoints = 2;
+  stats.recovery_replayed_records = 21;
+  stats.recovery_truncated_bytes = 13;
 
   std::string wire = stats.Serialize();
   ASSERT_GE(wire.size(), 2u);
   EXPECT_EQ(wire[0], 'T');
-  EXPECT_EQ(wire[1], 0x04);
+  EXPECT_EQ(wire[1], 0x05);
 
   auto decoded = ServerStats::Deserialize(wire);
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
@@ -548,11 +554,40 @@ TEST(ServerStatsWire, V4RoundTripsEveryField) {
   EXPECT_EQ(decoded->ingest_batches, stats.ingest_batches);
   EXPECT_EQ(decoded->cache_epoch_invalidations,
             stats.cache_epoch_invalidations);
+  EXPECT_EQ(decoded->wal_appends, stats.wal_appends);
+  EXPECT_EQ(decoded->wal_fsyncs, stats.wal_fsyncs);
+  EXPECT_EQ(decoded->wal_bytes, stats.wal_bytes);
+  EXPECT_EQ(decoded->checkpoints, stats.checkpoints);
+  EXPECT_EQ(decoded->recovery_replayed_records,
+            stats.recovery_replayed_records);
+  EXPECT_EQ(decoded->recovery_truncated_bytes,
+            stats.recovery_truncated_bytes);
   // The human rendering carries the new counters too.
   EXPECT_NE(stats.ToString().find("slow queries"), std::string::npos);
+  EXPECT_NE(stats.ToString().find("wal:"), std::string::npos);
 
   // Trailing garbage is still rejected.
   EXPECT_FALSE(ServerStats::Deserialize(wire + "x").ok());
+}
+
+TEST(ServerStatsWire, AcceptsV4PayloadsWithZeroWalFields) {
+  // A v4 payload from a pre-durability peer: the WAL counter group is
+  // simply absent and decodes as zeros.
+  std::string v4;
+  v4.push_back('T');
+  v4.push_back(0x04);
+  v4.append(9, '\0');   // request/load varints
+  v4.append(24, '\0');  // p50/p90/p99 doubles
+  v4.append(6, '\0');   // cache varints
+  v4.append(4, '\0');   // pool varints
+  v4.append(4, '\0');   // v3 observability varints
+  v4.append(3, '\0');   // v4 ingest varints
+  auto decoded = ServerStats::Deserialize(v4);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->wal_appends, 0u);
+  EXPECT_EQ(decoded->checkpoints, 0u);
+  EXPECT_EQ(decoded->recovery_replayed_records, 0u);
+  EXPECT_FALSE(ServerStats::Deserialize(v4 + '\0').ok());
 }
 
 TEST(ServerStatsWire, AcceptsV2PayloadsWithZeroObservabilityFields) {

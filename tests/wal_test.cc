@@ -1,0 +1,428 @@
+// The write-ahead log in isolation: payload codec round trips, segment
+// framing, the torn-tail / mid-log corruption discrimination of ScanWal,
+// LSN continuity enforcement, segment rotation and truncation, group-commit
+// fsync coalescing, and the wal.append / wal.fsync failpoints (a failed
+// append leaves the log healthy; a failed fsync poisons it).
+
+#include "wal/wal.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/status.h"
+
+namespace assess {
+namespace {
+
+namespace fs = std::filesystem;
+
+class WalTest : public ::testing::Test {
+ protected:
+  WalTest() {
+    dir_ = fs::temp_directory_path() /
+           ("assess_wal_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+  }
+  ~WalTest() override {
+    FailpointRegistry::Instance().DisarmAll();
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  WalRecordData Record(const std::string& cube, uint64_t epoch,
+                       uint32_t rows) {
+    WalRecordData rec;
+    rec.epoch = epoch;
+    rec.cube = cube;
+    rec.row_count = rows;
+    rec.header = "date,product,store,quantity,sales";
+    rec.text = "1997-07-02,Apple,SmartMart,5,7";
+    return rec;
+  }
+
+  /// Appends `n` records to a fresh log in `dir_` and closes it.
+  void WriteLog(int n, FsyncMode mode = FsyncMode::kAlways) {
+    WalOptions options;
+    options.fsync_mode = mode;
+    auto wal = WriteAheadLog::Open(dir_.string(), options, /*next_lsn=*/1);
+    ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+    for (int i = 0; i < n; ++i) {
+      auto lsn = (*wal)->Append(Record("SALES", i + 1, 2));
+      ASSERT_TRUE(lsn.ok()) << lsn.status().ToString();
+      EXPECT_EQ(*lsn, static_cast<uint64_t>(i + 1));
+    }
+  }
+
+  /// The single segment file in `dir_` (fails the test when != 1).
+  fs::path OnlySegment() {
+    std::vector<fs::path> segments;
+    for (const auto& entry : fs::directory_iterator(dir_)) {
+      segments.push_back(entry.path());
+    }
+    EXPECT_EQ(segments.size(), 1u);
+    return segments.empty() ? fs::path() : segments[0];
+  }
+
+  fs::path dir_;
+};
+
+TEST(WalPayloadTest, RoundTripsEveryField) {
+  WalRecordData rec;
+  rec.lsn = 42;
+  rec.kind = WalRecordKind::kIngestBatch;
+  rec.epoch = 7;
+  rec.format = IngestFormat::kJsonl;
+  rec.flags = kWalFlagAutoInsert;
+  rec.cube = "SALES";
+  rec.row_count = 1234;
+  rec.header = "";
+  rec.text = "{\"product\": \"Apple\"}\n{\"product\": \"Pear\"}";
+
+  auto decoded = DecodeWalPayload(EncodeWalPayload(rec));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->lsn, rec.lsn);
+  EXPECT_EQ(decoded->kind, rec.kind);
+  EXPECT_EQ(decoded->epoch, rec.epoch);
+  EXPECT_EQ(decoded->format, rec.format);
+  EXPECT_EQ(decoded->flags, rec.flags);
+  EXPECT_EQ(decoded->cube, rec.cube);
+  EXPECT_EQ(decoded->row_count, rec.row_count);
+  EXPECT_EQ(decoded->header, rec.header);
+  EXPECT_EQ(decoded->text, rec.text);
+}
+
+TEST(WalPayloadTest, DecodeRejectsStructuralDamage) {
+  WalRecordData rec;
+  rec.lsn = 1;
+  rec.cube = "SALES";
+  rec.header = "h";
+  rec.text = "t";
+  std::string payload = EncodeWalPayload(rec);
+
+  // Truncation anywhere is typed corruption, never a crash.
+  for (size_t len = 0; len < payload.size(); ++len) {
+    auto decoded = DecodeWalPayload(std::string_view(payload.data(), len));
+    ASSERT_FALSE(decoded.ok()) << "decoded a " << len << "-byte prefix";
+    EXPECT_EQ(decoded.status().code(), StatusCode::kCorruptWal);
+  }
+  // Trailing garbage too.
+  auto extra = DecodeWalPayload(payload + "x");
+  EXPECT_EQ(extra.status().code(), StatusCode::kCorruptWal);
+  // Unknown kind byte (offset 8, after the LSN).
+  std::string bad_kind = payload;
+  bad_kind[8] = 99;
+  EXPECT_EQ(DecodeWalPayload(bad_kind).status().code(),
+            StatusCode::kCorruptWal);
+}
+
+TEST(WalPayloadTest, FsyncModeParsesItsOwnRendering) {
+  for (FsyncMode mode :
+       {FsyncMode::kNone, FsyncMode::kAlways, FsyncMode::kGroup}) {
+    auto parsed = ParseFsyncMode(FsyncModeToString(mode));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, mode);
+  }
+  EXPECT_EQ(ParseFsyncMode("always").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(WalTest, AppendThenScanRoundTrips) {
+  WriteLog(5);
+  std::vector<WalRecordData> replayed;
+  WalScanReport report;
+  Status st = ScanWal(
+      dir_.string(), /*after_lsn=*/0, /*repair=*/false,
+      [&](const WalRecordData& rec) {
+        replayed.push_back(rec);
+        return Status::OK();
+      },
+      &report);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(report.records, 5u);
+  EXPECT_EQ(report.replayed, 5u);
+  EXPECT_EQ(report.last_lsn, 5u);
+  EXPECT_FALSE(report.tail_truncated);
+  ASSERT_EQ(replayed.size(), 5u);
+  for (size_t i = 0; i < replayed.size(); ++i) {
+    EXPECT_EQ(replayed[i].lsn, i + 1);
+    EXPECT_EQ(replayed[i].epoch, i + 1);
+    EXPECT_EQ(replayed[i].cube, "SALES");
+    EXPECT_EQ(replayed[i].row_count, 2u);
+  }
+}
+
+TEST_F(WalTest, ScanSkipsRecordsTheCheckpointCovers) {
+  WriteLog(5);
+  std::vector<uint64_t> lsns;
+  WalScanReport report;
+  Status st = ScanWal(
+      dir_.string(), /*after_lsn=*/3, /*repair=*/false,
+      [&](const WalRecordData& rec) {
+        lsns.push_back(rec.lsn);
+        return Status::OK();
+      },
+      &report);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(report.records, 5u);
+  EXPECT_EQ(report.replayed, 2u);
+  EXPECT_EQ(lsns, (std::vector<uint64_t>{4, 5}));
+}
+
+TEST_F(WalTest, ScanOfMissingOrEmptyDirIsCleanlyEmpty) {
+  WalScanReport report;
+  ASSERT_TRUE(ScanWal((dir_ / "nowhere").string(), 0, false, nullptr,
+                      &report)
+                  .ok());
+  EXPECT_EQ(report.records, 0u);
+}
+
+TEST_F(WalTest, TornTailIsTruncatedWithANote) {
+  WriteLog(3);
+  fs::path segment = OnlySegment();
+  const auto intact_size = fs::file_size(segment);
+  // Simulate a crash mid-append: a partial frame at the end of the file
+  // (write() with an explicit length — the junk contains NUL bytes).
+  std::ofstream out(segment, std::ios::binary | std::ios::app);
+  const char junk[] = {'\x20', '\x00', '\x00', '\x00', '\xde', '\xad'};
+  out.write(junk, sizeof(junk));
+  out.close();
+
+  std::vector<uint64_t> lsns;
+  WalScanReport report;
+  Status st = ScanWal(
+      dir_.string(), 0, /*repair=*/true,
+      [&](const WalRecordData& rec) {
+        lsns.push_back(rec.lsn);
+        return Status::OK();
+      },
+      &report);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(lsns, (std::vector<uint64_t>{1, 2, 3}));
+  EXPECT_TRUE(report.tail_truncated);
+  EXPECT_GT(report.truncated_bytes, 0u);
+  EXPECT_NE(report.tail_note.find("torn WAL tail"), std::string::npos);
+  // repair=true physically removed the torn bytes; a second scan is clean.
+  EXPECT_EQ(fs::file_size(segment), intact_size);
+  WalScanReport again;
+  ASSERT_TRUE(ScanWal(dir_.string(), 0, false, nullptr, &again).ok());
+  EXPECT_FALSE(again.tail_truncated);
+  EXPECT_EQ(again.records, 3u);
+}
+
+TEST_F(WalTest, BitFlipInFinalRecordIsATornTail) {
+  WriteLog(3);
+  fs::path segment = OnlySegment();
+  // Flip the very last byte: the damaged record ends exactly at EOF, which
+  // is indistinguishable from sectors landing out of order mid-crash.
+  std::fstream f(segment, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(-1, std::ios::end);
+  f.put('\xFF');
+  f.close();
+
+  std::vector<uint64_t> lsns;
+  WalScanReport report;
+  Status st = ScanWal(
+      dir_.string(), 0, /*repair=*/false,
+      [&](const WalRecordData& rec) {
+        lsns.push_back(rec.lsn);
+        return Status::OK();
+      },
+      &report);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(lsns, (std::vector<uint64_t>{1, 2}));
+  EXPECT_TRUE(report.tail_truncated);
+}
+
+TEST_F(WalTest, BitFlipMidLogIsTypedCorruptionNotAGuess) {
+  WriteLog(3);
+  fs::path segment = OnlySegment();
+  // Damage the first record's payload: valid frames follow it, so this is
+  // not a torn tail and recovery must refuse rather than drop the suffix.
+  std::fstream f(segment, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(16 + 8 + 4, std::ios::beg);  // segment header + frame header + 4
+  f.put('\xFF');
+  f.close();
+
+  WalScanReport report;
+  Status st = ScanWal(dir_.string(), 0, /*repair=*/true, nullptr, &report);
+  EXPECT_EQ(st.code(), StatusCode::kCorruptWal);
+  EXPECT_NE(st.message().find("valid data following"), std::string::npos);
+  // repair must not have touched anything it could not explain.
+  EXPECT_FALSE(report.tail_truncated);
+}
+
+TEST_F(WalTest, DamageInANonFinalSegmentIsTypedCorruption) {
+  WalOptions options;
+  options.fsync_mode = FsyncMode::kAlways;
+  auto wal = WriteAheadLog::Open(dir_.string(), options, 1);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append(Record("SALES", 1, 2)).ok());
+  ASSERT_TRUE((*wal)->StartNewSegment().ok());
+  ASSERT_TRUE((*wal)->Append(Record("SALES", 2, 2)).ok());
+  wal->reset();
+
+  // Chop the tail off the *first* segment: a sealed segment can only be
+  // short if the disk lost data, never from a torn append.
+  fs::path first;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (first.empty() || entry.path() < first) first = entry.path();
+  }
+  fs::resize_file(first, fs::file_size(first) - 3);
+
+  WalScanReport report;
+  Status st = ScanWal(dir_.string(), 0, /*repair=*/true, nullptr, &report);
+  EXPECT_EQ(st.code(), StatusCode::kCorruptWal);
+  EXPECT_NE(st.message().find("non-final segment"), std::string::npos);
+}
+
+TEST_F(WalTest, MissingOldestSegmentIsTypedCorruption) {
+  WalOptions options;
+  options.fsync_mode = FsyncMode::kAlways;
+  auto wal = WriteAheadLog::Open(dir_.string(), options, 1);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append(Record("SALES", 1, 2)).ok());
+  ASSERT_TRUE((*wal)->StartNewSegment().ok());
+  ASSERT_TRUE((*wal)->Append(Record("SALES", 2, 2)).ok());
+  wal->reset();
+
+  // Delete the oldest segment: LSN 1 is gone but the checkpoint only
+  // covers LSN 0, so the scan must refuse to silently skip a record.
+  fs::path first;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (first.empty() || entry.path() < first) first = entry.path();
+  }
+  fs::remove(first);
+
+  WalScanReport report;
+  Status st = ScanWal(dir_.string(), 0, false, nullptr, &report);
+  EXPECT_EQ(st.code(), StatusCode::kCorruptWal);
+  EXPECT_NE(st.message().find("missing records"), std::string::npos);
+
+  // With a checkpoint covering the deleted record the same layout is fine.
+  WalScanReport covered;
+  Status ok = ScanWal(dir_.string(), /*after_lsn=*/1, false, nullptr,
+                      &covered);
+  ASSERT_TRUE(ok.ok()) << ok.ToString();
+  EXPECT_EQ(covered.records, 1u);
+}
+
+TEST_F(WalTest, DeleteSegmentsBelowKeepsCoveringSegments) {
+  WalOptions options;
+  options.fsync_mode = FsyncMode::kAlways;
+  auto wal = WriteAheadLog::Open(dir_.string(), options, 1);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append(Record("SALES", 1, 2)).ok());  // LSN 1
+  ASSERT_TRUE((*wal)->StartNewSegment().ok());
+  ASSERT_TRUE((*wal)->Append(Record("SALES", 2, 2)).ok());  // LSN 2
+  ASSERT_TRUE((*wal)->StartNewSegment().ok());
+  ASSERT_TRUE((*wal)->Append(Record("SALES", 3, 2)).ok());  // LSN 3
+
+  // A checkpoint at LSN 1 covers only the first segment.
+  ASSERT_TRUE((*wal)->DeleteSegmentsBelow(2).ok());
+  WalScanReport report;
+  ASSERT_TRUE(ScanWal(dir_.string(), 1, false, nullptr, &report).ok());
+  EXPECT_EQ(report.records, 2u);
+  EXPECT_EQ(report.last_lsn, 3u);
+
+  // A checkpoint at LSN 3 covers everything sealed.
+  ASSERT_TRUE((*wal)->DeleteSegmentsBelow(4).ok());
+  WalScanReport after;
+  ASSERT_TRUE(ScanWal(dir_.string(), 3, false, nullptr, &after).ok());
+  EXPECT_EQ(after.replayed, 0u);
+}
+
+TEST_F(WalTest, GroupCommitCoalescesFsyncs) {
+  WalOptions options;
+  options.fsync_mode = FsyncMode::kGroup;
+  auto wal = WriteAheadLog::Open(dir_.string(), options, 1);
+  ASSERT_TRUE(wal.ok());
+
+  constexpr int kThreads = 8;
+  constexpr int kAppendsEach = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kAppendsEach; ++i) {
+        auto lsn = (*wal)->Append(
+            Record("CUBE" + std::to_string(t), i + 1, 1));
+        ASSERT_TRUE(lsn.ok()) << lsn.status().ToString();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  WalStats stats = (*wal)->stats();
+  EXPECT_EQ(stats.appends, static_cast<uint64_t>(kThreads * kAppendsEach));
+  // The whole point of group commit: one leader's fsync covers many
+  // followers, so fsyncs land well below one per append. (A scheduler that
+  // never overlapped two appends would make them equal — with 8 threads
+  // hammering the same log that does not happen.)
+  EXPECT_LT(stats.fsyncs, stats.appends);
+
+  // Everything is durable and contiguous.
+  WalScanReport report;
+  ASSERT_TRUE(ScanWal(dir_.string(), 0, false, nullptr, &report).ok());
+  EXPECT_EQ(report.records, static_cast<uint64_t>(kThreads * kAppendsEach));
+}
+
+TEST_F(WalTest, AppendFailpointLeavesTheLogHealthy) {
+  if (!kFailpointsCompiledIn) GTEST_SKIP() << "failpoints compiled out";
+  WalOptions options;
+  options.fsync_mode = FsyncMode::kAlways;
+  auto wal = WriteAheadLog::Open(dir_.string(), options, 1);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append(Record("SALES", 1, 2)).ok());
+
+  ASSERT_TRUE(FailpointRegistry::Instance()
+                  .ArmFromString("wal.append=error(unavailable):budget=1")
+                  .ok());
+  auto failed = (*wal)->Append(Record("SALES", 2, 2));
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kUnavailable);
+  FailpointRegistry::Instance().DisarmAll();
+
+  // The failed append wrote nothing: the next one takes its LSN and the
+  // log scans clean with dense LSNs.
+  auto next = (*wal)->Append(Record("SALES", 2, 2));
+  ASSERT_TRUE(next.ok()) << next.status().ToString();
+  EXPECT_EQ(*next, 2u);
+  wal->reset();
+  WalScanReport report;
+  ASSERT_TRUE(ScanWal(dir_.string(), 0, false, nullptr, &report).ok());
+  EXPECT_EQ(report.records, 2u);
+  EXPECT_FALSE(report.tail_truncated);
+}
+
+TEST_F(WalTest, FsyncFailpointPoisonsTheLog) {
+  if (!kFailpointsCompiledIn) GTEST_SKIP() << "failpoints compiled out";
+  WalOptions options;
+  options.fsync_mode = FsyncMode::kAlways;
+  auto wal = WriteAheadLog::Open(dir_.string(), options, 1);
+  ASSERT_TRUE(wal.ok());
+
+  ASSERT_TRUE(FailpointRegistry::Instance()
+                  .ArmFromString("wal.fsync=error(internal):budget=1")
+                  .ok());
+  auto failed = (*wal)->Append(Record("SALES", 1, 2));
+  ASSERT_FALSE(failed.ok());
+  FailpointRegistry::Instance().DisarmAll();
+
+  // Bytes of unknown durability precede any further append, so the log
+  // refuses them all until a restart re-establishes a trusted prefix.
+  auto refused = (*wal)->Append(Record("SALES", 2, 2));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(refused.status().message().find("restart to recover"),
+            std::string::npos);
+  EXPECT_FALSE((*wal)->Sync().ok());
+}
+
+}  // namespace
+}  // namespace assess
