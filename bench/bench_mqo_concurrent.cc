@@ -1,0 +1,234 @@
+// Measures what the server's multi-query optimizer is worth on a correlated
+// concurrent workload: N loopback clients fire their queries together (the
+// dashboard-refresh pattern — many tiles, one filter), every round slices a
+// date never queried before so the result cache cannot answer round r from
+// round r-1, and the same workload runs once with the micro-batch window
+// open and once with --mqo-window-us=0. On a single-core host the entire
+// difference comes from shared scans, not parallelism: with the window open
+// each round costs one fused scan instead of one per distinct query shape.
+// Writes BENCH_mqo.json for the regression record.
+
+#include <atomic>
+#include <barrier>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "client/assess_client.h"
+#include "server/assessd.h"
+#include "server/protocol.h"
+#include "ssb/sales_generator.h"
+
+namespace {
+
+int64_t EnvInt64(const char* name, int64_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  long long value = std::atoll(env);
+  return value > 0 ? value : fallback;
+}
+
+}  // namespace
+
+int main() {
+  using namespace assess;
+  using namespace assess::bench;
+
+  const int64_t kFacts = EnvInt64("ASSESS_MQO_BENCH_FACTS", 4000000);
+  const int kRounds =
+      static_cast<int>(EnvInt64("ASSESS_MQO_BENCH_ROUNDS", 20));
+  const int64_t kWindowUs = EnvInt64("ASSESS_MQO_BENCH_WINDOW_US", 20000);
+  constexpr int kClients = 6;
+
+  std::fprintf(stderr, "[bench] generating SALES (%lld facts)...\n",
+               static_cast<long long>(kFacts));
+  SalesConfig config;
+  config.facts = kFacts;
+  config.seed = 7;
+  auto built = BuildSalesDatabase(config);
+  if (!built.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<StarDatabase> db = std::move(*built);
+
+  // The rotating selections: one fresh date member per round (uniform FK,
+  // so no zone map prunes the scan and every round reads the whole fact
+  // table exactly as often as its plan demands).
+  auto bound = db->Find("SALES");
+  if (!bound.ok()) {
+    std::fprintf(stderr, "%s\n", bound.status().ToString().c_str());
+    return 1;
+  }
+  const Hierarchy& date = (*bound)->schema().hierarchy(0);
+  if (date.LevelCardinality(0) < kRounds) {
+    std::fprintf(stderr, "not enough date members for %d rounds\n", kRounds);
+    return 1;
+  }
+
+  // Six correlated shapes per round, all over the same selection: one exact
+  // duplicate pair (single-flight), distinct group-bys sharing the scan,
+  // and a year roll-up a month batch-mate subsumes.
+  auto statement = [&](int client, int round) {
+    const std::string& day = date.MemberName(0, round);
+    const char* shape[kClients] = {
+        "by month assess quantity",
+        "by month assess quantity",  // duplicate of client 0
+        "by product assess quantity",
+        "by country assess storeSales",
+        "by month, country assess storeCost",
+        "by year assess quantity",
+    };
+    return std::string("with SALES for date = '") + day + "' " +
+           shape[client] + " against 10 labels quartiles";
+  };
+
+  struct ConfigResult {
+    int64_t window_us = 0;
+    int requests = 0;
+    double seconds = 0.0;
+    double qps = 0.0;
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+    uint64_t batches = 0;
+    uint64_t queries_batched = 0;
+    uint64_t shared_scans = 0;
+    uint64_t piggybacked = 0;
+  };
+  std::vector<ConfigResult> results;
+
+  std::printf("MQO concurrent correlated workload (%lld facts, %d clients, "
+              "%d rounds)\n\n",
+              static_cast<long long>(kFacts), kClients, kRounds);
+  std::printf("%12s %9s %10s %10s %9s %9s %8s %7s\n", "window(us)", "requests",
+              "wall(s)", "qps", "p50(ms)", "p99(ms)", "batches", "shared");
+
+  for (int64_t window_us : {int64_t{0}, kWindowUs}) {
+    ServerOptions options;
+    options.worker_threads = 2;
+    options.mqo_window_us = window_us;
+    options.mqo_max_batch = kClients;  // flush as soon as the round is in
+    AssessServer server(db.get(), options);
+    Status started = server.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n",
+                   started.ToString().c_str());
+      return 1;
+    }
+
+    std::atomic<int> failures{0};
+    std::barrier round_barrier(kClients);
+    Stopwatch watch;
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        auto client = AssessClient::Connect("127.0.0.1", server.port());
+        if (!client.ok()) {
+          ++failures;
+          return;
+        }
+        for (int round = 0; round < kRounds; ++round) {
+          round_barrier.arrive_and_wait();
+          if (!client->Query(statement(c, round)).ok()) ++failures;
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    double seconds = watch.ElapsedSeconds();
+
+    ServerStats stats = server.Snapshot();
+    server.Stop();
+    if (failures.load() > 0) {
+      std::fprintf(stderr, "FAIL: %d request(s) failed at window=%lld\n",
+                   failures.load(), static_cast<long long>(window_us));
+      return 1;
+    }
+
+    ConfigResult row;
+    row.window_us = window_us;
+    row.requests = kClients * kRounds;
+    row.seconds = seconds;
+    row.qps = seconds > 0.0 ? row.requests / seconds : 0.0;
+    row.p50_ms = stats.p50_ms;
+    row.p99_ms = stats.p99_ms;
+    row.batches = stats.mqo_batches;
+    row.queries_batched = stats.mqo_queries_batched;
+    row.shared_scans = stats.mqo_shared_scans;
+    row.piggybacked = stats.mqo_queries_piggybacked;
+    results.push_back(row);
+    std::printf("%12lld %9d %10.3f %10.1f %9.2f %9.2f %8llu %7llu\n",
+                static_cast<long long>(row.window_us), row.requests,
+                row.seconds, row.qps, row.p50_ms, row.p99_ms,
+                static_cast<unsigned long long>(row.batches),
+                static_cast<unsigned long long>(row.shared_scans));
+    std::fprintf(stderr,
+                 "[bench] window=%lld cache: %llu lookups, %llu exact, "
+                 "%llu subsumed, %llu misses\n",
+                 static_cast<long long>(window_us),
+                 static_cast<unsigned long long>(stats.cache_lookups),
+                 static_cast<unsigned long long>(stats.cache_exact_hits),
+                 static_cast<unsigned long long>(stats.cache_subsumption_hits),
+                 static_cast<unsigned long long>(stats.cache_misses));
+  }
+
+  double speedup = results[0].qps > 0.0 ? results[1].qps / results[0].qps : 0.0;
+  double avg_batch =
+      results[1].batches > 0
+          ? static_cast<double>(results[1].queries_batched) / results[1].batches
+          : 0.0;
+  double shared_ratio =
+      results[1].batches > 0
+          ? static_cast<double>(results[1].shared_scans) / results[1].batches
+          : 0.0;
+  std::printf("\nQPS speedup (window %lld us vs off): %.2fx; "
+              "avg batch %.1f queries, %.2f shared scans/batch, "
+              "%llu piggybacked\n",
+              static_cast<long long>(kWindowUs), speedup, avg_batch,
+              shared_ratio,
+              static_cast<unsigned long long>(results[1].piggybacked));
+
+  std::FILE* json = std::fopen("BENCH_mqo.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_mqo.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"facts\": %lld,\n  \"clients\": %d,\n"
+               "  \"rounds\": %d,\n  \"speedup\": %.4f,\n"
+               "  \"avg_batch_size\": %.4f,\n"
+               "  \"shared_scan_ratio\": %.4f,\n  \"configs\": [\n",
+               static_cast<long long>(kFacts), kClients, kRounds, speedup,
+               avg_batch, shared_ratio);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ConfigResult& r = results[i];
+    std::fprintf(json,
+                 "    {\"mqo_window_us\": %lld, \"requests\": %d, "
+                 "\"seconds\": %.6f, \"qps\": %.2f, \"p50_ms\": %.3f, "
+                 "\"p99_ms\": %.3f, \"mqo_batches\": %llu, "
+                 "\"mqo_queries_batched\": %llu, \"mqo_shared_scans\": %llu, "
+                 "\"mqo_queries_piggybacked\": %llu}%s\n",
+                 static_cast<long long>(r.window_us), r.requests, r.seconds,
+                 r.qps, r.p50_ms, r.p99_ms,
+                 static_cast<unsigned long long>(r.batches),
+                 static_cast<unsigned long long>(r.queries_batched),
+                 static_cast<unsigned long long>(r.shared_scans),
+                 static_cast<unsigned long long>(r.piggybacked),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_mqo.json\n");
+
+  if (speedup < 1.5) {
+    std::fprintf(stderr,
+                 "FAIL: speedup %.2fx below the 1.5x acceptance floor\n",
+                 speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <span>
 
+#include "assess/subplans.h"
+
 #include "algebra/operators.h"
 #include "common/stopwatch.h"
 #include "common/str_util.h"
@@ -69,31 +71,6 @@ CellFn ForecastFn(ForecastMethod method) {
   return [method](std::span<const double> series) {
     return ForecastNext(method, series);
   };
-}
-
-// Replaces the target's slice predicate (l = u, or l in past members) with
-// one selecting all slices the POP plan needs at once.
-Result<CubeQuery> AllSlicesQuery(const AnalyzedStatement& analyzed,
-                                 const std::string& level_name,
-                                 std::vector<std::string> members) {
-  CubeQuery query = analyzed.target;
-  const CubeSchema& schema = *analyzed.schema;
-  ASSESS_ASSIGN_OR_RETURN(int h, schema.HierarchyOfLevel(level_name));
-  ASSESS_ASSIGN_OR_RETURN(int l, schema.hierarchy(h).LevelIndex(level_name));
-  bool replaced = false;
-  for (Predicate& p : query.predicates) {
-    if (p.hierarchy == h && p.level == l && p.op == PredicateOp::kEquals) {
-      p.op = PredicateOp::kIn;
-      p.members = members;
-      replaced = true;
-      break;
-    }
-  }
-  if (!replaced) {
-    return Status::Internal("POP: no slice predicate found on level '" +
-                            level_name + "'");
-  }
-  return query;
 }
 
 // Rewrites property(level, name) calls into measure references, adding one
@@ -285,18 +262,7 @@ Result<AssessResult> Executor::ExecuteSibling(
   SqlGenerator gen(analyzed.schema.get());
 
   if (plan == PlanKind::kPOP) {
-    ASSESS_ASSIGN_OR_RETURN(
-        CubeQuery query_all,
-        AllSlicesQuery(analyzed, analyzed.sibling_level,
-                       {analyzed.sibling_member, analyzed.sibling_sib}));
-    // One get serves both roles, so it must carry the union of the target
-    // and benchmark measures; the folded slice is renamed benchmark.<m>.
-    for (int m : analyzed.benchmark.measures) {
-      if (std::find(query_all.measures.begin(), query_all.measures.end(),
-                    m) == query_all.measures.end()) {
-        query_all.measures.push_back(m);
-      }
-    }
+    ASSESS_ASSIGN_OR_RETURN(CubeQuery query_all, SiblingPopQuery(analyzed));
     PivotSpec spec;
     spec.level = analyzed.sibling_level;
     spec.reference_member = analyzed.sibling_member;
@@ -335,11 +301,7 @@ Result<AssessResult> Executor::ExecutePast(const AnalyzedStatement& analyzed,
   const int k = analyzed.past_k;
 
   if (plan == PlanKind::kPOP) {
-    std::vector<std::string> all_members = analyzed.past_members;
-    all_members.push_back(analyzed.time_member);
-    ASSESS_ASSIGN_OR_RETURN(
-        CubeQuery query_all,
-        AllSlicesQuery(analyzed, analyzed.time_level, all_members));
+    ASSESS_ASSIGN_OR_RETURN(CubeQuery query_all, PastPopQuery(analyzed));
     PivotSpec spec;
     spec.level = analyzed.time_level;
     spec.reference_member = analyzed.time_member;

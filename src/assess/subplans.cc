@@ -1,0 +1,89 @@
+#include "assess/subplans.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace assess {
+
+Result<CubeQuery> AllSlicesQuery(const AnalyzedStatement& analyzed,
+                                 const std::string& level_name,
+                                 std::vector<std::string> members) {
+  CubeQuery query = analyzed.target;
+  const CubeSchema& schema = *analyzed.schema;
+  ASSESS_ASSIGN_OR_RETURN(int h, schema.HierarchyOfLevel(level_name));
+  ASSESS_ASSIGN_OR_RETURN(int l, schema.hierarchy(h).LevelIndex(level_name));
+  bool replaced = false;
+  for (Predicate& p : query.predicates) {
+    if (p.hierarchy == h && p.level == l && p.op == PredicateOp::kEquals) {
+      p.op = PredicateOp::kIn;
+      p.members = std::move(members);
+      replaced = true;
+      break;
+    }
+  }
+  if (!replaced) {
+    return Status::Internal("POP: no slice predicate found on level '" +
+                            level_name + "'");
+  }
+  return query;
+}
+
+Result<CubeQuery> SiblingPopQuery(const AnalyzedStatement& analyzed) {
+  ASSESS_ASSIGN_OR_RETURN(
+      CubeQuery query_all,
+      AllSlicesQuery(analyzed, analyzed.sibling_level,
+                     {analyzed.sibling_member, analyzed.sibling_sib}));
+  // One get serves both roles, so it must carry the union of the target
+  // and benchmark measures; the folded slice is renamed benchmark.<m>.
+  for (int m : analyzed.benchmark.measures) {
+    if (std::find(query_all.measures.begin(), query_all.measures.end(), m) ==
+        query_all.measures.end()) {
+      query_all.measures.push_back(m);
+    }
+  }
+  return query_all;
+}
+
+Result<CubeQuery> PastPopQuery(const AnalyzedStatement& analyzed) {
+  std::vector<std::string> all_members = analyzed.past_members;
+  all_members.push_back(analyzed.time_member);
+  return AllSlicesQuery(analyzed, analyzed.time_level,
+                        std::move(all_members));
+}
+
+Result<std::vector<CubeQuery>> PlannedGetSubplans(
+    const AnalyzedStatement& analyzed, PlanKind plan) {
+  std::vector<CubeQuery> gets;
+  switch (analyzed.type) {
+    case BenchmarkType::kNone:
+    case BenchmarkType::kConstant:
+      gets.push_back(analyzed.target);
+      return gets;
+    case BenchmarkType::kExternal:
+    case BenchmarkType::kAncestor:
+      gets.push_back(analyzed.target);
+      gets.push_back(analyzed.benchmark);
+      return gets;
+    case BenchmarkType::kSibling:
+      if (plan == PlanKind::kPOP) {
+        ASSESS_ASSIGN_OR_RETURN(CubeQuery all, SiblingPopQuery(analyzed));
+        gets.push_back(std::move(all));
+      } else {
+        gets.push_back(analyzed.target);
+        gets.push_back(analyzed.benchmark);
+      }
+      return gets;
+    case BenchmarkType::kPast:
+      if (plan == PlanKind::kPOP) {
+        ASSESS_ASSIGN_OR_RETURN(CubeQuery all, PastPopQuery(analyzed));
+        gets.push_back(std::move(all));
+      } else {
+        gets.push_back(analyzed.target);
+        gets.push_back(analyzed.benchmark);
+      }
+      return gets;
+  }
+  return Status::Internal("unreachable benchmark type");
+}
+
+}  // namespace assess

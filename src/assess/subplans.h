@@ -1,0 +1,43 @@
+#ifndef ASSESS_ASSESS_SUBPLANS_H_
+#define ASSESS_ASSESS_SUBPLANS_H_
+
+#include <string>
+#include <vector>
+
+#include "assess/analyzer.h"
+#include "assess/planner.h"
+#include "common/result.h"
+#include "olap/cube_query.h"
+
+namespace assess {
+
+/// \brief The target's query with its slice predicate on `level_name`
+/// widened from `= u` to `in members` — the one get a POP plan issues to
+/// fetch every slice it will pivot. Internal error when the target carries
+/// no equality slice on that level.
+Result<CubeQuery> AllSlicesQuery(const AnalyzedStatement& analyzed,
+                                 const std::string& level_name,
+                                 std::vector<std::string> members);
+
+/// \brief The single get a sibling POP plan runs: all slices on the sibling
+/// level, measures widened to the union of target and benchmark measures
+/// (one get serves both roles).
+Result<CubeQuery> SiblingPopQuery(const AnalyzedStatement& analyzed);
+
+/// \brief The single get a past POP plan runs: the reference slice plus the
+/// k past members on the time level.
+Result<CubeQuery> PastPopQuery(const AnalyzedStatement& analyzed);
+
+/// \brief Every `get` the executor will send to the storage engine when it
+/// runs `analyzed` under `plan`, in issue order. This is the contract the
+/// server's MQO collector relies on to group concurrent statements by their
+/// scans before any of them executes: the queries returned here are exactly
+/// the ones Executor::Execute hands to StarQueryEngine::Execute /
+/// ExecuteJoined / ExecutePivoted (joined and pivoted plans decompose into
+/// the same per-cube gets inside the engine).
+Result<std::vector<CubeQuery>> PlannedGetSubplans(
+    const AnalyzedStatement& analyzed, PlanKind plan);
+
+}  // namespace assess
+
+#endif  // ASSESS_ASSESS_SUBPLANS_H_

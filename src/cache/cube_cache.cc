@@ -48,6 +48,12 @@ std::optional<Cube> CubeResultCache::FindExact(const std::string& key) {
   return it->second->cube;
 }
 
+bool CubeResultCache::Contains(const std::string& key) const {
+  const Shard& shard = shards_[std::hash<std::string>{}(key) % shards_.size()];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.index.count(key) > 0;
+}
+
 std::optional<CubeResultCache::Snapshot> CubeResultCache::FindSubsuming(
     const CubeSchema& schema, const CanonicalQuery& want) {
   Span span("cache.subsume");

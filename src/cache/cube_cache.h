@@ -69,6 +69,11 @@ class CubeResultCache {
   /// entry is bumped to most-recently-used and its cube copied out.
   std::optional<Cube> FindExact(const std::string& key);
 
+  /// \brief Whether an entry exists under `key`, without copying it, bumping
+  /// its LRU position or counting a lookup. The MQO collector uses this to
+  /// drop already-answered subplans from a shared-scan group cheaply.
+  bool Contains(const std::string& key) const;
+
   /// \brief Subsumption lookup: among entries on `want.cube_name`, returns
   /// a copy of the smallest (fewest rows) entry that answers `want` per
   /// EntryAnswersQuery, or nullopt. Call after FindExact missed; counts the

@@ -61,6 +61,11 @@ struct AssessServer::Request {
   IngestFormat ingest_format = IngestFormat::kCsv;
   bool ingest_auto_insert = false;
   Clock::time_point admitted;
+  /// Set by the MQO collector when this request rode a shared scan
+  /// ("mqo: shared scan with N queries"). Surfaced by EXPLAIN ANALYZE only;
+  /// kResult payloads are never touched, so batched responses stay
+  /// bit-identical to unbatched ones.
+  std::string mqo_note;
   std::promise<std::pair<FrameType, std::string>> response;
 };
 
@@ -86,6 +91,34 @@ Status AssessServer::Start() {
   // worker set instead of each sizing itself to the whole machine, so N
   // concurrent sessions cannot oversubscribe into N × cores scan threads.
   if (!options_.engine.pool) options_.engine.pool = TaskPool::Shared();
+  // The MQO collector shares the sessions' cache and pool (installed just
+  // above), so its shared scans seed exactly the entries sessions look up.
+  if (options_.mqo_window_us > 0) {
+    MqoOptions mqo_options;
+    mqo_options.window_us = options_.mqo_window_us;
+    mqo_options.max_batch = std::max(2, options_.mqo_max_batch);
+    MqoCollector::Hooks hooks;
+    hooks.enqueue = [this](void* token, const std::string& note) {
+      auto* request = static_cast<Request*>(token);
+      request->mqo_note = note;
+      {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        // No stopping_/max_queue check: the request was admitted before it
+        // entered the collector, and its reader is blocked on the promise —
+        // dropping it here would wedge that reader forever.
+        queue_.push_back(request);
+      }
+      queue_cv_.notify_one();
+    };
+    hooks.reject = [this](void* token, const Status& status) {
+      auto* request = static_cast<Request*>(token);
+      error_responses_.fetch_add(1, std::memory_order_relaxed);
+      request->response.set_value(
+          {FrameType::kError, SerializeStatus(status)});
+    };
+    mqo_ = std::make_unique<MqoCollector>(db_, options_.engine, mqo_options,
+                                          std::move(hooks));
+  }
   int workers = options_.worker_threads;
   if (workers <= 0) {
     workers = static_cast<int>(
@@ -124,6 +157,13 @@ void AssessServer::Stop() {
   if (acceptor_.joinable()) acceptor_.join();
   CloseSocket(listen_fd_);
   listen_fd_ = -1;
+  // 2b. Flush the MQO window. Every request the collector holds was
+  //     admitted and has a reader blocked on its promise, so the final
+  //     flush hands each one to the worker queue (shared scans skipped) —
+  //     before the drain below, which must observe them. New submissions
+  //     are already impossible: stopping_ fails the admission check, and
+  //     Submit itself returns false once the collector stops.
+  if (mqo_ != nullptr) mqo_->Stop();
   // 3. Drain: every queued and in-flight request completes.
   {
     std::unique_lock<std::mutex> lock(queue_mutex_);
@@ -347,15 +387,43 @@ void AssessServer::ReaderLoop(Connection* conn) {
     auto response = request.response.get_future();
 
     Status rejected = Status::OK();
-    {
-      std::lock_guard<std::mutex> lock(queue_mutex_);
-      if (stopping_) {
-        rejected = Status::Unavailable("server shutting down");
-      } else if (queue_.size() >= static_cast<size_t>(options_.max_queue)) {
-        rejected = Status::Unavailable("server overloaded: request queue full");
-      } else {
-        queue_.push_back(&request);
+    bool submitted = false;
+    if (mqo_ != nullptr && !ingest) {
+      // MQO path: the collector holds the request for the micro-batch
+      // window, runs shared scans, then hands it to the worker queue via
+      // the enqueue hook. Admission is checked first — requests held by the
+      // collector count against the queue bound — but Submit itself runs
+      // outside queue_mutex_, which the enqueue hook takes.
+      {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        if (stopping_) {
+          rejected = Status::Unavailable("server shutting down");
+        } else if (queue_.size() + static_cast<size_t>(std::max<int64_t>(
+                                       0, mqo_->pending())) >=
+                   static_cast<size_t>(options_.max_queue)) {
+          rejected =
+              Status::Unavailable("server overloaded: request queue full");
+        }
       }
+      if (rejected.ok()) {
+        submitted = mqo_->Submit(&request, request.statement);
+        // false = the collector stopped between the admission check and
+        // here; fall through to the direct path, which re-checks stopping_.
+      }
+    }
+    if (rejected.ok() && !submitted) {
+      {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        if (stopping_) {
+          rejected = Status::Unavailable("server shutting down");
+        } else if (queue_.size() >= static_cast<size_t>(options_.max_queue)) {
+          rejected =
+              Status::Unavailable("server overloaded: request queue full");
+        } else {
+          queue_.push_back(&request);
+        }
+      }
+      if (rejected.ok()) queue_cv_.notify_one();
     }
     if (!rejected.ok()) {
       if (rejected.message().find("overloaded") != std::string::npos) {
@@ -369,7 +437,6 @@ void AssessServer::ReaderLoop(Connection* conn) {
       }
       continue;
     }
-    queue_cv_.notify_one();
 
     // Strict request/response: wait for the worker, then write. The request
     // lives on this stack frame, so the wait must be unconditional.
@@ -508,6 +575,12 @@ std::pair<FrameType, std::string> AssessServer::ExecuteRequest(
       traces_sampled_.fetch_add(1, std::memory_order_relaxed);
       type = FrameType::kExplainReply;
       payload = *std::move(rendered);
+      // Surface MQO participation: "\analyze" shows that this statement's
+      // scan was shared and how many queries co-executed on it.
+      if (!request->mqo_note.empty()) {
+        payload += "\n";
+        payload += request->mqo_note;
+      }
       ok_responses_.fetch_add(1, std::memory_order_relaxed);
     }
   } else {
@@ -683,6 +756,13 @@ ServerStats AssessServer::Snapshot() const {
     stats.morsels_scanned = pool.morsels_scanned;
     stats.morsels_skipped = pool.morsels_skipped;
   }
+  if (mqo_ != nullptr) {
+    const MqoStats mqo = mqo_->stats();
+    stats.mqo_batches = mqo.batches;
+    stats.mqo_queries_batched = mqo.queries_batched;
+    stats.mqo_shared_scans = mqo.shared_scans;
+    stats.mqo_queries_piggybacked = mqo.queries_piggybacked;
+  }
   if (options_.durability != nullptr) {
     const WalStats wal = options_.durability->wal_stats();
     stats.wal_appends = wal.appends;
@@ -729,6 +809,19 @@ std::string AssessServer::RenderMetrics() const {
   counter("assessd_trace_emit_failures_total",
           "Slow-query dumps dropped by a failing sink",
           trace_emit_failures_.load(std::memory_order_relaxed));
+  if (mqo_ != nullptr) {
+    const MqoStats mqo = mqo_->stats();
+    counter("assessd_mqo_batches_total",
+            "MQO micro-batch flushes holding at least two queries",
+            mqo.batches);
+    counter("assessd_mqo_queries_batched_total",
+            "Queries flushed in multi-query MQO batches", mqo.queries_batched);
+    counter("assessd_mqo_shared_scans_total",
+            "Shared-scan group executions", mqo.shared_scans);
+    counter("assessd_mqo_queries_piggybacked_total",
+            "Queries answered by a batch-mate's shared scan",
+            mqo.queries_piggybacked);
+  }
   return out;
 }
 

@@ -18,6 +18,7 @@
 #include "ingest/ingest.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "server/mqo.h"
 #include "server/protocol.h"
 #include "storage/star_schema.h"
 
@@ -66,6 +67,18 @@ struct ServerOptions {
   /// seed always trace the same request sequence.
   double trace_sample = 1.0;
   uint64_t trace_seed = 1;
+  /// Multi-query optimization: queries are held for this micro-batch window
+  /// (measured from the oldest held request) so concurrent statements whose
+  /// planned `get` subplans share a cube, predicate conjunction and fact
+  /// epoch execute as one fused shared scan that pre-seeds the result cache.
+  /// 0 (the default) disables the collector entirely — every request goes
+  /// straight to the worker queue. Useful values on a busy server are a few
+  /// hundred µs: enough for concurrent clients to land in one window, well
+  /// below interactive latency budgets. Responses are bit-identical either
+  /// way.
+  int64_t mqo_window_us = 0;
+  /// A window flushes early once this many requests are pending.
+  int mqo_max_batch = 16;
   /// Engine configuration for the per-connection sessions. When the result
   /// cache is enabled and no shared_cache is given, Start() creates one, so
   /// all connections pool warm results by construction. Likewise, when no
@@ -184,6 +197,13 @@ class AssessServer {
 
   const StarDatabase* db_;
   ServerOptions options_;
+
+  /// The MQO micro-batch collector (null when mqo_window_us <= 0). Created
+  /// in Start() after the shared cache and pool are installed — its engine
+  /// must share both — and stopped in Stop() between the acceptor join and
+  /// the drain wait, so its final flush lands in the queue the drain
+  /// observes.
+  std::unique_ptr<MqoCollector> mqo_;
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;

@@ -4,6 +4,7 @@
 //           [--engine-threads N] [--queue N] [--timeout-ms N] [--cache-mb N]
 //           [--max-frame-mb N] [--failpoints SPEC] [--failpoint-admin]
 //           [--slow-query-ms N] [--trace-sample X]
+//           [--mqo-window-us N] [--mqo-max-batch N]
 //           [--ingest] [--ingest-auto-insert] [--ingest-max-errors N]
 //           [--data-dir DIR] [--fsync-mode none|batch|group]
 //           [--checkpoint-wal-mb N]
@@ -48,6 +49,7 @@ int Usage(const char* argv0) {
       "          [--timeout-ms N] [--cache-mb N] [--max-frame-mb N]\n"
       "          [--failpoints SPEC] [--failpoint-admin]\n"
       "          [--slow-query-ms N] [--trace-sample X]\n"
+      "          [--mqo-window-us N] [--mqo-max-batch N]\n"
       "          [--ingest] [--ingest-auto-insert] [--ingest-max-errors N]\n"
       "          [--data-dir DIR] [--fsync-mode none|batch|group]\n"
       "          [--checkpoint-wal-mb N]\n"
@@ -62,6 +64,13 @@ int Usage(const char* argv0) {
       "--slow-query-ms dumps the span tree of queries at or over N ms to\n"
       "stderr (needs ASSESS_TRACING=ON); --trace-sample X traces only that\n"
       "fraction of queries (deterministic, default 1).\n"
+      "--mqo-window-us holds admitted queries for N microseconds so\n"
+      "concurrent statements sharing a cube, selection and fact epoch run\n"
+      "as one fused shared scan (multi-query optimization). 0 (default)\n"
+      "disables it; a few hundred µs batches concurrent clients without\n"
+      "denting interactive latency. --mqo-max-batch flushes a window early\n"
+      "once N queries are pending (default 16). Responses are bit-identical\n"
+      "with MQO on or off.\n"
       "--ingest accepts kIngest row streams (the server is read-only\n"
       "without it); --ingest-auto-insert lets streamed rows add new\n"
       "dimension members; --ingest-max-errors tolerates N malformed rows\n"
@@ -154,6 +163,14 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       options.trace_sample = std::atof(v);
+    } else if (arg == "--mqo-window-us") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.mqo_window_us = std::atoll(v);
+    } else if (arg == "--mqo-max-batch") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.mqo_max_batch = std::atoi(v);
     } else if (arg == "--ingest") {
       ingest_enabled = true;
     } else if (arg == "--ingest-auto-insert") {

@@ -1,0 +1,153 @@
+#ifndef ASSESS_SERVER_MQO_H_
+#define ASSESS_SERVER_MQO_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "assess/analyzer.h"
+#include "cache/query_fingerprint.h"
+#include "common/result.h"
+#include "functions/function_registry.h"
+#include "labeling/label_function.h"
+#include "olap/cube_query.h"
+#include "storage/star_query_engine.h"
+
+namespace assess {
+
+class Histogram;
+
+/// \brief Micro-batch window knobs of the server's multi-query optimizer.
+struct MqoOptions {
+  /// How long the collector may hold the oldest admitted request before the
+  /// window flushes. 0 disables batching entirely (requests bypass the
+  /// collector); the useful range on a busy server is a few hundred µs —
+  /// enough for concurrent clients to land in one window, far below
+  /// interactive latency budgets.
+  int64_t window_us = 0;
+  /// Flush early once this many requests are pending, regardless of age.
+  int max_batch = 16;
+};
+
+/// \brief Monotonic counters of the collector (each independently atomic).
+struct MqoStats {
+  uint64_t batches = 0;             ///< flushes that held >= 2 requests
+  uint64_t queries_batched = 0;     ///< requests flushed in such batches
+  uint64_t shared_scans = 0;        ///< shared-scan group executions
+  uint64_t queries_piggybacked = 0; ///< batch members answered by a
+                                    ///< batch-mate's scan instead of their own
+};
+
+/// \brief The server's multi-query optimizer: a micro-batch collector that
+/// holds admitted statements for a configurable window, groups their planned
+/// `get` subplans by canonical fingerprint into shared-scan groups — exact
+/// duplicates single-flighted, same-selection/different-group-by queries
+/// sharing one fused scan, coarser queries subsumed by a batch-mate's finer
+/// result — executes one fused morsel scan per group, and hands every
+/// request back to the normal worker path with the shared result cache
+/// pre-seeded. Because each session still executes its own statement and the
+/// seeded entries are keyed exactly as the solo path would key them, batched
+/// responses are bit-identical to unbatched execution.
+///
+/// Epoch correctness: every subplan is stamped with its cube's fact epoch at
+/// submit time, the epoch is part of the group key, and the shared scan
+/// re-checks it — a batch never mixes queries planned against different
+/// table contents, and an ingest racing the window silently degrades the
+/// group to unbatched execution.
+class MqoCollector {
+ public:
+  /// How flushed requests leave the collector. Both hooks are invoked from
+  /// the collector thread (or the thread calling Stop) with no collector
+  /// lock held; `enqueue` must accept requests even while the server is
+  /// draining — a held request was already admitted, and abandoning its
+  /// promise would wedge the reader. Exactly one hook fires per submitted
+  /// request.
+  struct Hooks {
+    /// Hand the request to the worker queue. `note` is non-empty when the
+    /// request rode a shared scan ("mqo: shared scan with N queries") —
+    /// EXPLAIN ANALYZE surfaces it; query payloads never change.
+    std::function<void(void* token, const std::string& note)> enqueue;
+    /// Fail the request with a typed error (a shared scan for its group
+    /// died). Other groups in the batch are unaffected.
+    std::function<void(void* token, const Status& status)> reject;
+  };
+
+  /// `db` and `engine` mirror what server sessions use: the engine MUST
+  /// share the sessions' result cache and task pool, or pre-seeding feeds
+  /// the wrong cache and scans fight the sessions for cores.
+  MqoCollector(const StarDatabase* db, const EngineOptions& engine,
+               MqoOptions options, Hooks hooks);
+  ~MqoCollector();
+
+  /// \brief Plans `statement` (parse → analyze → best plan → get subplans,
+  /// under the database's shared schema lock) and holds `token` for the
+  /// current window. Returns false once the collector has stopped — the
+  /// caller then owns the request again and must admit it through the
+  /// normal path. Thread-safe; called from reader threads. Must NOT be
+  /// called while holding locks the enqueue/reject hooks take.
+  bool Submit(void* token, const std::string& statement);
+
+  /// \brief Requests submitted but not yet handed back — the server counts
+  /// these against its queue bound during admission.
+  int64_t pending() const { return pending_.load(std::memory_order_relaxed); }
+
+  MqoStats stats() const;
+
+  /// \brief Final flush: every held request is handed back via the hooks —
+  /// shared scans are skipped so shutdown never waits on a fact scan — then
+  /// the collector thread is joined. After Stop, Submit returns false.
+  /// Idempotent.
+  void Stop();
+
+ private:
+  /// One planned `get` of a held statement, with its grouping identity.
+  struct PlannedGet {
+    CubeQuery query;
+    CanonicalQuery canon;     // epoch stamped from submit-time fact epoch
+    std::string fingerprint;  // FingerprintKey(canon)
+    std::string group_key;    // cube \0 predicate-conjunction key \0 epoch
+  };
+
+  struct Held {
+    void* token = nullptr;
+    std::vector<PlannedGet> gets;  // empty when the statement didn't plan
+    std::chrono::steady_clock::time_point arrived;
+  };
+
+  void Run();
+  /// Groups, optionally executes shared scans, and dispatches every Held
+  /// through exactly one hook. Called without `mutex_` held.
+  void ProcessBatch(std::vector<Held> batch, bool shared_scans_allowed);
+  Result<std::vector<PlannedGet>> PlanStatement(const std::string& statement);
+
+  const StarDatabase* db_;
+  StarQueryEngine engine_;
+  MqoOptions options_;
+  Hooks hooks_;
+  FunctionRegistry functions_;
+  LabelingRegistry labelings_;
+  AnalyzerOptions analyzer_options_;
+  Histogram* batch_size_hist_;  // registry-owned
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<Held> held_;
+  bool stop_ = false;
+  std::thread thread_;
+
+  std::atomic<int64_t> pending_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> queries_batched_{0};
+  std::atomic<uint64_t> shared_scans_{0};
+  std::atomic<uint64_t> queries_piggybacked_{0};
+};
+
+}  // namespace assess
+
+#endif  // ASSESS_SERVER_MQO_H_

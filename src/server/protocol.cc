@@ -434,7 +434,7 @@ struct StatsReader {
 std::string ServerStats::Serialize() const {
   std::string out;
   out.push_back('T');  // stats magic
-  out.push_back(0x05);  // v5: appends durability counters after v4's
+  out.push_back(0x06);  // v6: appends MQO counters after v5's durability
   for (uint64_t v : {total_requests, ok_responses, error_responses,
                      rejected_overload, timeouts, queued, in_flight,
                      connections, worker_threads}) {
@@ -463,6 +463,10 @@ std::string ServerStats::Serialize() const {
                      recovery_replayed_records, recovery_truncated_bytes}) {
     PutVarint(&out, v);
   }
+  for (uint64_t v : {mqo_batches, mqo_queries_batched, mqo_shared_scans,
+                     mqo_queries_piggybacked}) {
+    PutVarint(&out, v);
+  }
   return out;
 }
 
@@ -471,7 +475,7 @@ Result<ServerStats> ServerStats::Deserialize(std::string_view data) {
   // Older payloads decode with the newer counters left at zero; each version
   // appends its field group after the previous one's, so one pass reads
   // every layout.
-  if (data.size() < 2 || data[0] != 'T' || data[1] < 0x02 || data[1] > 0x05) {
+  if (data.size() < 2 || data[0] != 'T' || data[1] < 0x02 || data[1] > 0x06) {
     return Status::InvalidArgument("stats: bad magic");
   }
   const uint8_t version = static_cast<uint8_t>(data[1]);
@@ -523,6 +527,14 @@ Result<ServerStats> ServerStats::Deserialize(std::string_view data) {
       ASSESS_RETURN_NOT_OK(reader.GetVarint(slot));
     }
   }
+  if (version >= 0x06) {
+    uint64_t* mqo_ints[] = {&stats.mqo_batches, &stats.mqo_queries_batched,
+                            &stats.mqo_shared_scans,
+                            &stats.mqo_queries_piggybacked};
+    for (uint64_t* slot : mqo_ints) {
+      ASSESS_RETURN_NOT_OK(reader.GetVarint(slot));
+    }
+  }
   if (reader.pos != data.size()) {
     return Status::InvalidArgument("stats: trailing bytes");
   }
@@ -530,7 +542,7 @@ Result<ServerStats> ServerStats::Deserialize(std::string_view data) {
 }
 
 std::string ServerStats::ToString() const {
-  char buf[1536];
+  char buf[1792];
   std::snprintf(
       buf, sizeof(buf),
       "requests: %llu total, %llu ok, %llu errors, %llu overload-rejected, "
@@ -547,7 +559,9 @@ std::string ServerStats::ToString() const {
       "ingest: %llu rows in %llu batches; %llu stale-epoch cache entries "
       "swept\n"
       "wal: %llu appends, %llu fsyncs, %.1f MiB written; %llu checkpoints; "
-      "recovery replayed %llu records, dropped %llu torn bytes",
+      "recovery replayed %llu records, dropped %llu torn bytes\n"
+      "mqo: %llu batches (%llu queries), %llu shared scans, "
+      "%llu piggybacked",
       static_cast<unsigned long long>(total_requests),
       static_cast<unsigned long long>(ok_responses),
       static_cast<unsigned long long>(error_responses),
@@ -579,7 +593,11 @@ std::string ServerStats::ToString() const {
       wal_bytes / (1024.0 * 1024.0),
       static_cast<unsigned long long>(checkpoints),
       static_cast<unsigned long long>(recovery_replayed_records),
-      static_cast<unsigned long long>(recovery_truncated_bytes));
+      static_cast<unsigned long long>(recovery_truncated_bytes),
+      static_cast<unsigned long long>(mqo_batches),
+      static_cast<unsigned long long>(mqo_queries_batched),
+      static_cast<unsigned long long>(mqo_shared_scans),
+      static_cast<unsigned long long>(mqo_queries_piggybacked));
   return buf;
 }
 

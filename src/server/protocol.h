@@ -220,6 +220,12 @@ struct ServerStats {
   uint64_t checkpoints = 0;     ///< checkpoints published this run
   uint64_t recovery_replayed_records = 0;  ///< WAL records startup replayed
   uint64_t recovery_truncated_bytes = 0;   ///< torn-tail bytes dropped
+  // v6: multi-query optimization counters (zero when --mqo-window-us is 0).
+  uint64_t mqo_batches = 0;        ///< micro-batch flushes holding >= 2 queries
+  uint64_t mqo_queries_batched = 0;  ///< queries flushed in such batches
+  uint64_t mqo_shared_scans = 0;     ///< shared-scan group executions
+  uint64_t mqo_queries_piggybacked = 0;  ///< queries answered by a batch-mate's
+                                         ///< scan instead of their own
 
   double cache_hit_rate() const {
     return cache_lookups > 0

@@ -110,6 +110,14 @@ FusedScanFn GetFusedScanKernel(SimdLevel level);
 void MinMaxInt32(SimdLevel level, const int32_t* values, int64_t n,
                  int32_t* min_out, int32_t* max_out);
 
+/// \brief Decodes rows [begin, end) of a packed FK column into `out`
+/// (out[i] = code of row begin + i). The multi-consumer shared scan uses
+/// this to gather each packed column once per morsel and feed the same
+/// int32 codes to every consumer's kernel — identical codes, identical
+/// keys, so sharing cannot perturb results.
+void DecodePackedCodes(const PackedColumn& packed, int64_t begin, int64_t end,
+                       int32_t* out);
+
 }  // namespace assess
 
 #endif  // ASSESS_STORAGE_SCAN_KERNELS_H_

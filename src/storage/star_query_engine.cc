@@ -477,6 +477,495 @@ Result<Cube> Aggregate(int64_t rows, std::vector<HierScanPlan>& hiers,
                            std::move(result_state.acc));
 }
 
+// One query's compiled fact-scan plan inside a shared scan.
+struct ConsumerScan {
+  std::vector<HierScanPlan> hiers;
+  std::vector<MeasureScanPlan> measures;
+};
+
+// The multi-consumer sibling of Aggregate(): one morsel pass over `rows`
+// fact rows feeds every consumer's accumulator set. Per morsel, each packed
+// FK column any fused consumer touches is decoded once into an int32
+// scratch buffer; every fused consumer then runs over the scratch codes
+// (begin-relative, measure sources shifted to match). The decoded codes are
+// exactly what the solo kernel would have read through PackedColumn::CodeAt,
+// the accumulation stays row-sequential per consumer, and each consumer's
+// partials merge in morsel index order — so every output is bit-identical
+// to running that consumer alone. Consumers whose key space exceeds the
+// dense limit fall back to the generic hash kernel at absolute rows,
+// sharing the pass over the morsel but not the gather.
+//
+// All consumers must share one predicate conjunction (the caller's group
+// contract): the zone-pruned work list is computed from consumer 0 and is
+// valid for every consumer.
+//
+// The same contract pays for the scan's real sharing: the conjunction is
+// evaluated ONCE per morsel and the passing rows compacted — codes and
+// measure values alike — so each additional grouped consumer aggregates
+// only the selected rows instead of re-testing the whole morsel. Under a
+// selective predicate N consumers cost about one scan plus N tiny
+// aggregations, not N scans. Compaction preserves the relative order of
+// passing rows and the grouped kernels accumulate row-sequentially, so
+// results stay bit-identical; no-group-by consumers are exempted (their
+// fast path assigns rows to fixed accumulator lanes by (row − begin) & 3,
+// which renumbering would perturb) and run over the full range as before.
+Result<std::vector<Cube>> AggregateShared(int64_t rows,
+                                          std::vector<ConsumerScan>& consumers,
+                                          MorselExec* exec) {
+  const int num_consumers = static_cast<int>(consumers.size());
+
+  struct Compiled {
+    std::vector<HierScanPlan*> needed;
+    std::vector<HierScanPlan*> grouped;
+    std::vector<std::vector<uint32_t>> lane_tables;
+    FusedScanArgs args;
+    bool fused = false;
+    // Eligible for the shared-selection compacted path (fused AND grouped;
+    // see the bit-identity note above).
+    bool compact = false;
+    // Per fused column: index into the shared decode list, or -1 when the
+    // source is already int32 (then codes32 is shifted by the morsel base).
+    std::vector<int> scratch_of;
+    // Per fused column: index into the shared direct-source compaction
+    // list when scratch_of is -1 (compacted path only).
+    std::vector<int> direct_of;
+    // Per measure: index into the shared measure compaction list, or -1
+    // for null sources (count).
+    std::vector<int> msource_of;
+  };
+  std::vector<Compiled> compiled(num_consumers);
+  std::vector<const PackedColumn*> decode;  // shared gather list
+
+  for (int c = 0; c < num_consumers; ++c) {
+    Compiled& comp = compiled[c];
+    uint64_t factor = 1;
+    for (HierScanPlan& h : consumers[c].hiers) {
+      comp.needed.push_back(&h);
+      if (!h.grouped) continue;
+      h.radix = factor;
+      uint64_t card = static_cast<uint64_t>(
+                          h.hierarchy->LevelCardinality(h.group_level)) +
+                      1;
+      if (factor > (uint64_t{1} << 62) / std::max<uint64_t>(card, 1)) {
+        return Status::NotSupported(
+            "group-by space exceeds 2^62 coordinates; no such schema is "
+            "supported by the engine");
+      }
+      factor *= card;
+      comp.grouped.push_back(&h);
+    }
+    const uint64_t key_space = factor + 1;
+    comp.fused = key_space <= kDenseKeyLimit &&
+                 static_cast<int64_t>(key_space) <=
+                     std::max<int64_t>(int64_t{4096}, rows);
+    if (!comp.fused) continue;
+    comp.args.key_space = static_cast<uint32_t>(key_space);
+    comp.lane_tables.reserve(comp.needed.size());
+    for (HierScanPlan* h : comp.needed) {
+      std::vector<uint32_t> lane(static_cast<size_t>(h->code_domain), 0u);
+      const std::vector<MemberId>* gc =
+          h->grouped ? &h->group_code() : nullptr;
+      for (int64_t code = 0; code < h->code_domain; ++code) {
+        if (!h->pass.empty() && !h->pass[code]) {
+          lane[code] = kLaneReject;
+        } else if (gc != nullptr) {
+          lane[code] = static_cast<uint32_t>(h->radix) *
+                       (static_cast<uint32_t>((*gc)[code]) + 1u);
+        }
+      }
+      comp.lane_tables.push_back(std::move(lane));
+      KernelColumn col;
+      col.packed = h->packed;
+      if (h->packed == nullptr) col.codes32 = h->codes;
+      col.lane = comp.lane_tables.back().data();
+      comp.args.columns.push_back(col);
+      int scratch = -1;
+      if (h->packed != nullptr) {
+        for (size_t d = 0; d < decode.size(); ++d) {
+          if (decode[d] == h->packed) scratch = static_cast<int>(d);
+        }
+        if (scratch < 0) {
+          scratch = static_cast<int>(decode.size());
+          decode.push_back(h->packed);
+        }
+      }
+      comp.scratch_of.push_back(scratch);
+      if (h->grouped) {
+        comp.args.groups.push_back(KernelGroup{
+            static_cast<uint32_t>(h->radix),
+            static_cast<uint32_t>(
+                h->hierarchy->LevelCardinality(h->group_level)) +
+                1u});
+      }
+    }
+    for (const MeasureScanPlan& m : consumers[c].measures) {
+      comp.args.measures.push_back(KernelMeasure{m.source, m.op});
+    }
+  }
+
+  bool any_fused = false;
+  for (const Compiled& comp : compiled) any_fused |= comp.fused;
+  FusedScanFn fused_fn = nullptr;
+  if (any_fused) {
+    exec->fused = true;
+    exec->simd = ActiveSimdLevel();
+    fused_fn = GetFusedScanKernel(exec->simd);
+  }
+
+  // Shared-selection setup: the columns the group's common conjunction
+  // tests (evaluated once per morsel), plus dedup lists for everything the
+  // compacted consumers read — direct int32 code sources and measure
+  // sources are each gathered once per morsel, like the packed decode.
+  struct SelColumn {
+    const PackedColumn* packed = nullptr;    // packed source, or
+    const int32_t* codes = nullptr;          // absolute int32 source
+    const std::vector<uint8_t>* pass = nullptr;
+  };
+  std::vector<SelColumn> sel_columns;
+  std::vector<const int32_t*> direct;    // codes32 sources to compact
+  std::vector<const double*> msources;   // measure sources to compact
+  bool any_compact = false;
+  for (Compiled& comp : compiled) {
+    comp.compact = comp.fused && !comp.args.groups.empty();
+    any_compact |= comp.compact;
+  }
+  if (any_compact && num_consumers > 0) {
+    for (HierScanPlan& h : consumers[0].hiers) {
+      if (h.pass.empty()) continue;
+      SelColumn sc;
+      sc.pass = &h.pass;
+      if (h.packed != nullptr) {
+        sc.packed = h.packed;
+      } else {
+        sc.codes = h.codes;
+      }
+      sel_columns.push_back(sc);
+    }
+    // No shared predicate: nothing to select on, keep the plain path.
+    if (sel_columns.empty()) {
+      any_compact = false;
+      for (Compiled& comp : compiled) comp.compact = false;
+    }
+  }
+  if (any_compact) {
+    for (Compiled& comp : compiled) {
+      if (!comp.compact) continue;
+      comp.direct_of.assign(comp.args.columns.size(), -1);
+      for (size_t j = 0; j < comp.args.columns.size(); ++j) {
+        if (comp.scratch_of[j] >= 0) continue;
+        const int32_t* src = comp.args.columns[j].codes32;
+        int idx = -1;
+        for (size_t d = 0; d < direct.size(); ++d) {
+          if (direct[d] == src) idx = static_cast<int>(d);
+        }
+        if (idx < 0) {
+          idx = static_cast<int>(direct.size());
+          direct.push_back(src);
+        }
+        comp.direct_of[j] = idx;
+      }
+      comp.msource_of.assign(comp.args.measures.size(), -1);
+      for (size_t m = 0; m < comp.args.measures.size(); ++m) {
+        const double* src = comp.args.measures[m].source;
+        if (src == nullptr) continue;
+        int idx = -1;
+        for (size_t d = 0; d < msources.size(); ++d) {
+          if (msources[d] == src) idx = static_cast<int>(d);
+        }
+        if (idx < 0) {
+          idx = static_cast<int>(msources.size());
+          msources.push_back(src);
+        }
+        comp.msource_of[m] = idx;
+      }
+    }
+  }
+  // Which decode-list columns actually need a full-morsel gather: those a
+  // non-compacted fused consumer runs over. The shared conjunction is
+  // tested in L1-sized decode chunks (never materialized morsel-wide) and
+  // columns only compacted consumers read are point-gathered at the (few)
+  // selected rows — under a selective predicate this is the difference
+  // between touching every packed byte per consumer column and touching
+  // almost none.
+  std::vector<uint8_t> decode_full(decode.size(), any_compact ? 0 : 1);
+  if (any_compact) {
+    for (const Compiled& comp : compiled) {
+      if (!comp.fused || comp.compact) continue;
+      for (int idx : comp.scratch_of) {
+        if (idx >= 0) decode_full[idx] = 1;
+      }
+    }
+  }
+
+  const int64_t num_morsels =
+      rows == 0 ? 0 : (rows + kMorselRows - 1) / kMorselRows;
+
+  // Zone-map pruning over consumer 0's predicated hierarchies; the shared
+  // predicate conjunction makes the surviving work list right for everyone.
+  std::vector<int64_t> work;
+  work.reserve(num_morsels);
+  if (exec->zones != nullptr && num_morsels > 1 && num_consumers > 0) {
+    struct Pruner {
+      const std::vector<ZoneRange>* zones = nullptr;
+      std::vector<int32_t> pass_prefix;
+    };
+    std::vector<Pruner> pruners;
+    for (HierScanPlan& h : consumers[0].hiers) {
+      if (h.pass.empty() || h.fact_dim < 0) continue;
+      Pruner pruner;
+      pruner.zones = &exec->zones->dims[h.fact_dim];
+      pruner.pass_prefix.resize(h.pass.size() + 1);
+      pruner.pass_prefix[0] = 0;
+      for (size_t i = 0; i < h.pass.size(); ++i) {
+        pruner.pass_prefix[i + 1] =
+            pruner.pass_prefix[i] + (h.pass[i] ? 1 : 0);
+      }
+      pruners.push_back(std::move(pruner));
+    }
+    for (int64_t m = 0; m < num_morsels; ++m) {
+      bool runnable = true;
+      for (const Pruner& pruner : pruners) {
+        const ZoneRange& zone = (*pruner.zones)[m];
+        if (pruner.pass_prefix[zone.max + 1] -
+                pruner.pass_prefix[zone.min] ==
+            0) {
+          runnable = false;
+          break;
+        }
+      }
+      if (runnable) work.push_back(m);
+    }
+  } else {
+    for (int64_t m = 0; m < num_morsels; ++m) work.push_back(m);
+  }
+  exec->scanned = work.size();
+  exec->skipped = static_cast<uint64_t>(num_morsels) - work.size();
+
+  auto make_state = [](const Compiled& comp, const ConsumerScan& consumer) {
+    AggState state;
+    state.out_coords.resize(comp.grouped.size());
+    state.acc.resize(consumer.measures.size());
+    state.cnt.resize(consumer.measures.size());
+    return state;
+  };
+  std::vector<std::vector<AggState>> partials(num_consumers);
+  for (int c = 0; c < num_consumers; ++c) {
+    partials[c].reserve(work.size());
+    for (size_t i = 0; i < work.size(); ++i) {
+      partials[c].push_back(make_state(compiled[c], consumers[c]));
+    }
+  }
+
+  if (!work.empty()) {
+    auto task = [&](int64_t i) -> Status {
+      const int64_t begin = work[i] * kMorselRows;
+      const int64_t end = std::min(rows, begin + kMorselRows);
+      const int64_t n = end - begin;
+      // One gather per packed FK column, shared by every fused consumer.
+      // Columns only compacted consumers read skip the full gather (see
+      // decode_full) and are point-decoded at the selected rows below.
+      std::vector<std::vector<int32_t>> scratch(decode.size());
+      for (size_t d = 0; d < decode.size(); ++d) {
+        if (!decode_full[d]) continue;
+        scratch[d].resize(static_cast<size_t>(n));
+        DecodePackedCodes(*decode[d], begin, end, scratch[d].data());
+      }
+      // The shared conjunction, tested once: `sel` holds the morsel-relative
+      // indices of passing rows, in order. Everything a compacted consumer
+      // reads is then gathered down to those rows once.
+      std::unique_ptr<int32_t[]> sel_storage;  // default-init, no memset
+      const int32_t* sel = nullptr;
+      std::vector<std::vector<int32_t>> cscratch;
+      std::vector<std::vector<int32_t>> cdirect;
+      std::vector<std::vector<double>> cmeas;
+      int64_t n_pass = 0;
+      if (any_compact) {
+        sel_storage.reset(new int32_t[static_cast<size_t>(n)]);
+        int32_t* out = sel_storage.get();
+        sel = out;
+        // Chunked test: packed sel columns decode into an L1-resident
+        // buffer, so the conjunction pass streams the packed bytes once
+        // without a morsel-wide scratch round trip.
+        constexpr int64_t kSelChunk = 4096;
+        std::vector<std::vector<int32_t>> sel_buf(sel_columns.size());
+        for (size_t ci = 0; ci < sel_columns.size(); ++ci) {
+          if (sel_columns[ci].packed != nullptr) {
+            sel_buf[ci].resize(kSelChunk);
+          }
+        }
+        for (int64_t r0 = 0; r0 < n; r0 += kSelChunk) {
+          const int64_t len = std::min(kSelChunk, n - r0);
+          for (size_t ci = 0; ci < sel_columns.size(); ++ci) {
+            const SelColumn& sc = sel_columns[ci];
+            if (sc.packed != nullptr) {
+              DecodePackedCodes(*sc.packed, begin + r0, begin + r0 + len,
+                                sel_buf[ci].data());
+            }
+          }
+          if (sel_columns.size() == 1) {
+            // The common shape (one predicated hierarchy): a tight
+            // two-array loop the compiler can keep branch-cheap.
+            const SelColumn& sc = sel_columns[0];
+            const uint8_t* pass = sc.pass->data();
+            const int32_t* codes = sc.packed != nullptr
+                                       ? sel_buf[0].data()
+                                       : sc.codes + begin + r0;
+            for (int64_t r = 0; r < len; ++r) {
+              if (pass[codes[r]]) {
+                out[n_pass++] = static_cast<int32_t>(r0 + r);
+              }
+            }
+          } else {
+            for (int64_t r = 0; r < len; ++r) {
+              bool ok = true;
+              for (size_t ci = 0; ci < sel_columns.size(); ++ci) {
+                const SelColumn& sc = sel_columns[ci];
+                const int32_t code = sc.packed != nullptr
+                                         ? sel_buf[ci][r]
+                                         : sc.codes[begin + r0 + r];
+                if (!(*sc.pass)[code]) {
+                  ok = false;
+                  break;
+                }
+              }
+              if (ok) out[n_pass++] = static_cast<int32_t>(r0 + r);
+            }
+          }
+        }
+        const size_t np = static_cast<size_t>(n_pass);
+        cscratch.resize(decode.size());
+        for (size_t d = 0; d < decode.size(); ++d) {
+          cscratch[d].resize(np);
+          if (decode_full[d]) {
+            for (size_t k = 0; k < np; ++k) {
+              cscratch[d][k] = scratch[d][sel[k]];
+            }
+          } else {
+            for (size_t k = 0; k < np; ++k) {
+              cscratch[d][k] = decode[d]->CodeAt(begin + sel[k]);
+            }
+          }
+        }
+        cdirect.resize(direct.size());
+        for (size_t d = 0; d < direct.size(); ++d) {
+          cdirect[d].resize(np);
+          for (size_t k = 0; k < np; ++k) {
+            cdirect[d][k] = direct[d][begin + sel[k]];
+          }
+        }
+        cmeas.resize(msources.size());
+        for (size_t d = 0; d < msources.size(); ++d) {
+          cmeas[d].resize(np);
+          for (size_t k = 0; k < np; ++k) {
+            cmeas[d][k] = msources[d][begin + sel[k]];
+          }
+        }
+      }
+      for (int c = 0; c < num_consumers; ++c) {
+        const Compiled& comp = compiled[c];
+        if (comp.fused && comp.compact && any_compact) {
+          if (n_pass > 0) {
+            FusedScanArgs args = comp.args;
+            for (size_t j = 0; j < args.columns.size(); ++j) {
+              args.columns[j].packed = nullptr;
+              args.columns[j].codes32 =
+                  comp.scratch_of[j] >= 0
+                      ? cscratch[comp.scratch_of[j]].data()
+                      : cdirect[comp.direct_of[j]].data();
+            }
+            for (size_t m = 0; m < args.measures.size(); ++m) {
+              if (comp.msource_of[m] >= 0) {
+                args.measures[m].source = cmeas[comp.msource_of[m]].data();
+              }
+            }
+            fused_fn(args, 0, n_pass, &partials[c][i]);
+          }
+          if (c == 0) {
+            // Selectivity truth: the shared test visited every row; the
+            // kernel only saw the survivors.
+            partials[0][i].rows_visited += n - n_pass;
+            partials[0][i].rows_passed = n_pass;
+          }
+        } else if (comp.fused) {
+          FusedScanArgs args = comp.args;
+          for (size_t j = 0; j < args.columns.size(); ++j) {
+            if (comp.scratch_of[j] >= 0) {
+              args.columns[j].packed = nullptr;
+              args.columns[j].codes32 = scratch[comp.scratch_of[j]].data();
+            } else {
+              args.columns[j].codes32 += begin;
+            }
+          }
+          for (KernelMeasure& km : args.measures) {
+            if (km.source != nullptr) km.source += begin;
+          }
+          fused_fn(args, 0, n, &partials[c][i]);
+        } else {
+          AggregateRange(begin, end, compiled[c].needed, compiled[c].grouped,
+                         consumers[c].measures, &partials[c][i]);
+        }
+      }
+      return Status::OK();
+    };
+    if (exec->pool != nullptr) {
+      ASSESS_RETURN_NOT_OK(exec->pool->RunMorsels(
+          static_cast<int64_t>(work.size()), exec->max_threads, task));
+    } else {
+      for (size_t i = 0; i < work.size(); ++i) {
+        ASSESS_RETURN_NOT_OK(task(static_cast<int64_t>(i)));
+      }
+    }
+  }
+  // Selectivity accounting from consumer 0: the gather is shared, so the
+  // scan visits each surviving row once regardless of consumer count.
+  if (num_consumers > 0) {
+    for (const AggState& partial : partials[0]) {
+      exec->rows_visited += partial.rows_visited;
+      exec->rows_passed += partial.rows_passed;
+    }
+  }
+  CountKernelDispatch(*exec);
+
+  std::vector<Cube> out;
+  out.reserve(num_consumers);
+  for (int c = 0; c < num_consumers; ++c) {
+    const Compiled& comp = compiled[c];
+    const std::vector<MeasureScanPlan>& measures = consumers[c].measures;
+    const int num_measures = static_cast<int>(measures.size());
+    AggState result_state;
+    if (work.size() == 1) {
+      result_state = std::move(partials[c][0]);
+    } else {
+      result_state = make_state(comp, consumers[c]);
+      for (const AggState& partial : partials[c]) {
+        MergeAggStates(comp.grouped, measures, partial, &result_state);
+      }
+    }
+    for (int m = 0; m < num_measures; ++m) {
+      if (measures[m].op != AggOp::kAvg) continue;
+      for (int32_t gi = 0; gi < result_state.num_groups; ++gi) {
+        result_state.acc[m][gi] =
+            result_state.cnt[m][gi] > 0
+                ? result_state.acc[m][gi] / result_state.cnt[m][gi]
+                : kNullMeasure;
+      }
+    }
+    std::vector<LevelRef> out_levels;
+    out_levels.reserve(comp.grouped.size());
+    for (HierScanPlan* h : comp.grouped) {
+      out_levels.push_back(LevelRef{h->hierarchy, h->group_level});
+    }
+    std::vector<std::string> out_names;
+    out_names.reserve(num_measures);
+    for (const MeasureScanPlan& m : measures) out_names.push_back(m.name);
+    out.push_back(Cube::FromColumns(std::move(out_levels),
+                                    std::move(result_state.out_coords),
+                                    std::move(out_names),
+                                    std::move(result_state.acc)));
+  }
+  return out;
+}
+
 // Answers `query` by re-aggregating `data`, a selection-free-or-weaker
 // result pre-aggregated at `data_group_by` (a materialized view or a cached
 // cube). `preds` holds, partitioned by hierarchy, the predicates still to
@@ -852,6 +1341,133 @@ Result<Cube> StarQueryEngine::AggregateFactRange(const BoundCube& bound,
   }
   AddKernelSpanAttrs(span, exec);
   return result;
+}
+
+Result<std::vector<Cube>> StarQueryEngine::ExecuteSharedScan(
+    const std::vector<CubeQuery>& queries, uint64_t pinned_epoch) const {
+  if (queries.empty()) return std::vector<Cube>();
+  ASSESS_FAILPOINT("mqo.shared_scan");
+  ASSESS_ASSIGN_OR_RETURN(const BoundCube* bound,
+                          db_->Find(queries[0].cube_name));
+  const CubeSchema& schema = bound->schema();
+
+  // Validate the group contract: one cube, one canonical predicate
+  // conjunction. Violations are collector bugs, not user errors.
+  std::vector<CanonicalQuery> canons;
+  canons.reserve(queries.size());
+  std::string shared_pred_key;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const CubeQuery& q = queries[i];
+    if (q.cube_name != queries[0].cube_name) {
+      return Status::Internal("shared scan mixes cubes");
+    }
+    if (q.group_by.Arity() > 16) {
+      return Status::NotSupported("group-by sets beyond 16 levels");
+    }
+    for (const Predicate& p : q.predicates) {
+      if (p.hierarchy < 0 || p.hierarchy >= schema.hierarchy_count()) {
+        return Status::InvalidArgument("predicate on unknown hierarchy");
+      }
+    }
+    CanonicalQuery canon = CanonicalizeQuery(q);
+    std::string pred_key;
+    for (const Predicate& p : canon.predicates) pred_key += PredicateKey(p);
+    if (i == 0) {
+      shared_pred_key = std::move(pred_key);
+    } else if (pred_key != shared_pred_key) {
+      return Status::Internal("shared scan mixes predicate conjunctions");
+    }
+    canons.push_back(std::move(canon));
+  }
+
+  const FactTable& facts = bound->facts();
+  FactSnapshot snap = facts.Snapshot();
+  if (pinned_epoch != 0 && snap.epoch != pinned_epoch) {
+    return Status::Unavailable(
+        "shared scan epoch changed (an ingest raced the batch)");
+  }
+  facts.EnsureDerived(&snap);
+  const int64_t rows = snap.rows;
+
+  Span span("engine.shared_scan");
+  if (span.active()) {
+    span.AddString("cube", queries[0].cube_name);
+    span.AddInt("queries", static_cast<int64_t>(queries.size()));
+    span.AddInt("rows", rows);
+    span.AddInt("epoch", static_cast<int64_t>(snap.epoch));
+  }
+
+  // Compile each consumer's fact-scan plan. Views are deliberately
+  // bypassed: every consumer must aggregate the same source rows for the
+  // shared gather to be the one scan they all ride.
+  std::vector<ConsumerScan> consumers;
+  consumers.reserve(queries.size());
+  for (const CubeQuery& query : queries) {
+    std::vector<std::vector<Predicate>> preds(schema.hierarchy_count());
+    for (const Predicate& p : query.predicates) {
+      preds[p.hierarchy].push_back(p);
+    }
+    ConsumerScan consumer;
+    for (int h = 0; h < schema.hierarchy_count(); ++h) {
+      bool grouped = query.group_by.HasHierarchy(h);
+      if (!grouped && preds[h].empty()) continue;
+      const DimensionTable& dim = bound->dimension(h);
+      HierScanPlan plan;
+      plan.hierarchy = schema.hierarchy_ptr(h);
+      plan.grouped = grouped;
+      plan.codes = snap.fk[h];
+      plan.packed = &snap.derived->packed.dims[h];
+      plan.code_domain = dim.NumRows();
+      plan.fact_dim = h;
+      if (grouped) {
+        plan.group_level = query.group_by.LevelOf(h);
+        plan.external_group_code = &dim.level_column(plan.group_level);
+      }
+      if (!preds[h].empty()) {
+        ASSESS_ASSIGN_OR_RETURN(plan.pass,
+                                BuildDimensionRowFlags(dim, preds[h]));
+      }
+      consumer.hiers.push_back(std::move(plan));
+    }
+    for (int m : query.measures) {
+      const MeasureDef& def = schema.measure(m);
+      MeasureScanPlan mp;
+      mp.source = snap.measures[m];
+      mp.op = def.op;
+      mp.name = def.name;
+      consumer.measures.push_back(std::move(mp));
+    }
+    consumers.push_back(std::move(consumer));
+  }
+
+  MorselExec exec{pool_.get(), threads_};
+  bool predicated = false;
+  for (const HierScanPlan& h : consumers[0].hiers) {
+    if (!h.pass.empty()) predicated = true;
+  }
+  if (predicated && rows > kMorselRows) {
+    exec.zones = &snap.derived->zones;
+  }
+  auto result = AggregateShared(rows, consumers, &exec);
+  CountMorsels(exec.scanned, exec.skipped);
+  if (span.active()) {
+    span.AddInt("morsels_scanned", static_cast<int64_t>(exec.scanned));
+    span.AddInt("morsels_skipped", static_cast<int64_t>(exec.skipped));
+  }
+  AddKernelSpanAttrs(span, exec);
+  ASSESS_ASSIGN_OR_RETURN(std::vector<Cube> cubes, std::move(result));
+
+  // Seed the result cache: one insert per consumer, keyed exactly as the
+  // solo path would key it, so batch members executing right after the
+  // shared scan take exact hits.
+  if (cache_ != nullptr) {
+    for (size_t i = 0; i < cubes.size(); ++i) {
+      canons[i].epoch = snap.epoch;
+      std::string key = FingerprintKey(canons[i]);
+      cache_->Insert(key, std::move(canons[i]), cubes[i]);
+    }
+  }
+  return cubes;
 }
 
 Result<Cube> StarQueryEngine::ExecuteJoined(

@@ -136,6 +136,23 @@ class StarQueryEngine {
   Result<Cube> ExecutePivoted(const CubeQuery& query_all,
                               const PivotSpec& spec) const;
 
+  /// \brief Multi-query shared scan (the server's MQO layer): executes every
+  /// query in `queries` — all on one cube, all with the same canonical
+  /// predicate conjunction, group-bys free to differ — in a single fused
+  /// morsel pass over the fact table. Each packed FK column is gathered once
+  /// per morsel and feeds every consumer's accumulator set; per-consumer
+  /// partials merge in morsel index order, so each result is bit-identical
+  /// to running that query alone through Execute() against the same
+  /// snapshot. Results are inserted into the result cache (when enabled)
+  /// and returned in input order.
+  ///
+  /// `pinned_epoch` is the fact epoch the batch planned against; when
+  /// nonzero and the table has advanced past it, Unavailable is returned
+  /// (the caller falls back to unbatched execution). Views are deliberately
+  /// bypassed: all consumers must read the same source rows.
+  Result<std::vector<Cube>> ExecuteSharedScan(
+      const std::vector<CubeQuery>& queries, uint64_t pinned_epoch) const;
+
   /// \brief Materializes an aggregate view of `cube_name` at `level_names`
   /// (no predicates, all measures) and attaches it to the cube. Returns the
   /// number of rows in the view.

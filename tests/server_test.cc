@@ -495,7 +495,7 @@ TEST_F(ServerTest, StopDrainsInFlightRequests) {
 // Stats wire v5 + observability surfaces.
 // ---------------------------------------------------------------------------
 
-TEST(ServerStatsWire, V5RoundTripsEveryField) {
+TEST(ServerStatsWire, V6RoundTripsEveryField) {
   ServerStats stats;
   stats.total_requests = 101;
   stats.ok_responses = 90;
@@ -532,11 +532,15 @@ TEST(ServerStatsWire, V5RoundTripsEveryField) {
   stats.checkpoints = 2;
   stats.recovery_replayed_records = 21;
   stats.recovery_truncated_bytes = 13;
+  stats.mqo_batches = 19;
+  stats.mqo_queries_batched = 77;
+  stats.mqo_shared_scans = 23;
+  stats.mqo_queries_piggybacked = 31;
 
   std::string wire = stats.Serialize();
   ASSERT_GE(wire.size(), 2u);
   EXPECT_EQ(wire[0], 'T');
-  EXPECT_EQ(wire[1], 0x05);
+  EXPECT_EQ(wire[1], 0x06);
 
   auto decoded = ServerStats::Deserialize(wire);
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
@@ -562,12 +566,39 @@ TEST(ServerStatsWire, V5RoundTripsEveryField) {
             stats.recovery_replayed_records);
   EXPECT_EQ(decoded->recovery_truncated_bytes,
             stats.recovery_truncated_bytes);
+  EXPECT_EQ(decoded->mqo_batches, stats.mqo_batches);
+  EXPECT_EQ(decoded->mqo_queries_batched, stats.mqo_queries_batched);
+  EXPECT_EQ(decoded->mqo_shared_scans, stats.mqo_shared_scans);
+  EXPECT_EQ(decoded->mqo_queries_piggybacked, stats.mqo_queries_piggybacked);
   // The human rendering carries the new counters too.
   EXPECT_NE(stats.ToString().find("slow queries"), std::string::npos);
   EXPECT_NE(stats.ToString().find("wal:"), std::string::npos);
+  EXPECT_NE(stats.ToString().find("mqo:"), std::string::npos);
 
   // Trailing garbage is still rejected.
   EXPECT_FALSE(ServerStats::Deserialize(wire + "x").ok());
+}
+
+TEST(ServerStatsWire, AcceptsV5PayloadsWithZeroMqoFields) {
+  // A v5 payload from a pre-MQO peer: the MQO counter group is simply
+  // absent and decodes as zeros.
+  std::string v5;
+  v5.push_back('T');
+  v5.push_back(0x05);
+  v5.append(9, '\0');   // request/load varints
+  v5.append(24, '\0');  // p50/p90/p99 doubles
+  v5.append(6, '\0');   // cache varints
+  v5.append(4, '\0');   // pool varints
+  v5.append(4, '\0');   // v3 observability varints
+  v5.append(3, '\0');   // v4 ingest varints
+  v5.append(6, '\0');   // v5 durability varints
+  auto decoded = ServerStats::Deserialize(v5);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->mqo_batches, 0u);
+  EXPECT_EQ(decoded->mqo_queries_batched, 0u);
+  EXPECT_EQ(decoded->mqo_shared_scans, 0u);
+  EXPECT_EQ(decoded->mqo_queries_piggybacked, 0u);
+  EXPECT_FALSE(ServerStats::Deserialize(v5 + '\0').ok());
 }
 
 TEST(ServerStatsWire, AcceptsV4PayloadsWithZeroWalFields) {
