@@ -72,6 +72,7 @@ AssessClient::AssessClient(AssessClient&& other) noexcept
       options_(other.options_),
       rng_(other.rng_),
       prev_backoff_ms_(other.prev_backoff_ms_),
+      last_trace_id_(other.last_trace_id_),
       fd_(std::exchange(other.fd_, -1)) {}
 
 AssessClient& AssessClient::operator=(AssessClient&& other) noexcept {
@@ -82,6 +83,7 @@ AssessClient& AssessClient::operator=(AssessClient&& other) noexcept {
     options_ = other.options_;
     rng_ = other.rng_;
     prev_backoff_ms_ = other.prev_backoff_ms_;
+    last_trace_id_ = other.last_trace_id_;
     fd_ = std::exchange(other.fd_, -1);
   }
   return *this;
@@ -110,10 +112,18 @@ uint64_t AssessClient::NextRequestId() {
   return id;
 }
 
+uint64_t AssessClient::NextTraceId() {
+  if (!options_.trace_ids) return 0;
+  uint64_t id = 0;
+  while (id == 0) id = rng_.Next();  // 0 means "untraced" on the wire
+  return id;
+}
+
 Status AssessClient::RoundTrip(FrameType request, std::string_view payload,
-                               FrameType expected, std::string* response) {
+                               FrameType expected, std::string* response,
+                               uint64_t trace_id) {
   if (fd_ < 0) return Status::Unavailable("client is not connected");
-  Status written = WriteFrame(fd_, request, payload);
+  Status written = WriteFrame(fd_, request, payload, trace_id);
   if (!written.ok()) {
     Close();  // a half-sent frame desynchronizes the stream
     return written;
@@ -151,12 +161,15 @@ Status AssessClient::RoundTrip(FrameType request, std::string_view payload,
 Status AssessClient::RoundTripWithRetry(FrameType request,
                                         std::string_view payload,
                                         FrameType expected,
-                                        std::string* response) {
+                                        std::string* response,
+                                        uint64_t trace_id) {
   prev_backoff_ms_ = 0;
   Status last = Status::OK();
   for (int attempt = 0;; ++attempt) {
     last = EnsureConnected();
-    if (last.ok()) last = RoundTrip(request, payload, expected, response);
+    if (last.ok()) {
+      last = RoundTrip(request, payload, expected, response, trace_id);
+    }
     if (last.ok() || !IsRetryable(last) || attempt >= options_.max_retries) {
       return last;
     }
@@ -173,11 +186,15 @@ Status AssessClient::RoundTripWithRetry(FrameType request,
 
 Result<AssessResult> AssessClient::Query(std::string_view statement) {
   // One id for all attempts of this call: a retry after a lost *response*
-  // replays the stored result server-side instead of executing twice.
+  // replays the stored result server-side instead of executing twice. The
+  // trace id is likewise minted once per call, so every retry of this
+  // query tells the same story in the server's trace artifacts.
   std::string request = EncodeQueryPayload(NextRequestId(), statement);
+  last_trace_id_ = NextTraceId();
   std::string payload;
   ASSESS_RETURN_NOT_OK(RoundTripWithRetry(FrameType::kQuery, request,
-                                          FrameType::kResult, &payload));
+                                          FrameType::kResult, &payload,
+                                          last_trace_id_));
   return DeserializeAssessResult(payload);
 }
 
@@ -195,14 +212,23 @@ Result<std::string> AssessClient::Metrics() {
   return payload;
 }
 
+Result<std::string> AssessClient::Workload() {
+  std::string payload;
+  ASSESS_RETURN_NOT_OK(RoundTripWithRetry(
+      FrameType::kWorkload, {}, FrameType::kWorkloadReply, &payload));
+  return payload;
+}
+
 Result<std::string> AssessClient::ExplainAnalyze(std::string_view statement) {
   // Deliberately no retry loop: a timing measurement that silently ran
   // twice would be misleading, and the statement may be expensive.
   ASSESS_RETURN_NOT_OK(EnsureConnected());
   std::string request = EncodeQueryPayload(NextRequestId(), statement);
+  last_trace_id_ = NextTraceId();
   std::string payload;
   ASSESS_RETURN_NOT_OK(RoundTrip(FrameType::kExplainAnalyze, request,
-                                 FrameType::kExplainReply, &payload));
+                                 FrameType::kExplainReply, &payload,
+                                 last_trace_id_));
   return payload;
 }
 

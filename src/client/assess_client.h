@@ -35,6 +35,13 @@ struct ClientOptions {
   /// Seed for the backoff jitter and the request-id stream; 0 derives one
   /// from the wall clock (tests pass a fixed seed for reproducibility).
   uint64_t seed = 0;
+  /// Attach a client-generated 64-bit trace id to every Query() and
+  /// ExplainAnalyze() frame (read it back via last_trace_id()). The server
+  /// roots its span tree under the id and stamps it into the slow-query
+  /// log, error replies and /traces, so one id joins the client's view of
+  /// a query with every server-side artifact it produced. Disable when
+  /// talking to a pre-trace server: old decoders reject the flagged frame.
+  bool trace_ids = true;
   /// Frame cap this client enforces on responses.
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
 };
@@ -95,6 +102,11 @@ class AssessClient {
   /// (retryable, like Stats()).
   Result<std::string> Metrics();
 
+  /// \brief Fetches the server's workload profile + MV-advisor report as
+  /// rendered text (retryable, like Stats()). Empty-ish when the server
+  /// runs with --workload-profile=off.
+  Result<std::string> Workload();
+
   /// \brief Runs `statement` on the server under EXPLAIN ANALYZE and returns
   /// the rendered span tree + phase breakdown. Never retried and never
   /// deduplicated: every call re-executes and re-measures. Fails with
@@ -126,6 +138,13 @@ class AssessClient {
 
   bool connected() const { return fd_ >= 0; }
 
+  /// \brief The trace id attached to the most recent Query() /
+  /// ExplainAnalyze() call (all retries of one call share one id), or 0
+  /// when ClientOptions::trace_ids is off. Quote it when filing a slow
+  /// query: the server's log line, error reply and /traces entry carry
+  /// the same id.
+  uint64_t last_trace_id() const { return last_trace_id_; }
+
  private:
   AssessClient(std::string host, uint16_t port, const ClientOptions& options);
 
@@ -136,20 +155,25 @@ class AssessClient {
   /// Sends `request` and reads the single response frame, enforcing the
   /// expected response type and decoding kError payloads into their Status.
   Status RoundTrip(FrameType request, std::string_view payload,
-                   FrameType expected, std::string* response);
+                   FrameType expected, std::string* response,
+                   uint64_t trace_id = 0);
 
   /// EnsureConnected + RoundTrip under the retry policy: retryable failures
   /// reconnect and retry with decorrelated-jitter backoff.
   Status RoundTripWithRetry(FrameType request, std::string_view payload,
-                            FrameType expected, std::string* response);
+                            FrameType expected, std::string* response,
+                            uint64_t trace_id = 0);
 
   uint64_t NextRequestId();
+  /// A fresh nonzero trace id, or 0 when ClientOptions::trace_ids is off.
+  uint64_t NextTraceId();
 
   std::string host_;
   uint16_t port_ = 0;
   ClientOptions options_;
   Rng rng_;
   int64_t prev_backoff_ms_ = 0;
+  uint64_t last_trace_id_ = 0;
   int fd_ = -1;
 };
 

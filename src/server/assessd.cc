@@ -17,6 +17,7 @@
 #include "common/failpoint.h"
 #include "common/task_pool.h"
 #include "ingest/ingestor.h"
+#include "server/http_obs.h"
 #include "wal/durability.h"
 
 namespace assess {
@@ -41,6 +42,45 @@ Status FailpointStatus(const char* name) {
   return Status::OK();
 }
 
+/// Canonical rendering of a trace id everywhere it is surfaced (slow-query
+/// log, error replies, \analyze output, /traces) — one format, greppable.
+std::string TraceIdHex(uint64_t trace_id) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(trace_id));
+  return buf;
+}
+
+void JsonEscapeInto(std::string* out, const std::string& in) {
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
 }  // namespace
 
 struct AssessServer::Connection {
@@ -60,6 +100,10 @@ struct AssessServer::Request {
   std::string ingest_cube;
   IngestFormat ingest_format = IngestFormat::kCsv;
   bool ingest_auto_insert = false;
+  /// Client-generated trace id from the frame header (0 = untraced). Stamped
+  /// into the root span, the slow-query log, error replies and \analyze
+  /// output, so the client's view joins to the server's.
+  uint64_t trace_id = 0;
   Clock::time_point admitted;
   /// Set by the MQO collector when this request rode a shared scan
   /// ("mqo: shared scan with N queries"). Surfaced by EXPLAIN ANALYZE only;
@@ -91,6 +135,12 @@ Status AssessServer::Start() {
   // worker set instead of each sizing itself to the whole machine, so N
   // concurrent sessions cannot oversubscribe into N × cores scan threads.
   if (!options_.engine.pool) options_.engine.pool = TaskPool::Shared();
+  // Workload profiling: every session's engine (and the MQO collector's)
+  // records into this server's profile store. The kill switch only
+  // disables recording — the store, \workload and /workload stay wired so
+  // an operator sees an explicitly empty profile, not a missing feature.
+  profiler_.set_enabled(options_.workload_profile);
+  options_.engine.profiler = &profiler_;
   // The MQO collector shares the sessions' cache and pool (installed just
   // above), so its shared scans seed exactly the entries sessions look up.
   if (options_.mqo_window_us > 0) {
@@ -131,6 +181,32 @@ Status AssessServer::Start() {
       ListenOn(options_.host, options_.port, options_.listen_backlog));
   listen_fd_ = listener.fd;
   port_ = listener.port;
+
+  // Observability HTTP listener (own acceptor thread, read-only). Stopped
+  // at the very END of Stop(), so /healthz answers 503 all through the
+  // drain instead of refusing connections while requests still finish.
+  if (options_.http_port >= 0) {
+    HttpObsOptions http_options;
+    http_options.host = options_.host;
+    http_options.port = static_cast<uint16_t>(options_.http_port);
+    HttpObsServer::Handlers handlers;
+    handlers.metrics = [this] { return RenderMetrics(); };
+    handlers.healthy = [this] {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      return !stopping_;
+    };
+    handlers.workload = [this] { return profiler_.BuildReport().ToJson(); };
+    handlers.traces = [this] { return RenderTracesJson(); };
+    http_ = std::make_unique<HttpObsServer>(std::move(http_options),
+                                            std::move(handlers));
+    Status http_started = http_->Start();
+    if (!http_started.ok()) {
+      http_.reset();
+      CloseSocket(listen_fd_);
+      listen_fd_ = -1;
+      return http_started.WithContext("observability http listener");
+    }
+  }
 
   workers_.reserve(workers);
   for (int i = 0; i < workers; ++i) {
@@ -206,6 +282,14 @@ void AssessServer::Stop() {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
+  // 7. Retire the observability listener last: through the whole drain
+  //    above, /healthz kept answering 503 so orchestrators saw "alive but
+  //    not ready" rather than connection refused.
+  if (http_ != nullptr) http_->Stop();
+}
+
+uint16_t AssessServer::http_port() const {
+  return http_ != nullptr ? http_->port() : 0;
 }
 
 void AssessServer::AcceptLoop() {
@@ -296,8 +380,18 @@ void AssessServer::ReaderLoop(Connection* conn) {
       }
       break;
     }
+    if (frame.trace_id != 0) {
+      trace_ids_received_.fetch_add(1, std::memory_order_relaxed);
+    }
     if (frame.type == FrameType::kPing) {
       if (!WriteFrame(conn->fd, FrameType::kPong, {}).ok()) break;
+      continue;
+    }
+    if (frame.type == FrameType::kWorkload) {
+      if (!WriteFrame(conn->fd, FrameType::kWorkloadReply, RenderWorkload())
+               .ok()) {
+        break;
+      }
       continue;
     }
     if (frame.type == FrameType::kStats) {
@@ -383,6 +477,7 @@ void AssessServer::ReaderLoop(Connection* conn) {
     request.ingest_cube = std::string(ingest_cube);
     request.ingest_format = ingest_format;
     request.ingest_auto_insert = (ingest_flags & kIngestFlagAutoInsert) != 0;
+    request.trace_id = frame.trace_id;
     request.admitted = Clock::now();
     auto response = request.response.get_future();
 
@@ -496,7 +591,12 @@ std::pair<FrameType, std::string> AssessServer::ExecuteRequest(
   auto fail = [&](const Status& status) {
     error_responses_.fetch_add(1, std::memory_order_relaxed);
     error_code = status.code();
-    payload = SerializeStatus(status);
+    // A traced request's error reply carries the trace id, so a client
+    // seeing the failure can quote the exact server-side story to chase.
+    payload = SerializeStatus(
+        request->trace_id != 0
+            ? status.WithContext("trace " + TraceIdHex(request->trace_id))
+            : status);
   };
 
   Status dequeued = FailpointStatus("server.worker_dequeue");
@@ -581,6 +681,9 @@ std::pair<FrameType, std::string> AssessServer::ExecuteRequest(
         payload += "\n";
         payload += request->mqo_note;
       }
+      if (request->trace_id != 0) {
+        payload += "\ntrace: " + TraceIdHex(request->trace_id) + "\n";
+      }
       ok_responses_.fetch_add(1, std::memory_order_relaxed);
     }
   } else {
@@ -596,6 +699,11 @@ std::pair<FrameType, std::string> AssessServer::ExecuteRequest(
       if (!injected.ok()) return {injected};
       TraceContext::Scope scope(traced ? &trace : nullptr);
       Span span("query");
+      // Root the span tree under the client's trace id: the id the client
+      // generated is the id /traces and the slow-query log report.
+      if (span.active() && request->trace_id != 0) {
+        span.AddString("trace_id", TraceIdHex(request->trace_id));
+      }
       return request->conn->session->Query(request->statement);
     }();
     if (overdue()) {
@@ -630,8 +738,10 @@ std::pair<FrameType, std::string> AssessServer::ExecuteRequest(
               .count();
       if (exec_ms >= static_cast<double>(options_.slow_query_ms)) {
         slow_queries_.fetch_add(1, std::memory_order_relaxed);
-        EmitSlowQuery(request->statement, exec_ms, trace);
+        EmitSlowQuery(request->request_id, request->trace_id,
+                      request->statement, exec_ms, trace);
       }
+      RecordTrace(request->trace_id, request->statement, exec_ms, trace);
     }
   }
 
@@ -695,7 +805,8 @@ bool AssessServer::SampleTrace() {
   return trace_sampler_.Sample();
 }
 
-void AssessServer::EmitSlowQuery(const std::string& statement, double ms,
+void AssessServer::EmitSlowQuery(uint64_t request_id, uint64_t trace_id,
+                                 const std::string& statement, double ms,
                                  const TraceContext& trace) {
   // The sink sits behind a failpoint so chaos tests can make it fail or
   // stall: the response is already produced, so a broken sink only moves a
@@ -706,8 +817,62 @@ void AssessServer::EmitSlowQuery(const std::string& statement, double ms,
     return;
   }
   std::string tree = trace.ToTreeString();
-  std::fprintf(stderr, "[assessd] slow query (%.3f ms): %s\n%s", ms,
-               statement.c_str(), tree.c_str());
+  char prefix[160];
+  std::snprintf(prefix, sizeof(prefix),
+                "[assessd] slow query request=%llu trace=%s (%.3f ms): ",
+                static_cast<unsigned long long>(request_id),
+                TraceIdHex(trace_id).c_str(), ms);
+  std::string line = prefix;
+  line += statement;
+  line += "\n";
+  line += tree;
+  if (options_.slow_query_sink) {
+    options_.slow_query_sink(line);
+    return;
+  }
+  std::fprintf(stderr, "%s", line.c_str());
+}
+
+void AssessServer::RecordTrace(uint64_t trace_id, const std::string& statement,
+                               double ms, const TraceContext& trace) {
+  // One ring entry per sampled query: enough identity to join the entry
+  // with the client-side trace id and the slow-query log, plus the full
+  // span tree in Chrome trace_event form for chrome://tracing / Perfetto.
+  std::string entry = "{\"trace_id\":\"";
+  entry += TraceIdHex(trace_id);
+  entry += "\",\"duration_ms\":";
+  char num[48];
+  std::snprintf(num, sizeof(num), "%.3f", ms);
+  entry += num;
+  entry += ",\"statement\":\"";
+  JsonEscapeInto(&entry, statement);
+  entry += "\",\"trace\":";
+  entry += trace.ToChromeTrace();
+  entry += "}";
+  std::lock_guard<std::mutex> lock(ring_mutex_);
+  trace_ring_.push_back(std::move(entry));
+  while (trace_ring_.size() > options_.trace_ring_entries) {
+    trace_ring_.pop_front();
+  }
+}
+
+std::string AssessServer::RenderTracesJson() const {
+  std::string out = "{\"traces\":[";
+  {
+    std::lock_guard<std::mutex> lock(ring_mutex_);
+    bool first = true;
+    for (const std::string& entry : trace_ring_) {
+      if (!first) out += ",";
+      first = false;
+      out += entry;
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+std::string AssessServer::RenderWorkload() const {
+  return profiler_.BuildReport().ToText();
 }
 
 ServerStats AssessServer::Snapshot() const {
@@ -773,6 +938,10 @@ ServerStats AssessServer::Snapshot() const {
     stats.recovery_replayed_records = rec.replayed_records;
     stats.recovery_truncated_bytes = rec.truncated_bytes;
   }
+  stats.workload_fingerprints = profiler_.fingerprints();
+  stats.workload_evictions = profiler_.evicted_fingerprints();
+  stats.http_requests = http_ != nullptr ? http_->requests() : 0;
+  stats.trace_ids_received = trace_ids_received_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -821,6 +990,31 @@ std::string AssessServer::RenderMetrics() const {
     counter("assessd_mqo_queries_piggybacked_total",
             "Queries answered by a batch-mate's shared scan",
             mqo.queries_piggybacked);
+  }
+  counter("assessd_http_requests_total",
+          "Observability HTTP requests served, error responses included",
+          http_ != nullptr ? http_->requests() : 0);
+  counter("assessd_trace_ids_received_total",
+          "Query frames carrying a client-generated trace id",
+          trace_ids_received_.load(std::memory_order_relaxed));
+  counter("assessd_workload_queries_total",
+          "Queries folded into the workload profile",
+          profiler_.total_queries());
+  counter("assessd_workload_evictions_total",
+          "Workload fingerprints evicted by the LRU cap",
+          profiler_.evicted_fingerprints());
+  counter("assessd_workload_dropped_samples_total",
+          "Workload samples dropped by the obs.profile failpoint",
+          profiler_.dropped_samples());
+  {
+    const char* name = "assessd_workload_fingerprints";
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "# HELP %s Distinct query fingerprints currently profiled\n"
+                  "# TYPE %s gauge\n%s %llu\n",
+                  name, name, name,
+                  static_cast<unsigned long long>(profiler_.fingerprints()));
+    out += buf;
   }
   return out;
 }

@@ -18,6 +18,7 @@
 #include "ingest/ingest.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/workload_profiler.h"
 #include "server/mqo.h"
 #include "server/protocol.h"
 #include "storage/star_schema.h"
@@ -25,6 +26,7 @@
 namespace assess {
 
 class DurabilityManager;
+class HttpObsServer;
 
 /// \brief Tuning knobs of an AssessServer.
 struct ServerOptions {
@@ -67,6 +69,20 @@ struct ServerOptions {
   /// seed always trace the same request sequence.
   double trace_sample = 1.0;
   uint64_t trace_seed = 1;
+  /// Test hook for the slow-query log: when set, the formatted log line is
+  /// handed here instead of being printed to stderr — the way the
+  /// end-to-end trace-correlation test reads the line back.
+  std::function<void(const std::string&)> slow_query_sink;
+  /// How many recent sampled span trees the /traces ring buffer keeps.
+  size_t trace_ring_entries = 32;
+  /// Observability HTTP listener (assessd --http-port): serves /metrics,
+  /// /healthz, /workload and /traces on `host`. < 0 (the default) disables
+  /// it; 0 binds an ephemeral port readable from http_port().
+  int http_port = -1;
+  /// Workload profiling kill switch (assessd --workload-profile=off):
+  /// when false, queries are not recorded into the workload profile and
+  /// \workload / /workload report an empty profile.
+  bool workload_profile = true;
   /// Multi-query optimization: queries are held for this micro-batch window
   /// (measured from the oldest held request) so concurrent statements whose
   /// planned `get` subplans share a cube, predicate conjunction and fact
@@ -157,6 +173,9 @@ class AssessServer {
   /// \brief The bound port (valid after a successful Start()).
   uint16_t port() const { return port_; }
 
+  /// \brief The observability HTTP listener's bound port (0 when disabled).
+  uint16_t http_port() const;
+
   /// \brief Point-in-time server statistics (what kStats returns).
   ServerStats Snapshot() const;
 
@@ -164,6 +183,17 @@ class AssessServer {
   /// process metrics registry plus this server's own series — the request
   /// latency histogram and the request/trace counters.
   std::string RenderMetrics() const;
+
+  /// \brief The workload-profile + MV-advisor report (what kWorkload and
+  /// the REPL's \workload return).
+  std::string RenderWorkload() const;
+
+  /// \brief The /traces payload: recent sampled span trees, newest last,
+  /// each entry carrying its trace id and a Chrome trace_event object.
+  std::string RenderTracesJson() const;
+
+  /// \brief This server's workload profile (shared by all its sessions).
+  WorkloadProfiler& profiler() { return profiler_; }
 
  private:
   struct Connection;
@@ -190,10 +220,16 @@ class AssessServer {
 
   /// Deterministic sampling decision for one query (trace_mutex_).
   bool SampleTrace();
-  /// Dumps a slow query's span tree to stderr, behind the "trace.emit"
-  /// failpoint: a failing sink only moves a counter, never the response.
-  void EmitSlowQuery(const std::string& statement, double ms,
+  /// Dumps a slow query's span tree — prefixed with the request id and the
+  /// client trace id so the line joins to retries and /traces — to stderr
+  /// (or the slow_query_sink test hook), behind the "trace.emit" failpoint:
+  /// a failing sink only moves a counter, never the response.
+  void EmitSlowQuery(uint64_t request_id, uint64_t trace_id,
+                     const std::string& statement, double ms,
                      const TraceContext& trace);
+  /// Appends one completed sampled trace to the /traces ring buffer.
+  void RecordTrace(uint64_t trace_id, const std::string& statement, double ms,
+                   const TraceContext& trace);
 
   const StarDatabase* db_;
   ServerOptions options_;
@@ -257,6 +293,16 @@ class AssessServer {
   std::atomic<uint64_t> traces_sampled_{0};
   std::atomic<uint64_t> trace_spans_{0};
   std::atomic<uint64_t> trace_emit_failures_{0};
+
+  // Workload intelligence: this server's profile store (every session's
+  // engine records into it; Start() points options_.engine.profiler here),
+  // the observability HTTP listener, the /traces ring and the count of
+  // frames that carried a client trace id.
+  WorkloadProfiler profiler_;
+  std::unique_ptr<HttpObsServer> http_;
+  mutable std::mutex ring_mutex_;
+  std::deque<std::string> trace_ring_;  // rendered JSON entries, newest last
+  std::atomic<uint64_t> trace_ids_received_{0};
 };
 
 }  // namespace assess

@@ -4,6 +4,7 @@
 //           [--engine-threads N] [--queue N] [--timeout-ms N] [--cache-mb N]
 //           [--max-frame-mb N] [--failpoints SPEC] [--failpoint-admin]
 //           [--slow-query-ms N] [--trace-sample X]
+//           [--http-port P] [--workload-profile on|off]
 //           [--mqo-window-us N] [--mqo-max-batch N]
 //           [--ingest] [--ingest-auto-insert] [--ingest-max-errors N]
 //           [--data-dir DIR] [--fsync-mode none|batch|group]
@@ -49,6 +50,7 @@ int Usage(const char* argv0) {
       "          [--timeout-ms N] [--cache-mb N] [--max-frame-mb N]\n"
       "          [--failpoints SPEC] [--failpoint-admin]\n"
       "          [--slow-query-ms N] [--trace-sample X]\n"
+      "          [--http-port P] [--workload-profile on|off]\n"
       "          [--mqo-window-us N] [--mqo-max-batch N]\n"
       "          [--ingest] [--ingest-auto-insert] [--ingest-max-errors N]\n"
       "          [--data-dir DIR] [--fsync-mode none|batch|group]\n"
@@ -64,6 +66,12 @@ int Usage(const char* argv0) {
       "--slow-query-ms dumps the span tree of queries at or over N ms to\n"
       "stderr (needs ASSESS_TRACING=ON); --trace-sample X traces only that\n"
       "fraction of queries (deterministic, default 1).\n"
+      "--http-port serves the read-only observability endpoint on\n"
+      "127.0.0.1:P (/metrics Prometheus exposition, /healthz drain-aware\n"
+      "health, /workload profile + MV-advisor report, /traces recent span\n"
+      "trees); 0 binds an ephemeral port. Off without the flag.\n"
+      "--workload-profile=off disables the per-fingerprint workload\n"
+      "profiler (kill switch; default on).\n"
       "--mqo-window-us holds admitted queries for N microseconds so\n"
       "concurrent statements sharing a cube, selection and fact epoch run\n"
       "as one fused shared scan (multi-query optimization). 0 (default)\n"
@@ -163,6 +171,22 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       options.trace_sample = std::atof(v);
+    } else if (arg == "--http-port") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.http_port = std::atoi(v);
+    } else if (arg == "--workload-profile") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      if (std::strcmp(v, "on") == 0) {
+        options.workload_profile = true;
+      } else if (std::strcmp(v, "off") == 0) {
+        options.workload_profile = false;
+      } else {
+        std::fprintf(stderr,
+                     "assessd: --workload-profile wants 'on' or 'off'\n");
+        return 2;
+      }
     } else if (arg == "--mqo-window-us") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
@@ -275,6 +299,12 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr, "assessd: listening on %s:%u\n", options.host.c_str(),
                server.port());
+  if (options.http_port >= 0) {
+    std::fprintf(stderr,
+                 "assessd: observability http on 127.0.0.1:%u "
+                 "(/metrics /healthz /workload /traces)\n",
+                 server.http_port());
+  }
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);

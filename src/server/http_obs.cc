@@ -1,0 +1,205 @@
+#include "server/http_obs.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "server/protocol.h"
+
+namespace assess {
+namespace {
+
+// Prebuilt error responses: the error path writes these literals straight
+// to the socket and allocates nothing.
+constexpr char kBadRequest[] =
+    "HTTP/1.0 400 Bad Request\r\n"
+    "Content-Type: text/plain\r\n"
+    "Content-Length: 12\r\n"
+    "Connection: close\r\n"
+    "\r\n"
+    "bad request\n";
+constexpr char kNotFound[] =
+    "HTTP/1.0 404 Not Found\r\n"
+    "Content-Type: text/plain\r\n"
+    "Content-Length: 10\r\n"
+    "Connection: close\r\n"
+    "\r\n"
+    "not found\n";
+constexpr char kDraining[] =
+    "HTTP/1.0 503 Service Unavailable\r\n"
+    "Content-Type: text/plain\r\n"
+    "Content-Length: 9\r\n"
+    "Connection: close\r\n"
+    "\r\n"
+    "draining\n";
+constexpr char kHealthy[] =
+    "HTTP/1.0 200 OK\r\n"
+    "Content-Type: text/plain\r\n"
+    "Content-Length: 3\r\n"
+    "Connection: close\r\n"
+    "\r\n"
+    "ok\n";
+
+bool SendAll(int fd, const char* data, size_t len) {
+  size_t written = 0;
+  while (written < len) {
+    ssize_t n = ::send(fd, data + written, len - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void SendStatic(int fd, const char* response, size_t len) {
+  SendAll(fd, response, len);
+}
+
+void SendBody(int fd, const char* content_type, const std::string& body) {
+  char header[160];
+  int n = std::snprintf(header, sizeof(header),
+                        "HTTP/1.0 200 OK\r\n"
+                        "Content-Type: %s\r\n"
+                        "Content-Length: %zu\r\n"
+                        "Connection: close\r\n"
+                        "\r\n",
+                        content_type, body.size());
+  if (n <= 0) return;
+  if (!SendAll(fd, header, static_cast<size_t>(n))) return;
+  SendAll(fd, body.data(), body.size());
+}
+
+}  // namespace
+
+HttpObsServer::HttpObsServer(HttpObsOptions options, Handlers handlers)
+    : options_(std::move(options)), handlers_(std::move(handlers)) {}
+
+HttpObsServer::~HttpObsServer() { Stop(); }
+
+Status HttpObsServer::Start() {
+  if (started_) return Status::InvalidArgument("http listener already started");
+  ASSESS_ASSIGN_OR_RETURN(
+      ListenSocket listener,
+      ListenOn(options_.host, options_.port, options_.listen_backlog));
+  listen_fd_ = listener.fd;
+  port_ = listener.port;
+  started_ = true;
+  thread_ = std::thread(&HttpObsServer::Serve, this);
+  return Status::OK();
+}
+
+void HttpObsServer::Stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  CloseSocket(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void HttpObsServer::Serve() {
+  while (true) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down
+    }
+    timeval recv_timeout{};
+    recv_timeout.tv_sec = options_.recv_timeout_ms / 1000;
+    recv_timeout.tv_usec = (options_.recv_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &recv_timeout,
+                 sizeof(recv_timeout));
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    HandleConnection(fd);
+    CloseSocket(fd);
+  }
+}
+
+void HttpObsServer::HandleConnection(int fd) {
+  // Read until the end of the headers, a fixed cap, or the deadline. The
+  // buffer is on the stack; only the request line is ever parsed.
+  char buf[8192];
+  const size_t cap = options_.max_request_bytes < sizeof(buf)
+                         ? options_.max_request_bytes
+                         : sizeof(buf);
+  size_t have = 0;
+  bool complete = false;
+  while (have < cap) {
+    ssize_t n = ::recv(fd, buf + have, cap - have, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      SendStatic(fd, kBadRequest, sizeof(kBadRequest) - 1);
+      return;  // timeout or error mid-request
+    }
+    if (n == 0) break;
+    have += static_cast<size_t>(n);
+    for (size_t i = 3; i < have; ++i) {
+      if (buf[i - 3] == '\r' && buf[i - 2] == '\n' && buf[i - 1] == '\r' &&
+          buf[i] == '\n') {
+        complete = true;
+        break;
+      }
+    }
+    if (complete) break;
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (!complete) {
+    SendStatic(fd, kBadRequest, sizeof(kBadRequest) - 1);
+    return;
+  }
+
+  // Request line: "GET <path> HTTP/1.x". Anything else is malformed.
+  const char* line_end = static_cast<const char*>(std::memchr(buf, '\r', have));
+  const size_t line_len = static_cast<size_t>(line_end - buf);
+  if (line_len < 14 || std::memcmp(buf, "GET ", 4) != 0) {
+    SendStatic(fd, kBadRequest, sizeof(kBadRequest) - 1);
+    return;
+  }
+  const char* path = buf + 4;
+  const char* path_end =
+      static_cast<const char*>(std::memchr(path, ' ', line_len - 4));
+  if (path_end == nullptr ||
+      std::memcmp(path_end + 1, "HTTP/1.", 7) != 0) {
+    SendStatic(fd, kBadRequest, sizeof(kBadRequest) - 1);
+    return;
+  }
+  const size_t path_len = static_cast<size_t>(path_end - path);
+
+  auto is = [&](const char* route) {
+    return path_len == std::strlen(route) &&
+           std::memcmp(path, route, path_len) == 0;
+  };
+  if (is("/healthz")) {
+    const bool healthy = handlers_.healthy ? handlers_.healthy() : true;
+    if (healthy) {
+      SendStatic(fd, kHealthy, sizeof(kHealthy) - 1);
+    } else {
+      SendStatic(fd, kDraining, sizeof(kDraining) - 1);
+    }
+    return;
+  }
+  if (is("/metrics") && handlers_.metrics) {
+    SendBody(fd, "text/plain; version=0.0.4", handlers_.metrics());
+    return;
+  }
+  if (is("/workload") && handlers_.workload) {
+    SendBody(fd, "application/json", handlers_.workload());
+    return;
+  }
+  if (is("/traces") && handlers_.traces) {
+    SendBody(fd, "application/json", handlers_.traces());
+    return;
+  }
+  SendStatic(fd, kNotFound, sizeof(kNotFound) - 1);
+}
+
+}  // namespace assess

@@ -14,6 +14,7 @@
 #include "common/failpoint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/workload_profiler.h"
 #include "storage/star_schema.h"
 
 namespace assess {
@@ -187,6 +188,7 @@ void MqoCollector::ProcessBatch(std::vector<Held> batch,
       std::vector<const CanonicalQuery*> consumer_canons;
       std::unordered_set<std::string> consumer_fps;
       std::vector<Member> participants;  // consumers + piggybackers
+      std::vector<const CanonicalQuery*> rider_canons;
       size_t piggybacked = 0;
       const CubeSchema* schema = nullptr;
       {
@@ -202,6 +204,7 @@ void MqoCollector::ProcessBatch(std::vector<Held> batch,
         if (consumer_fps.count(get.fingerprint)) {
           ++piggybacked;
           participants.push_back(m);
+          rider_canons.push_back(&get.canon);
           continue;
         }
         if (cache != nullptr && cache->Contains(get.fingerprint)) continue;
@@ -215,6 +218,7 @@ void MqoCollector::ProcessBatch(std::vector<Held> batch,
         if (subsumed) {
           ++piggybacked;
           participants.push_back(m);
+          rider_canons.push_back(&get.canon);
           continue;
         }
         consumer_fps.insert(get.fingerprint);
@@ -239,6 +243,13 @@ void MqoCollector::ProcessBatch(std::vector<Held> batch,
         shared_scans_.fetch_add(1, std::memory_order_relaxed);
         queries_piggybacked_.fetch_add(piggybacked,
                                        std::memory_order_relaxed);
+        // The rider's own Execute() will land as a cache hit; the workload
+        // profile still credits it as MQO demand on its lattice node.
+        if (WorkloadProfiler* profiler = engine_.profiler()) {
+          for (const CanonicalQuery* canon : rider_canons) {
+            profiler->RecordPiggyback(*schema, *canon);
+          }
+        }
         const std::string group_note = SharedScanNote(participants.size());
         for (const Member& m : participants) {
           if (note[m.held].empty()) note[m.held] = group_note;

@@ -93,6 +93,8 @@ bool IsKnownFrameType(uint8_t type) {
     case FrameType::kExplainReply:
     case FrameType::kIngest:
     case FrameType::kIngestReply:
+    case FrameType::kWorkload:
+    case FrameType::kWorkloadReply:
       return true;
   }
   return false;
@@ -100,13 +102,19 @@ bool IsKnownFrameType(uint8_t type) {
 
 }  // namespace
 
-std::string EncodeFrame(FrameType type, std::string_view payload) {
+std::string EncodeFrame(FrameType type, std::string_view payload,
+                        uint64_t trace_id) {
   std::string buf;
-  buf.reserve(9 + payload.size());
+  const size_t id_bytes = trace_id != 0 ? 8 : 0;
+  buf.reserve(9 + id_bytes + payload.size());
   char header[5];
-  PutU32Le(header, static_cast<uint32_t>(payload.size() + 1));
-  header[4] = static_cast<char>(type);
+  PutU32Le(header, static_cast<uint32_t>(payload.size() + id_bytes + 1));
+  header[4] = static_cast<char>(static_cast<uint8_t>(type) |
+                                (trace_id != 0 ? kFrameTraceIdFlag : 0));
   buf.append(header, 5);
+  for (size_t i = 0; i < id_bytes; ++i) {
+    buf.push_back(static_cast<char>((trace_id >> (8 * i)) & 0xFF));
+  }
   buf.append(payload.data(), payload.size());
   // The trailer covers type + payload; the length prefix stays outside so
   // that a corrupted body is *detected* rather than desynchronizing the
@@ -117,11 +125,12 @@ std::string EncodeFrame(FrameType type, std::string_view payload) {
   return buf;
 }
 
-Status WriteFrame(int fd, FrameType type, std::string_view payload) {
-  if (payload.size() + 1 > UINT32_MAX) {
+Status WriteFrame(int fd, FrameType type, std::string_view payload,
+                  uint64_t trace_id) {
+  if (payload.size() + 9 > UINT32_MAX) {
     return Status::InvalidArgument("frame payload too large");
   }
-  std::string buf = EncodeFrame(type, payload);
+  std::string buf = EncodeFrame(type, payload, trace_id);
   // Fault injection: flip bytes past the length prefix of an outgoing
   // frame, so the receiver's CRC check must catch it.
   ASSESS_FAILPOINT_CORRUPT("net.write_frame", &buf, 4);
@@ -157,6 +166,25 @@ Status ReadFrame(int fd, size_t max_frame_bytes, Frame* out) {
   }
   // Type validation after the CRC: a flipped type byte is corruption, not a
   // protocol violation by the peer.
+  out->trace_id = 0;
+  if ((type & kFrameTraceIdFlag) != 0) {
+    const uint8_t base = type & static_cast<uint8_t>(~kFrameTraceIdFlag);
+    if (!IsKnownFrameType(base)) {
+      return Status::InvalidArgument("unknown frame type");
+    }
+    if (out->payload.size() < 8) {
+      return Status::InvalidArgument("traced frame too short for its id");
+    }
+    uint64_t id = 0;
+    for (int i = 0; i < 8; ++i) {
+      id |= static_cast<uint64_t>(static_cast<uint8_t>(out->payload[i]))
+            << (8 * i);
+    }
+    out->trace_id = id;
+    out->payload.erase(0, 8);
+    out->type = static_cast<FrameType>(base);
+    return Status::OK();
+  }
   if (!IsKnownFrameType(type)) {
     return Status::InvalidArgument("unknown frame type");
   }
@@ -434,7 +462,7 @@ struct StatsReader {
 std::string ServerStats::Serialize() const {
   std::string out;
   out.push_back('T');  // stats magic
-  out.push_back(0x06);  // v6: appends MQO counters after v5's durability
+  out.push_back(0x07);  // v7: appends workload counters after v6's MQO
   for (uint64_t v : {total_requests, ok_responses, error_responses,
                      rejected_overload, timeouts, queued, in_flight,
                      connections, worker_threads}) {
@@ -467,6 +495,10 @@ std::string ServerStats::Serialize() const {
                      mqo_queries_piggybacked}) {
     PutVarint(&out, v);
   }
+  for (uint64_t v : {workload_fingerprints, workload_evictions, http_requests,
+                     trace_ids_received}) {
+    PutVarint(&out, v);
+  }
   return out;
 }
 
@@ -475,7 +507,7 @@ Result<ServerStats> ServerStats::Deserialize(std::string_view data) {
   // Older payloads decode with the newer counters left at zero; each version
   // appends its field group after the previous one's, so one pass reads
   // every layout.
-  if (data.size() < 2 || data[0] != 'T' || data[1] < 0x02 || data[1] > 0x06) {
+  if (data.size() < 2 || data[0] != 'T' || data[1] < 0x02 || data[1] > 0x07) {
     return Status::InvalidArgument("stats: bad magic");
   }
   const uint8_t version = static_cast<uint8_t>(data[1]);
@@ -535,6 +567,15 @@ Result<ServerStats> ServerStats::Deserialize(std::string_view data) {
       ASSESS_RETURN_NOT_OK(reader.GetVarint(slot));
     }
   }
+  if (version >= 0x07) {
+    uint64_t* workload_ints[] = {&stats.workload_fingerprints,
+                                 &stats.workload_evictions,
+                                 &stats.http_requests,
+                                 &stats.trace_ids_received};
+    for (uint64_t* slot : workload_ints) {
+      ASSESS_RETURN_NOT_OK(reader.GetVarint(slot));
+    }
+  }
   if (reader.pos != data.size()) {
     return Status::InvalidArgument("stats: trailing bytes");
   }
@@ -542,7 +583,7 @@ Result<ServerStats> ServerStats::Deserialize(std::string_view data) {
 }
 
 std::string ServerStats::ToString() const {
-  char buf[1792];
+  char buf[2048];
   std::snprintf(
       buf, sizeof(buf),
       "requests: %llu total, %llu ok, %llu errors, %llu overload-rejected, "
@@ -561,7 +602,9 @@ std::string ServerStats::ToString() const {
       "wal: %llu appends, %llu fsyncs, %.1f MiB written; %llu checkpoints; "
       "recovery replayed %llu records, dropped %llu torn bytes\n"
       "mqo: %llu batches (%llu queries), %llu shared scans, "
-      "%llu piggybacked",
+      "%llu piggybacked\n"
+      "workload: %llu fingerprints profiled, %llu evicted; %llu http "
+      "requests, %llu traced frames",
       static_cast<unsigned long long>(total_requests),
       static_cast<unsigned long long>(ok_responses),
       static_cast<unsigned long long>(error_responses),
@@ -597,7 +640,11 @@ std::string ServerStats::ToString() const {
       static_cast<unsigned long long>(mqo_batches),
       static_cast<unsigned long long>(mqo_queries_batched),
       static_cast<unsigned long long>(mqo_shared_scans),
-      static_cast<unsigned long long>(mqo_queries_piggybacked));
+      static_cast<unsigned long long>(mqo_queries_piggybacked),
+      static_cast<unsigned long long>(workload_fingerprints),
+      static_cast<unsigned long long>(workload_evictions),
+      static_cast<unsigned long long>(http_requests),
+      static_cast<unsigned long long>(trace_ids_received));
   return buf;
 }
 

@@ -83,6 +83,8 @@ enum class FrameType : uint8_t {
   kMetrics = 0x05,
   kExplainAnalyze = 0x06,
   kIngest = 0x07,
+  kWorkload = 0x08,  ///< payload empty; answered with kWorkloadReply (the
+                     ///< server's workload-profile + MV-advisor report)
   kResult = 0x11,
   kError = 0x12,
   kStatsReply = 0x13,
@@ -91,7 +93,19 @@ enum class FrameType : uint8_t {
   kMetricsReply = 0x16,
   kExplainReply = 0x17,
   kIngestReply = 0x18,
+  kWorkloadReply = 0x19,  ///< payload = workload report (text)
 };
+
+/// Wire versioning of the trace-id extension: a frame whose type byte has
+/// this bit set carries a u64 LE trace id as the first 8 payload bytes
+/// (inside the length and the CRC trailer, so framing and integrity are
+/// unchanged). Decoders that predate the extension reject the flagged type
+/// byte as an unknown frame type and close only that connection — exactly
+/// the contract for traffic from a newer peer — while new decoders strip
+/// the flag, extract the id into Frame::trace_id, and hand the payload on
+/// unchanged. A trace id of 0 means "untraced" and is sent without the flag,
+/// so old servers and new clients interoperate whenever tracing is off.
+inline constexpr uint8_t kFrameTraceIdFlag = 0x80;
 
 /// Frames larger than this are protocol violations by default; both sides
 /// take the cap as a parameter so deployments can raise it.
@@ -104,18 +118,25 @@ inline constexpr uint16_t kDefaultPort = 7117;
 struct Frame {
   FrameType type = FrameType::kPing;
   std::string payload;
+  /// The trace id carried by the kFrameTraceIdFlag extension; 0 when the
+  /// frame was untraced.
+  uint64_t trace_id = 0;
 };
 
 /// \brief Builds the full wire bytes of one frame — length prefix, type,
 /// payload and CRC32C trailer. Shared by WriteFrame and by tests that need
 /// to splice valid (or deliberately damaged) frames onto a raw socket.
-std::string EncodeFrame(FrameType type, std::string_view payload);
+/// A nonzero `trace_id` sets kFrameTraceIdFlag on the type byte and
+/// prefixes the payload with the u64 LE id.
+std::string EncodeFrame(FrameType type, std::string_view payload,
+                        uint64_t trace_id = 0);
 
 /// \brief Writes one frame to `fd`, looping over partial sends and EINTR.
 /// Uses MSG_NOSIGNAL, so writing to a dead peer yields kUnavailable rather
 /// than SIGPIPE; a socket send deadline (SO_SNDTIMEO) that expires yields
-/// kTimeout.
-Status WriteFrame(int fd, FrameType type, std::string_view payload);
+/// kTimeout. A nonzero `trace_id` is carried via kFrameTraceIdFlag.
+Status WriteFrame(int fd, FrameType type, std::string_view payload,
+                  uint64_t trace_id = 0);
 
 /// \brief Reads one frame from `fd` into `*out`.
 ///
@@ -226,6 +247,12 @@ struct ServerStats {
   uint64_t mqo_shared_scans = 0;     ///< shared-scan group executions
   uint64_t mqo_queries_piggybacked = 0;  ///< queries answered by a batch-mate's
                                          ///< scan instead of their own
+  // v7: workload-intelligence counters.
+  uint64_t workload_fingerprints = 0;  ///< live profiled query fingerprints
+  uint64_t workload_evictions = 0;     ///< fingerprints evicted by the LRU cap
+  uint64_t http_requests = 0;          ///< requests the observability HTTP
+                                       ///< listener has served
+  uint64_t trace_ids_received = 0;     ///< frames carrying a client trace id
 
   double cache_hit_rate() const {
     return cache_lookups > 0

@@ -12,9 +12,11 @@
 #include "cache/query_fingerprint.h"
 #include "common/failpoint.h"
 #include "common/simd.h"
+#include "common/stopwatch.h"
 #include "common/task_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/workload_profiler.h"
 #include "storage/flat_map64.h"
 #include "storage/materialized_view.h"
 #include "storage/predicate.h"
@@ -1072,7 +1074,8 @@ StarQueryEngine::StarQueryEngine(const StarDatabase* db,
                                  const EngineOptions& options)
     : db_(db),
       use_views_(options.use_views),
-      pool_(options.pool ? options.pool : TaskPool::Shared()) {
+      pool_(options.pool ? options.pool : TaskPool::Shared()),
+      profiler_(options.profiler) {
   // Default parallelism comes from the pool, not the hardware: inside
   // assessd many sessions share one pool, and each must size itself as one
   // tenant of that pool rather than as the machine's sole owner.
@@ -1094,8 +1097,21 @@ StarQueryEngine::StarQueryEngine(const StarDatabase* db, bool use_views,
   threads_ = forced > 0 ? forced : std::max(1, threads);
 }
 
+namespace {
+
+// Per-thread scan tally, so ExecuteInternal can attribute morsel counts to
+// the one get it is timing. Correct because CountMorsels is always called
+// on the get's calling thread with that scan's totals (morsel partials are
+// summed into a MorselExec first, never counted from workers).
+thread_local uint64_t tl_morsels_scanned = 0;
+thread_local uint64_t tl_morsels_skipped = 0;
+
+}  // namespace
+
 void StarQueryEngine::CountMorsels(uint64_t scanned, uint64_t skipped) const {
   if (scanned == 0 && skipped == 0) return;
+  tl_morsels_scanned += scanned;
+  tl_morsels_skipped += skipped;
   morsels_scanned_.fetch_add(scanned, std::memory_order_relaxed);
   morsels_skipped_.fetch_add(skipped, std::memory_order_relaxed);
   if (pool_) pool_->AddScanCounts(scanned, skipped);
@@ -1110,10 +1126,43 @@ Result<Cube> StarQueryEngine::ExecuteInternal(const BoundCube& bound,
                                               const CubeQuery& query) const {
   Span span("engine.get");
   if (span.active()) span.AddString("cube", query.cube_name);
+  WorkloadProfiler* profiler =
+      profiler_ != nullptr && profiler_->enabled() ? profiler_ : nullptr;
+  const uint64_t scanned_before = tl_morsels_scanned;
+  const uint64_t skipped_before = tl_morsels_skipped;
+  Stopwatch watch;
   Result<Cube> result = ExecuteGet(bound, query);
   if (span.active()) {
     span.AddString("outcome", CacheOutcomeName(last_cache_outcome_));
     if (result.ok()) span.AddInt("rows", result->NumRows());
+  }
+  if (profiler != nullptr && result.ok()) {
+    const double ms = watch.ElapsedMillis();
+    const uint64_t scanned = tl_morsels_scanned - scanned_before;
+    const uint64_t skipped = tl_morsels_skipped - skipped_before;
+    WorkloadOutcome outcome = WorkloadOutcome::kBypass;
+    switch (last_cache_outcome_) {
+      case CacheOutcome::kBypass:
+        outcome = WorkloadOutcome::kBypass;
+        break;
+      case CacheOutcome::kMiss:
+        outcome = WorkloadOutcome::kMiss;
+        break;
+      case CacheOutcome::kExactHit:
+        outcome = WorkloadOutcome::kExactHit;
+        break;
+      case CacheOutcome::kSubsumptionHit:
+        outcome = WorkloadOutcome::kSubsumptionHit;
+        break;
+    }
+    const FactSnapshot snap = bound.facts().Snapshot();
+    WorkloadProfiler::Seen seen = profiler->RecordQuery(
+        bound.schema(), CanonicalizeQuery(query), outcome, ms,
+        scanned * static_cast<uint64_t>(kMorselRows), skipped, snap.rows);
+    if (span.active() && seen.count > 0) {
+      span.AddString("lattice", seen.lattice);
+      span.AddInt("seen", static_cast<int64_t>(seen.count));
+    }
   }
   return result;
 }

@@ -16,6 +16,7 @@
 namespace assess {
 
 class TaskPool;
+class WorkloadProfiler;
 
 /// \brief Pivot push-down specification (the ⊞ operator executed
 /// "server-side", Section 5.2.3). The query it applies to must slice the
@@ -60,6 +61,11 @@ struct EngineOptions {
   /// When set, this cache instance is used instead of creating a private
   /// one — the way several sessions over one database share warm results.
   std::shared_ptr<CubeResultCache> shared_cache;
+  /// When set, every internal get records its fingerprint, latency, scan
+  /// volume and cache outcome into this workload profile (obs/
+  /// workload_profiler.h). Not owned; must outlive the engine. Null keeps
+  /// the engine profile-free.
+  WorkloadProfiler* profiler = nullptr;
 };
 
 /// \brief Morsel accounting for one engine: how many scan morsels were
@@ -188,6 +194,9 @@ class StarQueryEngine {
 
   int threads() const { return threads_; }
 
+  /// \brief The workload profile internal gets record into, or nullptr.
+  WorkloadProfiler* profiler() const { return profiler_; }
+
   /// \brief The pool this engine schedules scans on (never null).
   const std::shared_ptr<TaskPool>& pool() const { return pool_; }
 
@@ -217,6 +226,7 @@ class StarQueryEngine {
   int threads_;
   std::shared_ptr<TaskPool> pool_;
   std::shared_ptr<CubeResultCache> cache_;
+  WorkloadProfiler* profiler_ = nullptr;
   mutable std::atomic<uint64_t> morsels_scanned_{0};
   mutable std::atomic<uint64_t> morsels_skipped_{0};
   mutable bool last_used_view_ = false;

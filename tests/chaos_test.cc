@@ -424,7 +424,12 @@ TEST_F(ChaosTest, FailpointAdminFrameArmsAndDisarms) {
   auto failed = client->Query(kStatements[0]);
   ASSERT_FALSE(failed.ok());
   EXPECT_EQ(failed.status().code(), StatusCode::kUnavailable);
-  EXPECT_EQ(failed.status().message(), "injected by admin");
+  // The reply is stamped with the client's trace id: "trace 0x...: <message>".
+  EXPECT_NE(failed.status().message().find("injected by admin"),
+            std::string::npos)
+      << failed.status().message();
+  EXPECT_NE(failed.status().message().find("trace 0x"), std::string::npos)
+      << failed.status().message();
 
   // Budget spent: the same connection serves the query fine now.
   auto result = client->Query(kStatements[0]);

@@ -22,6 +22,7 @@
 #include "assess/session.h"
 #include "assess/wire_format.h"
 #include "client/assess_client.h"
+#include "common/crc32c.h"
 #include "server/protocol.h"
 #include "test_util.h"
 
@@ -495,7 +496,7 @@ TEST_F(ServerTest, StopDrainsInFlightRequests) {
 // Stats wire v5 + observability surfaces.
 // ---------------------------------------------------------------------------
 
-TEST(ServerStatsWire, V6RoundTripsEveryField) {
+TEST(ServerStatsWire, V7RoundTripsEveryField) {
   ServerStats stats;
   stats.total_requests = 101;
   stats.ok_responses = 90;
@@ -536,11 +537,15 @@ TEST(ServerStatsWire, V6RoundTripsEveryField) {
   stats.mqo_queries_batched = 77;
   stats.mqo_shared_scans = 23;
   stats.mqo_queries_piggybacked = 31;
+  stats.workload_fingerprints = 41;
+  stats.workload_evictions = 5;
+  stats.http_requests = 67;
+  stats.trace_ids_received = 89;
 
   std::string wire = stats.Serialize();
   ASSERT_GE(wire.size(), 2u);
   EXPECT_EQ(wire[0], 'T');
-  EXPECT_EQ(wire[1], 0x06);
+  EXPECT_EQ(wire[1], 0x07);
 
   auto decoded = ServerStats::Deserialize(wire);
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
@@ -570,13 +575,41 @@ TEST(ServerStatsWire, V6RoundTripsEveryField) {
   EXPECT_EQ(decoded->mqo_queries_batched, stats.mqo_queries_batched);
   EXPECT_EQ(decoded->mqo_shared_scans, stats.mqo_shared_scans);
   EXPECT_EQ(decoded->mqo_queries_piggybacked, stats.mqo_queries_piggybacked);
+  EXPECT_EQ(decoded->workload_fingerprints, stats.workload_fingerprints);
+  EXPECT_EQ(decoded->workload_evictions, stats.workload_evictions);
+  EXPECT_EQ(decoded->http_requests, stats.http_requests);
+  EXPECT_EQ(decoded->trace_ids_received, stats.trace_ids_received);
   // The human rendering carries the new counters too.
   EXPECT_NE(stats.ToString().find("slow queries"), std::string::npos);
   EXPECT_NE(stats.ToString().find("wal:"), std::string::npos);
   EXPECT_NE(stats.ToString().find("mqo:"), std::string::npos);
+  EXPECT_NE(stats.ToString().find("workload:"), std::string::npos);
 
   // Trailing garbage is still rejected.
   EXPECT_FALSE(ServerStats::Deserialize(wire + "x").ok());
+}
+
+TEST(ServerStatsWire, AcceptsV6PayloadsWithZeroWorkloadFields) {
+  // A v6 payload from a pre-workload-intelligence peer: the workload/http
+  // counter group is simply absent and decodes as zeros.
+  std::string v6;
+  v6.push_back('T');
+  v6.push_back(0x06);
+  v6.append(9, '\0');   // request/load varints
+  v6.append(24, '\0');  // p50/p90/p99 doubles
+  v6.append(6, '\0');   // cache varints
+  v6.append(4, '\0');   // pool varints
+  v6.append(4, '\0');   // v3 observability varints
+  v6.append(3, '\0');   // v4 ingest varints
+  v6.append(6, '\0');   // v5 durability varints
+  v6.append(4, '\0');   // v6 mqo varints
+  auto decoded = ServerStats::Deserialize(v6);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->workload_fingerprints, 0u);
+  EXPECT_EQ(decoded->workload_evictions, 0u);
+  EXPECT_EQ(decoded->http_requests, 0u);
+  EXPECT_EQ(decoded->trace_ids_received, 0u);
+  EXPECT_FALSE(ServerStats::Deserialize(v6 + '\0').ok());
 }
 
 TEST(ServerStatsWire, AcceptsV5PayloadsWithZeroMqoFields) {
@@ -643,6 +676,76 @@ TEST(ServerStatsWire, AcceptsV2PayloadsWithZeroObservabilityFields) {
   std::string v9 = v2;
   v9[1] = 0x09;
   EXPECT_FALSE(ServerStats::Deserialize(v9).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Trace-id frame extension (kFrameTraceIdFlag).
+// ---------------------------------------------------------------------------
+
+/// Pushes `bytes` through a socketpair and decodes one frame off the
+/// other end, exactly as a peer would.
+Status DecodeFrameBytes(const std::string& bytes, Frame* frame) {
+  int fds[2];
+  EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  EXPECT_EQ(::send(fds[0], bytes.data(), bytes.size(), 0),
+            static_cast<ssize_t>(bytes.size()));
+  ::shutdown(fds[0], SHUT_WR);
+  Status read = ReadFrame(fds[1], size_t{16} << 20, frame);
+  CloseSocket(fds[0]);
+  CloseSocket(fds[1]);
+  return read;
+}
+
+TEST(FrameTraceId, RoundTripsThroughEncodeAndDecode) {
+  const uint64_t id = 0x0123456789abcdefULL;
+  std::string bytes = EncodeFrame(FrameType::kQuery, "payload", id);
+  Frame frame;
+  ASSERT_TRUE(DecodeFrameBytes(bytes, &frame).ok());
+  EXPECT_EQ(frame.type, FrameType::kQuery);
+  EXPECT_EQ(frame.trace_id, id);
+  EXPECT_EQ(frame.payload, "payload");
+}
+
+TEST(FrameTraceId, ZeroIdKeepsThePreTraceWireShape) {
+  // trace_id 0 must encode byte-identically to the pre-trace protocol, so
+  // a new client with tracing off interoperates with an old server.
+  EXPECT_EQ(EncodeFrame(FrameType::kQuery, "payload", 0),
+            EncodeFrame(FrameType::kQuery, "payload"));
+  Frame frame;
+  ASSERT_TRUE(
+      DecodeFrameBytes(EncodeFrame(FrameType::kPing, ""), &frame).ok());
+  EXPECT_EQ(frame.trace_id, 0u);
+}
+
+TEST(FrameTraceId, OldDecoderRejectsFlaggedFrameAsUnknownType) {
+  // An old peer sees type 0x81 (kQuery | flag), which IsKnownFrameType
+  // rejects — versioning by construction, no silent misparse. A new
+  // decoder applies the same rule to a flagged *unknown* base type.
+  std::string bytes =
+      EncodeFrame(static_cast<FrameType>(0x7F | kFrameTraceIdFlag), "x");
+  Frame frame;
+  Status read = DecodeFrameBytes(bytes, &frame);
+  ASSERT_FALSE(read.ok());
+  EXPECT_NE(read.message().find("unknown frame type"), std::string::npos);
+}
+
+TEST(FrameTraceId, FlaggedFrameTooShortForItsIdIsRejected) {
+  // Hand-build a well-formed (correct length, correct CRC) flagged frame
+  // whose payload is shorter than the 8-byte id it promises.
+  std::string body;
+  body.push_back(static_cast<char>(static_cast<uint8_t>(FrameType::kQuery) |
+                                   kFrameTraceIdFlag));
+  body += "abc";  // < 8 bytes of id
+  std::string bytes;
+  const uint32_t length = static_cast<uint32_t>(body.size());
+  bytes.append(reinterpret_cast<const char*>(&length), 4);
+  bytes += body;
+  const uint32_t crc = Crc32c(body);
+  bytes.append(reinterpret_cast<const char*>(&crc), 4);
+  Frame frame;
+  Status read = DecodeFrameBytes(bytes, &frame);
+  ASSERT_FALSE(read.ok());
+  EXPECT_NE(read.message().find("traced frame"), std::string::npos);
 }
 
 TEST_F(ServerTest, MetricsFrameReturnsPrometheusExposition) {

@@ -1,0 +1,365 @@
+// The workload profiler: candidate-node derivation, the sharded store under
+// concurrency, the lattice roll-up against a brute-force oracle, the greedy
+// advisor on a hand-computed shape, and the LRU eviction counter.
+
+#include "obs/workload_profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/query_fingerprint.h"
+#include "common/failpoint.h"
+#include "olap/cube_query.h"
+#include "test_util.h"
+
+namespace assess {
+namespace {
+
+// MiniDb hierarchies: 0 = Date (date >= month >= year), 1 = Product
+// (product >= type), 2 = Store (store >= country). Level 0 is finest.
+
+class WorkloadProfilerTest : public ::testing::Test {
+ protected:
+  WorkloadProfilerTest() : mini_(testutil::BuildMiniSales()) {}
+
+  CubeQuery Query(const std::vector<std::string>& by,
+                  std::vector<Predicate> preds,
+                  const std::vector<std::string>& measures) {
+    auto q = CubeQuery::Make(*mini_.schema, "SALES", by, std::move(preds),
+                             measures);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return *q;
+  }
+
+  WorkloadProfiler::Seen Record(WorkloadProfiler& profiler,
+                                const CubeQuery& query,
+                                WorkloadOutcome outcome = WorkloadOutcome::kMiss,
+                                double latency_ms = 1.0,
+                                uint64_t rows_scanned = 1000,
+                                uint64_t morsels_skipped = 0) {
+    return profiler.RecordQuery(*mini_.schema, CanonicalizeQuery(query),
+                                outcome, latency_ms, rows_scanned,
+                                morsels_skipped, /*fact_rows=*/1000);
+  }
+
+  testutil::MiniDb mini_;
+};
+
+// --- Candidate node -------------------------------------------------------
+
+TEST_F(WorkloadProfilerTest, CandidateNodeIsFinestTouchedLevelPerHierarchy) {
+  // Group by month (Date level 1) and country (Store level 1); Product
+  // untouched.
+  CubeQuery q = Query({"month", "country"}, {}, {"quantity"});
+  EXPECT_EQ(CandidateNode(*mini_.schema, CanonicalizeQuery(q)),
+            (std::vector<int>{1, -1, 1}));
+
+  // A predicate finer than the group-by drags the node down to it: group by
+  // month but filter a specific date.
+  CubeQuery pred = Query({"month"}, {{0, 0, PredicateOp::kEquals, {"1997-03-15"}}},
+                         {"quantity"});
+  EXPECT_EQ(CandidateNode(*mini_.schema, CanonicalizeQuery(pred)),
+            (std::vector<int>{0, -1, -1}));
+
+  // A predicate coarser than the group-by changes nothing: group by product,
+  // filter its type.
+  CubeQuery coarse = Query({"product"},
+                           {{1, 1, PredicateOp::kEquals, {"Fresh Fruit"}}},
+                           {"quantity"});
+  EXPECT_EQ(CandidateNode(*mini_.schema, CanonicalizeQuery(coarse)),
+            (std::vector<int>{-1, 0, -1}));
+}
+
+// --- The store ------------------------------------------------------------
+
+TEST_F(WorkloadProfilerTest, AggregatesAcrossEpochsUnderOneFingerprint) {
+  WorkloadProfiler profiler;
+  CubeQuery q = Query({"product"}, {}, {"quantity"});
+  CanonicalQuery canon = CanonicalizeQuery(q);
+  canon.epoch = 3;
+  profiler.RecordQuery(*mini_.schema, canon, WorkloadOutcome::kMiss, 1.0, 10,
+                       0, 1000);
+  canon.epoch = 7;  // same logical query after an ingest epoch bump
+  WorkloadProfiler::Seen seen = profiler.RecordQuery(
+      *mini_.schema, canon, WorkloadOutcome::kExactHit, 0.1, 0, 0, 1000);
+  EXPECT_EQ(seen.count, 2u);
+  EXPECT_EQ(profiler.fingerprints(), 1u);
+  EXPECT_EQ(seen.lattice, "<product>");
+}
+
+TEST_F(WorkloadProfilerTest, DisabledProfilerRecordsNothing) {
+  WorkloadProfiler profiler;
+  profiler.set_enabled(false);
+  CubeQuery q = Query({"product"}, {}, {"quantity"});
+  WorkloadProfiler::Seen seen = Record(profiler, q);
+  EXPECT_EQ(seen.count, 0u);
+  EXPECT_EQ(profiler.fingerprints(), 0u);
+  EXPECT_EQ(profiler.total_queries(), 0u);
+
+  profiler.set_enabled(true);
+  EXPECT_EQ(Record(profiler, q).count, 1u);
+}
+
+TEST_F(WorkloadProfilerTest, LruCapEvictsColdestAndCountsEvictions) {
+  WorkloadProfilerOptions options;
+  options.shards = 1;
+  options.max_fingerprints = 4;
+  WorkloadProfiler profiler(options);
+
+  const std::vector<std::string> levels = {"date", "month",  "year",
+                                           "product", "type", "store"};
+  for (const std::string& level : levels) {
+    Record(profiler, Query({level}, {}, {"quantity"}));
+  }
+  EXPECT_EQ(profiler.fingerprints(), 4u);
+  EXPECT_EQ(profiler.evicted_fingerprints(), 2u);
+  // Every record still counted, evicted or not.
+  EXPECT_EQ(profiler.total_queries(), levels.size());
+  EXPECT_EQ(profiler.BuildReport().evicted_fingerprints, 2u);
+
+  // Touching a survivor protects it from the next eviction (LRU, not FIFO):
+  // "year" (third-oldest) gets bumped, then a new query evicts "product".
+  Record(profiler, Query({"year"}, {}, {"quantity"}));
+  Record(profiler, Query({"country"}, {}, {"quantity"}));
+  WorkloadReport report = profiler.BuildReport();
+  bool saw_year = false;
+  bool saw_product = false;
+  for (const WorkloadEntrySnapshot& e : report.top) {
+    if (e.display.find("<year>") != std::string::npos) saw_year = true;
+    if (e.display.find("<product>") != std::string::npos) saw_product = true;
+  }
+  EXPECT_TRUE(saw_year);
+  EXPECT_FALSE(saw_product);
+}
+
+TEST_F(WorkloadProfilerTest, ShardedStoreIsCoherentUnderConcurrentRecording) {
+  WorkloadProfiler profiler;
+  const std::vector<std::string> levels = {"date",    "month", "year",
+                                           "product", "type",  "store",
+                                           "country", "day"};
+  std::vector<CubeQuery> queries;
+  for (const std::string& level : levels) {
+    if (level == "day") {
+      queries.push_back(Query({"date", "product"}, {}, {"quantity"}));
+    } else {
+      queries.push_back(Query({level}, {}, {"quantity"}));
+    }
+  }
+
+  constexpr int kThreads = 4;
+  constexpr int kIters = 500;
+  std::atomic<bool> stop{false};
+  // A reader thread hammers BuildReport()/fingerprints() while writers
+  // record: under TSan this proves snapshotting never races the hot path.
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      WorkloadReport report = profiler.BuildReport();
+      ASSERT_LE(report.fingerprints, queries.size());
+      (void)profiler.fingerprints();
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const CubeQuery& q = queries[(t + i) % queries.size()];
+        profiler.RecordQuery(*mini_.schema, CanonicalizeQuery(q),
+                             i % 2 == 0 ? WorkloadOutcome::kMiss
+                                        : WorkloadOutcome::kExactHit,
+                             0.5, 100, 1, 1000);
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  EXPECT_EQ(profiler.total_queries(),
+            static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(profiler.fingerprints(), queries.size());
+  WorkloadReport report = profiler.BuildReport();
+  uint64_t executions = 0;
+  for (const WorkloadEntrySnapshot& e : report.top) {
+    executions += e.executions;
+    EXPECT_EQ(e.exact_hits + e.misses, e.executions);
+  }
+  EXPECT_EQ(executions, static_cast<uint64_t>(kThreads) * kIters);
+}
+
+TEST_F(WorkloadProfilerTest, ObsProfileFailpointOnlyMovesDroppedCounter) {
+  if (!kFailpointsCompiledIn) {
+    GTEST_SKIP() << "built with ASSESS_FAILPOINTS=OFF";
+  }
+  WorkloadProfiler profiler;
+  CubeQuery q = Query({"product"}, {}, {"quantity"});
+  ASSERT_TRUE(FailpointRegistry::Instance()
+                  .ArmFromString("obs.profile=error:budget=2")
+                  .ok());
+  EXPECT_EQ(Record(profiler, q).count, 0u);
+  EXPECT_EQ(Record(profiler, q).count, 0u);
+  // Budget exhausted: the third record lands normally.
+  EXPECT_EQ(Record(profiler, q).count, 1u);
+  FailpointRegistry::Instance().DisarmAll();
+  EXPECT_EQ(profiler.dropped_samples(), 2u);
+  EXPECT_EQ(profiler.total_queries(), 1u);
+}
+
+// --- Lattice roll-up vs brute-force oracle --------------------------------
+
+LatticeHeat::CubeShape TwoHierarchyShape() {
+  LatticeHeat::CubeShape shape;
+  shape.cube = "SALES";
+  shape.fact_rows = 1'000'000;
+  shape.level_names = {{"day", "month", "year"}, {"store", "country"}};
+  shape.level_cardinality = {{1000, 40, 4}, {100, 10}};
+  return shape;
+}
+
+TEST(LatticeHeatTest, CoversMatchesRollupApplicability) {
+  // view answers query iff every hierarchy the query touches is present in
+  // the view at a finer-or-equal level.
+  EXPECT_TRUE(LatticeHeat::Covers({0, 0}, {1, 1}));
+  EXPECT_TRUE(LatticeHeat::Covers({1, 0}, {1, -1}));
+  EXPECT_TRUE(LatticeHeat::Covers({0, 1}, {2, 1}));
+  EXPECT_FALSE(LatticeHeat::Covers({1, 1}, {0, 1}));   // too coarse on h0
+  EXPECT_FALSE(LatticeHeat::Covers({-1, 0}, {1, 0}));  // h0 absent
+  EXPECT_TRUE(LatticeHeat::Covers({0, -1}, {2, -1}));
+  EXPECT_FALSE(LatticeHeat::Covers({0, 0}, {0, 0, -1}));  // shape mismatch
+}
+
+TEST(LatticeHeatTest, RollupMatchesBruteForceOracle) {
+  LatticeHeat heat(TwoHierarchyShape());
+  // A deliberately overlapping set of candidate nodes.
+  const std::vector<std::pair<std::vector<int>, uint64_t>> observed = {
+      {{0, 0}, 3},  {{0, 1}, 5},   {{1, 0}, 7},  {{1, 1}, 11},
+      {{2, 1}, 13}, {{0, -1}, 17}, {{-1, 0}, 19}, {{-1, 1}, 23},
+      {{2, -1}, 29}, {{1, -1}, 31},
+  };
+  for (const auto& [node, executions] : observed) {
+    heat.Add(node, executions);
+  }
+
+  std::vector<LatticeHeatNode> nodes = heat.Nodes();
+  ASSERT_EQ(nodes.size(), observed.size());
+  for (const LatticeHeatNode& node : nodes) {
+    // Oracle: recompute the roll-up for this node the slow, obvious way.
+    uint64_t fingerprints = 0;
+    uint64_t executions = 0;
+    for (const auto& [other, count] : observed) {
+      if (LatticeHeat::Covers(node.levels, other)) {
+        fingerprints += 1;
+        executions += count;
+      }
+    }
+    EXPECT_EQ(node.fingerprints, fingerprints) << node.node;
+    EXPECT_EQ(node.executions, executions) << node.node;
+  }
+  // Sorted hottest-first.
+  for (size_t i = 1; i < nodes.size(); ++i) {
+    EXPECT_GE(nodes[i - 1].executions, nodes[i].executions);
+  }
+}
+
+TEST(LatticeHeatTest, EstimatedRowsIsCardinalityProductCappedAtFactRows) {
+  LatticeHeat heat(TwoHierarchyShape());
+  EXPECT_EQ(heat.EstimatedRows({1, 1}), 40 * 10);
+  EXPECT_EQ(heat.EstimatedRows({2, -1}), 4);
+  EXPECT_EQ(heat.EstimatedRows({0, 0}), 1000 * 100);
+  // An over-wide node caps at the fact rows instead of overflowing.
+  LatticeHeat::CubeShape wide = TwoHierarchyShape();
+  wide.level_cardinality = {{2'000'000, 40, 4}, {100, 10}};
+  LatticeHeat capped(wide);
+  EXPECT_EQ(capped.EstimatedRows({0, 0}), wide.fact_rows);
+}
+
+// --- Greedy advisor golden -----------------------------------------------
+
+TEST(LatticeHeatTest, GreedyAdvisorGolden) {
+  // Hand-computed workload: the hot <month, country> shape, a coarse
+  // <year> rollup, and one fine <day, store> drill-down.
+  LatticeHeat heat(TwoHierarchyShape());
+  heat.Add({1, 1}, 100);  // month x country: 400-row view
+  heat.Add({2, -1}, 50);  // year: 4-row view
+  heat.Add({0, 0}, 1);    // day x store: 100000-row view
+
+  std::vector<MvRecommendation> recs = heat.Greedy(3);
+  ASSERT_EQ(recs.size(), 3u);
+
+  // Round 1: <month, country> covers itself (100x) and <year> (50x), both
+  // currently answered by the 1M-row fact table:
+  //   150 * (1,000,000 - 400) = 149,940,000.
+  EXPECT_EQ(recs[0].node, "<month, country>");
+  EXPECT_EQ(recs[0].level_names, (std::vector<std::string>{"month", "country"}));
+  EXPECT_EQ(recs[0].estimated_rows, 400);
+  EXPECT_EQ(recs[0].queries_covered, 2u);
+  EXPECT_EQ(recs[0].executions_covered, 150u);
+  EXPECT_DOUBLE_EQ(recs[0].expected_scan_savings, 150.0 * (1'000'000 - 400));
+
+  // Round 2: <day, store> covers everything, but the hot shapes now cost
+  // 400 — only the drill-down still benefits: 1 * (1M - 100,000) = 900,000.
+  EXPECT_EQ(recs[1].node, "<day, store>");
+  EXPECT_DOUBLE_EQ(recs[1].expected_scan_savings, 1.0 * (1'000'000 - 100'000));
+
+  // Round 3: <year> refines its own 400-row answer: 50 * (400 - 4) = 19,800.
+  EXPECT_EQ(recs[2].node, "<year>");
+  EXPECT_DOUBLE_EQ(recs[2].expected_scan_savings, 50.0 * (400 - 4));
+}
+
+TEST(LatticeHeatTest, GreedyStopsWhenNothingSaves) {
+  // One observed node as big as the fact table: materializing it saves
+  // nothing, so the advisor recommends nothing rather than something.
+  LatticeHeat::CubeShape shape = TwoHierarchyShape();
+  shape.fact_rows = 1000;  // day x store (100,000) caps to 1000 = fact rows
+  LatticeHeat heat(shape);
+  heat.Add({0, 0}, 100);
+  EXPECT_TRUE(heat.Greedy(3).empty());
+}
+
+// --- Report ---------------------------------------------------------------
+
+TEST_F(WorkloadProfilerTest, ReportRanksAndRecommends) {
+  WorkloadProfiler profiler;
+  CubeQuery hot = Query({"month", "country"}, {}, {"quantity"});
+  CubeQuery cold = Query({"year"}, {}, {"quantity"});
+  for (int i = 0; i < 9; ++i) {
+    Record(profiler, hot, WorkloadOutcome::kMiss, 2.0, 1000, 0);
+  }
+  Record(profiler, cold, WorkloadOutcome::kMiss, 8.0, 1000, 0);
+  profiler.RecordPiggyback(*mini_.schema,
+                           CanonicalizeQuery(hot));  // MQO rider
+
+  WorkloadReport report = profiler.BuildReport();
+  EXPECT_EQ(report.fingerprints, 2u);
+  EXPECT_EQ(report.total_queries, 10u);
+  EXPECT_EQ(report.piggybacked, 1u);
+  ASSERT_EQ(report.top.size(), 2u);
+  EXPECT_EQ(report.top[0].lattice, "<month, country>");
+  EXPECT_EQ(report.top[0].executions, 9u);
+  EXPECT_EQ(report.top[0].piggybacked, 1u);
+  EXPECT_NEAR(report.top[0].p50_ms, 2.0, 2.0);
+
+  // The hot node leads the heat section and the advisor's first pick
+  // answers it.
+  ASSERT_FALSE(report.heat.empty());
+  EXPECT_EQ(report.heat[0].node, "<month, country>");
+  ASSERT_FALSE(report.recommendations.empty());
+  EXPECT_EQ(report.recommendations[0].node, "<month, country>");
+
+  // Renderings carry the load-bearing identifiers.
+  std::string text = report.ToText();
+  EXPECT_NE(text.find("workload profile: 2 fingerprints"), std::string::npos);
+  EXPECT_NE(text.find("<month, country>"), std::string::npos);
+  EXPECT_NE(text.find("recommended views"), std::string::npos);
+  std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"fingerprints\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"recommendations\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"levels\": [\"month\", \"country\"]"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace assess
